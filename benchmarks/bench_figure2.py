@@ -1,0 +1,45 @@
+"""Figure 2 — the schema of the "Patient" MO: six dimension lattices.
+
+Asserts every category set and order relationship the figure draws, and
+prints the rendered lattices.  The benchmark measures the rendering.
+"""
+
+from repro.report import render_figure2
+
+#: Figure 2's lattices: dimension → (bottom, {lower: upper} direct edges)
+FIGURE_2 = {
+    "Diagnosis": ("Low-level Diagnosis",
+                  [("Low-level Diagnosis", "Diagnosis Family"),
+                   ("Diagnosis Family", "Diagnosis Group")]),
+    "DOB": ("Day",
+            [("Day", "Week"), ("Day", "Month"), ("Month", "Quarter"),
+             ("Quarter", "Year"), ("Year", "Decade")]),
+    "Residence": ("Area", [("Area", "County"), ("County", "Region")]),
+    "Name": ("Name", []),
+    "SSN": ("SSN", []),
+    "Age": ("Age",
+            [("Age", "Five-year group"), ("Age", "Ten-year group")]),
+}
+
+
+def test_figure2_schema_matches(benchmark, snapshot_mo):
+    for name, (bottom, edges) in FIGURE_2.items():
+        dtype = snapshot_mo.dimension(name).dtype
+        assert dtype.bottom_name == bottom, name
+        for lower, upper in edges:
+            assert upper in dtype.pred(lower), \
+                f"{name}: missing {lower} -> {upper}"
+        assert dtype.is_lattice(), f"{name} is not a lattice"
+
+    # the figure's incomparabilities: Week vs Month, the two age groups
+    dob = snapshot_mo.dimension("DOB").dtype
+    assert not dob.leq("Week", "Month") and not dob.leq("Month", "Week")
+    age = snapshot_mo.dimension("Age").dtype
+    assert not age.leq("Five-year group", "Ten-year group")
+
+    text = benchmark(render_figure2, snapshot_mo)
+    print()
+    print(text)
+    print()
+    print("All six dimension lattices match Figure 2 "
+          "(bottoms, direct edges, lattice property, incomparabilities).")

@@ -1,0 +1,80 @@
+"""Plan optimization ablation (paper §5 future work).
+
+Two rewrites, measured against their naive plans on the 1000-patient
+workload, with result equality asserted:
+
+* **select fusion** — σ[p2](σ[p1](M)) → σ[p1 ∧ p2](M): the naive plan
+  pays two full passes (each σ also restricts every fact-dimension
+  relation); the fused plan pays one.  This is where the optimizer
+  wins.
+* **select-past-project** — π[A](σ[p](M)) vs σ[p](π[A](M)): in this
+  implementation projection *shares* the untouched dimensions instead
+  of copying them, so the orders cost the same; the bench documents
+  the (absence of) difference rather than claiming a win.
+"""
+
+import time
+
+from repro.algebra import characterized_by
+from repro.engine import Base, ProjectNode, SelectNode, evaluate, optimize
+from repro.report import render_table
+
+
+def _assert_same(a, b):
+    assert a.facts == b.facts
+    for name in a.dimension_names:
+        assert set(a.relation(name).pairs()) == \
+            set(b.relation(name).pairs())
+
+
+def test_optimizer_rewrites_ablation(benchmark, clinical_1k):
+    mo = clinical_1k.mo
+    group = clinical_1k.icd.groups[0]
+    family = clinical_1k.icd.families[0]
+    p1 = characterized_by("Diagnosis", group)
+    p2 = characterized_by("Diagnosis", family)
+
+    # --- select fusion ---------------------------------------------------
+    stacked = SelectNode(SelectNode(Base(mo), p1), p2)
+    fused = optimize(stacked)
+    assert isinstance(fused, SelectNode) and isinstance(fused.child, Base)
+    _assert_same(evaluate(stacked), evaluate(fused))
+    t0 = time.perf_counter()
+    evaluate(stacked)
+    t_stacked = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    evaluate(fused)
+    t_fused = time.perf_counter() - t0
+
+    # --- select-past-project ----------------------------------------------
+    outside = SelectNode(ProjectNode(Base(mo), ("Diagnosis", "Age")), p1)
+    pushed = optimize(outside)
+    assert isinstance(pushed, ProjectNode)
+    _assert_same(evaluate(outside), evaluate(pushed))
+    t0 = time.perf_counter()
+    evaluate(outside)
+    t_outside = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    evaluate(pushed)
+    t_pushed = time.perf_counter() - t0
+
+    benchmark(evaluate, fused)
+
+    rows = [
+        ["σ∘σ as written", f"{t_stacked * 1e3:.1f}"],
+        ["σ fused (p1 ∧ p2)", f"{t_fused * 1e3:.1f}"],
+        ["σ after π", f"{t_outside * 1e3:.1f}"],
+        ["σ pushed below π", f"{t_pushed * 1e3:.1f}"],
+    ]
+    print()
+    print(render_table(
+        ["plan", "time (ms)"], rows,
+        title=f"Optimizer rewrites on {len(mo.facts)} patients"))
+    print(f"\nSame-dimension select fusion: "
+          f"{t_stacked / max(t_fused, 1e-9):.1f}x (one pass instead of "
+          f"two; the second stacked pass re-restricts every relation). "
+          f"Select-past-project is cost-neutral here because π shares "
+          f"untouched dimensions instead of copying them.  All plans "
+          f"return identical MOs.")
+    # modest but consistent win; allow timer noise
+    assert t_fused < t_stacked * 1.15

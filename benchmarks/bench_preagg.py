@@ -1,0 +1,57 @@
+"""Pre-aggregation ablation: answering the Department-revenue query of
+the retail domain from (a) base data and (b) a materialized
+Category-level aggregate.
+
+The retail hierarchies are strict and partitioning, so reuse is safe;
+the bench verifies the two answers agree and reports the cost of each
+path plus the one-off materialization cost.
+"""
+
+import time
+
+from repro.algebra import Sum
+from repro.engine import PreAggregateStore
+from repro.report import render_table
+
+CATEGORY = {"Product": "Category"}
+DEPARTMENT = {"Product": "Department"}
+
+
+def test_preagg_reuse_on_retail(benchmark, retail_2k):
+    store = PreAggregateStore(retail_2k.mo)
+    revenue = Sum("Price")
+
+    t0 = time.perf_counter()
+    stored = store.materialize(revenue, CATEGORY)
+    t_materialize = time.perf_counter() - t0
+    assert stored.summarizability.summarizable
+
+    t0 = time.perf_counter()
+    # a cold store: the honest cost of going back to the base data
+    direct = PreAggregateStore(retail_2k.mo).compute_from_base(
+        revenue, DEPARTMENT)
+    t_direct = time.perf_counter() - t0
+
+    combined = benchmark(store.roll_up, revenue, CATEGORY, DEPARTMENT)
+    t0 = time.perf_counter()
+    store.roll_up(revenue, CATEGORY, DEPARTMENT)
+    t_reuse = time.perf_counter() - t0
+
+    assert {k[0].sid: v for k, v in combined.items()} == \
+        {k[0].sid: v for k, v in direct.items()}
+    assert t_reuse < t_direct
+
+    rows = [
+        ["materialize Category revenue (once)",
+         f"{t_materialize * 1e3:.2f}"],
+        ["Department revenue from base data", f"{t_direct * 1e3:.2f}"],
+        ["Department revenue from stored Categories",
+         f"{t_reuse * 1e3:.2f}"],
+    ]
+    print()
+    print(render_table(["path", "time (ms)"], rows,
+                       title="Pre-aggregation on the retail workload "
+                             f"({len(retail_2k.mo.facts)} purchases)"))
+    print(f"\nReuse is {t_direct / max(t_reuse, 1e-9):.0f}x faster than "
+          f"recomputation and returns identical revenues for all "
+          f"{len(combined)} departments.")

@@ -1,0 +1,70 @@
+"""Scaling sweep (paper §5 future work — efficient implementation).
+
+Sweeps the clinical workload size and measures the aggregate-formation
+path naively (operator over the raw MO) versus through the rollup index,
+printing the series.  The expected shape: both grow roughly linearly in
+the number of patients, with the index a constant factor faster and the
+gap widening as hierarchy walks repeat.
+"""
+
+import time
+
+from repro.algebra import SetCount, aggregate
+from repro.casestudy.icd import IcdShape
+from repro.core.helpers import make_result_spec
+from repro.engine import RollupIndex
+from repro.report import render_table
+from repro.workloads import ClinicalConfig, generate_clinical
+
+SIZES = (100, 300, 1000)
+GROUPING = {"Diagnosis": "Diagnosis Group"}
+
+
+def workload(n):
+    return generate_clinical(ClinicalConfig(
+        n_patients=n,
+        icd=IcdShape(n_groups=5, families_per_group=(3, 6),
+                     lowlevels_per_family=(3, 6), extra_parent_prob=0.1),
+        seed=42,
+    ))
+
+
+def indexed_counts(mo):
+    index = RollupIndex(mo)
+    return index.group_counts("Diagnosis", "Diagnosis Group")
+
+
+def test_scaling_naive_vs_indexed(benchmark):
+    rows = []
+    agreement = True
+    for n in SIZES:
+        w = workload(n)
+        t0 = time.perf_counter()
+        agg = aggregate(w.mo, SetCount(), GROUPING, make_result_spec(),
+                        strict_types=False)
+        t_naive = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        counts = indexed_counts(w.mo)
+        t_indexed = time.perf_counter() - t0
+
+        operator_counts = {}
+        for fact in agg.facts:
+            for value in agg.relation("Diagnosis").values_of(fact):
+                operator_counts[value] = len(fact.members)
+        indexed_nonempty = {v: c for v, c in counts.items() if c}
+        agreement &= operator_counts == indexed_nonempty
+        rows.append([n, f"{t_naive * 1e3:.1f}",
+                     f"{t_indexed * 1e3:.1f}",
+                     f"{t_naive / max(t_indexed, 1e-9):.1f}x"])
+    assert agreement
+
+    # benchmark the indexed path at the top size
+    top = workload(SIZES[-1])
+    benchmark(indexed_counts, top.mo)
+
+    print()
+    print(render_table(
+        ["patients", "operator α (ms)", "rollup index (ms)", "speedup"],
+        rows, title="Scaling: set-count by Diagnosis Group"))
+    print("\nBoth paths agree on every count; the index answers the "
+          "same query from materialized characterization maps.")

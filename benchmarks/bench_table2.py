@@ -1,0 +1,50 @@
+"""Table 2 — the requirements matrix, regenerated and verified.
+
+Asserts the published matrix cell-for-cell, runs the nine live probes
+that back this implementation's row, and prints the full table in the
+paper's layout.  The benchmark measures one full probe suite run.
+"""
+
+from repro.survey import (
+    SURVEYED_MODELS,
+    Support,
+    as_matrix,
+    render_rationale,
+    render_table2,
+    run_all_probes,
+)
+
+F, P, N = Support.FULL, Support.PARTIAL, Support.NONE
+
+PAPER_TABLE_2 = {
+    "Rafanelli": (F, N, N, F, P, N, N, N, N),
+    "Agrawal":   (P, F, P, N, P, N, N, N, N),
+    "Gray":      (N, F, P, P, N, N, N, N, N),
+    "Kimball":   (N, N, F, P, N, N, P, N, N),
+    "Li":        (P, N, F, P, N, N, N, N, N),
+    "Gyssens":   (N, F, P, P, N, N, N, N, N),
+    "Datta":     (N, F, P, N, P, N, N, N, N),
+    "Lehner":    (F, N, N, F, N, N, N, N, N),
+}
+
+
+def test_table2_matches_paper_and_probes_pass(benchmark):
+    matrix = as_matrix()
+    assert set(matrix) == set(PAPER_TABLE_2)
+    for model, row in PAPER_TABLE_2.items():
+        assert matrix[model] == row, f"{model} row deviates from the paper"
+
+    results = benchmark(run_all_probes)
+    assert all(r.passed for r in results), [
+        r.requirement.name for r in results if not r.passed]
+
+    print()
+    print(render_table2(include_ours=True, verify=True))
+    print()
+    print(f"Matrix verified cell-for-cell for {len(SURVEYED_MODELS)} "
+          f"surveyed models; all 9 requirement probes PASS on this "
+          f"implementation:")
+    for r in results:
+        print(f"  {r.requirement.number}. {r.requirement.name}: {r.detail}")
+    print()
+    print(render_rationale())

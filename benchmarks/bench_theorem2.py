@@ -1,0 +1,67 @@
+"""Theorem 2 — the algebra is at least as powerful as Klug's relational
+algebra with aggregation.
+
+Runs every Klug operator both relationally and through the MO
+simulation over a battery of relations, prints the per-operator
+equivalence table, and asserts 100% agreement.  The benchmark measures
+one full battery.
+"""
+
+import random
+
+from repro.core.aggtypes import AggregationType
+from repro.relational import Relation, TheoremTwoChecker
+from repro.report import render_table
+
+AGGTYPES = {a: AggregationType.SUM for a in ("a", "b", "c")}
+
+
+def battery(seed=0):
+    rng = random.Random(seed)
+
+    def rand_rel(attrs, n):
+        return Relation(attrs, [
+            tuple(rng.randint(-4, 4) for _ in attrs) for _ in range(n)
+        ])
+
+    checker = TheoremTwoChecker(aggtypes=AGGTYPES)
+    results = []
+    for trial in range(5):
+        r1 = rand_rel(("a", "b"), rng.randint(1, 10))
+        r2 = rand_rel(("a", "b"), rng.randint(0, 10))
+        r3 = rand_rel(("c",), rng.randint(1, 4))
+        threshold = rng.randint(-4, 4)
+        results.extend([
+            checker.check_select(r1, lambda row, t=threshold: row["a"] >= t),
+            checker.check_project(r1, ["b"]),
+            checker.check_rename(r1, {"a": "x"}),
+            checker.check_union(r1, r2),
+            checker.check_difference(r1, r2),
+            checker.check_product(r1, r3),
+        ])
+        for fn in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
+            results.append(checker.check_aggregate(r1, ["b"], fn, "a"))
+    return results
+
+
+def test_theorem2_equivalence(benchmark):
+    results = benchmark(battery)
+
+    by_op = {}
+    for r in results:
+        ok, total = by_op.get(r.operator, (0, 0))
+        by_op[r.operator] = (ok + int(r.equal), total + 1)
+
+    rows = [[op, f"{ok}/{total}", "OK" if ok == total else "MISMATCH"]
+            for op, (ok, total) in sorted(by_op.items())]
+    print()
+    print(render_table(
+        ["Klug operator", "equivalent results", "verdict"], rows,
+        title="Theorem 2 — relational vs. multidimensional simulation"))
+
+    failures = [r for r in results if not r.equal]
+    assert not failures, [
+        (f.operator, sorted(f.relational.rows), sorted(f.simulated.rows))
+        for f in failures]
+    print(f"\nAll {len(results)} operator instances agree: the MO "
+          f"simulation reproduces Klug's algebra exactly.")

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import case_study_mo
+from repro.casestudy.icd import IcdShape
+from repro.workloads import (
+    ClinicalConfig,
+    RetailConfig,
+    generate_clinical,
+    generate_retail,
+)
+
+
+@pytest.fixture(scope="session")
+def snapshot_mo():
+    """The case-study MO, untimed."""
+    return case_study_mo(temporal=False)
+
+
+@pytest.fixture(scope="session")
+def valid_time_mo_ex10():
+    """The valid-time case-study MO with Example 10's link."""
+    return case_study_mo(temporal=True, include_example10_link=True)
+
+
+@pytest.fixture(scope="session")
+def clinical_1k():
+    """A 1000-patient clinical workload with non-strict links and mixed
+    granularity — the scaling substrate."""
+    return generate_clinical(ClinicalConfig(
+        n_patients=1000,
+        icd=IcdShape(n_groups=5, families_per_group=(3, 6),
+                     lowlevels_per_family=(3, 6), extra_parent_prob=0.1),
+        seed=2024,
+    ))
+
+
+@pytest.fixture(scope="session")
+def strict_clinical_1k():
+    """A 1000-patient fully strict clinical workload (summarizable)."""
+    return generate_clinical(ClinicalConfig(
+        n_patients=1000,
+        diagnoses_per_patient=(1, 1),
+        family_granularity_prob=0.0,
+        icd=IcdShape(n_groups=5, families_per_group=(3, 6),
+                     lowlevels_per_family=(3, 6), extra_parent_prob=0.0),
+        seed=2025,
+    ))
+
+
+@pytest.fixture(scope="session")
+def retail_2k():
+    """A 2000-purchase retail workload."""
+    return generate_retail(RetailConfig(n_purchases=2000, seed=11))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Operating the model as a small warehouse.
+
+A day in the life of a deployment: plan which aggregates to
+materialize for an expected query mix (summarizability decides), serve
+the queries from the store, and watch a measure evolve over time with
+the temporal series analytics.
+"""
+
+from repro.algebra import SetCount
+from repro.casestudy.icd import IcdShape
+from repro.engine import (
+    PreAggregateStore,
+    Query,
+    apply_recommendations,
+    change_points,
+    group_count_series,
+    recommend_materializations,
+    series_table,
+)
+from repro.report import render_table
+from repro.temporal.chronon import day
+from repro.workloads import ClinicalConfig, generate_clinical
+
+
+def main() -> None:
+    workload = generate_clinical(ClinicalConfig(
+        n_patients=500,
+        icd=IcdShape(n_groups=4, families_per_group=(3, 5),
+                     lowlevels_per_family=(3, 5)),
+        seed=99))
+    mo = workload.mo
+
+    # 1. plan materializations for the expected query mix
+    expected = [
+        {"Diagnosis": "Low-level Diagnosis"},
+        {"Diagnosis": "Diagnosis Family"},
+        {"Diagnosis": "Diagnosis Group"},
+        {"Residence": "County"},
+        {"Residence": "Region"},
+    ]
+    recommendations = recommend_materializations(mo, expected, budget=2)
+    print("Materialization plan:")
+    for rec in recommendations:
+        grouping = ", ".join(f"{d}@{c}" for d, c in rec.grouping)
+        print(f"  [{grouping}] serves {len(rec.serves)} grouping(s): "
+              f"{rec.reason}")
+
+    store = PreAggregateStore(mo)
+    count = apply_recommendations(store, recommendations)
+    print(f"\nMaterialized {count} aggregates; querying through them:")
+    for dimension, category in (("Diagnosis", "Diagnosis Group"),
+                                ("Residence", "Region")):
+        rows = Query(mo, store=store).rollup(dimension, category).counts()
+        rendered = {
+            (g[dimension].label or g[dimension].sid): v for g, v in rows
+        }
+        print(f"  {dimension} @ {category}: {rendered}")
+
+    # 2. temporal series over a two-era workload
+    temporal = generate_clinical(ClinicalConfig(
+        n_patients=200, temporal=True,
+        icd=IcdShape(n_groups=2, families_per_group=(2, 3),
+                     lowlevels_per_family=(2, 3), two_eras=True),
+        seed=7))
+    points = change_points(temporal.mo, "Diagnosis")
+    print(f"\nThe temporal workload has {len(points)} diagnosis change "
+          f"points; sampling group counts at five instants:")
+    at = [day(y, 6, 1) for y in (1972, 1978, 1982, 1990, 1998)]
+    series = group_count_series(temporal.mo, "Diagnosis",
+                                "Diagnosis Group", at)
+    rows = series_table(series, at)
+    print(render_table(rows[0], rows[1:],
+                       title="Patients per diagnosis group over time"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — a reproduction of "Multidimensional Data Modeling for
+Complex Data" (Torben Bach Pedersen and Christian S. Jensen, ICDE 1999).
+
+The package implements the paper's extended multidimensional data model
+and its algebra, including the temporal and uncertainty extensions, the
+summarizability machinery, the clinical case study, the requirements
+survey (Table 2), a relational substrate for Theorem 2, an efficient-
+implementation engine (pre-aggregation, cubes, query API), and seeded
+workload generators.
+
+Quickstart::
+
+    from repro.casestudy import case_study_mo
+    from repro.algebra import aggregate, SetCount
+    from repro.core import make_result_spec
+
+    mo = case_study_mo()
+    counts = aggregate(mo, SetCount(),
+                       {"Diagnosis": "Diagnosis Group"},
+                       make_result_spec())
+
+Subpackages:
+
+* :mod:`repro.core` — the model (§3.1, §3.4)
+* :mod:`repro.algebra` — the operators (§4.1) and derived operators
+* :mod:`repro.temporal` — chronons, time sets, timeslices (§3.2, §4.2)
+* :mod:`repro.uncertainty` — probabilities (§3.3)
+* :mod:`repro.casestudy` — Table 1 and the "Patient" MO (§2.1)
+* :mod:`repro.survey` — the nine requirements and Table 2 (§2.2-§2.3)
+* :mod:`repro.relational` — Klug's algebra and the Theorem 2 checker
+* :mod:`repro.engine` — indexes, pre-aggregation, cubes, queries (§5)
+* :mod:`repro.workloads` — synthetic clinical and retail workloads
+* :mod:`repro.report` — text renderings of the paper's tables/figures
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

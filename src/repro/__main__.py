@@ -1,0 +1,202 @@
+"""Command-line interface: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro table1           # the case study's base data
+    python -m repro table2 [--verify]
+    python -m repro figure1|figure2|figure3
+    python -m repro probes           # the nine requirement probes
+    python -m repro timeslice --date 01/06/85
+    python -m repro export [--temporal] [--out FILE]
+    python -m repro demo             # a synthetic workload walkthrough
+
+Every command prints to stdout; ``export`` writes the case-study MO as
+self-contained JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multidimensional Data Modeling for "
+                    "Complex Data' (Pedersen & Jensen, ICDE 1999)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (case-study data)")
+    table2 = sub.add_parser("table2", help="print Table 2 (requirements "
+                                           "matrix)")
+    table2.add_argument("--verify", action="store_true",
+                        help="back our model's row with the live probes")
+    sub.add_parser("figure1", help="print Figure 1 (ER inventory)")
+    sub.add_parser("figure2", help="print Figure 2 (schema lattices)")
+    sub.add_parser("figure3", help="print Figure 3 (aggregate formation)")
+    sub.add_parser("probes", help="run the nine requirement probes")
+    slice_parser = sub.add_parser(
+        "timeslice", help="valid-timeslice of the case study")
+    slice_parser.add_argument("--date", required=True,
+                              help="dd/mm/yy (e.g. 01/06/85)")
+    export = sub.add_parser("export", help="dump the case-study MO as JSON")
+    export.add_argument("--temporal", action="store_true",
+                        help="include the validity intervals")
+    export.add_argument("--out", default="-",
+                        help="output file (default stdout)")
+    demo = sub.add_parser("demo", help="synthetic clinical workload demo")
+    demo.add_argument("--patients", type=int, default=200)
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_table1() -> int:
+    from repro.report import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(verify: bool) -> int:
+    from repro.survey import render_table2
+
+    print(render_table2(include_ours=True, verify=verify))
+    return 0
+
+
+def _cmd_figure1() -> int:
+    from repro.report import render_figure1
+
+    print(render_figure1())
+    return 0
+
+
+def _cmd_figure2() -> int:
+    from repro.casestudy import case_study_mo
+    from repro.report import render_figure2
+
+    print(render_figure2(case_study_mo(temporal=False)))
+    return 0
+
+
+def _cmd_figure3() -> int:
+    from repro.algebra import SetCount, aggregate
+    from repro.casestudy import case_study_mo
+    from repro.core.helpers import Band, make_result_spec
+    from repro.report import render_figure3
+
+    spec = make_result_spec("Result", bands=[Band(0, 2), Band(2, None)])
+    agg = aggregate(case_study_mo(temporal=False), SetCount(),
+                    {"Diagnosis": "Diagnosis Group"}, spec)
+    print(render_figure3(agg, "Diagnosis", "Result"))
+    return 0
+
+
+def _cmd_probes() -> int:
+    from repro.survey import run_all_probes
+
+    failures = 0
+    for result in run_all_probes():
+        status = "PASS" if result.passed else "FAIL"
+        failures += not result.passed
+        print(f"[{status}] {result.requirement.number}. "
+              f"{result.requirement.name}")
+        print(f"       {result.detail}")
+    return 1 if failures else 0
+
+
+def _cmd_timeslice(date_text: str) -> int:
+    from repro.casestudy import case_study_mo
+    from repro.report import render_table
+    from repro.temporal.chronon import parse_day
+    from repro.temporal.timeslice import valid_timeslice
+
+    chronon = parse_day(date_text)
+    if not isinstance(chronon, int):
+        print("timeslice needs a concrete date, not NOW",
+              file=sys.stderr)
+        return 2
+    snap = valid_timeslice(case_study_mo(temporal=True), chronon)
+    rows = []
+    for fact, value in sorted(snap.relation("Diagnosis").pairs(),
+                              key=repr):
+        rows.append([fact.fid, value.label or value.sid])
+    print(render_table(["patient", "diagnosis"], rows,
+                       title=f"Diagnoses valid at {date_text}"))
+    return 0
+
+
+def _cmd_export(temporal: bool, out: str) -> int:
+    from repro.casestudy import case_study_mo
+    from repro.io import dumps
+
+    text = dumps(case_study_mo(temporal=temporal), indent=2)
+    if out == "-":
+        print(text)
+    else:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {out}")
+    return 0
+
+
+def _cmd_demo(patients: int, seed: int) -> int:
+    from repro.algebra import SetCount, sql_aggregation
+    from repro.report import render_pivot
+    from repro.workloads import ClinicalConfig, generate_clinical
+
+    workload = generate_clinical(ClinicalConfig(n_patients=patients,
+                                                seed=seed))
+    mo = workload.mo
+    print(f"Generated {len(mo.facts)} patients, "
+          f"{len(workload.icd.low_levels)} low-level diagnoses")
+    rows = sql_aggregation(
+        mo, SetCount(),
+        {"Diagnosis": "Diagnosis Group", "Residence": "Region"},
+        strict_types=False)
+    print()
+    print(render_pivot(rows, "Diagnosis", "Residence", "SetCount",
+                       title="Patients per (diagnosis group, region)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "table2":
+        return _cmd_table2(args.verify)
+    if args.command == "figure1":
+        return _cmd_figure1()
+    if args.command == "figure2":
+        return _cmd_figure2()
+    if args.command == "figure3":
+        return _cmd_figure3()
+    if args.command == "probes":
+        return _cmd_probes()
+    if args.command == "timeslice":
+        return _cmd_timeslice(args.date)
+    if args.command == "export":
+        return _cmd_export(args.temporal, args.out)
+    if args.command == "demo":
+        return _cmd_demo(args.patients, args.seed)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`): exit quietly
+        sys.exit(0)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the extended multidimensional data model.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause.  The
+subclasses mirror the layers of the paper's model:
+
+* schema-level problems (ill-formed lattices, mismatched schemas) raise
+  :class:`SchemaError`;
+* instance-level problems (facts missing dimension characterizations,
+  values outside their category) raise :class:`InstanceError`;
+* algebra misuse (operands with incompatible schemas, aggregation over
+  data whose aggregation type forbids it) raises :class:`AlgebraError`;
+* temporal misuse (malformed intervals, uncoalesced data) raises
+  :class:`TemporalError`;
+* probabilistic misuse (probabilities outside [0, 1]) raises
+  :class:`UncertaintyError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "InstanceError",
+    "AlgebraError",
+    "AggregationTypeError",
+    "SummarizabilityWarning",
+    "TemporalError",
+    "UncertaintyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """An intension-level constraint is violated.
+
+    Examples: a dimension type whose category types do not form a lattice,
+    an operator applied to multidimensional objects with different fact
+    schemas, or a category name that does not exist in its dimension.
+    """
+
+
+class InstanceError(ReproError):
+    """An extension-level constraint is violated.
+
+    Examples: a fact-dimension relation referring to a fact that is not in
+    the fact set, a dimension value placed in no category, or a fact with
+    no characterization in some dimension (the paper disallows missing
+    values; the ⊤ value must be used instead).
+    """
+
+
+class AlgebraError(ReproError):
+    """An algebra operator is applied to invalid operands."""
+
+
+class AggregationTypeError(AlgebraError):
+    """An aggregate function is applied to data whose aggregation type
+    does not permit it (paper §3.1: the ⊕ / ⊘ / c mechanism).
+
+    The paper states the mechanism "can then be used to either prevent
+    users from doing 'illegal' calculations on the data completely, or to
+    warn the users".  The strict mode of the library raises this error;
+    the permissive mode issues :class:`SummarizabilityWarning` instead.
+    """
+
+
+class SummarizabilityWarning(UserWarning):
+    """Warns that an aggregate result may be incorrect (double counting,
+    adding non-additive data) because a summarizability precondition
+    fails.  Used in permissive aggregation mode."""
+
+
+class TemporalError(ReproError):
+    """A temporal constraint is violated (paper §3.2).
+
+    Examples: an interval whose start exceeds its end, a chronon outside
+    the bounded time domain, or an attempt to slice a snapshot MO."""
+
+
+class UncertaintyError(ReproError):
+    """A probability annotation is invalid (paper §3.3)."""

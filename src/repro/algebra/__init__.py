@@ -1,0 +1,100 @@
+"""The algebra on multidimensional objects (paper §4).
+
+Fundamental operators: σ (:func:`select`), π (:func:`project`),
+ρ (:func:`rename`), ∪ (:func:`union`), \\ (:func:`difference`),
+⋈ (:func:`identity_join`), and α (:func:`aggregate`); the derived
+operators of §4.1's closing paragraph live in
+:mod:`repro.algebra.derived`; closure checking (Theorem 1) in
+:mod:`repro.algebra.closure`.
+"""
+
+from repro.algebra.aggregate import (
+    aggregate,
+    rebuild_with_aggtypes,
+    summarizability_of,
+)
+from repro.algebra.closure import ClosureReport, validate_closed
+from repro.algebra.derived import (
+    drill_down,
+    duplicate_removal,
+    roll_up,
+    sql_aggregation,
+    star_join,
+    value_based_join,
+)
+from repro.algebra.drill_across import drill_across, drill_across_family
+from repro.algebra.functions import (
+    AggregationFunction,
+    Avg,
+    CountDim,
+    Max,
+    Median,
+    Min,
+    SetCount,
+    Sum,
+    SumProduct,
+    measures_of,
+)
+from repro.algebra.join import JoinPredicate, identity_join
+from repro.algebra.predicates import (
+    Predicate,
+    SelectionContext,
+    characterized_by,
+    characterized_during,
+    characterized_with_certainty,
+    conjunction,
+    disjunction,
+    negation,
+    rep_equals,
+    sid_satisfies,
+    value_in_category,
+)
+from repro.algebra.projection import project
+from repro.algebra.rename import rename, rename_dimension
+from repro.algebra.selection import select
+from repro.algebra.setops import difference, union
+
+__all__ = [
+    "aggregate",
+    "rebuild_with_aggtypes",
+    "summarizability_of",
+    "ClosureReport",
+    "validate_closed",
+    "drill_down",
+    "duplicate_removal",
+    "roll_up",
+    "sql_aggregation",
+    "star_join",
+    "value_based_join",
+    "drill_across",
+    "drill_across_family",
+    "AggregationFunction",
+    "Avg",
+    "CountDim",
+    "Max",
+    "Median",
+    "Min",
+    "SetCount",
+    "Sum",
+    "SumProduct",
+    "measures_of",
+    "JoinPredicate",
+    "identity_join",
+    "Predicate",
+    "SelectionContext",
+    "characterized_by",
+    "characterized_during",
+    "characterized_with_certainty",
+    "conjunction",
+    "disjunction",
+    "negation",
+    "rep_equals",
+    "sid_satisfies",
+    "value_in_category",
+    "project",
+    "rename",
+    "rename_dimension",
+    "select",
+    "difference",
+    "union",
+]

@@ -1,0 +1,298 @@
+"""The aggregate formation operator α (paper §4.1 and §4.2).
+
+``α[D_{n+1}, g, C_1, .., C_n](M)``: for every combination ``(e_1, ..,
+e_n)`` of values in the given grouping categories, apply ``g`` to the
+set ``Group(e_1, .., e_n)`` of facts characterized by the combination,
+and place the result in the new dimension ``D_{n+1}``:
+
+* the new facts are the non-empty groups — *sets* of the argument facts
+  (type ``2^F``);
+* each argument dimension is restricted upward: only the category types
+  ``≥ Type(C_i)`` remain, with ``Type(C_i)`` the new ⊥;
+* the fact-dimension relations link each group to its combination and
+  the result relation links each group to ``g``'s result on it;
+* the **aggregation type propagation rule** guards further aggregation:
+  if ``g`` is distributive, the paths up to the grouping categories are
+  strict, and the hierarchies up to them are partitioning (i.e. ``g`` is
+  summarizable there), the result's ⊥ aggregation type is the minimum of
+  the argument ⊥ types; otherwise it is ``c``, so "unsafe" results that
+  contain overlapping data cannot be aggregated further — the mechanism
+  that prevents accidental double counting.
+
+Temporal rules (§4.2): a group's entry for ``e_i`` carries the
+intersection of its members' characterization times; the result entry
+carries the intersection over the members and the argument dimensions of
+``g``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from itertools import product
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.algebra.functions import AggregationFunction
+from repro.core.aggtypes import AggregationType, min_aggtype
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.errors import SchemaError, SummarizabilityWarning
+from repro.core.factdim import FactDimensionRelation
+from repro.core.helpers import ResultSpec
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.properties import SummarizabilityCheck, check_summarizability
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+from repro.temporal.chronon import Chronon
+from repro.temporal.timeset import ALWAYS, TimeSet, coalesce_intersection
+
+__all__ = ["aggregate", "rebuild_with_aggtypes"]
+
+
+def rebuild_with_aggtypes(
+    dimension: Dimension,
+    aggtype_map: Dict[str, AggregationType],
+) -> Dimension:
+    """Rebuild a dimension with new aggregation types per category.
+
+    Category types are immutable, so the propagation rule re-creates the
+    result dimension's type with the computed aggregation types; values,
+    order, and representations are copied unchanged.
+    """
+    old_dtype = dimension.dtype
+    ctypes: List[CategoryType] = []
+    for ctype in old_dtype.category_types():
+        new_aggtype = aggtype_map.get(ctype.name, ctype.aggtype)
+        ctypes.append(CategoryType(
+            name=ctype.name, aggtype=new_aggtype,
+            is_top=ctype.is_top, is_bottom=ctype.is_bottom))
+    edges = []
+    for ctype in old_dtype.category_types():
+        for parent in old_dtype.pred(ctype.name):
+            if parent == old_dtype.top_name:
+                continue
+            edges.append((ctype.name, parent))
+    dtype = DimensionType(old_dtype.name, ctypes, edges)
+    result = Dimension(dtype)
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        for value, time in category.items():
+            result.add_value(category.name, value, time)
+    for child, parent, time, prob in dimension.order.edges():
+        result.add_edge(child, parent, time=time, prob=prob)
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        for rep_name, rep in dimension.representations_of(category.name).items():
+            target = result.add_representation(category.name, rep_name)
+            for value, rep_value, time in rep.entries():
+                target.assign(value, rep_value, time)
+    return result
+
+
+def _grouping_values_per_fact(
+    mo: MultidimensionalObject,
+    dimension_name: str,
+    category_name: str,
+    at: Optional[Chronon],
+) -> Dict[Fact, Set[DimensionValue]]:
+    """For each fact, the grouping-category values characterizing it.
+
+    Grouping at the ⊤ category is the trivial grouping: *every* fact is
+    characterized by ⊤ — including, at a chronon, facts whose pairs in
+    this dimension are not valid then (⊤ is the paper's "cannot
+    characterize within this dimension" marker, exactly what a
+    valid-timeslice inserts for such facts).  This keeps α(…, at=t)
+    consistent with α after τ_v(…, t).
+    """
+    dimension = mo.dimension(dimension_name)
+    if category_name == dimension.dtype.top_name:
+        top = dimension.top_value
+        return {fact: {top} for fact in mo.facts}
+    relation = mo.relation(dimension_name)
+    out: Dict[Fact, Set[DimensionValue]] = {}
+    for value in dimension.category(category_name).members(at=at):
+        for fact in relation.facts_characterized_by(value, dimension, at=at):
+            out.setdefault(fact, set()).add(value)
+    return out
+
+
+def aggregate(
+    mo: MultidimensionalObject,
+    function: AggregationFunction,
+    grouping: Dict[str, str],
+    result: ResultSpec,
+    strict_types: bool = True,
+    at: Optional[Chronon] = None,
+) -> MultidimensionalObject:
+    """Apply ``α[result, function, grouping]`` to ``mo``.
+
+    ``grouping`` maps dimension names to the grouping category in each;
+    omitted dimensions group by their ⊤ category (the trivial grouping).
+    ``result`` supplies the result dimension ``D_{n+1}`` and the mapping
+    of raw results into its ⊥ category.  ``strict_types`` selects the
+    paper's "prevent" mode for the aggregation-type check; otherwise a
+    :class:`SummarizabilityWarning` is issued and evaluation proceeds.
+    ``at`` evaluates the grouping at one chronon (used by temporal
+    analysis so each fact is counted at a single point in time, which
+    extends summarizability to snapshot-strict/partitioning hierarchies).
+    """
+    for name in grouping:
+        if name not in mo.schema:
+            raise SchemaError(f"grouping names unknown dimension {name!r}")
+    if result.name in mo.schema:
+        raise SchemaError(
+            f"result dimension {result.name!r} collides with an existing "
+            f"dimension; rename first"
+        )
+    full_grouping: Dict[str, str] = {}
+    for name in mo.dimension_names:
+        full_grouping[name] = grouping.get(
+            name, mo.dimension(name).dtype.top_name)
+
+    applicable = function.check_applicable(mo, strict=strict_types)
+    if not applicable:
+        warnings.warn(
+            f"{function.name} applied to data whose aggregation type does "
+            f"not permit it; the result may be meaningless",
+            SummarizabilityWarning,
+            stacklevel=2,
+        )
+
+    # -- form the groups ---------------------------------------------------
+    per_dim_values: Dict[str, Dict[Fact, Set[DimensionValue]]] = {
+        name: _grouping_values_per_fact(mo, name, cat, at)
+        for name, cat in full_grouping.items()
+    }
+    groups: Dict[Tuple[DimensionValue, ...], Set[Fact]] = {}
+    dim_order = list(mo.dimension_names)
+    for fact in mo.facts:
+        value_sets = []
+        for name in dim_order:
+            values = per_dim_values[name].get(fact)
+            if not values:
+                break  # not characterized at this granularity: in no group
+            value_sets.append(sorted(values, key=repr))
+        else:
+            for combo in product(*value_sets):
+                groups.setdefault(tuple(combo), set()).add(fact)
+
+    # -- summarizability and the aggregation-type propagation rule ----------
+    nontrivial = {
+        name: cat for name, cat in full_grouping.items()
+        if cat != mo.dimension(name).dtype.top_name
+    }
+    summarizability = check_summarizability(
+        mo, nontrivial, function.distributive, at=at)
+    if summarizability.summarizable:
+        bottom_aggtype = min_aggtype(
+            mo.dimension(d).dtype.bottom.aggtype for d in function.args
+        )
+    else:
+        bottom_aggtype = AggregationType.CONSTANT
+    aggtype_map = {result.dimension.dtype.bottom_name: bottom_aggtype}
+    for ctype in result.dimension.dtype.category_types():
+        if ctype.is_top or ctype.name == result.dimension.dtype.bottom_name:
+            continue
+        aggtype_map[ctype.name] = min((ctype.aggtype, bottom_aggtype))
+
+    # -- evaluate g and build the result relations ---------------------------
+    set_fact_type = f"Set-of-{mo.schema.fact_type}"
+    new_facts: Dict[Tuple[DimensionValue, ...], Fact] = {}
+    raw_results: Dict[Tuple[DimensionValue, ...], object] = {}
+    for combo, members in groups.items():
+        new_facts[combo] = Fact.group(members, ftype=set_fact_type)
+        raw_results[combo] = function.apply(members, mo)
+
+    # materialize result values first (the spec's dimension grows on demand)
+    result_values = {
+        combo: result.value_for(raw) for combo, raw in raw_results.items()
+    }
+    result_dimension = rebuild_with_aggtypes(result.dimension, aggtype_map)
+
+    restricted_dims: Dict[str, Dimension] = {}
+    dtypes: List[DimensionType] = []
+    for name in dim_order:
+        dimension = mo.dimension(name)
+        cat = full_grouping[name]
+        restricted_dtype = dimension.dtype.restricted_upward(cat)
+        keep = [c for c in restricted_dtype.category_types()
+                if not c.is_top]
+        restricted = dimension.subdimension(
+            [c.name for c in keep], dtype=restricted_dtype)
+        restricted_dims[name] = restricted
+        dtypes.append(restricted.dtype)
+    dtypes.append(result_dimension.dtype)
+
+    relations: Dict[str, FactDimensionRelation] = {
+        name: FactDimensionRelation(name) for name in dim_order
+    }
+    relations[result.name] = FactDimensionRelation(result.name)
+    snapshot = mo.kind is TimeKind.SNAPSHOT
+    for combo, members in groups.items():
+        set_fact = new_facts[combo]
+        member_times: Dict[str, TimeSet] = {}
+        for name, value in zip(dim_order, combo):
+            if snapshot:
+                time = ALWAYS
+            else:
+                dimension = mo.dimension(name)
+                relation = mo.relation(name)
+                times = [
+                    relation.characterization_time(f, value, dimension)
+                    for f in members
+                ]
+                time = coalesce_intersection(times)
+            member_times[name] = time
+            target_value = (restricted_dims[name].top_value
+                            if value.is_top else value)
+            if time.is_empty():
+                # the members share no chronon of characterization by
+                # this value: the *group* cannot be placed in the
+                # dimension at any single instant, which the model
+                # expresses with the ⊤ marker (no missing values)
+                relations[name].add(set_fact,
+                                    restricted_dims[name].top_value)
+            else:
+                relations[name].add(set_fact, target_value, time=time)
+        if snapshot or not function.args:
+            result_time = ALWAYS
+        else:
+            result_time = coalesce_intersection(
+                [member_times[name] for name in function.args])
+        if result_time.is_empty():
+            relations[result.name].add(
+                set_fact, result_dimension.top_value)
+        else:
+            relations[result.name].add(
+                set_fact, result_values[combo], time=result_time)
+
+    schema = FactSchema(set_fact_type, dtypes)
+    dimensions = dict(restricted_dims)
+    dimensions[result.name] = result_dimension
+    return MultidimensionalObject(
+        schema=schema,
+        facts=set(new_facts.values()),
+        dimensions=dimensions,
+        relations=relations,
+        kind=mo.kind,
+    )
+
+
+def summarizability_of(
+    mo: MultidimensionalObject,
+    function: AggregationFunction,
+    grouping: Dict[str, str],
+    at: Optional[Chronon] = None,
+) -> SummarizabilityCheck:
+    """The Lenz-Shoshani verdict α would use for this aggregation —
+    exposed so callers (and the pre-aggregation engine) can inspect the
+    rule without running the operator."""
+    nontrivial = {
+        name: cat for name, cat in grouping.items()
+        if cat != mo.dimension(name).dtype.top_name
+    }
+    return check_summarizability(mo, nontrivial, function.distributive, at=at)
+
+
+__all__ += ["summarizability_of"]

@@ -1,0 +1,88 @@
+"""Closure checking (paper Theorem 1: "The algebra is closed").
+
+Every operator must return a well-formed multidimensional object: a
+valid schema, facts of the schema's fact type, dimensions matching their
+dimension types, and fact-dimension relations that stay within the fact
+set and the dimensions, with no missing values.  :func:`validate_closed`
+checks all of it and returns a diagnostic report; the property-based
+closure tests drive randomized MOs through every operator and assert the
+report is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.errors import InstanceError, ReproError, SchemaError
+from repro.core.mo import MultidimensionalObject
+
+__all__ = ["ClosureReport", "validate_closed"]
+
+
+@dataclass
+class ClosureReport:
+    """Outcome of a closure validation."""
+
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`InstanceError` when any problem was found."""
+        if not self.ok:
+            raise InstanceError(
+                "closure violated: " + "; ".join(self.problems)
+            )
+
+
+def validate_closed(mo: MultidimensionalObject) -> ClosureReport:
+    """Check that ``mo`` is a well-formed MO.
+
+    Beyond :meth:`MultidimensionalObject.validate`, this verifies the
+    structural side conditions operators must preserve:
+
+    * every dimension's type appears in the schema under the same name;
+    * the ⊤ category of each dimension holds exactly the ⊤ value;
+    * order edges connect values of the same dimension, upward in the
+      category-type lattice (enforced by construction, re-checked here);
+    * relation values are members of some category of their dimension.
+    """
+    problems: List[str] = []
+    try:
+        mo.validate()
+    except (InstanceError, SchemaError) as exc:
+        problems.append(str(exc))
+    for name in mo.dimension_names:
+        dimension = mo.dimension(name)
+        if dimension.dtype.name != name:
+            problems.append(
+                f"dimension {name!r} has mismatched type "
+                f"{dimension.dtype.name!r}"
+            )
+        top_members = dimension.top_category.members()
+        if top_members != {dimension.top_value}:
+            problems.append(
+                f"dimension {name!r} ⊤ category holds {top_members!r}, "
+                f"expected exactly the ⊤ value"
+            )
+        dtype = dimension.dtype
+        for child, parent, time, prob in dimension.order.edges():
+            try:
+                child_cat = dimension.category_name_of(child)
+                parent_cat = dimension.category_name_of(parent)
+            except ReproError as exc:
+                problems.append(str(exc))
+                continue
+            if not dtype.leq(child_cat, parent_cat):
+                problems.append(
+                    f"dimension {name!r} edge {child!r} ≤ {parent!r} goes "
+                    f"against the category order"
+                )
+        relation = mo.relation(name)
+        for fact, value in relation.pairs():
+            if value not in dimension:
+                problems.append(
+                    f"relation {name!r} pair ({fact!r}, {value!r}) uses a "
+                    f"value outside the dimension"
+                )
+    return ClosureReport(ok=not problems, problems=problems)

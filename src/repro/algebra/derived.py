@@ -1,0 +1,241 @@
+"""Derived operators (paper §4.1, closing paragraph).
+
+"Other common OLAP and relational operators, such as value-based join,
+duplicate removal, SQL-like aggregation, star-join, drill-down, and
+roll-up can easily be defined in terms of the fundamental operators."
+This module provides those definitions — each body is a composition of
+the seven fundamental operators (plus plain result formatting for the
+SQL-like view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.aggregate import aggregate
+from repro.algebra.functions import AggregationFunction, SetCount
+from repro.algebra.join import JoinPredicate, identity_join
+from repro.algebra.predicates import (
+    Predicate,
+    SelectionContext,
+    characterized_by,
+    conjunction,
+)
+from repro.algebra.projection import project
+from repro.algebra.rename import rename
+from repro.algebra.selection import select
+from repro.core.errors import SchemaError
+from repro.core.helpers import ResultSpec, make_result_spec
+from repro.core.mo import MultidimensionalObject
+from repro.core.values import DimensionValue
+
+__all__ = [
+    "duplicate_removal",
+    "sql_aggregation",
+    "value_based_join",
+    "star_join",
+    "roll_up",
+    "drill_down",
+]
+
+
+def duplicate_removal(mo: MultidimensionalObject) -> MultidimensionalObject:
+    """Collapse facts sharing their full combination of base values.
+
+    "Duplicates" in the model are distinct facts characterized by the
+    same combination of dimension values (facts have identity, so π
+    never merges them).  This operator partitions the facts by their
+    exact base-pair signature — at whatever granularity each fact is
+    recorded, so imprecise facts collapse only with equally imprecise
+    ones — and replaces each class with a set-fact, the same fact shape
+    aggregate formation produces.  The dimensions are unchanged.
+    """
+    signatures: Dict[tuple, list] = {}
+    for fact in mo.facts:
+        signature = tuple(
+            frozenset(mo.relation(name).values_of(fact))
+            for name in mo.dimension_names
+        )
+        signatures.setdefault(signature, []).append(fact)
+    set_fact_type = f"Set-of-{mo.schema.fact_type}"
+    from repro.core.factdim import FactDimensionRelation
+    from repro.core.schema import FactSchema
+    from repro.core.values import Fact
+
+    relations = {
+        name: FactDimensionRelation(name) for name in mo.dimension_names
+    }
+    facts = set()
+    for signature, members in signatures.items():
+        set_fact = Fact.group(members, ftype=set_fact_type)
+        facts.add(set_fact)
+        for name, values in zip(mo.dimension_names, signature):
+            for value in values:
+                relations[name].add(set_fact, value)
+    schema = FactSchema(
+        set_fact_type,
+        [mo.schema.dimension_type(name) for name in mo.dimension_names])
+    return MultidimensionalObject(
+        schema=schema,
+        facts=facts,
+        dimensions={n: mo.dimension(n) for n in mo.dimension_names},
+        relations=relations,
+        kind=mo.kind,
+    )
+
+
+def sql_aggregation(
+    mo: MultidimensionalObject,
+    function: AggregationFunction,
+    grouping: Dict[str, str],
+    strict_types: bool = True,
+) -> List[Dict[str, object]]:
+    """A SQL ``GROUP BY`` view of aggregate formation: one row per
+    *value combination* with a non-empty group.
+
+    Note that α itself merges combinations that happen to select the
+    same set of facts (its facts are the groups); the SQL view keeps
+    them apart, evaluating ``function`` once per combination — the
+    behaviour of ``GROUP BY`` over a bridge table.
+    """
+    if strict_types:
+        function.check_applicable(mo, strict=True)
+    per_dim: List[Dict] = []
+    names = sorted(grouping)
+    for name in names:
+        dimension = mo.dimension(name)
+        relation = mo.relation(name)
+        value_map: Dict[object, set] = {}
+        for value in dimension.category(grouping[name]).members():
+            facts = relation.facts_characterized_by(value, dimension)
+            if facts:
+                value_map[value] = facts
+        per_dim.append(value_map)
+    rows: List[Dict[str, object]] = []
+
+    def expand(i: int, row: Dict[str, object], facts: Optional[set]) -> None:
+        if i == len(names):
+            group = facts if facts is not None else set(mo.facts)
+            if group:
+                rows.append({**row, function.name: function.apply(group, mo)})
+            return
+        for value, value_facts in per_dim[i].items():
+            joined = set(value_facts) if facts is None else facts & value_facts
+            if not joined:
+                continue
+            expand(i + 1, {**row, names[i]: value.sid}, joined)
+
+    expand(0, {}, None)
+    rows.sort(key=lambda r: tuple(repr(r[k]) for k in names))
+    return rows
+
+
+def value_based_join(
+    m1: MultidimensionalObject,
+    m2: MultidimensionalObject,
+    on: Sequence[Tuple[str, str]],
+    suffixes: Tuple[str, str] = ("_1", "_2"),
+) -> MultidimensionalObject:
+    """Join two MOs on equality of dimension values.
+
+    ``on`` lists pairs ``(dimension of m1, dimension of m2)``; facts are
+    paired when, for each pair, they are characterized by a common value
+    (same surrogate).  Defined as ρ (to disjoin names), ⋈[true] (the
+    Cartesian product), then σ with the value-equality predicate — the
+    standard relational decomposition of an equi-join.
+    """
+    shared = set(m1.dimension_names) & set(m2.dimension_names)
+    map1 = {n: f"{n}{suffixes[0]}" for n in m1.dimension_names if n in shared}
+    map2 = {n: f"{n}{suffixes[1]}" for n in m2.dimension_names if n in shared}
+    r1 = rename(m1, dimension_map=map1) if map1 else m1
+    r2 = rename(m2, dimension_map=map2) if map2 else m2
+    producted = identity_join(r1, r2, JoinPredicate.TRUE)
+
+    conditions: List[Predicate] = []
+    for d1, d2 in on:
+        n1 = map1.get(d1, d1)
+        n2 = map2.get(d2, d2)
+        if n1 not in producted.schema or n2 not in producted.schema:
+            raise SchemaError(f"join dimensions {d1!r}/{d2!r} not found")
+        conditions.append(_values_match(n1, n2))
+    return select(producted, conjunction(*conditions))
+
+
+def _values_match(dim1: str, dim2: str) -> Predicate:
+    def test(values: Dict[str, DimensionValue],
+             ctx: SelectionContext) -> bool:
+        v1, v2 = values[dim1], values[dim2]
+        if v1.is_top or v2.is_top or v1.sid != v2.sid:
+            return False
+        # equality must hold between the facts' recorded (base) values,
+        # not between shared ancestors every fact rolls up into
+        return (v1 in ctx.mo.relation(dim1).values_of(ctx.fact)
+                and v2 in ctx.mo.relation(dim2).values_of(ctx.fact))
+
+    return Predicate(dims=(dim1, dim2), test=test,
+                     description=f"{dim1} = {dim2}")
+
+
+def star_join(
+    mo: MultidimensionalObject,
+    constraints: Dict[str, DimensionValue],
+    keep: Optional[Sequence[str]] = None,
+) -> MultidimensionalObject:
+    """The OLAP star-join: dice by several dimension constraints at
+    once, then keep a subset of dimensions.  Defined as σ of the
+    conjunction of characterizations followed by π."""
+    predicates = [
+        characterized_by(name, value) for name, value in constraints.items()
+    ]
+    diced = select(mo, conjunction(*predicates)) if predicates else mo
+    return project(diced, list(keep)) if keep else diced
+
+
+def roll_up(
+    mo: MultidimensionalObject,
+    dimension_name: str,
+    category_name: str,
+    function: Optional[AggregationFunction] = None,
+    result: Optional[ResultSpec] = None,
+    strict_types: bool = True,
+) -> MultidimensionalObject:
+    """Roll the named dimension up to a (coarser) category, aggregating
+    with ``function`` (default set-count); other dimensions are grouped
+    trivially (⊤)."""
+    dtype = mo.dimension(dimension_name).dtype
+    if category_name not in dtype:
+        raise SchemaError(
+            f"dimension {dimension_name!r} has no category {category_name!r}"
+        )
+    function = function or SetCount()
+    result = result or make_result_spec()
+    return aggregate(mo, function, {dimension_name: category_name}, result,
+                     strict_types=strict_types)
+
+
+def drill_down(
+    base: MultidimensionalObject,
+    dimension_name: str,
+    current_category: str,
+    function: Optional[AggregationFunction] = None,
+    result: Optional[ResultSpec] = None,
+    strict_types: bool = True,
+) -> MultidimensionalObject:
+    """Drill down one level from ``current_category``: re-aggregate the
+    *base* MO at the next-finer category of the dimension.
+
+    Drill-down needs the base data (aggregates cannot be disaggregated),
+    which is why the derived operator takes the base MO — the paper's
+    model always keeps facts, so the base is at hand.
+    """
+    dtype = base.dimension(dimension_name).dtype
+    finer = dtype.succ(current_category)
+    if not finer:
+        raise SchemaError(
+            f"{current_category!r} is already the finest category of "
+            f"{dimension_name!r}"
+        )
+    # with multiple hierarchies, prefer the lexicographically first path
+    target = sorted(finer)[0]
+    return roll_up(base, dimension_name, target, function=function,
+                   result=result, strict_types=strict_types)

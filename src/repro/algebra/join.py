@@ -1,0 +1,104 @@
+"""The identity-based join ⋈ (paper §4.1 and §4.2).
+
+``M1 ⋈[p] M2``: the new fact type is the type of *pairs* of the old
+fact types; the new fact set is the subset of ``F1 × F2`` where the join
+predicate ``p(f1, f2) ∈ {f1 = f2, f1 ≠ f2, true}`` holds; the set of
+dimensions is the union of the old sets; and a pair is related to a
+value if one member of the pair was related to it before.  For ``p``
+equal to ``f1 = f2``, ``f1 ≠ f2``, and ``true``, the operation is an
+equi-join, a non-equi-join, and a Cartesian product.
+
+Temporal rule (§4.2): a pair's fact-dimension entries inherit their time
+from the relevant argument MO's relation.
+
+Dimension names of the two operands must be disjoint; use rename first
+(that is what ρ is for).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.core.errors import AlgebraError
+from repro.core.factdim import FactDimensionRelation
+from repro.core.mo import MultidimensionalObject
+from repro.core.schema import FactSchema
+from repro.core.values import Fact
+
+__all__ = ["JoinPredicate", "identity_join"]
+
+
+class JoinPredicate(enum.Enum):
+    """The three permitted join predicates on fact identities."""
+
+    EQUAL = "f1 = f2"
+    NOT_EQUAL = "f1 ≠ f2"
+    TRUE = "true"
+
+    def holds(self, f1: Fact, f2: Fact) -> bool:
+        """Evaluate the predicate on a pair of facts.
+
+        Fact identity compares the underlying ``fid`` (the fact types of
+        the operands legitimately differ after renames, and the paper's
+        equi-join is meant to re-unite facts of the *same* object)."""
+        if self is JoinPredicate.EQUAL:
+            return f1.fid == f2.fid
+        if self is JoinPredicate.NOT_EQUAL:
+            return f1.fid != f2.fid
+        return True
+
+
+def identity_join(
+    m1: MultidimensionalObject,
+    m2: MultidimensionalObject,
+    predicate: JoinPredicate = JoinPredicate.TRUE,
+) -> MultidimensionalObject:
+    """``M1 ⋈[predicate] M2``."""
+    if m1.kind != m2.kind:
+        raise AlgebraError(
+            f"join requires operands of the same temporal kind; got "
+            f"{m1.kind.value} vs {m2.kind.value}"
+        )
+    overlap = set(m1.dimension_names) & set(m2.dimension_names)
+    if overlap:
+        raise AlgebraError(
+            f"join operands share dimension names {sorted(overlap)}; "
+            f"apply rename (ρ) first"
+        )
+    pair_type = f"({m1.schema.fact_type},{m2.schema.fact_type})"
+    pairs: Dict[Fact, tuple] = {}
+    for f1 in m1.facts:
+        for f2 in m2.facts:
+            if predicate.holds(f1, f2):
+                pair = Fact(fid=(f1.fid, f2.fid), ftype=pair_type)
+                pairs[pair] = (f1, f2)
+
+    dimensions = {}
+    relations = {}
+    for source, member_index in ((m1, 0), (m2, 1)):
+        for name in source.dimension_names:
+            dimensions[name] = source.dimension(name)
+            relation = FactDimensionRelation(name)
+            source_relation = source.relation(name)
+            by_member: Dict[Fact, list] = {}
+            for fact, value, time, prob in source_relation.annotated_pairs():
+                by_member.setdefault(fact, []).append((value, time, prob))
+            for pair, members in pairs.items():
+                for value, time, prob in by_member.get(members[member_index],
+                                                       ()):
+                    relation.add(pair, value, time=time, prob=prob)
+            relations[name] = relation
+
+    schema = FactSchema(
+        pair_type,
+        [m1.schema.dimension_type(n) for n in m1.dimension_names]
+        + [m2.schema.dimension_type(n) for n in m2.dimension_names],
+    )
+    return MultidimensionalObject(
+        schema=schema,
+        facts=set(pairs),
+        dimensions=dimensions,
+        relations=relations,
+        kind=m1.kind,
+    )

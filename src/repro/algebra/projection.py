@@ -1,0 +1,47 @@
+"""The projection operator π (paper §4.1).
+
+``π[D_1, .., D_k](M)`` retains only the k specified dimensions; the set
+of facts stays the same.  The paper is explicit that projection does
+*not* remove "duplicate values": several facts may be associated with
+the same combination of dimension values afterwards — facts have
+identity, so no information is lost.  (Duplicate removal is a derived
+operator built from aggregate formation; see
+:mod:`repro.algebra.derived`.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import SchemaError
+from repro.core.mo import MultidimensionalObject
+from repro.core.schema import FactSchema
+
+__all__ = ["project"]
+
+
+def project(mo: MultidimensionalObject,
+            dimension_names: Sequence[str]) -> MultidimensionalObject:
+    """Apply ``π[dimension_names]`` to ``mo``.
+
+    At least one dimension must be kept (an MO has ``n ≥ 1``); names
+    must be distinct and present in the schema.
+    """
+    if not dimension_names:
+        raise SchemaError("projection must retain at least one dimension")
+    if len(set(dimension_names)) != len(dimension_names):
+        raise SchemaError(f"duplicate dimension names in {dimension_names!r}")
+    for name in dimension_names:
+        if name not in mo.schema:
+            raise SchemaError(f"cannot project on unknown dimension {name!r}")
+    schema = FactSchema(
+        mo.schema.fact_type,
+        [mo.schema.dimension_type(name) for name in dimension_names],
+    )
+    return MultidimensionalObject(
+        schema=schema,
+        facts=mo.facts,
+        dimensions={name: mo.dimension(name) for name in dimension_names},
+        relations={name: mo.relation(name) for name in dimension_names},
+        kind=mo.kind,
+    )

@@ -1,0 +1,128 @@
+"""The rename operator ρ (paper §4.1).
+
+``ρ[S'](M)`` returns the contents of M under a new schema S' with the
+same structure as the old one.  Rename exists so that dimensions with
+the same name — e.g. resulting from a "self-join" — can be
+distinguished.
+
+The implementation takes the new fact type and/or a mapping of dimension
+names, and rebuilds the renamed dimensions (their ⊤ category and ⊤ value
+embed the dimension name, so a faithful rename re-creates them and remaps
+any ``(f, ⊤)`` pairs in the fact-dimension relations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.errors import SchemaError
+from repro.core.factdim import FactDimensionRelation
+from repro.core.mo import MultidimensionalObject
+from repro.core.schema import FactSchema
+from repro.core.values import Fact
+
+__all__ = ["rename", "rename_dimension"]
+
+
+def rename_dimension(dimension: Dimension, new_name: str) -> Dimension:
+    """Rebuild a dimension under a new name (same categories, order,
+    representations; fresh ⊤)."""
+    old_dtype = dimension.dtype
+    ctypes = []
+    for ctype in old_dtype.category_types():
+        if ctype.is_top:
+            ctypes.append(CategoryType.top(new_name))
+        else:
+            ctypes.append(ctype)
+    old_top_name = old_dtype.top_name
+    new_top_name = f"⊤{new_name}"
+
+    def map_name(name: str) -> str:
+        return new_top_name if name == old_top_name else name
+
+    # reconstruct direct category-type edges, excluding implicit ⊤ links
+    edges = []
+    for ctype in old_dtype.category_types():
+        for parent in old_dtype.pred(ctype.name):
+            if parent == old_top_name:
+                continue
+            edges.append((ctype.name, parent))
+    dtype = DimensionType(new_name, ctypes, edges)
+    result = Dimension(dtype)
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        for value, time in category.items():
+            result.add_value(category.name, value, time)
+    for child, parent, time, prob in dimension.order.edges():
+        result.add_edge(child, parent, time=time, prob=prob)
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        for rep_name, rep in dimension.representations_of(category.name).items():
+            target = result.add_representation(category.name, rep_name)
+            for value, rep_value, time in rep.entries():
+                target.assign(value, rep_value, time)
+    return result
+
+
+def rename(
+    mo: MultidimensionalObject,
+    new_fact_type: Optional[str] = None,
+    dimension_map: Optional[Dict[str, str]] = None,
+) -> MultidimensionalObject:
+    """Apply ``ρ`` to ``mo``.
+
+    ``dimension_map`` maps old dimension names to new ones (unmentioned
+    dimensions keep their names); ``new_fact_type`` renames the fact
+    type (and therefore re-labels every fact).  The result's schema is
+    isomorphic to the input's, as the operator requires.
+    """
+    dimension_map = dict(dimension_map or {})
+    for old in dimension_map:
+        if old not in mo.schema:
+            raise SchemaError(f"cannot rename unknown dimension {old!r}")
+    new_names = [dimension_map.get(n, n) for n in mo.dimension_names]
+    if len(set(new_names)) != len(new_names):
+        raise SchemaError(f"renaming produces duplicate names {new_names!r}")
+
+    fact_type = new_fact_type or mo.schema.fact_type
+    fact_map: Dict[Fact, Fact] = {}
+    for fact in mo.facts:
+        if new_fact_type is None:
+            fact_map[fact] = fact
+        else:
+            fact_map[fact] = Fact(fid=fact.fid, ftype=fact_type)
+
+    dimensions: Dict[str, Dimension] = {}
+    relations: Dict[str, FactDimensionRelation] = {}
+    dtypes = []
+    for old_name in mo.dimension_names:
+        new_name = dimension_map.get(old_name, old_name)
+        old_dim = mo.dimension(old_name)
+        if new_name == old_name and new_fact_type is None:
+            dimensions[new_name] = old_dim
+            relations[new_name] = mo.relation(old_name)
+            dtypes.append(old_dim.dtype)
+            continue
+        new_dim = (old_dim if new_name == old_name
+                   else rename_dimension(old_dim, new_name))
+        relation = FactDimensionRelation(new_name)
+        old_top = old_dim.top_value
+        for fact, value, time, prob in mo.relation(old_name).annotated_pairs():
+            mapped_value = new_dim.top_value if value == old_top else value
+            relation.add(fact_map[fact], mapped_value, time=time, prob=prob)
+        dimensions[new_name] = new_dim
+        relations[new_name] = relation
+        dtypes.append(new_dim.dtype)
+
+    schema = FactSchema(fact_type, dtypes)
+    return MultidimensionalObject(
+        schema=schema,
+        facts=set(fact_map.values()),
+        dimensions=dimensions,
+        relations=relations,
+        kind=mo.kind,
+    )

@@ -1,0 +1,76 @@
+"""The selection operator σ (paper §4.1).
+
+``σ[p](M) = (S', F', D', R')`` with ``S' = S``, ``D' = D``,
+``F' = {f ∈ F | ∃e_1 ∈ D_1, .., e_n ∈ D_n (p(e_1, .., e_n) ∧ f ⇝_1 e_1
+∧ .. ∧ f ⇝_n e_n)}``, and each ``R'_i`` restricted to the surviving
+facts.  The set of facts is restricted to those characterized by values
+where p evaluates to true; dimensions and schema stay the same, and —
+per §4.2 — selection does not change the time attached to the result.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Set
+
+from repro.algebra.predicates import Predicate, SelectionContext
+from repro.core.errors import SchemaError
+from repro.core.mo import MultidimensionalObject
+from repro.core.values import DimensionValue, Fact
+
+__all__ = ["select"]
+
+
+def _candidate_values(mo: MultidimensionalObject, fact: Fact,
+                      dimension_name: str) -> Set[DimensionValue]:
+    """All values ``e`` with ``f ⇝ e`` in the dimension: the ancestors of
+    the fact's base values (including the base values and ⊤)."""
+    dimension = mo.dimension(dimension_name)
+    relation = mo.relation(dimension_name)
+    out: Set[DimensionValue] = set()
+    for base in relation.values_of(fact):
+        out |= dimension.ancestors(base, reflexive=True)
+    return out
+
+
+def select(mo: MultidimensionalObject,
+           predicate: Predicate) -> MultidimensionalObject:
+    """Apply ``σ[predicate]`` to ``mo``.
+
+    The existential quantification over value tuples is evaluated per
+    fact over the fact's *characterizing* values in each dimension the
+    predicate constrains; unconstrained dimensions are witnessed by ⊤
+    (every fact is characterized by ⊤, so they never exclude a fact).
+    """
+    for name in predicate.dims:
+        if name not in mo.schema:
+            raise SchemaError(
+                f"predicate constrains unknown dimension {name!r}"
+            )
+    surviving: Set[Fact] = set()
+    for fact in mo.facts:
+        ctx = SelectionContext(mo=mo, fact=fact)
+        candidate_sets: List[List[DimensionValue]] = []
+        for name in predicate.dims:
+            candidates = _candidate_values(mo, fact, name)
+            candidate_sets.append(sorted(candidates, key=repr))
+        if not predicate.dims:
+            if predicate({}, ctx):
+                surviving.add(fact)
+            continue
+        for combo in product(*candidate_sets):
+            values: Dict[str, DimensionValue] = dict(zip(predicate.dims, combo))
+            if predicate(values, ctx):
+                surviving.add(fact)
+                break
+    relations = {
+        name: mo.relation(name).restricted_to_facts(surviving)
+        for name in mo.dimension_names
+    }
+    return MultidimensionalObject(
+        schema=mo.schema,
+        facts=surviving,
+        dimensions={name: mo.dimension(name) for name in mo.dimension_names},
+        relations=relations,
+        kind=mo.kind,
+    )

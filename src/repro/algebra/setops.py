@@ -1,0 +1,109 @@
+"""Union and difference on MOs (paper §4.1 and §4.2).
+
+**Union**: given two n-dimensional MOs with common schemas, take the set
+union of the facts and of the fact-dimension relations, and combine the
+dimensions with ``∪_D``.  Temporal rule (§4.2): chronon sets of data
+present in both operands are unioned; otherwise the original time is
+kept — which the underlying coalescing containers do automatically.
+
+**Difference**: take the set difference of the facts; keep the first
+operand's dimensions (taking the difference of dimensions "does not make
+sense"); restrict the fact-dimension relations to the surviving facts.
+Temporal rule (§4.2): the time of a pair in the first MO is *cut* by the
+time the same pair has in the second (``T1 \\ T2``), only pairs with
+non-empty chronon sets are retained, and the surviving facts are those
+participating in **all** resulting relations during a non-empty chronon
+set.  For snapshot MOs the temporal rule degenerates to the set rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.errors import AlgebraError
+from repro.core.factdim import FactDimensionRelation
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.values import Fact
+
+__all__ = ["union", "difference"]
+
+
+def _require_common_schema(m1: MultidimensionalObject,
+                           m2: MultidimensionalObject,
+                           op: str) -> None:
+    if m1.schema != m2.schema:
+        raise AlgebraError(
+            f"{op} requires common schemas; got {m1.schema!r} vs {m2.schema!r}"
+        )
+    if m1.kind != m2.kind:
+        raise AlgebraError(
+            f"{op} requires operands of the same temporal kind; got "
+            f"{m1.kind.value} vs {m2.kind.value}"
+        )
+
+
+def union(m1: MultidimensionalObject,
+          m2: MultidimensionalObject) -> MultidimensionalObject:
+    """``M1 ∪ M2``."""
+    _require_common_schema(m1, m2, "union")
+    dimensions = {
+        name: m1.dimension(name).union(m2.dimension(name))
+        for name in m1.dimension_names
+    }
+    relations = {
+        name: m1.relation(name).union(m2.relation(name))
+        for name in m1.dimension_names
+    }
+    return MultidimensionalObject(
+        schema=m1.schema,
+        facts=m1.facts | m2.facts,
+        dimensions=dimensions,
+        relations=relations,
+        kind=m1.kind,
+    )
+
+
+def difference(m1: MultidimensionalObject,
+               m2: MultidimensionalObject) -> MultidimensionalObject:
+    """``M1 \\ M2``."""
+    _require_common_schema(m1, m2, "difference")
+    if m1.kind is TimeKind.SNAPSHOT:
+        facts = m1.facts - m2.facts
+        relations = {
+            name: m1.relation(name).restricted_to_facts(facts)
+            for name in m1.dimension_names
+        }
+    else:
+        relations = {}
+        for name in m1.dimension_names:
+            r1, r2 = m1.relation(name), m2.relation(name)
+            result = FactDimensionRelation(name)
+            for fact, value, time, prob in r1.annotated_pairs():
+                cut = time.difference(r2.pair_time(fact, value))
+                if not cut.is_empty():
+                    result.add(fact, value, time=cut, prob=prob)
+            relations[name] = result
+        facts = _facts_in_all_relations(m1, relations)
+        relations = {
+            name: relation.restricted_to_facts(facts)
+            for name, relation in relations.items()
+        }
+    return MultidimensionalObject(
+        schema=m1.schema,
+        facts=facts,
+        dimensions={name: m1.dimension(name) for name in m1.dimension_names},
+        relations=relations,
+        kind=m1.kind,
+    )
+
+
+def _facts_in_all_relations(
+    m1: MultidimensionalObject,
+    relations: Dict[str, FactDimensionRelation],
+) -> Set[Fact]:
+    """``F' = ∩_i {f | ∃(f, e_i) ∈_{T'≠∅} R'_i}`` — the temporal
+    difference's surviving facts."""
+    surviving = set(m1.facts)
+    for relation in relations.values():
+        surviving &= relation.facts()
+    return surviving

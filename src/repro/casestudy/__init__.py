@@ -1,0 +1,29 @@
+"""The paper's clinical case study (§2.1): Table 1 data, the
+six-dimensional "Patient" MO of Examples 1-10, and a synthetic
+ICD-like classification generator for scaled workloads."""
+
+from repro.casestudy.build import (
+    DEFAULT_REFERENCE,
+    age_dimension,
+    case_study_mo,
+    diagnosis_dimension,
+    diagnosis_value,
+    dob_dimension,
+    name_dimension,
+    patient_fact,
+    residence_dimension,
+    ssn_dimension,
+)
+
+__all__ = [
+    "DEFAULT_REFERENCE",
+    "age_dimension",
+    "case_study_mo",
+    "diagnosis_dimension",
+    "diagnosis_value",
+    "dob_dimension",
+    "name_dimension",
+    "patient_fact",
+    "residence_dimension",
+    "ssn_dimension",
+]

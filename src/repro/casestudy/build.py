@@ -1,0 +1,301 @@
+"""Construction of the case study's "Patient" MO (paper Examples 1-10).
+
+The six-dimensional MO of Example 8: fact type *Patient* with dimensions
+*Diagnosis*, *DOB* (Date of Birth), *Residence*, *Name*, *SSN*, and
+*Age* — "everything that characterizes the fact type is dimensional,
+even attributes that would be considered measures in other models"
+(Example 1).
+
+* The Diagnosis dimension (Examples 2, 4, 6) has the three-level
+  hierarchy of Table 1, the Code and Text representations, timestamped
+  category membership and partial order, and optionally Example 10's
+  cross-change link ``8 ≤_[01/01/80-NOW] 11``.
+* The DOB dimension has the paper's two hierarchies (Figure 2): days
+  roll up into weeks, or into months < quarters < years < decades.
+* The Age dimension groups ages into five-year and ten-year groups and
+  is additive (``Aggtype(Age) = ⊕``, Example 3); DOB is ``⊘`` and
+  diagnoses are ``c``.
+* The Residence dimension is the strict, partitioning Area < County <
+  Region hierarchy (Example 11); its rows are synthesized (see
+  :mod:`repro.casestudy.tables`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.casestudy import tables
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.helpers import Band, make_numeric_dimension, make_simple_dimension
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+from repro.temporal.chronon import Chronon, day, parse_day, to_date
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+__all__ = [
+    "DEFAULT_REFERENCE",
+    "patient_fact",
+    "diagnosis_value",
+    "diagnosis_dimension",
+    "residence_dimension",
+    "dob_dimension",
+    "age_dimension",
+    "name_dimension",
+    "ssn_dimension",
+    "case_study_mo",
+]
+
+#: The default "current time" used to resolve ages: 1 January 1999, the
+#: paper's publication context.
+DEFAULT_REFERENCE: Chronon = day(1999, 1, 1)
+
+
+def patient_fact(patient_id: int) -> Fact:
+    """The fact for a patient of Table 1."""
+    return Fact(fid=patient_id, ftype="Patient")
+
+
+def diagnosis_value(diagnosis_id: int) -> DimensionValue:
+    """The dimension value for a diagnosis of Table 1 (labelled by its
+    most recent code for readability)."""
+    label = None
+    for row in tables.DIAGNOSIS_ROWS:
+        if row.id == diagnosis_id:
+            label = row.code
+    return DimensionValue(sid=diagnosis_id, label=label)
+
+
+def _interval(valid_from: str, valid_to: str, temporal: bool) -> TimeSet:
+    if not temporal:
+        return ALWAYS
+    return TimeSet.interval(parse_day(valid_from), parse_day(valid_to))
+
+
+def diagnosis_dimension(temporal: bool = True,
+                        include_example10_link: bool = False) -> Dimension:
+    """The Diagnosis dimension of Examples 2 and 4.
+
+    ``temporal=False`` collapses every annotation to ALWAYS (the basic
+    model of Example 7, "leaving out the temporal aspects").
+    """
+    ctypes = [
+        CategoryType("Low-level Diagnosis", AggregationType.CONSTANT,
+                     is_bottom=True),
+        CategoryType("Diagnosis Family", AggregationType.CONSTANT),
+        CategoryType("Diagnosis Group", AggregationType.CONSTANT),
+    ]
+    edges = [
+        ("Low-level Diagnosis", "Diagnosis Family"),
+        ("Diagnosis Family", "Diagnosis Group"),
+    ]
+    dimension = Dimension(DimensionType("Diagnosis", ctypes, edges))
+    for row in tables.DIAGNOSIS_ROWS:
+        category = tables.CATEGORY_OF_DIAGNOSIS[row.id]
+        time = _interval(row.valid_from, row.valid_to, temporal)
+        value = diagnosis_value(row.id)
+        dimension.add_value(category, value, time)
+        code = dimension.add_representation(category, "Code")
+        code.assign(value, row.code, time)
+        text = dimension.add_representation(category, "Text")
+        text.assign(value, row.text, time)
+    grouping_rows = list(tables.GROUPING_ROWS)
+    if include_example10_link:
+        grouping_rows.append(tables.EXAMPLE_10_LINK)
+    for row in grouping_rows:
+        dimension.add_edge(
+            diagnosis_value(row.child_id),
+            diagnosis_value(row.parent_id),
+            time=_interval(row.valid_from, row.valid_to, temporal),
+        )
+    return dimension
+
+
+def residence_dimension(temporal: bool = True) -> Dimension:
+    """The strict, partitioning Residence hierarchy of Example 11
+    (Area < County < Region), populated from the synthesized rows."""
+    ctypes = [
+        CategoryType("Area", AggregationType.CONSTANT, is_bottom=True),
+        CategoryType("County", AggregationType.CONSTANT),
+        CategoryType("Region", AggregationType.CONSTANT),
+    ]
+    edges = [("Area", "County"), ("County", "Region")]
+    dimension = Dimension(DimensionType("Residence", ctypes, edges))
+    name_reps: Dict[str, object] = {}
+    for level in ("Area", "County", "Region"):
+        name_reps[level] = dimension.add_representation(level, "Name")
+    seen: Dict[int, DimensionValue] = {}
+    for row in tables.AREA_ROWS:
+        area = DimensionValue(sid=row.id, label=row.name)
+        dimension.add_value("Area", area)
+        name_reps["Area"].assign(area, row.name)
+        county = seen.get(row.county_id)
+        if county is None:
+            county = DimensionValue(sid=row.county_id, label=row.county_name)
+            dimension.add_value("County", county)
+            name_reps["County"].assign(county, row.county_name)
+            seen[row.county_id] = county
+        region = seen.get(row.region_id)
+        if region is None:
+            region = DimensionValue(sid=row.region_id, label=row.region_name)
+            dimension.add_value("Region", region)
+            name_reps["Region"].assign(region, row.region_name)
+            seen[row.region_id] = region
+        dimension.add_edge(area, county)
+        if not dimension.order.edge_annotations(county, region):
+            dimension.add_edge(county, region)
+    return dimension
+
+
+def _dob_values(chronon: Chronon) -> Dict[str, DimensionValue]:
+    """The Day value for a date of birth plus its ancestors in both
+    hierarchies (Week; Month < Quarter < Year < Decade)."""
+    date = to_date(chronon)
+    iso = date.isocalendar()
+    return {
+        "Day": DimensionValue(sid=chronon,
+                              label=date.strftime("%d/%m/%y")),
+        "Week": DimensionValue(sid=("W", iso[0], iso[1]),
+                               label=f"{iso[0]}-W{iso[1]:02d}"),
+        "Month": DimensionValue(sid=("M", date.year, date.month),
+                                label=f"{date.year}-{date.month:02d}"),
+        "Quarter": DimensionValue(
+            sid=("Q", date.year, (date.month - 1) // 3 + 1),
+            label=f"{date.year}-Q{(date.month - 1) // 3 + 1}"),
+        "Year": DimensionValue(sid=("Y", date.year), label=str(date.year)),
+        "Decade": DimensionValue(sid=("D", date.year // 10 * 10),
+                                 label=f"{date.year // 10 * 10}s"),
+    }
+
+
+def dob_dimension(dates_of_birth: Iterable[Chronon]) -> Dimension:
+    """The DOB dimension with the paper's two hierarchies (Figure 2):
+    Day < Week (< ⊤) and Day < Month < Quarter < Year < Decade (< ⊤)."""
+    ctypes = [
+        CategoryType("Day", AggregationType.AVERAGE, is_bottom=True),
+        CategoryType("Week", AggregationType.CONSTANT),
+        CategoryType("Month", AggregationType.CONSTANT),
+        CategoryType("Quarter", AggregationType.CONSTANT),
+        CategoryType("Year", AggregationType.CONSTANT),
+        CategoryType("Decade", AggregationType.CONSTANT),
+    ]
+    edges = [
+        ("Day", "Week"),
+        ("Day", "Month"),
+        ("Month", "Quarter"),
+        ("Quarter", "Year"),
+        ("Year", "Decade"),
+    ]
+    dimension = Dimension(DimensionType("DOB", ctypes, edges))
+    chain = [("Month", "Quarter"), ("Quarter", "Year"), ("Year", "Decade")]
+    for chronon in dates_of_birth:
+        values = _dob_values(chronon)
+        for level, value in values.items():
+            if value not in dimension:
+                dimension.add_value(level, value)
+        if not dimension.order.edge_annotations(values["Day"], values["Week"]):
+            dimension.add_edge(values["Day"], values["Week"])
+        if not dimension.order.edge_annotations(values["Day"], values["Month"]):
+            dimension.add_edge(values["Day"], values["Month"])
+        for lower, upper in chain:
+            if not dimension.order.edge_annotations(values[lower],
+                                                    values[upper]):
+                dimension.add_edge(values[lower], values[upper])
+    return dimension
+
+
+def _age_at(dob: Chronon, reference: Chronon) -> int:
+    born = to_date(dob)
+    now = to_date(reference)
+    age = now.year - born.year
+    if (now.month, now.day) < (born.month, born.day):
+        age -= 1
+    return age
+
+
+def age_dimension(ages: Iterable[int]) -> Dimension:
+    """The additive Age dimension with five-year and ten-year groups
+    (Example 3 / Example 8)."""
+    five_year = [Band(lo, lo + 5) for lo in range(0, 120, 5)]
+    ten_year = [Band(lo, lo + 10) for lo in range(0, 120, 10)]
+    return make_numeric_dimension(
+        "Age", sorted(set(ages)),
+        bands={"Five-year group": five_year, "Ten-year group": ten_year},
+        aggtype=AggregationType.SUM,
+    )
+
+
+def name_dimension() -> Dimension:
+    """The simple Name dimension (⊥ = Name, ⊤)."""
+    return make_simple_dimension(
+        "Name", (row.name for row in tables.PATIENT_ROWS))
+
+
+def ssn_dimension() -> Dimension:
+    """The simple SSN dimension (⊥ = SSN, ⊤)."""
+    return make_simple_dimension(
+        "SSN", (row.ssn for row in tables.PATIENT_ROWS))
+
+
+def case_study_mo(
+    temporal: bool = True,
+    include_example10_link: bool = False,
+    reference: Chronon = DEFAULT_REFERENCE,
+) -> MultidimensionalObject:
+    """The six-dimensional "Patient" MO of Example 8.
+
+    ``temporal`` selects the valid-time MO (Example 9's annotations) or
+    the snapshot MO (Example 7's untimed fact-dimension relation);
+    ``include_example10_link`` adds the cross-change containment of
+    Example 10; ``reference`` resolves derived ages.
+    """
+    dob_by_patient = {
+        row.id: parse_day(row.date_of_birth) for row in tables.PATIENT_ROWS
+    }
+    ages = {
+        pid: _age_at(dob, reference) for pid, dob in dob_by_patient.items()
+    }
+    dimensions = {
+        "Diagnosis": diagnosis_dimension(
+            temporal, include_example10_link=include_example10_link),
+        "DOB": dob_dimension(dob_by_patient.values()),
+        "Residence": residence_dimension(temporal),
+        "Name": name_dimension(),
+        "SSN": ssn_dimension(),
+        "Age": age_dimension(ages.values()),
+    }
+    schema = FactSchema("Patient", [d.dtype for d in dimensions.values()])
+    mo = MultidimensionalObject(
+        schema=schema,
+        dimensions=dimensions,
+        kind=TimeKind.VALID if temporal else TimeKind.SNAPSHOT,
+    )
+    for row in tables.PATIENT_ROWS:
+        fact = patient_fact(row.id)
+        mo.add_fact(fact)
+        mo.relate(fact, "Name", DimensionValue(sid=row.name, label=row.name))
+        mo.relate(fact, "SSN", DimensionValue(sid=row.ssn, label=row.ssn))
+        dob = dob_by_patient[row.id]
+        mo.relate(fact, "DOB",
+                  DimensionValue(sid=dob,
+                                 label=to_date(dob).strftime("%d/%m/%y")))
+        mo.relate(fact, "Age",
+                  DimensionValue(sid=ages[row.id], label=str(ages[row.id])))
+    for row in tables.HAS_ROWS:
+        mo.relate(
+            patient_fact(row.patient_id),
+            "Diagnosis",
+            diagnosis_value(row.diagnosis_id),
+            time=_interval(row.valid_from, row.valid_to, temporal),
+        )
+    area_labels = {row.id: row.name for row in tables.AREA_ROWS}
+    for row in tables.LIVES_IN_ROWS:
+        mo.relate(
+            patient_fact(row.patient_id),
+            "Residence",
+            DimensionValue(sid=row.area_id, label=area_labels[row.area_id]),
+            time=_interval(row.valid_from, row.valid_to, temporal),
+        )
+    return mo

@@ -1,0 +1,146 @@
+"""Synthetic ICD-like diagnosis classifications.
+
+The paper's diagnoses follow the WHO International Classification of
+Diseases (ICD-10), which we cannot ship; this generator produces
+classifications with the same *shape*: diagnosis groups containing 5-20
+diagnosis families, each containing 5-20 low-level diagnoses (paper
+§2.1), a strict WHO part, optional non-strict user-defined links, and
+optionally two *eras* separated by a classification change-over with
+cross-era containment links (the situation of Example 10).
+
+All randomness is drawn from a caller-supplied :class:`random.Random`,
+so workloads are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.values import DimensionValue, SurrogateSource
+from repro.temporal.chronon import NOW, day
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+__all__ = ["IcdShape", "IcdClassification", "build_icd_dimension"]
+
+#: Era boundaries matching the case study: the old classification is
+#: valid through 1979, the new one from 1980 on.
+OLD_ERA = TimeSet.interval(day(1970, 1, 1), day(1979, 12, 31))
+NEW_ERA = TimeSet.interval(day(1980, 1, 1), NOW)
+
+
+@dataclass(frozen=True)
+class IcdShape:
+    """Shape parameters of a synthetic classification."""
+
+    n_groups: int = 5
+    families_per_group: Tuple[int, int] = (5, 20)
+    lowlevels_per_family: Tuple[int, int] = (5, 20)
+    #: probability that a low-level diagnosis gets an extra (user-
+    #: defined) parent family, making the hierarchy non-strict.
+    extra_parent_prob: float = 0.0
+    #: generate two eras with a change-over and cross-era links.
+    two_eras: bool = False
+
+
+@dataclass
+class IcdClassification:
+    """A generated classification: the dimension plus value inventories
+    (used by workload generators to draw diagnoses)."""
+
+    dimension: Dimension
+    groups: List[DimensionValue] = field(default_factory=list)
+    families: List[DimensionValue] = field(default_factory=list)
+    low_levels: List[DimensionValue] = field(default_factory=list)
+    #: per era (0 = old, 1 = new/only): the low-level values valid then.
+    low_levels_by_era: List[List[DimensionValue]] = field(
+        default_factory=list)
+
+
+def _make_dimension() -> Dimension:
+    ctypes = [
+        CategoryType("Low-level Diagnosis", AggregationType.CONSTANT,
+                     is_bottom=True),
+        CategoryType("Diagnosis Family", AggregationType.CONSTANT),
+        CategoryType("Diagnosis Group", AggregationType.CONSTANT),
+    ]
+    edges = [
+        ("Low-level Diagnosis", "Diagnosis Family"),
+        ("Diagnosis Family", "Diagnosis Group"),
+    ]
+    return Dimension(DimensionType("Diagnosis", ctypes, edges))
+
+
+def build_icd_dimension(
+    rng: random.Random,
+    shape: IcdShape = IcdShape(),
+    surrogates: Optional[SurrogateSource] = None,
+) -> IcdClassification:
+    """Generate a classification of the given shape.
+
+    With ``shape.two_eras`` the whole tree is generated once per era
+    (old codes valid through 1979, new from 1980), and each old group is
+    linked into its corresponding new group from 1980 on — the Example
+    10 pattern at scale.  Otherwise every annotation is ALWAYS.
+    """
+    surrogates = surrogates or SurrogateSource(start=1000)
+    dimension = _make_dimension()
+    result = IcdClassification(dimension=dimension)
+    eras: List[Tuple[TimeSet, str]] = (
+        [(OLD_ERA, "old"), (NEW_ERA, "new")] if shape.two_eras
+        else [(ALWAYS, "only")]
+    )
+    groups_by_era: List[List[DimensionValue]] = []
+    for era_time, era_tag in eras:
+        era_groups: List[DimensionValue] = []
+        era_lowlevels: List[DimensionValue] = []
+        for g in range(shape.n_groups):
+            group = surrogates.fresh_value(label=f"G{era_tag}{g}")
+            dimension.add_value("Diagnosis Group", group, era_time)
+            era_groups.append(group)
+            result.groups.append(group)
+            n_families = rng.randint(*shape.families_per_group)
+            for f in range(n_families):
+                family = surrogates.fresh_value(label=f"F{era_tag}{g}.{f}")
+                dimension.add_value("Diagnosis Family", family, era_time)
+                dimension.add_edge(family, group, time=era_time)
+                result.families.append(family)
+                n_low = rng.randint(*shape.lowlevels_per_family)
+                for i in range(n_low):
+                    low = surrogates.fresh_value(
+                        label=f"L{era_tag}{g}.{f}.{i}")
+                    dimension.add_value("Low-level Diagnosis", low, era_time)
+                    dimension.add_edge(low, family, time=era_time)
+                    result.low_levels.append(low)
+                    era_lowlevels.append(low)
+        groups_by_era.append(era_groups)
+        result.low_levels_by_era.append(era_lowlevels)
+    # non-strict user-defined links: an extra parent family per low-level
+    if shape.extra_parent_prob > 0.0 and len(result.families) > 1:
+        for low in result.low_levels:
+            if rng.random() >= shape.extra_parent_prob:
+                continue
+            current_parents = dimension.order.parents(low)
+            era_time = dimension.existence_time(low)
+            candidates = [
+                f for f in result.families
+                if f not in current_parents
+                and not dimension.existence_time(f).intersection(
+                    era_time).is_empty()
+            ]
+            if candidates:
+                extra = rng.choice(candidates)
+                dimension.add_edge(
+                    low, extra,
+                    time=era_time.intersection(
+                        dimension.existence_time(extra)))
+    # cross-era links: old group g is contained in new group g from 1980
+    if shape.two_eras:
+        old_groups, new_groups = groups_by_era
+        for old, new in zip(old_groups, new_groups):
+            dimension.add_edge(old, new, time=NEW_ERA)
+    return result

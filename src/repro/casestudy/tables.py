@@ -1,0 +1,188 @@
+"""The case study's base data — Table 1 of the paper, verbatim.
+
+Four relational tables result from the standard mapping of the case
+study's ER diagram (Figure 1): **Patient**, **Has** (patient-diagnosis,
+with validity interval and primary/secondary type), **Diagnosis** (all
+three granularities share one table, with code, text, and validity), and
+**Grouping** (the "is part of" and "grouping" relationships, with
+validity and WHO/user-defined type).  Dates use the paper's dd/mm/yy
+format with the continuously-growing value NOW.
+
+The rows below are byte-for-byte the paper's Table 1;
+:func:`repro.report.tables.render_table1` re-renders them and the
+Table 1 benchmark asserts equality.
+
+Notes:
+
+* the paper does not list rows for the patients' places of residence
+  (the Lives-in relationship); :data:`LIVES_IN_ROWS` synthesizes a
+  minimal, schema-faithful extension (flagged ``synthesized=True``)
+  so the Residence dimension of the "Patient" MO is populated;
+* Example 10 adds the cross-classification link "diagnosis 8 is
+  contained in diagnosis 11 from 1980 on", which is not a Grouping row
+  but an analysis-time addition to the dimension's partial order;
+  :data:`EXAMPLE_10_LINK` records it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "PatientRow",
+    "HasRow",
+    "DiagnosisRow",
+    "GroupingRow",
+    "AreaRow",
+    "LivesInRow",
+    "PATIENT_ROWS",
+    "HAS_ROWS",
+    "DIAGNOSIS_ROWS",
+    "GROUPING_ROWS",
+    "AREA_ROWS",
+    "LIVES_IN_ROWS",
+    "EXAMPLE_10_LINK",
+    "CATEGORY_OF_DIAGNOSIS",
+    "LOW_LEVEL_IDS",
+    "FAMILY_IDS",
+    "GROUP_IDS",
+]
+
+
+@dataclass(frozen=True)
+class PatientRow:
+    """One row of the Patient table."""
+
+    id: int
+    name: str
+    ssn: str
+    date_of_birth: str
+
+
+@dataclass(frozen=True)
+class HasRow:
+    """One row of the Has table (patient-diagnosis relationship)."""
+
+    patient_id: int
+    diagnosis_id: int
+    valid_from: str
+    valid_to: str
+    type: str
+
+
+@dataclass(frozen=True)
+class DiagnosisRow:
+    """One row of the Diagnosis table (all three granularities)."""
+
+    id: int
+    code: str
+    text: str
+    valid_from: str
+    valid_to: str
+
+
+@dataclass(frozen=True)
+class GroupingRow:
+    """One row of the Grouping table (parent contains child)."""
+
+    parent_id: int
+    child_id: int
+    valid_from: str
+    valid_to: str
+    type: str
+
+
+PATIENT_ROWS: Tuple[PatientRow, ...] = (
+    PatientRow(1, "John Doe", "12345678", "25/05/69"),
+    PatientRow(2, "Jane Doe", "87654321", "20/03/50"),
+)
+
+HAS_ROWS: Tuple[HasRow, ...] = (
+    HasRow(1, 9, "01/01/89", "NOW", "Primary"),
+    HasRow(2, 3, "23/03/75", "24/12/75", "Secondary"),
+    HasRow(2, 8, "01/01/70", "31/12/81", "Primary"),
+    HasRow(2, 5, "01/01/82", "30/09/82", "Secondary"),
+    HasRow(2, 9, "01/01/82", "NOW", "Primary"),
+)
+
+DIAGNOSIS_ROWS: Tuple[DiagnosisRow, ...] = (
+    DiagnosisRow(3, "P11", "Diabetes, pregnancy", "01/01/70", "31/12/79"),
+    DiagnosisRow(4, "O24", "Diabetes, pregnancy", "01/01/80", "NOW"),
+    DiagnosisRow(5, "O24.0", "Ins. dep. diab., pregn.", "01/01/80", "NOW"),
+    DiagnosisRow(6, "O24.1", "Non ins. dep. diab., pregn.", "01/01/80", "NOW"),
+    DiagnosisRow(7, "P1", "Other pregnancy diseases", "01/01/70", "31/12/79"),
+    DiagnosisRow(8, "D1", "Diabetes", "01/10/70", "31/12/79"),
+    DiagnosisRow(9, "E10", "Insulin dep. diabetes", "01/01/80", "NOW"),
+    DiagnosisRow(10, "E11", "Non insulin dep. diabetes", "01/01/80", "NOW"),
+    DiagnosisRow(11, "E1", "Diabetes", "01/01/80", "NOW"),
+    DiagnosisRow(12, "O2", "Other pregnancy diseases", "01/10/80", "NOW"),
+)
+
+GROUPING_ROWS: Tuple[GroupingRow, ...] = (
+    GroupingRow(4, 5, "01/01/80", "NOW", "WHO"),
+    GroupingRow(4, 6, "01/01/80", "NOW", "WHO"),
+    GroupingRow(7, 3, "01/01/70", "31/12/79", "WHO"),
+    GroupingRow(8, 3, "01/01/70", "31/12/79", "User-defined"),
+    GroupingRow(9, 5, "01/01/80", "NOW", "User-defined"),
+    GroupingRow(10, 6, "01/01/80", "NOW", "User-defined"),
+    GroupingRow(11, 9, "01/01/80", "NOW", "WHO"),
+    GroupingRow(11, 10, "01/01/80", "NOW", "WHO"),
+    GroupingRow(12, 4, "01/01/80", "NOW", "WHO"),
+)
+
+#: Example 10's analysis-time link: 8 ≤_[01/01/80 - NOW] 11 — the old
+#: "Diabetes" family is logically contained in the new "Diabetes" group
+#: from the classification change-over onward.
+EXAMPLE_10_LINK: GroupingRow = GroupingRow(
+    11, 8, "01/01/80", "NOW", "Analysis")
+
+#: Category assignment of the diagnosis values (paper Example 4).
+LOW_LEVEL_IDS: Tuple[int, ...] = (3, 5, 6)
+FAMILY_IDS: Tuple[int, ...] = (4, 7, 8, 9, 10)
+GROUP_IDS: Tuple[int, ...] = (11, 12)
+
+CATEGORY_OF_DIAGNOSIS = {
+    **{i: "Low-level Diagnosis" for i in LOW_LEVEL_IDS},
+    **{i: "Diagnosis Family" for i in FAMILY_IDS},
+    **{i: "Diagnosis Group" for i in GROUP_IDS},
+}
+
+
+@dataclass(frozen=True)
+class AreaRow:
+    """A place of residence at Area granularity with its County/Region
+    ancestors (synthesized; the paper describes the hierarchy but lists
+    no rows)."""
+
+    id: int
+    name: str
+    county_id: int
+    county_name: str
+    region_id: int
+    region_name: str
+    synthesized: bool = True
+
+
+@dataclass(frozen=True)
+class LivesInRow:
+    """A period of residence of a patient in an area (synthesized)."""
+
+    patient_id: int
+    area_id: int
+    valid_from: str
+    valid_to: str
+    synthesized: bool = True
+
+
+AREA_ROWS: Tuple[AreaRow, ...] = (
+    AreaRow(101, "Aalborg East", 201, "North Jutland", 301, "Jutland"),
+    AreaRow(102, "Aalborg West", 201, "North Jutland", 301, "Jutland"),
+    AreaRow(103, "Aarhus North", 202, "East Jutland", 301, "Jutland"),
+)
+
+LIVES_IN_ROWS: Tuple[LivesInRow, ...] = (
+    LivesInRow(1, 101, "25/05/69", "NOW"),
+    LivesInRow(2, 103, "20/03/50", "31/12/79"),
+    LivesInRow(2, 102, "01/01/80", "NOW"),
+)

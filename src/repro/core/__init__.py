@@ -1,0 +1,90 @@
+"""The extended multidimensional data model (paper §3).
+
+Public surface: the value/fact primitives, aggregation types, category
+and dimension machinery, fact schemas, fact-dimension relations,
+multidimensional objects, and the summarizability property checkers.
+"""
+
+from repro.core.aggtypes import AggregationType, SQLFunction, min_aggtype
+from repro.core.category import Category, CategoryType, Representation
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.errors import (
+    AggregationTypeError,
+    AlgebraError,
+    InstanceError,
+    ReproError,
+    SchemaError,
+    SummarizabilityWarning,
+    TemporalError,
+    UncertaintyError,
+)
+from repro.core.factdim import FactDimensionRelation
+from repro.core.helpers import (
+    Band,
+    ResultSpec,
+    make_linear_dimension,
+    make_numeric_dimension,
+    make_result_spec,
+    make_simple_dimension,
+)
+from repro.core.mo import MOFamily, MultidimensionalObject, TimeKind
+from repro.core.order import AnnotatedOrder, piecewise_noisy_or
+from repro.core.properties import (
+    SummarizabilityCheck,
+    check_summarizability,
+    critical_chronons,
+    has_strict_path,
+    hierarchy_is_partitioning,
+    hierarchy_is_snapshot_partitioning,
+    hierarchy_is_snapshot_strict,
+    hierarchy_is_strict,
+    is_summarizable,
+    mapping_is_strict,
+)
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact, SurrogateSource
+
+__all__ = [
+    "AggregationType",
+    "SQLFunction",
+    "min_aggtype",
+    "Category",
+    "CategoryType",
+    "Representation",
+    "Dimension",
+    "DimensionType",
+    "AggregationTypeError",
+    "AlgebraError",
+    "InstanceError",
+    "ReproError",
+    "SchemaError",
+    "SummarizabilityWarning",
+    "TemporalError",
+    "UncertaintyError",
+    "FactDimensionRelation",
+    "Band",
+    "ResultSpec",
+    "make_linear_dimension",
+    "make_numeric_dimension",
+    "make_result_spec",
+    "make_simple_dimension",
+    "MOFamily",
+    "MultidimensionalObject",
+    "TimeKind",
+    "AnnotatedOrder",
+    "piecewise_noisy_or",
+    "SummarizabilityCheck",
+    "check_summarizability",
+    "critical_chronons",
+    "has_strict_path",
+    "hierarchy_is_partitioning",
+    "hierarchy_is_snapshot_partitioning",
+    "hierarchy_is_snapshot_strict",
+    "hierarchy_is_strict",
+    "is_summarizable",
+    "mapping_is_strict",
+    "FactSchema",
+    "DimensionValue",
+    "Fact",
+    "SurrogateSource",
+]

@@ -1,0 +1,95 @@
+"""Aggregation types (paper §3.1).
+
+The paper distinguishes three types of aggregate functions in line with
+Lehner and Rafanelli & Ricci:
+
+* ``⊕`` — applicable to data that can be **added** together
+  (``{SUM, COUNT, AVG, MIN, MAX}`` of the standard SQL functions);
+* ``⊘`` — applicable to data that can be used for **average**
+  calculations (``{COUNT, AVG, MIN, MAX}``);
+* ``c`` — applicable to **constant** data that can only be counted
+  (``{COUNT}``).
+
+The types are ordered ``c < ⊘ < ⊕``: data with a higher aggregation type
+also possesses the characteristics of the lower ones.  Each category type
+of a dimension type carries an aggregation type (the paper's function
+``Aggtype_T : C → {⊕, ⊘, c}``); the aggregate-formation operator consults
+and propagates these to prevent the user from double counting or adding
+non-additive data.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from typing import FrozenSet, Iterable
+
+__all__ = ["AggregationType", "SQLFunction", "min_aggtype"]
+
+
+class SQLFunction(enum.Enum):
+    """The standard SQL aggregation functions the paper considers."""
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+
+@functools.total_ordering
+class AggregationType(enum.Enum):
+    """One of the paper's three aggregation types, ordered ``c < ⊘ < ⊕``."""
+
+    #: constant data; only counting is meaningful (paper's ``c``).
+    CONSTANT = 0
+    #: data with an ordering; average/min/max are meaningful (paper's ``⊘``).
+    AVERAGE = 1
+    #: additive data; all standard functions are meaningful (paper's ``⊕``).
+    SUM = 2
+
+    def __lt__(self, other: "AggregationType") -> bool:
+        if not isinstance(other, AggregationType):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def symbol(self) -> str:
+        """The paper's symbol for this type (``⊕``, ``⊘``, or ``c``)."""
+        return {
+            AggregationType.SUM: "⊕",
+            AggregationType.AVERAGE: "⊘",
+            AggregationType.CONSTANT: "c",
+        }[self]
+
+    @property
+    def allowed_functions(self) -> FrozenSet[SQLFunction]:
+        """The SQL aggregate functions applicable to data of this type."""
+        if self is AggregationType.SUM:
+            return frozenset(SQLFunction)
+        if self is AggregationType.AVERAGE:
+            return frozenset(SQLFunction) - {SQLFunction.SUM}
+        return frozenset({SQLFunction.COUNT})
+
+    def permits(self, function: SQLFunction) -> bool:
+        """True iff ``function`` may be applied to data of this type."""
+        return function in self.allowed_functions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AggregationType.{self.name}"
+
+
+def min_aggtype(types: Iterable[AggregationType]) -> AggregationType:
+    """The minimum of a collection of aggregation types.
+
+    Used by the aggregate-formation operator's propagation rule
+    (``Aggtype(⊥_{D_{n+1}}) = min_{j ∈ Args(g)} Aggtype(⊥_{D_j})``).
+    The minimum over an empty collection is ``⊕``, the identity of
+    ``min`` on this chain — functions with no argument dimensions, such
+    as the paper's *set-count*, constrain nothing.
+    """
+    result = AggregationType.SUM
+    for t in types:
+        if t < result:
+            result = t
+    return result

@@ -1,0 +1,267 @@
+"""Category types, categories, and representations (paper §3.1).
+
+A *category type* names one level of a dimension type and carries its
+aggregation type (the paper's ``Aggtype_T``).  A *category* is a set of
+dimension values of one category type; membership may be timestamped
+(``e ∈_Tv C``, paper §3.2).  A *representation* is a bijective mapping
+between a category's values and real-world names — the paper's "alternate
+key" (e.g., the ``Code`` and ``Text`` representations of diagnoses); the
+mapping may change over time (``Rep(e) =_Tv v``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.aggtypes import AggregationType
+from repro.core.errors import InstanceError, SchemaError
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import Chronon
+from repro.temporal.timeset import ALWAYS, EMPTY, TimeSet
+
+__all__ = ["CategoryType", "Category", "Representation"]
+
+
+@dataclass(frozen=True)
+class CategoryType:
+    """A category type: a named level of a dimension type.
+
+    ``aggtype`` is the aggregation type the paper assigns per category
+    type (e.g. ``Aggtype(Age) = ⊕``, ``Aggtype(Low-level Diagnosis) = c``).
+    ``is_top`` / ``is_bottom`` mark the ``⊤_T`` and ``⊥_T`` elements of
+    the dimension type's lattice.
+    """
+
+    name: str
+    aggtype: AggregationType = AggregationType.CONSTANT
+    is_top: bool = False
+    is_bottom: bool = False
+
+    @classmethod
+    def top(cls, dimension_name: str) -> "CategoryType":
+        """The ``⊤`` category type of the named dimension type.
+
+        Top categories hold the single ``⊤`` value, which can only be
+        counted, hence aggregation type ``c``.
+        """
+        return cls(name=f"⊤{dimension_name}", aggtype=AggregationType.CONSTANT,
+                   is_top=True)
+
+    def __repr__(self) -> str:
+        return f"CategoryType({self.name}:{self.aggtype.symbol})"
+
+
+class Category:
+    """A category: a timestamped set of dimension values of one type.
+
+    The basic (snapshot) model is the special case where every
+    membership is annotated :data:`~repro.temporal.timeset.ALWAYS`.
+    """
+
+    def __init__(self, ctype: CategoryType) -> None:
+        self._ctype = ctype
+        self._members: Dict[DimensionValue, TimeSet] = {}
+
+    @property
+    def ctype(self) -> CategoryType:
+        """The category's type (the paper's ``Type(C)``)."""
+        return self._ctype
+
+    @property
+    def name(self) -> str:
+        """Shorthand for the category type's name."""
+        return self._ctype.name
+
+    def add(self, value: DimensionValue, time: TimeSet = ALWAYS) -> None:
+        """Add ``value`` with membership time ``time`` (``e ∈_Tv C``).
+
+        Re-adding a value unions the chronon sets, keeping the
+        membership coalesced as the paper requires.
+        """
+        if time.is_empty():
+            return
+        current = self._members.get(value, EMPTY)
+        self._members[value] = current.union(time)
+
+    def discard(self, value: DimensionValue) -> None:
+        """Remove a value entirely (all chronons)."""
+        self._members.pop(value, None)
+
+    def membership_time(self, value: DimensionValue) -> TimeSet:
+        """The chronon set during which ``value`` belongs to the
+        category (empty if it never does)."""
+        return self._members.get(value, EMPTY)
+
+    def members(self, at: Optional[Chronon] = None) -> Set[DimensionValue]:
+        """The member values — all of them, or those current at ``at``."""
+        if at is None:
+            return set(self._members)
+        return {v for v, ts in self._members.items() if at in ts}
+
+    def contains(self, value: DimensionValue, at: Optional[Chronon] = None) -> bool:
+        """Membership test, optionally at a specific chronon."""
+        ts = self._members.get(value)
+        if ts is None:
+            return False
+        return True if at is None else at in ts
+
+    def items(self) -> Iterator[Tuple[DimensionValue, TimeSet]]:
+        """Iterate ``(value, membership time)`` pairs."""
+        return iter(self._members.items())
+
+    def copy(self) -> "Category":
+        """An independent copy."""
+        dup = Category(self._ctype)
+        dup._members = dict(self._members)
+        return dup
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[DimensionValue]:
+        return iter(self._members)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._members
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Category({self.name}, {len(self._members)} values)"
+
+
+class Representation:
+    """A timestamped bijection between category values and names.
+
+    The paper requires each representation to be bijective — "a value of
+    a representation uniquely identifies a single value of a category and
+    vice versa" — at every point in time; across time both sides may
+    change (Example 6 / Example 9: ``Code(8) =_{[01/01/70-31/12/79]} D1``).
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        # per value: list of (rep value, time) with pairwise disjoint times
+        self._forward: Dict[DimensionValue, List[Tuple[Hashable, TimeSet]]] = {}
+        # per rep value: list of (value, time) with pairwise disjoint times
+        self._backward: Dict[Hashable, List[Tuple[DimensionValue, TimeSet]]] = {}
+
+    @property
+    def name(self) -> str:
+        """The representation's name (e.g. ``Code`` or ``Text``)."""
+        return self._name
+
+    def assign(
+        self,
+        value: DimensionValue,
+        rep_value: Hashable,
+        time: TimeSet = ALWAYS,
+    ) -> None:
+        """Record ``Rep(value) =_time rep_value``.
+
+        Raises :class:`SchemaError` if the assignment would break
+        bijectivity at any chronon (the same value naming two things, or
+        the same name denoting two values, at once).
+        """
+        if time.is_empty():
+            return
+        for other_rep, other_time in self._forward.get(value, ()):
+            if other_rep != rep_value and other_time.overlaps(time):
+                raise SchemaError(
+                    f"representation {self._name}: value {value!r} would map to "
+                    f"both {other_rep!r} and {rep_value!r} at overlapping times"
+                )
+        for other_value, other_time in self._backward.get(rep_value, ()):
+            if other_value != value and other_time.overlaps(time):
+                raise SchemaError(
+                    f"representation {self._name}: name {rep_value!r} would denote "
+                    f"both {other_value!r} and {value!r} at overlapping times"
+                )
+        self._merge(self._forward.setdefault(value, []), rep_value, time)
+        self._merge(self._backward.setdefault(rep_value, []), value, time)
+
+    @staticmethod
+    def _merge(entries: List[Tuple[Hashable, TimeSet]], key: Hashable,
+               time: TimeSet) -> None:
+        for idx, (existing, ts) in enumerate(entries):
+            if existing == key:
+                entries[idx] = (existing, ts.union(time))
+                return
+        entries.append((key, time))
+
+    def of(self, value: DimensionValue,
+           at: Optional[Chronon] = None) -> Optional[Hashable]:
+        """``Rep(value)`` at chronon ``at`` (or the current/only name when
+        ``at`` is None: the name valid latest)."""
+        entries = self._forward.get(value, ())
+        if not entries:
+            return None
+        if at is None:
+            return max(entries, key=lambda e: e[1].max())[0]
+        for rep_value, ts in entries:
+            if at in ts:
+                return rep_value
+        return None
+
+    def value_of(self, rep_value: Hashable,
+                 at: Optional[Chronon] = None) -> Optional[DimensionValue]:
+        """The inverse lookup: the value named ``rep_value`` at ``at``."""
+        entries = self._backward.get(rep_value, ())
+        if not entries:
+            return None
+        if at is None:
+            return max(entries, key=lambda e: e[1].max())[0]
+        for value, ts in entries:
+            if at in ts:
+                return value
+        return None
+
+    def assignment_time(self, value: DimensionValue,
+                        rep_value: Hashable) -> TimeSet:
+        """The chronon set during which ``Rep(value) = rep_value``."""
+        for existing, ts in self._forward.get(value, ()):
+            if existing == rep_value:
+                return ts
+        return EMPTY
+
+    def entries(self) -> Iterator[Tuple[DimensionValue, Hashable, TimeSet]]:
+        """Iterate all ``(value, name, time)`` assignments."""
+        for value, assignments in self._forward.items():
+            for rep_value, ts in assignments:
+                yield value, rep_value, ts
+
+    def values(self) -> Set[DimensionValue]:
+        """All values that have a name in this representation."""
+        return set(self._forward)
+
+    def copy(self) -> "Representation":
+        """An independent copy."""
+        dup = Representation(self._name)
+        dup._forward = {v: list(entries) for v, entries in self._forward.items()}
+        dup._backward = {r: list(entries) for r, entries in self._backward.items()}
+        return dup
+
+    def check_bijective_at(self, at: Chronon) -> bool:
+        """Verify bijectivity at a chronon (used by validation)."""
+        seen_reps: Set[Hashable] = set()
+        for value, assignments in self._forward.items():
+            current = [rep for rep, ts in assignments if at in ts]
+            if len(current) > 1:
+                return False
+            for rep in current:
+                if rep in seen_reps:
+                    return False
+                seen_reps.add(rep)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Representation({self._name}, {len(self._forward)} values)"
+
+
+def ensure_member(category: Category, value: DimensionValue) -> None:
+    """Raise :class:`InstanceError` unless ``value`` is (ever) a member
+    of ``category`` — a convenience guard used by builders."""
+    if value not in category:
+        raise InstanceError(f"{value!r} is not a member of category {category.name}")
+
+
+__all__ += ["ensure_member"]

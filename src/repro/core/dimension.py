@@ -1,0 +1,572 @@
+"""Dimension types and dimensions (paper §3.1).
+
+A *dimension type* ``T = (C, ≤_T, ⊤_T, ⊥_T)`` is a lattice of category
+types: one category type is greater than another if members of the
+former's extension logically contain members of the latter's.  ``⊤_T``
+has exactly one value in its extension (the ``⊤`` value, akin to Gray et
+al.'s ``ALL``); ``⊥_T`` holds the values of smallest size.
+
+A *dimension* ``D = (C, ≤)`` of type ``T`` instantiates each category
+type with a category of values and imposes a partial order — logical
+containment — on the union of all the values.  The order, category
+membership, and representations may all carry valid time (§3.2) and the
+order and fact-dimension relations may carry probabilities (§3.3);
+:class:`Dimension` supports all of these through
+:class:`repro.core.order.AnnotatedOrder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.aggtypes import AggregationType
+from repro.core.category import Category, CategoryType, Representation
+from repro.core.errors import InstanceError, SchemaError
+from repro.core.order import AnnotatedOrder, Annotation
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import Chronon
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+__all__ = ["DimensionType", "Dimension"]
+
+
+class DimensionType:
+    """The intension of a dimension: a lattice of category types.
+
+    Construct with the category types and the *direct* order edges
+    between them (``lower ≤ upper``); the constructor validates that the
+    result has exactly one top, exactly one bottom, and that every
+    category type lies between them.  The paper's ``Pred`` function —
+    immediate predecessors, i.e. the next-larger category types — is
+    :meth:`pred`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        category_types: Iterable[CategoryType],
+        edges: Iterable[Tuple[str, str]],
+        add_top: bool = True,
+    ) -> None:
+        self._name = name
+        self._ctypes: Dict[str, CategoryType] = {}
+        for ctype in category_types:
+            if ctype.name in self._ctypes:
+                raise SchemaError(f"duplicate category type {ctype.name!r}")
+            self._ctypes[ctype.name] = ctype
+        self._order: AnnotatedOrder = AnnotatedOrder()
+        for ctype in self._ctypes.values():
+            self._order.add_node(ctype.name)
+        top_names = [c.name for c in self._ctypes.values() if c.is_top]
+        if add_top and not top_names:
+            top = CategoryType.top(name)
+            self._ctypes[top.name] = top
+            self._order.add_node(top.name)
+            top_names = [top.name]
+        if len(top_names) != 1:
+            raise SchemaError(
+                f"dimension type {name!r} must have exactly one ⊤ category type"
+            )
+        self._top_name = top_names[0]
+        for lower, upper in edges:
+            self._check_known(lower)
+            self._check_known(upper)
+            self._order.add_edge(lower, upper)
+        # connect maximal non-top category types to ⊤
+        for ctype_name in list(self._ctypes):
+            if ctype_name == self._top_name:
+                continue
+            parents = self._order.parents(ctype_name)
+            if not parents:
+                self._order.add_edge(ctype_name, self._top_name)
+        bottoms = [n for n in self._order.leaves()]
+        if len(bottoms) != 1:
+            raise SchemaError(
+                f"dimension type {name!r} must have exactly one ⊥ category type; "
+                f"found {sorted(bottoms)}"
+            )
+        self._bottom_name = bottoms[0]
+        marked_bottom = [c.name for c in self._ctypes.values() if c.is_bottom]
+        if marked_bottom and marked_bottom != [self._bottom_name]:
+            raise SchemaError(
+                f"category type marked is_bottom does not match the order's "
+                f"unique minimal element {self._bottom_name!r}"
+            )
+
+    def _check_known(self, name: str) -> None:
+        if name not in self._ctypes:
+            raise SchemaError(
+                f"unknown category type {name!r} in dimension type {self._name!r}"
+            )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The dimension type's name."""
+        return self._name
+
+    @property
+    def top_name(self) -> str:
+        """Name of the ``⊤_T`` category type."""
+        return self._top_name
+
+    @property
+    def bottom_name(self) -> str:
+        """Name of the ``⊥_T`` category type."""
+        return self._bottom_name
+
+    @property
+    def top(self) -> CategoryType:
+        """The ``⊤_T`` category type."""
+        return self._ctypes[self._top_name]
+
+    @property
+    def bottom(self) -> CategoryType:
+        """The ``⊥_T`` category type."""
+        return self._ctypes[self._bottom_name]
+
+    def category_types(self) -> List[CategoryType]:
+        """All category types, bottom-up topologically ordered."""
+        return [self._ctypes[n] for n in self._order.topological()]
+
+    def category_type(self, name: str) -> CategoryType:
+        """Look up a category type by name."""
+        self._check_known(name)
+        return self._ctypes[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._ctypes
+
+    def leq(self, lower: str, upper: str) -> bool:
+        """The order on category types (``C1 ≤_T C2``)."""
+        self._check_known(lower)
+        self._check_known(upper)
+        return self._order.reaches(lower, upper)
+
+    def pred(self, name: str) -> Set[str]:
+        """The paper's ``Pred``: immediate predecessors — the category
+        types directly above ``name`` (e.g. ``Pred(Low-level Diagnosis)
+        = {Diagnosis Family}``)."""
+        self._check_known(name)
+        return self._order.parents(name)
+
+    def succ(self, name: str) -> Set[str]:
+        """Immediate successors — the category types directly below."""
+        self._check_known(name)
+        return self._order.children(name)
+
+    def aggtype(self, name: str) -> AggregationType:
+        """The paper's ``Aggtype_T`` for a category type."""
+        return self.category_type(name).aggtype
+
+    def upward_closure(self, name: str) -> Set[str]:
+        """Names of category types ``≥ name`` (including it and ⊤)."""
+        self._check_known(name)
+        return self._order.ancestors(name, reflexive=True)
+
+    def is_lattice(self) -> bool:
+        """Check the lattice property: every pair of category types has a
+        unique least upper bound and greatest lower bound."""
+        names = list(self._ctypes)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                uppers = (self._order.ancestors(a, reflexive=True)
+                          & self._order.ancestors(b, reflexive=True))
+                if not _has_unique_minimum(self._order, uppers):
+                    return False
+                lowers = (self._order.descendants(a, reflexive=True)
+                          & self._order.descendants(b, reflexive=True))
+                if not lowers:
+                    continue  # glb may be absent below ⊥ only if disjoint
+                if not _has_unique_maximum(self._order, lowers):
+                    return False
+        return True
+
+    def restricted_upward(self, from_category_type: str,
+                          new_name: Optional[str] = None) -> "DimensionType":
+        """The dimension type with ``from_category_type`` as new bottom.
+
+        Used by aggregate formation: the argument dimension types are
+        restricted to the category types greater than or equal to the
+        grouping category's type.
+        """
+        keep = self.upward_closure(from_category_type)
+        ctypes = []
+        for name in keep:
+            original = self._ctypes[name]
+            if name == from_category_type and not original.is_bottom:
+                ctypes.append(CategoryType(
+                    name=original.name, aggtype=original.aggtype,
+                    is_top=original.is_top, is_bottom=False))
+            else:
+                ctypes.append(original)
+        restricted = self._order.restricted_to(keep)
+        edges = [(child, parent) for child, parent, _, _ in restricted.edges()]
+        return DimensionType(new_name or self._name, ctypes, edges)
+
+    def is_isomorphic_to(self, other: "DimensionType") -> bool:
+        """Structural equality up to the dimension type's own name: same
+        category type names, aggtypes, and order edges.  Used by rename's
+        precondition (``D`` isomorphic with ``D'``)."""
+        if set(self._ctypes) - {self._top_name} != \
+                set(other._ctypes) - {other._top_name}:
+            return False
+        for name, ctype in self._ctypes.items():
+            if name == self._top_name:
+                continue
+            if other._ctypes[name].aggtype != ctype.aggtype:
+                return False
+        my_edges = {(c, p) for c, p, _, _ in self._order.edges()
+                    if p != self._top_name}
+        other_edges = {(c, p) for c, p, _, _ in other._order.edges()
+                       if p != other._top_name}
+        return my_edges == other_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DimensionType({self._name}, {len(self._ctypes)} category types)"
+
+
+def _has_unique_minimum(order: AnnotatedOrder, nodes: Set[str]) -> bool:
+    minimal = [n for n in nodes
+               if not any(order.reaches(m, n) for m in nodes if m != n)]
+    return len(minimal) == 1
+
+
+def _has_unique_maximum(order: AnnotatedOrder, nodes: Set[str]) -> bool:
+    maximal = [n for n in nodes
+               if not any(order.reaches(n, m) for m in nodes if m != n)]
+    return len(maximal) == 1
+
+
+class Dimension:
+    """The extension of a dimension type: categories of values plus the
+    containment order on the values.
+
+    The distinguished ``⊤`` value is created automatically and placed in
+    the ``⊤_T`` category; per the paper, every value is logically
+    contained in it (``∀e: e ≤ ⊤``), which :meth:`leq` and friends
+    implement without materialized edges.
+    """
+
+    def __init__(self, dtype: DimensionType) -> None:
+        self._dtype = dtype
+        self._categories: Dict[str, Category] = {
+            ctype.name: Category(ctype) for ctype in dtype.category_types()
+        }
+        self._order = AnnotatedOrder()
+        self._value_category: Dict[DimensionValue, str] = {}
+        self._representations: Dict[str, Dict[str, Representation]] = {
+            name: {} for name in self._categories
+        }
+        self._top_value = DimensionValue.top(dtype.name)
+        self._categories[dtype.top_name].add(self._top_value, ALWAYS)
+        self._value_category[self._top_value] = dtype.top_name
+        self._order.add_node(self._top_value)
+
+    # -- intension accessors ------------------------------------------------
+
+    @property
+    def dtype(self) -> DimensionType:
+        """The dimension's type (``Type(D)``)."""
+        return self._dtype
+
+    @property
+    def name(self) -> str:
+        """The dimension's name (shared with its type)."""
+        return self._dtype.name
+
+    @property
+    def top_value(self) -> DimensionValue:
+        """The dimension's ``⊤`` value."""
+        return self._top_value
+
+    @property
+    def order(self) -> AnnotatedOrder:
+        """The annotated partial order on values (without the implicit
+        ``e ≤ ⊤`` relationships)."""
+        return self._order
+
+    def category(self, name: str) -> Category:
+        """Look up a category by (type) name."""
+        if name not in self._categories:
+            raise SchemaError(
+                f"dimension {self.name!r} has no category {name!r}"
+            )
+        return self._categories[name]
+
+    def categories(self) -> List[Category]:
+        """All categories, bottom-up."""
+        return [self._categories[c.name] for c in self._dtype.category_types()]
+
+    @property
+    def bottom_category(self) -> Category:
+        """The ``⊥`` category."""
+        return self._categories[self._dtype.bottom_name]
+
+    @property
+    def top_category(self) -> Category:
+        """The ``⊤`` category (holds only the ``⊤`` value)."""
+        return self._categories[self._dtype.top_name]
+
+    # -- population -----------------------------------------------------------
+
+    def add_value(
+        self,
+        category_name: str,
+        value: DimensionValue,
+        time: TimeSet = ALWAYS,
+    ) -> DimensionValue:
+        """Place ``value`` in the named category (``e ∈_Tv C``).
+
+        A value belongs to exactly one category (the paper's
+        ``Type(e) = C_j``); placing it in a second raises
+        :class:`SchemaError`.  Returns the value for chaining.
+        """
+        category = self.category(category_name)
+        existing = self._value_category.get(value)
+        if existing is not None and existing != category_name:
+            raise SchemaError(
+                f"value {value!r} already belongs to category {existing!r}"
+            )
+        category.add(value, time)
+        self._value_category[value] = category_name
+        self._order.add_node(value)
+        return value
+
+    def add_edge(
+        self,
+        child: DimensionValue,
+        parent: DimensionValue,
+        time: TimeSet = ALWAYS,
+        prob: float = 1.0,
+    ) -> None:
+        """Record the containment ``child ≤ parent`` (``e1 ≤_Tv e2`` /
+        ``e1 ≤_p e2``).
+
+        Both values must already be placed in categories; the parent's
+        category type must be ≥ the child's in the dimension type's
+        lattice (containment cannot point downward).  Edges into ``⊤``
+        are implicit and rejected.
+        """
+        if parent == self._top_value:
+            raise SchemaError("e ≤ ⊤ is implicit; do not add edges into ⊤")
+        child_cat = self.category_name_of(child)
+        parent_cat = self.category_name_of(parent)
+        if not self._dtype.leq(child_cat, parent_cat):
+            raise SchemaError(
+                f"edge {child!r} ≤ {parent!r} violates the category type order "
+                f"({child_cat!r} is not ≤ {parent_cat!r})"
+            )
+        self._order.add_edge(child, parent, time=time, prob=prob)
+
+    def add_representation(self, category_name: str,
+                           representation_name: str) -> Representation:
+        """Create (or fetch) a representation for a category."""
+        self.category(category_name)
+        reps = self._representations[category_name]
+        if representation_name not in reps:
+            reps[representation_name] = Representation(representation_name)
+        return reps[representation_name]
+
+    def representation(self, category_name: str,
+                       representation_name: str) -> Representation:
+        """Look up an existing representation."""
+        reps = self._representations.get(category_name, {})
+        if representation_name not in reps:
+            raise SchemaError(
+                f"category {category_name!r} has no representation "
+                f"{representation_name!r}"
+            )
+        return reps[representation_name]
+
+    def representations_of(self, category_name: str) -> Dict[str, Representation]:
+        """All representations of a category, by name."""
+        self.category(category_name)
+        return dict(self._representations[category_name])
+
+    # -- value queries -----------------------------------------------------------
+
+    def category_name_of(self, value: DimensionValue) -> str:
+        """The name of the category a value belongs to."""
+        name = self._value_category.get(value)
+        if name is None:
+            raise InstanceError(
+                f"value {value!r} is not in dimension {self.name!r}"
+            )
+        return name
+
+    def category_of(self, value: DimensionValue) -> Category:
+        """The category a value belongs to."""
+        return self._categories[self.category_name_of(value)]
+
+    def values(self, at: Optional[Chronon] = None) -> Set[DimensionValue]:
+        """All values of the dimension (``∪_j C_j``), optionally only
+        those whose category membership is current at ``at``."""
+        if at is None:
+            return set(self._value_category)
+        out: Set[DimensionValue] = set()
+        for category in self._categories.values():
+            out |= category.members(at=at)
+        return out
+
+    def __contains__(self, value: object) -> bool:
+        """``e ∈ D`` — value membership in the dimension."""
+        return value in self._value_category
+
+    def existence_time(self, value: DimensionValue) -> TimeSet:
+        """The chronon set during which the value is a member of its
+        category."""
+        return self.category_of(value).membership_time(value)
+
+    # -- containment queries ------------------------------------------------------
+
+    def leq(self, lower: DimensionValue, upper: DimensionValue,
+            at: Optional[Chronon] = None) -> bool:
+        """``lower ≤ upper`` — logical containment, optionally at a
+        chronon.  ``e ≤ ⊤`` holds whenever ``e`` exists."""
+        if upper == self._top_value:
+            return True if at is None else at in self.existence_time(lower)
+        return self._order.leq(lower, upper, at=at)
+
+    def containment_time(self, lower: DimensionValue,
+                         upper: DimensionValue) -> TimeSet:
+        """The chronon set during which ``lower ≤ upper`` holds."""
+        if upper == self._top_value:
+            return self.existence_time(lower) if lower != upper else ALWAYS
+        return self._order.containment_time(lower, upper)
+
+    def containment_profile(self, lower: DimensionValue,
+                            upper: DimensionValue) -> List[Annotation]:
+        """The piecewise ``(time, probability)`` containment profile."""
+        if upper == self._top_value and lower != upper:
+            time = self.existence_time(lower)
+            return [(time, 1.0)] if not time.is_empty() else []
+        return self._order.containment_profile(lower, upper)
+
+    def containment_probability(self, lower: DimensionValue,
+                                upper: DimensionValue,
+                                at: Optional[Chronon] = None) -> float:
+        """Probability of ``lower ≤ upper`` (see
+        :meth:`AnnotatedOrder.containment_probability`)."""
+        if upper == self._top_value and lower != upper:
+            if at is None or at in self.existence_time(lower):
+                return 1.0
+            return 0.0
+        return self._order.containment_probability(lower, upper, at=at)
+
+    def ancestors(self, value: DimensionValue,
+                  reflexive: bool = True) -> Set[DimensionValue]:
+        """All values containing ``value`` (always includes ``⊤``)."""
+        result = self._order.ancestors(value, reflexive=reflexive)
+        result.add(self._top_value)
+        if reflexive:
+            result.add(value)
+        return result
+
+    def descendants(self, value: DimensionValue,
+                    reflexive: bool = False) -> Set[DimensionValue]:
+        """All values contained in ``value``.  For ``⊤`` this is every
+        value of the dimension."""
+        if value == self._top_value:
+            result = set(self._value_category)
+            if not reflexive:
+                result.discard(self._top_value)
+            return result
+        return self._order.descendants(value, reflexive=reflexive)
+
+    # -- derived dimensions ------------------------------------------------------
+
+    def subdimension(self, category_names: Sequence[str],
+                     dtype: Optional[DimensionType] = None) -> "Dimension":
+        """The paper's subdimension: keep only the named categories and
+        restrict the order to their values.
+
+        The ``⊤`` category is always retained.  ``dtype`` may supply a
+        pre-built restricted dimension type (aggregate formation does);
+        otherwise one is derived.
+        """
+        keep = set(category_names) | {self._dtype.top_name}
+        for name in keep:
+            self.category(name)  # validates
+        if dtype is None:
+            kept_types = [self._dtype.category_type(n) for n in keep]
+            dtype = DimensionType(
+                self._dtype.name,
+                [_unmark_bottom(t) for t in kept_types],
+                self._restrict_type_order(keep),
+            )
+        result = Dimension(dtype)
+        kept_values: Set[DimensionValue] = set()
+        for name in keep:
+            if name == self._dtype.top_name:
+                continue
+            for value, time in self._categories[name].items():
+                result.add_value(name, value, time)
+                kept_values.add(value)
+        restricted = self._order.restricted_to(kept_values)
+        for child, parent, time, prob in restricted.edges():
+            result._order.add_edge(child, parent, time=time, prob=prob)
+        for name in keep:
+            for rep_name, rep in self._representations.get(name, {}).items():
+                result._representations[name][rep_name] = rep.copy()
+        return result
+
+    def _restrict_type_order(self, keep: Set[str]) -> List[Tuple[str, str]]:
+        edges: List[Tuple[str, str]] = []
+        for name in keep:
+            for anc in self._dtype.upward_closure(name) & keep:
+                if anc == name:
+                    continue
+                between = {
+                    other for other in keep
+                    if other not in (name, anc)
+                    and self._dtype.leq(name, other) and self._dtype.leq(other, anc)
+                }
+                if not between:
+                    edges.append((name, anc))
+        return edges
+
+    def union(self, other: "Dimension") -> "Dimension":
+        """The paper's ``∪_D``: union of categories per category type and
+        union of the partial orders (with the temporal union rule)."""
+        if self._dtype.name != other._dtype.name or \
+                set(self._categories) != set(other._categories):
+            raise SchemaError(
+                f"cannot union dimensions of different types: "
+                f"{self.name!r} vs {other.name!r}"
+            )
+        result = Dimension(self._dtype)
+        for source in (self, other):
+            for cat_name, category in source._categories.items():
+                if cat_name == self._dtype.top_name:
+                    continue
+                for value, time in category.items():
+                    result.add_value(cat_name, value, time)
+        merged = self._order.union(other._order)
+        for child, parent, time, prob in merged.edges():
+            result._order.add_edge(child, parent, time=time, prob=prob)
+        for source in (self, other):
+            for cat_name, reps in source._representations.items():
+                for rep_name, rep in reps.items():
+                    target = result.add_representation(cat_name, rep_name)
+                    for value, rep_value, time in rep.entries():
+                        target.assign(value, rep_value, time)
+        return result
+
+    def copy(self) -> "Dimension":
+        """An independent deep copy."""
+        return self.union(Dimension(self._dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(
+            f"{c.name}:{len(c)}" for c in self.categories()
+        )
+        return f"Dimension({self.name}; {sizes})"
+
+
+def _unmark_bottom(ctype: CategoryType) -> CategoryType:
+    if not ctype.is_bottom:
+        return ctype
+    return CategoryType(name=ctype.name, aggtype=ctype.aggtype,
+                        is_top=ctype.is_top, is_bottom=False)

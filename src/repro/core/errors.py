@@ -1,0 +1,29 @@
+"""Exception hierarchy (public location).
+
+The definitions live in :mod:`repro._errors` — a top-level module with
+no package side effects — so that :mod:`repro.temporal` (imported by
+the core package) can use them without a circular import.  Import from
+here in user code.
+"""
+
+from repro._errors import (
+    AggregationTypeError,
+    AlgebraError,
+    InstanceError,
+    ReproError,
+    SchemaError,
+    SummarizabilityWarning,
+    TemporalError,
+    UncertaintyError,
+)
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "InstanceError",
+    "AlgebraError",
+    "AggregationTypeError",
+    "SummarizabilityWarning",
+    "TemporalError",
+    "UncertaintyError",
+]

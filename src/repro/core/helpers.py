@@ -1,0 +1,196 @@
+"""Convenience builders for common dimension shapes.
+
+The model's definitions are verbose to instantiate by hand; these
+helpers build the recurring shapes of the paper's case study:
+
+* :func:`make_simple_dimension` — a ⊥ + ⊤ dimension like Name or SSN;
+* :func:`make_linear_dimension` — a chain like Area < County < Region;
+* :func:`make_numeric_dimension` — a measure-like dimension (Age) whose
+  values are numbers, optionally banded into range categories (five-year
+  and ten-year groups);
+* :func:`make_result_spec` — the result dimension of aggregate
+  formation, with optional banding like Figure 3's "0-1" / ">1" ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.errors import SchemaError
+from repro.core.values import DimensionValue
+
+__all__ = [
+    "make_simple_dimension",
+    "make_linear_dimension",
+    "make_numeric_dimension",
+    "Band",
+    "ResultSpec",
+    "make_result_spec",
+]
+
+
+def make_simple_dimension(
+    name: str,
+    values: Iterable[Hashable],
+    aggtype: AggregationType = AggregationType.CONSTANT,
+) -> Dimension:
+    """A dimension with only a ⊥ category (named like the dimension) and
+    the implicit ⊤ — the shape of the case study's Name and SSN
+    dimensions.  ``values`` become the ⊥ category's members, with each
+    item used as both surrogate and label."""
+    dtype = DimensionType(
+        name,
+        [CategoryType(name, aggtype=aggtype, is_bottom=True)],
+        edges=[],
+    )
+    dimension = Dimension(dtype)
+    for item in values:
+        dimension.add_value(name, DimensionValue(sid=item, label=str(item)))
+    return dimension
+
+
+def make_linear_dimension(
+    name: str,
+    levels: Sequence[Tuple[str, AggregationType]],
+) -> Dimension:
+    """An empty dimension whose category types form a chain,
+    bottom-first — the shape of Residence (Area < County < Region).
+
+    Populate it afterwards with :meth:`Dimension.add_value` and
+    :meth:`Dimension.add_edge`.
+    """
+    if not levels:
+        raise SchemaError("a linear dimension needs at least one level")
+    ctypes = [
+        CategoryType(level_name, aggtype=aggtype, is_bottom=(i == 0))
+        for i, (level_name, aggtype) in enumerate(levels)
+    ]
+    edges = [
+        (levels[i][0], levels[i + 1][0]) for i in range(len(levels) - 1)
+    ]
+    return Dimension(DimensionType(name, ctypes, edges))
+
+
+@dataclass(frozen=True)
+class Band:
+    """A half-open numeric band ``[lo, hi)`` used as one value of a
+    grouping category (``hi = None`` means unbounded above)."""
+
+    lo: float
+    hi: Optional[float]
+
+    def contains(self, x: float) -> bool:
+        """Membership of ``x`` in the band."""
+        if x < self.lo:
+            return False
+        return self.hi is None or x < self.hi
+
+    @property
+    def label(self) -> str:
+        """Human-readable band label (``10-19`` or ``>1`` style)."""
+        if self.hi is None:
+            return f">{self.lo - 1:g}" if self.lo == int(self.lo) else f">={self.lo:g}"
+        if self.hi - self.lo == 1:
+            return f"{self.lo:g}"
+        return f"{self.lo:g}-{self.hi - 1:g}"
+
+
+def make_numeric_dimension(
+    name: str,
+    values: Iterable[float],
+    bands: Optional[Dict[str, Sequence[Band]]] = None,
+    aggtype: AggregationType = AggregationType.SUM,
+) -> Dimension:
+    """A measure-like dimension over numbers — the case study's Age.
+
+    ``values`` populate the ⊥ category (surrogate = the number itself,
+    so aggregation functions can read it back).  ``bands`` optionally
+    adds grouping categories above ⊥, e.g.::
+
+        make_numeric_dimension("Age", range(0, 120),
+            bands={"Five-year group": five_year, "Ten-year group": ten_year})
+
+    Band categories are constant (counting only), as grouped ranges
+    cannot be meaningfully added.  Band categories are siblings directly
+    above ⊥ (the case study's five- and ten-year groups both group ages).
+    """
+    bands = bands or {}
+    ctypes = [CategoryType(name, aggtype=aggtype, is_bottom=True)]
+    edges: List[Tuple[str, str]] = []
+    for band_cat in bands:
+        ctypes.append(CategoryType(band_cat, aggtype=AggregationType.CONSTANT))
+        edges.append((name, band_cat))
+    dimension = Dimension(DimensionType(name, ctypes, edges))
+    numeric_values = list(values)
+    for x in numeric_values:
+        dimension.add_value(name, DimensionValue(sid=x, label=str(x)))
+    for band_cat, band_list in bands.items():
+        for band in band_list:
+            band_value = DimensionValue(sid=(band_cat, band.lo, band.hi),
+                                        label=band.label)
+            dimension.add_value(band_cat, band_value)
+            for x in numeric_values:
+                if band.contains(x):
+                    dimension.add_edge(DimensionValue(sid=x, label=str(x)),
+                                       band_value)
+    return dimension
+
+
+@dataclass
+class ResultSpec:
+    """How aggregate formation materializes its result dimension
+    ``D_{n+1}``: a dimension plus a mapping from raw aggregate results to
+    ⊥ values of that dimension.
+
+    ``dimension`` must contain (or accept) the mapped values; the default
+    factory :func:`make_result_spec` inserts result values on demand.
+    """
+
+    name: str
+    dimension: Dimension
+    value_for: Callable[[object], DimensionValue]
+
+
+def make_result_spec(
+    name: str = "Result",
+    bands: Optional[Sequence[Band]] = None,
+    band_category: str = "Range",
+    aggtype: AggregationType = AggregationType.SUM,
+) -> ResultSpec:
+    """Build a result spec whose dimension grows as results arrive.
+
+    Raw results become ⊥ values (surrogate = the result itself).  With
+    ``bands``, a grouping category is added and each result value is
+    ordered under the band containing it — exactly Figure 3's Count <
+    Range ("0-1", ">1") result dimension.
+    """
+    ctypes = [CategoryType(name, aggtype=aggtype, is_bottom=True)]
+    edges: List[Tuple[str, str]] = []
+    if bands:
+        ctypes.append(CategoryType(band_category,
+                                   aggtype=AggregationType.CONSTANT))
+        edges.append((name, band_category))
+    dimension = Dimension(DimensionType(name, ctypes, edges))
+    band_values: List[Tuple[Band, DimensionValue]] = []
+    if bands:
+        for band in bands:
+            band_value = DimensionValue(sid=(band_category, band.lo, band.hi),
+                                        label=band.label)
+            dimension.add_value(band_category, band_value)
+            band_values.append((band, band_value))
+
+    def value_for(raw: object) -> DimensionValue:
+        value = DimensionValue(sid=raw, label=str(raw))
+        if value not in dimension:
+            dimension.add_value(name, value)
+            if isinstance(raw, (int, float)):
+                for band, band_value in band_values:
+                    if band.contains(raw):
+                        dimension.add_edge(value, band_value)
+        return value
+
+    return ResultSpec(name=name, dimension=dimension, value_for=value_for)

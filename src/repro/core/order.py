@@ -1,0 +1,386 @@
+"""Annotated partial orders on dimension values (paper §3.1-§3.3).
+
+The heart of the extended model is the partial order ``≤`` on dimension
+values: ``e1 ≤ e2`` iff ``e1`` is *logically contained in* ``e2``.  The
+basic model uses a plain order; the temporal extension attaches a set of
+chronons to each relationship (``e1 ≤_Tv e2``); the uncertainty extension
+attaches a probability (``e1 ≤_p e2``).  :class:`AnnotatedOrder` carries
+both annotations on every *direct* edge and derives the transitive
+relationships:
+
+* time composes by intersection along a path and union across paths,
+  exactly the paper's rule
+  ``e1 ≤_{T1} e2 ∧ e2 ≤_{T2} e3 ⇒ e1 ≤_{T1∩T2} e3``;
+* probability composes by product along a path and — our documented
+  completion of the paper's §3.3 sketch — by *noisy-or* across parallel
+  paths, under an independence assumption;
+* the two compose jointly into a piecewise-constant *containment
+  profile*: a partition of time into chronon sets with one probability
+  each.
+
+The untimed, certain model is the degenerate case where every edge is
+annotated ``(ALWAYS, 1.0)``; all queries then collapse to ordinary DAG
+reachability, for which a cached fast path is kept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.errors import SchemaError, UncertaintyError
+from repro.temporal.chronon import Chronon
+from repro.temporal.timeset import ALWAYS, EMPTY, TimeSet
+
+__all__ = ["AnnotatedOrder", "piecewise_noisy_or", "Annotation"]
+
+Node = Hashable
+#: One annotation: the chronon set and probability of a containment.
+Annotation = Tuple[TimeSet, float]
+
+
+def _check_prob(p: float) -> float:
+    if not 0.0 <= p <= 1.0:
+        raise UncertaintyError(f"probability {p} outside [0, 1]")
+    return float(p)
+
+
+def piecewise_noisy_or(contributions: Iterable[Annotation]) -> List[Annotation]:
+    """Combine parallel containment contributions into a disjoint profile.
+
+    Each contribution says "contained with probability ``p`` during
+    ``T``".  The result partitions the union of the ``T``'s into maximal
+    chronon sets over which the combined probability — noisy-or,
+    ``1 - Π(1 - p_i)`` over the contributions covering the piece — is
+    constant.  Contributions with probability 0 are ignored; pieces are
+    returned sorted by their first chronon.
+    """
+    contribs = [(ts, p) for ts, p in contributions if p > 0.0 and not ts.is_empty()]
+    if not contribs:
+        return []
+    cuts: Set[Chronon] = set()
+    for ts, _ in contribs:
+        for start, end in ts.intervals:
+            cuts.add(start)
+            cuts.add(end + 1)
+    ordered = sorted(cuts)
+    by_prob: Dict[float, List[Tuple[Chronon, Chronon]]] = {}
+    for lo, hi_excl in zip(ordered, ordered[1:]):
+        hi = hi_excl - 1
+        complement = 1.0
+        covered = False
+        for ts, p in contribs:
+            if lo in ts:
+                covered = True
+                complement *= 1.0 - p
+        if not covered:
+            continue
+        prob = 1.0 - complement
+        if prob > 0.0:
+            by_prob.setdefault(prob, []).append((lo, hi))
+    profile = [(TimeSet.of(ivals), p) for p, ivals in by_prob.items()]
+    profile.sort(key=lambda item: item[0].intervals)
+    return profile
+
+
+class AnnotatedOrder:
+    """A DAG of direct containment edges with time/probability annotations.
+
+    Nodes are arbitrary hashable objects (dimension values in
+    :class:`repro.core.dimension.Dimension`, category types in
+    :class:`repro.core.dimension.DimensionType`).  The order is the
+    reflexive-transitive closure of the edges; reflexivity is implicit
+    (``a ≤ a`` always, with probability 1).
+    """
+
+    def __init__(self) -> None:
+        self._parents: Dict[Node, Dict[Node, List[Annotation]]] = {}
+        self._children: Dict[Node, Dict[Node, List[Annotation]]] = {}
+        self._nodes: Set[Node] = set()
+        self._ancestor_cache: Dict[Node, Set[Node]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Register a node with no edges (isolated values are legal)."""
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._parents.setdefault(node, {})
+            self._children.setdefault(node, {})
+
+    def add_edge(
+        self,
+        child: Node,
+        parent: Node,
+        time: TimeSet = ALWAYS,
+        prob: float = 1.0,
+    ) -> None:
+        """Record the direct containment ``child ≤ parent``.
+
+        Multiple annotations for one edge are allowed (e.g. a containment
+        that held during two periods with different certainty); equal
+        probabilities merge their chronon sets to keep the data
+        coalesced, as the paper requires.
+        """
+        _check_prob(prob)
+        if child == parent:
+            raise SchemaError(f"reflexive edge {child!r} ≤ {child!r} is implicit")
+        if time.is_empty() or prob == 0.0:
+            self.add_node(child)
+            self.add_node(parent)
+            return
+        if self.reaches(parent, child):
+            raise SchemaError(
+                f"adding {child!r} ≤ {parent!r} would create a cycle"
+            )
+        self.add_node(child)
+        self.add_node(parent)
+        annotations = self._parents[child].setdefault(parent, [])
+        merged = False
+        for idx, (ts, p) in enumerate(annotations):
+            if p == prob:
+                annotations[idx] = (ts.union(time), p)
+                merged = True
+                break
+        if not merged:
+            annotations.append((time, prob))
+        self._children[parent][child] = annotations
+        self._ancestor_cache.clear()
+
+    # -- structural queries --------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[Node]:
+        """All registered nodes."""
+        return set(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def parents(self, node: Node) -> Set[Node]:
+        """Direct parents (immediate containers) of ``node``."""
+        return set(self._parents.get(node, ()))
+
+    def children(self, node: Node) -> Set[Node]:
+        """Direct children (immediately contained values) of ``node``."""
+        return set(self._children.get(node, ()))
+
+    def edges(self) -> Iterator[Tuple[Node, Node, TimeSet, float]]:
+        """Iterate all direct edges with their annotations."""
+        for child, parent_map in self._parents.items():
+            for parent, annotations in parent_map.items():
+                for time, prob in annotations:
+                    yield child, parent, time, prob
+
+    def edge_annotations(self, child: Node, parent: Node) -> List[Annotation]:
+        """Annotations on the direct edge ``child ≤ parent`` (may be [])."""
+        return list(self._parents.get(child, {}).get(parent, ()))
+
+    def roots(self) -> Set[Node]:
+        """Nodes with no parents (the maximal elements)."""
+        return {n for n in self._nodes if not self._parents.get(n)}
+
+    def leaves(self) -> Set[Node]:
+        """Nodes with no children (the minimal elements)."""
+        return {n for n in self._nodes if not self._children.get(n)}
+
+    # -- reachability (untimed fast path) ------------------------------------
+
+    def _ancestors_of(self, node: Node) -> Set[Node]:
+        cached = self._ancestor_cache.get(node)
+        if cached is not None:
+            return cached
+        result: Set[Node] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for parent in self._parents.get(current, ()):
+                if parent not in result:
+                    result.add(parent)
+                    stack.append(parent)
+        self._ancestor_cache[node] = result
+        return result
+
+    def reaches(self, lower: Node, upper: Node) -> bool:
+        """True iff ``lower ≤ upper`` holds via the edges, *ignoring*
+        time and probability (i.e., it held at some time with some
+        positive probability).  Reflexive."""
+        if lower == upper:
+            return True
+        return upper in self._ancestors_of(lower)
+
+    def ancestors(self, node: Node, reflexive: bool = False) -> Set[Node]:
+        """All nodes ``a`` with ``node ≤ a`` (optionally including
+        ``node`` itself)."""
+        result = set(self._ancestors_of(node))
+        if reflexive:
+            result.add(node)
+        return result
+
+    def descendants(self, node: Node, reflexive: bool = False) -> Set[Node]:
+        """All nodes ``d`` with ``d ≤ node``."""
+        result: Set[Node] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for child in self._children.get(current, ()):
+                if child not in result:
+                    result.add(child)
+                    stack.append(child)
+        if reflexive:
+            result.add(node)
+        return result
+
+    def topological(self) -> List[Node]:
+        """Nodes in a bottom-up topological order (children first)."""
+        seen: Set[Node] = set()
+        order: List[Node] = []
+
+        def visit(node: Node) -> None:
+            stack: List[Tuple[Node, bool]] = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    order.append(current)
+                    continue
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.append((current, True))
+                for child in self._children.get(current, ()):
+                    if child not in seen:
+                        stack.append((child, False))
+
+        for node in self._nodes:
+            visit(node)
+        return order
+
+    # -- annotated containment -------------------------------------------------
+
+    def containment_profile(self, lower: Node, upper: Node) -> List[Annotation]:
+        """The piecewise (time, probability) profile of ``lower ≤ upper``.
+
+        Paths compose time by intersection and probability by product;
+        parallel paths combine by noisy-or.  ``lower == upper`` yields
+        ``[(ALWAYS, 1.0)]``; unrelated nodes yield ``[]``.
+        """
+        if lower == upper:
+            return [(ALWAYS, 1.0)]
+        if not self.reaches(lower, upper):
+            return []
+        contributions = self._path_contributions(lower, upper, {})
+        return piecewise_noisy_or(contributions)
+
+    def _path_contributions(
+        self,
+        lower: Node,
+        upper: Node,
+        memo: Dict[Node, List[Annotation]],
+    ) -> List[Annotation]:
+        """All per-path ``(time, prob)`` contributions from lower to upper."""
+        if lower == upper:
+            return [(ALWAYS, 1.0)]
+        if lower in memo:
+            return memo[lower]
+        memo[lower] = []  # guards against re-entry; DAG has no cycles anyway
+        out: List[Annotation] = []
+        for parent, annotations in self._parents.get(lower, {}).items():
+            if parent != upper and not self.reaches(parent, upper):
+                continue
+            rest = self._path_contributions(parent, upper, memo)
+            for e_time, e_prob in annotations:
+                for r_time, r_prob in rest:
+                    joint = e_time.intersection(r_time)
+                    prob = e_prob * r_prob
+                    if not joint.is_empty() and prob > 0.0:
+                        out.append((joint, prob))
+        memo[lower] = out
+        return out
+
+    def containment_time(self, lower: Node, upper: Node) -> TimeSet:
+        """The chronon set during which ``lower ≤ upper`` holds with any
+        positive probability (union over the profile)."""
+        profile = self.containment_profile(lower, upper)
+        acc = EMPTY
+        for time, _ in profile:
+            acc = acc.union(time)
+        return acc
+
+    def containment_probability(
+        self, lower: Node, upper: Node, at: Optional[Chronon] = None
+    ) -> float:
+        """The probability that ``lower ≤ upper`` at chronon ``at``
+        (or at any time if ``at`` is None, taking the max over pieces)."""
+        profile = self.containment_profile(lower, upper)
+        if at is None:
+            return max((p for _, p in profile), default=0.0)
+        for time, p in profile:
+            if at in time:
+                return p
+        return 0.0
+
+    def leq(self, lower: Node, upper: Node, at: Optional[Chronon] = None) -> bool:
+        """The certain containment test ``lower ≤ upper``.
+
+        With ``at`` given, containment must hold at that chronon; without
+        it, containment at any time qualifies (the untimed view).
+        """
+        if lower == upper:
+            return True
+        if at is None:
+            return self.reaches(lower, upper)
+        return self.containment_probability(lower, upper, at) > 0.0
+
+    def ancestors_at(self, node: Node, at: Chronon) -> Set[Node]:
+        """Ancestors of ``node`` whose containment holds at chronon ``at``."""
+        return {a for a in self._ancestors_of(node) if self.leq(node, a, at=at)}
+
+    # -- derived orders -----------------------------------------------------------
+
+    def restricted_to(self, nodes: Set[Node]) -> "AnnotatedOrder":
+        """The restriction of the order's *closure* to ``nodes``.
+
+        Matches the paper's subdimension definition: ``e1 ≤' e2`` iff
+        both survive and ``e1 ≤ e2`` held before.  Edges of the result
+        connect each kept node to its kept ancestors that have no kept
+        node strictly between them, carrying the full containment
+        profile, so the restricted closure equals the restricted order.
+        """
+        result = AnnotatedOrder()
+        kept = {n for n in nodes if n in self._nodes}
+        for node in kept:
+            result.add_node(node)
+        for node in kept:
+            ancestors = self._ancestors_of(node) & kept
+            for anc in ancestors:
+                between = (self._ancestors_of(node) & self.descendants(anc)) & kept
+                if between:
+                    continue  # an intermediate kept node carries the path
+                for time, prob in self.containment_profile(node, anc):
+                    result.add_edge(node, anc, time=time, prob=prob)
+        return result
+
+    def union(self, other: "AnnotatedOrder") -> "AnnotatedOrder":
+        """The union of two orders (paper's ``∪_D`` component).
+
+        Edges present in both merge their chronon sets per the temporal
+        union rule ``e1 ≤_{T1} e2 ∧ e1 ≤_{T2} e2 ⇒ e1 ≤_{T1∪T2} e2``;
+        equal probabilities coalesce, differing ones are kept side by
+        side.
+        """
+        result = AnnotatedOrder()
+        for node in self._nodes | other._nodes:
+            result.add_node(node)
+        for source in (self, other):
+            for child, parent, time, prob in source.edges():
+                result.add_edge(child, parent, time=time, prob=prob)
+        return result
+
+    def copy(self) -> "AnnotatedOrder":
+        """An independent copy of the order."""
+        return self.union(AnnotatedOrder())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AnnotatedOrder({len(self._nodes)} nodes)"

@@ -1,0 +1,248 @@
+"""Hierarchy properties and summarizability (paper §3.4).
+
+The paper's Definition 1 defines *summarizability* of an aggregate
+function over a collection of sets; Definitions 2 and 3 define *strict*
+and *partitioning* hierarchies and their *snapshot* variants; and the
+cited Lenz-Shoshani result states that summarizability is equivalent to
+the aggregate function being distributive, all paths being strict, and
+the hierarchies being partitioning in the relevant dimensions.
+
+These properties are what make pre-computed aggregates reusable, and
+they drive the aggregate-formation operator's aggregation-type
+propagation rule; :mod:`repro.engine.preagg` consumes them to decide
+which materialized results may be combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dimension import Dimension
+from repro.core.mo import MultidimensionalObject
+from repro.temporal.chronon import Chronon
+
+__all__ = [
+    "mapping_is_strict",
+    "hierarchy_is_strict",
+    "hierarchy_is_partitioning",
+    "hierarchy_is_snapshot_strict",
+    "hierarchy_is_snapshot_partitioning",
+    "has_strict_path",
+    "is_summarizable",
+    "SummarizabilityCheck",
+    "check_summarizability",
+    "critical_chronons",
+]
+
+
+def mapping_is_strict(dimension: Dimension, lower_category: str,
+                      upper_category: str,
+                      at: Optional[Chronon] = None) -> bool:
+    """Definition 2 for one pair of categories: the mapping from
+    ``lower_category`` to ``upper_category`` is strict iff no value of
+    the lower category is contained in two distinct values of the upper
+    one (i.e. each lower value has at most one ancestor per upper
+    category)."""
+    upper_members = dimension.category(upper_category).members(at=at)
+    for value in dimension.category(lower_category).members(at=at):
+        parents = {
+            u for u in upper_members
+            if u != value and dimension.leq(value, u, at=at)
+        }
+        if len(parents) > 1:
+            return False
+    return True
+
+
+def _category_pairs(dimension: Dimension) -> Iterable[Tuple[str, str]]:
+    names = [c.name for c in dimension.categories()]
+    dtype = dimension.dtype
+    for lower in names:
+        for upper in names:
+            if lower != upper and dtype.leq(lower, upper):
+                yield lower, upper
+
+
+def hierarchy_is_strict(dimension: Dimension,
+                        at: Optional[Chronon] = None) -> bool:
+    """Definition 2: the dimension's hierarchy is strict iff every
+    category-to-category mapping in it is strict."""
+    return all(
+        mapping_is_strict(dimension, lower, upper, at=at)
+        for lower, upper in _category_pairs(dimension)
+    )
+
+
+def hierarchy_is_partitioning(dimension: Dimension,
+                              at: Optional[Chronon] = None) -> bool:
+    """Definition 3: every value of a non-⊤ category has a direct parent
+    in some immediate-predecessor category."""
+    dtype = dimension.dtype
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        pred_names = dtype.pred(category.name)
+        for value in category.members(at=at):
+            found = False
+            for pred_name in pred_names:
+                if pred_name == dtype.top_name:
+                    found = True  # every value is below ⊤
+                    break
+                for parent in dimension.category(pred_name).members(at=at):
+                    if parent != value and dimension.leq(value, parent, at=at):
+                        found = True
+                        break
+                if found:
+                    break
+            if not found:
+                return False
+    return True
+
+
+def critical_chronons(dimension: Dimension) -> List[Chronon]:
+    """Representative chronons at which the dimension's temporal state
+    can change: the endpoints of every membership and order-edge chronon
+    set.  A property that is piecewise constant between these samples
+    (as strictness and partitioning are) holds at all times iff it holds
+    at each sample."""
+    samples: Set[Chronon] = set()
+    for category in dimension.categories():
+        for _, time in category.items():
+            samples.update(time.sample_chronons())
+    for _, _, time, _ in dimension.order.edges():
+        samples.update(time.sample_chronons())
+    return sorted(samples)
+
+
+def hierarchy_is_snapshot_strict(dimension: Dimension) -> bool:
+    """Definition 2 (snapshot form): strict at every point in time."""
+    return all(
+        hierarchy_is_strict(dimension, at=t)
+        for t in critical_chronons(dimension)
+    )
+
+
+def hierarchy_is_snapshot_partitioning(dimension: Dimension) -> bool:
+    """Definition 3 (snapshot form): partitioning at every point in time."""
+    return all(
+        hierarchy_is_partitioning(dimension, at=t)
+        for t in critical_chronons(dimension)
+    )
+
+
+def has_strict_path(mo: MultidimensionalObject, dimension_name: str,
+                    category_name: str,
+                    at: Optional[Chronon] = None) -> bool:
+    """Definition 2's strict-path condition: no fact of ``mo`` is
+    characterized by two distinct values of the given category.
+
+    (Paths to the ⊤ category are always strict, as the paper notes.)
+    """
+    dimension = mo.dimension(dimension_name)
+    if category_name == dimension.dtype.top_name:
+        return True
+    relation = mo.relation(dimension_name)
+    members = dimension.category(category_name).members(at=at)
+    for fact in mo.facts:
+        count = 0
+        for value in members:
+            if relation.characterizes(fact, value, dimension, at=at):
+                count += 1
+                if count > 1:
+                    return False
+    return True
+
+
+def is_summarizable(
+    g: Callable[[Sequence], object],
+    sets: Sequence[Sequence],
+) -> bool:
+    """Definition 1, checked extensionally: ``g({g(S_1), .., g(S_k)}) =
+    g(S_1 ∪ .. ∪ S_k)``, with the left side's argument a multi-set.
+
+    ``g`` receives a sequence (so multi-set semantics are preserved) and
+    must be total on the given data.
+    """
+    if not sets:
+        return True
+    partials = [g(s) for s in sets]
+    combined: List = []
+    seen: Set = set()
+    for s in sets:
+        for item in s:
+            if item not in seen:
+                seen.add(item)
+                combined.append(item)
+    return g(partials) == g(combined)
+
+
+@dataclass(frozen=True)
+class SummarizabilityCheck:
+    """Verdict of the Lenz-Shoshani condition for one aggregation.
+
+    ``summarizable`` holds iff all three component conditions do; the
+    aggregate-formation operator uses exactly this conjunction to decide
+    the result dimension's aggregation type (paper §4.1).
+    """
+
+    function_distributive: bool
+    paths_strict: bool
+    hierarchies_partitioning: bool
+
+    @property
+    def summarizable(self) -> bool:
+        """The conjunction of the three conditions."""
+        return (self.function_distributive and self.paths_strict
+                and self.hierarchies_partitioning)
+
+    def explain(self) -> str:
+        """A one-line human-readable explanation."""
+        if self.summarizable:
+            return "summarizable (distributive, strict paths, partitioning)"
+        reasons = []
+        if not self.function_distributive:
+            reasons.append("function is not distributive")
+        if not self.paths_strict:
+            reasons.append("a path is non-strict (risk of double counting)")
+        if not self.hierarchies_partitioning:
+            reasons.append("a hierarchy is non-partitioning (values may be "
+                           "missed)")
+        return "NOT summarizable: " + "; ".join(reasons)
+
+
+def check_summarizability(
+    mo: MultidimensionalObject,
+    grouping: dict,
+    function_distributive: bool,
+    at: Optional[Chronon] = None,
+) -> SummarizabilityCheck:
+    """Evaluate the Lenz-Shoshani condition for an aggregate formation.
+
+    ``grouping`` maps dimension names to grouping category names.  Paths
+    must be strict from the facts up to each grouping category, and each
+    hierarchy must be partitioning *up to* the grouping category (checked
+    on the subdimension of categories ≤ the grouping category, plus ⊤
+    which is vacuous).
+    """
+    paths_strict = all(
+        has_strict_path(mo, dim_name, cat_name, at=at)
+        for dim_name, cat_name in grouping.items()
+    )
+    partitioning = True
+    for dim_name, cat_name in grouping.items():
+        dimension = mo.dimension(dim_name)
+        dtype = dimension.dtype
+        below = [
+            c.name for c in dimension.categories()
+            if dtype.leq(c.name, cat_name)
+        ]
+        sub = dimension.subdimension(below)
+        if not hierarchy_is_partitioning(sub, at=at):
+            partitioning = False
+            break
+    return SummarizabilityCheck(
+        function_distributive=function_distributive,
+        paths_strict=paths_strict,
+        hierarchies_partitioning=partitioning,
+    )

@@ -1,0 +1,97 @@
+"""Fact schemas (paper §3.1).
+
+An *n-dimensional fact schema* is a two-tuple ``S = (F, D)`` where ``F``
+is the fact type and ``D = {T_i}`` the corresponding dimension types.
+In the case study, ``Patient`` is the fact type and *everything* that
+characterizes it — Diagnosis, Residence, Age, Date of Birth, Name, SSN —
+is dimensional, including attributes other models would call measures;
+this is how the model treats dimensions and measures symmetrically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.dimension import DimensionType
+from repro.core.errors import SchemaError
+
+__all__ = ["FactSchema"]
+
+
+class FactSchema:
+    """An n-dimensional fact schema ``S = (F, {T_1, .., T_n})``.
+
+    Dimension types are identified by their (unique) names; the schema
+    preserves their given order for display but compares as a set, per
+    the paper's tuple-of-sets definition.
+    """
+
+    def __init__(self, fact_type: str,
+                 dimension_types: Sequence[DimensionType]) -> None:
+        self._fact_type = fact_type
+        self._dtypes: Dict[str, DimensionType] = {}
+        for dtype in dimension_types:
+            if dtype.name in self._dtypes:
+                raise SchemaError(
+                    f"duplicate dimension type {dtype.name!r} in schema"
+                )
+            self._dtypes[dtype.name] = dtype
+
+    @property
+    def fact_type(self) -> str:
+        """The fact type ``F`` (e.g. ``Patient``)."""
+        return self._fact_type
+
+    @property
+    def dimension_names(self) -> Tuple[str, ...]:
+        """The dimension type names, in declaration order."""
+        return tuple(self._dtypes)
+
+    @property
+    def n(self) -> int:
+        """The schema's dimensionality."""
+        return len(self._dtypes)
+
+    def dimension_type(self, name: str) -> DimensionType:
+        """Look up a dimension type by name."""
+        if name not in self._dtypes:
+            raise SchemaError(f"schema has no dimension type {name!r}")
+        return self._dtypes[name]
+
+    def dimension_types(self) -> List[DimensionType]:
+        """All dimension types, in declaration order."""
+        return list(self._dtypes.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._dtypes
+
+    def __iter__(self) -> Iterator[DimensionType]:
+        return iter(self._dtypes.values())
+
+    def __eq__(self, other: object) -> bool:
+        """Schemas are equal when fact types match and the dimension
+        types are pairwise isomorphic (the precondition of ∪ and \\)."""
+        if not isinstance(other, FactSchema):
+            return NotImplemented
+        if self._fact_type != other._fact_type:
+            return False
+        if set(self._dtypes) != set(other._dtypes):
+            return False
+        return all(
+            self._dtypes[name].is_isomorphic_to(other._dtypes[name])
+            for name in self._dtypes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._fact_type, frozenset(self._dtypes)))
+
+    def is_isomorphic_to(self, other: "FactSchema") -> bool:
+        """Structural match up to dimension names: same fact type, same
+        number of dimensions, and a name-respecting isomorphism is not
+        required — rename's precondition."""
+        return (self._fact_type == other._fact_type
+                and self.n == other.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(self._dtypes)
+        return f"FactSchema({self._fact_type}; {dims})"

@@ -1,0 +1,130 @@
+"""Dimension values and facts (paper §3.1).
+
+The paper argues for *surrogates*: dimension values are identified by an
+opaque id distinct from any real-world name ("the names might change or
+the same value might have more than one name"); human-readable names live
+in *representations* (see :mod:`repro.core.category`).
+
+Facts likewise are "objects with a separate identity": they can be tested
+for equality but carry no ordering, and the combination of dimension
+values characterizing a fact is *not* a key — several facts may share one
+combination.  After aggregate formation, facts are *sets* of argument
+facts (type ``2^F``); :meth:`Fact.group` builds such set-facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Optional
+
+__all__ = ["DimensionValue", "Fact", "SurrogateSource", "TOP_LABEL"]
+
+#: The display label used for top values (the paper's ``⊤`` / ``ALL``).
+TOP_LABEL = "⊤"
+
+
+@dataclass(frozen=True, order=False)
+class DimensionValue:
+    """A dimension value, identified by a surrogate id.
+
+    ``sid`` is any hashable surrogate (the case study uses the integer
+    ``ID`` column of Table 1).  ``is_top`` marks the distinguished ``⊤``
+    value that logically contains every other value of its dimension
+    (the paper relates it to the ``ALL`` construct of Gray et al.).
+    ``label`` is a debugging aid only; authoritative names belong in
+    representations.
+    """
+
+    sid: Hashable
+    is_top: bool = False
+    label: Optional[str] = field(default=None, compare=False)
+
+    @classmethod
+    def top(cls, dimension_name: str) -> "DimensionValue":
+        """The ``⊤`` value of the named dimension.
+
+        The surrogate embeds the dimension name so top values of
+        different dimensions stay distinct.
+        """
+        return cls(sid=(TOP_LABEL, dimension_name), is_top=True, label=TOP_LABEL)
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return f"⊤({self.sid[1]})" if isinstance(self.sid, tuple) else TOP_LABEL
+        if self.label is not None:
+            return f"Value({self.sid}:{self.label})"
+        return f"Value({self.sid})"
+
+
+@dataclass(frozen=True, order=False)
+class Fact:
+    """A fact: an object with separate identity (paper §3.1).
+
+    ``fid`` is a hashable identity.  Base facts use scalars (the case
+    study's patients use ``1`` and ``2``); facts produced by aggregate
+    formation use a ``frozenset`` of member facts, reflecting the
+    operator's result fact type ``2^F``.
+    """
+
+    fid: Hashable
+    ftype: str = "Fact"
+
+    @classmethod
+    def group(cls, members: Iterable["Fact"], ftype: Optional[str] = None) -> "Fact":
+        """Build the set-fact for a group of member facts.
+
+        The fact type defaults to ``Set-of-<member type>``, mirroring the
+        paper's Figure 3 caption ("Set-of-Patient").
+        """
+        member_set: FrozenSet[Fact] = frozenset(members)
+        if not member_set:
+            raise ValueError("a set-fact must have at least one member")
+        if ftype is None:
+            member_types = {m.ftype for m in member_set}
+            base = member_types.pop() if len(member_types) == 1 else "Fact"
+            ftype = f"Set-of-{base}"
+        return cls(fid=member_set, ftype=ftype)
+
+    @property
+    def is_group(self) -> bool:
+        """True iff this fact is a set-fact from aggregate formation."""
+        return isinstance(self.fid, frozenset)
+
+    @property
+    def members(self) -> FrozenSet["Fact"]:
+        """The member facts of a set-fact; raises for base facts."""
+        if not self.is_group:
+            raise TypeError(f"{self!r} is a base fact, not a set-fact")
+        return self.fid
+
+    def __repr__(self) -> str:
+        if self.is_group:
+            inner = ",".join(sorted(repr(m) for m in self.fid))
+            return f"{{{inner}}}"
+        return f"{self.ftype}({self.fid})"
+
+
+class SurrogateSource:
+    """A generator of globally unique surrogate ids.
+
+    The case study assumes "surrogate keys, named ID, with globally
+    unique values"; synthetic workload generators use one source so the
+    values of all dimensions stay disjoint.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def fresh(self) -> int:
+        """Return the next unused surrogate id."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def fresh_value(self, label: Optional[str] = None) -> DimensionValue:
+        """Return a new :class:`DimensionValue` with a fresh surrogate."""
+        return DimensionValue(sid=self.fresh(), label=label)
+
+    def fresh_fact(self, ftype: str = "Fact") -> Fact:
+        """Return a new :class:`Fact` with a fresh surrogate."""
+        return Fact(fid=self.fresh(), ftype=ftype)

@@ -1,0 +1,58 @@
+"""Efficient-implementation layer (paper §5 future work): rollup
+indexes, summarizability-gated pre-aggregation, cube materialization
+with greedy view selection, and a fluent OLAP query API."""
+
+from repro.engine.cube import CubeBuilder, Cuboid, greedy_view_selection
+from repro.engine.imprecision import (
+    GranularityClassification,
+    ImpreciseGroups,
+    classify_by_granularity,
+    group_with_imprecision,
+    weighted_distribution,
+)
+from repro.engine.optimizer import (
+    Base,
+    Plan,
+    ProjectNode,
+    SelectNode,
+    evaluate,
+    explain,
+    optimize,
+)
+from repro.engine.preagg import MaterializedAggregate, PreAggregateStore
+from repro.engine.recommend import (
+    MaterializationRecommendation,
+    apply_recommendations,
+    recommend_materializations,
+)
+from repro.engine.timeseries import change_points, group_count_series, series_table
+from repro.engine.query import Query
+from repro.engine.storage import RollupIndex
+
+__all__ = [
+    "CubeBuilder",
+    "Cuboid",
+    "greedy_view_selection",
+    "GranularityClassification",
+    "ImpreciseGroups",
+    "classify_by_granularity",
+    "group_with_imprecision",
+    "weighted_distribution",
+    "Base",
+    "Plan",
+    "ProjectNode",
+    "SelectNode",
+    "evaluate",
+    "explain",
+    "optimize",
+    "change_points",
+    "group_count_series",
+    "series_table",
+    "MaterializedAggregate",
+    "PreAggregateStore",
+    "MaterializationRecommendation",
+    "apply_recommendations",
+    "recommend_materializations",
+    "Query",
+    "RollupIndex",
+]

@@ -1,0 +1,159 @@
+"""Cube materialization over the category lattice (paper §5 future
+work; Gray et al.'s data cube generalized to the extended model).
+
+The *cuboid lattice* of an MO is the product of its dimensions' category
+lattices: one cuboid per choice of grouping category in each dimension,
+ordered coarser-than.  :class:`CubeBuilder` enumerates and materializes
+cuboids, and :func:`greedy_view_selection` picks a bounded set of
+cuboids to materialize using the classic greedy benefit heuristic
+(Harinarayan-Rajaraman-Ullman), with cuboid sizes measured as their
+number of non-empty groups — summarizability decides which cuboids can
+answer which queries, so non-summarizable edges contribute no benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.functions import AggregationFunction, SetCount
+from repro.core.mo import MultidimensionalObject
+from repro.engine.preagg import PreAggregateStore
+
+__all__ = ["Cuboid", "CubeBuilder", "greedy_view_selection"]
+
+#: A cuboid id: the grouping category per dimension, in schema order.
+CuboidKey = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Cuboid:
+    """One cuboid of the lattice."""
+
+    key: CuboidKey
+    dimension_names: Tuple[str, ...]
+    size: int  # number of non-empty groups
+    summarizable: bool
+
+    @property
+    def grouping(self) -> Dict[str, str]:
+        """The grouping mapping this cuboid represents."""
+        return dict(zip(self.dimension_names, self.key))
+
+
+class CubeBuilder:
+    """Enumerates and materializes the cuboid lattice of an MO."""
+
+    def __init__(self, mo: MultidimensionalObject,
+                 dimensions: Optional[Sequence[str]] = None,
+                 function: Optional[AggregationFunction] = None) -> None:
+        self._mo = mo
+        self._dims = tuple(dimensions or mo.dimension_names)
+        self._function = function or SetCount()
+        self._store = PreAggregateStore(mo)
+        self._cuboids: Dict[CuboidKey, Cuboid] = {}
+
+    @property
+    def store(self) -> PreAggregateStore:
+        """The underlying pre-aggregate store."""
+        return self._store
+
+    def cuboid_keys(self) -> List[CuboidKey]:
+        """All cuboid keys: the product of the category names of each
+        dimension's lattice."""
+        per_dim = [
+            [ctype.name for ctype in self._mo.dimension(d).dtype.category_types()]
+            for d in self._dims
+        ]
+        return [tuple(combo) for combo in product(*per_dim)]
+
+    def materialize(self, key: CuboidKey) -> Cuboid:
+        """Materialize one cuboid and record its size and verdict."""
+        cached = self._cuboids.get(key)
+        if cached is not None:
+            return cached
+        grouping = dict(zip(self._dims, key))
+        nontrivial = {
+            name: cat for name, cat in grouping.items()
+            if cat != self._mo.dimension(name).dtype.top_name
+        }
+        materialized = self._store.materialize(self._function, nontrivial)
+        cuboid = Cuboid(
+            key=key,
+            dimension_names=self._dims,
+            size=len(materialized.results),
+            summarizable=materialized.summarizability.summarizable,
+        )
+        self._cuboids[key] = cuboid
+        return cuboid
+
+    def materialize_all(self) -> List[Cuboid]:
+        """Materialize the full lattice (exponential in dimensions with
+        deep hierarchies; the benchmarks bound it)."""
+        return [self.materialize(key) for key in self.cuboid_keys()]
+
+    def is_coarser_or_equal(self, fine: CuboidKey, coarse: CuboidKey) -> bool:
+        """Lattice order: ``coarse`` is answerable from ``fine`` when
+        every component is ≥ in the dimension's category order."""
+        for dim, f_cat, c_cat in zip(self._dims, fine, coarse):
+            if not self._mo.dimension(dim).dtype.leq(f_cat, c_cat):
+                return False
+        return True
+
+    def answerable_from(self, fine: CuboidKey) -> Set[CuboidKey]:
+        """The cuboids answerable from ``fine`` by safe combination:
+        coarser-or-equal cuboids, provided the fine cuboid's grouping is
+        summarizable (otherwise only the cuboid itself)."""
+        fine_cuboid = self.materialize(fine)
+        if not (fine_cuboid.summarizable and self._function.distributive):
+            return {fine}
+        return {
+            key for key in self.cuboid_keys()
+            if self.is_coarser_or_equal(fine, key)
+        }
+
+
+def greedy_view_selection(
+    builder: CubeBuilder,
+    budget: int,
+) -> List[Cuboid]:
+    """Pick up to ``budget`` cuboids to materialize, greedily maximizing
+    the benefit of answering every cuboid from the cheapest selected
+    ancestor (query cost = size of the cuboid it is answered from; the
+    base cuboid — the finest key — is always available).
+
+    Returns the selected cuboids in selection order.
+    """
+    keys = builder.cuboid_keys()
+    base_key = min(
+        keys,
+        key=lambda k: sum(
+            1 for other in keys if builder.is_coarser_or_equal(k, other)
+        ) * -1,
+    )
+    base = builder.materialize(base_key)
+    cost: Dict[CuboidKey, int] = {key: base.size for key in keys}
+    selected: List[Cuboid] = []
+    candidates = [k for k in keys if k != base_key]
+    for _ in range(budget):
+        best_key = None
+        best_benefit = 0
+        for key in candidates:
+            cuboid = builder.materialize(key)
+            benefit = 0
+            for target in builder.answerable_from(key):
+                saved = cost[target] - cuboid.size
+                if saved > 0:
+                    benefit += saved
+            if benefit > best_benefit:
+                best_benefit = benefit
+                best_key = key
+        if best_key is None:
+            break
+        chosen = builder.materialize(best_key)
+        selected.append(chosen)
+        for target in builder.answerable_from(best_key):
+            cost[target] = min(cost[target], chosen.size)
+        candidates.remove(best_key)
+    return selected

@@ -1,0 +1,145 @@
+"""A small algebraic plan optimizer (paper §5 future work).
+
+Queries over MOs compose the fundamental operators; like relational
+engines, a multidimensional engine benefits from rewriting the operator
+tree before evaluation.  This module defines a tiny logical plan
+language over one base MO —
+
+* :class:`Base` — the input MO;
+* :class:`SelectNode` — σ with a predicate;
+* :class:`ProjectNode` — π onto dimensions —
+
+plus an :func:`optimize` pass applying the classical, *provably
+equivalence-preserving* rewrites in this algebra:
+
+1. **select fusion**: σ[p](σ[q](X)) → σ[p ∧ q](X), applied only when
+   p and q constrain the *same* dimensions: the evaluator witnesses a
+   predicate over the product of its dimensions' candidate values, so
+   fusing predicates over different dimensions would multiply the
+   candidate sets (measured as a slowdown in
+   ``benchmarks/bench_optimizer.py``), while same-dimension fusion
+   replaces two passes — each of which also restricts every
+   fact-dimension relation — with one;
+2. **project fusion**: π[A](π[B](X)) → π[A](X) (projection keeps facts,
+   so only the outermost dimension list matters);
+3. **select-past-project**: π[A](σ[p](X)) ↔ σ[p](π[A](X)); the
+   optimizer normalizes to *select first* when p's dimensions are kept
+   by A — σ shrinks the fact set, so later π copies less — and must
+   keep σ inside when p touches projected-away dimensions (in this
+   algebra that order is *required* for meaning, not just speed).
+
+Equivalence of optimized and naive plans is property-tested in
+``tests/engine/test_optimizer.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.algebra import conjunction, project, select
+from repro.algebra.predicates import Predicate
+from repro.core.mo import MultidimensionalObject
+
+__all__ = ["Base", "SelectNode", "ProjectNode", "Plan", "evaluate",
+           "optimize", "explain"]
+
+
+@dataclass(frozen=True)
+class Base:
+    """The plan leaf: the input MO."""
+
+    mo: MultidimensionalObject
+
+
+@dataclass(frozen=True)
+class SelectNode:
+    """σ[predicate] over a child plan."""
+
+    child: "Plan"
+    predicate: Predicate
+
+
+@dataclass(frozen=True)
+class ProjectNode:
+    """π[dimensions] over a child plan."""
+
+    child: "Plan"
+    dimensions: Tuple[str, ...]
+
+
+Plan = Union[Base, SelectNode, ProjectNode]
+
+
+def evaluate(plan: Plan) -> MultidimensionalObject:
+    """Evaluate a plan bottom-up with the algebra's operators."""
+    if isinstance(plan, Base):
+        return plan.mo
+    if isinstance(plan, SelectNode):
+        return select(evaluate(plan.child), plan.predicate)
+    if isinstance(plan, ProjectNode):
+        return project(evaluate(plan.child), list(plan.dimensions))
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+def optimize(plan: Plan) -> Plan:
+    """Apply the rewrites until a fixpoint.
+
+    The result is semantically equivalent to the input: select fusion
+    and project fusion are identities of the algebra, and
+    select-past-project is applied only when the predicate's dimensions
+    survive the projection.
+    """
+    current = plan
+    while True:
+        rewritten = _rewrite(current)
+        if rewritten == current:
+            return current
+        current = rewritten
+
+
+def _rewrite(plan: Plan) -> Plan:
+    if isinstance(plan, Base):
+        return plan
+    if isinstance(plan, SelectNode):
+        child = _rewrite(plan.child)
+        # select fusion — only for same-dimension predicates (fusing
+        # across dimensions multiplies the candidate sets the evaluator
+        # must witness)
+        if isinstance(child, SelectNode) and \
+                set(child.predicate.dims) == set(plan.predicate.dims):
+            fused = conjunction(child.predicate, plan.predicate)
+            return SelectNode(child=child.child, predicate=fused)
+        # push select below project when its dimensions survive
+        if isinstance(child, ProjectNode) and \
+                set(plan.predicate.dims) <= set(child.dimensions):
+            return ProjectNode(
+                child=SelectNode(child=child.child,
+                                 predicate=plan.predicate),
+                dimensions=child.dimensions,
+            )
+        return SelectNode(child=child, predicate=plan.predicate)
+    if isinstance(plan, ProjectNode):
+        child = _rewrite(plan.child)
+        # project fusion: inner projection is redundant if it keeps a
+        # superset of the outer one (projection never drops facts)
+        if isinstance(child, ProjectNode) and \
+                set(plan.dimensions) <= set(child.dimensions):
+            return ProjectNode(child=child.child,
+                               dimensions=plan.dimensions)
+        return ProjectNode(child=child, dimensions=plan.dimensions)
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+def explain(plan: Plan, indent: int = 0) -> str:
+    """A one-line-per-node rendering of the plan tree."""
+    pad = "  " * indent
+    if isinstance(plan, Base):
+        return f"{pad}Base({plan.mo.schema.fact_type})"
+    if isinstance(plan, SelectNode):
+        return (f"{pad}σ[{plan.predicate.description}]\n"
+                + explain(plan.child, indent + 1))
+    if isinstance(plan, ProjectNode):
+        return (f"{pad}π[{', '.join(plan.dimensions)}]\n"
+                + explain(plan.child, indent + 1))
+    raise TypeError(f"unknown plan node {plan!r}")

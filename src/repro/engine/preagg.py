@@ -1,0 +1,227 @@
+"""Pre-computed aggregates gated by summarizability (paper §3.4).
+
+"Summarizability is an important concept as it is a condition for the
+flexible use of pre-computed aggregates.  Without summarizability,
+lower-level results generally cannot be directly combined into
+higher-level results."
+
+:class:`PreAggregateStore` materializes aggregate results at chosen
+category levels and answers coarser queries by *combining* stored
+results — but only when the Lenz-Shoshani condition holds (distributive
+function, strict paths, partitioning hierarchies) between the stored
+and requested levels.  When it does not, the store refuses and the
+caller must recompute from base data; the summarizability benchmark
+shows both the refusal and the cost difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.algebra.functions import AggregationFunction
+from repro.core.errors import AlgebraError
+from repro.core.mo import MultidimensionalObject
+from repro.core.properties import SummarizabilityCheck, check_summarizability
+from repro.core.values import DimensionValue, Fact
+from repro.engine.storage import RollupIndex
+
+__all__ = ["MaterializedAggregate", "PreAggregateStore"]
+
+GroupKey = Tuple[DimensionValue, ...]
+
+
+@dataclass
+class MaterializedAggregate:
+    """One materialized aggregate: results per group plus the
+    summarizability verdict recorded at materialization time."""
+
+    grouping: Dict[str, str]
+    function_name: str
+    results: Dict[GroupKey, object]
+    groups: Dict[GroupKey, Set[Fact]]
+    summarizability: SummarizabilityCheck
+
+
+class PreAggregateStore:
+    """Materializes and reuses aggregate results over one MO."""
+
+    def __init__(self, mo: MultidimensionalObject) -> None:
+        self._mo = mo
+        self._index = RollupIndex(mo)
+        self._store: Dict[Tuple[Tuple[Tuple[str, str], ...], str],
+                          MaterializedAggregate] = {}
+        self._verdicts: Dict[Tuple[Tuple[Tuple[str, str], ...], bool],
+                             SummarizabilityCheck] = {}
+
+    @property
+    def mo(self) -> MultidimensionalObject:
+        """The base MO."""
+        return self._mo
+
+    @staticmethod
+    def _key(grouping: Dict[str, str],
+             function: AggregationFunction) -> Tuple[Tuple[Tuple[str, str], ...], str]:
+        return tuple(sorted(grouping.items())), function.name
+
+    def _verdict(self, grouping: Dict[str, str],
+                 distributive: bool) -> SummarizabilityCheck:
+        """The (cached) Lenz-Shoshani verdict for a grouping.  The check
+        scans the base data, so repeated reuse decisions must not pay
+        for it again; the MO is treated as immutable once indexed."""
+        key = (tuple(sorted(grouping.items())), distributive)
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            verdict = check_summarizability(self._mo, grouping,
+                                            distributive)
+            self._verdicts[key] = verdict
+        return verdict
+
+    def materialize(self, function: AggregationFunction,
+                    grouping: Dict[str, str]) -> MaterializedAggregate:
+        """Compute and store the aggregate at the given grouping levels
+        (single- or multi-dimension), straight from the base data via
+        the rollup index."""
+        maps = {
+            name: self._index.characterization_map(name, cat)
+            for name, cat in grouping.items()
+        }
+        groups: Dict[GroupKey, Set[Fact]] = {}
+        names = sorted(grouping)
+        if names:
+            first = names[0]
+            for combo, facts in self._expand(names, maps):
+                if facts:
+                    groups[combo] = facts
+        else:
+            groups[()] = set(self._mo.facts)
+        results = {
+            combo: function.apply(facts, self._mo)
+            for combo, facts in groups.items()
+        }
+        verdict = self._verdict(grouping, function.distributive)
+        materialized = MaterializedAggregate(
+            grouping=dict(grouping),
+            function_name=function.name,
+            results=results,
+            groups=groups,
+            summarizability=verdict,
+        )
+        self._store[self._key(grouping, function)] = materialized
+        return materialized
+
+    def _expand(self, names, maps):
+        """All value combinations with their intersected fact sets."""
+
+        def rec(i: int, prefix: GroupKey, facts: Optional[Set[Fact]]):
+            if i == len(names):
+                yield prefix, facts if facts is not None else set()
+                return
+            for value, value_facts in maps[names[i]].items():
+                joined = (set(value_facts) if facts is None
+                          else facts & value_facts)
+                if not joined:
+                    continue
+                yield from rec(i + 1, prefix + (value,), joined)
+
+        yield from rec(0, (), None)
+
+    def get(self, function: AggregationFunction,
+            grouping: Dict[str, str]) -> Optional[MaterializedAggregate]:
+        """A previously materialized aggregate, if any."""
+        return self._store.get(self._key(grouping, function))
+
+    def entries(self):
+        """Iterate ``(grouping dict, function name, materialized)`` for
+        every stored aggregate."""
+        for (grouping_key, function_name), stored in self._store.items():
+            yield dict(grouping_key), function_name, stored
+
+    def can_roll_up(
+        self,
+        stored: MaterializedAggregate,
+        function: AggregationFunction,
+        target_grouping: Dict[str, str],
+    ) -> bool:
+        """Whether ``stored`` may be combined into the coarser
+        ``target_grouping``: the stored aggregate must have been
+        summarizable, the function distributive, the target must be
+        coarser in every dimension, and the hierarchy between stored and
+        target levels strict and partitioning (re-checked at the target
+        levels)."""
+        if not stored.summarizability.summarizable:
+            return False
+        if not function.distributive:
+            return False
+        if set(target_grouping) != set(stored.grouping):
+            return False
+        for name, target_cat in target_grouping.items():
+            dtype = self._mo.dimension(name).dtype
+            if not dtype.leq(stored.grouping[name], target_cat):
+                return False
+        target_verdict = self._verdict(target_grouping,
+                                       function.distributive)
+        return target_verdict.summarizable
+
+    def roll_up(
+        self,
+        function: AggregationFunction,
+        source_grouping: Dict[str, str],
+        target_grouping: Dict[str, str],
+    ) -> Dict[GroupKey, object]:
+        """Answer a coarser aggregate by combining a stored finer one.
+
+        Raises :class:`AlgebraError` when reuse is unsafe (the paper's
+        "we have to pre-compute the total results ... while other
+        aggregates must be computed from the base data").
+        """
+        stored = self.get(function, source_grouping)
+        if stored is None:
+            raise AlgebraError(
+                f"no materialized aggregate at {source_grouping!r}"
+            )
+        if not self.can_roll_up(stored, function, target_grouping):
+            raise AlgebraError(
+                f"cannot combine {source_grouping!r} into "
+                f"{target_grouping!r}: "
+                f"{stored.summarizability.explain()}"
+            )
+        names = sorted(target_grouping)
+        partials: Dict[GroupKey, list] = {}
+        for combo, result in stored.results.items():
+            target_combo = []
+            ok = True
+            for name, value in zip(sorted(stored.grouping), combo):
+                parent = self._parent_in(name, value,
+                                         target_grouping[name])
+                if parent is None:
+                    ok = False
+                    break
+                target_combo.append(parent)
+            if ok:
+                partials.setdefault(tuple(target_combo), []).append(result)
+        return {
+            combo: function.combine(values)
+            for combo, values in partials.items()
+        }
+
+    def _parent_in(self, dimension_name: str, value: DimensionValue,
+                   category_name: str) -> Optional[DimensionValue]:
+        dimension = self._mo.dimension(dimension_name)
+        if dimension.category_name_of(value) == category_name:
+            return value
+        category = dimension.category(category_name)
+        for ancestor in dimension.ancestors(value, reflexive=False):
+            if ancestor in category:
+                return ancestor
+        return None
+
+    def compute_from_base(
+        self,
+        function: AggregationFunction,
+        grouping: Dict[str, str],
+    ) -> Dict[GroupKey, object]:
+        """The fallback: evaluate directly against the base data (used
+        when reuse is refused; the benchmarks compare its cost with
+        :meth:`roll_up`)."""
+        return self.materialize(function, grouping).results

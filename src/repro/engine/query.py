@@ -1,0 +1,156 @@
+"""A high-level OLAP query API over MOs.
+
+The paper's future work asks how the model could back an OLAP tool;
+:class:`Query` is a small fluent layer — dice / slice / roll-up — that
+compiles to the algebra's fundamental operators and transparently uses a
+:class:`~repro.engine.preagg.PreAggregateStore` for summarizable
+roll-ups.
+
+Example::
+
+    rows = (Query(mo)
+            .dice("Residence", region_value)
+            .rollup("Diagnosis", "Diagnosis Group")
+            .counts())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra import (
+    SetCount,
+    aggregate,
+    characterized_by,
+    conjunction,
+    select,
+)
+from repro.algebra.functions import AggregationFunction
+from repro.core.errors import SchemaError
+from repro.core.helpers import make_result_spec
+from repro.core.mo import MultidimensionalObject
+from repro.core.values import DimensionValue
+from repro.engine.preagg import PreAggregateStore
+
+__all__ = ["Query", "QueryResultRow"]
+
+QueryResultRow = Tuple[Dict[str, DimensionValue], object]
+
+
+class Query:
+    """A fluent OLAP query over one MO.
+
+    Queries are immutable: each builder method returns a new query.
+    """
+
+    def __init__(self, mo: MultidimensionalObject,
+                 store: Optional[PreAggregateStore] = None) -> None:
+        self._mo = mo
+        self._store = store
+        self._dices: List[Tuple[str, DimensionValue]] = []
+        self._grouping: Dict[str, str] = {}
+
+    def _clone(self) -> "Query":
+        q = Query(self._mo, self._store)
+        q._dices = list(self._dices)
+        q._grouping = dict(self._grouping)
+        return q
+
+    def dice(self, dimension_name: str, value: DimensionValue) -> "Query":
+        """Keep only facts characterized by ``value``."""
+        if dimension_name not in self._mo.schema:
+            raise SchemaError(f"unknown dimension {dimension_name!r}")
+        q = self._clone()
+        q._dices.append((dimension_name, value))
+        return q
+
+    def rollup(self, dimension_name: str, category_name: str) -> "Query":
+        """Group the named dimension at ``category_name``."""
+        dtype = self._mo.dimension(dimension_name).dtype
+        if category_name not in dtype:
+            raise SchemaError(
+                f"dimension {dimension_name!r} has no category "
+                f"{category_name!r}"
+            )
+        q = self._clone()
+        q._grouping[dimension_name] = category_name
+        return q
+
+    def _diced_mo(self) -> MultidimensionalObject:
+        if not self._dices:
+            return self._mo
+        predicates = [characterized_by(d, v) for d, v in self._dices]
+        return select(self._mo, conjunction(*predicates))
+
+    def execute(self, function: Optional[AggregationFunction] = None,
+                strict_types: bool = False) -> List[QueryResultRow]:
+        """Run the query: dice, then aggregate with ``function``
+        (default set-count), returning ``(group values, result)`` rows
+        sorted by group.
+
+        When no dice is applied, the store is consulted first: a stored
+        finer aggregate that is safely combinable answers the query
+        without touching base data.
+        """
+        function = function or SetCount()
+        if self._store is not None and not self._dices:
+            fast = self._try_store(function)
+            if fast is not None:
+                return fast
+        mo = self._diced_mo()
+        result = make_result_spec(name="__query_result")
+        aggregated = aggregate(mo, function, self._grouping, result,
+                               strict_types=strict_types)
+        rows: List[QueryResultRow] = []
+        names = sorted(self._grouping)
+        for fact in aggregated.facts:
+            raw = next(
+                iter(aggregated.relation("__query_result").values_of(fact))
+            ).sid
+            # α merges value combinations that select the same facts
+            # into one set-fact related to several values; the tabular
+            # view re-expands them, one row per combination
+            combos: List[Dict[str, DimensionValue]] = [{}]
+            for name in names:
+                values = sorted(
+                    aggregated.relation(name).values_of(fact), key=repr)
+                combos = [
+                    {**combo, name: value}
+                    for combo in combos for value in values
+                ]
+            for group in combos:
+                rows.append((group, raw))
+        rows.sort(key=lambda row: tuple(
+            repr(row[0][name]) for name in names))
+        return rows
+
+    def _try_store(
+        self, function: AggregationFunction
+    ) -> Optional[List[QueryResultRow]]:
+        assert self._store is not None
+        for source, fname, materialized in list(self._store.entries()):
+            if fname != function.name:
+                continue
+            if set(source) != set(self._grouping):
+                continue
+            if source == self._grouping:
+                return self._rows_from(materialized.results, sorted(source))
+            if self._store.can_roll_up(materialized, function,
+                                       self._grouping):
+                combined = self._store.roll_up(function, source,
+                                               self._grouping)
+                return self._rows_from(combined, sorted(self._grouping))
+        return None
+
+    def _rows_from(self, results, names) -> List[QueryResultRow]:
+        rows: List[QueryResultRow] = []
+        for combo, value in results.items():
+            group = dict(zip(names, combo))
+            rows.append((group, value))
+        rows.sort(key=lambda row: tuple(
+            repr(row[0][name]) for name in sorted(self._grouping)))
+        return rows
+
+    def counts(self) -> List[QueryResultRow]:
+        """Shorthand for ``execute(SetCount())``."""
+        return self.execute(SetCount())

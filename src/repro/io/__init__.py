@@ -1,0 +1,13 @@
+"""Persistence: a self-contained JSON codec for multidimensional
+objects (save/load without any template)."""
+
+from repro.io.json_codec import (
+    FORMAT_VERSION,
+    dumps,
+    loads,
+    mo_from_dict,
+    mo_to_dict,
+)
+
+__all__ = ["FORMAT_VERSION", "dumps", "loads", "mo_from_dict",
+           "mo_to_dict"]

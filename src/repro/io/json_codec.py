@@ -1,0 +1,254 @@
+"""Self-contained JSON (de)serialization of multidimensional objects.
+
+Unlike the star export (which targets relational tools and needs a
+template MO to re-import), this codec captures *everything* — the
+dimension-type lattices, aggregation types, categories with timestamped
+membership, representations, the annotated partial orders, facts, and
+fact-dimension relations — so an MO can be written to a file and read
+back with no other context.  Round-tripping is property-tested.
+
+Surrogates and fact ids may be any of the JSON-safe scalar types plus
+tuples (encoded as tagged lists) and frozensets of facts (set-facts
+from aggregate formation, encoded recursively).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List
+
+from repro._errors import SchemaError
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+from repro.temporal.timeset import TimeSet
+
+__all__ = ["mo_to_dict", "mo_from_dict", "dumps", "loads", "FORMAT_VERSION"]
+
+#: bumped on incompatible changes to the layout below.
+FORMAT_VERSION = 1
+
+
+# -- scalar encoding -----------------------------------------------------------
+
+
+def _encode_id(value: Hashable) -> Any:
+    """Encode a surrogate/fact id into JSON-safe structure."""
+    if value is None or isinstance(value, (str, bool)):
+        return {"t": "s", "v": value}
+    if isinstance(value, int):
+        return {"t": "i", "v": value}
+    if isinstance(value, float):
+        return {"t": "f", "v": value}
+    if isinstance(value, tuple):
+        return {"t": "t", "v": [_encode_id(item) for item in value]}
+    if isinstance(value, frozenset):
+        encoded = sorted(
+            (_encode_fact(item) for item in value), key=json.dumps)
+        return {"t": "fs", "v": encoded}
+    raise SchemaError(f"cannot serialize id {value!r} of type "
+                      f"{type(value).__name__}")
+
+
+def _decode_id(data: Any) -> Hashable:
+    kind = data["t"]
+    if kind in ("s", "i", "f"):
+        return data["v"]
+    if kind == "t":
+        return tuple(_decode_id(item) for item in data["v"])
+    if kind == "fs":
+        return frozenset(_decode_fact(item) for item in data["v"])
+    raise SchemaError(f"unknown id tag {kind!r}")
+
+
+def _encode_fact(fact: Fact) -> Dict[str, Any]:
+    return {"fid": _encode_id(fact.fid), "ftype": fact.ftype}
+
+
+def _decode_fact(data: Dict[str, Any]) -> Fact:
+    return Fact(fid=_decode_id(data["fid"]), ftype=data["ftype"])
+
+
+def _encode_time(time: TimeSet) -> List[List[int]]:
+    return [[start, end] for start, end in time.intervals]
+
+
+def _decode_time(data: List[List[int]]) -> TimeSet:
+    return TimeSet.of([(start, end) for start, end in data])
+
+
+def _encode_value(value: DimensionValue) -> Dict[str, Any]:
+    return {
+        "sid": _encode_id(value.sid),
+        "is_top": value.is_top,
+        "label": value.label,
+    }
+
+
+def _decode_value(data: Dict[str, Any]) -> DimensionValue:
+    return DimensionValue(sid=_decode_id(data["sid"]),
+                          is_top=data["is_top"], label=data["label"])
+
+
+# -- dimension (de)serialization ---------------------------------------------------
+
+
+def _encode_dimension(dimension: Dimension) -> Dict[str, Any]:
+    dtype = dimension.dtype
+    ctypes = [
+        {
+            "name": ctype.name,
+            "aggtype": ctype.aggtype.name,
+            "is_top": ctype.is_top,
+            "is_bottom": ctype.is_bottom,
+        }
+        for ctype in dtype.category_types()
+    ]
+    edges = [
+        [ctype.name, parent]
+        for ctype in dtype.category_types()
+        for parent in sorted(dtype.pred(ctype.name))
+        if parent != dtype.top_name
+    ]
+    categories = []
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        members = [
+            {"value": _encode_value(value), "time": _encode_time(time)}
+            for value, time in category.items()
+        ]
+        reps = []
+        for rep_name, rep in sorted(
+                dimension.representations_of(category.name).items()):
+            entries = [
+                {"value": _encode_value(value), "name": rep_value,
+                 "time": _encode_time(time)}
+                for value, rep_value, time in rep.entries()
+            ]
+            reps.append({"name": rep_name, "entries": entries})
+        categories.append({"name": category.name, "members": members,
+                           "representations": reps})
+    order = [
+        {
+            "child": _encode_value(child),
+            "parent": _encode_value(parent),
+            "time": _encode_time(time),
+            "prob": prob,
+        }
+        for child, parent, time, prob in dimension.order.edges()
+    ]
+    return {
+        "name": dtype.name,
+        "category_types": ctypes,
+        "type_edges": edges,
+        "categories": categories,
+        "order": order,
+    }
+
+
+def _decode_dimension(data: Dict[str, Any]) -> Dimension:
+    ctypes = [
+        CategoryType(
+            name=item["name"],
+            aggtype=AggregationType[item["aggtype"]],
+            is_top=item["is_top"],
+            is_bottom=item["is_bottom"],
+        )
+        for item in data["category_types"]
+        if not item["is_top"]
+    ]
+    dtype = DimensionType(
+        data["name"], ctypes,
+        [(child, parent) for child, parent in data["type_edges"]])
+    dimension = Dimension(dtype)
+    for category in data["categories"]:
+        for member in category["members"]:
+            dimension.add_value(category["name"],
+                                _decode_value(member["value"]),
+                                _decode_time(member["time"]))
+        for rep_data in category["representations"]:
+            rep = dimension.add_representation(category["name"],
+                                               rep_data["name"])
+            for entry in rep_data["entries"]:
+                rep.assign(_decode_value(entry["value"]), entry["name"],
+                           _decode_time(entry["time"]))
+    for edge in data["order"]:
+        dimension.add_edge(
+            _decode_value(edge["child"]), _decode_value(edge["parent"]),
+            time=_decode_time(edge["time"]), prob=edge["prob"])
+    return dimension
+
+
+# -- MO (de)serialization --------------------------------------------------------------
+
+
+def mo_to_dict(mo: MultidimensionalObject) -> Dict[str, Any]:
+    """Serialize an MO to a JSON-safe dictionary."""
+    relations = {}
+    for name in mo.dimension_names:
+        relations[name] = [
+            {
+                "fact": _encode_fact(fact),
+                "value": _encode_value(value),
+                "time": _encode_time(time),
+                "prob": prob,
+            }
+            for fact, value, time, prob
+            in mo.relation(name).annotated_pairs()
+        ]
+    return {
+        "format": FORMAT_VERSION,
+        "fact_type": mo.schema.fact_type,
+        "kind": mo.kind.name,
+        "facts": [_encode_fact(f) for f in sorted(mo.facts, key=repr)],
+        "dimensions": [
+            _encode_dimension(mo.dimension(name))
+            for name in mo.dimension_names
+        ],
+        "relations": relations,
+    }
+
+
+def mo_from_dict(data: Dict[str, Any]) -> MultidimensionalObject:
+    """Deserialize an MO from :func:`mo_to_dict`'s layout."""
+    if data.get("format") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported format {data.get('format')!r}; this build reads "
+            f"version {FORMAT_VERSION}"
+        )
+    dimensions = {
+        dim_data["name"]: _decode_dimension(dim_data)
+        for dim_data in data["dimensions"]
+    }
+    schema = FactSchema(data["fact_type"],
+                        [d.dtype for d in dimensions.values()])
+    mo = MultidimensionalObject(
+        schema=schema,
+        dimensions=dimensions,
+        kind=TimeKind[data["kind"]],
+    )
+    for fact_data in data["facts"]:
+        mo.add_fact(_decode_fact(fact_data))
+    for name, entries in data["relations"].items():
+        for entry in entries:
+            mo.relate(
+                _decode_fact(entry["fact"]), name,
+                _decode_value(entry["value"]),
+                time=_decode_time(entry["time"]),
+                prob=entry["prob"],
+            )
+    return mo
+
+
+def dumps(mo: MultidimensionalObject, indent: int = None) -> str:
+    """Serialize an MO to a JSON string."""
+    return json.dumps(mo_to_dict(mo), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> MultidimensionalObject:
+    """Deserialize an MO from a JSON string."""
+    return mo_from_dict(json.loads(text))

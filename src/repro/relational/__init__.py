@@ -1,0 +1,55 @@
+"""Relational substrate for Theorem 2: a minimal set-semantics
+relational engine, Klug's relational algebra with aggregation, and the
+relation ↔ MO compiler plus per-operator equivalence checker."""
+
+from repro.relational.algebra import (
+    AGGREGATE_FUNCTIONS,
+    r_aggregate,
+    r_difference,
+    r_product,
+    r_project,
+    r_rename,
+    r_select,
+    r_theta_join,
+    r_union,
+)
+from repro.relational.relation import Relation
+from repro.relational.star import StarSchema, export_star, import_star
+from repro.relational.translate import (
+    TheoremTwoChecker,
+    mo_to_relation,
+    relation_to_mo,
+    sim_aggregate,
+    sim_difference,
+    sim_product,
+    sim_project,
+    sim_rename,
+    sim_select,
+    sim_union,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "r_aggregate",
+    "r_difference",
+    "r_product",
+    "r_project",
+    "r_rename",
+    "r_select",
+    "r_theta_join",
+    "r_union",
+    "Relation",
+    "StarSchema",
+    "export_star",
+    "import_star",
+    "TheoremTwoChecker",
+    "mo_to_relation",
+    "relation_to_mo",
+    "sim_aggregate",
+    "sim_difference",
+    "sim_product",
+    "sim_project",
+    "sim_rename",
+    "sim_select",
+    "sim_union",
+]

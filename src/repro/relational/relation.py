@@ -1,0 +1,109 @@
+"""A minimal in-memory relational engine (substrate for Theorem 2).
+
+Theorem 2 states that the multidimensional algebra is at least as
+powerful as Klug's relational algebra with aggregation functions.  To
+*check* that constructively we need relations to compare against:
+:class:`Relation` implements set-semantics relations over named
+attributes, the operand type of :mod:`repro.relational.algebra`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.errors import SchemaError
+
+__all__ = ["Relation"]
+
+Row = Tuple[Hashable, ...]
+
+
+class Relation:
+    """An immutable relation: named attributes and a set of rows.
+
+    Rows are tuples aligned with :attr:`attributes`; duplicate rows
+    collapse (set semantics, as in Klug's algebra).
+    """
+
+    __slots__ = ("_attributes", "_rows")
+
+    def __init__(self, attributes: Sequence[str],
+                 rows: Iterable[Sequence[Hashable]] = ()) -> None:
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attributes in {attributes!r}")
+        if not attributes:
+            raise SchemaError("a relation needs at least one attribute")
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        materialized = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(self._attributes):
+                raise SchemaError(
+                    f"row {row!r} does not match attributes "
+                    f"{self._attributes!r}"
+                )
+            materialized.append(row)
+        self._rows: FrozenSet[Row] = frozenset(materialized)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names, in declaration order."""
+        return self._attributes
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """The set of rows."""
+        return self._rows
+
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def index_of(self, attribute: str) -> int:
+        """Position of an attribute; raises :class:`SchemaError` if
+        absent."""
+        try:
+            return self._attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation has no attribute {attribute!r} "
+                f"(has {self._attributes!r})"
+            ) from None
+
+    def as_dicts(self) -> List[Dict[str, Hashable]]:
+        """The rows as attribute-keyed dicts (sorted for determinism)."""
+        out = [dict(zip(self._attributes, row)) for row in self._rows]
+        out.sort(key=lambda d: tuple(repr(d[a]) for a in self._attributes))
+        return out
+
+    @classmethod
+    def from_dicts(cls, attributes: Sequence[str],
+                   dicts: Iterable[Dict[str, Hashable]]) -> "Relation":
+        """Build a relation from attribute-keyed dicts."""
+        return cls(attributes,
+                   [tuple(d[a] for a in attributes) for d in dicts])
+
+    def same_schema_as(self, other: "Relation") -> bool:
+        """True iff both relations have identical attribute lists."""
+        return self._attributes == other._attributes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (self._attributes == other._attributes
+                and self._rows == other._rows)
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self._attributes}, {len(self._rows)} rows)"

@@ -1,0 +1,353 @@
+"""The constructive side of Theorem 2.
+
+Theorem 2: *the algebra is at least as powerful as Klug's relational
+algebra with aggregation functions.*  The classical proof compiles
+relations into multidimensional objects and simulates each relational
+operator with multidimensional ones; this module implements that
+compilation so the theorem can be checked mechanically:
+
+* :func:`relation_to_mo` — each row becomes a fact; each attribute
+  becomes a simple (⊥ + ⊤) dimension; the fact is related to its
+  attribute value (or to ⊤ for a NULL);
+* :func:`mo_to_relation` — reads the rows back (set semantics collapse
+  duplicates, matching relational projection);
+* ``sim_*`` — one simulation per Klug operator, each a composition of
+  the paper's fundamental operators;
+* :class:`TheoremTwoChecker` — runs an operator both ways and compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as _cartesian
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.algebra import (
+    Avg,
+    CountDim,
+    JoinPredicate,
+    Max,
+    Min,
+    Predicate,
+    SelectionContext,
+    Sum,
+    aggregate,
+    duplicate_removal,
+    identity_join,
+    project,
+    rename,
+    select,
+)
+from repro.core.aggtypes import AggregationType
+from repro.core.errors import SchemaError
+from repro.core.helpers import make_result_spec, make_simple_dimension
+from repro.core.mo import MultidimensionalObject
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+from repro.relational.algebra import (
+    r_aggregate,
+    r_difference,
+    r_product,
+    r_project,
+    r_rename,
+    r_select,
+    r_union,
+)
+from repro.relational.relation import Relation
+
+__all__ = [
+    "relation_to_mo",
+    "mo_to_relation",
+    "sim_select",
+    "sim_project",
+    "sim_rename",
+    "sim_union",
+    "sim_difference",
+    "sim_product",
+    "sim_aggregate",
+    "TheoremTwoChecker",
+]
+
+_MEASURE_FUNCTIONS = {
+    "SUM": Sum,
+    "COUNT": CountDim,
+    "AVG": Avg,
+    "MIN": Min,
+    "MAX": Max,
+}
+
+
+def _infer_aggtype(values: Sequence[Hashable]) -> AggregationType:
+    numeric = all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in values if v is not None
+    )
+    return AggregationType.SUM if numeric else AggregationType.CONSTANT
+
+
+def relation_to_mo(
+    relation: Relation,
+    fact_type: str = "Tuple",
+    aggtypes: Optional[Dict[str, AggregationType]] = None,
+) -> MultidimensionalObject:
+    """Compile a relation into an MO: rows as facts, attributes as
+    simple dimensions.
+
+    ``aggtypes`` fixes each attribute dimension's ⊥ aggregation type
+    (inferred from the data when omitted — all-numeric columns become
+    additive).  Pass the same mapping for relations that will meet in
+    ∪ or \\ so their schemas compare equal.
+    """
+    aggtypes = aggtypes or {}
+    dimensions = {}
+    for attr in relation.attributes:
+        index = relation.index_of(attr)
+        domain = sorted(
+            {row[index] for row in relation if row[index] is not None},
+            key=repr,
+        )
+        aggtype = aggtypes.get(attr, _infer_aggtype(domain))
+        dimensions[attr] = make_simple_dimension(attr, domain, aggtype=aggtype)
+    schema = FactSchema(fact_type, [d.dtype for d in dimensions.values()])
+    mo = MultidimensionalObject(schema=schema, dimensions=dimensions)
+    for row in relation:
+        fact = Fact(fid=row, ftype=fact_type)
+        mo.add_fact(fact)
+        for attr, cell in zip(relation.attributes, row):
+            if cell is None:
+                mo.relate_unknown(fact, attr)
+            else:
+                mo.relate(fact, attr,
+                          DimensionValue(sid=cell, label=str(cell)))
+    return mo
+
+
+def mo_to_relation(
+    mo: MultidimensionalObject,
+    attributes: Optional[Sequence[str]] = None,
+) -> Relation:
+    """Read an MO back as a relation over its dimensions.
+
+    Each fact yields the combinations of its base values per dimension
+    (usually exactly one); ⊤ reads back as ``None``.  Set semantics
+    collapse duplicates, so distinct facts with equal value combinations
+    become one row — exactly relational projection's behaviour.
+    """
+    attributes = list(attributes or mo.dimension_names)
+    rows: Set[tuple] = set()
+    for fact in mo.facts:
+        cell_options: List[List[Hashable]] = []
+        for name in attributes:
+            values = mo.relation(name).values_of(fact)
+            cells = sorted(
+                (None if v.is_top else v.sid for v in values), key=repr
+            )
+            cell_options.append(cells or [None])
+        for combo in _cartesian(*cell_options):
+            rows.add(tuple(combo))
+    return Relation(attributes, rows)
+
+
+# -- per-operator simulations --------------------------------------------------
+
+
+def sim_select(
+    mo: MultidimensionalObject,
+    predicate: Callable[[Dict[str, Hashable]], bool],
+) -> MultidimensionalObject:
+    """Relational σ simulated by multidimensional σ: the row predicate
+    is evaluated over the fact's ⊥-category values (⊤ reads as None)."""
+    names = tuple(mo.dimension_names)
+
+    def test(values: Dict[str, DimensionValue],
+             ctx: SelectionContext) -> bool:
+        row: Dict[str, Hashable] = {}
+        for name in names:
+            value = values[name]
+            # the witness must be one of the fact's base values: the
+            # row's actual cells, with an explicit (f, ⊤) pair as NULL
+            if value not in ctx.mo.relation(name).values_of(ctx.fact):
+                return False
+            row[name] = None if value.is_top else value.sid
+        return predicate(row)
+
+    return select(mo, Predicate(dims=names, test=test,
+                                description="row predicate"))
+
+
+def sim_project(mo: MultidimensionalObject,
+                attributes: Sequence[str]) -> MultidimensionalObject:
+    """Relational π simulated by multidimensional π followed by the
+    derived duplicate-removal (relational projection collapses
+    duplicates; facts have identity, so the collapse is explicit)."""
+    return duplicate_removal(project(mo, attributes))
+
+
+def sim_rename(mo: MultidimensionalObject,
+               mapping: Dict[str, str]) -> MultidimensionalObject:
+    """Relational ρ simulated by multidimensional ρ."""
+    return rename(mo, dimension_map=mapping)
+
+
+def sim_union(m1: MultidimensionalObject,
+              m2: MultidimensionalObject) -> MultidimensionalObject:
+    """Relational ∪ simulated by multidimensional ∪ (facts are rows, so
+    set union of facts is set union of rows)."""
+    from repro.algebra import union as mo_union
+
+    return mo_union(m1, m2)
+
+
+def sim_difference(m1: MultidimensionalObject,
+                   m2: MultidimensionalObject) -> MultidimensionalObject:
+    """Relational \\ simulated by multidimensional \\."""
+    from repro.algebra import difference as mo_difference
+
+    return mo_difference(m1, m2)
+
+
+def sim_product(m1: MultidimensionalObject,
+                m2: MultidimensionalObject) -> MultidimensionalObject:
+    """Relational × simulated by the identity-based join with the
+    constant-true predicate."""
+    return identity_join(m1, m2, JoinPredicate.TRUE)
+
+
+def sim_aggregate(
+    mo: MultidimensionalObject,
+    group_by: Sequence[str],
+    function: str,
+    over: str,
+    result_attribute: str = "result",
+) -> MultidimensionalObject:
+    """Klug's aggregate formation simulated by α: group on the ⊥
+    categories of the group-by attributes (⊤ elsewhere), apply the
+    matching aggregation function over the measure dimension, keep the
+    group-by dimensions plus the result."""
+    if function not in _MEASURE_FUNCTIONS:
+        raise SchemaError(f"unknown aggregate {function!r}")
+    g = _MEASURE_FUNCTIONS[function](over)
+    grouping = {
+        name: mo.dimension(name).dtype.bottom_name for name in group_by
+    }
+    result = make_result_spec(name=result_attribute)
+    aggregated = aggregate(mo, g, grouping, result, strict_types=False)
+    keep = list(group_by) + [result_attribute]
+    return project(aggregated, keep)
+
+
+# -- the checker ------------------------------------------------------------------
+
+
+@dataclass
+class ComparisonResult:
+    """Both sides of one Theorem 2 check."""
+
+    operator: str
+    relational: Relation
+    simulated: Relation
+
+    @property
+    def equal(self) -> bool:
+        """True iff the simulated result equals the relational one."""
+        return (set(self.relational.attributes)
+                == set(self.simulated.attributes)
+                and _normalized(self.relational) == _normalized(self.simulated))
+
+
+def _normalized(relation: Relation) -> Set[tuple]:
+    order = sorted(relation.attributes)
+    indices = [relation.index_of(a) for a in order]
+    return {tuple(row[i] for i in indices) for row in relation}
+
+
+class TheoremTwoChecker:
+    """Runs each Klug operator both relationally and via the MO
+    simulation, and compares the results — the mechanical check behind
+    Theorem 2."""
+
+    def __init__(self, aggtypes: Optional[Dict[str, AggregationType]] = None):
+        self._aggtypes = aggtypes or {}
+
+    def _compile(self, relation: Relation) -> MultidimensionalObject:
+        return relation_to_mo(relation, aggtypes=self._aggtypes)
+
+    def _compile_pair(self, r1: Relation, r2: Relation):
+        """Compile two same-schema relations with *joint* aggregation
+        types, so empty or skewed operands still produce equal schemas
+        for ∪ and \\."""
+        aggtypes = dict(self._aggtypes)
+        for attr in r1.attributes:
+            if attr in aggtypes:
+                continue
+            i1, i2 = r1.index_of(attr), r2.index_of(attr)
+            joint = [row[i1] for row in r1] + [row[i2] for row in r2]
+            aggtypes[attr] = _infer_aggtype(joint)
+        return (relation_to_mo(r1, aggtypes=aggtypes),
+                relation_to_mo(r2, aggtypes=aggtypes))
+
+    def check_select(self, relation: Relation,
+                     predicate: Callable[[Dict[str, Hashable]], bool]
+                     ) -> ComparisonResult:
+        """Compare σ both ways."""
+        return ComparisonResult(
+            "select",
+            r_select(relation, predicate),
+            mo_to_relation(sim_select(self._compile(relation), predicate)),
+        )
+
+    def check_project(self, relation: Relation,
+                      attributes: Sequence[str]) -> ComparisonResult:
+        """Compare π both ways."""
+        return ComparisonResult(
+            "project",
+            r_project(relation, attributes),
+            mo_to_relation(sim_project(self._compile(relation), attributes),
+                           attributes),
+        )
+
+    def check_rename(self, relation: Relation,
+                     mapping: Dict[str, str]) -> ComparisonResult:
+        """Compare ρ both ways."""
+        return ComparisonResult(
+            "rename",
+            r_rename(relation, mapping),
+            mo_to_relation(sim_rename(self._compile(relation), mapping)),
+        )
+
+    def check_union(self, r1: Relation, r2: Relation) -> ComparisonResult:
+        """Compare ∪ both ways."""
+        m1, m2 = self._compile_pair(r1, r2)
+        return ComparisonResult(
+            "union",
+            r_union(r1, r2),
+            mo_to_relation(sim_union(m1, m2)),
+        )
+
+    def check_difference(self, r1: Relation,
+                         r2: Relation) -> ComparisonResult:
+        """Compare \\ both ways."""
+        m1, m2 = self._compile_pair(r1, r2)
+        return ComparisonResult(
+            "difference",
+            r_difference(r1, r2),
+            mo_to_relation(sim_difference(m1, m2)),
+        )
+
+    def check_product(self, r1: Relation, r2: Relation) -> ComparisonResult:
+        """Compare × both ways."""
+        return ComparisonResult(
+            "product",
+            r_product(r1, r2),
+            mo_to_relation(sim_product(self._compile(r1), self._compile(r2))),
+        )
+
+    def check_aggregate(self, relation: Relation, group_by: Sequence[str],
+                        function: str, over: str) -> ComparisonResult:
+        """Compare aggregate formation both ways."""
+        relational = r_aggregate(relation, group_by, function, over)
+        simulated_mo = sim_aggregate(self._compile(relation), group_by,
+                                     function, over)
+        simulated = mo_to_relation(simulated_mo,
+                                   list(group_by) + ["result"])
+        return ComparisonResult("aggregate", relational, simulated)

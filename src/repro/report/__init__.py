@@ -1,0 +1,26 @@
+"""Text renderings of the paper's tables and figures."""
+
+from repro.report.figures import (
+    render_dimension_type,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+)
+from repro.report.dot import dimension_dot, dimension_type_dot, schema_dot
+from repro.report.pivot import pivot, render_pivot
+from repro.report.tables import render_table, render_table1, table1_tuples
+
+__all__ = [
+    "render_dimension_type",
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "dimension_dot",
+    "dimension_type_dot",
+    "schema_dot",
+    "pivot",
+    "render_pivot",
+    "render_table",
+    "render_table1",
+    "table1_tuples",
+]

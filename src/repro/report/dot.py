@@ -1,0 +1,106 @@
+"""Graphviz (DOT) export of schema and dimension lattices.
+
+The paper's future work asks whether "the lattice structures of the
+schema can be used directly in the user interface of an OLAP tool";
+this module produces the machine-readable half: DOT digraphs for a
+dimension type's category lattice, for a dimension's value containment
+graph, and for a whole schema, renderable with any graphviz toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.mo import MultidimensionalObject
+
+__all__ = ["dimension_type_dot", "dimension_dot", "schema_dot"]
+
+
+def _quote(text: object) -> str:
+    return '"' + str(text).replace('"', r'\"') + '"'
+
+
+def dimension_type_dot(dtype: DimensionType) -> str:
+    """The category-type lattice as a DOT digraph (edges point upward,
+    labels show aggregation types)."""
+    lines: List[str] = [f"digraph {_quote(dtype.name)} {{",
+                        "  rankdir=BT;"]
+    for ctype in dtype.category_types():
+        shape = "doublecircle" if ctype.is_top else (
+            "box" if ctype.name == dtype.bottom_name else "ellipse")
+        label = f"{ctype.name}\\n({ctype.aggtype.symbol})"
+        lines.append(f"  {_quote(ctype.name)} "
+                     f"[label={_quote(label)}, shape={shape}];")
+    for ctype in dtype.category_types():
+        for parent in sorted(dtype.pred(ctype.name)):
+            lines.append(f"  {_quote(ctype.name)} -> {_quote(parent)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dimension_dot(dimension: Dimension,
+                  max_values: Optional[int] = 50) -> str:
+    """The value containment graph as a DOT digraph.
+
+    Values are clustered by category; edge labels carry non-trivial
+    annotations (time ranges, probabilities).  ``max_values`` bounds the
+    output for large dimensions (None = no bound).
+    """
+    lines: List[str] = [f"digraph {_quote(dimension.name)} {{",
+                        "  rankdir=BT;"]
+    values = sorted(dimension.values(), key=repr)
+    if max_values is not None:
+        values = values[:max_values]
+    kept = set(values)
+    for index, category in enumerate(dimension.categories()):
+        members = [v for v in values if category.contains(v)]
+        if not members:
+            continue
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(category.name)};")
+        for value in members:
+            label = value.label or str(value.sid)
+            lines.append(f"    {_quote(repr(value.sid))} "
+                         f"[label={_quote(label)}];")
+        lines.append("  }")
+    for child, parent, time, prob in dimension.order.edges():
+        if child not in kept or parent not in kept:
+            continue
+        annotations = []
+        if not time.is_always():
+            annotations.append(repr(time))
+        if prob < 1.0:
+            annotations.append(f"p={prob:g}")
+        attr = (f" [label={_quote(', '.join(annotations))}]"
+                if annotations else "")
+        lines.append(f"  {_quote(repr(child.sid))} -> "
+                     f"{_quote(repr(parent.sid))}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schema_dot(mo: MultidimensionalObject) -> str:
+    """The whole schema (Figure 2's content) as one DOT digraph with a
+    cluster per dimension and the fact type in the middle."""
+    lines: List[str] = [f"digraph {_quote(mo.schema.fact_type)} {{",
+                        "  rankdir=BT;",
+                        f"  {_quote(mo.schema.fact_type)} [shape=box3d];"]
+    for index, name in enumerate(mo.dimension_names):
+        dtype = mo.dimension(name).dtype
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(name)};")
+        for ctype in dtype.category_types():
+            node = f"{name}.{ctype.name}"
+            label = f"{ctype.name}\\n({ctype.aggtype.symbol})"
+            lines.append(f"    {_quote(node)} [label={_quote(label)}];")
+        for ctype in dtype.category_types():
+            for parent in sorted(dtype.pred(ctype.name)):
+                lines.append(f"    {_quote(f'{name}.{ctype.name}')} -> "
+                             f"{_quote(f'{name}.{parent}')};")
+        lines.append("  }")
+        bottom = f"{name}.{dtype.bottom_name}"
+        lines.append(f"  {_quote(mo.schema.fact_type)} -> "
+                     f"{_quote(bottom)} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)

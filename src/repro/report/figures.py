@@ -1,0 +1,123 @@
+"""ASCII renderings of the paper's figures.
+
+* Figure 1 — the ER diagram of the case study — is rendered as a
+  structured inventory of entities, attributes, and relationships;
+* Figure 2 — the schema of the "Patient" MO — renders each dimension's
+  category-type lattice bottom-up;
+* Figure 3 — the result MO of aggregate formation (Example 12) —
+  renders the groups, the retained diagnosis categories, and the result
+  dimension with its ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.mo import MultidimensionalObject
+
+__all__ = [
+    "render_figure1",
+    "render_dimension_type",
+    "render_figure2",
+    "render_figure3",
+]
+
+#: Figure 1's content as structured data: the entities (with attributes)
+#: and relationships of the case study's ER diagram.
+ER_ENTITIES: Dict[str, List[str]] = {
+    "Patient": ["Name", "SSN", "Date of Birth", "(Age)"],
+    "Diagnosis (supertype)": ["Code", "Text", "Valid From", "Valid To"],
+    "Low-level Diagnosis": [],
+    "Diagnosis Family": [],
+    "Diagnosis Group": [],
+    "Area": ["Name"],
+    "County": ["Name"],
+    "Region": ["Name"],
+}
+
+ER_RELATIONSHIPS: List[str] = [
+    "Has(Patient (0,n) — Diagnosis (1,n); Valid From, Valid To, Type)",
+    "Is part of(Low-level Diagnosis (1,n) — Diagnosis Family (1,n); "
+    "Valid From, Valid To, Type)",
+    "Grouping(Diagnosis Family (1,n) — Diagnosis Group (1,n); "
+    "Valid From, Valid To, Type)",
+    "Lives in(Patient (0,n) — Area (1,1); Valid From, Valid To)",
+    "County grouping(Area (1,1) — County (1,n))",
+    "Area grouping(County (1,1) — Region (1,n))",
+    "D(Diagnosis supertype of Low-level Diagnosis, Diagnosis Family, "
+    "Diagnosis Group)",
+]
+
+
+def render_figure1() -> str:
+    """Figure 1 as an entity/relationship inventory."""
+    lines = ["Figure 1. Patient Diagnosis Case Study (ER inventory)", ""]
+    lines.append("Entities:")
+    for entity, attributes in ER_ENTITIES.items():
+        attr = (": " + ", ".join(attributes)) if attributes else ""
+        lines.append(f"  {entity}{attr}")
+    lines.append("")
+    lines.append("Relationships:")
+    for rel in ER_RELATIONSHIPS:
+        lines.append(f"  {rel}")
+    return "\n".join(lines)
+
+
+def render_dimension_type(dtype: DimensionType) -> str:
+    """One dimension's category lattice, bottom-up, with aggregation
+    types and the Pred relation as arrows."""
+    lines = [f"{dtype.name}:"]
+    for ctype in dtype.category_types():
+        marks = []
+        if ctype.is_bottom or ctype.name == dtype.bottom_name:
+            marks.append("⊥")
+        if ctype.is_top:
+            marks.append("⊤")
+        mark = f" [{' '.join(marks)}]" if marks else ""
+        parents = sorted(dtype.pred(ctype.name))
+        arrow = f" -> {', '.join(parents)}" if parents else ""
+        lines.append(
+            f"  {ctype.name} ({ctype.aggtype.symbol}){mark}{arrow}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure2(mo: MultidimensionalObject) -> str:
+    """Figure 2: the schema of an MO as per-dimension lattices."""
+    lines = [f"Figure 2. Schema of the {mo.schema.fact_type!r} MO", ""]
+    for name in mo.dimension_names:
+        lines.append(render_dimension_type(mo.dimension(name).dtype))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_figure3(aggregated: MultidimensionalObject,
+                   group_dimension: str, result_dimension: str) -> str:
+    """Figure 3: the result MO of an aggregate formation, showing the
+    fact-dimension relations of the non-trivial dimensions."""
+    lines = [
+        "Figure 3. Result MO for Aggregate Formation",
+        "",
+        f"Fact type: {aggregated.schema.fact_type}",
+        "",
+    ]
+    for name in (group_dimension, result_dimension):
+        dimension = aggregated.dimension(name)
+        lines.append(render_dimension_type(dimension.dtype))
+        lines.append("  values:")
+        for category in dimension.categories():
+            members = sorted(
+                (v.label or str(v.sid)) for v in category.members()
+            )
+            lines.append(f"    {category.name}: {{{', '.join(members)}}}")
+        lines.append("")
+    for name in (group_dimension, result_dimension):
+        lines.append(f"R[{name}]:")
+        for fact, value in sorted(aggregated.relation(name).pairs(),
+                                  key=repr):
+            members = "{" + ",".join(
+                sorted(str(m.fid) for m in fact.members)) + "}"
+            lines.append(f"  ({members}, {value.label or value.sid})")
+        lines.append("")
+    return "\n".join(lines).rstrip()

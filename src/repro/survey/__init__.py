@@ -1,0 +1,33 @@
+"""The requirements survey (paper §2.2-§2.3): the nine requirements,
+the eight surveyed models, Table 2, and live probes demonstrating each
+requirement against this implementation."""
+
+from repro.survey.evaluate import render_table2, table2_matrix, verified_our_row
+from repro.survey.models import (
+    OUR_MODEL_ROW,
+    SURVEYED_MODELS,
+    Support,
+    SurveyedModel,
+    as_matrix,
+)
+from repro.survey.probes import ProbeResult, run_all_probes, run_probe
+from repro.survey.rationale import RATIONALE, render_rationale
+from repro.survey.requirements import REQUIREMENTS, Requirement
+
+__all__ = [
+    "render_table2",
+    "table2_matrix",
+    "verified_our_row",
+    "OUR_MODEL_ROW",
+    "SURVEYED_MODELS",
+    "Support",
+    "SurveyedModel",
+    "as_matrix",
+    "ProbeResult",
+    "run_all_probes",
+    "run_probe",
+    "RATIONALE",
+    "render_rationale",
+    "REQUIREMENTS",
+    "Requirement",
+]

@@ -1,0 +1,69 @@
+"""Regeneration of Table 2 (paper §2.3).
+
+:func:`table2_matrix` returns the evaluation matrix as structured data;
+:func:`render_table2` renders it in the paper's layout (models as rows,
+requirements 1-9 as columns, cells √ / p / -), optionally appending the
+row for this paper's model, whose cells are *demonstrated* by the live
+probes rather than asserted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.report.tables import render_table
+from repro.survey.models import (
+    OUR_MODEL_ROW,
+    SURVEYED_MODELS,
+    Support,
+    SurveyedModel,
+)
+from repro.survey.probes import ProbeResult, run_all_probes
+
+__all__ = ["table2_matrix", "render_table2", "verified_our_row"]
+
+
+def table2_matrix(include_ours: bool = False) -> List[SurveyedModel]:
+    """The Table 2 rows (optionally with this paper's model appended)."""
+    rows = list(SURVEYED_MODELS)
+    if include_ours:
+        rows.append(OUR_MODEL_ROW)
+    return rows
+
+
+def verified_our_row() -> Tuple[SurveyedModel, List[ProbeResult]]:
+    """This model's Table 2 row with each cell backed by a live probe:
+    the returned row shows √ only where the probe actually passed."""
+    results = run_all_probes()
+    support = tuple(
+        Support.FULL if r.passed else Support.NONE for r in results
+    )
+    row = SurveyedModel(
+        key=OUR_MODEL_ROW.key,
+        citation=OUR_MODEL_ROW.citation,
+        reference=OUR_MODEL_ROW.reference,
+        support=support,
+    )
+    return row, results
+
+
+def render_table2(include_ours: bool = False, verify: bool = False) -> str:
+    """Render Table 2 as text.
+
+    ``include_ours`` appends this paper's model; with ``verify`` its row
+    is computed by running the nine probes.
+    """
+    rows = list(SURVEYED_MODELS)
+    if include_ours:
+        if verify:
+            ours, _ = verified_our_row()
+        else:
+            ours = OUR_MODEL_ROW
+        rows.append(ours)
+    header = [""] + [str(i) for i in range(1, 10)]
+    body = [
+        [model.citation] + [str(level) for level in model.support]
+        for model in rows
+    ]
+    return render_table(header, body,
+                        title="Table 2. Evaluation of the Data Models")

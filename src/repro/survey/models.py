@@ -1,0 +1,117 @@
+"""The eight surveyed data models and their published support levels
+(paper §2.3, Table 2).
+
+Table 2 records, for each model and each of the nine requirements,
+whether the model gives full (√), partial (p), or no (-) support.  The
+matrix below is the paper's judgement reproduced cell-for-cell, with a
+short rationale per non-trivial cell drawn from the paper's discussion
+(the detailed arguments are in the companion TR-37 report).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Support", "SurveyedModel", "SURVEYED_MODELS", "OUR_MODEL_ROW"]
+
+
+class Support(enum.Enum):
+    """A Table 2 cell: full, partial, or no support."""
+
+    FULL = "√"
+    PARTIAL = "p"
+    NONE = "-"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SurveyedModel:
+    """One surveyed model with its support row (requirement → level)."""
+
+    key: str
+    citation: str
+    reference: str
+    support: Tuple[Support, ...]  # indexed by requirement number - 1
+
+    def level(self, requirement_number: int) -> Support:
+        """The support level for requirement ``requirement_number``."""
+        return self.support[requirement_number - 1]
+
+
+F, P, N = Support.FULL, Support.PARTIAL, Support.NONE
+
+SURVEYED_MODELS: Tuple[SurveyedModel, ...] = (
+    SurveyedModel(
+        key="Rafanelli",
+        citation="Rafanelli & Shoshani [6]",
+        reference="STORM: A Statistical Object Representation Model, "
+                  "SSDBM 1990",
+        support=(F, N, N, F, P, N, N, N, N),
+    ),
+    SurveyedModel(
+        key="Agrawal",
+        citation="Agrawal et al. [5]",
+        reference="Modeling Multidimensional Databases, ICDE 1997",
+        support=(P, F, P, N, P, N, N, N, N),
+    ),
+    SurveyedModel(
+        key="Gray",
+        citation="Gray et al. [2]",
+        reference="Data Cube: A Relational Aggregation Operator..., "
+                  "ICDE 1996",
+        support=(N, F, P, P, N, N, N, N, N),
+    ),
+    SurveyedModel(
+        key="Kimball",
+        citation="Kimball [3]",
+        reference="The Data Warehouse Toolkit, Wiley 1996",
+        support=(N, N, F, P, N, N, P, N, N),
+    ),
+    SurveyedModel(
+        key="Li",
+        citation="Li & Wang [10]",
+        reference="A Data Model for Supporting On-Line Analytical "
+                  "Processing, CIKM 1996",
+        support=(P, N, F, P, N, N, N, N, N),
+    ),
+    SurveyedModel(
+        key="Gyssens",
+        citation="Gyssens & Lakshmanan [9]",
+        reference="A Foundation for Multi-Dimensional Databases, VLDB 1997",
+        support=(N, F, P, P, N, N, N, N, N),
+    ),
+    SurveyedModel(
+        key="Datta",
+        citation="Datta & Thomas [13]",
+        reference="A Conceptual Model and Algebra for OLAP..., WITS 1997",
+        support=(N, F, P, N, P, N, N, N, N),
+    ),
+    SurveyedModel(
+        key="Lehner",
+        citation="Lehner [11]",
+        reference="Modeling Large Scale OLAP Scenarios, EDBT 1998",
+        support=(F, N, N, F, N, N, N, N, N),
+    ),
+)
+
+#: The row the paper claims for its own model: full support of all nine
+#: requirements.  The live probes in :mod:`repro.survey.probes`
+#: *demonstrate* each cell against this implementation.
+OUR_MODEL_ROW: SurveyedModel = SurveyedModel(
+    key="Pedersen",
+    citation="Pedersen & Jensen (this paper)",
+    reference="Multidimensional Data Modeling for Complex Data, ICDE 1999",
+    support=(F, F, F, F, F, F, F, F, F),
+)
+
+
+def as_matrix() -> Dict[str, Tuple[Support, ...]]:
+    """The Table 2 matrix keyed by model key."""
+    return {model.key: model.support for model in SURVEYED_MODELS}
+
+
+__all__ += ["as_matrix"]

@@ -1,0 +1,195 @@
+"""Executable probes: each of the nine requirements demonstrated live
+against this implementation (paper §2.2 / §5).
+
+Every probe builds on the case study, exercises the feature through the
+public API, and returns a :class:`ProbeResult` with a human-readable
+account of what was verified.  The Table 2 benchmark runs all nine and
+asserts that they pass — turning the paper's claimed "√" row into a
+checked property of the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.algebra import SetCount, Sum, aggregate
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.aggtypes import AggregationType
+from repro.core.helpers import make_result_spec
+from repro.core.properties import (
+    hierarchy_is_partitioning,
+    hierarchy_is_strict,
+)
+from repro.survey.requirements import REQUIREMENTS, Requirement
+from repro.temporal.chronon import day
+from repro.temporal.timeslice import valid_timeslice
+from repro.uncertainty import expected_count, is_certain
+
+__all__ = ["ProbeResult", "run_probe", "run_all_probes"]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one requirement probe."""
+
+    requirement: Requirement
+    passed: bool
+    detail: str
+
+
+def _probe_1_explicit_hierarchies() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    dtype = mo.dimension("Residence").dtype
+    chain_ok = (dtype.leq("Area", "County") and dtype.leq("County", "Region")
+                and not dtype.leq("Region", "Area"))
+    return chain_ok, (
+        "Residence dimension type explicitly captures Area < County < "
+        "Region in its category-type lattice"
+    )
+
+
+def _probe_2_symmetric_treatment() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    # Age as a measure: sum of ages per diagnosis group
+    result = make_result_spec("AgeSum")
+    agg = aggregate(mo, Sum("Age"), {"Diagnosis": "Diagnosis Group"}, result,
+                    strict_types=False)
+    sums = {tuple(sorted(m.fid for m in f.members)): v.sid
+            for f, v in agg.relation("AgeSum").pairs()}
+    # Age as a dimension: the same attribute has grouping categories
+    age = mo.dimension("Age")
+    groups = age.category("Ten-year group").members()
+    measure_ok = sums and all(isinstance(s, (int, float)) for s in sums.values())
+    dimension_ok = len(groups) > 0 and \
+        age.dtype.bottom.aggtype is AggregationType.SUM
+    return bool(measure_ok and dimension_ok), (
+        "Age is summed per diagnosis group (a measure) and simultaneously "
+        "carries five-/ten-year grouping categories (a dimension)"
+    )
+
+
+def _probe_3_multiple_hierarchies() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    dtype = mo.dimension("DOB").dtype
+    ok = (dtype.leq("Day", "Week") and dtype.leq("Day", "Month")
+          and dtype.leq("Month", "Year")
+          and not dtype.leq("Week", "Month")
+          and not dtype.leq("Month", "Week")
+          and dtype.is_lattice())
+    return ok, (
+        "The DOB dimension holds two aggregation paths (Day < Week and "
+        "Day < Month < Quarter < Year < Decade) in one lattice"
+    )
+
+
+def _probe_4_correct_aggregation() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    result = make_result_spec()
+    agg = aggregate(mo, SetCount(), {"Diagnosis": "Diagnosis Group"}, result)
+    counts = {}
+    for fact, value in agg.relation("Diagnosis").pairs():
+        counts[value.sid] = len(fact.members)
+    # patient 2 has two diagnoses under group 11 (old 8 via user-defined 3,
+    # and 9) but counts once; and the unsafe result is marked constant
+    once = counts.get(11) == 2 and counts.get(12) == 1
+    guarded = agg.dimension("Result").dtype.bottom.aggtype \
+        is AggregationType.CONSTANT
+    return bool(once and guarded), (
+        "Set-count counts each patient once per diagnosis group, and the "
+        "propagation rule marks the non-summarizable result 'c' so it "
+        "cannot be double counted further"
+    )
+
+
+def _probe_5_non_strict_hierarchies() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    diag = mo.dimension("Diagnosis")
+    non_strict = not hierarchy_is_strict(diag)
+    # low-level 5 sits in two families: 4 (WHO) and 9 (user-defined)
+    both = diag.leq(diagnosis_value(5), diagnosis_value(4)) and \
+        diag.leq(diagnosis_value(5), diagnosis_value(9))
+    partitioning = hierarchy_is_partitioning(
+        diag.subdimension(["Low-level Diagnosis", "Diagnosis Family"]))
+    return bool(non_strict and both and partitioning), (
+        "Low-level diagnosis 5 belongs to families 4 and 9 at once; the "
+        "hierarchy is detected as non-strict"
+    )
+
+
+def _probe_6_many_to_many() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    values = mo.relation("Diagnosis").values_of(patient_fact(2))
+    ok = {v.sid for v in values} == {3, 5, 8, 9}
+    return ok, (
+        "Patient 2 is directly related to four diagnoses (3, 5, 8, 9) in "
+        "one fact-dimension relation"
+    )
+
+
+def _probe_7_change_and_time() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=True, include_example10_link=True)
+    rel, dim = mo.relation("Diagnosis"), mo.dimension("Diagnosis")
+    t = rel.characterization_time(patient_fact(2), diagnosis_value(11), dim)
+    spans_change = day(1980, 6, 1) in t and day(1990, 6, 1) in t
+    slice75 = valid_timeslice(mo, day(1975, 6, 1))
+    old_world = diagnosis_value(11) not in slice75.dimension("Diagnosis")
+    return bool(spans_change and old_world), (
+        "Example 10: patient 2 counts under the new 'Diabetes' group "
+        "across the 1980 reclassification, and the 1975 timeslice shows "
+        "the old classification only"
+    )
+
+
+def _probe_8_uncertainty() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    uncertain = case_study_mo(temporal=False)
+    uncertain.relate(patient_fact(1), "Diagnosis", diagnosis_value(10),
+                     prob=0.9)
+    e = expected_count(uncertain, "Diagnosis", diagnosis_value(10))
+    ok = abs(e - 0.9) < 1e-12 and is_certain(mo) and not is_certain(uncertain)
+    return ok, (
+        "A 90%-certain diagnosis yields an expected count of 0.9 and the "
+        "MO is recognized as uncertain"
+    )
+
+
+def _probe_9_granularity() -> Tuple[bool, str]:
+    mo = case_study_mo(temporal=False)
+    rel, dim = mo.relation("Diagnosis"), mo.dimension("Diagnosis")
+    # patient 1 is related to 9, a Diagnosis *Family* (imprecise), while
+    # patient 2 is also related to low-level diagnoses (precise)
+    level_of = {v.sid: dim.category_name_of(v)
+                for v in rel.values_of(patient_fact(1))
+                | rel.values_of(patient_fact(2))}
+    ok = level_of.get(9) == "Diagnosis Family" and \
+        level_of.get(5) == "Low-level Diagnosis"
+    return ok, (
+        "Facts link to values of different categories: patient 1 to a "
+        "family (imprecise), patient 2 also to low-level diagnoses"
+    )
+
+
+_PROBES: List[Callable[[], Tuple[bool, str]]] = [
+    _probe_1_explicit_hierarchies,
+    _probe_2_symmetric_treatment,
+    _probe_3_multiple_hierarchies,
+    _probe_4_correct_aggregation,
+    _probe_5_non_strict_hierarchies,
+    _probe_6_many_to_many,
+    _probe_7_change_and_time,
+    _probe_8_uncertainty,
+    _probe_9_granularity,
+]
+
+
+def run_probe(requirement_number: int) -> ProbeResult:
+    """Run the probe for one requirement (1-9)."""
+    requirement = REQUIREMENTS[requirement_number - 1]
+    passed, detail = _PROBES[requirement_number - 1]()
+    return ProbeResult(requirement=requirement, passed=passed, detail=detail)
+
+
+def run_all_probes() -> List[ProbeResult]:
+    """Run all nine probes, in requirement order."""
+    return [run_probe(i) for i in range(1, 10)]

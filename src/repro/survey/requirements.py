@@ -1,0 +1,71 @@
+"""The nine requirements to multidimensional data models (paper §2.2).
+
+Each requirement is a first-class object carrying the paper's number,
+short name, and description, so the survey matrix (Table 2), the live
+probes, and the documentation all draw from one source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Requirement", "REQUIREMENTS"]
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One of the paper's nine requirements."""
+
+    number: int
+    name: str
+    description: str
+
+
+REQUIREMENTS: Tuple[Requirement, ...] = (
+    Requirement(
+        1, "Explicit hierarchies in dimensions",
+        "Dimension hierarchies (e.g. area < county < region) are captured "
+        "explicitly to aid navigation.",
+    ),
+    Requirement(
+        2, "Symmetric treatment of dimensions and measures",
+        "Any attribute can serve as a measure or as a dimension (e.g. Age "
+        "for averages as well as for age groups).",
+    ),
+    Requirement(
+        3, "Multiple hierarchies in a dimension",
+        "Several aggregation paths coexist in one dimension (e.g. days "
+        "roll up into weeks or months).",
+    ),
+    Requirement(
+        4, "Correct aggregation (summarizability)",
+        "Data is not double counted and non-additive data is not added "
+        "(e.g. a patient counts once per diagnosis group).",
+    ),
+    Requirement(
+        5, "Non-strict hierarchies",
+        "A lower-level item may belong to several higher-level items "
+        "(the user-defined diagnosis hierarchy).",
+    ),
+    Requirement(
+        6, "Many-to-many fact-dimension relationships",
+        "A fact may relate to several dimension values (patients have "
+        "several diagnoses).",
+    ),
+    Requirement(
+        7, "Handling change and time",
+        "Changes in data over time (e.g. the evolving diagnosis "
+        "classification) are supported directly.",
+    ),
+    Requirement(
+        8, "Handling uncertainty",
+        "Uncertain data (e.g. a 90%-certain diagnosis) is handled "
+        "directly.",
+    ),
+    Requirement(
+        9, "Different levels of granularity",
+        "Data may be recorded at mixed precision (precise and imprecise "
+        "diagnoses).",
+    ),
+)

@@ -1,0 +1,71 @@
+"""Temporal support for the model (paper §3.2 and §4.2).
+
+Chronons, coalesced chronon sets, and bitemporal rectangles are
+importable eagerly.  The modules that build on the core model —
+granularities (:mod:`repro.temporal.granularity`), the timeslice
+operators (:mod:`repro.temporal.timeslice`), and the versioned store
+(:mod:`repro.temporal.versioned`) — are re-exported lazily to avoid a
+core ↔ temporal import cycle; attribute access loads them on demand.
+"""
+
+from repro.temporal.bitemporal import BitemporalTimeSet
+from repro.temporal.chronon import (
+    NOW,
+    TIME_MAX,
+    TIME_MIN,
+    Chronon,
+    NowType,
+    day,
+    format_day,
+    from_date,
+    parse_day,
+    to_date,
+)
+from repro.temporal.timeset import (
+    ALWAYS,
+    EMPTY,
+    TimeSet,
+    coalesce_intersection,
+    coalesce_union,
+)
+
+_LAZY = {
+    "Granularity": "repro.temporal.granularity",
+    "STANDARD_GRANULARITIES": "repro.temporal.granularity",
+    "build_time_dimension": "repro.temporal.granularity",
+    "timeslice_dimension": "repro.temporal.timeslice",
+    "transaction_timeslice": "repro.temporal.timeslice",
+    "valid_timeslice": "repro.temporal.timeslice",
+    "Version": "repro.temporal.versioned",
+    "VersionedMOStore": "repro.temporal.versioned",
+}
+
+__all__ = [
+    "BitemporalTimeSet",
+    "NOW",
+    "TIME_MAX",
+    "TIME_MIN",
+    "Chronon",
+    "NowType",
+    "day",
+    "format_day",
+    "from_date",
+    "parse_day",
+    "to_date",
+    "ALWAYS",
+    "EMPTY",
+    "TimeSet",
+    "coalesce_intersection",
+    "coalesce_union",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    """Lazily resolve the core-dependent temporal modules' exports."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

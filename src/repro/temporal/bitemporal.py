@@ -1,0 +1,134 @@
+"""Bitemporal chronon sets (paper §3.2, ``Tt × Tv``).
+
+The paper notes that transaction time is *orthogonal* to valid time and
+uses ``Tt × Tv`` to denote sets of bitemporal chronons.  A
+:class:`BitemporalTimeSet` is a finite union of rectangles
+``Tt_i × Tv_i`` where each component is a coalesced :class:`TimeSet`.
+
+The representation keeps the rectangles normalized by transaction
+component: rectangles whose valid components are equal and whose
+transaction components are adjacent or overlapping are merged, which
+is sufficient for the equality and slicing operations the algebra's
+temporal rules need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.temporal.chronon import Chronon
+from repro.temporal.timeset import TimeSet
+
+__all__ = ["BitemporalTimeSet"]
+
+Rectangle = Tuple[TimeSet, TimeSet]  # (transaction component, valid component)
+
+
+def _normalize(rects: Iterable[Rectangle]) -> Tuple[Rectangle, ...]:
+    """Drop empty rectangles and merge rectangles sharing a component.
+
+    Two passes: first merge transaction components of rectangles with the
+    same valid component, then merge valid components of rectangles with
+    the same transaction component.  The result is canonical for the
+    rectangle unions produced by the algebra rules (which only combine
+    whole rectangles), giving a usable equality.
+    """
+    by_valid: dict[TimeSet, TimeSet] = {}
+    for tt, tv in rects:
+        if tt.is_empty() or tv.is_empty():
+            continue
+        by_valid[tv] = by_valid.get(tv, TimeSet.empty()).union(tt)
+    by_txn: dict[TimeSet, TimeSet] = {}
+    for tv, tt in by_valid.items():
+        by_txn[tt] = by_txn.get(tt, TimeSet.empty()).union(tv)
+    return tuple(sorted(
+        ((tt, tv) for tt, tv in by_txn.items()),
+        key=lambda r: (r[0].intervals, r[1].intervals),
+    ))
+
+
+class BitemporalTimeSet:
+    """A finite union of bitemporal rectangles ``Tt × Tv``."""
+
+    __slots__ = ("_rects",)
+
+    def __init__(self, rectangles: Iterable[Rectangle] = ()) -> None:
+        self._rects: Tuple[Rectangle, ...] = _normalize(rectangles)
+
+    @classmethod
+    def rectangle(cls, transaction: TimeSet, valid: TimeSet) -> "BitemporalTimeSet":
+        """A single rectangle ``transaction × valid``."""
+        return cls(((transaction, valid),))
+
+    @classmethod
+    def always(cls) -> "BitemporalTimeSet":
+        """The full bitemporal plane."""
+        return cls(((TimeSet.always(), TimeSet.always()),))
+
+    @classmethod
+    def empty(cls) -> "BitemporalTimeSet":
+        """The empty bitemporal set."""
+        return cls(())
+
+    @property
+    def rectangles(self) -> Tuple[Rectangle, ...]:
+        """The normalized rectangles as ``(transaction, valid)`` pairs."""
+        return self._rects
+
+    def is_empty(self) -> bool:
+        """True iff no bitemporal chronon is covered."""
+        return not self._rects
+
+    def __bool__(self) -> bool:
+        return bool(self._rects)
+
+    def contains(self, transaction: Chronon, valid: Chronon) -> bool:
+        """Membership of the bitemporal chronon ``(transaction, valid)``."""
+        return any(transaction in tt and valid in tv for tt, tv in self._rects)
+
+    def union(self, other: "BitemporalTimeSet") -> "BitemporalTimeSet":
+        """Union of the rectangle sets (re-normalized)."""
+        return BitemporalTimeSet(self._rects + other._rects)
+
+    def intersection(self, other: "BitemporalTimeSet") -> "BitemporalTimeSet":
+        """Pairwise rectangle intersection."""
+        out: list[Rectangle] = []
+        for tt1, tv1 in self._rects:
+            for tt2, tv2 in other._rects:
+                out.append((tt1.intersection(tt2), tv1.intersection(tv2)))
+        return BitemporalTimeSet(out)
+
+    def transaction_slice(self, t: Chronon) -> TimeSet:
+        """The valid-time set current in the database at transaction
+        time ``t`` — the valid component of the transaction-timeslice
+        operator τ_t."""
+        acc = TimeSet.empty()
+        for tt, tv in self._rects:
+            if t in tt:
+                acc = acc.union(tv)
+        return acc
+
+    def valid_slice(self, t: Chronon) -> TimeSet:
+        """The transaction-time set during which the statement was
+        recorded as valid at real-world time ``t`` — the transaction
+        component of the valid-timeslice operator τ_v on bitemporal
+        data."""
+        acc = TimeSet.empty()
+        for tt, tv in self._rects:
+            if t in tv:
+                acc = acc.union(tt)
+        return acc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitemporalTimeSet):
+            return NotImplemented
+        return self._rects == other._rects
+
+    def __hash__(self) -> int:
+        return hash(self._rects)
+
+    def __repr__(self) -> str:
+        if not self._rects:
+            return "BitemporalTimeSet(∅)"
+        parts = ", ".join(f"{tt!r}×{tv!r}" for tt, tv in self._rects)
+        return f"BitemporalTimeSet({parts})"

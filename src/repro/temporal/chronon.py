@@ -1,0 +1,177 @@
+"""The time domain of the model (paper §3.2).
+
+The paper assumes a time domain that is *discrete and bounded*, i.e.,
+isomorphic with a bounded subset of the natural numbers, whose values are
+called *chronons*.  The examples in the paper use a chronon size of one
+day, with dates written ``dd/mm/yy``; this module fixes the same
+convention:
+
+* a chronon is an ``int`` equal to the proleptic Gregorian ordinal of a
+  calendar day (``datetime.date.toordinal``);
+* the domain is bounded by :data:`TIME_MIN` and :data:`TIME_MAX`;
+* the special, continuously-growing value ``NOW`` (Clifford et al.,
+  cited as [20] in the paper) is represented by the sentinel
+  :data:`NOW`, which is resolved against a caller-supplied *reference
+  time* when concrete chronon sets are needed.
+
+The paper's Table 1 writes two-digit years; we interpret years ``30``-``99``
+as 19xx and ``00``-``29`` as 20xx, which matches the case study's 1950-1989
+dates while staying usable for present-day data.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Final, Union
+
+from repro._errors import TemporalError
+
+__all__ = [
+    "Chronon",
+    "TIME_MIN",
+    "TIME_MAX",
+    "NOW",
+    "NowType",
+    "day",
+    "from_date",
+    "to_date",
+    "parse_day",
+    "format_day",
+    "check_chronon",
+    "resolve_endpoint",
+]
+
+#: A chronon: one day, encoded as a proleptic Gregorian ordinal.
+Chronon = int
+
+#: Smallest chronon in the bounded domain (1 January 1900).
+TIME_MIN: Final[Chronon] = _dt.date(1900, 1, 1).toordinal()
+
+#: Largest chronon in the bounded domain (31 December 2199).
+TIME_MAX: Final[Chronon] = _dt.date(2199, 12, 31).toordinal()
+
+
+class NowType:
+    """Singleton sentinel for the continuously-growing value ``NOW``.
+
+    ``NOW`` compares greater than every concrete chronon so that interval
+    constructors can validate ``start <= end`` uniformly.
+    """
+
+    _instance: "NowType | None" = None
+
+    def __new__(cls) -> "NowType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NOW"
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, (int, NowType)):
+            return False
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, NowType):
+            return True
+        if isinstance(other, int):
+            return False
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return True
+        if isinstance(other, NowType):
+            return False
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, (int, NowType)):
+            return True
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash("repro.temporal.NOW")
+
+
+#: The sentinel ``NOW`` used as the open upper endpoint of validity.
+NOW: Final[NowType] = NowType()
+
+#: An interval endpoint: a concrete chronon or ``NOW``.
+Endpoint = Union[Chronon, NowType]
+
+
+def check_chronon(t: Chronon) -> Chronon:
+    """Validate that ``t`` lies inside the bounded time domain.
+
+    Raises :class:`TemporalError` otherwise and returns ``t`` unchanged
+    so the function can be used inline.
+    """
+    if not isinstance(t, int) or isinstance(t, bool):
+        raise TemporalError(f"chronon must be an int, got {t!r}")
+    if not TIME_MIN <= t <= TIME_MAX:
+        raise TemporalError(
+            f"chronon {t} outside bounded domain [{TIME_MIN}, {TIME_MAX}]"
+        )
+    return t
+
+
+def day(year: int, month: int, dayofmonth: int) -> Chronon:
+    """Build the chronon for a calendar day, e.g. ``day(1980, 1, 1)``."""
+    return check_chronon(_dt.date(year, month, dayofmonth).toordinal())
+
+
+def from_date(d: _dt.date) -> Chronon:
+    """Convert a :class:`datetime.date` to a chronon."""
+    return check_chronon(d.toordinal())
+
+
+def to_date(t: Chronon) -> _dt.date:
+    """Convert a chronon back to a :class:`datetime.date`."""
+    check_chronon(t)
+    return _dt.date.fromordinal(t)
+
+
+def parse_day(text: str) -> Endpoint:
+    """Parse a paper-style ``dd/mm/yy`` (or ``dd/mm/yyyy``) date, or ``NOW``.
+
+    Two-digit years 30-99 map to 19xx and 00-29 to 20xx, matching the
+    case study's date range.
+
+    >>> parse_day("01/01/80") == day(1980, 1, 1)
+    True
+    >>> parse_day("NOW") is NOW
+    True
+    """
+    text = text.strip()
+    if text.upper() == "NOW":
+        return NOW
+    parts = text.split("/")
+    if len(parts) != 3:
+        raise TemporalError(f"cannot parse date {text!r}; expected dd/mm/yy")
+    d, m, y = (int(p) for p in parts)
+    if y < 100:
+        y += 1900 if y >= 30 else 2000
+    return day(y, m, d)
+
+
+def format_day(t: Endpoint) -> str:
+    """Render an endpoint in the paper's ``dd/mm/yy`` notation."""
+    if isinstance(t, NowType):
+        return "NOW"
+    d = to_date(t)
+    return f"{d.day:02d}/{d.month:02d}/{d.year % 100:02d}"
+
+
+def resolve_endpoint(endpoint: Endpoint, reference: Chronon) -> Chronon:
+    """Resolve an endpoint against a reference time.
+
+    ``NOW`` resolves to ``reference`` (the semantics of a continuously
+    growing value observed at ``reference``); concrete chronons resolve
+    to themselves.
+    """
+    if isinstance(endpoint, NowType):
+        return check_chronon(reference)
+    return check_chronon(endpoint)

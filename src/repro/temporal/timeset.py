@@ -1,0 +1,295 @@
+"""Coalesced sets of chronons (paper §3.2).
+
+The paper attaches *sets of chronons* to the dimension partial order, to
+representations, to category membership, and to fact-dimension relations,
+and requires that each attached set is the **maximal** set of chronons
+during which the datum is valid, so the data is always *coalesced* and
+there are no "value-equivalent" entries.
+
+:class:`TimeSet` implements such a set as an immutable, sorted sequence of
+disjoint, non-adjacent, closed integer intervals, guaranteeing the
+coalescing invariant by construction.  All the set algebra the temporal
+algebra rules need is provided: union, intersection, difference,
+containment, and slicing at a chronon.
+
+The paper's examples write chronon sets in interval notation such as
+``[01/01/80 - NOW]``; :func:`repro.temporal.chronon.parse_day` plus
+:meth:`TimeSet.interval` reproduce that notation, with ``NOW`` resolved
+against a reference time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro._errors import TemporalError
+from repro.temporal.chronon import (
+    TIME_MAX,
+    TIME_MIN,
+    Chronon,
+    Endpoint,
+    NowType,
+    check_chronon,
+    format_day,
+    resolve_endpoint,
+)
+
+__all__ = ["TimeSet", "ALWAYS", "EMPTY"]
+
+Interval = Tuple[Chronon, Chronon]
+
+
+def _normalize(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
+    """Sort, validate, and coalesce closed intervals.
+
+    Overlapping or adjacent intervals (``end + 1 == next start``) merge,
+    establishing the paper's coalescing invariant.
+    """
+    items = sorted(intervals)
+    out: list[Interval] = []
+    for start, end in items:
+        check_chronon(start)
+        check_chronon(end)
+        if start > end:
+            raise TemporalError(f"interval start {start} after end {end}")
+        if out and start <= out[-1][1] + 1:
+            prev_start, prev_end = out[-1]
+            out[-1] = (prev_start, max(prev_end, end))
+        else:
+            out.append((start, end))
+    return tuple(out)
+
+
+class TimeSet:
+    """An immutable, coalesced set of chronons.
+
+    Construct via the classmethods: :meth:`interval` for a single closed
+    interval (endpoints may be ``NOW``, resolved against ``reference``),
+    :meth:`of` for an explicit iterable of intervals, :meth:`point` for a
+    single chronon, :meth:`always` / :meth:`empty` for the extremes.
+
+    Instances are hashable and ordered by their interval sequence, so
+    they can key dictionaries in timestamped collections.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: Tuple[Interval, ...] = _normalize(intervals)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def of(cls, intervals: Iterable[Interval]) -> "TimeSet":
+        """Build a time set from an iterable of ``(start, end)`` pairs."""
+        return cls(intervals)
+
+    @classmethod
+    def interval(
+        cls,
+        start: Endpoint,
+        end: Endpoint,
+        reference: Chronon | None = None,
+    ) -> "TimeSet":
+        """Build the closed interval ``[start, end]``.
+
+        ``NOW`` endpoints are resolved against ``reference``; when
+        ``reference`` is omitted, ``NOW`` resolves to the domain maximum,
+        which models "valid until further notice" and matches how the
+        case study's open rows behave under any later timeslice.
+        """
+        ref = TIME_MAX if reference is None else reference
+        lo = resolve_endpoint(start, ref)
+        hi = resolve_endpoint(end, ref)
+        return cls(((lo, hi),))
+
+    @classmethod
+    def point(cls, t: Chronon) -> "TimeSet":
+        """Build the singleton set ``{t}``."""
+        return cls(((t, t),))
+
+    @classmethod
+    def always(cls) -> "TimeSet":
+        """The whole bounded time domain (data with no time attached is
+        *always* valid, per the paper)."""
+        return _ALWAYS
+
+    @classmethod
+    def empty(cls) -> "TimeSet":
+        """The empty chronon set."""
+        return _EMPTY
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The coalesced closed intervals, in ascending order."""
+        return self._intervals
+
+    def is_empty(self) -> bool:
+        """True iff the set contains no chronon."""
+        return not self._intervals
+
+    def is_always(self) -> bool:
+        """True iff the set is the entire bounded domain."""
+        return self._intervals == ((TIME_MIN, TIME_MAX),)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __contains__(self, t: object) -> bool:
+        if isinstance(t, NowType):
+            t = TIME_MAX
+        if not isinstance(t, int):
+            return False
+        return any(start <= t <= end for start, end in self._intervals)
+
+    def duration(self) -> int:
+        """Number of chronons in the set."""
+        return sum(end - start + 1 for start, end in self._intervals)
+
+    def min(self) -> Chronon:
+        """Smallest chronon in the set; raises on the empty set."""
+        if not self._intervals:
+            raise TemporalError("empty time set has no minimum")
+        return self._intervals[0][0]
+
+    def max(self) -> Chronon:
+        """Largest chronon in the set; raises on the empty set."""
+        if not self._intervals:
+            raise TemporalError("empty time set has no maximum")
+        return self._intervals[-1][1]
+
+    def chronons(self) -> Iterator[Chronon]:
+        """Iterate every chronon in the set (ascending).  Beware of very
+        long intervals; intended for tests and small examples."""
+        for start, end in self._intervals:
+            yield from range(start, end + 1)
+
+    def sample_chronons(self) -> Iterator[Chronon]:
+        """Iterate a small set of *representative* chronons: each interval
+        contributes its endpoints.  Any property that is piecewise
+        constant between the critical chronons of the data (as all the
+        model's temporal properties are) can be checked at these samples.
+        """
+        for start, end in self._intervals:
+            yield start
+            if end != start:
+                yield end
+
+    # -- set algebra -----------------------------------------------------
+
+    def union(self, other: "TimeSet") -> "TimeSet":
+        """Set union; result is coalesced."""
+        return TimeSet(self._intervals + other._intervals)
+
+    def intersection(self, other: "TimeSet") -> "TimeSet":
+        """Set intersection via an ordered merge of the interval lists."""
+        out: list[Interval] = []
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return TimeSet(out)
+
+    def difference(self, other: "TimeSet") -> "TimeSet":
+        """Set difference ``self - other``."""
+        out: list[Interval] = []
+        for start, end in self._intervals:
+            cur = start
+            for ostart, oend in other._intervals:
+                if oend < cur:
+                    continue
+                if ostart > end:
+                    break
+                if ostart > cur:
+                    out.append((cur, ostart - 1))
+                cur = max(cur, oend + 1)
+                if cur > end:
+                    break
+            if cur <= end:
+                out.append((cur, end))
+        return TimeSet(out)
+
+    def complement(self) -> "TimeSet":
+        """Complement within the bounded time domain."""
+        return TimeSet.always().difference(self)
+
+    def issubset(self, other: "TimeSet") -> bool:
+        """True iff every chronon of ``self`` is in ``other``.
+
+        The paper notes that data valid during ``T`` is, by implication,
+        valid during any subset of ``T``; this predicate implements that
+        implication check.
+        """
+        return self.difference(other).is_empty()
+
+    def overlaps(self, other: "TimeSet") -> bool:
+        """True iff the two sets share at least one chronon."""
+        return not self.intersection(other).is_empty()
+
+    # operator sugar
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __le__ = issubset
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "TimeSet(∅)"
+        if self.is_always():
+            return "TimeSet(ALWAYS)"
+        parts = ", ".join(
+            f"[{format_day(s)} - {format_day(e)}]" for s, e in self._intervals
+        )
+        return f"TimeSet({parts})"
+
+
+_ALWAYS = TimeSet(((TIME_MIN, TIME_MAX),))
+_EMPTY = TimeSet(())
+
+#: The whole bounded time domain.
+ALWAYS: TimeSet = _ALWAYS
+
+#: The empty chronon set.
+EMPTY: TimeSet = _EMPTY
+
+
+def coalesce_union(sets: Sequence[TimeSet]) -> TimeSet:
+    """Union an arbitrary sequence of time sets (coalesced)."""
+    intervals: list[Interval] = []
+    for ts in sets:
+        intervals.extend(ts.intervals)
+    return TimeSet(intervals)
+
+
+def coalesce_intersection(sets: Sequence[TimeSet]) -> TimeSet:
+    """Intersect an arbitrary non-empty sequence of time sets."""
+    if not sets:
+        return ALWAYS
+    acc = sets[0]
+    for ts in sets[1:]:
+        acc = acc.intersection(ts)
+        if acc.is_empty():
+            break
+    return acc
+
+
+__all__ += ["coalesce_union", "coalesce_intersection"]

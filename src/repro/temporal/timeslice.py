@@ -1,0 +1,104 @@
+"""The timeslice operators (paper §4.2).
+
+``τ_v(M, t)`` — the *valid-timeslice* — returns the parts of the MO that
+are valid at chronon ``t``, **with no valid time attached**: category
+membership, the partial order, representations, and fact-dimension
+relations are all restricted to ``t`` and the result's temporal type
+drops from valid-time to snapshot (or from bitemporal to
+transaction-time; see :mod:`repro.temporal.versioned` for the
+transaction dimension).
+
+``τ_t`` — the *transaction-timeslice* — is defined the same way on
+transaction-time MOs; since both kinds annotate with the same chronon-set
+machinery, one implementation serves both, dispatching on the MO's kind.
+"""
+
+from __future__ import annotations
+
+from repro.core.dimension import Dimension
+from repro.core.errors import TemporalError
+from repro.core.factdim import FactDimensionRelation
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.values import Fact
+from repro.temporal.chronon import Chronon, check_chronon
+
+__all__ = ["valid_timeslice", "transaction_timeslice", "timeslice_dimension"]
+
+
+def timeslice_dimension(dimension: Dimension, t: Chronon) -> Dimension:
+    """The dimension as it was at chronon ``t``: members, order
+    relationships, and representation assignments current at ``t``,
+    re-attached with no time."""
+    check_chronon(t)
+    result = Dimension(dimension.dtype)
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        for value in category.members(at=t):
+            result.add_value(category.name, value)
+    for child, parent, time, prob in dimension.order.edges():
+        if t in time and child in result and parent in result:
+            result.add_edge(child, parent, prob=prob)
+    for category in dimension.categories():
+        if category.ctype.is_top:
+            continue
+        for rep_name, rep in dimension.representations_of(category.name).items():
+            target = result.add_representation(category.name, rep_name)
+            for value, rep_value, time in rep.entries():
+                if t in time and value in result:
+                    target.assign(value, rep_value)
+    return result
+
+
+def _timeslice(mo: MultidimensionalObject, t: Chronon,
+               new_kind: TimeKind) -> MultidimensionalObject:
+    dimensions = {
+        name: timeslice_dimension(mo.dimension(name), t)
+        for name in mo.dimension_names
+    }
+    relations = {}
+    facts: set[Fact] = set()
+    for name in mo.dimension_names:
+        relation = FactDimensionRelation(name)
+        for fact, value, time, prob in mo.relation(name).annotated_pairs():
+            if t in time and value in dimensions[name]:
+                relation.add(fact, value, prob=prob)
+                facts.add(fact)
+        relations[name] = relation
+    # the paper keeps F' = F; facts with no pair at t would violate the
+    # no-missing-values invariant, so they are characterized by ⊤ — the
+    # "cannot characterize f within this dimension (at t)" marker.
+    for name in mo.dimension_names:
+        related = relations[name].facts()
+        for fact in mo.facts - related:
+            relations[name].add(fact, dimensions[name].top_value)
+    return MultidimensionalObject(
+        schema=mo.schema,
+        facts=mo.facts,
+        dimensions=dimensions,
+        relations=relations,
+        kind=new_kind,
+    )
+
+
+def valid_timeslice(mo: MultidimensionalObject,
+                    t: Chronon) -> MultidimensionalObject:
+    """``τ_v(M, t)``: the snapshot of a valid-time MO at real-world time
+    ``t``.  Raises :class:`TemporalError` on MOs without valid time."""
+    if mo.kind is not TimeKind.VALID:
+        raise TemporalError(
+            f"valid-timeslice needs a valid-time MO, got {mo.kind.value}"
+        )
+    return _timeslice(mo, t, TimeKind.SNAPSHOT)
+
+
+def transaction_timeslice(mo: MultidimensionalObject,
+                          t: Chronon) -> MultidimensionalObject:
+    """``τ_t(M, t)``: the snapshot of a transaction-time MO as the
+    database stood at time ``t``."""
+    if mo.kind is not TimeKind.TRANSACTION:
+        raise TemporalError(
+            f"transaction-timeslice needs a transaction-time MO, got "
+            f"{mo.kind.value}"
+        )
+    return _timeslice(mo, t, TimeKind.SNAPSHOT)

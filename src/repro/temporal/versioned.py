@@ -1,0 +1,121 @@
+"""Bitemporal MOs as versioned stores (paper §3.2).
+
+The paper adds transaction time orthogonally to valid time: a bitemporal
+MO records, for every statement, both when it was true in reality and
+when it was current in the database, "for accountability and
+traceability purposes".
+
+:class:`VersionedMOStore` realizes a bitemporal MO as an append-only
+sequence of database states: each *version* is a valid-time MO together
+with the transaction-time interval during which it was the current
+database state.  The two timeslice operators then compose exactly as the
+paper describes:
+
+* ``transaction_timeslice(t)`` returns the valid-time MO current at
+  transaction time ``t`` (bitemporal → valid-time);
+* ``valid_timeslice(t)`` applied to that result gives a snapshot
+  (valid-time → snapshot);
+* applying valid-timeslice across *all* versions gives the transaction-
+  time history of one real-world instant (bitemporal → transaction-time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.errors import TemporalError
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.temporal.chronon import TIME_MAX, Chronon, check_chronon
+from repro.temporal.timeset import TimeSet
+from repro.temporal.timeslice import valid_timeslice
+
+__all__ = ["Version", "VersionedMOStore"]
+
+
+@dataclass(frozen=True)
+class Version:
+    """One database state and its transaction-time extent."""
+
+    mo: MultidimensionalObject
+    transaction_time: TimeSet
+
+
+class VersionedMOStore:
+    """An append-only bitemporal store of valid-time MOs.
+
+    Append states in transaction-time order with :meth:`commit`; the
+    previous current version is closed at the new version's start.
+    """
+
+    def __init__(self) -> None:
+        self._versions: List[Version] = []
+
+    def commit(self, mo: MultidimensionalObject, at: Chronon) -> None:
+        """Make ``mo`` the current database state from transaction time
+        ``at`` on.  ``mo`` must be a valid-time MO; commits must be in
+        non-decreasing transaction-time order."""
+        check_chronon(at)
+        if mo.kind is not TimeKind.VALID:
+            raise TemporalError(
+                f"a bitemporal store holds valid-time MOs, got {mo.kind.value}"
+            )
+        if self._versions:
+            last = self._versions[-1]
+            last_start = last.transaction_time.min()
+            if at <= last_start:
+                raise TemporalError(
+                    f"commit at {at} does not follow the previous commit "
+                    f"at {last_start}"
+                )
+            self._versions[-1] = Version(
+                mo=last.mo,
+                transaction_time=TimeSet.interval(last_start, at - 1),
+            )
+        self._versions.append(
+            Version(mo=mo, transaction_time=TimeSet.interval(at, TIME_MAX))
+        )
+
+    @property
+    def versions(self) -> List[Version]:
+        """All versions, oldest first."""
+        return list(self._versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def transaction_timeslice(self, t: Chronon) -> MultidimensionalObject:
+        """``τ_t``: the valid-time MO current in the database at ``t``."""
+        check_chronon(t)
+        for version in self._versions:
+            if t in version.transaction_time:
+                return version.mo
+        raise TemporalError(f"no database state current at {t}")
+
+    def current(self) -> MultidimensionalObject:
+        """The latest database state."""
+        if not self._versions:
+            raise TemporalError("the store has no versions")
+        return self._versions[-1].mo
+
+    def snapshot(self, transaction_t: Chronon,
+                 valid_t: Chronon) -> MultidimensionalObject:
+        """The full bitemporal slice: the snapshot MO describing what the
+        database at ``transaction_t`` said reality was like at
+        ``valid_t``."""
+        return valid_timeslice(self.transaction_timeslice(transaction_t),
+                               valid_t)
+
+    def valid_timeslice_history(
+        self, valid_t: Chronon
+    ) -> List[Version]:
+        """``τ_v`` across the store: for one real-world instant, every
+        recorded belief about it, as (snapshot MO, transaction time)
+        versions — the bitemporal → transaction-time reading."""
+        out: List[Version] = []
+        for version in self._versions:
+            out.append(Version(
+                mo=valid_timeslice(version.mo, valid_t),
+                transaction_time=version.transaction_time,
+            ))
+        return out

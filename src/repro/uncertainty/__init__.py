@@ -1,0 +1,29 @@
+"""Uncertainty support (paper §3.3): probabilities on the dimension
+partial order and the fact-dimension relations, with noisy-or
+composition, expected-count analytics, and certainty thresholds."""
+
+from repro.uncertainty.operators import (
+    possible_worlds_count,
+    probabilistic_rollup,
+    select_with_certainty,
+)
+from repro.uncertainty.probability import (
+    certain_core,
+    characterization_probability,
+    expected_count,
+    expected_group_counts,
+    expected_sum,
+    is_certain,
+)
+
+__all__ = [
+    "possible_worlds_count",
+    "probabilistic_rollup",
+    "select_with_certainty",
+    "certain_core",
+    "characterization_probability",
+    "expected_count",
+    "expected_group_counts",
+    "expected_sum",
+    "is_certain",
+]

@@ -1,0 +1,94 @@
+"""Probability-aware algebra operations (paper §3.3 / §4).
+
+"The probabilities are also handled by the algebra."  The fundamental
+operators already carry probability annotations through unchanged (they
+copy fact-dimension entries verbatim); this module adds the operations
+whose *semantics* involve the probabilities:
+
+* :func:`select_with_certainty` — σ restricted to facts characterized
+  with at least a minimum certainty (the natural probabilistic
+  selection);
+* :func:`probabilistic_rollup` — aggregate formation under expected-
+  value semantics for counting: each group value receives the expected
+  number of qualifying facts rather than a crisp count;
+* :func:`possible_worlds_count` — the exact distribution of the count
+  for small groups, by enumeration of the independent-pair worlds,
+  against which the expectation is property-tested.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.predicates import characterized_with_certainty
+from repro.algebra.selection import select
+from repro.core.mo import MultidimensionalObject
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import Chronon
+from repro.uncertainty.probability import expected_group_counts
+
+__all__ = [
+    "select_with_certainty",
+    "probabilistic_rollup",
+    "possible_worlds_count",
+]
+
+
+def select_with_certainty(
+    mo: MultidimensionalObject,
+    dimension_name: str,
+    value: DimensionValue,
+    min_prob: float,
+) -> MultidimensionalObject:
+    """σ keeping the facts characterized by ``value`` with probability at
+    least ``min_prob`` — e.g. "patients diagnosed with diabetes with at
+    least 90% certainty"."""
+    return select(
+        mo, characterized_with_certainty(dimension_name, value, min_prob))
+
+
+def probabilistic_rollup(
+    mo: MultidimensionalObject,
+    dimension_name: str,
+    category_name: str,
+    at: Optional[Chronon] = None,
+) -> List[Tuple[DimensionValue, float]]:
+    """Expected set-count per value of the grouping category, sorted by
+    value repr — the uncertain counterpart of Example 12."""
+    counts = expected_group_counts(mo, dimension_name, category_name, at=at)
+    return sorted(counts.items(), key=lambda item: repr(item[0]))
+
+
+def possible_worlds_count(
+    mo: MultidimensionalObject,
+    dimension_name: str,
+    value: DimensionValue,
+    at: Optional[Chronon] = None,
+) -> Dict[int, float]:
+    """The exact probability distribution of "number of facts
+    characterized by ``value``", assuming the facts' characterizations
+    are independent.
+
+    Enumerates the 2^k worlds over the k facts with a positive
+    characterization probability, so it is intended for verification on
+    small MOs; its expectation equals :func:`expected_count` exactly.
+    """
+    relation = mo.relation(dimension_name)
+    dimension = mo.dimension(dimension_name)
+    probs: List[float] = []
+    for fact in sorted(relation.facts_characterized_by(value, dimension),
+                       key=repr):
+        p = relation.characterization_probability(fact, value, dimension,
+                                                  at=at)
+        if p > 0.0:
+            probs.append(p)
+    distribution: Dict[int, float] = {}
+    for world in product((True, False), repeat=len(probs)):
+        weight = 1.0
+        count = 0
+        for included, p in zip(world, probs):
+            weight *= p if included else (1.0 - p)
+            count += included
+        distribution[count] = distribution.get(count, 0.0) + weight
+    return {count: p for count, p in distribution.items() if p > 0.0}

@@ -1,0 +1,174 @@
+"""Uncertainty handling (paper §3.3).
+
+"The basic idea is to add probabilities p to the parts of the model
+where it makes sense": the partial order on dimension values
+(``e1 ≤_p e2``) and the fact-dimension relations (``(f, e) ∈_p R``).
+The ICDE paper sketches this and defers the details to the companion
+technical report; this module implements the natural completion used
+throughout the library and documents its assumptions:
+
+* probabilities compose multiplicatively along a containment path and a
+  fact-dimension pair (a 90%-certain diagnosis placed in an 80%-certain
+  family yields a 72%-certain characterization);
+* parallel derivations combine by noisy-or under an assumption of
+  independence;
+* when every probability is 1 the model degenerates to the certain
+  model (property-tested).
+
+The low-level machinery lives on :class:`~repro.core.order.AnnotatedOrder`
+and :class:`~repro.core.factdim.FactDimensionRelation`; this module adds
+the analysis-level operations: expected counts, certainty thresholds,
+and extraction of the certain core of an uncertain MO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.dimension import Dimension
+from repro.core.errors import UncertaintyError
+from repro.core.factdim import FactDimensionRelation
+from repro.core.mo import MultidimensionalObject
+from repro.core.values import DimensionValue, Fact
+from repro.temporal.chronon import Chronon
+
+__all__ = [
+    "characterization_probability",
+    "expected_count",
+    "expected_group_counts",
+    "expected_sum",
+    "certain_core",
+    "is_certain",
+]
+
+
+def characterization_probability(
+    mo: MultidimensionalObject,
+    fact: Fact,
+    dimension_name: str,
+    value: DimensionValue,
+    at: Optional[Chronon] = None,
+) -> float:
+    """``P(f ⇝ value)`` in the named dimension (see
+    :meth:`FactDimensionRelation.characterization_probability`)."""
+    return mo.relation(dimension_name).characterization_probability(
+        fact, value, mo.dimension(dimension_name), at=at)
+
+
+def expected_count(
+    mo: MultidimensionalObject,
+    dimension_name: str,
+    value: DimensionValue,
+    at: Optional[Chronon] = None,
+) -> float:
+    """The expected number of facts characterized by ``value``:
+    ``Σ_f P(f ⇝ value)``.
+
+    This is the probabilistic counterpart of Example 12's set-count —
+    by linearity of expectation it needs no independence assumption
+    across facts.
+    """
+    relation = mo.relation(dimension_name)
+    dimension = mo.dimension(dimension_name)
+    total = 0.0
+    for fact in relation.facts_characterized_by(value, dimension):
+        total += relation.characterization_probability(
+            fact, value, dimension, at=at)
+    return total
+
+
+def expected_group_counts(
+    mo: MultidimensionalObject,
+    dimension_name: str,
+    category_name: str,
+    at: Optional[Chronon] = None,
+) -> Dict[DimensionValue, float]:
+    """Expected set-counts for every value of a grouping category — the
+    probabilistic aggregate formation for counting."""
+    dimension = mo.dimension(dimension_name)
+    return {
+        value: expected_count(mo, dimension_name, value, at=at)
+        for value in dimension.category(category_name).members(at=at)
+    }
+
+
+def expected_sum(
+    mo: MultidimensionalObject,
+    group_dimension: str,
+    group_value: DimensionValue,
+    measure_dimension: str,
+    at: Optional[Chronon] = None,
+) -> float:
+    """The expected sum of a measure over the facts characterized by
+    ``group_value``: ``Σ_f P(f ⇝ group_value) · measure(f)``.
+
+    A fact's measure is the sum of its numeric base values in the
+    measure dimension, each weighted by its own pair probability.
+    """
+    group_relation = mo.relation(group_dimension)
+    group_dim = mo.dimension(group_dimension)
+    measure_relation = mo.relation(measure_dimension)
+    total = 0.0
+    for fact in group_relation.facts_characterized_by(group_value, group_dim):
+        p_group = group_relation.characterization_probability(
+            fact, group_value, group_dim, at=at)
+        if p_group == 0.0:
+            continue
+        for value in measure_relation.values_of(fact):
+            if value.is_top:
+                continue
+            sid = value.sid
+            if isinstance(sid, bool) or not isinstance(sid, (int, float)):
+                raise UncertaintyError(
+                    f"value {value!r} has a non-numeric surrogate; cannot "
+                    f"take its expectation"
+                )
+            p_pair = max(
+                (p for _, p in measure_relation.annotations(fact, value)),
+                default=0.0,
+            )
+            total += p_group * p_pair * float(sid)
+    return total
+
+
+def certain_core(mo: MultidimensionalObject,
+                 threshold: float = 1.0) -> MultidimensionalObject:
+    """The certain (or ``≥ threshold``-certain) part of an uncertain MO:
+    fact-dimension pairs below the threshold are dropped, and facts left
+    without a pair in some dimension are related to ⊤ there (the paper's
+    marker for "cannot characterize").
+
+    With ``threshold=1.0`` and a fully certain input this is the
+    identity (the degeneration property).
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise UncertaintyError(f"threshold {threshold} outside [0, 1]")
+    relations = {}
+    for name in mo.dimension_names:
+        result = FactDimensionRelation(name)
+        for fact, value, time, prob in mo.relation(name).annotated_pairs():
+            if prob >= threshold:
+                result.add(fact, value, time=time, prob=prob)
+        for fact in mo.facts - result.facts():
+            result.add(fact, mo.dimension(name).top_value)
+        relations[name] = result
+    return MultidimensionalObject(
+        schema=mo.schema,
+        facts=mo.facts,
+        dimensions={n: mo.dimension(n) for n in mo.dimension_names},
+        relations=relations,
+        kind=mo.kind,
+    )
+
+
+def is_certain(mo: MultidimensionalObject) -> bool:
+    """True iff no annotation of the MO carries probability < 1 — i.e.
+    the MO lies in the basic (certain) model."""
+    for name in mo.dimension_names:
+        for _, _, _, prob in mo.relation(name).annotated_pairs():
+            if prob < 1.0:
+                return False
+        for _, _, _, prob in mo.dimension(name).order.edges():
+            if prob < 1.0:
+                return False
+    return True

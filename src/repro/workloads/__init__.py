@@ -1,0 +1,22 @@
+"""Seeded synthetic workload generators: the clinical domain of the
+case study at scale, and the retail domain of the paper's introduction."""
+
+from repro.workloads.generator import (
+    ClinicalConfig,
+    ClinicalWorkload,
+    generate_clinical,
+)
+from repro.workloads.retail import RetailConfig, RetailWorkload, generate_retail
+from repro.workloads.wide import WideConfig, WideWorkload, generate_wide
+
+__all__ = [
+    "ClinicalConfig",
+    "ClinicalWorkload",
+    "generate_clinical",
+    "RetailConfig",
+    "RetailWorkload",
+    "generate_retail",
+    "WideConfig",
+    "WideWorkload",
+    "generate_wide",
+]

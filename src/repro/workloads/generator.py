@@ -1,0 +1,168 @@
+"""A seeded, scalable clinical workload generator.
+
+Produces "Patient" MOs of any size with the statistical shape of the
+paper's case study: an ICD-like diagnosis classification (5-20 children
+per node, optional non-strict links, optional two-era change-over),
+an Area < County < Region residence hierarchy, an additive Age
+dimension, many-to-many patient-diagnosis relationships at mixed
+granularity, optional validity intervals, and optional diagnosis
+uncertainty.
+
+The paper's evaluation is a two-patient example; these workloads back
+the scaling and ablation benchmarks (DESIGN.md §4) that probe the
+future-work question of efficient implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.casestudy.icd import IcdClassification, IcdShape, build_icd_dimension
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.helpers import Band, make_numeric_dimension
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact, SurrogateSource
+from repro.temporal.chronon import NOW, day
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+__all__ = ["ClinicalConfig", "ClinicalWorkload", "generate_clinical"]
+
+
+@dataclass(frozen=True)
+class ClinicalConfig:
+    """Parameters of a synthetic clinical workload."""
+
+    n_patients: int = 100
+    diagnoses_per_patient: Tuple[int, int] = (1, 4)
+    #: fraction of diagnosis links recorded imprecisely, at the
+    #: Diagnosis Family level (requirement 9: mixed granularity).
+    family_granularity_prob: float = 0.2
+    icd: IcdShape = IcdShape()
+    n_regions: int = 3
+    counties_per_region: int = 3
+    areas_per_county: int = 4
+    #: attach validity intervals (valid-time MO) instead of ALWAYS.
+    temporal: bool = False
+    #: fraction of diagnosis links carrying probability < 1.
+    uncertainty_prob: float = 0.0
+    seed: int = 0
+
+
+@dataclass
+class ClinicalWorkload:
+    """A generated workload: the MO plus the value inventories the
+    benchmarks sweep over."""
+
+    mo: MultidimensionalObject
+    icd: IcdClassification
+    areas: List[DimensionValue] = field(default_factory=list)
+    counties: List[DimensionValue] = field(default_factory=list)
+    regions: List[DimensionValue] = field(default_factory=list)
+    patients: List[Fact] = field(default_factory=list)
+
+
+def _residence_dimension(
+    config: ClinicalConfig,
+    surrogates: SurrogateSource,
+    workload: ClinicalWorkload,
+) -> Dimension:
+    ctypes = [
+        CategoryType("Area", AggregationType.CONSTANT, is_bottom=True),
+        CategoryType("County", AggregationType.CONSTANT),
+        CategoryType("Region", AggregationType.CONSTANT),
+    ]
+    dimension = Dimension(DimensionType(
+        "Residence", ctypes, [("Area", "County"), ("County", "Region")]))
+    for r in range(config.n_regions):
+        region = surrogates.fresh_value(label=f"R{r}")
+        dimension.add_value("Region", region)
+        workload.regions.append(region)
+        for c in range(config.counties_per_region):
+            county = surrogates.fresh_value(label=f"C{r}.{c}")
+            dimension.add_value("County", county)
+            dimension.add_edge(county, region)
+            workload.counties.append(county)
+            for a in range(config.areas_per_county):
+                area = surrogates.fresh_value(label=f"A{r}.{c}.{a}")
+                dimension.add_value("Area", area)
+                dimension.add_edge(area, county)
+                workload.areas.append(area)
+    return dimension
+
+
+def _random_interval(rng: random.Random) -> TimeSet:
+    start_year = rng.randint(1970, 1998)
+    start = day(start_year, rng.randint(1, 12), rng.randint(1, 28))
+    if rng.random() < 0.5:
+        return TimeSet.interval(start, NOW)
+    end_year = rng.randint(start_year, 1999)
+    end = day(end_year, 12, rng.randint(1, 28))
+    return TimeSet.interval(start, max(start, end))
+
+
+def generate_clinical(config: ClinicalConfig = ClinicalConfig()
+                      ) -> ClinicalWorkload:
+    """Generate a clinical workload from a configuration.
+
+    The result is deterministic in ``config`` (including the seed).
+    """
+    rng = random.Random(config.seed)
+    surrogates = SurrogateSource(start=1)
+    icd = build_icd_dimension(rng, config.icd, surrogates=surrogates)
+    workload = ClinicalWorkload(mo=None, icd=icd)  # type: ignore[arg-type]
+    residence = _residence_dimension(config, surrogates, workload)
+    ages = list(range(0, 100))
+    five_year = [Band(lo, lo + 5) for lo in range(0, 100, 5)]
+    ten_year = [Band(lo, lo + 10) for lo in range(0, 100, 10)]
+    age = make_numeric_dimension(
+        "Age", ages,
+        bands={"Five-year group": five_year, "Ten-year group": ten_year},
+        aggtype=AggregationType.SUM,
+    )
+    dimensions = {
+        "Diagnosis": icd.dimension,
+        "Residence": residence,
+        "Age": age,
+    }
+    schema = FactSchema("Patient", [d.dtype for d in dimensions.values()])
+    mo = MultidimensionalObject(
+        schema=schema,
+        dimensions=dimensions,
+        kind=TimeKind.VALID if config.temporal else TimeKind.SNAPSHOT,
+    )
+    age_values = {
+        a: DimensionValue(sid=a, label=str(a)) for a in ages
+    }
+    low_levels = icd.low_levels
+    families = icd.families
+    for _ in range(config.n_patients):
+        patient = surrogates.fresh_fact(ftype="Patient")
+        mo.add_fact(patient)
+        workload.patients.append(patient)
+        mo.relate(patient, "Age", age_values[rng.randint(0, 99)])
+        mo.relate(patient, "Residence", rng.choice(workload.areas),
+                  time=_random_interval(rng) if config.temporal else ALWAYS)
+        n_diagnoses = rng.randint(*config.diagnoses_per_patient)
+        for _ in range(n_diagnoses):
+            if rng.random() < config.family_granularity_prob:
+                value = rng.choice(families)
+            else:
+                value = rng.choice(low_levels)
+            time = _random_interval(rng) if config.temporal else ALWAYS
+            if config.temporal:
+                existence = icd.dimension.existence_time(value)
+                time = time.intersection(existence)
+                if time.is_empty():
+                    time = existence
+            prob = 1.0
+            if config.uncertainty_prob > 0.0 and \
+                    rng.random() < config.uncertainty_prob:
+                prob = round(rng.uniform(0.5, 0.99), 2)
+            mo.relate(patient, "Diagnosis", value, time=time, prob=prob)
+    workload.mo = mo
+    return workload

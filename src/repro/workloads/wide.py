@@ -1,0 +1,109 @@
+"""Wide MOs — the paper's last future-work question: "how
+multidimensional models may cope with the hundreds of dimensions found
+in some applications".
+
+This generator builds MOs with an arbitrary number of simple (⊥ + ⊤)
+dimensions plus a configurable handful of deep ones, so the test suite
+and the wide-schema bench can probe where per-dimension costs bite:
+validation, projection, selection, and aggregate formation all touch
+every dimension.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.mo import MultidimensionalObject
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact, SurrogateSource
+
+__all__ = ["WideConfig", "WideWorkload", "generate_wide"]
+
+
+@dataclass(frozen=True)
+class WideConfig:
+    """Parameters of a wide workload."""
+
+    n_facts: int = 100
+    #: number of simple (⊥ + ⊤) dimensions.
+    n_flat_dimensions: int = 100
+    #: values per flat dimension's ⊥ category.
+    flat_cardinality: int = 8
+    #: number of three-level (L0 < L1 < L2) dimensions.
+    n_deep_dimensions: int = 2
+    values_per_level: int = 6
+    seed: int = 0
+
+
+@dataclass
+class WideWorkload:
+    """The generated MO plus per-dimension value inventories."""
+
+    mo: MultidimensionalObject
+    flat_values: Dict[str, List[DimensionValue]] = field(
+        default_factory=dict)
+    deep_bottom_values: Dict[str, List[DimensionValue]] = field(
+        default_factory=dict)
+
+
+def generate_wide(config: WideConfig = WideConfig()) -> WideWorkload:
+    """Generate a wide MO (deterministic in ``config``)."""
+    rng = random.Random(config.seed)
+    surrogates = SurrogateSource(start=1)
+    workload = WideWorkload(mo=None)  # type: ignore[arg-type]
+    dimensions: Dict[str, Dimension] = {}
+
+    for i in range(config.n_flat_dimensions):
+        name = f"F{i:03d}"
+        dtype = DimensionType(
+            name, [CategoryType(name, AggregationType.CONSTANT,
+                                is_bottom=True)], [])
+        dimension = Dimension(dtype)
+        values = [
+            surrogates.fresh_value(label=f"{name}.{j}")
+            for j in range(config.flat_cardinality)
+        ]
+        for value in values:
+            dimension.add_value(name, value)
+        dimensions[name] = dimension
+        workload.flat_values[name] = values
+
+    for i in range(config.n_deep_dimensions):
+        name = f"D{i}"
+        levels = [f"{name}L{k}" for k in range(3)]
+        ctypes = [CategoryType(level, AggregationType.CONSTANT,
+                               is_bottom=(k == 0))
+                  for k, level in enumerate(levels)]
+        edges = [(levels[0], levels[1]), (levels[1], levels[2])]
+        dimension = Dimension(DimensionType(name, ctypes, edges))
+        level_values: List[List[DimensionValue]] = []
+        for level in levels:
+            values = [
+                surrogates.fresh_value(label=f"{level}.{j}")
+                for j in range(config.values_per_level)
+            ]
+            for value in values:
+                dimension.add_value(level, value)
+            level_values.append(values)
+        for k in range(2):
+            for child in level_values[k]:
+                dimension.add_edge(child, rng.choice(level_values[k + 1]))
+        dimensions[name] = dimension
+        workload.deep_bottom_values[name] = level_values[0]
+
+    schema = FactSchema("Wide", [d.dtype for d in dimensions.values()])
+    mo = MultidimensionalObject(schema=schema, dimensions=dimensions)
+    for _ in range(config.n_facts):
+        fact = surrogates.fresh_fact(ftype="Wide")
+        mo.add_fact(fact)
+        for name, values in workload.flat_values.items():
+            mo.relate(fact, name, rng.choice(values))
+        for name, values in workload.deep_bottom_values.items():
+            mo.relate(fact, name, rng.choice(values))
+    workload.mo = mo
+    return workload

@@ -1,0 +1,247 @@
+"""Tests for the aggregate formation operator α (paper §4.1-§4.2)."""
+
+import warnings
+
+import pytest
+
+from repro.algebra import (
+    Avg,
+    Max,
+    Min,
+    SetCount,
+    Sum,
+    aggregate,
+    summarizability_of,
+    validate_closed,
+)
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.aggtypes import AggregationType
+from repro.core.errors import (
+    AggregationTypeError,
+    SchemaError,
+    SummarizabilityWarning,
+)
+from repro.core.helpers import Band, make_result_spec
+from repro.core.values import Fact
+from repro.temporal.chronon import day
+from repro.temporal.timeset import TimeSet
+
+
+def group_counts(aggregated, dimension_name, result_name):
+    out = {}
+    for fact in aggregated.facts:
+        for value in aggregated.relation(dimension_name).values_of(fact):
+            result = next(
+                iter(aggregated.relation(result_name).values_of(fact))).sid
+            out[value.sid] = result
+    return out
+
+
+class TestExample12:
+    """The paper's Example 12, literally."""
+
+    def test_fact_dimension_relation_r1(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        r1 = {(frozenset(m.fid for m in f.members), v.sid)
+              for f, v in agg.relation("Diagnosis").pairs()}
+        assert r1 == {(frozenset({1, 2}), 11), (frozenset({2}), 12)}
+
+    def test_result_relation_r7(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        r7 = {(frozenset(m.fid for m in f.members), v.sid)
+              for f, v in agg.relation("Result").pairs()}
+        assert r7 == {(frozenset({1, 2}), 2), (frozenset({2}), 1)}
+
+    def test_patient_counted_once_per_group(self, snapshot_mo):
+        """Patient 2 has several diagnoses under group 11 but counts
+        once — the model's requirement-4 behaviour."""
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        counts = group_counts(agg, "Diagnosis", "Result")
+        assert counts == {11: 2, 12: 1}
+
+    def test_fact_type_is_set_of_patient(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        assert agg.schema.fact_type == "Set-of-Patient"
+        assert all(f.is_group for f in agg.facts)
+
+    def test_diagnosis_dimension_cut_from_group_up(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        dtype = agg.dimension("Diagnosis").dtype
+        assert dtype.bottom_name == "Diagnosis Group"
+        assert "Low-level Diagnosis" not in dtype
+        assert "Diagnosis Family" not in dtype
+
+    def test_other_dimensions_become_trivial(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        for name in ("Name", "SSN", "Age", "DOB", "Residence"):
+            dtype = agg.dimension(name).dtype
+            assert dtype.bottom_name == dtype.top_name
+
+    def test_result_ranges_of_figure3(self, snapshot_mo):
+        spec = make_result_spec(bands=[Band(0, 2), Band(2, None)])
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, spec)
+        rng = agg.dimension("Result")
+        two = spec.value_for(2)
+        assert {p.label for p in rng.order.parents(two)} == {">1"}
+
+    def test_result_closed(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        assert validate_closed(agg).ok
+
+
+class TestAggtypePropagation:
+    def test_non_summarizable_result_is_constant(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        assert agg.dimension("Result").dtype.bottom.aggtype is \
+            AggregationType.CONSTANT
+
+    def test_summarizable_sum_keeps_argument_type(self, strict_clinical):
+        agg = aggregate(strict_clinical.mo, Sum("Age"),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        assert agg.dimension("Result").dtype.bottom.aggtype is \
+            AggregationType.SUM
+
+    def test_avg_result_is_constant_even_when_strict(self, strict_clinical):
+        """AVG is not distributive, so its results can never feed
+        further aggregation."""
+        agg = aggregate(strict_clinical.mo, Avg("Age"),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        assert agg.dimension("Result").dtype.bottom.aggtype is \
+            AggregationType.CONSTANT
+
+    def test_higher_result_categories_take_min(self, strict_clinical):
+        spec = make_result_spec(bands=[Band(0, 1000)])
+        agg = aggregate(strict_clinical.mo, Sum("Age"),
+                        {"Diagnosis": "Diagnosis Group"}, spec)
+        # Range category was c, min(c, ⊕) = c
+        assert agg.dimension("Result").dtype.aggtype("Range") is \
+            AggregationType.CONSTANT
+
+    def test_summarizability_of_reporting(self, snapshot_mo,
+                                          strict_clinical):
+        bad = summarizability_of(snapshot_mo, SetCount(),
+                                 {"Diagnosis": "Diagnosis Group"})
+        good = summarizability_of(strict_clinical.mo, Sum("Age"),
+                                  {"Diagnosis": "Diagnosis Group"})
+        assert not bad.summarizable and good.summarizable
+
+
+class TestApplicabilityCheck:
+    def test_sum_over_constant_data_rejected(self, snapshot_mo):
+        with pytest.raises(AggregationTypeError):
+            aggregate(snapshot_mo, Sum("Name"), {}, make_result_spec())
+
+    def test_min_over_average_data_allowed(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, Min("DOB"), {}, make_result_spec())
+        (result,) = {v.sid for f in agg.facts
+                     for v in agg.relation("Result").values_of(f)}
+        assert result == min(
+            v.sid for v in snapshot_mo.dimension("DOB").bottom_category
+        )
+
+    def test_sum_over_dob_rejected(self, snapshot_mo):
+        """DOB is ⊘: adding dates of birth is meaningless."""
+        with pytest.raises(AggregationTypeError):
+            aggregate(snapshot_mo, Sum("DOB"), {}, make_result_spec())
+
+    def test_permissive_mode_warns(self, snapshot_mo):
+        """Summing dates of birth (⊘ data) is meaningless but numeric:
+        permissive mode computes it and warns."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            aggregate(snapshot_mo, Sum("DOB"), {}, make_result_spec(),
+                      strict_types=False)
+        assert any(issubclass(w.category, SummarizabilityWarning)
+                   for w in caught)
+
+
+class TestGroupingVariants:
+    def test_multi_dimension_grouping(self, snapshot_mo):
+        agg = aggregate(
+            snapshot_mo, SetCount(),
+            {"Diagnosis": "Diagnosis Group", "Residence": "Region"},
+            make_result_spec())
+        assert validate_closed(agg).ok
+        assert all(f.is_group for f in agg.facts)
+
+    def test_top_grouping_single_group(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(), {}, make_result_spec())
+        assert len(agg.facts) == 1
+        (fact,) = agg.facts
+        assert fact.members == snapshot_mo.facts
+        (count,) = {v.sid for v in agg.relation("Result").values_of(fact)}
+        assert count == 2
+
+    def test_fact_without_characterization_excluded(self, snapshot_mo):
+        """Grouping at Low-level excludes patient 1, whose only
+        diagnosis is recorded at family granularity."""
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Low-level Diagnosis"},
+                        make_result_spec())
+        members = set()
+        for f in agg.facts:
+            members |= {m.fid for m in f.members}
+        assert members == {2}
+
+    def test_sum_of_ages(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, Sum("Age"),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec(),
+                        strict_types=False)
+        sums = group_counts(agg, "Diagnosis", "Result")
+        assert sums == {11: 29 + 48, 12: 48}
+
+    def test_unknown_grouping_dimension_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            aggregate(snapshot_mo, SetCount(), {"Nope": "X"},
+                      make_result_spec())
+
+    def test_result_name_collision_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            aggregate(snapshot_mo, SetCount(), {},
+                      make_result_spec(name="Age"))
+
+    def test_merged_groups_share_fact(self, snapshot_mo):
+        """Combos selecting the same fact set merge into one set-fact
+        related to several values — the paper's 2^F semantics."""
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group",
+                         "Residence": "County"},
+                        make_result_spec())
+        just_two = Fact.group([patient_fact(2)])
+        values = agg.relation("Diagnosis").values_of(just_two)
+        assert {v.sid for v in values} == {11, 12}
+
+
+class TestTemporalAggregation:
+    def test_group_entry_time_is_member_intersection(self, valid_time_mo):
+        agg = aggregate(valid_time_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        # group {1,2} under 11: patient 1 ⇝ 11 during [89, NOW],
+        # patient 2 ⇝ 11 during [82, NOW] (via 9) — intersection [89, NOW]
+        target = None
+        for fact, value in agg.relation("Diagnosis").pairs():
+            if value.sid == 11 and len(fact.members) == 2:
+                target = agg.relation("Diagnosis").pair_time(fact, value)
+        assert target is not None
+        assert target.min() == day(1989, 1, 1)
+
+    def test_grouping_at_chronon(self, valid_time_mo):
+        agg75 = aggregate(valid_time_mo, SetCount(),
+                          {"Diagnosis": "Diagnosis Family"},
+                          make_result_spec(), at=day(1975, 6, 1))
+        facts = {frozenset(m.fid for m in f.members) for f in agg75.facts}
+        assert facts == {frozenset({2})}
+
+    def test_result_kind_preserved(self, valid_time_mo):
+        agg = aggregate(valid_time_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, make_result_spec())
+        assert agg.kind is valid_time_mo.kind

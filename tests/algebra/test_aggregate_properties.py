@@ -1,0 +1,95 @@
+"""Property tests for aggregate formation's invariants."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra import SetCount, aggregate, summarizability_of
+from repro.core.aggtypes import AggregationType
+from repro.core.helpers import make_result_spec
+from tests.strategies import small_mos
+
+_settings = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _bottom_grouping(mo):
+    name = mo.dimension_names[0]
+    return name, {name: mo.dimension(name).dtype.bottom_name}
+
+
+@_settings
+@given(small_mos())
+def test_groups_are_exactly_the_characterized_facts(mo):
+    name, grouping = _bottom_grouping(mo)
+    agg = aggregate(mo, SetCount(), grouping, make_result_spec(),
+                    strict_types=False)
+    dimension = mo.dimension(name)
+    relation = mo.relation(name)
+    for fact, value in agg.relation(name).pairs():
+        if value.is_top:
+            continue
+        expected = relation.facts_characterized_by(value, dimension)
+        assert fact.members <= expected
+
+
+@_settings
+@given(small_mos())
+def test_excluded_facts_lack_grouping_characterization(mo):
+    name, grouping = _bottom_grouping(mo)
+    agg = aggregate(mo, SetCount(), grouping, make_result_spec(),
+                    strict_types=False)
+    included = {m for f in agg.facts for m in f.members}
+    dimension = mo.dimension(name)
+    relation = mo.relation(name)
+    members = dimension.bottom_category.members()
+    for fact in mo.facts - included:
+        assert not any(
+            relation.characterizes(fact, value, dimension)
+            for value in members
+        )
+
+
+@_settings
+@given(small_mos())
+def test_set_count_results_match_group_sizes(mo):
+    name, grouping = _bottom_grouping(mo)
+    agg = aggregate(mo, SetCount(), grouping, make_result_spec(),
+                    strict_types=False)
+    for fact in agg.facts:
+        (result,) = {
+            v.sid for v in agg.relation("Result").values_of(fact)
+            if not v.is_top
+        } or {None}
+        assert result == len(fact.members)
+
+
+@_settings
+@given(small_mos())
+def test_aggtype_propagation_consistent_with_verdict(mo):
+    """Set-count has no argument dimensions, so min over Args(g) is ⊕:
+    the result's ⊥ type is ⊕ exactly when the grouping is summarizable,
+    c otherwise."""
+    name, grouping = _bottom_grouping(mo)
+    function = SetCount()
+    verdict = summarizability_of(mo, function, grouping)
+    agg = aggregate(mo, function, grouping, make_result_spec(),
+                    strict_types=False)
+    bottom = agg.dimension("Result").dtype.bottom.aggtype
+    if verdict.summarizable:
+        assert bottom is AggregationType.SUM
+    else:
+        assert bottom is AggregationType.CONSTANT
+
+
+@_settings
+@given(small_mos())
+def test_argument_dimensions_restricted_upward(mo):
+    name, grouping = _bottom_grouping(mo)
+    agg = aggregate(mo, SetCount(), grouping, make_result_spec(),
+                    strict_types=False)
+    grouped_dtype = agg.dimension(name).dtype
+    assert grouped_dtype.bottom_name == grouping[name]
+    for other in mo.dimension_names:
+        if other == name:
+            continue
+        dtype = agg.dimension(other).dtype
+        assert dtype.bottom_name == dtype.top_name

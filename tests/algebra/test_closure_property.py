@@ -1,0 +1,120 @@
+"""Theorem 1, property-tested: every operator applied to random valid
+MOs yields a valid MO (the algebra is closed)."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra import (
+    JoinPredicate,
+    Predicate,
+    SetCount,
+    aggregate,
+    difference,
+    duplicate_removal,
+    identity_join,
+    project,
+    rename,
+    select,
+    union,
+    validate_closed,
+)
+from repro.core.helpers import make_result_spec
+from tests.strategies import small_mos
+
+_settings = settings(max_examples=40,
+                     suppress_health_check=[HealthCheck.too_slow],
+                     deadline=None)
+
+
+@_settings
+@given(small_mos())
+def test_input_strategy_produces_valid_mos(mo):
+    assert validate_closed(mo).ok
+
+
+@_settings
+@given(small_mos())
+def test_selection_closed(mo):
+    name = mo.dimension_names[0]
+    predicate = Predicate(
+        dims=(name,),
+        test=lambda values, ctx: not values[name].is_top,
+    )
+    assert validate_closed(select(mo, predicate)).ok
+
+
+@_settings
+@given(small_mos())
+def test_projection_closed(mo):
+    kept = list(mo.dimension_names)[:1]
+    assert validate_closed(project(mo, kept)).ok
+
+
+@_settings
+@given(small_mos())
+def test_rename_closed(mo):
+    mapping = {name: f"{name}X" for name in mo.dimension_names}
+    renamed = rename(mo, new_fact_type="U", dimension_map=mapping)
+    assert validate_closed(renamed).ok
+
+
+@_settings
+@given(small_mos(n_dims=2), small_mos(n_dims=2))
+def test_union_difference_closed_when_schemas_match(m1, m2):
+    if m1.schema != m2.schema or m1.kind != m2.kind:
+        return
+    assert validate_closed(union(m1, m2)).ok
+    assert validate_closed(difference(m1, m2)).ok
+
+
+@_settings
+@given(small_mos(n_dims=1), small_mos(n_dims=1))
+def test_join_closed(m1, m2):
+    if m1.kind != m2.kind:
+        return
+    m2 = rename(m2, dimension_map={
+        name: f"{name}_r" for name in m2.dimension_names})
+    for predicate in JoinPredicate:
+        assert validate_closed(identity_join(m1, m2, predicate)).ok
+
+
+@_settings
+@given(small_mos())
+def test_aggregate_closed(mo):
+    grouping_dim = mo.dimension_names[0]
+    dtype = mo.dimension(grouping_dim).dtype
+    for category in (dtype.bottom_name, dtype.top_name):
+        result = aggregate(mo, SetCount(), {grouping_dim: category},
+                           make_result_spec(), strict_types=False)
+        assert validate_closed(result).ok
+        assert all(f.is_group for f in result.facts)
+
+
+@_settings
+@given(small_mos())
+def test_duplicate_removal_closed(mo):
+    slim = duplicate_removal(mo)
+    assert validate_closed(slim).ok
+    members = [m for f in slim.facts for m in f.members]
+    assert len(members) == len(mo.facts)
+
+
+@_settings
+@given(small_mos(temporal=True))
+def test_operators_closed_on_temporal_mos(mo):
+    assert validate_closed(mo).ok
+    kept = list(mo.dimension_names)[:1]
+    assert validate_closed(project(mo, kept)).ok
+    result = aggregate(
+        mo, SetCount(),
+        {kept[0]: mo.dimension(kept[0]).dtype.bottom_name},
+        make_result_spec(), strict_types=False)
+    assert validate_closed(result).ok
+
+
+@_settings
+@given(small_mos(probabilistic=True))
+def test_operators_closed_on_probabilistic_mos(mo):
+    assert validate_closed(mo).ok
+    result = aggregate(mo, SetCount(), {}, make_result_spec(),
+                       strict_types=False)
+    assert validate_closed(result).ok

@@ -1,0 +1,149 @@
+"""Tests for drill-across over MO families with shared dimensions."""
+
+import pytest
+
+from repro.algebra import SetCount, Sum, drill_across, drill_across_family
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.errors import AlgebraError, SchemaError
+from repro.core.mo import MOFamily, MultidimensionalObject
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+
+
+def _region_dimension():
+    dim = Dimension(DimensionType(
+        "Region",
+        [CategoryType("City", is_bottom=True), CategoryType("Region")],
+        [("City", "Region")]))
+    for sid, label in (("c1", "Copenhagen"), ("c2", "Aarhus")):
+        dim.add_value("City", DimensionValue(sid=sid, label=label))
+    for sid, label in (("r1", "Zealand"), ("r2", "Jutland")):
+        dim.add_value("Region", DimensionValue(sid=sid, label=label))
+    dim.add_edge(DimensionValue("c1"), DimensionValue("r1"))
+    dim.add_edge(DimensionValue("c2"), DimensionValue("r2"))
+    return dim
+
+
+def _mo(fact_type, n_facts, cities, extra_measure=None):
+    dims = {"Region": _region_dimension()}
+    if extra_measure:
+        from repro.core.helpers import make_numeric_dimension
+
+        dims[extra_measure] = make_numeric_dimension(
+            extra_measure, range(1, 100), aggtype=AggregationType.SUM)
+    schema = FactSchema(fact_type, [d.dtype for d in dims.values()])
+    mo = MultidimensionalObject(schema=schema, dimensions=dims)
+    for i in range(n_facts):
+        fact = Fact(fid=(fact_type, i), ftype=fact_type)
+        mo.relate(fact, "Region", DimensionValue(cities[i % len(cities)]))
+        if extra_measure:
+            mo.relate(fact, extra_measure, DimensionValue(sid=i + 1))
+    return mo
+
+
+@pytest.fixture()
+def clinic_and_shop():
+    clinic = _mo("Patient", 4, ["c1", "c1", "c2"])
+    shop = _mo("Purchase", 6, ["c2"], extra_measure="Price")
+    return clinic, shop
+
+
+class TestDrillAcross:
+    def test_outer_alignment(self, clinic_and_shop):
+        clinic, shop = clinic_and_shop
+        rows = drill_across(
+            [("patients", clinic, None), ("purchases", shop, None)],
+            "Region", "Region")
+        by_label = {row["label"]: row for row in rows}
+        assert by_label["Zealand"]["patients"] == 3
+        assert by_label["Zealand"]["purchases"] is None
+        assert by_label["Jutland"]["patients"] == 1
+        assert by_label["Jutland"]["purchases"] == 6
+
+    def test_city_level(self, clinic_and_shop):
+        clinic, shop = clinic_and_shop
+        rows = drill_across(
+            [("patients", clinic, None), ("purchases", shop, None)],
+            "Region", "City")
+        by_label = {row["label"]: row for row in rows}
+        assert by_label["Copenhagen"]["patients"] == 3
+        assert by_label["Aarhus"]["purchases"] == 6
+
+    def test_mixed_functions(self, clinic_and_shop):
+        clinic, shop = clinic_and_shop
+        rows = drill_across(
+            [("patients", clinic, SetCount()),
+             ("revenue", shop, Sum("Price"))],
+            "Region", "Region")
+        by_label = {row["label"]: row for row in rows}
+        assert by_label["Jutland"]["revenue"] == sum(range(1, 7))
+
+    def test_missing_dimension_rejected(self, clinic_and_shop):
+        clinic, shop = clinic_and_shop
+        with pytest.raises(SchemaError):
+            drill_across([("x", clinic, None)], "Nope", "Region")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AlgebraError):
+            drill_across([], "Region", "Region")
+
+
+class TestDrillAcrossFamily:
+    def test_family_join(self, clinic_and_shop):
+        clinic, shop = clinic_and_shop
+        family = MOFamily()
+        family.add("clinic", clinic)
+        family.add("shop", shop)
+        rows = drill_across_family(family, "Region", "Region")
+        by_label = {row["label"]: row for row in rows}
+        assert by_label["Jutland"]["clinic"] == 1
+        assert by_label["Jutland"]["shop"] == 6
+
+    def test_members_without_dimension_skipped(self, clinic_and_shop):
+        clinic, _ = clinic_and_shop
+        other = _mo("Other", 2, ["c1"])
+        # rebuild "other" without the shared dimension
+        from repro.core.helpers import make_simple_dimension
+
+        lone = make_simple_dimension("X", ["x1"])
+        solo = MultidimensionalObject(
+            FactSchema("Solo", [lone.dtype]), dimensions={"X": lone})
+        solo.relate(Fact(fid=1, ftype="Solo"), "X", DimensionValue("x1"))
+        family = MOFamily()
+        family.add("clinic", clinic)
+        family.add("solo", solo)
+        rows = drill_across_family(family, "Region", "Region")
+        assert all("solo" not in row for row in rows)
+
+    def test_no_participants_rejected(self):
+        family = MOFamily()
+        with pytest.raises(AlgebraError):
+            drill_across_family(family, "Region", "Region")
+
+    def test_value_mismatch_guard(self, clinic_and_shop):
+        clinic, _ = clinic_and_shop
+        # a same-named dimension whose city belongs to another region
+        impostor_dim = Dimension(DimensionType(
+            "Region",
+            [CategoryType("City", is_bottom=True),
+             CategoryType("Region")],
+            [("City", "Region")]))
+        impostor_dim.add_value("City", DimensionValue("c1"))
+        impostor_dim.add_value("Region", DimensionValue("r2"))
+        impostor_dim.add_edge(DimensionValue("c1"), DimensionValue("r2"))
+        impostor = MultidimensionalObject(
+            FactSchema("Imp", [impostor_dim.dtype]),
+            dimensions={"Region": impostor_dim})
+        impostor.relate(Fact(fid=1, ftype="Imp"), "Region",
+                        DimensionValue("c1"))
+        family = MOFamily()
+        family.add("clinic", clinic)
+        family.add("impostor", impostor)
+        with pytest.raises(AlgebraError):
+            drill_across_family(family, "Region", "Region")
+        # without verification the join proceeds (caller's risk)
+        rows = drill_across_family(family, "Region", "Region",
+                                   verify_shared=False)
+        assert rows

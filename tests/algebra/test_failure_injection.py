@@ -1,0 +1,84 @@
+"""Failure injection: deliberately corrupted MOs must be caught by the
+closure validator (the invariants Theorem 1 relies on are actually
+checked, not assumed)."""
+
+import pytest
+
+from repro.algebra import validate_closed
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.dimension import Dimension
+from repro.core.errors import InstanceError, SchemaError
+from repro.core.values import DimensionValue, Fact
+
+
+@pytest.fixture()
+def mo():
+    return case_study_mo(temporal=False)
+
+
+class TestCorruptedRelations:
+    def test_unknown_fact_in_relation(self, mo):
+        ghost = Fact(fid=99, ftype="Patient")
+        mo.relation("Diagnosis")._entries[(ghost, diagnosis_value(9))] = [
+            (None, 1.0)]
+        mo.relation("Diagnosis")._by_fact.setdefault(ghost, set()).add(
+            diagnosis_value(9))
+        report = validate_closed(mo)
+        assert not report.ok
+        assert any("unknown" in p for p in report.problems)
+
+    def test_value_outside_dimension(self, mo):
+        alien = DimensionValue(sid="alien")
+        relation = mo.relation("Diagnosis")
+        relation._entries[(patient_fact(1), alien)] = [(None, 1.0)]
+        relation._by_fact[patient_fact(1)].add(alien)
+        report = validate_closed(mo)
+        assert not report.ok
+
+    def test_missing_value_detected(self, mo):
+        mo.relation("Diagnosis").remove_fact(patient_fact(1))
+        report = validate_closed(mo)
+        assert not report.ok
+        assert any("missing values" in p for p in report.problems)
+
+    def test_wrong_fact_type(self, mo):
+        mo._facts.add(Fact(fid=3, ftype="Alien"))
+        report = validate_closed(mo)
+        assert not report.ok
+
+
+class TestCorruptedDimensions:
+    def test_extra_top_member(self, mo):
+        diag = mo.dimension("Diagnosis")
+        stray = DimensionValue(sid="stray")
+        diag.top_category.add(stray)
+        report = validate_closed(mo)
+        assert not report.ok
+        assert any("⊤ category" in p for p in report.problems)
+
+    def test_orphaned_order_edge(self, mo):
+        diag = mo.dimension("Diagnosis")
+        ghost1, ghost2 = DimensionValue("g1"), DimensionValue("g2")
+        diag.order.add_edge(ghost1, ghost2)
+        report = validate_closed(mo)
+        assert not report.ok
+
+    def test_downward_order_edge(self, mo):
+        diag = mo.dimension("Diagnosis")
+        # inject an edge from a Group down to a Family, bypassing the
+        # public API's category-order check
+        diag.order.add_edge(diagnosis_value(12), diagnosis_value(7))
+        report = validate_closed(mo)
+        assert not report.ok
+        assert any("against the category order" in p
+                   for p in report.problems)
+
+
+class TestRaiseIfFailed:
+    def test_clean_report_is_silent(self, mo):
+        validate_closed(mo).raise_if_failed()
+
+    def test_dirty_report_raises(self, mo):
+        mo.relation("Diagnosis").remove_fact(patient_fact(1))
+        with pytest.raises(InstanceError):
+            validate_closed(mo).raise_if_failed()

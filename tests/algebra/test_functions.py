@@ -1,0 +1,186 @@
+"""Tests for the aggregation function family."""
+
+import math
+
+import pytest
+
+from repro.algebra.functions import (
+    Avg,
+    CountDim,
+    Max,
+    Median,
+    Min,
+    SetCount,
+    Sum,
+    measures_of,
+)
+from repro.casestudy import patient_fact
+from repro.core.errors import AggregationTypeError, AlgebraError
+
+
+class TestMeasures:
+    def test_numeric_measures(self, snapshot_mo):
+        assert measures_of(snapshot_mo, "Age", patient_fact(1)) == [29.0]
+
+    def test_top_value_contributes_nothing(self, snapshot_mo):
+        mo = snapshot_mo.copy()
+        f = patient_fact(1)
+        mo.relate_unknown(f, "Age")
+        assert measures_of(mo, "Age", f) == [29.0]
+
+    def test_non_numeric_rejected(self, snapshot_mo):
+        with pytest.raises(AlgebraError):
+            measures_of(snapshot_mo, "Name", patient_fact(1))
+
+
+class TestApply:
+    def test_set_count(self, snapshot_mo):
+        assert SetCount().apply(snapshot_mo.facts, snapshot_mo) == 2
+
+    def test_sum(self, snapshot_mo):
+        assert Sum("Age").apply(snapshot_mo.facts, snapshot_mo) == 77.0
+
+    def test_avg(self, snapshot_mo):
+        assert Avg("Age").apply(snapshot_mo.facts, snapshot_mo) == 38.5
+
+    def test_min_max(self, snapshot_mo):
+        assert Min("Age").apply(snapshot_mo.facts, snapshot_mo) == 29.0
+        assert Max("Age").apply(snapshot_mo.facts, snapshot_mo) == 48.0
+
+    def test_count_dim(self, snapshot_mo):
+        assert CountDim("Age").apply(snapshot_mo.facts, snapshot_mo) == 2
+
+    def test_empty_group_statistics_nan(self, snapshot_mo):
+        assert math.isnan(Avg("Age").apply([], snapshot_mo))
+        assert math.isnan(Min("Age").apply([], snapshot_mo))
+        assert math.isnan(Max("Age").apply([], snapshot_mo))
+        assert Sum("Age").apply([], snapshot_mo) == 0
+        assert SetCount().apply([], snapshot_mo) == 0
+
+
+class TestCombine:
+    def test_distributive_combiners(self):
+        assert SetCount().combine([2, 3]) == 5
+        assert Sum("Age").combine([10.0, 5.0]) == 15.0
+        assert Min("Age").combine([3.0, 7.0]) == 3.0
+        assert Max("Age").combine([3.0, 7.0]) == 7.0
+        assert CountDim("Age").combine([1, 4]) == 5
+
+    def test_avg_refuses_to_combine(self):
+        with pytest.raises(AlgebraError):
+            Avg("Age").combine([1.0, 2.0])
+
+    def test_distributivity_flags(self):
+        assert SetCount().distributive
+        assert Sum("Age").distributive
+        assert not Avg("Age").distributive
+
+
+class TestApplicability:
+    def test_set_count_always_applicable(self, snapshot_mo):
+        assert SetCount().check_applicable(snapshot_mo)
+
+    def test_sum_on_additive(self, snapshot_mo):
+        assert Sum("Age").check_applicable(snapshot_mo)
+
+    def test_sum_on_ordinal_rejected(self, snapshot_mo):
+        with pytest.raises(AggregationTypeError):
+            Sum("DOB").check_applicable(snapshot_mo)
+        assert not Sum("DOB").check_applicable(snapshot_mo, strict=False)
+
+    def test_min_on_ordinal(self, snapshot_mo):
+        assert Min("DOB").check_applicable(snapshot_mo)
+
+    def test_avg_on_constant_rejected(self, snapshot_mo):
+        with pytest.raises(AggregationTypeError):
+            Avg("Name").check_applicable(snapshot_mo)
+
+    def test_count_on_constant(self, snapshot_mo):
+        assert CountDim("Name").check_applicable(snapshot_mo)
+
+    def test_names(self):
+        assert SetCount().name == "SetCount"
+        assert Sum("Age").name == "Sum(Age)"
+
+
+class TestMedian:
+    def test_odd_and_even(self, snapshot_mo):
+        assert Median("Age").apply(snapshot_mo.facts, snapshot_mo) == 38.5
+        one = [f for f in snapshot_mo.facts if f.fid == 1]
+        assert Median("Age").apply(one, snapshot_mo) == 29.0
+
+    def test_empty_is_nan(self, snapshot_mo):
+        assert math.isnan(Median("Age").apply([], snapshot_mo))
+
+    def test_holistic_refuses_combine(self):
+        import pytest as _pytest
+
+        from repro.core.errors import AlgebraError as _AlgebraError
+
+        with _pytest.raises(_AlgebraError):
+            Median("Age").combine([1.0, 2.0])
+        assert not Median("Age").distributive
+
+    def test_applicable_on_ordinal(self, snapshot_mo):
+        assert Median("DOB").check_applicable(snapshot_mo)
+
+    def test_result_aggtype_constant(self, strict_clinical):
+        from repro.algebra import aggregate
+        from repro.core.aggtypes import AggregationType
+        from repro.core.helpers import make_result_spec
+
+        agg = aggregate(strict_clinical.mo, Median("Age"),
+                        {"Diagnosis": "Diagnosis Group"},
+                        make_result_spec())
+        assert agg.dimension("Result").dtype.bottom.aggtype is \
+            AggregationType.CONSTANT
+
+
+class TestSumProduct:
+    def test_revenue_semantics(self, small_retail):
+        """Revenue = Σ amount × price, the retail intro's measure."""
+        from repro.algebra import SumProduct
+
+        mo = small_retail.mo
+        revenue = SumProduct("Amount", "Price")
+        expected = 0.0
+        for fact in mo.facts:
+            amount = next(iter(
+                mo.relation("Amount").values_of(fact))).sid
+            price = next(iter(mo.relation("Price").values_of(fact))).sid
+            expected += amount * price
+        assert revenue.apply(mo.facts, mo) == expected
+
+    def test_applicability_needs_both_additive(self, snapshot_mo):
+        from repro.algebra import SumProduct
+        from repro.core.errors import AggregationTypeError
+
+        with pytest.raises(AggregationTypeError):
+            SumProduct("Age", "DOB").check_applicable(snapshot_mo)
+        assert SumProduct("Age", "Age").check_applicable(snapshot_mo)
+
+    def test_distributive_combine(self):
+        from repro.algebra import SumProduct
+
+        assert SumProduct("A", "B").combine([10.0, 5.0]) == 15.0
+        assert SumProduct("A", "B").distributive
+
+    def test_args_reported(self):
+        from repro.algebra import SumProduct
+
+        assert SumProduct("Amount", "Price").args == ("Amount", "Price")
+        assert SumProduct("Amount", "Price").name == \
+            "SumProduct(Amount, Price)"
+
+    def test_grouped_revenue(self, small_retail):
+        from repro.algebra import SumProduct, aggregate
+        from repro.core.helpers import make_result_spec
+
+        mo = small_retail.mo
+        agg = aggregate(mo, SumProduct("Amount", "Price"),
+                        {"Product": "Department"}, make_result_spec())
+        totals = sum(
+            next(iter(agg.relation("Result").values_of(f))).sid
+            for f in agg.facts
+        )
+        assert totals == SumProduct("Amount", "Price").apply(mo.facts, mo)

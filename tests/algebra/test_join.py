@@ -1,0 +1,104 @@
+"""Tests for the identity-based join ⋈."""
+
+import pytest
+
+from repro.algebra import (
+    JoinPredicate,
+    identity_join,
+    project,
+    rename,
+    validate_closed,
+)
+from repro.casestudy import diagnosis_value, patient_fact
+from repro.core.errors import AlgebraError
+
+
+@pytest.fixture()
+def halves(snapshot_mo):
+    """Two disjointly-named projections of the case study, ready to
+    join (a 'self-join' in the paper's sense)."""
+    left = project(snapshot_mo, ["Diagnosis"])
+    right = rename(project(snapshot_mo, ["Residence", "Age"]),
+                   dimension_map={"Residence": "Home", "Age": "Years"})
+    return left, right
+
+
+class TestCartesianProduct:
+    def test_sizes(self, halves):
+        left, right = halves
+        result = identity_join(left, right, JoinPredicate.TRUE)
+        assert len(result.facts) == len(left.facts) * len(right.facts)
+
+    def test_schema_union(self, halves):
+        left, right = halves
+        result = identity_join(left, right, JoinPredicate.TRUE)
+        assert set(result.dimension_names) == {"Diagnosis", "Home", "Years"}
+        assert result.schema.fact_type == "(Patient,Patient)"
+
+    def test_closed(self, halves):
+        left, right = halves
+        assert validate_closed(
+            identity_join(left, right, JoinPredicate.TRUE)).ok
+
+
+class TestEquiJoin:
+    def test_reunites_facts(self, halves):
+        """The equi-join re-joins each patient's two projections."""
+        left, right = halves
+        result = identity_join(left, right, JoinPredicate.EQUAL)
+        assert {f.fid for f in result.facts} == {(1, 1), (2, 2)}
+
+    def test_pairs_inherit_relations(self, halves):
+        left, right = halves
+        result = identity_join(left, right, JoinPredicate.EQUAL)
+        from repro.core.values import Fact
+
+        pair = Fact(fid=(2, 2), ftype="(Patient,Patient)")
+        diagnosis_sids = {
+            v.sid for v in result.relation("Diagnosis").values_of(pair)}
+        assert diagnosis_sids == {3, 5, 8, 9}
+        years = {v.sid for v in result.relation("Years").values_of(pair)}
+        assert years == {48}
+
+    def test_closed(self, halves):
+        left, right = halves
+        assert validate_closed(
+            identity_join(left, right, JoinPredicate.EQUAL)).ok
+
+
+class TestNonEquiJoin:
+    def test_excludes_diagonal(self, halves):
+        left, right = halves
+        result = identity_join(left, right, JoinPredicate.NOT_EQUAL)
+        assert {f.fid for f in result.facts} == {(1, 2), (2, 1)}
+
+
+class TestPreconditions:
+    def test_shared_names_rejected(self, snapshot_mo):
+        with pytest.raises(AlgebraError):
+            identity_join(snapshot_mo, snapshot_mo)
+
+    def test_mixed_kinds_rejected(self, snapshot_mo, valid_time_mo):
+        renamed = rename(
+            valid_time_mo,
+            dimension_map={n: f"{n}_2" for n in valid_time_mo.dimension_names})
+        with pytest.raises(AlgebraError):
+            identity_join(snapshot_mo, renamed)
+
+
+class TestTemporalJoin:
+    def test_pairs_inherit_times(self, valid_time_mo):
+        """§4.2: ((f1,f2), e) gets its time from the operand that
+        contributed the dimension."""
+        left = project(valid_time_mo, ["Diagnosis"])
+        right = rename(project(valid_time_mo, ["Residence"]),
+                       dimension_map={"Residence": "Home"})
+        result = identity_join(left, right, JoinPredicate.EQUAL)
+        from repro.core.values import Fact
+
+        pair = Fact(fid=(2, 2), ftype="(Patient,Patient)")
+        original = valid_time_mo.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(8))
+        inherited = result.relation("Diagnosis").pair_time(
+            pair, diagnosis_value(8))
+        assert inherited == original

@@ -1,0 +1,77 @@
+"""Direct tests for predicate helpers not covered elsewhere, plus the
+rebuild helper of aggregate formation."""
+
+import pytest
+
+from repro.algebra import (
+    characterized_with_certainty,
+    rebuild_with_aggtypes,
+    select,
+    value_in_category,
+)
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.aggtypes import AggregationType
+from repro.core.category import ensure_member
+from repro.core.errors import InstanceError
+
+
+class TestValueInCategory:
+    def test_accepts_only_named_category(self, snapshot_mo):
+        p = value_in_category(
+            "Diagnosis", "Diagnosis Family",
+            lambda v: v.sid in (8, 9))
+        result = select(snapshot_mo, p)
+        assert {f.fid for f in result.facts} == {1, 2}
+
+    def test_rejects_values_of_other_categories(self, snapshot_mo):
+        p = value_in_category(
+            "Diagnosis", "Diagnosis Group",
+            lambda v: v.sid == 9)  # 9 is a Family, not a Group
+        assert select(snapshot_mo, p).facts == set()
+
+
+class TestCharacterizedWithCertainty:
+    def test_predicate_form(self):
+        mo = case_study_mo(temporal=False)
+        mo.relate(patient_fact(1), "Diagnosis", diagnosis_value(10),
+                  prob=0.7)
+        keep = select(mo, characterized_with_certainty(
+            "Diagnosis", diagnosis_value(10), 0.6))
+        drop = select(mo, characterized_with_certainty(
+            "Diagnosis", diagnosis_value(10), 0.8))
+        assert {f.fid for f in keep.facts} == {1}
+        assert drop.facts == set()
+
+
+class TestCharacterizationProfile:
+    def test_profile_matches_time_and_probability(self, valid_time_mo):
+        rel = valid_time_mo.relation("Diagnosis")
+        dim = valid_time_mo.dimension("Diagnosis")
+        profile = rel.characterization_profile(
+            patient_fact(2), diagnosis_value(7), dim)
+        # (2,3) ∩ (3 ≤ 7 during the 70s): certain over the Has window
+        assert len(profile) == 1
+        time, prob = profile[0]
+        assert prob == 1.0
+        assert time == rel.characterization_time(
+            patient_fact(2), diagnosis_value(7), dim)
+
+
+class TestRebuildWithAggtypes:
+    def test_retypes_categories(self, snapshot_mo):
+        age = snapshot_mo.dimension("Age")
+        rebuilt = rebuild_with_aggtypes(
+            age, {"Age": AggregationType.CONSTANT})
+        assert rebuilt.dtype.bottom.aggtype is AggregationType.CONSTANT
+        # everything else preserved
+        assert rebuilt.values() == age.values()
+        assert rebuilt.dtype.pred("Age") == age.dtype.pred("Age")
+
+
+class TestEnsureMember:
+    def test_guard(self, snapshot_mo):
+        category = snapshot_mo.dimension("Diagnosis").category(
+            "Diagnosis Group")
+        ensure_member(category, diagnosis_value(11))  # silent
+        with pytest.raises(InstanceError):
+            ensure_member(category, diagnosis_value(9))

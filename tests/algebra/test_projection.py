@@ -1,0 +1,59 @@
+"""Tests for the projection operator π."""
+
+import pytest
+
+from repro.algebra import project, validate_closed
+from repro.core.errors import SchemaError
+
+
+class TestProjection:
+    def test_keeps_named_dimensions(self, snapshot_mo):
+        result = project(snapshot_mo, ["Diagnosis", "Age"])
+        assert list(result.dimension_names) == ["Diagnosis", "Age"]
+        assert result.n == 2
+
+    def test_facts_unchanged(self, snapshot_mo):
+        """π does not remove 'duplicate values' — facts keep identity."""
+        result = project(snapshot_mo, ["Name"])
+        assert result.facts == snapshot_mo.facts
+
+    def test_relations_shared(self, snapshot_mo):
+        result = project(snapshot_mo, ["Diagnosis"])
+        assert result.relation("Diagnosis") is \
+            snapshot_mo.relation("Diagnosis")
+
+    def test_duplicate_value_combinations_kept(self, small_retail):
+        """Several purchases can share a product; all facts survive."""
+        result = project(small_retail.mo, ["Product"])
+        assert len(result.facts) == len(small_retail.mo.facts)
+        assert len(result.facts) > \
+            len(result.relation("Product").values())
+
+    def test_order_respected(self, snapshot_mo):
+        result = project(snapshot_mo, ["Age", "Diagnosis"])
+        assert list(result.dimension_names) == ["Age", "Diagnosis"]
+
+    def test_result_closed(self, snapshot_mo):
+        assert validate_closed(project(snapshot_mo, ["SSN"])).ok
+
+    def test_kind_preserved(self, valid_time_mo):
+        assert project(valid_time_mo, ["Diagnosis"]).kind is \
+            valid_time_mo.kind
+
+    def test_empty_projection_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            project(snapshot_mo, [])
+
+    def test_duplicate_names_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            project(snapshot_mo, ["Age", "Age"])
+
+    def test_unknown_dimension_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            project(snapshot_mo, ["Nope"])
+
+    def test_projection_composes(self, snapshot_mo):
+        once = project(snapshot_mo, ["Diagnosis", "Age", "Name"])
+        twice = project(once, ["Age"])
+        assert list(twice.dimension_names) == ["Age"]
+        assert twice.facts == snapshot_mo.facts

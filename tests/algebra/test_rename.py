@@ -1,0 +1,93 @@
+"""Tests for the rename operator ρ."""
+
+import pytest
+
+from repro.algebra import rename, rename_dimension, validate_closed
+from repro.casestudy import diagnosis_value, patient_fact
+from repro.core.errors import SchemaError
+
+
+class TestRenameDimensions:
+    def test_dimension_renamed(self, snapshot_mo):
+        result = rename(snapshot_mo, dimension_map={"Diagnosis": "Dx"})
+        assert "Dx" in result.schema
+        assert "Diagnosis" not in result.schema
+
+    def test_contents_preserved(self, snapshot_mo):
+        result = rename(snapshot_mo, dimension_map={"Diagnosis": "Dx"})
+        values = result.relation("Dx").values_of(patient_fact(2))
+        assert {v.sid for v in values} == {3, 5, 8, 9}
+        assert result.dimension("Dx").leq(diagnosis_value(5),
+                                          diagnosis_value(4))
+
+    def test_top_value_follows_new_name(self, snapshot_mo):
+        result = rename(snapshot_mo, dimension_map={"Diagnosis": "Dx"})
+        top = result.dimension("Dx").top_value
+        assert top.sid == ("⊤", "Dx")
+
+    def test_representations_preserved(self, snapshot_mo):
+        result = rename(snapshot_mo, dimension_map={"Diagnosis": "Dx"})
+        code = result.dimension("Dx").representation(
+            "Diagnosis Family", "Code")
+        assert code.of(diagnosis_value(9)) == "E10"
+
+    def test_unmentioned_dimensions_shared(self, snapshot_mo):
+        result = rename(snapshot_mo, dimension_map={"Diagnosis": "Dx"})
+        assert result.dimension("Age") is snapshot_mo.dimension("Age")
+
+    def test_schema_isomorphic(self, snapshot_mo):
+        result = rename(snapshot_mo, dimension_map={"Diagnosis": "Dx"})
+        assert result.schema.is_isomorphic_to(snapshot_mo.schema)
+
+    def test_result_closed(self, snapshot_mo):
+        result = rename(snapshot_mo, dimension_map={"Diagnosis": "Dx",
+                                                    "Age": "Years"})
+        assert validate_closed(result).ok
+
+    def test_unknown_dimension_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            rename(snapshot_mo, dimension_map={"Nope": "X"})
+
+    def test_name_collision_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            rename(snapshot_mo, dimension_map={"Diagnosis": "Age"})
+
+    def test_swap_names(self, snapshot_mo):
+        result = rename(snapshot_mo,
+                        dimension_map={"Name": "SSN", "SSN": "Name"})
+        assert validate_closed(result).ok
+        # the dimension now under "SSN" holds names
+        values = {v.sid for v in result.dimension("SSN").bottom_category}
+        assert "John Doe" in values
+
+
+class TestRenameFactType:
+    def test_fact_type_renamed(self, snapshot_mo):
+        result = rename(snapshot_mo, new_fact_type="Subject")
+        assert result.schema.fact_type == "Subject"
+        assert all(f.ftype == "Subject" for f in result.facts)
+        assert {f.fid for f in result.facts} == {1, 2}
+
+    def test_relations_follow_renamed_facts(self, snapshot_mo):
+        result = rename(snapshot_mo, new_fact_type="Subject")
+        assert validate_closed(result).ok
+
+    def test_identity_rename_is_cheap(self, snapshot_mo):
+        result = rename(snapshot_mo)
+        assert result.schema.fact_type == snapshot_mo.schema.fact_type
+        assert result.dimension("Age") is snapshot_mo.dimension("Age")
+
+
+class TestRenameDimensionHelper:
+    def test_standalone(self, snapshot_mo):
+        renamed = rename_dimension(snapshot_mo.dimension("Diagnosis"), "Dx")
+        assert renamed.name == "Dx"
+        assert renamed.leq(diagnosis_value(5), diagnosis_value(9))
+        assert renamed.dtype.top_name == "⊤Dx"
+
+    def test_temporal_annotations_preserved(self, valid_time_mo):
+        original = valid_time_mo.dimension("Diagnosis")
+        renamed = rename_dimension(original, "Dx")
+        v3, v7 = diagnosis_value(3), diagnosis_value(7)
+        assert renamed.containment_time(v3, v7) == \
+            original.containment_time(v3, v7)

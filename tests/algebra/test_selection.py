@@ -1,0 +1,135 @@
+"""Tests for the selection operator σ."""
+
+import pytest
+
+from repro.algebra import (
+    characterized_by,
+    characterized_during,
+    conjunction,
+    disjunction,
+    negation,
+    rep_equals,
+    select,
+    sid_satisfies,
+    validate_closed,
+)
+from repro.algebra.predicates import Predicate
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.errors import SchemaError
+from repro.temporal.chronon import day
+from repro.temporal.timeset import TimeSet
+
+
+class TestBasicSelection:
+    def test_characterized_by_hierarchy(self, snapshot_mo):
+        """Dicing on group 11 finds patients diagnosed at any level."""
+        result = select(snapshot_mo,
+                        characterized_by("Diagnosis", diagnosis_value(11)))
+        assert {f.fid for f in result.facts} == {1, 2}
+
+    def test_characterized_by_low_level(self, snapshot_mo):
+        result = select(snapshot_mo,
+                        characterized_by("Diagnosis", diagnosis_value(5)))
+        assert {f.fid for f in result.facts} == {2}
+
+    def test_no_match_empty(self, snapshot_mo):
+        result = select(snapshot_mo,
+                        characterized_by("Diagnosis", diagnosis_value(6)))
+        assert result.facts == set()
+
+    def test_schema_and_dimensions_unchanged(self, snapshot_mo):
+        result = select(snapshot_mo,
+                        characterized_by("Diagnosis", diagnosis_value(5)))
+        assert result.schema == snapshot_mo.schema
+        assert result.dimension("Diagnosis") is \
+            snapshot_mo.dimension("Diagnosis")
+
+    def test_relations_restricted(self, snapshot_mo):
+        result = select(snapshot_mo,
+                        characterized_by("Diagnosis", diagnosis_value(5)))
+        assert result.relation("Diagnosis").facts() == {patient_fact(2)}
+
+    def test_result_closed(self, snapshot_mo):
+        result = select(snapshot_mo,
+                        characterized_by("Diagnosis", diagnosis_value(11)))
+        assert validate_closed(result).ok
+
+    def test_kind_preserved(self, valid_time_mo):
+        result = select(valid_time_mo,
+                        characterized_by("Diagnosis", diagnosis_value(9)))
+        assert result.kind is valid_time_mo.kind
+
+    def test_unknown_dimension_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            select(snapshot_mo, characterized_by("Nope", diagnosis_value(1)))
+
+
+class TestPredicateForms:
+    def test_sid_satisfies_numeric(self, snapshot_mo):
+        adults = select(snapshot_mo,
+                        sid_satisfies("Age", lambda age: age >= 40))
+        assert {f.fid for f in adults.facts} == {2}  # Jane, born 1950
+
+    def test_rep_equals(self, snapshot_mo):
+        result = select(snapshot_mo, rep_equals(
+            "Diagnosis", "Diagnosis Family", "Code", "E10"))
+        assert {f.fid for f in result.facts} == {1, 2}
+
+    def test_rep_equals_time_qualified(self, valid_time_mo):
+        """Code 'D1' denoted diagnosis 8 only during the 70s."""
+        result = select(valid_time_mo, rep_equals(
+            "Diagnosis", "Diagnosis Family", "Code", "D1",
+            at=day(1975, 1, 1)))
+        assert {f.fid for f in result.facts} == {2}
+
+    def test_conjunction(self, snapshot_mo):
+        p = conjunction(
+            characterized_by("Diagnosis", diagnosis_value(11)),
+            sid_satisfies("Age", lambda age: age >= 40),
+        )
+        result = select(snapshot_mo, p)
+        assert {f.fid for f in result.facts} == {2}
+
+    def test_disjunction(self, snapshot_mo):
+        p = disjunction(
+            characterized_by("Diagnosis", diagnosis_value(3)),
+            sid_satisfies("Age", lambda age: age < 40),
+        )
+        result = select(snapshot_mo, p)
+        assert {f.fid for f in result.facts} == {1, 2}
+
+    def test_negation_existential(self, snapshot_mo):
+        """¬p keeps facts with SOME non-matching characterizing value —
+        everyone has e.g. ⊤ failing a concrete match, so both stay."""
+        p = negation(characterized_by("Diagnosis", diagnosis_value(11)))
+        result = select(snapshot_mo, p)
+        assert len(result.facts) == 2
+
+    def test_nullary_predicate(self, snapshot_mo):
+        true_p = Predicate(dims=(), test=lambda values, ctx: True)
+        false_p = Predicate(dims=(), test=lambda values, ctx: False)
+        assert select(snapshot_mo, true_p).facts == snapshot_mo.facts
+        assert select(snapshot_mo, false_p).facts == set()
+
+
+class TestTemporalPredicates:
+    def test_characterized_during(self, valid_time_mo):
+        window = TimeSet.interval(day(1975, 1, 1), day(1976, 1, 1))
+        p = characterized_during("Diagnosis", diagnosis_value(3), window)
+        result = select(valid_time_mo, p)
+        assert {f.fid for f in result.facts} == {2}
+
+    def test_characterized_during_outside_window(self, valid_time_mo):
+        window = TimeSet.interval(day(1976, 1, 1), day(1977, 1, 1))
+        p = characterized_during("Diagnosis", diagnosis_value(3), window)
+        assert select(valid_time_mo, p).facts == set()
+
+    def test_selection_does_not_change_times(self, valid_time_mo):
+        """§4.2: σ leaves time attachments untouched."""
+        result = select(valid_time_mo,
+                        characterized_by("Diagnosis", diagnosis_value(8)))
+        original = valid_time_mo.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(8))
+        preserved = result.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(8))
+        assert original == preserved

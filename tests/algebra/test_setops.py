@@ -1,0 +1,147 @@
+"""Tests for ∪ and \\ on MOs, including the §4.2 temporal rules."""
+
+import pytest
+
+from repro.algebra import (
+    characterized_by,
+    difference,
+    select,
+    union,
+    validate_closed,
+)
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.errors import AlgebraError
+from repro.core.mo import TimeKind
+from repro.temporal.chronon import day
+from repro.temporal.timeset import TimeSet
+
+
+def split(snapshot_mo):
+    only1 = select(snapshot_mo,
+                   characterized_by("Name", _name_value("John Doe")))
+    only2 = select(snapshot_mo,
+                   characterized_by("Name", _name_value("Jane Doe")))
+    return only1, only2
+
+
+def _name_value(name):
+    from repro.core.values import DimensionValue
+
+    return DimensionValue(sid=name)
+
+
+class TestUnion:
+    def test_union_restores_split(self, snapshot_mo):
+        m1, m2 = split(snapshot_mo)
+        merged = union(m1, m2)
+        assert merged.facts == snapshot_mo.facts
+        assert validate_closed(merged).ok
+
+    def test_union_of_relations(self, snapshot_mo):
+        m1, m2 = split(snapshot_mo)
+        merged = union(m1, m2)
+        assert set(merged.relation("Diagnosis").pairs()) == \
+            set(snapshot_mo.relation("Diagnosis").pairs())
+
+    def test_union_idempotent_on_facts(self, snapshot_mo):
+        merged = union(snapshot_mo, snapshot_mo)
+        assert merged.facts == snapshot_mo.facts
+
+    def test_union_requires_common_schema(self, snapshot_mo, small_retail):
+        with pytest.raises(AlgebraError):
+            union(snapshot_mo, small_retail.mo)
+
+    def test_union_requires_same_kind(self, snapshot_mo, valid_time_mo):
+        with pytest.raises(AlgebraError):
+            union(snapshot_mo, valid_time_mo)
+
+    def test_temporal_union_merges_pair_times(self, valid_time_mo):
+        """(f,e) ∈_T1 R1 ∧ (f,e) ∈_T2 R2 ⇒ (f,e) ∈_{T1∪T2} R'."""
+        early = TimeSet.interval(day(1970, 1, 1), day(1974, 12, 31))
+        late = TimeSet.interval(day(1975, 1, 1), day(1981, 12, 31))
+        m1 = case_study_mo(temporal=True)
+        m2 = case_study_mo(temporal=True)
+        # shrink patient 2's (2,8) pair differently in each operand
+        for mo, keep in ((m1, early), (m2, late)):
+            rel = mo.relation("Diagnosis")
+            rel.remove_fact(patient_fact(2))
+            rel.add(patient_fact(2), diagnosis_value(8), time=keep)
+        merged = union(m1, m2)
+        merged_time = merged.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(8))
+        assert merged_time == early.union(late)
+
+
+class TestDifference:
+    def test_difference_removes_facts(self, snapshot_mo):
+        m1, m2 = split(snapshot_mo)
+        result = difference(snapshot_mo, m2)
+        assert result.facts == m1.facts
+        assert validate_closed(result).ok
+
+    def test_difference_keeps_first_dimensions(self, snapshot_mo):
+        _, m2 = split(snapshot_mo)
+        result = difference(snapshot_mo, m2)
+        assert result.dimension("Diagnosis") is \
+            snapshot_mo.dimension("Diagnosis")
+
+    def test_difference_with_self_is_empty(self, snapshot_mo):
+        result = difference(snapshot_mo, snapshot_mo)
+        assert result.facts == set()
+        assert len(result.relation("Diagnosis")) == 0
+
+    def test_difference_requires_common_schema(self, snapshot_mo,
+                                               small_retail):
+        with pytest.raises(AlgebraError):
+            difference(snapshot_mo, small_retail.mo)
+
+    def test_temporal_difference_cuts_pair_times(self, valid_time_mo):
+        """The §4.2 rule: (f,e) times in M1 are cut by M2's times for
+        the same pair; facts survive while some pair time remains in
+        every relation."""
+        m2 = case_study_mo(temporal=True)
+        # m2 asserts ONLY the pair (2, 8) for 1970-1975; every other
+        # pair of M1 is untouched, so the difference leaves patient 2
+        # with the remainder 1976-1981 of that one pair
+        for name in m2.dimension_names:
+            rel2 = m2.relation(name)
+            rel2.remove_fact(patient_fact(1))
+            rel2.remove_fact(patient_fact(2))
+        m2.relation("Diagnosis").add(
+            patient_fact(2), diagnosis_value(8),
+            time=TimeSet.interval(day(1970, 1, 1), day(1975, 12, 31)))
+        result = difference(valid_time_mo, m2)
+        assert result.facts == valid_time_mo.facts
+        remaining = result.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(8))
+        assert remaining == TimeSet.interval(day(1976, 1, 1),
+                                             day(1981, 12, 31))
+
+    def test_temporal_difference_drops_fact_covered_anywhere(
+            self, valid_time_mo):
+        """A fact fully cut in even one dimension has no pair there and
+        is dropped from the result's fact set."""
+        m2 = case_study_mo(temporal=True)  # identical to M1
+        result = difference(valid_time_mo, m2)
+        assert result.facts == set()
+
+    def test_temporal_difference_drops_fully_covered_facts(
+            self, valid_time_mo):
+        result = difference(valid_time_mo, valid_time_mo)
+        assert result.facts == set()
+
+    def test_snapshot_difference_is_set_semantics(self, snapshot_mo):
+        m1, m2 = split(snapshot_mo)
+        assert difference(m1, m2).facts == m1.facts
+
+
+class TestSetLaws:
+    def test_union_difference_absorption(self, snapshot_mo):
+        m1, m2 = split(snapshot_mo)
+        assert difference(union(m1, m2), m2).facts == \
+            difference(m1, m2).facts
+
+    def test_difference_of_union_parts(self, snapshot_mo):
+        m1, m2 = split(snapshot_mo)
+        merged = union(m1, m2)
+        assert difference(merged, m1).facts == m2.facts

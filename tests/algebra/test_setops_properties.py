@@ -1,0 +1,87 @@
+"""Property tests: algebraic laws of ∪ and \\ on random MOs."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra import difference, union
+from tests.strategies import small_mos
+
+_settings = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _pairs(mo):
+    return {
+        name: {
+            (fact, value, time, prob)
+            for fact, value, time, prob
+            in mo.relation(name).annotated_pairs()
+        }
+        for name in mo.dimension_names
+    }
+
+
+def _compatible(m1, m2):
+    return m1.schema == m2.schema and m1.kind == m2.kind
+
+
+@_settings
+@given(small_mos(n_dims=2), small_mos(n_dims=2))
+def test_union_commutes(m1, m2):
+    if not _compatible(m1, m2):
+        return
+    ab, ba = union(m1, m2), union(m2, m1)
+    assert ab.facts == ba.facts
+    assert _pairs(ab) == _pairs(ba)
+
+
+@_settings
+@given(small_mos(n_dims=1), small_mos(n_dims=1), small_mos(n_dims=1))
+def test_union_associates_on_facts_and_pairs(m1, m2, m3):
+    if not (_compatible(m1, m2) and _compatible(m2, m3)):
+        return
+    left = union(union(m1, m2), m3)
+    right = union(m1, union(m2, m3))
+    assert left.facts == right.facts
+    assert _pairs(left) == _pairs(right)
+
+
+@_settings
+@given(small_mos(n_dims=2))
+def test_union_idempotent(mo):
+    merged = union(mo, mo)
+    assert merged.facts == mo.facts
+    assert _pairs(merged) == _pairs(mo)
+
+
+@_settings
+@given(small_mos(n_dims=2))
+def test_difference_with_self_empties(mo):
+    result = difference(mo, mo)
+    assert result.facts == set()
+    for name in mo.dimension_names:
+        assert len(result.relation(name)) == 0
+
+
+@_settings
+@given(small_mos(n_dims=2), small_mos(n_dims=2))
+def test_difference_subset_of_first(m1, m2):
+    if not _compatible(m1, m2):
+        return
+    result = difference(m1, m2)
+    assert result.facts <= m1.facts
+    original = _pairs(m1)
+    for name, pairs in _pairs(result).items():
+        base = {(f, v) for f, v, _, _ in original[name]}
+        assert {(f, v) for f, v, _, _ in pairs} <= base
+
+
+@_settings
+@given(small_mos(n_dims=1), small_mos(n_dims=1))
+def test_union_absorbs_difference(m1, m2):
+    """(M1 \\ M2) ∪ (restriction of M1 to M2) covers M1's facts for
+    snapshot MOs: A = (A \\ B) ∪ (A ∩ B) at the fact level."""
+    if not _compatible(m1, m2):
+        return
+    diff_facts = difference(m1, m2).facts
+    common = m1.facts & m2.facts
+    assert diff_facts | common == m1.facts

@@ -1,0 +1,101 @@
+"""Property tests for the §4.2 temporal rules: timeslice interacts with
+the operators as the snapshot-reducibility folklore demands."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    difference,
+    project,
+    select,
+    union,
+    validate_closed,
+)
+from repro.algebra.predicates import Predicate
+from repro.core.mo import TimeKind
+from repro.temporal.timeslice import valid_timeslice
+from tests.strategies import chronons, small_mos
+
+_settings = settings(max_examples=30,
+                     suppress_health_check=[HealthCheck.too_slow],
+                     deadline=None)
+
+
+def _pairs_at(mo):
+    out = {}
+    for name in mo.dimension_names:
+        out[name] = {
+            (fact, value)
+            for fact, value in mo.relation(name).pairs()
+            if not value.is_top
+        }
+    return out
+
+
+@_settings
+@given(small_mos(n_dims=2, temporal=True), small_mos(n_dims=2, temporal=True),
+       chronons)
+def test_timeslice_commutes_with_union(m1, m2, t):
+    """τ_v(M1 ∪ M2, t) has the same non-⊤ pairs as τ_v(M1,t) ∪ τ_v(M2,t)."""
+    if m1.schema != m2.schema:
+        return
+    merged = union(m1, m2)
+    left = _pairs_at(valid_timeslice(merged, t))
+    s1 = valid_timeslice(m1, t)
+    s2 = valid_timeslice(m2, t)
+    right = {
+        name: ({p for p in s1.relation(name).pairs()
+                if not p[1].is_top}
+               | {p for p in s2.relation(name).pairs()
+                  if not p[1].is_top})
+        for name in merged.dimension_names
+    }
+    assert left == right
+
+
+@_settings
+@given(small_mos(n_dims=1, temporal=True), small_mos(n_dims=1, temporal=True),
+       chronons)
+def test_timeslice_of_difference_subset(m1, m2, t):
+    """Every non-⊤ pair of τ_v(M1 \\ M2, t) is a pair of τ_v(M1, t) and
+    not a pair of τ_v(M2, t)."""
+    if m1.schema != m2.schema:
+        return
+    diff = difference(m1, m2)
+    sliced = _pairs_at(valid_timeslice(diff, t))
+    left = _pairs_at(valid_timeslice(m1, t))
+    right = _pairs_at(valid_timeslice(m2, t))
+    for name, pairs in sliced.items():
+        assert pairs <= left[name]
+        assert not (pairs & right[name])
+
+
+@_settings
+@given(small_mos(temporal=True), chronons)
+def test_timeslice_commutes_with_projection(mo, t):
+    kept = list(mo.dimension_names)[:1]
+    a = valid_timeslice(project(mo, kept), t)
+    b = project(valid_timeslice(mo, t), kept)
+    assert _pairs_at(a) == _pairs_at(b)
+
+
+@_settings
+@given(small_mos(temporal=True), chronons)
+def test_selection_then_slice_equals_slice_membership(mo, t):
+    """σ does not change times: slicing a selection restricts the
+    slice's facts to the selected ones."""
+    name = mo.dimension_names[0]
+    predicate = Predicate(
+        dims=(name,), test=lambda values, ctx: not values[name].is_top)
+    selected = select(mo, predicate)
+    sliced = valid_timeslice(selected, t)
+    assert sliced.facts == selected.facts
+    assert validate_closed(sliced).ok
+
+
+@_settings
+@given(small_mos(temporal=True), chronons)
+def test_timeslice_output_is_snapshot_and_closed(mo, t):
+    sliced = valid_timeslice(mo, t)
+    assert sliced.kind is TimeKind.SNAPSHOT
+    assert validate_closed(sliced).ok

@@ -1,0 +1,111 @@
+"""Tests for the case-study MO builder."""
+
+import pytest
+
+from repro.algebra import validate_closed
+from repro.casestudy import (
+    DEFAULT_REFERENCE,
+    case_study_mo,
+    diagnosis_dimension,
+    diagnosis_value,
+    patient_fact,
+    residence_dimension,
+)
+from repro.core.mo import TimeKind
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import day
+
+
+class TestCaseStudyMO:
+    def test_snapshot_valid(self, snapshot_mo):
+        snapshot_mo.validate()
+        assert snapshot_mo.kind is TimeKind.SNAPSHOT
+        assert validate_closed(snapshot_mo).ok
+
+    def test_temporal_valid(self, valid_time_mo):
+        valid_time_mo.validate()
+        assert valid_time_mo.kind is TimeKind.VALID
+        assert validate_closed(valid_time_mo).ok
+
+    def test_ages_derived_from_dob(self, snapshot_mo):
+        ages = {
+            f.fid: next(iter(
+                snapshot_mo.relation("Age").values_of(f))).sid
+            for f in snapshot_mo.facts
+        }
+        # at the default reference (1 Jan 1999): John (b. 25/05/69) is
+        # 29, Jane (b. 20/03/50) is 48
+        assert ages == {1: 29, 2: 48}
+
+    def test_reference_shifts_ages(self):
+        mo = case_study_mo(temporal=False, reference=day(2020, 6, 1))
+        ages = {
+            f.fid: next(iter(mo.relation("Age").values_of(f))).sid
+            for f in mo.facts
+        }
+        assert ages == {1: 51, 2: 70}
+
+    def test_age_groups_linked(self, snapshot_mo):
+        age = snapshot_mo.dimension("Age")
+        v29 = DimensionValue(29)
+        labels = {p.label for p in age.order.parents(v29)}
+        assert labels == {"25-29", "20-29"}
+
+    def test_dob_rollups(self, snapshot_mo):
+        dob = snapshot_mo.dimension("DOB")
+        john_dob = next(iter(
+            snapshot_mo.relation("DOB").values_of(patient_fact(1))))
+        ancestors = {a.label for a in dob.ancestors(john_dob)
+                     if a.label and not a.is_top}
+        assert "1969" in ancestors
+        assert "1960s" in ancestors
+        assert "1969-Q2" in ancestors
+
+    def test_residence_relation_temporal(self, valid_time_mo):
+        rel = valid_time_mo.relation("Residence")
+        values = rel.values_of(patient_fact(2))
+        assert {v.sid for v in values} == {102, 103}
+        time103 = rel.pair_time(patient_fact(2), DimensionValue(103))
+        assert day(1975, 1, 1) in time103
+        assert day(1985, 1, 1) not in time103
+
+
+class TestDiagnosisDimension:
+    def test_snapshot_collapses_time(self):
+        diag = diagnosis_dimension(temporal=False)
+        assert diag.existence_time(diagnosis_value(3)).is_always()
+
+    def test_temporal_membership(self):
+        diag = diagnosis_dimension(temporal=True)
+        time = diag.existence_time(diagnosis_value(3))
+        assert day(1975, 1, 1) in time
+        assert day(1985, 1, 1) not in time
+
+    def test_example10_flag(self):
+        without = diagnosis_dimension(temporal=True)
+        with_link = diagnosis_dimension(temporal=True,
+                                        include_example10_link=True)
+        v8, v11 = diagnosis_value(8), diagnosis_value(11)
+        assert not without.leq(v8, v11)
+        assert with_link.leq(v8, v11, at=day(1985, 1, 1))
+
+    def test_representations_per_category(self):
+        diag = diagnosis_dimension(temporal=False)
+        for category in ("Low-level Diagnosis", "Diagnosis Family",
+                         "Diagnosis Group"):
+            reps = diag.representations_of(category)
+            assert set(reps) == {"Code", "Text"}
+
+
+class TestResidenceDimension:
+    def test_hierarchy(self):
+        res = residence_dimension()
+        area = DimensionValue(101)
+        county = DimensionValue(201)
+        region = DimensionValue(301)
+        assert res.leq(area, county) and res.leq(county, region)
+
+    def test_names(self):
+        res = residence_dimension()
+        name = res.representation("Region", "Name")
+        assert name.of(DimensionValue(301)) == "Jutland"

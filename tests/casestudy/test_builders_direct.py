@@ -1,0 +1,52 @@
+"""Direct tests for the individual case-study dimension builders."""
+
+from repro.casestudy.build import (
+    age_dimension,
+    dob_dimension,
+    name_dimension,
+    ssn_dimension,
+)
+from repro.core.aggtypes import AggregationType
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import day
+
+
+class TestDobDimension:
+    def test_both_hierarchies_populated(self):
+        dim = dob_dimension([day(1969, 5, 25)])
+        value = DimensionValue(sid=day(1969, 5, 25))
+        parents = {p.label for p in dim.order.parents(value)}
+        assert parents == {"1969-W21", "1969-05"}
+
+    def test_shared_ancestors_deduplicated(self):
+        dim = dob_dimension([day(1969, 5, 25), day(1969, 6, 1)])
+        assert len(dim.category("Year")) == 1
+        assert len(dim.category("Decade")) == 1
+
+    def test_bottom_is_ordinal(self):
+        dim = dob_dimension([day(1969, 5, 25)])
+        assert dim.dtype.bottom.aggtype is AggregationType.AVERAGE
+
+
+class TestAgeDimension:
+    def test_bands_cover_values(self):
+        dim = age_dimension([29, 48])
+        for age in (29, 48):
+            parents = dim.order.parents(DimensionValue(age))
+            assert len(parents) == 2  # one five-year + one ten-year band
+
+    def test_additive(self):
+        assert age_dimension([29]).dtype.bottom.aggtype is \
+            AggregationType.SUM
+
+
+class TestSimpleDimensions:
+    def test_name_values(self):
+        dim = name_dimension()
+        assert DimensionValue("John Doe") in dim
+        assert DimensionValue("Jane Doe") in dim
+
+    def test_ssn_values(self):
+        dim = ssn_dimension()
+        assert DimensionValue("12345678") in dim
+        assert dim.dtype.bottom_name == "SSN"

@@ -1,0 +1,241 @@
+"""The paper's Examples 1-12, re-checked literally against the
+implementation.  Each test quotes the example it reproduces."""
+
+import pytest
+
+from repro.algebra import SetCount, aggregate, validate_closed
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.aggtypes import AggregationType
+from repro.core.helpers import Band, make_result_spec
+from repro.temporal.chronon import day
+from repro.temporal.timeset import TimeSet
+
+
+class TestExample1And8Schema:
+    """Example 1/8: fact type Patient; dimension types Diagnosis, DOB,
+    Residence, Name, SSN, Age — a six-dimensional MO."""
+
+    def test_schema(self, snapshot_mo):
+        assert snapshot_mo.schema.fact_type == "Patient"
+        assert set(snapshot_mo.dimension_names) == {
+            "Diagnosis", "DOB", "Residence", "Name", "SSN", "Age"}
+        assert snapshot_mo.n == 6
+
+    def test_fact_set(self, snapshot_mo):
+        assert {f.fid for f in snapshot_mo.facts} == {1, 2}
+
+    def test_simple_dimensions(self, snapshot_mo):
+        for name in ("Name", "SSN"):
+            dtype = snapshot_mo.dimension(name).dtype
+            assert dtype.bottom_name == name
+            assert len([c for c in dtype.category_types()]) == 2
+
+    def test_age_groups(self, snapshot_mo):
+        dtype = snapshot_mo.dimension("Age").dtype
+        assert "Five-year group" in dtype and "Ten-year group" in dtype
+
+    def test_dob_two_hierarchies(self, snapshot_mo):
+        dtype = snapshot_mo.dimension("DOB").dtype
+        assert dtype.leq("Day", "Week")
+        assert dtype.leq("Day", "Month") and dtype.leq("Quarter", "Decade")
+
+
+class TestExample2CategoryOrder:
+    """Example 2: ⊥ = Low-level Diagnosis < Family < Group < ⊤, and
+    Pred(Low-level Diagnosis) = {Diagnosis Family}."""
+
+    def test_chain(self, snapshot_mo):
+        dtype = snapshot_mo.dimension("Diagnosis").dtype
+        assert dtype.bottom_name == "Low-level Diagnosis"
+        assert dtype.leq("Low-level Diagnosis", "Diagnosis Family")
+        assert dtype.leq("Diagnosis Family", "Diagnosis Group")
+        assert dtype.leq("Diagnosis Group", dtype.top_name)
+
+    def test_pred(self, snapshot_mo):
+        dtype = snapshot_mo.dimension("Diagnosis").dtype
+        assert dtype.pred("Low-level Diagnosis") == {"Diagnosis Family"}
+
+
+class TestExample3Aggtypes:
+    """Example 3: Aggtype(Low-level Diagnosis) = c, Aggtype(Age) = ⊕,
+    Aggtype(DOB) = ⊘."""
+
+    def test_aggtypes(self, snapshot_mo):
+        assert snapshot_mo.dimension("Diagnosis").dtype.aggtype(
+            "Low-level Diagnosis") is AggregationType.CONSTANT
+        assert snapshot_mo.dimension("Age").dtype.aggtype("Age") is \
+            AggregationType.SUM
+        assert snapshot_mo.dimension("DOB").dtype.aggtype("Day") is \
+            AggregationType.AVERAGE
+
+
+class TestExample4Categories:
+    """Example 4: the category extensions and the ⊤ value."""
+
+    def test_members(self, snapshot_mo):
+        diag = snapshot_mo.dimension("Diagnosis")
+        assert {v.sid for v in diag.category("Low-level Diagnosis")} == \
+            {3, 5, 6}
+        assert {v.sid for v in diag.category("Diagnosis Family")} == \
+            {4, 7, 8, 9, 10}
+        assert {v.sid for v in diag.category("Diagnosis Group")} == {11, 12}
+
+    def test_top_contains_everything(self, snapshot_mo):
+        diag = snapshot_mo.dimension("Diagnosis")
+        for i in range(3, 13):
+            assert diag.leq(diagnosis_value(i), diag.top_value)
+
+    def test_order_follows_grouping_table(self, snapshot_mo):
+        diag = snapshot_mo.dimension("Diagnosis")
+        assert diag.leq(diagnosis_value(5), diagnosis_value(4))
+        assert diag.leq(diagnosis_value(3), diagnosis_value(7))
+        assert diag.leq(diagnosis_value(9), diagnosis_value(11))
+
+
+class TestExample5Subdimension:
+    """Example 5: the subdimension retaining only Diagnosis Group
+    and ⊤."""
+
+    def test_subdimension(self, snapshot_mo):
+        sub = snapshot_mo.dimension("Diagnosis").subdimension(
+            ["Diagnosis Group"])
+        non_top = {v.sid for v in sub.values() if not v.is_top}
+        assert non_top == {11, 12}
+
+
+class TestExample6Representations:
+    """Example 6: diagnosis values have Code and Text representations
+    (per Table 1; the running text's Code(3)='O24' is a known typo —
+    Table 1 assigns O24 to value 4)."""
+
+    def test_code_and_text(self, snapshot_mo):
+        diag = snapshot_mo.dimension("Diagnosis")
+        code = diag.representation("Low-level Diagnosis", "Code")
+        text = diag.representation("Low-level Diagnosis", "Text")
+        assert code.of(diagnosis_value(3)) == "P11"
+        assert text.of(diagnosis_value(3)) == "Diabetes, pregnancy"
+
+    def test_code_is_alternate_key(self, snapshot_mo):
+        diag = snapshot_mo.dimension("Diagnosis")
+        code = diag.representation("Diagnosis Family", "Code")
+        assert code.value_of("E10") == diagnosis_value(9)
+
+
+class TestExample7FactDimensionRelation:
+    """Example 7: R = {(1,9), (2,3), (2,5), (2,8), (2,9)}, with fact 1
+    related at Diagnosis Family granularity."""
+
+    def test_pairs(self, snapshot_mo):
+        pairs = {(f.fid, v.sid)
+                 for f, v in snapshot_mo.relation("Diagnosis").pairs()}
+        assert pairs == {(1, 9), (2, 3), (2, 5), (2, 8), (2, 9)}
+
+    def test_mixed_granularity(self, snapshot_mo):
+        diag = snapshot_mo.dimension("Diagnosis")
+        assert diag.category_name_of(diagnosis_value(9)) == \
+            "Diagnosis Family"
+        assert diag.category_name_of(diagnosis_value(5)) == \
+            "Low-level Diagnosis"
+
+
+class TestExample9TemporalAnnotations:
+    """Example 9's four kinds of timestamped statements."""
+
+    def test_fact_dimension_time(self, valid_time_mo):
+        """(2,3) ∈_[23/03/75 - 24/12/75] R."""
+        time = valid_time_mo.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(3))
+        assert time == TimeSet.interval(day(1975, 3, 23), day(1975, 12, 24))
+
+    def test_category_membership_time(self, valid_time_mo):
+        """10 ∈_[01/01/80 - NOW] Diagnosis Family."""
+        diag = valid_time_mo.dimension("Diagnosis")
+        time = diag.category("Diagnosis Family").membership_time(
+            diagnosis_value(10))
+        assert time.min() == day(1980, 1, 1)
+        assert day(1995, 1, 1) in time
+
+    def test_partial_order_time(self, valid_time_mo):
+        """7 ≤_[01/01/70 - 31/12/79] 3 — i.e. 3 ≤ 7 during the 70s."""
+        diag = valid_time_mo.dimension("Diagnosis")
+        time = diag.containment_time(diagnosis_value(3), diagnosis_value(7))
+        assert time == TimeSet.interval(day(1970, 1, 1), day(1979, 12, 31))
+
+    def test_representation_time(self, valid_time_mo):
+        """Code(8) =_Tv D1.  (Example 9's prose writes 01/01/70 but
+        Table 1's row for diagnosis 8 starts 01/10/70; Table 1 is
+        authoritative.)"""
+        diag = valid_time_mo.dimension("Diagnosis")
+        code = diag.representation("Diagnosis Family", "Code")
+        assert code.assignment_time(diagnosis_value(8), "D1") == \
+            TimeSet.interval(day(1970, 10, 1), day(1979, 12, 31))
+
+
+class TestExample10CrossChangeAnalysis:
+    """Example 10: 8 ≤_[01/01/80 - NOW] 11, so old-diabetes patients
+    count with new-diabetes patients from 1970 to the present."""
+
+    def test_link_time(self, valid_time_mo_ex10):
+        diag = valid_time_mo_ex10.dimension("Diagnosis")
+        time = diag.containment_time(diagnosis_value(8),
+                                     diagnosis_value(11))
+        assert time.min() == day(1980, 1, 1)
+        assert day(1979, 6, 1) not in time
+
+    def test_both_patients_counted(self, valid_time_mo_ex10):
+        rel = valid_time_mo_ex10.relation("Diagnosis")
+        diag = valid_time_mo_ex10.dimension("Diagnosis")
+        counted = rel.facts_characterized_by(diagnosis_value(11), diag)
+        assert {f.fid for f in counted} == {1, 2}
+
+    def test_without_link_patient2_still_counts_via_9(self, valid_time_mo):
+        rel = valid_time_mo.relation("Diagnosis")
+        diag = valid_time_mo.dimension("Diagnosis")
+        counted = rel.facts_characterized_by(diagnosis_value(11), diag)
+        assert {f.fid for f in counted} == {1, 2}
+        # but the old-diagnosis period is NOT covered without the link:
+        time = rel.characterization_time(patient_fact(2),
+                                         diagnosis_value(11), diag)
+        assert time.min() == day(1982, 1, 1)
+
+    def test_with_link_old_period_covered(self, valid_time_mo_ex10):
+        rel = valid_time_mo_ex10.relation("Diagnosis")
+        diag = valid_time_mo_ex10.dimension("Diagnosis")
+        time = rel.characterization_time(patient_fact(2),
+                                         diagnosis_value(11), diag)
+        assert time.min() == day(1980, 1, 1)
+
+
+class TestExample11HierarchyProperties:
+    """Example 11 is covered in tests/core/test_properties.py; this
+    re-asserts the headline claims on the shared fixtures."""
+
+    def test_claims(self, snapshot_mo):
+        from repro.core.properties import (
+            hierarchy_is_partitioning,
+            hierarchy_is_strict,
+        )
+
+        residence = snapshot_mo.dimension("Residence")
+        assert hierarchy_is_strict(residence)
+        assert hierarchy_is_partitioning(residence)
+        assert not hierarchy_is_strict(snapshot_mo.dimension("Diagnosis"))
+
+
+class TestExample12AggregateFormation:
+    """Example 12, end to end, with the Figure 3 ranges."""
+
+    def test_full_example(self, snapshot_mo):
+        spec = make_result_spec("Result",
+                                bands=[Band(0, 2), Band(2, None)])
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, spec)
+        assert agg.n == 7  # six restricted dimensions + result
+        assert agg.schema.fact_type == "Set-of-Patient"
+        r1 = {(frozenset(m.fid for m in f.members), v.sid)
+              for f, v in agg.relation("Diagnosis").pairs()}
+        r7 = {(frozenset(m.fid for m in f.members), v.sid)
+              for f, v in agg.relation("Result").pairs()}
+        assert r1 == {(frozenset({1, 2}), 11), (frozenset({2}), 12)}
+        assert r7 == {(frozenset({1, 2}), 2), (frozenset({2}), 1)}
+        assert validate_closed(agg).ok

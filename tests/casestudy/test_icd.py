@@ -1,0 +1,85 @@
+"""Tests for the synthetic ICD-like classification generator."""
+
+import random
+
+import pytest
+
+from repro.casestudy.icd import IcdShape, build_icd_dimension
+from repro.core.properties import (
+    hierarchy_is_partitioning,
+    hierarchy_is_strict,
+)
+from repro.temporal.chronon import day
+
+
+def build(shape, seed=0):
+    return build_icd_dimension(random.Random(seed), shape)
+
+
+class TestShape:
+    def test_counts_within_bounds(self):
+        shape = IcdShape(n_groups=3, families_per_group=(2, 4),
+                         lowlevels_per_family=(2, 4))
+        icd = build(shape)
+        assert len(icd.groups) == 3
+        assert 3 * 2 <= len(icd.families) <= 3 * 4
+        assert len(icd.families) * 2 <= len(icd.low_levels) <= \
+            len(icd.families) * 4
+
+    def test_three_level_hierarchy(self):
+        icd = build(IcdShape(n_groups=2, families_per_group=(2, 2),
+                             lowlevels_per_family=(2, 2)))
+        dim = icd.dimension
+        low = icd.low_levels[0]
+        group_ancestors = [
+            a for a in dim.ancestors(low)
+            if not a.is_top and a in dim.category("Diagnosis Group")
+        ]
+        assert group_ancestors
+
+    def test_deterministic_in_seed(self):
+        shape = IcdShape(n_groups=2)
+        a = build(shape, seed=42)
+        b = build(shape, seed=42)
+        assert {v.sid for v in a.low_levels} == {v.sid for v in b.low_levels}
+
+
+class TestStrictness:
+    def test_zero_extra_parents_is_strict(self):
+        icd = build(IcdShape(n_groups=2, families_per_group=(2, 3),
+                             lowlevels_per_family=(2, 3),
+                             extra_parent_prob=0.0))
+        assert hierarchy_is_strict(icd.dimension)
+        assert hierarchy_is_partitioning(icd.dimension)
+
+    def test_extra_parents_make_non_strict(self):
+        icd = build(IcdShape(n_groups=2, families_per_group=(3, 4),
+                             lowlevels_per_family=(3, 4),
+                             extra_parent_prob=1.0))
+        assert not hierarchy_is_strict(icd.dimension)
+
+
+class TestTwoEras:
+    def test_era_membership(self):
+        icd = build(IcdShape(n_groups=2, families_per_group=(2, 2),
+                             lowlevels_per_family=(2, 2), two_eras=True))
+        dim = icd.dimension
+        old, new = icd.low_levels_by_era
+        assert old and new
+        t75, t85 = day(1975, 1, 1), day(1985, 1, 1)
+        assert all(t75 in dim.existence_time(v) for v in old)
+        assert all(t75 not in dim.existence_time(v) for v in new)
+        assert all(t85 in dim.existence_time(v) for v in new)
+
+    def test_cross_era_links(self):
+        icd = build(IcdShape(n_groups=2, families_per_group=(2, 2),
+                             lowlevels_per_family=(2, 2), two_eras=True))
+        dim = icd.dimension
+        old_groups = [g for g in icd.groups
+                      if day(1975, 1, 1) in dim.existence_time(g)]
+        for old in old_groups:
+            parents = dim.order.parents(old)
+            assert parents, "old group missing its cross-era link"
+            (new,) = parents
+            assert dim.leq(old, new, at=day(1985, 1, 1))
+            assert not dim.leq(old, new, at=day(1975, 1, 1))

@@ -1,0 +1,60 @@
+"""Tests for the verbatim Table 1 data."""
+
+from repro.casestudy import tables
+
+
+class TestTable1Verbatim:
+    def test_patient_rows(self):
+        assert len(tables.PATIENT_ROWS) == 2
+        john, jane = tables.PATIENT_ROWS
+        assert (john.id, john.name, john.ssn, john.date_of_birth) == \
+            (1, "John Doe", "12345678", "25/05/69")
+        assert (jane.id, jane.name, jane.ssn, jane.date_of_birth) == \
+            (2, "Jane Doe", "87654321", "20/03/50")
+
+    def test_has_rows(self):
+        assert len(tables.HAS_ROWS) == 5
+        assert (1, 9, "01/01/89", "NOW", "Primary") == tuple(
+            getattr(tables.HAS_ROWS[0], a)
+            for a in ("patient_id", "diagnosis_id", "valid_from",
+                      "valid_to", "type"))
+        patient2 = [r for r in tables.HAS_ROWS if r.patient_id == 2]
+        assert {r.diagnosis_id for r in patient2} == {3, 8, 5, 9}
+
+    def test_diagnosis_rows(self):
+        assert len(tables.DIAGNOSIS_ROWS) == 10
+        by_id = {r.id: r for r in tables.DIAGNOSIS_ROWS}
+        assert by_id[8].code == "D1" and by_id[8].text == "Diabetes"
+        assert by_id[11].code == "E1" and by_id[11].text == "Diabetes"
+        assert by_id[9].code == "E10"
+        assert by_id[3].valid_to == "31/12/79"
+        assert by_id[4].valid_to == "NOW"
+
+    def test_grouping_rows(self):
+        assert len(tables.GROUPING_ROWS) == 9
+        who = {(r.parent_id, r.child_id)
+               for r in tables.GROUPING_ROWS if r.type == "WHO"}
+        user = {(r.parent_id, r.child_id)
+                for r in tables.GROUPING_ROWS if r.type == "User-defined"}
+        assert who == {(4, 5), (4, 6), (7, 3), (11, 9), (11, 10), (12, 4)}
+        assert user == {(8, 3), (9, 5), (10, 6)}
+
+    def test_category_assignment_of_example_4(self):
+        """Example 4: LLD = {3,5,6}, Family = {4,7,8,9,10},
+        Group = {11,12}."""
+        assert tables.LOW_LEVEL_IDS == (3, 5, 6)
+        assert tables.FAMILY_IDS == (4, 7, 8, 9, 10)
+        assert tables.GROUP_IDS == (11, 12)
+        assert tables.CATEGORY_OF_DIAGNOSIS[5] == "Low-level Diagnosis"
+        assert tables.CATEGORY_OF_DIAGNOSIS[11] == "Diagnosis Group"
+
+    def test_example_10_link(self):
+        link = tables.EXAMPLE_10_LINK
+        assert (link.parent_id, link.child_id) == (11, 8)
+        assert link.valid_from == "01/01/80" and link.valid_to == "NOW"
+
+    def test_synthesized_rows_flagged(self):
+        assert all(r.synthesized for r in tables.AREA_ROWS)
+        assert all(r.synthesized for r in tables.LIVES_IN_ROWS)
+        # each patient has a residence history
+        assert {r.patient_id for r in tables.LIVES_IN_ROWS} == {1, 2}

@@ -1,0 +1,59 @@
+"""Tests for the ⊕/⊘/c aggregation type mechanism."""
+
+from repro.core.aggtypes import AggregationType, SQLFunction, min_aggtype
+
+SUM, AVG, CONST = (AggregationType.SUM, AggregationType.AVERAGE,
+                   AggregationType.CONSTANT)
+
+
+class TestOrdering:
+    def test_paper_chain(self):
+        """c < ⊘ < ⊕ (paper §3.1)."""
+        assert CONST < AVG < SUM
+
+    def test_total_order(self):
+        assert not SUM < SUM
+        assert SUM <= SUM
+        assert CONST <= AVG
+
+    def test_symbols(self):
+        assert SUM.symbol == "⊕"
+        assert AVG.symbol == "⊘"
+        assert CONST.symbol == "c"
+
+
+class TestAllowedFunctions:
+    def test_sum_type_permits_everything(self):
+        assert SUM.allowed_functions == frozenset(SQLFunction)
+
+    def test_average_type_excludes_sum(self):
+        assert SQLFunction.SUM not in AVG.allowed_functions
+        assert AVG.allowed_functions == frozenset(SQLFunction) - \
+            {SQLFunction.SUM}
+
+    def test_constant_type_only_counts(self):
+        assert CONST.allowed_functions == frozenset({SQLFunction.COUNT})
+
+    def test_higher_types_include_lower_capabilities(self):
+        """Data with a higher aggregation type also possesses the
+        characteristics of lower types."""
+        assert CONST.allowed_functions <= AVG.allowed_functions
+        assert AVG.allowed_functions <= SUM.allowed_functions
+
+    def test_permits(self):
+        assert SUM.permits(SQLFunction.SUM)
+        assert not AVG.permits(SQLFunction.SUM)
+        assert CONST.permits(SQLFunction.COUNT)
+
+
+class TestMinAggtype:
+    def test_min_of_mixed(self):
+        assert min_aggtype([SUM, CONST, AVG]) is CONST
+        assert min_aggtype([SUM, AVG]) is AVG
+
+    def test_min_of_empty_is_top(self):
+        """Functions with no argument dimensions constrain nothing."""
+        assert min_aggtype([]) is SUM
+
+    def test_min_of_single(self):
+        assert min_aggtype([AVG]) is AVG

@@ -1,0 +1,132 @@
+"""Tests for categories, category types, and representations."""
+
+import pytest
+
+from repro.core.aggtypes import AggregationType
+from repro.core.category import Category, CategoryType, Representation
+from repro.core.errors import SchemaError
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import day
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+T70S = TimeSet.interval(day(1970, 1, 1), day(1979, 12, 31))
+T80S = TimeSet.interval(day(1980, 1, 1), day(1989, 12, 31))
+V1, V2 = DimensionValue(1), DimensionValue(2)
+
+
+class TestCategoryType:
+    def test_defaults_to_constant(self):
+        assert CategoryType("X").aggtype is AggregationType.CONSTANT
+
+    def test_top_factory(self):
+        top = CategoryType.top("Diagnosis")
+        assert top.is_top
+        assert top.name == "⊤Diagnosis"
+        assert top.aggtype is AggregationType.CONSTANT
+
+
+class TestCategory:
+    def test_add_and_contains(self):
+        cat = Category(CategoryType("X"))
+        cat.add(V1)
+        assert V1 in cat
+        assert V2 not in cat
+        assert len(cat) == 1
+
+    def test_timestamped_membership(self):
+        cat = Category(CategoryType("X"))
+        cat.add(V1, T70S)
+        assert cat.contains(V1, at=day(1975, 1, 1))
+        assert not cat.contains(V1, at=day(1985, 1, 1))
+        assert cat.members(at=day(1985, 1, 1)) == set()
+
+    def test_re_add_coalesces(self):
+        cat = Category(CategoryType("X"))
+        cat.add(V1, T70S)
+        cat.add(V1, T80S)
+        assert cat.membership_time(V1) == T70S.union(T80S)
+
+    def test_empty_time_add_is_noop(self):
+        cat = Category(CategoryType("X"))
+        cat.add(V1, TimeSet.empty())
+        assert V1 not in cat
+
+    def test_discard(self):
+        cat = Category(CategoryType("X"))
+        cat.add(V1)
+        cat.discard(V1)
+        assert V1 not in cat
+
+    def test_copy_independent(self):
+        cat = Category(CategoryType("X"))
+        cat.add(V1)
+        dup = cat.copy()
+        dup.add(V2)
+        assert V2 not in cat
+
+
+class TestRepresentation:
+    def test_assign_and_lookup(self):
+        rep = Representation("Code")
+        rep.assign(V1, "E10")
+        assert rep.of(V1) == "E10"
+        assert rep.value_of("E10") == V1
+
+    def test_timestamped_assignment(self):
+        """Code(8) = 'D1' during the 70s (paper Example 9)."""
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        assert rep.of(V1, at=day(1975, 1, 1)) == "D1"
+        assert rep.of(V1, at=day(1985, 1, 1)) is None
+
+    def test_name_change_over_time(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        rep.assign(V1, "E10", T80S)
+        assert rep.of(V1, at=day(1975, 1, 1)) == "D1"
+        assert rep.of(V1, at=day(1985, 1, 1)) == "E10"
+        # with no chronon, the latest name wins
+        assert rep.of(V1) == "E10"
+
+    def test_bijectivity_same_value_two_names_overlapping(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        with pytest.raises(SchemaError):
+            rep.assign(V1, "XX", T70S)
+
+    def test_bijectivity_same_name_two_values_overlapping(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        with pytest.raises(SchemaError):
+            rep.assign(V2, "D1", T70S)
+
+    def test_name_reuse_at_disjoint_times_is_legal(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        rep.assign(V2, "D1", T80S)
+        assert rep.value_of("D1", at=day(1975, 1, 1)) == V1
+        assert rep.value_of("D1", at=day(1985, 1, 1)) == V2
+
+    def test_assignment_time(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        assert rep.assignment_time(V1, "D1") == T70S
+        assert rep.assignment_time(V1, "XX").is_empty()
+
+    def test_re_assign_same_name_coalesces(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        rep.assign(V1, "D1", T80S)
+        assert rep.assignment_time(V1, "D1") == T70S.union(T80S)
+
+    def test_check_bijective_at(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        rep.assign(V2, "E10", T70S)
+        assert rep.check_bijective_at(day(1975, 1, 1))
+
+    def test_entries_iteration(self):
+        rep = Representation("Code")
+        rep.assign(V1, "D1", T70S)
+        entries = list(rep.entries())
+        assert entries == [(V1, "D1", T70S)]

@@ -1,0 +1,243 @@
+"""Tests for dimension types (lattices) and dimensions."""
+
+import pytest
+
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.errors import InstanceError, SchemaError
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import day
+from repro.temporal.timeset import TimeSet
+
+T70S = TimeSet.interval(day(1970, 1, 1), day(1979, 12, 31))
+
+
+def residence_type():
+    return DimensionType(
+        "Residence",
+        [CategoryType("Area", is_bottom=True), CategoryType("County"),
+         CategoryType("Region")],
+        [("Area", "County"), ("County", "Region")],
+    )
+
+
+def dob_type():
+    """Two hierarchies: Day < Week and Day < Month < Year."""
+    return DimensionType(
+        "DOB",
+        [CategoryType("Day", is_bottom=True), CategoryType("Week"),
+         CategoryType("Month"), CategoryType("Year")],
+        [("Day", "Week"), ("Day", "Month"), ("Month", "Year")],
+    )
+
+
+class TestDimensionType:
+    def test_top_added_automatically(self):
+        dtype = residence_type()
+        assert dtype.top_name == "⊤Residence"
+        assert dtype.top.is_top
+
+    def test_bottom_detected(self):
+        assert residence_type().bottom_name == "Area"
+
+    def test_category_order(self):
+        dtype = residence_type()
+        assert dtype.leq("Area", "Region")
+        assert dtype.leq("Area", dtype.top_name)
+        assert not dtype.leq("Region", "Area")
+
+    def test_pred_is_immediate_upward(self):
+        """Pred(Low-level) = {Family} in the paper's Example 2 sense."""
+        dtype = residence_type()
+        assert dtype.pred("Area") == {"County"}
+        assert dtype.pred("Region") == {dtype.top_name}
+
+    def test_succ(self):
+        assert residence_type().succ("County") == {"Area"}
+
+    def test_maximal_category_linked_to_top(self):
+        dtype = dob_type()
+        assert dtype.pred("Week") == {dtype.top_name}
+        assert dtype.pred("Year") == {dtype.top_name}
+
+    def test_multiple_bottoms_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionType("X", [CategoryType("A"), CategoryType("B")], [])
+
+    def test_duplicate_category_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionType("X", [CategoryType("A"), CategoryType("A")], [])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionType("X", [CategoryType("A")], [("A", "B")])
+
+    def test_is_lattice(self):
+        assert residence_type().is_lattice()
+        assert dob_type().is_lattice()
+
+    def test_category_types_bottom_up(self):
+        names = [c.name for c in residence_type().category_types()]
+        assert names.index("Area") < names.index("County") < \
+            names.index("Region")
+
+    def test_upward_closure(self):
+        dtype = dob_type()
+        assert dtype.upward_closure("Month") == \
+            {"Month", "Year", dtype.top_name}
+
+    def test_restricted_upward(self):
+        dtype = dob_type()
+        restricted = dtype.restricted_upward("Month")
+        assert restricted.bottom_name == "Month"
+        assert "Day" not in restricted
+        assert "Week" not in restricted
+        assert restricted.leq("Month", "Year")
+
+    def test_restricted_upward_from_top(self):
+        dtype = residence_type()
+        restricted = dtype.restricted_upward(dtype.top_name)
+        assert restricted.bottom_name == restricted.top_name
+
+    def test_isomorphism(self):
+        assert residence_type().is_isomorphic_to(residence_type())
+        assert not residence_type().is_isomorphic_to(dob_type())
+
+    def test_aggtype_lookup(self):
+        dtype = DimensionType(
+            "Age", [CategoryType("Age", AggregationType.SUM,
+                                 is_bottom=True)], [])
+        assert dtype.aggtype("Age") is AggregationType.SUM
+
+
+class TestDimension:
+    def setup_method(self):
+        self.dim = Dimension(residence_type())
+        self.a1 = DimensionValue("a1")
+        self.c1 = DimensionValue("c1")
+        self.r1 = DimensionValue("r1")
+        self.dim.add_value("Area", self.a1)
+        self.dim.add_value("County", self.c1)
+        self.dim.add_value("Region", self.r1)
+        self.dim.add_edge(self.a1, self.c1)
+        self.dim.add_edge(self.c1, self.r1)
+
+    def test_top_value_in_top_category(self):
+        assert self.dim.top_category.members() == {self.dim.top_value}
+
+    def test_value_belongs_to_one_category(self):
+        with pytest.raises(SchemaError):
+            self.dim.add_value("County", self.a1)
+
+    def test_category_of(self):
+        assert self.dim.category_name_of(self.a1) == "Area"
+        assert self.dim.category_of(self.c1).name == "County"
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(InstanceError):
+            self.dim.category_name_of(DimensionValue("zz"))
+
+    def test_leq_transitive(self):
+        assert self.dim.leq(self.a1, self.r1)
+
+    def test_everything_below_top(self):
+        assert self.dim.leq(self.a1, self.dim.top_value)
+        assert self.dim.leq(self.r1, self.dim.top_value)
+
+    def test_edges_into_top_rejected(self):
+        with pytest.raises(SchemaError):
+            self.dim.add_edge(self.r1, self.dim.top_value)
+
+    def test_downward_edge_rejected(self):
+        a2 = DimensionValue("a2")
+        self.dim.add_value("Area", a2)
+        with pytest.raises(SchemaError):
+            self.dim.add_edge(self.c1, a2)
+
+    def test_values_and_contains(self):
+        assert self.a1 in self.dim
+        assert DimensionValue("zz") not in self.dim
+        assert self.dim.values() >= {self.a1, self.c1, self.r1}
+
+    def test_ancestors_include_top(self):
+        assert self.dim.top_value in self.dim.ancestors(self.a1)
+        assert self.c1 in self.dim.ancestors(self.a1)
+
+    def test_descendants_of_top_is_everything(self):
+        descendants = self.dim.descendants(self.dim.top_value)
+        assert {self.a1, self.c1, self.r1} <= descendants
+
+    def test_containment_time_untimed_is_always(self):
+        assert self.dim.containment_time(self.a1, self.c1).is_always()
+
+    def test_containment_time_to_top_is_existence(self):
+        self.dim.category("Area").discard(self.a1)
+        self.dim.category("Area").add(self.a1, T70S)
+        assert self.dim.containment_time(
+            self.a1, self.dim.top_value) == T70S
+
+    def test_subdimension(self):
+        """Example 5: keep only Diagnosis Group and ⊤ — here Region."""
+        sub = self.dim.subdimension(["Region"])
+        assert self.r1 in sub
+        assert self.a1 not in sub
+        assert sub.dtype.bottom_name == "Region"
+
+    def test_subdimension_preserves_transitive_order(self):
+        sub = self.dim.subdimension(["Area", "Region"])
+        assert sub.leq(self.a1, self.r1)
+
+    def test_union(self):
+        other = Dimension(residence_type())
+        a2 = DimensionValue("a2")
+        other.add_value("Area", a2)
+        merged = self.dim.union(other)
+        assert self.a1 in merged and a2 in merged
+        assert merged.leq(self.a1, self.r1)
+
+    def test_union_type_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            self.dim.union(Dimension(dob_type()))
+
+    def test_copy_independent(self):
+        dup = self.dim.copy()
+        a2 = DimensionValue("a2")
+        dup.add_value("Area", a2)
+        assert a2 not in self.dim
+
+    def test_representations(self):
+        rep = self.dim.add_representation("Area", "Name")
+        rep.assign(self.a1, "Aalborg East")
+        assert self.dim.representation("Area", "Name").of(self.a1) == \
+            "Aalborg East"
+        assert "Name" in self.dim.representations_of("Area")
+
+    def test_missing_representation_raises(self):
+        with pytest.raises(SchemaError):
+            self.dim.representation("Area", "Nope")
+
+
+class TestLatticeNegative:
+    def test_m_shape_is_not_a_lattice(self):
+        """Two bottoms-…-wait: one bottom, two middles both above it and
+        both below two tops → the pair of middles has two minimal upper
+        bounds (no unique lub) once ⊤ is excluded from tie-breaking."""
+        dtype = DimensionType(
+            "M",
+            [CategoryType("B", is_bottom=True), CategoryType("M1"),
+             CategoryType("M2"), CategoryType("T1"), CategoryType("T2")],
+            [("B", "M1"), ("B", "M2"),
+             ("M1", "T1"), ("M1", "T2"),
+             ("M2", "T1"), ("M2", "T2")],
+        )
+        assert not dtype.is_lattice()
+
+    def test_tree_with_top_is_lattice(self):
+        dtype = DimensionType(
+            "T",
+            [CategoryType("B", is_bottom=True), CategoryType("L"),
+             CategoryType("R")],
+            [("B", "L"), ("B", "R")],
+        )
+        assert dtype.is_lattice()

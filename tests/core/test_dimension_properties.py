@@ -1,0 +1,108 @@
+"""Property tests for dimension-level laws: union of dimensions,
+subdimensions, and rename round-trips."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra import rename, rename_dimension, validate_closed
+from tests.strategies import small_dimensions, small_mos
+
+_settings = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _order_pairs(dimension):
+    return {
+        (child.sid, parent.sid)
+        for child, parent, _, _ in dimension.order.edges()
+    }
+
+
+def _members(dimension):
+    return {
+        (category.name, value.sid)
+        for category in dimension.categories()
+        for value in category
+        if not value.is_top
+    }
+
+
+@_settings
+@given(small_dimensions(name="D"), small_dimensions(name="D"))
+def test_dimension_union_commutes(pair1, pair2):
+    d1, _ = pair1
+    d2, _ = pair2
+    if set(c.name for c in d1.categories()) != \
+            set(c.name for c in d2.categories()):
+        return
+    ab = d1.union(d2)
+    ba = d2.union(d1)
+    assert _members(ab) == _members(ba)
+    assert _order_pairs(ab) == _order_pairs(ba)
+
+
+@_settings
+@given(small_dimensions(name="D"))
+def test_union_with_self_is_identity(pair):
+    dimension, _ = pair
+    merged = dimension.union(dimension)
+    assert _members(merged) == _members(dimension)
+    assert _order_pairs(merged) == _order_pairs(dimension)
+
+
+@_settings
+@given(small_dimensions(name="D"))
+def test_subdimension_of_all_categories_preserves_order(pair):
+    dimension, _ = pair
+    names = [c.name for c in dimension.categories()
+             if not c.ctype.is_top]
+    sub = dimension.subdimension(names)
+    assert _members(sub) == _members(dimension)
+    # the closure is preserved even if direct edges got re-routed
+    for child, parent, _, _ in dimension.order.edges():
+        assert sub.leq(child, parent)
+
+
+@_settings
+@given(small_dimensions(name="D"))
+def test_subdimension_restriction_is_closure_restriction(pair):
+    """e1 ≤' e2 in the subdimension iff e1 ≤ e2 held and both survive —
+    the paper's subdimension definition."""
+    dimension, values_per_level = pair
+    if len(values_per_level) < 2:
+        return
+    keep_names = [dimension.category_name_of(values_per_level[0][0]),
+                  dimension.category_name_of(values_per_level[-1][0])]
+    sub = dimension.subdimension(list(dict.fromkeys(keep_names)))
+    surviving = [v for level in (values_per_level[0],
+                                 values_per_level[-1]) for v in level
+                 if v in sub]
+    for a in surviving:
+        for b in surviving:
+            assert sub.leq(a, b) == dimension.leq(a, b)
+
+
+@_settings
+@given(small_dimensions(name="D", temporal=True))
+def test_rename_dimension_roundtrip(pair):
+    dimension, _ = pair
+    there = rename_dimension(dimension, "E")
+    back = rename_dimension(there, "D")
+    assert _members(back) == _members(dimension)
+    assert _order_pairs(back) == _order_pairs(dimension)
+    for child, parent, time, prob in dimension.order.edges():
+        assert back.containment_time(child, parent) == \
+            dimension.containment_time(child, parent)
+
+
+@_settings
+@given(small_mos(n_dims=2))
+def test_mo_rename_roundtrip(mo):
+    mapping = {name: f"{name}_x" for name in mo.dimension_names}
+    inverse = {f"{name}_x": name for name in mo.dimension_names}
+    back = rename(rename(mo, dimension_map=mapping),
+                  dimension_map=inverse)
+    assert validate_closed(back).ok
+    assert back.facts == mo.facts
+    for name in mo.dimension_names:
+        assert set(back.relation(name).pairs()) == \
+            set(mo.relation(name).pairs())

@@ -1,0 +1,178 @@
+"""Tests for fact-dimension relations and the f ⇝ e characterization."""
+
+import pytest
+
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.errors import InstanceError, UncertaintyError
+from repro.core.factdim import FactDimensionRelation
+from repro.core.values import DimensionValue, Fact
+from repro.temporal.chronon import day
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+T70S = TimeSet.interval(day(1970, 1, 1), day(1979, 12, 31))
+T80S = TimeSet.interval(day(1980, 1, 1), day(1989, 12, 31))
+
+
+@pytest.fixture()
+def dimension():
+    dim = Dimension(DimensionType(
+        "D",
+        [CategoryType("Low", is_bottom=True), CategoryType("High")],
+        [("Low", "High")],
+    ))
+    dim.add_value("Low", DimensionValue("l1"))
+    dim.add_value("Low", DimensionValue("l2"))
+    dim.add_value("High", DimensionValue("h1"))
+    dim.add_edge(DimensionValue("l1"), DimensionValue("h1"))
+    return dim
+
+
+F1, F2 = Fact(1, "T"), Fact(2, "T")
+L1, L2, H1 = DimensionValue("l1"), DimensionValue("l2"), DimensionValue("h1")
+
+
+class TestBasePairs:
+    def test_add_and_query(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        assert rel.contains(F1, L1)
+        assert not rel.contains(F1, L2)
+        assert rel.values_of(F1) == {L1}
+        assert rel.facts_of(L1) == {F1}
+        assert len(rel) == 1
+
+    def test_many_to_many(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        rel.add(F1, L2)
+        rel.add(F2, L1)
+        assert rel.values_of(F1) == {L1, L2}
+        assert rel.facts_of(L1) == {F1, F2}
+
+    def test_timestamped_pair(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, time=T70S)
+        assert rel.contains(F1, L1, at=day(1975, 1, 1))
+        assert not rel.contains(F1, L1, at=day(1985, 1, 1))
+        assert rel.pair_time(F1, L1) == T70S
+
+    def test_same_prob_times_coalesce(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, time=T70S)
+        rel.add(F1, L1, time=T80S)
+        assert len(rel.annotations(F1, L1)) == 1
+        assert rel.pair_time(F1, L1) == T70S.union(T80S)
+
+    def test_different_probs_kept_apart(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, time=T70S, prob=0.9)
+        rel.add(F1, L1, time=T80S, prob=0.5)
+        assert len(rel.annotations(F1, L1)) == 2
+
+    def test_invalid_prob_rejected(self, dimension):
+        rel = FactDimensionRelation("D")
+        with pytest.raises(UncertaintyError):
+            rel.add(F1, L1, prob=-0.1)
+
+    def test_zero_prob_or_empty_time_skipped(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, prob=0.0)
+        rel.add(F1, L1, time=TimeSet.empty())
+        assert len(rel) == 0
+
+    def test_remove_fact(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        rel.add(F2, L1)
+        rel.remove_fact(F1)
+        assert F1 not in rel.facts()
+        assert rel.facts_of(L1) == {F2}
+
+
+class TestCharacterization:
+    def test_direct_and_upward(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        assert rel.characterizes(F1, L1, dimension)
+        assert rel.characterizes(F1, H1, dimension)  # l1 ≤ h1
+        assert not rel.characterizes(F1, L2, dimension)
+
+    def test_characterization_time_composes(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, time=T70S)
+        # untimed order edge: characterization limited by the pair time
+        assert rel.characterization_time(F1, H1, dimension) == T70S
+
+    def test_characterization_time_cut_by_order(self):
+        dim = Dimension(DimensionType(
+            "D",
+            [CategoryType("Low", is_bottom=True), CategoryType("High")],
+            [("Low", "High")],
+        ))
+        dim.add_value("Low", L1)
+        dim.add_value("High", H1)
+        dim.add_edge(L1, H1, time=T80S)
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, time=ALWAYS)
+        assert rel.characterization_time(F1, H1, dim) == T80S
+
+    def test_characterization_probability(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, prob=0.9)
+        assert rel.characterization_probability(F1, H1, dimension) == \
+            pytest.approx(0.9)
+
+    def test_facts_characterized_by(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        rel.add(F2, L2)
+        assert rel.facts_characterized_by(H1, dimension) == {F1}
+        assert rel.facts_characterized_by(L2, dimension) == {F2}
+
+    def test_facts_characterized_by_at_chronon(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1, time=T70S)
+        assert rel.facts_characterized_by(
+            H1, dimension, at=day(1975, 1, 1)) == {F1}
+        assert rel.facts_characterized_by(
+            H1, dimension, at=day(1985, 1, 1)) == set()
+
+
+class TestRestrictionsAndValidation:
+    def test_restricted_to_facts(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        rel.add(F2, L2)
+        restricted = rel.restricted_to_facts({F1})
+        assert restricted.facts() == {F1}
+
+    def test_union_merges_times(self, dimension):
+        r1, r2 = FactDimensionRelation("D"), FactDimensionRelation("D")
+        r1.add(F1, L1, time=T70S)
+        r2.add(F1, L1, time=T80S)
+        merged = r1.union(r2)
+        assert merged.pair_time(F1, L1) == T70S.union(T80S)
+
+    def test_validate_missing_value(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        with pytest.raises(InstanceError):
+            rel.validate_against({F1, F2}, dimension)
+
+    def test_validate_unknown_fact(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        with pytest.raises(InstanceError):
+            rel.validate_against({F2}, dimension)
+
+    def test_validate_unknown_value(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, DimensionValue("zz"))
+        with pytest.raises(InstanceError):
+            rel.validate_against({F1}, dimension)
+
+    def test_validate_passes(self, dimension):
+        rel = FactDimensionRelation("D")
+        rel.add(F1, L1)
+        rel.validate_against({F1}, dimension)

@@ -1,0 +1,108 @@
+"""Tests for the dimension builder helpers."""
+
+import pytest
+
+from repro.core.aggtypes import AggregationType
+from repro.core.errors import SchemaError
+from repro.core.helpers import (
+    Band,
+    make_linear_dimension,
+    make_numeric_dimension,
+    make_result_spec,
+    make_simple_dimension,
+)
+from repro.core.values import DimensionValue
+
+
+class TestSimpleDimension:
+    def test_shape(self):
+        dim = make_simple_dimension("Name", ["a", "b"])
+        assert dim.dtype.bottom_name == "Name"
+        assert len(dim.bottom_category) == 2
+        assert dim.dtype.top_name == "⊤Name"
+
+    def test_values_usable(self):
+        dim = make_simple_dimension("Name", ["a"])
+        assert DimensionValue("a") in dim
+
+
+class TestLinearDimension:
+    def test_chain(self):
+        dim = make_linear_dimension("R", [
+            ("Area", AggregationType.CONSTANT),
+            ("County", AggregationType.CONSTANT),
+        ])
+        assert dim.dtype.leq("Area", "County")
+        assert dim.dtype.bottom_name == "Area"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            make_linear_dimension("R", [])
+
+
+class TestBand:
+    def test_contains_half_open(self):
+        band = Band(10, 20)
+        assert band.contains(10) and band.contains(19)
+        assert not band.contains(20) and not band.contains(9)
+
+    def test_unbounded(self):
+        band = Band(2, None)
+        assert band.contains(1000)
+        assert not band.contains(1)
+
+    def test_labels(self):
+        assert Band(10, 20).label == "10-19"
+        assert Band(0, 1).label == "0"
+        assert Band(2, None).label == ">1"
+
+
+class TestNumericDimension:
+    def test_banded(self):
+        dim = make_numeric_dimension(
+            "Age", [7, 23],
+            bands={"Decade": [Band(lo, lo + 10) for lo in range(0, 40, 10)]})
+        assert dim.dtype.bottom.aggtype is AggregationType.SUM
+        age7 = DimensionValue(7)
+        parents = dim.order.parents(age7)
+        assert len(parents) == 1
+        assert next(iter(parents)).label == "0-9"
+
+    def test_band_categories_are_constant(self):
+        dim = make_numeric_dimension(
+            "Age", [7], bands={"Decade": [Band(0, 10)]})
+        assert dim.dtype.aggtype("Decade") is AggregationType.CONSTANT
+
+    def test_sibling_band_categories(self):
+        dim = make_numeric_dimension(
+            "Age", [7],
+            bands={"Five": [Band(5, 10)], "Ten": [Band(0, 10)]})
+        assert dim.dtype.pred("Age") == {"Five", "Ten"}
+
+
+class TestResultSpec:
+    def test_values_created_on_demand(self):
+        spec = make_result_spec()
+        v = spec.value_for(42)
+        assert v in spec.dimension
+        assert v.sid == 42
+
+    def test_idempotent(self):
+        spec = make_result_spec()
+        assert spec.value_for(42) == spec.value_for(42)
+        assert len(spec.dimension.bottom_category) == 1
+
+    def test_banding_like_figure3(self):
+        spec = make_result_spec(bands=[Band(0, 2), Band(2, None)])
+        one, two = spec.value_for(1), spec.value_for(2)
+        band_of = {
+            v.sid: next(iter(spec.dimension.order.parents(v))).label
+            for v in (one, two)
+        }
+        assert band_of[1] == "0-1"
+        assert band_of[2] == ">1"
+
+    def test_non_numeric_results_unbanded(self):
+        spec = make_result_spec(bands=[Band(0, 2)])
+        v = spec.value_for("n/a")
+        assert not spec.dimension.order.parents(v)

@@ -1,0 +1,161 @@
+"""Tests for multidimensional objects and MO families."""
+
+import pytest
+
+from repro.core.errors import InstanceError, SchemaError
+from repro.core.helpers import make_simple_dimension
+from repro.core.mo import MOFamily, MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+
+
+def build_mo():
+    d1 = make_simple_dimension("A", ["a1", "a2"])
+    d2 = make_simple_dimension("B", ["b1"])
+    schema = FactSchema("T", [d1.dtype, d2.dtype])
+    return MultidimensionalObject(schema=schema,
+                                  dimensions={"A": d1, "B": d2})
+
+
+class TestConstruction:
+    def test_dimensions_default_to_empty(self):
+        d = make_simple_dimension("A", [])
+        mo = MultidimensionalObject(FactSchema("T", [d.dtype]))
+        assert mo.dimension("A").values() == {mo.dimension("A").top_value}
+
+    def test_extra_dimension_rejected(self):
+        d1 = make_simple_dimension("A", [])
+        d2 = make_simple_dimension("B", [])
+        with pytest.raises(SchemaError):
+            MultidimensionalObject(FactSchema("T", [d1.dtype]),
+                                   dimensions={"A": d1, "B": d2})
+
+    def test_accessors(self):
+        mo = build_mo()
+        assert mo.n == 2
+        assert list(mo.dimension_names) == ["A", "B"]
+        assert len(mo.dimensions()) == 2
+        assert len(mo.relations()) == 2
+        with pytest.raises(SchemaError):
+            mo.dimension("C")
+        with pytest.raises(SchemaError):
+            mo.relation("C")
+
+
+class TestPopulation:
+    def test_add_fact_checks_type(self):
+        mo = build_mo()
+        with pytest.raises(InstanceError):
+            mo.add_fact(Fact(1, "Wrong"))
+
+    def test_relate_adds_fact(self):
+        mo = build_mo()
+        f = Fact(1, "T")
+        mo.relate(f, "A", DimensionValue("a1"))
+        assert f in mo
+        assert len(mo) == 1
+
+    def test_relate_unknown_value_rejected(self):
+        mo = build_mo()
+        with pytest.raises(InstanceError):
+            mo.relate(Fact(1, "T"), "A", DimensionValue("zz"))
+
+    def test_relate_unknown_uses_top(self):
+        mo = build_mo()
+        f = Fact(1, "T")
+        mo.relate_unknown(f, "A")
+        assert mo.relation("A").values_of(f) == \
+            {mo.dimension("A").top_value}
+
+
+class TestValidation:
+    def test_missing_value_fails_validation(self):
+        mo = build_mo()
+        f = Fact(1, "T")
+        mo.relate(f, "A", DimensionValue("a1"))
+        with pytest.raises(InstanceError):
+            mo.validate()  # no value in B
+        assert not mo.is_valid()
+
+    def test_complete_mo_validates(self):
+        mo = build_mo()
+        f = Fact(1, "T")
+        mo.relate(f, "A", DimensionValue("a1"))
+        mo.relate(f, "B", DimensionValue("b1"))
+        mo.validate()
+        assert mo.is_valid()
+
+    def test_top_pairs_satisfy_no_missing_values(self):
+        mo = build_mo()
+        f = Fact(1, "T")
+        mo.relate(f, "A", DimensionValue("a1"))
+        mo.relate_unknown(f, "B")
+        mo.validate()
+
+
+class TestGroupAndCopy:
+    def test_group(self):
+        mo = build_mo()
+        f1, f2 = Fact(1, "T"), Fact(2, "T")
+        a1, a2, b1 = (DimensionValue("a1"), DimensionValue("a2"),
+                      DimensionValue("b1"))
+        mo.relate(f1, "A", a1)
+        mo.relate(f2, "A", a2)
+        mo.relate(f1, "B", b1)
+        mo.relate(f2, "B", b1)
+        assert mo.group({"A": a1}) == {f1}
+        assert mo.group({"B": b1}) == {f1, f2}
+        assert mo.group({"A": a1, "B": b1}) == {f1}
+        assert mo.group({}) == {f1, f2}
+
+    def test_copy_independent(self):
+        mo = build_mo()
+        f = Fact(1, "T")
+        mo.relate(f, "A", DimensionValue("a1"))
+        mo.relate(f, "B", DimensionValue("b1"))
+        dup = mo.copy()
+        dup.relate(Fact(2, "T"), "A", DimensionValue("a2"))
+        assert len(mo) == 1 and len(dup) == 2
+
+    def test_with_kind(self):
+        mo = build_mo()
+        assert mo.with_kind(TimeKind.VALID).kind is TimeKind.VALID
+        assert mo.kind is TimeKind.SNAPSHOT
+
+
+class TestMOFamily:
+    def test_members(self):
+        family = MOFamily()
+        family.add("base", build_mo())
+        assert family.member("base").n == 2
+        assert family.names() == ["base"]
+        assert len(family) == 1
+
+    def test_duplicate_name_rejected(self):
+        family = MOFamily()
+        family.add("base", build_mo())
+        with pytest.raises(SchemaError):
+            family.add("base", build_mo())
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(SchemaError):
+            MOFamily().member("nope")
+
+    def test_shared_dimension_names(self):
+        family = MOFamily()
+        family.add("m1", build_mo())
+        d = make_simple_dimension("A", ["a1"])
+        other = MultidimensionalObject(FactSchema("U", [d.dtype]),
+                                       dimensions={"A": d})
+        family.add("m2", other)
+        assert family.shared_dimension_names("m1", "m2") == {"A"}
+
+    def test_subdimension_shared(self):
+        family = MOFamily()
+        m1 = build_mo()
+        family.add("m1", m1)
+        d = make_simple_dimension("A", ["a1"])  # subset of m1's A values
+        m2 = MultidimensionalObject(FactSchema("U", [d.dtype]),
+                                    dimensions={"A": d})
+        family.add("m2", m2)
+        assert family.is_subdimension_shared("m1", "m2", "A")

@@ -1,0 +1,206 @@
+"""Tests for the annotated partial order (time + probability)."""
+
+import pytest
+
+from repro.core.errors import SchemaError, UncertaintyError
+from repro.core.order import AnnotatedOrder, piecewise_noisy_or
+from repro.temporal.chronon import day
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+T70S = TimeSet.interval(day(1970, 1, 1), day(1979, 12, 31))
+T80S = TimeSet.interval(day(1980, 1, 1), day(1989, 12, 31))
+
+
+def chain(*nodes):
+    order = AnnotatedOrder()
+    for child, parent in zip(nodes, nodes[1:]):
+        order.add_edge(child, parent)
+    return order
+
+
+class TestStructure:
+    def test_reflexive(self):
+        order = AnnotatedOrder()
+        order.add_node("a")
+        assert order.reaches("a", "a")
+        assert order.leq("a", "a")
+
+    def test_transitive_reachability(self):
+        order = chain("a", "b", "c")
+        assert order.reaches("a", "c")
+        assert not order.reaches("c", "a")
+
+    def test_cycle_rejected(self):
+        order = chain("a", "b")
+        with pytest.raises(SchemaError):
+            order.add_edge("b", "a")
+
+    def test_self_edge_rejected(self):
+        order = AnnotatedOrder()
+        with pytest.raises(SchemaError):
+            order.add_edge("a", "a")
+
+    def test_parents_children(self):
+        order = chain("a", "b", "c")
+        assert order.parents("a") == {"b"}
+        assert order.children("c") == {"b"}
+
+    def test_ancestors_descendants(self):
+        order = chain("a", "b", "c")
+        assert order.ancestors("a") == {"b", "c"}
+        assert order.ancestors("a", reflexive=True) == {"a", "b", "c"}
+        assert order.descendants("c") == {"a", "b"}
+
+    def test_roots_and_leaves(self):
+        order = chain("a", "b", "c")
+        assert order.roots() == {"c"}
+        assert order.leaves() == {"a"}
+
+    def test_topological_children_first(self):
+        order = chain("a", "b", "c")
+        topo = order.topological()
+        assert topo.index("a") < topo.index("b") < topo.index("c")
+
+    def test_invalid_probability_rejected(self):
+        order = AnnotatedOrder()
+        with pytest.raises(UncertaintyError):
+            order.add_edge("a", "b", prob=1.5)
+
+    def test_empty_time_edge_is_noop(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=TimeSet.empty())
+        assert not order.reaches("a", "b")
+        assert "a" in order and "b" in order
+
+
+class TestTemporalComposition:
+    def test_paths_intersect_time(self):
+        """e1 ≤_T1 e2 ∧ e2 ≤_T2 e3 ⇒ e1 ≤_{T1∩T2} e3."""
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T70S)
+        order.add_edge("b", "c", time=T80S)
+        assert order.containment_time("a", "c").is_empty()
+
+    def test_overlapping_times_survive(self):
+        t1 = TimeSet.interval(day(1970, 1, 1), day(1985, 12, 31))
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=t1)
+        order.add_edge("b", "c", time=T80S)
+        expected = t1.intersection(T80S)
+        assert order.containment_time("a", "c") == expected
+
+    def test_parallel_paths_union_time(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b1", time=T70S)
+        order.add_edge("b1", "c")
+        order.add_edge("a", "b2", time=T80S)
+        order.add_edge("b2", "c")
+        assert order.containment_time("a", "c") == T70S.union(T80S)
+
+    def test_leq_at_chronon(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T70S)
+        assert order.leq("a", "b", at=day(1975, 1, 1))
+        assert not order.leq("a", "b", at=day(1985, 1, 1))
+
+    def test_same_edge_times_coalesce(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T70S)
+        order.add_edge("a", "b", time=T80S)
+        annotations = order.edge_annotations("a", "b")
+        assert len(annotations) == 1
+        assert annotations[0][0] == T70S.union(T80S)
+
+    def test_ancestors_at(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T70S)
+        order.add_edge("a", "c", time=T80S)
+        assert order.ancestors_at("a", day(1975, 1, 1)) == {"b"}
+
+
+class TestProbabilisticComposition:
+    def test_path_probability_multiplies(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", prob=0.9)
+        order.add_edge("b", "c", prob=0.8)
+        assert order.containment_probability("a", "c") == pytest.approx(0.72)
+
+    def test_parallel_paths_noisy_or(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b1", prob=0.5)
+        order.add_edge("b1", "c")
+        order.add_edge("a", "b2", prob=0.5)
+        order.add_edge("b2", "c")
+        assert order.containment_probability("a", "c") == pytest.approx(0.75)
+
+    def test_certain_edges_stay_certain(self):
+        order = chain("a", "b", "c")
+        assert order.containment_probability("a", "c") == 1.0
+
+    def test_probability_at_chronon(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T70S, prob=0.9)
+        assert order.containment_probability(
+            "a", "b", at=day(1975, 1, 1)) == pytest.approx(0.9)
+        assert order.containment_probability(
+            "a", "b", at=day(1985, 1, 1)) == 0.0
+
+    def test_profile_piecewise(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T70S, prob=0.9)
+        order.add_edge("a", "b", time=T80S, prob=0.5)
+        profile = dict(
+            (p, t) for t, p in order.containment_profile("a", "b"))
+        assert profile[0.9] == T70S
+        assert profile[0.5] == T80S
+
+
+class TestPiecewiseNoisyOr:
+    def test_empty(self):
+        assert piecewise_noisy_or([]) == []
+
+    def test_single(self):
+        profile = piecewise_noisy_or([(T70S, 0.9)])
+        assert profile == [(T70S, pytest.approx(0.9))]
+
+    def test_disjoint_pieces(self):
+        profile = piecewise_noisy_or([(T70S, 0.9), (T80S, 0.4)])
+        assert len(profile) == 2
+
+    def test_overlap_combines(self):
+        profile = piecewise_noisy_or([(T70S, 0.5), (T70S, 0.5)])
+        assert profile == [(T70S, pytest.approx(0.75))]
+
+    def test_zero_probability_ignored(self):
+        assert piecewise_noisy_or([(T70S, 0.0)]) == []
+
+
+class TestDerivedOrders:
+    def test_restriction_keeps_transitive_pairs(self):
+        order = chain("a", "b", "c")
+        restricted = order.restricted_to({"a", "c"})
+        assert restricted.reaches("a", "c")
+        assert "b" not in restricted
+
+    def test_restriction_composes_annotations(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T70S, prob=0.9)
+        order.add_edge("b", "c", time=T70S, prob=0.8)
+        restricted = order.restricted_to({"a", "c"})
+        assert restricted.containment_probability("a", "c") == \
+            pytest.approx(0.72)
+        assert restricted.containment_time("a", "c") == T70S
+
+    def test_union_merges_edge_times(self):
+        o1, o2 = AnnotatedOrder(), AnnotatedOrder()
+        o1.add_edge("a", "b", time=T70S)
+        o2.add_edge("a", "b", time=T80S)
+        merged = o1.union(o2)
+        assert merged.containment_time("a", "b") == T70S.union(T80S)
+
+    def test_copy_is_independent(self):
+        order = chain("a", "b")
+        dup = order.copy()
+        dup.add_edge("b", "c")
+        assert not order.reaches("a", "c")
+        assert dup.reaches("a", "c")

@@ -1,0 +1,120 @@
+"""Edge cases of the annotated order: diamonds, deep chains, mixed
+annotations — shapes the randomized strategy rarely produces."""
+
+import pytest
+
+from repro.core.order import AnnotatedOrder
+from repro.temporal.chronon import day
+from repro.temporal.timeset import ALWAYS, TimeSet
+
+T1 = TimeSet.interval(day(1970, 1, 1), day(1979, 12, 31))
+T2 = TimeSet.interval(day(1980, 1, 1), day(1989, 12, 31))
+T3 = TimeSet.interval(day(1975, 1, 1), day(1984, 12, 31))
+
+
+class TestDiamonds:
+    def _diamond(self, t_left=ALWAYS, t_right=ALWAYS, p_left=1.0,
+                 p_right=1.0):
+        order = AnnotatedOrder()
+        order.add_edge("a", "l", time=t_left, prob=p_left)
+        order.add_edge("l", "top", time=t_left, prob=1.0)
+        order.add_edge("a", "r", time=t_right, prob=p_right)
+        order.add_edge("r", "top", time=t_right, prob=1.0)
+        return order
+
+    def test_certain_diamond_stays_certain(self):
+        order = self._diamond()
+        assert order.containment_probability("a", "top") == 1.0
+
+    def test_uncertain_diamond_noisy_or(self):
+        order = self._diamond(p_left=0.6, p_right=0.5)
+        # 1 - 0.4 * 0.5
+        assert order.containment_probability("a", "top") == \
+            pytest.approx(0.8)
+
+    def test_temporal_diamond_unions_disjoint_paths(self):
+        order = self._diamond(t_left=T1, t_right=T2)
+        assert order.containment_time("a", "top") == T1.union(T2)
+
+    def test_overlapping_temporal_uncertain_diamond(self):
+        order = self._diamond(t_left=T1, t_right=T3, p_left=0.5,
+                              p_right=0.5)
+        profile = order.containment_profile("a", "top")
+        overlap = T1.intersection(T3)
+        single = T1.difference(T3).union(T3.difference(T1))
+        by_time = {t: p for t, p in profile}
+        assert by_time[overlap] == pytest.approx(0.75)
+        assert by_time[single] == pytest.approx(0.5)
+
+
+class TestDeepChains:
+    def test_long_chain_reachability(self):
+        order = AnnotatedOrder()
+        for i in range(50):
+            order.add_edge(i, i + 1)
+        assert order.reaches(0, 50)
+        assert not order.reaches(50, 0)
+        assert order.containment_time(0, 50).is_always()
+
+    def test_long_chain_probability_product(self):
+        order = AnnotatedOrder()
+        for i in range(10):
+            order.add_edge(i, i + 1, prob=0.9)
+        assert order.containment_probability(0, 10) == \
+            pytest.approx(0.9 ** 10)
+
+    def test_chain_with_one_gap(self):
+        order = AnnotatedOrder()
+        order.add_edge(0, 1, time=T1)
+        order.add_edge(1, 2, time=T1)
+        order.add_edge(2, 3, time=T2)  # disjoint from T1
+        assert order.containment_time(0, 2) == T1
+        assert order.containment_time(0, 3).is_empty()
+        # untimed reachability still sees the path
+        assert order.reaches(0, 3)
+
+
+class TestMixedAnnotationsOnOneEdge:
+    def test_two_epochs_different_certainty(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T1, prob=1.0)
+        order.add_edge("a", "b", time=T2, prob=0.5)
+        assert order.containment_probability(
+            "a", "b", at=day(1975, 1, 1)) == 1.0
+        assert order.containment_probability(
+            "a", "b", at=day(1985, 1, 1)) == pytest.approx(0.5)
+        assert order.containment_time("a", "b") == T1.union(T2)
+
+    def test_overlapping_annotations_combine(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T1, prob=0.5)
+        order.add_edge("a", "b", time=T3, prob=0.4)
+        at_overlap = order.containment_probability(
+            "a", "b", at=day(1977, 1, 1))
+        assert at_overlap == pytest.approx(1 - 0.5 * 0.6)
+
+
+class TestRestrictionEdgeCases:
+    def test_restrict_to_empty(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b")
+        restricted = order.restricted_to(set())
+        assert len(restricted) == 0
+
+    def test_restrict_skips_through_two_dropped_levels(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "b", time=T1)
+        order.add_edge("b", "c", time=T1)
+        order.add_edge("c", "d", time=T3)
+        restricted = order.restricted_to({"a", "d"})
+        assert restricted.containment_time("a", "d") == \
+            T1.intersection(T3)
+
+    def test_restrict_keeps_parallel_paths(self):
+        order = AnnotatedOrder()
+        order.add_edge("a", "m1", time=T1)
+        order.add_edge("m1", "z", time=T1)
+        order.add_edge("a", "m2", time=T2)
+        order.add_edge("m2", "z", time=T2)
+        restricted = order.restricted_to({"a", "z"})
+        assert restricted.containment_time("a", "z") == T1.union(T2)

@@ -1,0 +1,71 @@
+"""Property-based tests of the annotated order's composition rules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.order import AnnotatedOrder, piecewise_noisy_or
+from tests.strategies import probabilities, timesets
+
+
+@given(timesets(), timesets(), probabilities, probabilities)
+def test_two_edge_chain_composes(t1, t2, p1, p2):
+    """a ≤_{T1,p1} b ∧ b ≤_{T2,p2} c ⇒ a ≤_{T1∩T2, p1·p2} c."""
+    order = AnnotatedOrder()
+    order.add_edge("a", "b", time=t1, prob=p1)
+    order.add_edge("b", "c", time=t2, prob=p2)
+    expected_time = t1.intersection(t2)
+    assert order.containment_time("a", "c") == expected_time
+    if not expected_time.is_empty():
+        assert abs(order.containment_probability("a", "c") - p1 * p2) < 1e-9
+
+
+@given(timesets(), timesets())
+def test_parallel_paths_union_times(t1, t2):
+    order = AnnotatedOrder()
+    order.add_edge("a", "b1", time=t1)
+    order.add_edge("b1", "c", time=t1)
+    order.add_edge("a", "b2", time=t2)
+    order.add_edge("b2", "c", time=t2)
+    assert order.containment_time("a", "c") == t1.union(t2)
+
+
+@given(st.lists(st.tuples(timesets(), probabilities), max_size=5))
+def test_noisy_or_profile_is_partition(contribs):
+    """The profile pieces are pairwise disjoint, their union is the
+    union of the inputs (with positive probability), and every
+    probability is in (0, 1]."""
+    profile = piecewise_noisy_or(contribs)
+    union = None
+    for i, (t, p) in enumerate(profile):
+        assert 0.0 < p <= 1.0 + 1e-12
+        assert not t.is_empty()
+        for t2, _ in profile[i + 1:]:
+            assert not t.overlaps(t2)
+        union = t if union is None else union.union(t)
+    expected = None
+    for t, p in contribs:
+        if p > 0 and not t.is_empty():
+            expected = t if expected is None else expected.union(t)
+    if expected is None:
+        assert union is None
+    else:
+        assert union == expected
+
+
+@given(st.lists(st.tuples(timesets(), probabilities), min_size=1,
+                max_size=4))
+def test_noisy_or_bounded_by_max_and_sum(contribs):
+    """On any piece, the combined probability is at least the max and at
+    most the sum of the covering contributions."""
+    profile = piecewise_noisy_or(contribs)
+    for piece, prob in profile:
+        sample = piece.min()
+        covering = [p for t, p in contribs if sample in t and p > 0]
+        assert prob >= max(covering) - 1e-9
+        assert prob <= min(1.0, sum(covering)) + 1e-9
+
+
+@given(st.lists(st.tuples(timesets(), st.just(1.0)), min_size=1, max_size=4))
+def test_certain_contributions_stay_certain(contribs):
+    for _, prob in piecewise_noisy_or(contribs):
+        assert abs(prob - 1.0) < 1e-12

@@ -1,0 +1,178 @@
+"""Tests for hierarchy properties and summarizability (paper §3.4)."""
+
+import pytest
+
+from repro.casestudy import case_study_mo, diagnosis_dimension
+from repro.core.properties import (
+    check_summarizability,
+    critical_chronons,
+    has_strict_path,
+    hierarchy_is_partitioning,
+    hierarchy_is_snapshot_partitioning,
+    hierarchy_is_snapshot_strict,
+    hierarchy_is_strict,
+    is_summarizable,
+    mapping_is_strict,
+)
+from repro.temporal.chronon import day
+
+
+class TestStrictness:
+    def test_residence_is_strict(self, snapshot_mo):
+        """Example 11: the Residence hierarchy is strict."""
+        assert hierarchy_is_strict(snapshot_mo.dimension("Residence"))
+
+    def test_diagnosis_is_non_strict(self, snapshot_mo):
+        """Example 11: the Diagnosis hierarchy is non-strict (value 5 is
+        in families 4 and 9)."""
+        assert not hierarchy_is_strict(snapshot_mo.dimension("Diagnosis"))
+
+    def test_mapping_level(self, snapshot_mo):
+        diag = snapshot_mo.dimension("Diagnosis")
+        assert not mapping_is_strict(diag, "Low-level Diagnosis",
+                                     "Diagnosis Family")
+        res = snapshot_mo.dimension("Residence")
+        assert mapping_is_strict(res, "Area", "County")
+
+    def test_who_subhierarchy_snapshot_strict(self):
+        """Example 11: restricted to the standard classification, the
+        hierarchy is snapshot strict (the WHO links never overlap per
+        chronon, the user-defined ones create the violations)."""
+        diag = diagnosis_dimension(temporal=True)
+        # snapshot-strictness fails due to user-defined links (value 5
+        # under both 4/WHO and 9/user-defined at the same time)
+        assert not hierarchy_is_snapshot_strict(diag)
+
+
+class TestPartitioning:
+    def test_residence_is_partitioning(self, snapshot_mo):
+        assert hierarchy_is_partitioning(snapshot_mo.dimension("Residence"))
+
+    def test_diagnosis_untimed_is_not_partitioning(self, snapshot_mo):
+        """Untimed, families 7/8 have no group parent (they belong to
+        the old era with no group level)."""
+        assert not hierarchy_is_partitioning(
+            snapshot_mo.dimension("Diagnosis"))
+
+    def test_diagnosis_snapshot_partitioning_fails_without_ex10(self):
+        diag = diagnosis_dimension(temporal=True)
+        # in the 70s, families 7 and 8 have no parent group
+        assert not hierarchy_is_partitioning(diag, at=day(1975, 6, 1))
+        # from 1980 the classification is fully covered
+        assert hierarchy_is_partitioning(diag, at=day(1985, 6, 1))
+        assert not hierarchy_is_snapshot_partitioning(diag)
+
+    def test_critical_chronons_cover_boundaries(self):
+        diag = diagnosis_dimension(temporal=True)
+        samples = critical_chronons(diag)
+        assert day(1970, 1, 1) in samples
+        assert day(1980, 1, 1) in samples
+
+
+class TestStrictPath:
+    def test_path_to_top_always_strict(self, snapshot_mo):
+        top_name = snapshot_mo.dimension("Diagnosis").dtype.top_name
+        assert has_strict_path(snapshot_mo, "Diagnosis", top_name)
+
+    def test_diagnosis_group_path_not_strict(self, snapshot_mo):
+        """Patient 2 is characterized by both groups 11 and 12."""
+        assert not has_strict_path(snapshot_mo, "Diagnosis",
+                                   "Diagnosis Group")
+
+    def test_residence_region_path_untimed_not_strict(self, snapshot_mo):
+        # untimed, patient 2 lived in two areas of the same region —
+        # but two *counties*, so county path is non-strict:
+        assert not has_strict_path(snapshot_mo, "Residence", "County")
+        # both areas are under the single region, so region is strict
+        assert has_strict_path(snapshot_mo, "Residence", "Region")
+
+    def test_residence_strict_at_snapshot(self, valid_time_mo):
+        # at any instant, a patient lives in one area
+        assert has_strict_path(valid_time_mo, "Residence", "County",
+                               at=day(1985, 6, 1))
+
+
+class TestSummarizabilityDefinition:
+    def test_min_is_summarizable(self):
+        """Definition 1 with g = min holds for any sets."""
+        sets = [[3, 1, 2], [5, 4], [1]]
+        assert is_summarizable(min, sets)
+
+    def test_sum_not_summarizable_on_overlap(self):
+        """SUM double counts overlapping sets (the left side's multiset
+        semantics keep both partials)."""
+        sets = [[1, 2], [2, 3]]
+        assert not is_summarizable(sum, sets)
+
+    def test_sum_summarizable_on_disjoint(self):
+        sets = [[1, 2], [3, 4]]
+        assert is_summarizable(sum, sets)
+
+    def test_count_not_summarizable_with_itself(self):
+        """COUNT's combiner is SUM, not COUNT; Definition 1 with g = len
+        fails."""
+        sets = [[1, 2], [3]]
+        assert not is_summarizable(len, sets)
+
+    def test_empty_family(self):
+        assert is_summarizable(sum, [])
+
+
+class TestLenzShoshaniCheck:
+    def test_case_study_group_count_not_summarizable(self, snapshot_mo):
+        verdict = check_summarizability(
+            snapshot_mo, {"Diagnosis": "Diagnosis Group"},
+            function_distributive=True)
+        assert not verdict.summarizable
+        assert not verdict.paths_strict
+        assert "non-strict" in verdict.explain()
+
+    def test_region_rollup_fails_on_untimed_multiresidence(
+            self, snapshot_mo):
+        verdict = check_summarizability(
+            snapshot_mo, {"Residence": "County"},
+            function_distributive=True)
+        assert not verdict.paths_strict
+
+    def test_non_distributive_function_never_summarizable(
+            self, snapshot_mo):
+        verdict = check_summarizability(
+            snapshot_mo, {"Residence": "Region"},
+            function_distributive=False)
+        assert not verdict.summarizable
+        assert "not distributive" in verdict.explain()
+
+    def test_strict_workload_is_summarizable(self, strict_clinical):
+        verdict = check_summarizability(
+            strict_clinical.mo, {"Diagnosis": "Diagnosis Group"},
+            function_distributive=True)
+        assert verdict.summarizable
+        assert verdict.explain().startswith("summarizable")
+
+
+class TestSnapshotSummarizability:
+    """§3.4's extension: counting each fact at one point in time makes
+    snapshot-strict/partitioning hierarchies summarizable."""
+
+    def test_residence_summarizable_at_instant_not_untimed(
+            self, valid_time_mo):
+        untimed = check_summarizability(
+            valid_time_mo, {"Residence": "County"},
+            function_distributive=True)
+        assert not untimed.summarizable  # patient 2 lived in 2 counties
+        at_instant = check_summarizability(
+            valid_time_mo, {"Residence": "County"},
+            function_distributive=True, at=day(1985, 6, 1))
+        assert at_instant.summarizable
+
+    def test_instant_grouping_counts_each_fact_once(self, valid_time_mo):
+        from repro.algebra import SetCount, aggregate
+        from repro.core.helpers import make_result_spec
+
+        agg = aggregate(valid_time_mo, SetCount(),
+                        {"Residence": "County"}, make_result_spec(),
+                        at=day(1985, 6, 1))
+        members = [
+            m for f in agg.facts for m in f.members
+        ]
+        assert len(members) == len(set(members))  # once per fact

@@ -1,0 +1,57 @@
+"""Tests for fact schemas."""
+
+import pytest
+
+from repro.core.category import CategoryType
+from repro.core.dimension import DimensionType
+from repro.core.errors import SchemaError
+from repro.core.schema import FactSchema
+
+
+def dtype(name, levels=("L",)):
+    ctypes = [CategoryType(f"{name}{lvl}", is_bottom=(i == 0))
+              for i, lvl in enumerate(levels)]
+    edges = [(f"{name}{levels[i]}", f"{name}{levels[i + 1]}")
+             for i in range(len(levels) - 1)]
+    return DimensionType(name, ctypes, edges)
+
+
+class TestFactSchema:
+    def test_basic_accessors(self):
+        schema = FactSchema("Patient", [dtype("A"), dtype("B")])
+        assert schema.fact_type == "Patient"
+        assert schema.n == 2
+        assert schema.dimension_names == ("A", "B")
+        assert schema.dimension_type("A").name == "A"
+        assert "A" in schema and "C" not in schema
+        assert len(list(schema)) == 2
+        assert len(schema.dimension_types()) == 2
+
+    def test_duplicate_dimension_rejected(self):
+        with pytest.raises(SchemaError):
+            FactSchema("T", [dtype("A"), dtype("A")])
+
+    def test_unknown_dimension_rejected(self):
+        schema = FactSchema("T", [dtype("A")])
+        with pytest.raises(SchemaError):
+            schema.dimension_type("B")
+
+    def test_equality_is_structural(self):
+        s1 = FactSchema("T", [dtype("A"), dtype("B")])
+        s2 = FactSchema("T", [dtype("B"), dtype("A")])  # order-insensitive
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_inequality_on_fact_type(self):
+        assert FactSchema("T", [dtype("A")]) != FactSchema("U", [dtype("A")])
+
+    def test_inequality_on_structure(self):
+        deep = dtype("A", levels=("L", "M"))
+        assert FactSchema("T", [dtype("A")]) != FactSchema("T", [deep])
+
+    def test_isomorphism_ignores_names(self):
+        s1 = FactSchema("T", [dtype("A")])
+        s2 = FactSchema("T", [dtype("B")])
+        assert s1.is_isomorphic_to(s2)
+        assert not s1.is_isomorphic_to(FactSchema("T", [dtype("A"),
+                                                        dtype("B")]))

@@ -1,0 +1,77 @@
+"""Tests for dimension values and facts."""
+
+import pytest
+
+from repro.core.values import DimensionValue, Fact, SurrogateSource
+
+
+class TestDimensionValue:
+    def test_equality_by_surrogate(self):
+        assert DimensionValue(1) == DimensionValue(1)
+        assert DimensionValue(1) != DimensionValue(2)
+
+    def test_label_does_not_affect_identity(self):
+        """Names are representations, not identity (§3.1)."""
+        assert DimensionValue(1, label="a") == DimensionValue(1, label="b")
+        assert hash(DimensionValue(1, label="a")) == \
+            hash(DimensionValue(1, label="b"))
+
+    def test_top_values_distinct_per_dimension(self):
+        assert DimensionValue.top("A") != DimensionValue.top("B")
+        assert DimensionValue.top("A") == DimensionValue.top("A")
+        assert DimensionValue.top("A").is_top
+
+    def test_top_differs_from_plain_value(self):
+        assert DimensionValue.top("A") != DimensionValue(("⊤", "A"))
+
+    def test_hashable(self):
+        assert len({DimensionValue(1), DimensionValue(1),
+                    DimensionValue(2)}) == 2
+
+
+class TestFact:
+    def test_identity(self):
+        assert Fact(1, "Patient") == Fact(1, "Patient")
+        assert Fact(1, "Patient") != Fact(1, "Purchase")
+        assert Fact(1) != Fact(2)
+
+    def test_base_fact_is_not_group(self):
+        f = Fact(1, "Patient")
+        assert not f.is_group
+        with pytest.raises(TypeError):
+            f.members
+
+    def test_group_fact(self):
+        members = [Fact(1, "Patient"), Fact(2, "Patient")]
+        g = Fact.group(members)
+        assert g.is_group
+        assert g.members == frozenset(members)
+        assert g.ftype == "Set-of-Patient"
+
+    def test_group_fact_explicit_type(self):
+        g = Fact.group([Fact(1, "Patient")], ftype="Cohort")
+        assert g.ftype == "Cohort"
+
+    def test_group_equality_is_set_equality(self):
+        a = Fact.group([Fact(1, "P"), Fact(2, "P")])
+        b = Fact.group([Fact(2, "P"), Fact(1, "P")])
+        assert a == b
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Fact.group([])
+
+
+class TestSurrogateSource:
+    def test_fresh_ids_unique_and_increasing(self):
+        src = SurrogateSource()
+        ids = [src.fresh() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_fresh_value_and_fact(self):
+        src = SurrogateSource(start=100)
+        v = src.fresh_value(label="x")
+        f = src.fresh_fact(ftype="T")
+        assert v.sid == 100
+        assert f.fid == 101
+        assert f.ftype == "T"

@@ -1,0 +1,75 @@
+"""Tests for cube materialization and greedy view selection."""
+
+import pytest
+
+from repro.algebra import SetCount
+from repro.engine import CubeBuilder, greedy_view_selection
+
+
+@pytest.fixture()
+def builder(strict_clinical):
+    return CubeBuilder(strict_clinical.mo,
+                       dimensions=["Diagnosis", "Residence"])
+
+
+class TestCuboidLattice:
+    def test_key_count_is_product_of_lattice_sizes(self, builder,
+                                                   strict_clinical):
+        mo = strict_clinical.mo
+        expected = (
+            len(mo.dimension("Diagnosis").dtype.category_types())
+            * len(mo.dimension("Residence").dtype.category_types())
+        )
+        assert len(builder.cuboid_keys()) == expected
+
+    def test_materialize_cuboid(self, builder):
+        key = ("Diagnosis Group", "Region")
+        cuboid = builder.materialize(key)
+        assert cuboid.size > 0
+        assert cuboid.grouping == {"Diagnosis": "Diagnosis Group",
+                                   "Residence": "Region"}
+
+    def test_materialize_cached(self, builder):
+        key = ("Diagnosis Group", "Region")
+        assert builder.materialize(key) is builder.materialize(key)
+
+    def test_coarser_or_equal(self, builder):
+        fine = ("Low-level Diagnosis", "Area")
+        coarse = ("Diagnosis Group", "Region")
+        assert builder.is_coarser_or_equal(fine, coarse)
+        assert builder.is_coarser_or_equal(fine, fine)
+        assert not builder.is_coarser_or_equal(coarse, fine)
+
+    def test_summarizable_cuboid_answers_coarser(self, builder):
+        fine = ("Diagnosis Family", "Area")
+        answerable = builder.answerable_from(fine)
+        assert ("Diagnosis Group", "Region") in answerable
+        assert ("Low-level Diagnosis", "Area") not in answerable
+
+    def test_sizes_shrink_upward(self, builder):
+        fine = builder.materialize(("Low-level Diagnosis", "Area"))
+        coarse = builder.materialize(("Diagnosis Group", "Region"))
+        assert coarse.size <= fine.size
+
+
+class TestNonSummarizableCube:
+    def test_non_strict_cuboid_only_answers_itself(self, small_clinical):
+        builder = CubeBuilder(small_clinical.mo, dimensions=["Diagnosis"])
+        fine = ("Diagnosis Family",)
+        assert builder.answerable_from(fine) == {fine}
+
+
+class TestGreedySelection:
+    def test_respects_budget(self, builder):
+        selected = greedy_view_selection(builder, budget=3)
+        assert len(selected) <= 3
+
+    def test_selection_has_positive_benefit(self, builder):
+        selected = greedy_view_selection(builder, budget=2)
+        assert selected, "greedy should find at least one useful view"
+        base = builder.materialize(("Low-level Diagnosis", "Area"))
+        for cuboid in selected:
+            assert cuboid.size < base.size
+
+    def test_zero_budget(self, builder):
+        assert greedy_view_selection(builder, budget=0) == []

@@ -1,0 +1,96 @@
+"""Tests for granularity-aware grouping."""
+
+import pytest
+
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.errors import SchemaError
+from repro.engine import (
+    classify_by_granularity,
+    group_with_imprecision,
+    weighted_distribution,
+)
+
+
+class TestClassification:
+    def test_case_study_at_low_level(self, snapshot_mo):
+        """Patient 1 is recorded only at family granularity (value 9),
+        patient 2 has low-level diagnoses too."""
+        result = classify_by_granularity(snapshot_mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        assert {f.fid for f in result.answerable} == {2}
+        assert {v.sid for v in result.imprecise} == {9}
+        assert {f.fid
+                for facts in result.imprecise.values()
+                for f in facts} == {1}
+        assert result.unknown == set()
+
+    def test_everyone_answerable_at_group_level(self, snapshot_mo):
+        result = classify_by_granularity(snapshot_mo, "Diagnosis",
+                                         "Diagnosis Group")
+        assert {f.fid for f in result.answerable} == {1, 2}
+        assert result.imprecise == {}
+
+    def test_unknown_bucket(self, snapshot_mo):
+        mo = snapshot_mo.copy()
+        relation = mo.relation("Diagnosis")
+        relation.remove_fact(patient_fact(1))
+        relation.add(patient_fact(1),
+                     mo.dimension("Diagnosis").top_value)
+        result = classify_by_granularity(mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        assert {f.fid for f in result.unknown} == {1}
+
+    def test_unknown_category_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            classify_by_granularity(snapshot_mo, "Diagnosis", "Nope")
+
+
+class TestGroupWithImprecision:
+    def test_counts_summary(self, snapshot_mo):
+        grouped = group_with_imprecision(snapshot_mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        counts = grouped.counts()
+        assert counts["P11"] == 1      # patient 2 via diagnosis 3
+        assert counts["O24.0"] == 1    # patient 2 via diagnosis 5
+        assert counts["imprecise@E10"] == 1  # patient 1 stuck at family 9
+
+    def test_nothing_lost(self, snapshot_mo):
+        grouped = group_with_imprecision(snapshot_mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        seen = set()
+        for facts in grouped.groups.values():
+            seen |= facts
+        for facts in grouped.imprecise.values():
+            seen |= facts
+        seen |= grouped.unknown
+        assert seen == snapshot_mo.facts
+
+
+class TestWeightedDistribution:
+    def test_case_study_distribution(self, snapshot_mo):
+        """Patient 1's family-level E10 diagnosis spreads uniformly over
+        the low-level values below family 9 — only O24.0 (value 5)."""
+        weighted = weighted_distribution(snapshot_mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        by_label = {(v.label or v.sid): c for v, c in weighted.items() if c}
+        assert by_label == {"P11": 1.0, "O24.0": 2.0}
+
+    def test_uniform_split_across_children(self):
+        mo = case_study_mo(temporal=False)
+        # give patient 1 the family 4 (children 5 and 6) instead of 9
+        relation = mo.relation("Diagnosis")
+        relation.remove_fact(patient_fact(1))
+        relation.add(patient_fact(1), diagnosis_value(4))
+        weighted = weighted_distribution(mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        by_sid = {v.sid: c for v, c in weighted.items()}
+        assert by_sid[5] == pytest.approx(1.0 + 0.5)  # patient 2 + half
+        assert by_sid[6] == pytest.approx(0.5)
+
+    def test_total_preserved_for_single_base_facts(self, strict_clinical):
+        """On the strict single-diagnosis workload, the weighted totals
+        at low level equal the patient count."""
+        weighted = weighted_distribution(strict_clinical.mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        assert sum(weighted.values()) == pytest.approx(
+            len(strict_clinical.mo.facts))

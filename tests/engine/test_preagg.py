@@ -1,0 +1,109 @@
+"""Tests for summarizability-gated pre-aggregation (paper §3.4)."""
+
+import pytest
+
+from repro.algebra import Avg, SetCount, Sum
+from repro.core.errors import AlgebraError
+from repro.engine import PreAggregateStore
+
+
+class TestMaterialize:
+    def test_results_match_direct(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        materialized = store.materialize(SetCount(),
+                                         {"Diagnosis": "Diagnosis Group"})
+        total = sum(materialized.results.values())
+        assert total >= len(strict_clinical.mo.facts)
+
+    def test_verdict_recorded(self, strict_clinical, small_clinical):
+        good = PreAggregateStore(strict_clinical.mo).materialize(
+            SetCount(), {"Diagnosis": "Diagnosis Group"})
+        assert good.summarizability.summarizable
+        bad = PreAggregateStore(small_clinical.mo).materialize(
+            SetCount(), {"Diagnosis": "Diagnosis Group"})
+        assert not bad.summarizability.summarizable
+
+    def test_get_roundtrip(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
+        assert store.get(SetCount(),
+                         {"Diagnosis": "Diagnosis Family"}) is not None
+        assert store.get(SetCount(),
+                         {"Diagnosis": "Diagnosis Group"}) is None
+
+    def test_empty_grouping_grand_total(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        materialized = store.materialize(SetCount(), {})
+        assert materialized.results == {
+            (): len(strict_clinical.mo.facts)}
+
+
+class TestRollUpReuse:
+    def test_safe_reuse_matches_direct(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
+        combined = store.roll_up(SetCount(),
+                                 {"Diagnosis": "Diagnosis Family"},
+                                 {"Diagnosis": "Diagnosis Group"})
+        direct = store.compute_from_base(SetCount(),
+                                         {"Diagnosis": "Diagnosis Group"})
+        assert {k[0].sid: v for k, v in combined.items()} == \
+            {k[0].sid: v for k, v in direct.items()}
+
+    def test_sum_reuse(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(Sum("Age"), {"Diagnosis": "Diagnosis Family"})
+        combined = store.roll_up(Sum("Age"),
+                                 {"Diagnosis": "Diagnosis Family"},
+                                 {"Diagnosis": "Diagnosis Group"})
+        direct = store.compute_from_base(Sum("Age"),
+                                         {"Diagnosis": "Diagnosis Group"})
+        assert {k[0].sid: v for k, v in combined.items()} == \
+            {k[0].sid: v for k, v in direct.items()}
+
+    def test_non_strict_reuse_refused(self, small_clinical):
+        """The paper's point: non-summarizable partials must not be
+        combined (double counting)."""
+        store = PreAggregateStore(small_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
+        with pytest.raises(AlgebraError):
+            store.roll_up(SetCount(), {"Diagnosis": "Diagnosis Family"},
+                          {"Diagnosis": "Diagnosis Group"})
+
+    def test_non_strict_combination_would_be_wrong(self, small_clinical):
+        """Demonstrate the error the refusal prevents: naively summing
+        family counts over-counts group totals."""
+        store = PreAggregateStore(small_clinical.mo)
+        fine = store.materialize(SetCount(),
+                                 {"Diagnosis": "Diagnosis Family"})
+        coarse = store.compute_from_base(SetCount(),
+                                         {"Diagnosis": "Diagnosis Group"})
+        dim = small_clinical.mo.dimension("Diagnosis")
+        naive = {}
+        for (family,), count in fine.results.items():
+            for parent in dim.ancestors(family, reflexive=False):
+                if parent in dim.category("Diagnosis Group"):
+                    naive[parent] = naive.get(parent, 0) + count
+        correct = {k[0]: v for k, v in coarse.items()}
+        assert any(naive[g] > correct[g] for g in naive)
+
+    def test_avg_reuse_refused(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(Avg("Age"), {"Diagnosis": "Diagnosis Family"})
+        with pytest.raises(AlgebraError):
+            store.roll_up(Avg("Age"), {"Diagnosis": "Diagnosis Family"},
+                          {"Diagnosis": "Diagnosis Group"})
+
+    def test_missing_materialization_refused(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        with pytest.raises(AlgebraError):
+            store.roll_up(SetCount(), {"Diagnosis": "Diagnosis Family"},
+                          {"Diagnosis": "Diagnosis Group"})
+
+    def test_downward_reuse_refused(self, strict_clinical):
+        """Coarse results cannot answer finer queries."""
+        store = PreAggregateStore(strict_clinical.mo)
+        stored = store.materialize(SetCount(),
+                                   {"Diagnosis": "Diagnosis Group"})
+        assert not store.can_roll_up(
+            stored, SetCount(), {"Diagnosis": "Diagnosis Family"})

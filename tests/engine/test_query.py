@@ -1,0 +1,136 @@
+"""Tests for the fluent query API."""
+
+import pytest
+
+from repro.algebra import SetCount, Sum
+from repro.casestudy import diagnosis_value
+from repro.core.errors import SchemaError
+from repro.engine import PreAggregateStore, Query
+
+
+class TestQueryBasics:
+    def test_rollup_counts(self, snapshot_mo):
+        rows = Query(snapshot_mo).rollup("Diagnosis",
+                                         "Diagnosis Group").counts()
+        assert {(g["Diagnosis"].sid, v) for g, v in rows} == \
+            {(11, 2), (12, 1)}
+
+    def test_dice_then_rollup(self, snapshot_mo):
+        rows = (Query(snapshot_mo)
+                .dice("Diagnosis", diagnosis_value(12))
+                .rollup("Diagnosis", "Diagnosis Group")
+                .counts())
+        assert {(g["Diagnosis"].sid, v) for g, v in rows} == \
+            {(11, 1), (12, 1)}  # patient 2 has diagnoses in both groups
+
+    def test_sum_function(self, small_retail):
+        rows = Query(small_retail.mo).rollup(
+            "Product", "Department").execute(Sum("Price"))
+        total = sum(v for _, v in rows)
+        assert total == Sum("Price").apply(small_retail.mo.facts,
+                                           small_retail.mo)
+
+    def test_immutability(self, snapshot_mo):
+        base = Query(snapshot_mo)
+        derived = base.rollup("Diagnosis", "Diagnosis Group")
+        assert base._grouping == {}
+        assert derived._grouping == {"Diagnosis": "Diagnosis Group"}
+
+    def test_unknown_dimension_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            Query(snapshot_mo).dice("Nope", diagnosis_value(1))
+
+    def test_unknown_category_rejected(self, snapshot_mo):
+        with pytest.raises(SchemaError):
+            Query(snapshot_mo).rollup("Diagnosis", "Nope")
+
+
+class TestStoreIntegration:
+    def test_exact_hit(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Group"})
+        rows = Query(strict_clinical.mo, store=store).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        direct = Query(strict_clinical.mo).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        assert {(g["Diagnosis"], v) for g, v in rows} == \
+            {(g["Diagnosis"], v) for g, v in direct}
+
+    def test_rollup_hit_from_finer_level(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
+        rows = Query(strict_clinical.mo, store=store).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        direct = Query(strict_clinical.mo).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        assert {(g["Diagnosis"], v) for g, v in rows} == \
+            {(g["Diagnosis"], v) for g, v in direct}
+
+    def test_unsafe_store_bypassed(self, small_clinical):
+        """With a non-summarizable stored aggregate, the query falls
+        back to base data and still returns correct counts."""
+        store = PreAggregateStore(small_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
+        rows = Query(small_clinical.mo, store=store).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        direct = Query(small_clinical.mo).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        assert {(g["Diagnosis"], v) for g, v in rows} == \
+            {(g["Diagnosis"], v) for g, v in direct}
+
+    def test_diced_queries_skip_store(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Group"})
+        group = strict_clinical.icd.groups[0]
+        rows = (Query(strict_clinical.mo, store=store)
+                .dice("Diagnosis", group)
+                .rollup("Diagnosis", "Diagnosis Group")
+                .counts())
+        assert rows  # evaluated against base data, not the store
+
+
+class TestMultiDimensionQueries:
+    def test_two_dimension_rollup(self, strict_clinical):
+        rows = (Query(strict_clinical.mo)
+                .rollup("Diagnosis", "Diagnosis Group")
+                .rollup("Residence", "Region")
+                .counts())
+        assert rows
+        for group, count in rows:
+            assert set(group) == {"Diagnosis", "Residence"}
+            assert count >= 1
+
+    def test_two_dimension_rollup_matches_sql_view(self, strict_clinical):
+        from repro.algebra import sql_aggregation
+
+        rows = (Query(strict_clinical.mo)
+                .rollup("Diagnosis", "Diagnosis Group")
+                .rollup("Residence", "Region")
+                .counts())
+        via_sql = sql_aggregation(
+            strict_clinical.mo, SetCount(),
+            {"Diagnosis": "Diagnosis Group", "Residence": "Region"},
+            strict_types=False)
+        a = sorted((g["Diagnosis"].sid, g["Residence"].sid, v)
+                   for g, v in rows)
+        b = sorted((r["Diagnosis"], r["Residence"], r["SetCount"])
+                   for r in via_sql)
+        assert a == b
+
+    def test_multi_dim_store_hit(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family",
+                                       "Residence": "County"})
+        rows = (Query(strict_clinical.mo, store=store)
+                .rollup("Diagnosis", "Diagnosis Group")
+                .rollup("Residence", "Region")
+                .counts())
+        direct = (Query(strict_clinical.mo)
+                  .rollup("Diagnosis", "Diagnosis Group")
+                  .rollup("Residence", "Region")
+                  .counts())
+        a = sorted((g["Diagnosis"].sid, g["Residence"].sid, v)
+                   for g, v in rows)
+        b = sorted((g["Diagnosis"].sid, g["Residence"].sid, v)
+                   for g, v in direct)
+        assert a == b

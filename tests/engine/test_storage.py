@@ -1,0 +1,57 @@
+"""Tests for the rollup index."""
+
+from repro.algebra import SetCount, aggregate
+from repro.casestudy import diagnosis_value, patient_fact
+from repro.core.helpers import make_result_spec
+from repro.engine import RollupIndex
+
+
+class TestRollupIndex:
+    def test_counts_match_example_12(self, snapshot_mo):
+        index = RollupIndex(snapshot_mo)
+        counts = {
+            v.sid: c
+            for v, c in index.group_counts("Diagnosis",
+                                           "Diagnosis Group").items()
+        }
+        assert counts == {11: 2, 12: 1}
+
+    def test_facts_for(self, snapshot_mo):
+        index = RollupIndex(snapshot_mo)
+        facts = index.facts_for("Diagnosis", "Diagnosis Group",
+                                diagnosis_value(11))
+        assert {f.fid for f in facts} == {1, 2}
+
+    def test_unknown_value_empty(self, snapshot_mo):
+        index = RollupIndex(snapshot_mo)
+        assert index.facts_for("Diagnosis", "Diagnosis Group",
+                               diagnosis_value(99)) == frozenset()
+
+    def test_index_matches_aggregate_operator(self, small_clinical):
+        mo = small_clinical.mo
+        index = RollupIndex(mo)
+        indexed = {
+            v: len(facts)
+            for v, facts in index.characterization_map(
+                "Diagnosis", "Diagnosis Group").items()
+            if facts
+        }
+        agg = aggregate(mo, SetCount(), {"Diagnosis": "Diagnosis Group"},
+                        make_result_spec(), strict_types=False)
+        operator_counts = {}
+        for fact in agg.facts:
+            for value in agg.relation("Diagnosis").values_of(fact):
+                operator_counts[value] = len(fact.members)
+        assert indexed == operator_counts
+
+    def test_top_category_counts_everything(self, snapshot_mo):
+        index = RollupIndex(snapshot_mo)
+        top_name = snapshot_mo.dimension("Diagnosis").dtype.top_name
+        counts = index.group_counts("Diagnosis", top_name)
+        assert list(counts.values()) == [2]
+
+    def test_invalidate_clears_cache(self, snapshot_mo):
+        index = RollupIndex(snapshot_mo)
+        index.group_counts("Diagnosis", "Diagnosis Group")
+        index.invalidate()
+        assert index.group_counts("Diagnosis", "Diagnosis Group")

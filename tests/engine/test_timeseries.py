@@ -1,0 +1,78 @@
+"""Tests for the temporal series analytics."""
+
+import pytest
+
+from repro.casestudy import diagnosis_value
+from repro.core.values import DimensionValue
+from repro.engine import change_points, group_count_series, series_table
+from repro.temporal.chronon import day
+
+
+class TestChangePoints:
+    def test_classification_boundaries_present(self, valid_time_mo):
+        points = change_points(valid_time_mo, "Diagnosis")
+        assert day(1970, 1, 1) in points
+        assert day(1980, 1, 1) in points
+        assert day(1979, 12, 31) in points
+
+    def test_fact_dimension_boundaries_present(self, valid_time_mo):
+        points = change_points(valid_time_mo, "Diagnosis")
+        assert day(1975, 3, 23) in points   # (2,3) starts
+        assert day(1989, 1, 1) in points    # (1,9) starts
+
+    def test_all_dimensions(self, valid_time_mo):
+        all_points = change_points(valid_time_mo)
+        diagnosis_only = change_points(valid_time_mo, "Diagnosis")
+        assert set(diagnosis_only) <= set(all_points)
+        # the synthesized residence move at 01/01/80 is in the union
+        assert day(1980, 1, 1) in all_points
+
+    def test_sorted(self, valid_time_mo):
+        points = change_points(valid_time_mo)
+        assert points == sorted(points)
+
+
+class TestGroupCountSeries:
+    def test_case_study_series(self, valid_time_mo_ex10):
+        at = [day(1975, 6, 1), day(1982, 6, 1), day(1985, 6, 1),
+              day(1995, 6, 1)]
+        series = group_count_series(valid_time_mo_ex10, "Diagnosis",
+                                    "Diagnosis Group", at)
+        by_sid = {v.sid: counts for v, counts in series.items()}
+        # group 11 exists from 1980; patient 2 counts from 1980 (via the
+        # Example 10 link on old code 8 up to 1981, then via code 9);
+        # patient 1 joins in 1989
+        assert by_sid[11] == [0, 1, 1, 2]
+        # group 12 catches patient 2 only while (2,5) is valid (1982)
+        assert by_sid[12] == [0, 1, 0, 0]
+
+    def test_invalid_instants_are_zero(self, valid_time_mo):
+        series = group_count_series(valid_time_mo, "Diagnosis",
+                                    "Diagnosis Group", [day(1975, 6, 1)])
+        assert all(counts == [0] for counts in series.values())
+
+    def test_family_series_across_change(self, valid_time_mo):
+        at = [day(1975, 6, 1), day(1985, 6, 1)]
+        series = group_count_series(valid_time_mo, "Diagnosis",
+                                    "Diagnosis Family", at)
+        by_sid = {v.sid: counts for v, counts in series.items()}
+        assert by_sid[8] == [1, 0]   # old Diabetes: patient 2 in the 70s
+        assert by_sid[9] == [0, 1]   # new E10: patient 2 from 1982
+
+
+class TestSeriesTable:
+    def test_layout(self, valid_time_mo):
+        at = [day(1975, 6, 1), day(1985, 6, 1)]
+        series = group_count_series(valid_time_mo, "Diagnosis",
+                                    "Diagnosis Group", at)
+        rows = series_table(series, at)
+        assert rows[0] == ["value", "01/06/75", "01/06/85"]
+        assert all(len(row) == 3 for row in rows)
+
+    def test_custom_labels(self, valid_time_mo):
+        at = [day(1975, 6, 1)]
+        series = group_count_series(valid_time_mo, "Diagnosis",
+                                    "Diagnosis Group", at)
+        rows = series_table(series, at,
+                            label_for={day(1975, 6, 1): "mid-70s"})
+        assert rows[0] == ["value", "mid-70s"]

@@ -1,0 +1,161 @@
+"""Tests for the self-contained JSON codec."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro._errors import SchemaError
+from repro.algebra import SetCount, aggregate
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.helpers import make_result_spec
+from repro.io import FORMAT_VERSION, dumps, loads, mo_from_dict, mo_to_dict
+from tests.strategies import small_mos
+
+
+def _pairs(mo, name):
+    return {
+        (fact.fid, None if value.is_top else value.sid,
+         time.intervals, prob)
+        for fact, value, time, prob
+        in mo.relation(name).annotated_pairs()
+    }
+
+
+class TestRoundTrip:
+    def test_case_study_snapshot(self, snapshot_mo):
+        back = loads(dumps(snapshot_mo))
+        back.validate()
+        assert back.facts == snapshot_mo.facts
+        for name in snapshot_mo.dimension_names:
+            assert _pairs(back, name) == _pairs(snapshot_mo, name)
+
+    def test_case_study_temporal(self, valid_time_mo):
+        back = loads(dumps(valid_time_mo))
+        assert back.kind is valid_time_mo.kind
+        diag = back.dimension("Diagnosis")
+        original = valid_time_mo.dimension("Diagnosis")
+        assert diag.containment_time(diagnosis_value(3),
+                                     diagnosis_value(7)) == \
+            original.containment_time(diagnosis_value(3),
+                                      diagnosis_value(7))
+
+    def test_representations_survive(self, valid_time_mo):
+        back = loads(dumps(valid_time_mo))
+        code = back.dimension("Diagnosis").representation(
+            "Diagnosis Family", "Code")
+        assert code.of(diagnosis_value(9)) == "E10"
+
+    def test_aggtypes_survive(self, snapshot_mo):
+        back = loads(dumps(snapshot_mo))
+        assert back.dimension("Age").dtype.bottom.aggtype is \
+            snapshot_mo.dimension("Age").dtype.bottom.aggtype
+
+    def test_set_fact_mo(self, snapshot_mo):
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"},
+                        make_result_spec())
+        back = loads(dumps(agg))
+        back.validate()
+        assert back.facts == agg.facts
+        assert all(f.is_group for f in back.facts)
+
+    def test_probabilities_survive(self):
+        mo = case_study_mo(temporal=False)
+        mo.relate(patient_fact(1), "Diagnosis", diagnosis_value(10),
+                  prob=0.9)
+        back = loads(dumps(mo))
+        annotations = back.relation("Diagnosis").annotations(
+            patient_fact(1), diagnosis_value(10))
+        assert any(abs(p - 0.9) < 1e-12 for _, p in annotations)
+
+
+class TestFormat:
+    def test_json_is_valid_and_versioned(self, snapshot_mo):
+        data = json.loads(dumps(snapshot_mo))
+        assert data["format"] == FORMAT_VERSION
+        assert data["fact_type"] == "Patient"
+
+    def test_unknown_version_rejected(self, snapshot_mo):
+        data = mo_to_dict(snapshot_mo)
+        data["format"] = 999
+        with pytest.raises(SchemaError):
+            mo_from_dict(data)
+
+    def test_deterministic_output(self, snapshot_mo):
+        assert dumps(snapshot_mo) == dumps(snapshot_mo)
+
+    def test_unserializable_id_rejected(self):
+        from repro.io.json_codec import _encode_id
+
+        with pytest.raises(SchemaError):
+            _encode_id(object())
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(small_mos(temporal=True, probabilistic=True))
+def test_roundtrip_property(mo):
+    back = loads(dumps(mo))
+    back.validate()
+    assert back.facts == mo.facts
+    for name in mo.dimension_names:
+        assert _pairs(back, name) == _pairs(mo, name)
+        original = mo.dimension(name)
+        restored = back.dimension(name)
+        assert {
+            (c.sid, p.sid, t.intervals, pr)
+            for c, p, t, pr in original.order.edges()
+        } == {
+            (c.sid, p.sid, t.intervals, pr)
+            for c, p, t, pr in restored.order.edges()
+        }
+
+
+class TestEdgeShapes:
+    def test_banded_result_dimension(self, snapshot_mo):
+        """Band values carry tuple surrogates containing None (the
+        open-ended band): they must round-trip."""
+        from repro.core.helpers import Band, make_result_spec
+
+        spec = make_result_spec("Result",
+                                bands=[Band(0, 2), Band(2, None)])
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, spec)
+        back = loads(dumps(agg))
+        back.validate()
+        band_labels = {
+            v.label for v in back.dimension("Result").category("Range")
+        }
+        assert band_labels == {"0-1", ">1"}
+        # band edges survive
+        two = next(v for v in back.dimension("Result").bottom_category
+                   if v.sid == 2)
+        assert {p.label for p in
+                back.dimension("Result").order.parents(two)} == {">1"}
+
+    def test_empty_mo(self):
+        from repro.core.helpers import make_simple_dimension
+        from repro.core.mo import MultidimensionalObject
+        from repro.core.schema import FactSchema
+
+        dim = make_simple_dimension("X", ["a"])
+        mo = MultidimensionalObject(FactSchema("T", [dim.dtype]),
+                                    dimensions={"X": dim})
+        back = loads(dumps(mo))
+        back.validate()
+        assert back.facts == set()
+
+    def test_nested_set_facts(self, snapshot_mo):
+        """Aggregating an aggregate nests frozensets two deep."""
+        from repro.core.helpers import make_result_spec
+
+        once = aggregate(snapshot_mo, SetCount(),
+                         {"Diagnosis": "Diagnosis Group"},
+                         make_result_spec("C1"))
+        twice = aggregate(once, SetCount(), {}, make_result_spec("C2"),
+                          strict_types=False)
+        back = loads(dumps(twice))
+        back.validate()
+        (outer,) = back.facts
+        assert all(m.is_group for m in outer.members)

@@ -1,0 +1,105 @@
+"""Tests for Klug's relational algebra with aggregation."""
+
+import math
+
+import pytest
+
+from repro.core.errors import AlgebraError, SchemaError
+from repro.relational import (
+    Relation,
+    r_aggregate,
+    r_difference,
+    r_product,
+    r_project,
+    r_rename,
+    r_select,
+    r_theta_join,
+    r_union,
+)
+
+R = Relation(("a", "b"), [(1, "x"), (2, "y"), (3, "x")])
+S = Relation(("a", "b"), [(2, "y"), (4, "z")])
+T = Relation(("c",), [(10,), (20,)])
+
+
+class TestCoreOperators:
+    def test_select(self):
+        result = r_select(R, lambda row: row["b"] == "x")
+        assert result.rows == {(1, "x"), (3, "x")}
+
+    def test_project_dedups(self):
+        result = r_project(R, ["b"])
+        assert result.rows == {("x",), ("y",)}
+
+    def test_project_reorders(self):
+        result = r_project(R, ["b", "a"])
+        assert ("x", 1) in result.rows
+
+    def test_rename(self):
+        result = r_rename(R, {"a": "alpha"})
+        assert result.attributes == ("alpha", "b")
+        assert result.rows == R.rows
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            r_rename(R, {"zz": "x"})
+
+    def test_union(self):
+        assert r_union(R, S).rows == R.rows | S.rows
+
+    def test_difference(self):
+        assert r_difference(R, S).rows == {(1, "x"), (3, "x")}
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(AlgebraError):
+            r_union(R, T)
+
+    def test_product(self):
+        result = r_product(R, T)
+        assert len(result) == 6
+        assert result.attributes == ("a", "b", "c")
+
+    def test_product_shared_attributes_rejected(self):
+        with pytest.raises(AlgebraError):
+            r_product(R, S)
+
+    def test_theta_join(self):
+        result = r_theta_join(R, T, lambda row: row["a"] * 10 == row["c"])
+        assert result.rows == {(1, "x", 10), (2, "y", 20)}
+
+
+class TestAggregateFormation:
+    def test_sum_by_group(self):
+        result = r_aggregate(R, ["b"], "SUM", "a")
+        assert result.rows == {("x", 4), ("y", 2)}
+
+    def test_count(self):
+        result = r_aggregate(R, ["b"], "COUNT", "a")
+        assert result.rows == {("x", 2), ("y", 1)}
+
+    def test_avg(self):
+        result = r_aggregate(R, ["b"], "AVG", "a")
+        assert result.rows == {("x", 2.0), ("y", 2.0)}
+
+    def test_min_max(self):
+        assert r_aggregate(R, ["b"], "MIN", "a").rows == \
+            {("x", 1), ("y", 2)}
+        assert r_aggregate(R, ["b"], "MAX", "a").rows == \
+            {("x", 3), ("y", 2)}
+
+    def test_grand_total(self):
+        result = r_aggregate(R, [], "SUM", "a")
+        assert result.rows == {(6,)}
+        assert result.attributes == ("result",)
+
+    def test_custom_result_attribute(self):
+        result = r_aggregate(R, ["b"], "SUM", "a", result_attribute="total")
+        assert result.attributes == ("b", "total")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SchemaError):
+            r_aggregate(R, ["b"], "MEDIAN", "a")
+
+    def test_result_attribute_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            r_aggregate(R, ["b"], "SUM", "a", result_attribute="b")

@@ -1,0 +1,55 @@
+"""Tests for the set-semantics relation type."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.relational import Relation
+
+
+class TestConstruction:
+    def test_rows_are_a_set(self):
+        r = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "a"), [])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation((), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_membership(self):
+        r = Relation(("a", "b"), [(1, "x")])
+        assert (1, "x") in r
+        assert (2, "y") not in r
+
+    def test_index_of(self):
+        r = Relation(("a", "b"), [])
+        assert r.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            r.index_of("c")
+
+
+class TestConversions:
+    def test_dict_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        r = Relation.from_dicts(("a", "b"), rows)
+        assert r.as_dicts() == sorted(rows, key=lambda d: repr(d["a"]))
+
+    def test_equality(self):
+        r1 = Relation(("a",), [(1,), (2,)])
+        r2 = Relation(("a",), [(2,), (1,)])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 != Relation(("b",), [(1,), (2,)])
+
+    def test_same_schema(self):
+        assert Relation(("a", "b"), []).same_schema_as(
+            Relation(("a", "b"), []))
+        assert not Relation(("a",), []).same_schema_as(
+            Relation(("b",), []))

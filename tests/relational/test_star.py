@@ -1,0 +1,103 @@
+"""Tests for the star/snowflake export and re-import."""
+
+import pytest
+
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.relational import export_star, import_star
+from repro.temporal.chronon import day
+
+
+@pytest.fixture(scope="module")
+def star(valid_time_mo):
+    return export_star(valid_time_mo)
+
+
+class TestExport:
+    def test_table_inventory(self, star, valid_time_mo):
+        names = star.table_names()
+        assert "fact" in names
+        for dim in valid_time_mo.dimension_names:
+            assert f"dim_{dim}" in names
+            assert f"hier_{dim}" in names
+            assert f"bridge_{dim}" in names
+
+    def test_fact_table(self, star):
+        assert {row[0] for row in star.fact_table} == {"1", "2"}
+
+    def test_bridge_is_many_to_many(self, star):
+        bridge = star.bridge_tables["Diagnosis"]
+        fact_index = bridge.index_of("fact_id")
+        patient2_rows = [r for r in bridge if r[fact_index] == "2"]
+        assert len(patient2_rows) == 4  # diagnoses 3, 5, 8, 9
+
+    def test_bridge_carries_validity(self, star):
+        bridge = star.bridge_tables["Diagnosis"]
+        rows = bridge.as_dicts()
+        row = next(r for r in rows
+                   if r["fact_id"] == "2" and r["value_id"] == "3")
+        assert row["valid_from"] == day(1975, 3, 23)
+        assert row["valid_to"] == day(1975, 12, 24)
+
+    def test_dimension_table_has_representations(self, star):
+        table = star.dimension_tables["Diagnosis"]
+        assert "Code" in table.attributes
+        assert "Text" in table.attributes
+        codes = {row[table.index_of("Code")] for row in table}
+        assert "E10" in codes and "D1" in codes
+
+    def test_hierarchy_table_rows(self, star):
+        hier = star.hierarchy_tables["Diagnosis"]
+        pairs = {(r[0], r[1]) for r in hier}
+        assert ("'5'", "'4'") not in pairs  # sids encode via repr of int
+        assert ("5", "4") in pairs
+
+    def test_probability_column_present(self, star):
+        assert "probability" in star.bridge_tables["Diagnosis"].attributes
+
+
+class TestRoundTrip:
+    def test_case_study_roundtrip(self, valid_time_mo, star):
+        back = import_star(star, valid_time_mo)
+        back.validate()
+        assert back.facts == valid_time_mo.facts
+        for name in valid_time_mo.dimension_names:
+            original = {
+                (f.fid, v.sid)
+                for f, v in valid_time_mo.relation(name).pairs()
+            }
+            restored = {
+                (f.fid, v.sid) for f, v in back.relation(name).pairs()
+            }
+            assert original == restored, name
+
+    def test_roundtrip_preserves_times(self, valid_time_mo, star):
+        back = import_star(star, valid_time_mo)
+        original = valid_time_mo.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(3))
+        restored = back.relation("Diagnosis").pair_time(
+            patient_fact(2), diagnosis_value(3))
+        assert original == restored
+
+    def test_roundtrip_preserves_order(self, valid_time_mo, star):
+        back = import_star(star, valid_time_mo)
+        diag = back.dimension("Diagnosis")
+        assert diag.containment_time(
+            diagnosis_value(3), diagnosis_value(7)) == \
+            valid_time_mo.dimension("Diagnosis").containment_time(
+                diagnosis_value(3), diagnosis_value(7))
+
+    def test_roundtrip_with_uncertainty(self):
+        mo = case_study_mo(temporal=False)
+        mo.relate(patient_fact(1), "Diagnosis", diagnosis_value(10),
+                  prob=0.9)
+        back = import_star(export_star(mo), mo)
+        annotations = back.relation("Diagnosis").annotations(
+            patient_fact(1), diagnosis_value(10))
+        assert any(abs(p - 0.9) < 1e-12 for _, p in annotations)
+
+    def test_roundtrip_top_pairs(self, snapshot_mo):
+        mo = snapshot_mo.copy()
+        mo.relate_unknown(patient_fact(1), "Diagnosis")
+        back = import_star(export_star(mo), mo)
+        values = back.relation("Diagnosis").values_of(patient_fact(1))
+        assert back.dimension("Diagnosis").top_value in values

@@ -1,0 +1,58 @@
+"""Property test: the star export round-trips losslessly for random
+MOs, including temporal and probabilistic annotations."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.relational import export_star, import_star
+from tests.strategies import small_mos
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _pair_annotations(mo, name):
+    return {
+        (fact.fid, None if value.is_top else value.sid,
+         time.intervals, prob)
+        for fact, value, time, prob
+        in mo.relation(name).annotated_pairs()
+    }
+
+
+def _order_annotations(dimension):
+    return {
+        (child.sid, parent.sid, time.intervals, prob)
+        for child, parent, time, prob in dimension.order.edges()
+    }
+
+
+@_settings
+@given(small_mos())
+def test_roundtrip_snapshot(mo):
+    back = import_star(export_star(mo), mo)
+    back.validate()
+    assert back.facts == mo.facts
+    for name in mo.dimension_names:
+        assert _pair_annotations(back, name) == _pair_annotations(mo, name)
+        assert _order_annotations(back.dimension(name)) == \
+            _order_annotations(mo.dimension(name))
+
+
+@_settings
+@given(small_mos(temporal=True))
+def test_roundtrip_temporal(mo):
+    back = import_star(export_star(mo), mo)
+    for name in mo.dimension_names:
+        assert _pair_annotations(back, name) == _pair_annotations(mo, name)
+        for category in mo.dimension(name).categories():
+            restored = back.dimension(name).category(category.name)
+            for value, time in category.items():
+                assert restored.membership_time(value) == time
+
+
+@_settings
+@given(small_mos(probabilistic=True))
+def test_roundtrip_probabilistic(mo):
+    back = import_star(export_star(mo), mo)
+    for name in mo.dimension_names:
+        assert _pair_annotations(back, name) == _pair_annotations(mo, name)

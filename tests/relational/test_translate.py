@@ -1,0 +1,90 @@
+"""Tests for the relation ↔ MO compiler and the Theorem 2 checker."""
+
+import pytest
+
+from repro.algebra import validate_closed
+from repro.core.aggtypes import AggregationType
+from repro.relational import (
+    Relation,
+    TheoremTwoChecker,
+    mo_to_relation,
+    relation_to_mo,
+)
+
+R = Relation(("a", "b"), [(1, "x"), (2, "y"), (3, "x")])
+S = Relation(("a", "b"), [(2, "y"), (4, "z")])
+T = Relation(("c",), [(10,), (20,)])
+
+
+class TestCompilation:
+    def test_rows_become_facts(self):
+        mo = relation_to_mo(R)
+        assert len(mo.facts) == 3
+        assert validate_closed(mo).ok
+
+    def test_attributes_become_dimensions(self):
+        mo = relation_to_mo(R)
+        assert set(mo.dimension_names) == {"a", "b"}
+        assert mo.dimension("a").dtype.bottom_name == "a"
+
+    def test_numeric_columns_additive(self):
+        mo = relation_to_mo(R)
+        assert mo.dimension("a").dtype.bottom.aggtype is AggregationType.SUM
+        assert mo.dimension("b").dtype.bottom.aggtype is \
+            AggregationType.CONSTANT
+
+    def test_explicit_aggtypes(self):
+        mo = relation_to_mo(
+            R, aggtypes={"a": AggregationType.CONSTANT})
+        assert mo.dimension("a").dtype.bottom.aggtype is \
+            AggregationType.CONSTANT
+
+    def test_null_maps_to_top(self):
+        rel = Relation(("a",), [(None,), (1,)])
+        mo = relation_to_mo(rel)
+        assert validate_closed(mo).ok
+        assert mo_to_relation(mo) == rel
+
+    def test_roundtrip(self):
+        assert mo_to_relation(relation_to_mo(R)) == R
+
+
+class TestSimulations:
+    def setup_method(self):
+        self.checker = TheoremTwoChecker()
+
+    def test_select(self):
+        result = self.checker.check_select(R, lambda row: row["a"] >= 2)
+        assert result.equal
+
+    def test_project(self):
+        assert self.checker.check_project(R, ["b"]).equal
+        assert self.checker.check_project(R, ["a"]).equal
+
+    def test_rename(self):
+        assert self.checker.check_rename(R, {"a": "alpha"}).equal
+
+    def test_union(self):
+        assert self.checker.check_union(R, S).equal
+
+    def test_difference(self):
+        assert self.checker.check_difference(R, S).equal
+        assert self.checker.check_difference(S, R).equal
+
+    def test_product(self):
+        assert self.checker.check_product(R, T).equal
+
+    @pytest.mark.parametrize("function", ["SUM", "COUNT", "AVG", "MIN",
+                                          "MAX"])
+    def test_aggregate_grouped(self, function):
+        assert self.checker.check_aggregate(R, ["b"], function, "a").equal
+
+    @pytest.mark.parametrize("function", ["SUM", "COUNT", "MIN", "MAX"])
+    def test_aggregate_grand_total(self, function):
+        assert self.checker.check_aggregate(R, [], function, "a").equal
+
+    def test_empty_relation_ops(self):
+        empty = Relation(("a", "b"), [])
+        assert self.checker.check_select(empty, lambda row: True).equal
+        assert self.checker.check_union(empty, S).equal
+        assert self.checker.check_difference(S, empty).equal

@@ -1,0 +1,67 @@
+"""Tests for the DOT exports."""
+
+from repro.report import dimension_dot, dimension_type_dot, schema_dot
+
+
+class TestDimensionTypeDot:
+    def test_valid_digraph(self, snapshot_mo):
+        dot = dimension_type_dot(snapshot_mo.dimension("Residence").dtype)
+        assert dot.startswith('digraph "Residence" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_edges_present(self, snapshot_mo):
+        dot = dimension_type_dot(snapshot_mo.dimension("Residence").dtype)
+        assert '"Area" -> "County";' in dot
+        assert '"County" -> "Region";' in dot
+
+    def test_aggtype_labels(self, snapshot_mo):
+        dot = dimension_type_dot(snapshot_mo.dimension("Age").dtype)
+        assert "(⊕)" in dot
+
+    def test_shapes(self, snapshot_mo):
+        dot = dimension_type_dot(snapshot_mo.dimension("Residence").dtype)
+        assert "shape=box" in dot          # the ⊥ category
+        assert "shape=doublecircle" in dot  # the ⊤ category
+
+
+class TestDimensionDot:
+    def test_clusters_per_category(self, snapshot_mo):
+        dot = dimension_dot(snapshot_mo.dimension("Diagnosis"))
+        assert 'label="Low-level Diagnosis";' in dot
+        assert 'label="Diagnosis Group";' in dot
+
+    def test_value_edges(self, snapshot_mo):
+        dot = dimension_dot(snapshot_mo.dimension("Diagnosis"))
+        assert '"5" -> "4"' in dot
+        assert '"9" -> "11"' in dot
+
+    def test_temporal_annotations_on_edges(self, valid_time_mo):
+        dot = dimension_dot(valid_time_mo.dimension("Diagnosis"))
+        assert "label=" in dot and "TimeSet" in dot
+
+    def test_max_values_bound(self, small_clinical):
+        dot = dimension_dot(small_clinical.mo.dimension("Diagnosis"),
+                            max_values=5)
+        # 5 kept values -> at most 5 node lines inside clusters
+        node_lines = [l for l in dot.splitlines()
+                      if l.strip().startswith('"') and "label=" in l
+                      and "->" not in l]
+        assert len(node_lines) <= 5
+
+
+class TestSchemaDot:
+    def test_fact_node_and_clusters(self, snapshot_mo):
+        dot = schema_dot(snapshot_mo)
+        assert '"Patient" [shape=box3d];' in dot
+        for name in snapshot_mo.dimension_names:
+            assert f'label="{name}";' in dot
+
+    def test_fact_linked_to_bottoms(self, snapshot_mo):
+        dot = schema_dot(snapshot_mo)
+        assert '"Patient" -> "Diagnosis.Low-level Diagnosis"' in dot
+        assert '"Patient" -> "Residence.Area"' in dot
+
+    def test_namespaced_category_edges(self, snapshot_mo):
+        dot = schema_dot(snapshot_mo)
+        assert '"DOB.Day" -> "DOB.Week";' in dot
+        assert '"DOB.Month" -> "DOB.Quarter";' in dot

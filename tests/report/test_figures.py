@@ -1,0 +1,57 @@
+"""Tests for the figure renderings."""
+
+from repro.algebra import SetCount, aggregate
+from repro.core.helpers import Band, make_result_spec
+from repro.report import (
+    render_dimension_type,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+)
+
+
+class TestFigure1:
+    def test_entities_present(self):
+        text = render_figure1()
+        for entity in ("Patient", "Diagnosis", "Area", "County", "Region"):
+            assert entity in text
+
+    def test_relationships_present(self):
+        text = render_figure1()
+        for rel in ("Has(", "Grouping(", "Lives in("):
+            assert rel in text
+
+
+class TestFigure2:
+    def test_all_dimensions_rendered(self, snapshot_mo):
+        text = render_figure2(snapshot_mo)
+        for name in snapshot_mo.dimension_names:
+            assert f"{name}:" in text
+
+    def test_lattice_structure_visible(self, snapshot_mo):
+        text = render_figure2(snapshot_mo)
+        assert "Low-level Diagnosis (c) [⊥] -> Diagnosis Family" in text
+        assert "Age (⊕)" in text
+        assert "Day (⊘)" in text
+
+    def test_dimension_type_renderer(self, snapshot_mo):
+        text = render_dimension_type(
+            snapshot_mo.dimension("Residence").dtype)
+        lines = text.splitlines()
+        assert lines[0] == "Residence:"
+        assert any("Area" in line and "County" in line for line in lines)
+
+
+class TestFigure3:
+    def test_example12_rendering(self, snapshot_mo):
+        spec = make_result_spec("Result",
+                                bands=[Band(0, 2), Band(2, None)])
+        agg = aggregate(snapshot_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"}, spec)
+        text = render_figure3(agg, "Diagnosis", "Result")
+        assert "Set-of-Patient" in text
+        assert "({1,2}, E1)" in text
+        assert "({2}, O2)" in text
+        assert "({1,2}, 2)" in text
+        assert "({2}, 1)" in text
+        assert "0-1" in text and ">1" in text

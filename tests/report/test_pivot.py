@@ -1,0 +1,69 @@
+"""Tests for the cross-tab renderer."""
+
+import pytest
+
+from repro._errors import AlgebraError
+from repro.algebra import SetCount, Sum, sql_aggregation
+from repro.report import pivot, render_pivot
+
+
+@pytest.fixture()
+def rows(snapshot_mo):
+    return sql_aggregation(
+        snapshot_mo, SetCount(),
+        {"Diagnosis": "Diagnosis Group", "Residence": "County"},
+        strict_types=False)
+
+
+class TestPivot:
+    def test_shape(self, rows):
+        row_labels, column_labels, cells = pivot(
+            rows, "Diagnosis", "Residence", "SetCount")
+        assert row_labels == [11, 12]
+        assert column_labels == [201, 202]
+        assert cells[(11, 201)] == 2
+        assert cells[(12, 202)] == 1
+
+    def test_missing_combination_absent(self, snapshot_mo):
+        rows = sql_aggregation(
+            snapshot_mo, SetCount(),
+            {"Diagnosis": "Diagnosis Family", "Residence": "County"},
+            strict_types=False)
+        _, _, cells = pivot(rows, "Diagnosis", "Residence", "SetCount")
+        # family 10 (E11, low-level child 6) has no patients: no cells
+        assert not any(r == 10 for r, _ in cells)
+        # family 7 does (patient 2 via 3 ≤ 7, untimed)
+        assert any(r == 7 for r, _ in cells)
+
+    def test_bad_keys_rejected(self, rows):
+        with pytest.raises(AlgebraError):
+            pivot(rows, "Nope", "Residence", "SetCount")
+
+
+class TestRenderPivot:
+    def test_layout(self, rows):
+        text = render_pivot(rows, "Diagnosis", "Residence", "SetCount",
+                            title="X")
+        lines = text.splitlines()
+        assert lines[0] == "X"
+        assert "Diagnosis \\ Residence" in lines[1]
+        assert any(line.startswith("11") for line in lines)
+
+    def test_totals_row_and_column(self, snapshot_mo):
+        rows = sql_aggregation(
+            snapshot_mo, Sum("Age"),
+            {"Diagnosis": "Diagnosis Group", "Residence": "Region"},
+            strict_types=False)
+        text = render_pivot(rows, "Diagnosis", "Residence", "Sum(Age)",
+                            totals=True)
+        lines = text.splitlines()
+        assert lines[-1].startswith("Σ")
+        assert lines[0].rstrip().endswith("Σ")  # header (no title given)
+
+    def test_blank_cells(self, snapshot_mo):
+        rows = sql_aggregation(
+            snapshot_mo, SetCount(),
+            {"Diagnosis": "Low-level Diagnosis", "Residence": "County"},
+            strict_types=False)
+        text = render_pivot(rows, "Diagnosis", "Residence", "SetCount")
+        assert text  # renders despite sparse combinations

@@ -1,0 +1,46 @@
+"""Tests for table rendering and the Table 1 regeneration."""
+
+from repro.report import render_table, render_table1, table1_tuples
+
+
+class TestRenderTable:
+    def test_header_and_rule(self):
+        text = render_table(["a", "bb"], [[1, 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_column_alignment(self):
+        text = render_table(["x", "y"], [["long-value", 1], ["s", 22]])
+        lines = text.splitlines()
+        assert lines[2].index("1") == lines[3].index("22")
+
+
+class TestTable1:
+    def test_tuples_match_paper(self):
+        data = table1_tuples()
+        assert data["Patient"] == [
+            (1, "John Doe", "12345678", "25/05/69"),
+            (2, "Jane Doe", "87654321", "20/03/50"),
+        ]
+        assert (2, 9, "01/01/82", "NOW", "Primary") in data["Has"]
+        assert (9, "E10", "Insulin dep. diabetes", "01/01/80", "NOW") in \
+            data["Diagnosis"]
+        assert (12, 4, "01/01/80", "NOW", "WHO") in data["Grouping"]
+        assert len(data["Has"]) == 5
+        assert len(data["Diagnosis"]) == 10
+        assert len(data["Grouping"]) == 9
+
+    def test_render_contains_all_sections(self):
+        text = render_table1()
+        for section in ("Patient Table", "Has Table", "Diagnosis Table",
+                        "Grouping Table"):
+            assert section in text
+
+    def test_render_contains_key_rows(self):
+        text = render_table1()
+        assert "John Doe" in text
+        assert "Insulin dep. diabetes" in text
+        assert "User-defined" in text
+        assert "NOW" in text

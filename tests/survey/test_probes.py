@@ -1,0 +1,25 @@
+"""Each of the nine requirement probes, run individually."""
+
+import pytest
+
+from repro.survey import run_all_probes, run_probe
+
+
+class TestProbes:
+    @pytest.mark.parametrize("number", range(1, 10))
+    def test_probe_passes(self, number):
+        result = run_probe(number)
+        assert result.passed, (
+            f"requirement {number} probe failed: {result.detail}"
+        )
+
+    @pytest.mark.parametrize("number", range(1, 10))
+    def test_probe_reports_requirement(self, number):
+        result = run_probe(number)
+        assert result.requirement.number == number
+        assert result.detail
+
+    def test_run_all(self):
+        results = run_all_probes()
+        assert len(results) == 9
+        assert [r.requirement.number for r in results] == list(range(1, 10))

@@ -1,0 +1,30 @@
+"""Tests for the Table 2 rationale reconstruction."""
+
+from repro.survey import RATIONALE, SURVEYED_MODELS, render_rationale
+
+
+class TestRationale:
+    def test_every_model_covered(self):
+        assert set(RATIONALE) == {m.key for m in SURVEYED_MODELS}
+
+    def test_rationales_are_substantive(self):
+        for text in RATIONALE.values():
+            assert len(text) > 100
+
+    def test_render_contains_rows_and_texts(self):
+        text = render_rationale()
+        for model in SURVEYED_MODELS:
+            assert model.citation in text
+        assert "reconstruction" in text
+
+    def test_rationale_consistent_with_matrix(self):
+        """Each rationale's 'full N' claims must match the matrix."""
+        from repro.survey.models import Support
+
+        for model in SURVEYED_MODELS:
+            text = RATIONALE[model.key]
+            for req_number in range(1, 10):
+                if f"full {req_number})" in text or \
+                        f"full {req_number},"in text or \
+                        f"full {req_number} " in text:
+                    assert model.support[req_number - 1] is Support.FULL

@@ -1,0 +1,89 @@
+"""Tests for the Table 2 reproduction."""
+
+from repro.survey import (
+    OUR_MODEL_ROW,
+    REQUIREMENTS,
+    SURVEYED_MODELS,
+    Support,
+    as_matrix,
+    render_table2,
+    table2_matrix,
+    verified_our_row,
+)
+
+F, P, N = Support.FULL, Support.PARTIAL, Support.NONE
+
+#: the paper's Table 2, row by row (√ / p / -)
+PAPER_TABLE_2 = {
+    "Rafanelli": (F, N, N, F, P, N, N, N, N),
+    "Agrawal":   (P, F, P, N, P, N, N, N, N),
+    "Gray":      (N, F, P, P, N, N, N, N, N),
+    "Kimball":   (N, N, F, P, N, N, P, N, N),
+    "Li":        (P, N, F, P, N, N, N, N, N),
+    "Gyssens":   (N, F, P, P, N, N, N, N, N),
+    "Datta":     (N, F, P, N, P, N, N, N, N),
+    "Lehner":    (F, N, N, F, N, N, N, N, N),
+}
+
+
+class TestMatrixMatchesPaper:
+    def test_cell_for_cell(self):
+        matrix = as_matrix()
+        assert set(matrix) == set(PAPER_TABLE_2)
+        for key, row in PAPER_TABLE_2.items():
+            assert matrix[key] == row, f"row {key} differs from the paper"
+
+    def test_nine_requirements(self):
+        assert len(REQUIREMENTS) == 9
+        assert [r.number for r in REQUIREMENTS] == list(range(1, 10))
+
+    def test_eight_models(self):
+        assert len(SURVEYED_MODELS) == 8
+
+    def test_paper_headline_claims(self):
+        """§2.3: no surveyed model supports requirements 6, 8, 9 at all;
+        requirement 7 only partially by Kimball; requirement 5 partially
+        by three models."""
+        matrix = as_matrix()
+        for req in (6, 8, 9):
+            assert all(row[req - 1] is N for row in matrix.values())
+        req7 = [k for k, row in matrix.items() if row[6] is not N]
+        assert req7 == ["Kimball"]
+        assert matrix["Kimball"][6] is P
+        req5_partial = [k for k, row in matrix.items() if row[4] is P]
+        assert len(req5_partial) == 3
+
+    def test_our_row_claims_full_support(self):
+        assert all(level is F for level in OUR_MODEL_ROW.support)
+
+
+class TestVerifiedRow:
+    def test_probes_back_the_claim(self):
+        row, results = verified_our_row()
+        assert all(level is F for level in row.support)
+        assert all(r.passed for r in results)
+
+    def test_level_accessor(self):
+        assert SURVEYED_MODELS[0].level(1) is F
+        assert SURVEYED_MODELS[0].level(2) is N
+
+
+class TestRendering:
+    def test_render_contains_all_models(self):
+        text = render_table2()
+        for model in SURVEYED_MODELS:
+            assert model.citation in text
+
+    def test_render_with_ours(self):
+        text = render_table2(include_ours=True)
+        assert "this paper" in text
+
+    def test_render_matches_paper_symbols(self):
+        text = render_table2()
+        lehner_line = next(l for l in text.splitlines() if "Lehner" in l)
+        assert lehner_line.split()[-9:] == \
+            ["√", "-", "-", "√", "-", "-", "-", "-", "-"]
+
+    def test_table2_matrix_helper(self):
+        assert len(table2_matrix()) == 8
+        assert len(table2_matrix(include_ours=True)) == 9

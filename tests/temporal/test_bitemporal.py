@@ -1,0 +1,67 @@
+"""Tests for bitemporal rectangle sets (Tt × Tv)."""
+
+from repro.temporal.bitemporal import BitemporalTimeSet
+from repro.temporal.chronon import day
+from repro.temporal.timeset import TimeSet
+
+TT = TimeSet.interval(day(1990, 1, 1), day(1994, 12, 31))
+TV = TimeSet.interval(day(1980, 1, 1), day(1984, 12, 31))
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert BitemporalTimeSet.empty().is_empty()
+        assert not BitemporalTimeSet.empty()
+
+    def test_always(self):
+        b = BitemporalTimeSet.always()
+        assert b.contains(day(2000, 1, 1), day(1950, 1, 1))
+
+    def test_rectangle(self):
+        b = BitemporalTimeSet.rectangle(TT, TV)
+        assert b.contains(day(1992, 6, 1), day(1982, 6, 1))
+        assert not b.contains(day(1995, 6, 1), day(1982, 6, 1))
+        assert not b.contains(day(1992, 6, 1), day(1985, 6, 1))
+
+    def test_empty_components_dropped(self):
+        b = BitemporalTimeSet.rectangle(TimeSet.empty(), TV)
+        assert b.is_empty()
+
+    def test_rectangles_with_same_valid_merge_transaction(self):
+        tt2 = TimeSet.interval(day(1995, 1, 1), day(1999, 12, 31))
+        b = BitemporalTimeSet(((TT, TV), (tt2, TV)))
+        assert len(b.rectangles) == 1
+        assert b.contains(day(1997, 1, 1), day(1982, 1, 1))
+
+
+class TestOperations:
+    def test_union(self):
+        tv2 = TimeSet.interval(day(1985, 1, 1), day(1989, 12, 31))
+        b = BitemporalTimeSet.rectangle(TT, TV).union(
+            BitemporalTimeSet.rectangle(TT, tv2))
+        assert b.contains(day(1992, 1, 1), day(1987, 1, 1))
+        assert b.contains(day(1992, 1, 1), day(1982, 1, 1))
+
+    def test_intersection(self):
+        tt2 = TimeSet.interval(day(1993, 1, 1), day(1996, 12, 31))
+        a = BitemporalTimeSet.rectangle(TT, TV)
+        b = BitemporalTimeSet.rectangle(tt2, TV)
+        inter = a.intersection(b)
+        assert inter.contains(day(1993, 6, 1), day(1982, 1, 1))
+        assert not inter.contains(day(1992, 1, 1), day(1982, 1, 1))
+
+    def test_transaction_slice(self):
+        b = BitemporalTimeSet.rectangle(TT, TV)
+        assert b.transaction_slice(day(1992, 1, 1)) == TV
+        assert b.transaction_slice(day(1999, 1, 1)).is_empty()
+
+    def test_valid_slice(self):
+        b = BitemporalTimeSet.rectangle(TT, TV)
+        assert b.valid_slice(day(1982, 1, 1)) == TT
+        assert b.valid_slice(day(1989, 1, 1)).is_empty()
+
+    def test_equality_normalized(self):
+        a = BitemporalTimeSet(((TT, TV),))
+        b = BitemporalTimeSet(((TT, TV), (TT, TV)))
+        assert a == b
+        assert hash(a) == hash(b)

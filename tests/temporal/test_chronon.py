@@ -1,0 +1,106 @@
+"""Tests for the time domain (chronons, NOW, date parsing)."""
+
+import datetime
+
+import pytest
+
+from repro.core.errors import TemporalError
+from repro.temporal.chronon import (
+    NOW,
+    TIME_MAX,
+    TIME_MIN,
+    NowType,
+    check_chronon,
+    day,
+    format_day,
+    from_date,
+    parse_day,
+    resolve_endpoint,
+    to_date,
+)
+
+
+class TestChrononBasics:
+    def test_day_roundtrip(self):
+        t = day(1980, 1, 1)
+        assert to_date(t) == datetime.date(1980, 1, 1)
+
+    def test_from_date_roundtrip(self):
+        d = datetime.date(1999, 12, 31)
+        assert to_date(from_date(d)) == d
+
+    def test_domain_is_bounded(self):
+        assert TIME_MIN == datetime.date(1900, 1, 1).toordinal()
+        assert TIME_MAX == datetime.date(2199, 12, 31).toordinal()
+
+    def test_check_chronon_accepts_bounds(self):
+        assert check_chronon(TIME_MIN) == TIME_MIN
+        assert check_chronon(TIME_MAX) == TIME_MAX
+
+    def test_check_chronon_rejects_outside(self):
+        with pytest.raises(TemporalError):
+            check_chronon(TIME_MIN - 1)
+        with pytest.raises(TemporalError):
+            check_chronon(TIME_MAX + 1)
+
+    def test_check_chronon_rejects_non_int(self):
+        with pytest.raises(TemporalError):
+            check_chronon("1980")
+        with pytest.raises(TemporalError):
+            check_chronon(True)
+
+    def test_chronons_are_ordered_days(self):
+        assert day(1980, 1, 2) == day(1980, 1, 1) + 1
+
+
+class TestNow:
+    def test_now_is_singleton(self):
+        assert NowType() is NOW
+
+    def test_now_compares_above_all_chronons(self):
+        assert NOW > day(2199, 12, 30)
+        assert day(1970, 1, 1) < NOW
+        assert NOW >= NOW
+        assert NOW <= NOW
+        assert not NOW < NOW
+
+    def test_resolve_endpoint_now(self):
+        ref = day(1995, 5, 5)
+        assert resolve_endpoint(NOW, ref) == ref
+
+    def test_resolve_endpoint_concrete(self):
+        t = day(1980, 1, 1)
+        assert resolve_endpoint(t, day(1999, 1, 1)) == t
+
+
+class TestParseFormat:
+    def test_parse_paper_dates(self):
+        assert parse_day("01/01/80") == day(1980, 1, 1)
+        assert parse_day("31/12/79") == day(1979, 12, 31)
+        assert parse_day("25/05/69") == day(1969, 5, 25)
+
+    def test_parse_1950_pivot(self):
+        # Jane Doe's 1950 date of birth must land in the 20th century
+        assert parse_day("20/03/50") == day(1950, 3, 20)
+
+    def test_parse_21st_century(self):
+        assert parse_day("01/01/05") == day(2005, 1, 1)
+
+    def test_parse_four_digit_year(self):
+        assert parse_day("01/01/1980") == day(1980, 1, 1)
+
+    def test_parse_now(self):
+        assert parse_day("NOW") is NOW
+        assert parse_day(" now ") is NOW
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TemporalError):
+            parse_day("1980-01-01")
+
+    def test_format_day(self):
+        assert format_day(day(1980, 1, 1)) == "01/01/80"
+        assert format_day(NOW) == "NOW"
+
+    def test_format_parse_roundtrip(self):
+        for text in ("01/01/70", "24/12/75", "30/09/82"):
+            assert format_day(parse_day(text)) == text

@@ -1,0 +1,108 @@
+"""Tests for time granularities and the time-dimension builder."""
+
+import pytest
+
+from repro.core.aggtypes import AggregationType
+from repro.core.errors import SchemaError, TemporalError
+from repro.core.properties import (
+    hierarchy_is_partitioning,
+    hierarchy_is_strict,
+)
+from repro.core.values import DimensionValue
+from repro.temporal.chronon import day
+from repro.temporal.granularity import (
+    STANDARD_GRANULARITIES,
+    Granularity,
+    build_time_dimension,
+)
+
+DATES = [day(1969, 5, 25), day(1950, 3, 20), day(1980, 1, 1),
+         day(1979, 12, 31)]
+
+
+class TestGranularities:
+    def test_month_granule(self):
+        month = STANDARD_GRANULARITIES["Month"]
+        assert month.granule_of(day(1980, 1, 15)) == (1980, 1)
+        assert month.label_of(day(1980, 1, 15)) == "1980-01"
+
+    def test_quarter_granule(self):
+        quarter = STANDARD_GRANULARITIES["Quarter"]
+        assert quarter.granule_of(day(1969, 5, 25)) == (1969, 2)
+
+    def test_iso_week_crosses_year(self):
+        week = STANDARD_GRANULARITIES["Week"]
+        # 1 Jan 1980 is a Tuesday of ISO week 1980-W01
+        assert week.granule_of(day(1980, 1, 1)) == (1980, 1)
+        # 31 Dec 1979 (Monday) belongs to the same ISO week
+        assert week.granule_of(day(1979, 12, 31)) == (1980, 1)
+
+    def test_decade(self):
+        decade = STANDARD_GRANULARITIES["Decade"]
+        assert decade.granule_of(day(1969, 5, 25)) == 1960
+        assert decade.label_of(day(1969, 5, 25)) == "1960s"
+
+    def test_value_for_identity(self):
+        month = STANDARD_GRANULARITIES["Month"]
+        assert month.value_for(day(1980, 1, 1)) == \
+            month.value_for(day(1980, 1, 31))
+
+
+class TestBuildTimeDimension:
+    def test_default_shape_matches_figure2(self):
+        dim = build_time_dimension("DOB", DATES)
+        dtype = dim.dtype
+        assert dtype.bottom_name == "Day"
+        assert dtype.leq("Day", "Week")
+        assert dtype.leq("Day", "Month")
+        assert dtype.leq("Quarter", "Decade")
+        assert not dtype.leq("Week", "Month")
+        assert dtype.is_lattice()
+        assert dtype.bottom.aggtype is AggregationType.AVERAGE
+
+    def test_strict_and_partitioning(self):
+        dim = build_time_dimension("DOB", DATES)
+        assert hierarchy_is_strict(dim)
+        assert hierarchy_is_partitioning(dim)
+
+    def test_day_values_and_rollup(self):
+        dim = build_time_dimension("DOB", DATES)
+        john = DimensionValue(sid=day(1969, 5, 25))
+        labels = {a.label for a in dim.ancestors(john) if a.label}
+        assert {"1969-05", "1969-Q2", "1969", "1960s"} <= labels
+
+    def test_shared_coarse_values_deduplicated(self):
+        dim = build_time_dimension(
+            "T", [day(1980, 1, 1), day(1980, 1, 2)],
+            hierarchies=[("Month", "Year")])
+        assert len(dim.category("Month")) == 1
+        assert len(dim.category("Year")) == 1
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(SchemaError):
+            build_time_dimension("T", DATES, hierarchies=[("Fortnight",)])
+
+    def test_non_coarsening_chain_rejected(self):
+        """Week does not coarsen into Month (ISO weeks straddle month
+        boundaries), so the builder must refuse the chain on data that
+        exposes it."""
+        straddling = [day(1980, 3, 31), day(1980, 4, 1)]  # one ISO week
+        with pytest.raises(TemporalError):
+            build_time_dimension("T", straddling,
+                                 hierarchies=[("Week", "Month")])
+
+    def test_custom_granularity(self):
+        halfyear = Granularity(
+            "Half", lambda t: (STANDARD_GRANULARITIES["Year"].granule_of(t),
+                               1 if STANDARD_GRANULARITIES["Month"]
+                               .granule_of(t)[1] <= 6 else 2),
+            lambda t: "H?")
+        dim = build_time_dimension(
+            "T", DATES, hierarchies=[("Month", "Half")],
+            granularities={**STANDARD_GRANULARITIES, "Half": halfyear})
+        assert "Half" in dim.dtype
+
+    def test_duplicate_chronons_collapse(self):
+        dim = build_time_dimension("T", [day(1980, 1, 1)] * 3,
+                                   hierarchies=[("Month",)])
+        assert len(dim.category("Day")) == 1

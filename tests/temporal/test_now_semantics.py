@@ -1,0 +1,87 @@
+"""Focused tests of the NOW semantics (Clifford et al., the paper's
+[20]): a continuously-growing value resolved against a reference."""
+
+import pytest
+
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.temporal.chronon import (
+    NOW,
+    TIME_MAX,
+    day,
+    format_day,
+    parse_day,
+    resolve_endpoint,
+)
+from repro.temporal.timeset import TimeSet
+from repro.temporal.timeslice import valid_timeslice
+
+
+class TestNowResolution:
+    def test_now_grows_with_the_reference(self):
+        early = TimeSet.interval(day(1980, 1, 1), NOW,
+                                 reference=day(1990, 1, 1))
+        late = TimeSet.interval(day(1980, 1, 1), NOW,
+                                reference=day(2000, 1, 1))
+        assert early.max() < late.max()
+        assert day(1995, 1, 1) not in early
+        assert day(1995, 1, 1) in late
+
+    def test_unreferenced_now_is_until_changed(self):
+        open_ended = TimeSet.interval(day(1980, 1, 1), NOW)
+        assert open_ended.max() == TIME_MAX
+
+    def test_now_as_start(self):
+        t = TimeSet.interval(NOW, NOW, reference=day(1990, 1, 1))
+        assert t.duration() == 1
+        assert day(1990, 1, 1) in t
+
+    def test_resolve_endpoint_shapes(self):
+        assert resolve_endpoint(NOW, day(1985, 2, 2)) == day(1985, 2, 2)
+        assert resolve_endpoint(day(1980, 1, 1),
+                                day(1985, 2, 2)) == day(1980, 1, 1)
+
+    def test_parse_format_now(self):
+        assert parse_day(format_day(NOW)) is NOW
+
+
+class TestNowInTheCaseStudy:
+    def test_open_rows_survive_any_later_slice(self, valid_time_mo):
+        """(1, 9) is valid [01/01/89 - NOW]: every later timeslice must
+        still show it."""
+        for year in (1990, 2000, 2100):
+            snap = valid_timeslice(valid_time_mo, day(year, 6, 1))
+            values = snap.relation("Diagnosis").values_of(patient_fact(1))
+            assert diagnosis_value(9) in values
+
+    def test_open_rows_absent_before_start(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1988, 6, 1))
+        values = snap.relation("Diagnosis").values_of(patient_fact(1))
+        assert diagnosis_value(9) not in values
+
+    def test_closed_rows_end(self, valid_time_mo):
+        """Value 8's classification validity ends 31/12/79 although its
+        Has row runs to 31/12/81 (Table 1's own data): while it is a
+        valid classification value the slice shows it, afterwards the
+        pair's value is gone from the dimension and the fact falls back
+        to ⊤ there."""
+        while_classified = valid_timeslice(valid_time_mo,
+                                           day(1979, 12, 31))
+        assert diagnosis_value(8) in \
+            while_classified.relation("Diagnosis").values_of(
+                patient_fact(2))
+        dangling = valid_timeslice(valid_time_mo, day(1981, 6, 1))
+        values = dangling.relation("Diagnosis").values_of(patient_fact(2))
+        assert diagnosis_value(8) not in values
+        assert dangling.dimension("Diagnosis").top_value in values
+        # and after the Has row closes entirely, 9 takes over
+        after = valid_timeslice(valid_time_mo, day(1982, 1, 1))
+        assert diagnosis_value(9) in \
+            after.relation("Diagnosis").values_of(patient_fact(2))
+
+    def test_now_in_characterization_window(self, valid_time_mo):
+        """Open-ended rows make open-ended characterizations."""
+        rel = valid_time_mo.relation("Diagnosis")
+        dim = valid_time_mo.dimension("Diagnosis")
+        window = rel.characterization_time(patient_fact(1),
+                                           diagnosis_value(11), dim)
+        assert window.max() == TIME_MAX

@@ -1,0 +1,156 @@
+"""Tests for coalesced chronon sets."""
+
+import pytest
+
+from repro.core.errors import TemporalError
+from repro.temporal.chronon import NOW, TIME_MAX, TIME_MIN, day
+from repro.temporal.timeset import (
+    ALWAYS,
+    EMPTY,
+    TimeSet,
+    coalesce_intersection,
+    coalesce_union,
+)
+
+
+def ts(*ivals):
+    return TimeSet.of(ivals)
+
+
+T0 = day(1980, 1, 1)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert TimeSet.empty().is_empty()
+        assert not TimeSet.empty()
+        assert EMPTY.duration() == 0
+
+    def test_always(self):
+        assert TimeSet.always().is_always()
+        assert ALWAYS.intervals == ((TIME_MIN, TIME_MAX),)
+
+    def test_point(self):
+        p = TimeSet.point(T0)
+        assert p.duration() == 1
+        assert T0 in p
+        assert T0 + 1 not in p
+
+    def test_interval_with_now_defaults_to_domain_max(self):
+        t = TimeSet.interval(T0, NOW)
+        assert t.max() == TIME_MAX
+
+    def test_interval_with_now_and_reference(self):
+        ref = day(1999, 1, 1)
+        t = TimeSet.interval(T0, NOW, reference=ref)
+        assert t.max() == ref
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(TemporalError):
+            TimeSet.of([(T0, T0 - 1)])
+
+    def test_overlapping_intervals_coalesce(self):
+        t = ts((T0, T0 + 10), (T0 + 5, T0 + 20))
+        assert t.intervals == ((T0, T0 + 20),)
+
+    def test_adjacent_intervals_coalesce(self):
+        t = ts((T0, T0 + 10), (T0 + 11, T0 + 20))
+        assert t.intervals == ((T0, T0 + 20),)
+
+    def test_disjoint_intervals_stay_separate(self):
+        t = ts((T0, T0 + 10), (T0 + 12, T0 + 20))
+        assert len(t.intervals) == 2
+
+    def test_unordered_input_sorted(self):
+        t = ts((T0 + 100, T0 + 110), (T0, T0 + 10))
+        assert t.intervals[0][0] == T0
+
+
+class TestQueries:
+    def test_contains(self):
+        t = ts((T0, T0 + 10))
+        assert T0 in t and T0 + 10 in t
+        assert T0 - 1 not in t and T0 + 11 not in t
+
+    def test_now_membership_maps_to_domain_max(self):
+        assert NOW in ALWAYS
+        assert NOW not in ts((T0, T0 + 10))
+
+    def test_duration(self):
+        assert ts((T0, T0 + 9), (T0 + 20, T0 + 29)).duration() == 20
+
+    def test_min_max(self):
+        t = ts((T0, T0 + 9), (T0 + 20, T0 + 29))
+        assert t.min() == T0
+        assert t.max() == T0 + 29
+
+    def test_min_max_of_empty_raise(self):
+        with pytest.raises(TemporalError):
+            EMPTY.min()
+        with pytest.raises(TemporalError):
+            EMPTY.max()
+
+    def test_chronons_iteration(self):
+        t = ts((T0, T0 + 2), (T0 + 5, T0 + 5))
+        assert list(t.chronons()) == [T0, T0 + 1, T0 + 2, T0 + 5]
+
+    def test_sample_chronons(self):
+        t = ts((T0, T0 + 2), (T0 + 5, T0 + 5))
+        assert set(t.sample_chronons()) == {T0, T0 + 2, T0 + 5}
+
+
+class TestAlgebra:
+    def test_union(self):
+        a, b = ts((T0, T0 + 5)), ts((T0 + 10, T0 + 15))
+        assert (a | b).intervals == ((T0, T0 + 5), (T0 + 10, T0 + 15))
+
+    def test_union_coalesces(self):
+        a, b = ts((T0, T0 + 5)), ts((T0 + 6, T0 + 10))
+        assert (a | b).intervals == ((T0, T0 + 10),)
+
+    def test_intersection(self):
+        a, b = ts((T0, T0 + 10)), ts((T0 + 5, T0 + 20))
+        assert (a & b).intervals == ((T0 + 5, T0 + 10),)
+
+    def test_intersection_disjoint_is_empty(self):
+        a, b = ts((T0, T0 + 5)), ts((T0 + 10, T0 + 15))
+        assert (a & b).is_empty()
+
+    def test_difference_cuts_middle(self):
+        a, b = ts((T0, T0 + 10)), ts((T0 + 3, T0 + 6))
+        assert (a - b).intervals == ((T0, T0 + 2), (T0 + 7, T0 + 10))
+
+    def test_difference_total(self):
+        a = ts((T0, T0 + 10))
+        assert (a - a).is_empty()
+
+    def test_complement(self):
+        a = ts((T0, T0 + 10))
+        c = a.complement()
+        assert T0 not in c and T0 - 1 in c and T0 + 11 in c
+        assert (a | c).is_always()
+
+    def test_issubset(self):
+        assert ts((T0 + 2, T0 + 4)) <= ts((T0, T0 + 10))
+        assert not ts((T0, T0 + 20)) <= ts((T0, T0 + 10))
+        assert EMPTY <= EMPTY
+
+    def test_overlaps(self):
+        assert ts((T0, T0 + 5)).overlaps(ts((T0 + 5, T0 + 9)))
+        assert not ts((T0, T0 + 5)).overlaps(ts((T0 + 6, T0 + 9)))
+
+    def test_equality_and_hash(self):
+        assert ts((T0, T0 + 5)) == ts((T0, T0 + 5))
+        assert hash(ts((T0, T0 + 5))) == hash(ts((T0, T0 + 5)))
+        assert ts((T0, T0 + 5)) != ts((T0, T0 + 6))
+
+    def test_coalesce_union_helper(self):
+        total = coalesce_union([ts((T0, T0 + 1)), ts((T0 + 2, T0 + 3))])
+        assert total.intervals == ((T0, T0 + 3),)
+
+    def test_coalesce_intersection_helper(self):
+        sets = [ts((T0, T0 + 10)), ts((T0 + 5, T0 + 20)), ts((T0 + 5, T0 + 7))]
+        assert coalesce_intersection(sets).intervals == ((T0 + 5, T0 + 7),)
+
+    def test_coalesce_intersection_empty_family_is_always(self):
+        assert coalesce_intersection([]).is_always()

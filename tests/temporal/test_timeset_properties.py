@@ -1,0 +1,71 @@
+"""Property-based tests: TimeSet is a Boolean algebra of coalesced
+chronon sets (the paper's coalescing invariant holds by construction)."""
+
+from hypothesis import given, settings
+
+from tests.strategies import timesets
+
+
+@given(timesets(), timesets())
+def test_union_commutes(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(timesets(), timesets())
+def test_intersection_commutes(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(timesets(), timesets(), timesets())
+def test_union_associates(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(timesets(), timesets(), timesets())
+def test_intersection_distributes_over_union(a, b, c):
+    assert a.intersection(b.union(c)) == \
+        a.intersection(b).union(a.intersection(c))
+
+
+@given(timesets(), timesets())
+def test_difference_definition(a, b):
+    """a - b == a ∩ complement(b)."""
+    assert a.difference(b) == a.intersection(b.complement())
+
+
+@given(timesets())
+def test_double_complement(a):
+    assert a.complement().complement() == a
+
+
+@given(timesets(), timesets())
+def test_demorgan(a, b):
+    assert a.union(b).complement() == \
+        a.complement().intersection(b.complement())
+
+
+@given(timesets())
+def test_coalescing_invariant(a):
+    """Intervals are sorted, disjoint, and non-adjacent — the maximal
+    chronon set representation the paper requires."""
+    intervals = a.intervals
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s1 <= e1 and s2 <= e2
+        assert e1 + 1 < s2  # disjoint AND non-adjacent
+
+
+@given(timesets(), timesets())
+def test_duration_inclusion_exclusion(a, b):
+    assert (a.union(b).duration()
+            == a.duration() + b.duration() - a.intersection(b).duration())
+
+
+@given(timesets(), timesets())
+def test_subset_iff_intersection_identity(a, b):
+    assert a.issubset(b) == (a.intersection(b) == a)
+
+
+@given(timesets(), timesets())
+def test_difference_then_union_restores(a, b):
+    """(a - b) ∪ (a ∩ b) == a."""
+    assert a.difference(b).union(a.intersection(b)) == a

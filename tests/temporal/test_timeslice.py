@@ -1,0 +1,107 @@
+"""Tests for the valid-/transaction-timeslice operators (paper §4.2)."""
+
+import pytest
+
+from repro.algebra import validate_closed
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.errors import TemporalError
+from repro.core.mo import TimeKind
+from repro.temporal.chronon import day
+from repro.temporal.timeslice import (
+    timeslice_dimension,
+    transaction_timeslice,
+    valid_timeslice,
+)
+
+
+class TestValidTimeslice:
+    def test_result_is_snapshot(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1985, 1, 1))
+        assert snap.kind is TimeKind.SNAPSHOT
+
+    def test_rejects_snapshot_input(self, snapshot_mo):
+        with pytest.raises(TemporalError):
+            valid_timeslice(snapshot_mo, day(1985, 1, 1))
+
+    def test_slice_keeps_fact_set(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1975, 6, 1))
+        assert snap.facts == valid_time_mo.facts
+
+    def test_slice_1975_shows_old_classification(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1975, 6, 1))
+        diag = snap.dimension("Diagnosis")
+        assert diagnosis_value(3) in diag      # P11, valid in the 70s
+        assert diagnosis_value(9) not in diag  # E10, valid from 1980
+
+    def test_slice_1985_shows_new_classification(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1985, 6, 1))
+        diag = snap.dimension("Diagnosis")
+        assert diagnosis_value(9) in diag
+        assert diagnosis_value(3) not in diag
+
+    def test_slice_restricts_fact_dimension_pairs(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1975, 6, 1))
+        pairs = {(f.fid, v.sid)
+                 for f, v in snap.relation("Diagnosis").pairs()
+                 if not v.is_top}
+        assert pairs == {(2, 3), (2, 8)}
+
+    def test_uncharacterized_fact_maps_to_top(self, valid_time_mo):
+        # patient 1's only diagnosis starts in 1989
+        snap = valid_timeslice(valid_time_mo, day(1975, 6, 1))
+        values = snap.relation("Diagnosis").values_of(patient_fact(1))
+        assert values == {snap.dimension("Diagnosis").top_value}
+
+    def test_slice_restricts_order(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1975, 6, 1))
+        diag = snap.dimension("Diagnosis")
+        assert diag.leq(diagnosis_value(3), diagnosis_value(7))
+        snap85 = valid_timeslice(valid_time_mo, day(1985, 6, 1))
+        diag85 = snap85.dimension("Diagnosis")
+        assert diag85.leq(diagnosis_value(9), diagnosis_value(11))
+
+    def test_slice_restricts_representations(self, valid_time_mo):
+        snap = valid_timeslice(valid_time_mo, day(1975, 6, 1))
+        code = snap.dimension("Diagnosis").representation(
+            "Diagnosis Family", "Code")
+        assert code.of(diagnosis_value(8)) == "D1"
+
+    def test_slice_result_is_closed(self, valid_time_mo):
+        for year in (1972, 1981, 1995):
+            snap = valid_timeslice(valid_time_mo, day(year, 6, 1))
+            assert validate_closed(snap).ok
+
+    def test_example_10_link_only_after_1980(self, valid_time_mo_ex10):
+        before = valid_timeslice(valid_time_mo_ex10, day(1979, 6, 1))
+        assert not before.dimension("Diagnosis").leq(
+            diagnosis_value(8), diagnosis_value(11))
+        # 8 itself is only a member through 1979, so the cross-change
+        # link lives on the *order*, queried on the unsliced dimension:
+        diag = valid_time_mo_ex10.dimension("Diagnosis")
+        assert diag.leq(diagnosis_value(8), diagnosis_value(11),
+                        at=day(1985, 1, 1))
+
+
+class TestTransactionTimeslice:
+    def test_requires_transaction_kind(self, valid_time_mo):
+        with pytest.raises(TemporalError):
+            transaction_timeslice(valid_time_mo, day(1985, 1, 1))
+
+    def test_works_on_transaction_mo(self, valid_time_mo):
+        txn = valid_time_mo.with_kind(TimeKind.TRANSACTION)
+        snap = transaction_timeslice(txn, day(1985, 1, 1))
+        assert snap.kind is TimeKind.SNAPSHOT
+
+
+class TestTimesliceDimension:
+    def test_membership_respected(self, valid_time_mo):
+        diag = valid_time_mo.dimension("Diagnosis")
+        sliced = timeslice_dimension(diag, day(1975, 1, 1))
+        assert diagnosis_value(8) in sliced
+        assert diagnosis_value(9) not in sliced
+
+    def test_result_untimed(self, valid_time_mo):
+        diag = valid_time_mo.dimension("Diagnosis")
+        sliced = timeslice_dimension(diag, day(1975, 1, 1))
+        time = sliced.existence_time(diagnosis_value(8))
+        assert time.is_always()

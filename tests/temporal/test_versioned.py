@@ -1,0 +1,72 @@
+"""Tests for the bitemporal versioned store."""
+
+import pytest
+
+from repro.casestudy import case_study_mo, diagnosis_value
+from repro.core.errors import TemporalError
+from repro.core.mo import TimeKind
+from repro.temporal.chronon import day
+from repro.temporal.versioned import VersionedMOStore
+
+
+@pytest.fixture()
+def store():
+    s = VersionedMOStore()
+    s.commit(case_study_mo(temporal=True), at=day(1990, 1, 1))
+    s.commit(case_study_mo(temporal=True, include_example10_link=True),
+             at=day(1992, 1, 1))
+    return s
+
+
+class TestCommit:
+    def test_versions_accumulate(self, store):
+        assert len(store) == 2
+
+    def test_previous_version_closed(self, store):
+        first = store.versions[0]
+        assert day(1991, 12, 31) in first.transaction_time
+        assert day(1992, 1, 1) not in first.transaction_time
+
+    def test_rejects_snapshot_mo(self):
+        s = VersionedMOStore()
+        with pytest.raises(TemporalError):
+            s.commit(case_study_mo(temporal=False), at=day(1990, 1, 1))
+
+    def test_rejects_out_of_order_commit(self, store):
+        with pytest.raises(TemporalError):
+            store.commit(case_study_mo(temporal=True), at=day(1991, 1, 1))
+
+
+class TestSlicing:
+    def test_transaction_timeslice_picks_version(self, store):
+        old = store.transaction_timeslice(day(1991, 1, 1))
+        new = store.transaction_timeslice(day(1995, 1, 1))
+        v8, v11 = diagnosis_value(8), diagnosis_value(11)
+        assert not old.dimension("Diagnosis").leq(v8, v11,
+                                                  at=day(1985, 1, 1))
+        assert new.dimension("Diagnosis").leq(v8, v11, at=day(1985, 1, 1))
+
+    def test_transaction_timeslice_before_first_commit_raises(self, store):
+        with pytest.raises(TemporalError):
+            store.transaction_timeslice(day(1980, 1, 1))
+
+    def test_current(self, store):
+        assert store.current() is store.versions[-1].mo
+
+    def test_current_of_empty_store_raises(self):
+        with pytest.raises(TemporalError):
+            VersionedMOStore().current()
+
+    def test_full_bitemporal_snapshot(self, store):
+        snap = store.snapshot(day(1995, 1, 1), day(1975, 6, 1))
+        assert snap.kind is TimeKind.SNAPSHOT
+        pairs = {(f.fid, v.sid)
+                 for f, v in snap.relation("Diagnosis").pairs()
+                 if not v.is_top}
+        assert pairs == {(2, 3), (2, 8)}
+
+    def test_valid_timeslice_history(self, store):
+        history = store.valid_timeslice_history(day(1975, 6, 1))
+        assert len(history) == 2
+        for version in history:
+            assert version.mo.kind is TimeKind.SNAPSHOT

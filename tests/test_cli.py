@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        for command in ("table1", "table2", "figure1", "figure2",
+                        "figure3", "probes", "demo"):
+            args = build_parser().parse_args([command])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Patient Table" in out and "John Doe" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Lehner" in out and "this paper" in out
+
+    def test_table2_verified(self, capsys):
+        assert main(["table2", "--verify"]) == 0
+        assert "√" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "Relationships" in capsys.readouterr().out
+        assert main(["figure2"]) == 0
+        assert "Diagnosis:" in capsys.readouterr().out
+        assert main(["figure3"]) == 0
+        assert "Set-of-Patient" in capsys.readouterr().out
+
+    def test_probes(self, capsys):
+        assert main(["probes"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[PASS]") == 9
+
+    def test_timeslice(self, capsys):
+        assert main(["timeslice", "--date", "01/06/75"]) == 0
+        out = capsys.readouterr().out
+        assert "D1" in out  # patient 2's old Diabetes code
+
+    def test_timeslice_rejects_now(self, capsys):
+        assert main(["timeslice", "--date", "NOW"]) == 2
+
+    def test_export_stdout(self, capsys):
+        assert main(["export"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["fact_type"] == "Patient"
+
+    def test_export_file(self, tmp_path, capsys):
+        target = tmp_path / "mo.json"
+        assert main(["export", "--temporal", "--out", str(target)]) == 0
+        from repro.io import loads
+
+        mo = loads(target.read_text())
+        mo.validate()
+        assert len(mo.facts) == 2
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--patients", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Generated 30 patients" in out
+        assert "\\" in out  # the pivot header

@@ -1,0 +1,139 @@
+"""Cross-module integration scenarios: full pipelines a downstream
+user would run, checked end to end."""
+
+import pytest
+
+from repro.algebra import (
+    SetCount,
+    Sum,
+    aggregate,
+    characterized_by,
+    select,
+    sql_aggregation,
+    validate_closed,
+)
+from repro.casestudy.icd import IcdShape
+from repro.core.helpers import make_result_spec
+from repro.engine import (
+    Base,
+    PreAggregateStore,
+    ProjectNode,
+    Query,
+    SelectNode,
+    evaluate,
+    group_count_series,
+    optimize,
+)
+from repro.io import dumps, loads
+from repro.relational import export_star, import_star
+from repro.temporal.chronon import day
+from repro.temporal.timeslice import valid_timeslice
+from repro.workloads import ClinicalConfig, generate_clinical
+
+
+@pytest.fixture(scope="module")
+def temporal_workload():
+    return generate_clinical(ClinicalConfig(
+        n_patients=80, temporal=True,
+        icd=IcdShape(n_groups=3, families_per_group=(2, 3),
+                     lowlevels_per_family=(2, 3), two_eras=True),
+        seed=321))
+
+
+class TestTemporalPipeline:
+    def test_slice_then_aggregate_equals_aggregate_at(self,
+                                                      temporal_workload):
+        """τ_v followed by snapshot α gives the same group members as
+        α evaluated at the chronon — the snapshot-reducibility of
+        aggregate formation."""
+        mo = temporal_workload.mo
+        t = day(1985, 6, 1)
+        sliced = valid_timeslice(mo, t)
+        agg_sliced = aggregate(sliced, SetCount(),
+                               {"Diagnosis": "Diagnosis Group"},
+                               make_result_spec(), strict_types=False)
+        agg_at = aggregate(mo, SetCount(),
+                           {"Diagnosis": "Diagnosis Group"},
+                           make_result_spec(), strict_types=False, at=t)
+
+        def groups(agg):
+            return {
+                (value, frozenset(m.fid for m in fact.members))
+                for fact, value in agg.relation("Diagnosis").pairs()
+                if not value.is_top
+            }
+
+        assert groups(agg_sliced) == groups(agg_at)
+
+    def test_series_consistent_with_slices(self, temporal_workload):
+        mo = temporal_workload.mo
+        instants = [day(1975, 6, 1), day(1985, 6, 1)]
+        series = group_count_series(mo, "Diagnosis", "Diagnosis Group",
+                                    instants)
+        for index, t in enumerate(instants):
+            sliced = valid_timeslice(mo, t)
+            relation = sliced.relation("Diagnosis")
+            dimension = sliced.dimension("Diagnosis")
+            for value, counts in series.items():
+                if value not in dimension:
+                    assert counts[index] == 0
+                    continue
+                direct = len(relation.facts_characterized_by(value,
+                                                             dimension))
+                assert counts[index] == direct
+
+
+class TestPersistencePipeline:
+    def test_json_then_query(self, small_clinical):
+        restored = loads(dumps(small_clinical.mo))
+        original_rows = Query(small_clinical.mo).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        restored_rows = Query(restored).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        assert [(g["Diagnosis"].sid, v) for g, v in original_rows] == \
+            [(g["Diagnosis"].sid, v) for g, v in restored_rows]
+
+    def test_star_then_aggregate(self, small_clinical):
+        restored = import_star(export_star(small_clinical.mo),
+                               small_clinical.mo)
+        a = sql_aggregation(small_clinical.mo, SetCount(),
+                            {"Diagnosis": "Diagnosis Group"},
+                            strict_types=False)
+        b = sql_aggregation(restored, SetCount(),
+                            {"Diagnosis": "Diagnosis Group"},
+                            strict_types=False)
+        assert a == b
+
+
+class TestEnginePipeline:
+    def test_optimized_plan_feeds_aggregation(self, strict_clinical):
+        mo = strict_clinical.mo
+        group = strict_clinical.icd.groups[0]
+        plan = SelectNode(
+            ProjectNode(Base(mo), ("Diagnosis", "Age")),
+            characterized_by("Diagnosis", group))
+        diced = evaluate(optimize(plan))
+        assert validate_closed(diced).ok
+        agg = aggregate(diced, Sum("Age"),
+                        {"Diagnosis": "Diagnosis Group"},
+                        make_result_spec(), strict_types=False)
+        manual = select(mo, characterized_by("Diagnosis", group))
+        expected = Sum("Age").apply(manual.facts, manual)
+        total = sum(
+            next(iter(agg.relation("Result").values_of(f))).sid
+            for f in agg.facts
+        )
+        assert total == expected
+
+    def test_store_query_algebra_agree(self, strict_clinical):
+        mo = strict_clinical.mo
+        store = PreAggregateStore(mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
+        via_store = Query(mo, store=store).rollup(
+            "Diagnosis", "Diagnosis Group").counts()
+        via_algebra = sql_aggregation(mo, SetCount(),
+                                      {"Diagnosis": "Diagnosis Group"},
+                                      strict_types=False)
+        a = sorted((g["Diagnosis"].sid, v) for g, v in via_store)
+        b = sorted((r["Diagnosis"], r["SetCount"]) for r in via_algebra)
+        assert a == b

@@ -1,0 +1,16 @@
+"""The tutorial's code blocks must keep running as shown."""
+
+import pathlib
+import re
+
+TUTORIAL = (pathlib.Path(__file__).resolve().parent.parent
+            / "docs" / "TUTORIAL.md")
+
+
+def test_tutorial_blocks_execute():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 4
+    namespace = {}
+    for block in blocks:
+        exec(block, namespace)  # shared namespace, like a REPL session

@@ -1,0 +1,82 @@
+"""§3.3: "the probabilities are also handled by the algebra" — the
+fundamental operators must carry the annotations through unchanged."""
+
+import pytest
+
+from repro.algebra import (
+    JoinPredicate,
+    SetCount,
+    aggregate,
+    characterized_by,
+    identity_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.helpers import make_result_spec
+from repro.core.values import Fact
+
+
+@pytest.fixture()
+def uncertain_mo():
+    mo = case_study_mo(temporal=False)
+    mo.relate(patient_fact(1), "Diagnosis", diagnosis_value(10), prob=0.9)
+    return mo
+
+
+def _prob(mo, fact, value):
+    annotations = mo.relation("Diagnosis").annotations(fact, value)
+    return max((p for _, p in annotations), default=None)
+
+
+class TestPropagation:
+    def test_selection_preserves_probabilities(self, uncertain_mo):
+        result = select(uncertain_mo,
+                        characterized_by("Diagnosis", diagnosis_value(11)))
+        assert _prob(result, patient_fact(1), diagnosis_value(10)) == \
+            pytest.approx(0.9)
+
+    def test_projection_preserves_probabilities(self, uncertain_mo):
+        result = project(uncertain_mo, ["Diagnosis"])
+        assert _prob(result, patient_fact(1), diagnosis_value(10)) == \
+            pytest.approx(0.9)
+
+    def test_rename_preserves_probabilities(self, uncertain_mo):
+        result = rename(uncertain_mo, dimension_map={"Diagnosis": "Dx"})
+        annotations = result.relation("Dx").annotations(
+            patient_fact(1), diagnosis_value(10))
+        assert any(abs(p - 0.9) < 1e-12 for _, p in annotations)
+
+    def test_union_keeps_distinct_probabilities(self, uncertain_mo,
+                                                snapshot_mo):
+        merged = union(uncertain_mo, snapshot_mo)
+        assert _prob(merged, patient_fact(1), diagnosis_value(10)) == \
+            pytest.approx(0.9)
+        # certain pairs stay certain
+        assert _prob(merged, patient_fact(2), diagnosis_value(8)) == 1.0
+
+    def test_join_inherits_probabilities(self, uncertain_mo):
+        left = project(uncertain_mo, ["Diagnosis"])
+        right = rename(project(uncertain_mo, ["Age"]),
+                       dimension_map={"Age": "Years"})
+        joined = identity_join(left, right, JoinPredicate.EQUAL)
+        pair = Fact(fid=(1, 1), ftype="(Patient,Patient)")
+        annotations = joined.relation("Diagnosis").annotations(
+            pair, diagnosis_value(10))
+        assert any(abs(p - 0.9) < 1e-12 for _, p in annotations)
+
+    def test_aggregate_groups_by_possible_characterization(
+            self, uncertain_mo):
+        """α's grouping uses ⇝ with positive probability: the uncertain
+        E11 link pulls patient 1 into group 11 regardless (certain via
+        9) and does not create spurious groups."""
+        agg = aggregate(uncertain_mo, SetCount(),
+                        {"Diagnosis": "Diagnosis Group"},
+                        make_result_spec())
+        counts = {
+            v.sid: len(f.members)
+            for f, v in agg.relation("Diagnosis").pairs()
+        }
+        assert counts == {11: 2, 12: 1}

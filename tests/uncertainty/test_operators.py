@@ -1,0 +1,76 @@
+"""Tests for probability-aware operations."""
+
+import pytest
+
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.uncertainty import (
+    possible_worlds_count,
+    probabilistic_rollup,
+    select_with_certainty,
+)
+
+
+@pytest.fixture()
+def uncertain_mo():
+    mo = case_study_mo(temporal=False)
+    mo.relate(patient_fact(1), "Diagnosis", diagnosis_value(10), prob=0.9)
+    return mo
+
+
+class TestSelectWithCertainty:
+    def test_threshold_excludes(self, uncertain_mo):
+        strict = select_with_certainty(uncertain_mo, "Diagnosis",
+                                       diagnosis_value(10), 0.95)
+        assert strict.facts == set()
+
+    def test_threshold_includes(self, uncertain_mo):
+        loose = select_with_certainty(uncertain_mo, "Diagnosis",
+                                      diagnosis_value(10), 0.5)
+        assert {f.fid for f in loose.facts} == {1}
+
+    def test_certain_data_always_included(self, uncertain_mo):
+        result = select_with_certainty(uncertain_mo, "Diagnosis",
+                                       diagnosis_value(11), 1.0)
+        assert {f.fid for f in result.facts} == {1, 2}
+
+
+class TestProbabilisticRollup:
+    def test_expected_counts(self, uncertain_mo):
+        rows = dict(
+            (v.sid, e) for v, e in probabilistic_rollup(
+                uncertain_mo, "Diagnosis", "Diagnosis Group"))
+        assert rows[11] == pytest.approx(2.0)
+        assert rows[12] == pytest.approx(1.0)
+
+    def test_matches_crisp_on_certain_mo(self, snapshot_mo):
+        rows = dict(
+            (v.sid, e) for v, e in probabilistic_rollup(
+                snapshot_mo, "Diagnosis", "Diagnosis Group"))
+        assert rows == {11: 2.0, 12: 1.0}
+
+
+class TestPossibleWorlds:
+    def test_distribution_sums_to_one(self, uncertain_mo):
+        dist = possible_worlds_count(uncertain_mo, "Diagnosis",
+                                     diagnosis_value(10))
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_distribution_values(self, uncertain_mo):
+        dist = possible_worlds_count(uncertain_mo, "Diagnosis",
+                                     diagnosis_value(10))
+        assert dist[1] == pytest.approx(0.9)
+        assert dist[0] == pytest.approx(0.1)
+
+    def test_mean_equals_expected_count(self, uncertain_mo):
+        from repro.uncertainty import expected_count
+
+        dist = possible_worlds_count(uncertain_mo, "Diagnosis",
+                                     diagnosis_value(11))
+        mean = sum(k * p for k, p in dist.items())
+        assert mean == pytest.approx(
+            expected_count(uncertain_mo, "Diagnosis", diagnosis_value(11)))
+
+    def test_certain_mo_point_mass(self, snapshot_mo):
+        dist = possible_worlds_count(snapshot_mo, "Diagnosis",
+                                     diagnosis_value(11))
+        assert dist == {2: pytest.approx(1.0)}

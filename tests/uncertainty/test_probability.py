@@ -1,0 +1,129 @@
+"""Tests for the uncertainty extension (§3.3)."""
+
+import pytest
+
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.errors import UncertaintyError
+from repro.uncertainty import (
+    certain_core,
+    characterization_probability,
+    expected_count,
+    expected_group_counts,
+    expected_sum,
+    is_certain,
+)
+
+
+@pytest.fixture()
+def uncertain_mo():
+    mo = case_study_mo(temporal=False)
+    mo.relate(patient_fact(1), "Diagnosis", diagnosis_value(10), prob=0.9)
+    return mo
+
+
+class TestIsCertain:
+    def test_base_case_study_certain(self, snapshot_mo):
+        assert is_certain(snapshot_mo)
+
+    def test_uncertain_pair_detected(self, uncertain_mo):
+        assert not is_certain(uncertain_mo)
+
+    def test_uncertain_order_edge_detected(self, snapshot_mo):
+        mo = case_study_mo(temporal=False)
+        mo.dimension("Diagnosis").add_edge(
+            diagnosis_value(6), diagnosis_value(9), prob=0.5)
+        assert not is_certain(mo)
+
+
+class TestCharacterizationProbability:
+    def test_certain_pair(self, snapshot_mo):
+        assert characterization_probability(
+            snapshot_mo, patient_fact(2), "Diagnosis",
+            diagnosis_value(8)) == 1.0
+
+    def test_uncertain_pair(self, uncertain_mo):
+        assert characterization_probability(
+            uncertain_mo, patient_fact(1), "Diagnosis",
+            diagnosis_value(10)) == pytest.approx(0.9)
+
+    def test_propagates_upward(self, uncertain_mo):
+        """P(1 ⇝ 11) combines the certain path through 9 with the
+        uncertain one through 10 by noisy-or: 1 - 0·0.1 = 1."""
+        assert characterization_probability(
+            uncertain_mo, patient_fact(1), "Diagnosis",
+            diagnosis_value(11)) == 1.0
+
+    def test_multiplies_along_path(self):
+        mo = case_study_mo(temporal=False)
+        # remove certainty: make patient 1's only link 60% certain
+        rel = mo.relation("Diagnosis")
+        rel.remove_fact(patient_fact(1))
+        rel.add(patient_fact(1), diagnosis_value(10), prob=0.6)
+        assert characterization_probability(
+            mo, patient_fact(1), "Diagnosis",
+            diagnosis_value(11)) == pytest.approx(0.6)
+
+    def test_absent_is_zero(self, snapshot_mo):
+        assert characterization_probability(
+            snapshot_mo, patient_fact(1), "Diagnosis",
+            diagnosis_value(12)) == 0.0
+
+
+class TestExpectedValues:
+    def test_expected_count(self, uncertain_mo):
+        assert expected_count(uncertain_mo, "Diagnosis",
+                              diagnosis_value(10)) == pytest.approx(0.9)
+
+    def test_expected_count_certain_matches_crisp(self, snapshot_mo):
+        assert expected_count(snapshot_mo, "Diagnosis",
+                              diagnosis_value(11)) == 2.0
+
+    def test_expected_group_counts(self, uncertain_mo):
+        counts = expected_group_counts(uncertain_mo, "Diagnosis",
+                                       "Diagnosis Group")
+        by_sid = {v.sid: c for v, c in counts.items()}
+        assert by_sid[11] == pytest.approx(2.0)
+        assert by_sid[12] == pytest.approx(1.0)
+
+    def test_expected_sum(self, uncertain_mo):
+        """Expected age-sum over patients with diagnosis 10: only
+        patient 1 (age 29) with probability 0.9."""
+        assert expected_sum(uncertain_mo, "Diagnosis", diagnosis_value(10),
+                            "Age") == pytest.approx(0.9 * 29)
+
+    def test_expected_sum_certain(self, snapshot_mo):
+        assert expected_sum(snapshot_mo, "Diagnosis", diagnosis_value(11),
+                            "Age") == pytest.approx(29 + 48)
+
+
+class TestCertainCore:
+    def test_drops_uncertain_pairs(self, uncertain_mo):
+        core = certain_core(uncertain_mo)
+        assert is_certain(core)
+        values = core.relation("Diagnosis").values_of(patient_fact(1))
+        assert diagnosis_value(10) not in values
+
+    def test_threshold(self, uncertain_mo):
+        loose = certain_core(uncertain_mo, threshold=0.8)
+        values = loose.relation("Diagnosis").values_of(patient_fact(1))
+        assert diagnosis_value(10) in values
+
+    def test_identity_on_certain_input(self, snapshot_mo):
+        core = certain_core(snapshot_mo)
+        for name in snapshot_mo.dimension_names:
+            assert set(core.relation(name).pairs()) == \
+                set(snapshot_mo.relation(name).pairs())
+
+    def test_orphaned_fact_gets_top(self):
+        mo = case_study_mo(temporal=False)
+        rel = mo.relation("Diagnosis")
+        rel.remove_fact(patient_fact(1))
+        rel.add(patient_fact(1), diagnosis_value(9), prob=0.5)
+        core = certain_core(mo)
+        core.validate()
+        values = core.relation("Diagnosis").values_of(patient_fact(1))
+        assert values == {mo.dimension("Diagnosis").top_value}
+
+    def test_invalid_threshold_rejected(self, uncertain_mo):
+        with pytest.raises(UncertaintyError):
+            certain_core(uncertain_mo, threshold=1.5)

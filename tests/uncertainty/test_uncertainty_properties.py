@@ -1,0 +1,66 @@
+"""Property tests: the probabilistic model degenerates to the certain
+one at p = 1, and expectations agree with world enumeration."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.uncertainty import (
+    certain_core,
+    expected_count,
+    is_certain,
+    possible_worlds_count,
+)
+from tests.strategies import small_mos
+
+_settings = settings(max_examples=30,
+                     suppress_health_check=[HealthCheck.too_slow],
+                     deadline=None)
+
+
+@_settings
+@given(small_mos())
+def test_certain_mos_are_recognized(mo):
+    assert is_certain(mo)
+
+
+@_settings
+@given(small_mos())
+def test_certain_core_is_identity_on_certain_mos(mo):
+    core = certain_core(mo)
+    for name in mo.dimension_names:
+        assert set(core.relation(name).pairs()) == \
+            set(mo.relation(name).pairs())
+
+
+@_settings
+@given(small_mos(probabilistic=True))
+def test_expected_count_matches_world_enumeration(mo):
+    name = mo.dimension_names[0]
+    dimension = mo.dimension(name)
+    for value in list(dimension.values())[:3]:
+        dist = possible_worlds_count(mo, name, value)
+        mean = sum(k * p for k, p in dist.items())
+        expected = expected_count(mo, name, value)
+        assert math.isclose(mean, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@_settings
+@given(small_mos(probabilistic=True))
+def test_expected_count_bounded_by_candidates(mo):
+    name = mo.dimension_names[0]
+    relation = mo.relation(name)
+    dimension = mo.dimension(name)
+    for value in list(dimension.values())[:3]:
+        candidates = relation.facts_characterized_by(value, dimension)
+        expected = expected_count(mo, name, value)
+        assert -1e-9 <= expected <= len(candidates) + 1e-9
+
+
+@_settings
+@given(small_mos(probabilistic=True))
+def test_certain_core_at_zero_threshold_keeps_all(mo):
+    core = certain_core(mo, threshold=0.0)
+    for name in mo.dimension_names:
+        assert set(mo.relation(name).pairs()) <= \
+            set(core.relation(name).pairs())

@@ -1,0 +1,88 @@
+"""Tests for the clinical workload generator."""
+
+import pytest
+
+from repro.algebra import validate_closed
+from repro.casestudy.icd import IcdShape
+from repro.core.mo import TimeKind
+from repro.uncertainty import is_certain
+from repro.workloads import ClinicalConfig, generate_clinical
+
+
+class TestShape:
+    def test_patient_count(self, small_clinical):
+        assert len(small_clinical.mo.facts) == 60
+        assert len(small_clinical.patients) == 60
+
+    def test_valid_mo(self, small_clinical):
+        small_clinical.mo.validate()
+        assert validate_closed(small_clinical.mo).ok
+
+    def test_dimensions(self, small_clinical):
+        assert set(small_clinical.mo.dimension_names) == \
+            {"Diagnosis", "Residence", "Age"}
+
+    def test_every_patient_diagnosed(self, small_clinical):
+        rel = small_clinical.mo.relation("Diagnosis")
+        assert rel.facts() == small_clinical.mo.facts
+
+    def test_residence_inventories(self, small_clinical):
+        config_areas = 3 * 3 * 4
+        assert len(small_clinical.areas) == config_areas
+        assert len(small_clinical.counties) == 9
+        assert len(small_clinical.regions) == 3
+
+    def test_deterministic(self):
+        config = ClinicalConfig(n_patients=20, seed=77)
+        a, b = generate_clinical(config), generate_clinical(config)
+        pairs_a = set(a.mo.relation("Diagnosis").pairs())
+        pairs_b = set(b.mo.relation("Diagnosis").pairs())
+        assert {(f.fid, v.sid) for f, v in pairs_a} == \
+            {(f.fid, v.sid) for f, v in pairs_b}
+
+    def test_seed_changes_output(self):
+        a = generate_clinical(ClinicalConfig(n_patients=20, seed=1))
+        b = generate_clinical(ClinicalConfig(n_patients=20, seed=2))
+        pa = {(f.fid, v.sid) for f, v in a.mo.relation("Diagnosis").pairs()}
+        pb = {(f.fid, v.sid) for f, v in b.mo.relation("Diagnosis").pairs()}
+        assert pa != pb
+
+
+class TestGranularityMix:
+    def test_family_level_links_present(self, small_clinical):
+        dim = small_clinical.mo.dimension("Diagnosis")
+        rel = small_clinical.mo.relation("Diagnosis")
+        categories = {
+            dim.category_name_of(v) for v in rel.values()
+        }
+        assert "Diagnosis Family" in categories
+        assert "Low-level Diagnosis" in categories
+
+    def test_zero_family_prob_all_low_level(self, strict_clinical):
+        dim = strict_clinical.mo.dimension("Diagnosis")
+        rel = strict_clinical.mo.relation("Diagnosis")
+        categories = {dim.category_name_of(v) for v in rel.values()}
+        assert categories == {"Low-level Diagnosis"}
+
+
+class TestTemporalAndUncertain:
+    def test_temporal_kind(self):
+        w = generate_clinical(ClinicalConfig(
+            n_patients=10, temporal=True,
+            icd=IcdShape(n_groups=2, families_per_group=(2, 2),
+                         lowlevels_per_family=(2, 2)), seed=3))
+        assert w.mo.kind is TimeKind.VALID
+        w.mo.validate()
+
+    def test_snapshot_kind(self, small_clinical):
+        assert small_clinical.mo.kind is TimeKind.SNAPSHOT
+
+    def test_uncertainty_injected(self):
+        w = generate_clinical(ClinicalConfig(
+            n_patients=40, uncertainty_prob=0.5,
+            icd=IcdShape(n_groups=2, families_per_group=(2, 2),
+                         lowlevels_per_family=(2, 2)), seed=3))
+        assert not is_certain(w.mo)
+
+    def test_zero_uncertainty_is_certain(self, small_clinical):
+        assert is_certain(small_clinical.mo)

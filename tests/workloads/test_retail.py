@@ -1,0 +1,51 @@
+"""Tests for the retail workload generator."""
+
+from repro.algebra import Sum, validate_closed
+from repro.core.properties import (
+    check_summarizability,
+    hierarchy_is_partitioning,
+    hierarchy_is_strict,
+)
+from repro.workloads import RetailConfig, generate_retail
+
+
+class TestRetailWorkload:
+    def test_valid_mo(self, small_retail):
+        small_retail.mo.validate()
+        assert validate_closed(small_retail.mo).ok
+
+    def test_dimensions(self, small_retail):
+        assert set(small_retail.mo.dimension_names) == \
+            {"Product", "Customer", "Date", "Amount", "Price"}
+
+    def test_counts(self, small_retail):
+        assert len(small_retail.mo.facts) == 120
+        config = RetailConfig()
+        assert len(small_retail.products) == (
+            config.n_departments * config.categories_per_department
+            * config.products_per_category)
+
+    def test_hierarchies_strict_partitioning(self, small_retail):
+        """Retail hierarchies are the classical strict case — the foil
+        to the clinical non-strict ones."""
+        for name in ("Product", "Customer", "Date"):
+            dim = small_retail.mo.dimension(name)
+            assert hierarchy_is_strict(dim)
+            assert hierarchy_is_partitioning(dim)
+
+    def test_revenue_summarizable(self, small_retail):
+        verdict = check_summarizability(
+            small_retail.mo, {"Product": "Category"},
+            function_distributive=True)
+        assert verdict.summarizable
+
+    def test_measures_numeric(self, small_retail):
+        total = Sum("Price").apply(small_retail.mo.facts, small_retail.mo)
+        assert total > 0
+
+    def test_deterministic(self):
+        config = RetailConfig(n_purchases=30, seed=9)
+        a, b = generate_retail(config), generate_retail(config)
+        pa = {(f.fid, v.sid) for f, v in a.mo.relation("Product").pairs()}
+        pb = {(f.fid, v.sid) for f, v in b.mo.relation("Product").pairs()}
+        assert pa == pb
