@@ -95,8 +95,10 @@ def _grouping_values_per_fact(
     dimension_name: str,
     category_name: str,
     at: Optional[Chronon],
-) -> Dict[Fact, Set[DimensionValue]]:
-    """For each fact, the grouping-category values characterizing it.
+    use_index: bool = True,
+) -> Dict[Fact, List[DimensionValue]]:
+    """For each fact, the grouping-category values characterizing it,
+    deterministically ordered by interned value id.
 
     Grouping at the ⊤ category is the trivial grouping: *every* fact is
     characterized by ⊤ — including, at a chronon, facts whose pairs in
@@ -104,17 +106,121 @@ def _grouping_values_per_fact(
     characterize within this dimension" marker, exactly what a
     valid-timeslice inserts for such facts).  This keeps α(…, at=t)
     consistent with α after τ_v(…, t).
+
+    The indexed path answers from the MO's rollup index (one inverted
+    closure lookup per category); ``use_index=False`` keeps the naive
+    per-value traversal — the oracle the equivalence tests compare
+    against.
     """
+    if use_index:
+        return mo.rollup_index().grouping_values_per_fact(
+            dimension_name, category_name, at=at)
     dimension = mo.dimension(dimension_name)
     if category_name == dimension.dtype.top_name:
         top = dimension.top_value
-        return {fact: {top} for fact in mo.facts}
+        return {fact: [top] for fact in mo.facts}
     relation = mo.relation(dimension_name)
     out: Dict[Fact, Set[DimensionValue]] = {}
     for value in dimension.category(category_name).members(at=at):
         for fact in relation.facts_characterized_by(value, dimension, at=at):
             out.setdefault(fact, set()).add(value)
-    return out
+    # the pre-index ordering (repr-sort per fact), kept verbatim so this
+    # path stays a faithful oracle of the original behavior; it never
+    # touches the rollup index
+    return {
+        fact: sorted(values, key=repr)
+        for fact, values in out.items()
+    }
+
+
+def _form_groups(
+    mo: MultidimensionalObject,
+    full_grouping: Dict[str, str],
+    dim_order: List[str],
+    at: Optional[Chronon],
+    use_index: bool,
+) -> Dict[Tuple[DimensionValue, ...], Set[Fact]]:
+    """Group formation on value/fact objects (the temporal and naive
+    paths).  Per-fact value lists arrive deterministically ordered
+    (id-sorted on the indexed path, repr-sorted on the naive oracle), so
+    combination order needs no re-sorting."""
+    per_dim_values: Dict[str, Dict[Fact, List[DimensionValue]]] = {
+        name: _grouping_values_per_fact(mo, name, cat, at,
+                                        use_index=use_index)
+        for name, cat in full_grouping.items()
+    }
+    groups: Dict[Tuple[DimensionValue, ...], Set[Fact]] = {}
+    for fact in mo.facts:
+        value_sets = []
+        for name in dim_order:
+            values = per_dim_values[name].get(fact)
+            if not values:
+                break  # not characterized at this granularity: in no group
+            value_sets.append(values)
+        else:
+            for combo in product(*value_sets):
+                groups.setdefault(tuple(combo), set()).add(fact)
+    return groups
+
+
+def _form_groups_interned(
+    mo: MultidimensionalObject,
+    full_grouping: Dict[str, str],
+    dim_order: List[str],
+) -> Dict[Tuple[DimensionValue, ...], Set[Fact]]:
+    """Group formation on interned ids (the untimed indexed path).
+
+    The per-fact combination loop — the hot loop of α over large MOs —
+    touches only dense integers: fact ids, value-id tuples, and int-tuple
+    group keys.  Each distinct combination is converted back to value
+    objects once, and each group's fact ids are materialized once, so
+    value/fact hashing drops out of the per-fact work entirely.
+    """
+    index = mo.rollup_index()
+    id_maps: Dict[str, Optional[Dict[int, Tuple[int, ...]]]] = {}
+    top_vids: Dict[str, Tuple[int, ...]] = {}
+    for name, cat in full_grouping.items():
+        dimension = mo.dimension(name)
+        if cat == dimension.dtype.top_name:
+            # trivial grouping: every fact maps to ⊤, no per-fact table
+            id_maps[name] = None
+            top_vids[name] = (index.value_id(name, dimension.top_value),)
+        else:
+            id_maps[name] = index.grouping_value_ids_per_fact(name, cat)
+    nontrivial_maps = [m for m in id_maps.values() if m is not None]
+    if not nontrivial_maps:
+        # every dimension grouped at ⊤: one group holding every fact
+        if not mo.facts:
+            return {}
+        top_combo = tuple(
+            mo.dimension(name).top_value for name in dim_order)
+        return {top_combo: set(mo.facts)}
+    # only facts present in every non-trivial map land in a group, so
+    # iterating the smallest map's keys visits no fact object at all;
+    # the id-level F membership check keeps α grouping exactly the MO's
+    # facts even if a relation mentions strays
+    candidates = min(nontrivial_maps, key=len)
+    mo_fact_ids = index.mo_fact_ids()
+    group_ids: Dict[Tuple[int, ...], List[int]] = {}
+    for fact_id in candidates:
+        if fact_id not in mo_fact_ids:
+            continue
+        vid_sets = []
+        for name in dim_order:
+            id_map = id_maps[name]
+            vids = top_vids[name] if id_map is None else id_map.get(fact_id)
+            if not vids:
+                break  # not characterized at this granularity: in no group
+            vid_sets.append(vids)
+        else:
+            for combo in product(*vid_sets):
+                group_ids.setdefault(combo, []).append(fact_id)
+    return {
+        tuple(index.value_of(name, vid)
+              for name, vid in zip(dim_order, combo)):
+        set(index.facts_of_ids(fact_ids))
+        for combo, fact_ids in group_ids.items()
+    }
 
 
 def aggregate(
@@ -124,6 +230,7 @@ def aggregate(
     result: ResultSpec,
     strict_types: bool = True,
     at: Optional[Chronon] = None,
+    use_index: bool = True,
 ) -> MultidimensionalObject:
     """Apply ``α[result, function, grouping]`` to ``mo``.
 
@@ -136,6 +243,9 @@ def aggregate(
     ``at`` evaluates the grouping at one chronon (used by temporal
     analysis so each fact is counted at a single point in time, which
     extends summarizability to snapshot-strict/partitioning hierarchies).
+    ``use_index=False`` forces the naive per-value traversal for group
+    formation instead of the MO's rollup index — the reference path the
+    equivalence tests and benchmarks compare against.
     """
     for name in grouping:
         if name not in mo.schema:
@@ -160,30 +270,25 @@ def aggregate(
         )
 
     # -- form the groups ---------------------------------------------------
-    per_dim_values: Dict[str, Dict[Fact, Set[DimensionValue]]] = {
-        name: _grouping_values_per_fact(mo, name, cat, at)
-        for name, cat in full_grouping.items()
-    }
-    groups: Dict[Tuple[DimensionValue, ...], Set[Fact]] = {}
     dim_order = list(mo.dimension_names)
-    for fact in mo.facts:
-        value_sets = []
-        for name in dim_order:
-            values = per_dim_values[name].get(fact)
-            if not values:
-                break  # not characterized at this granularity: in no group
-            value_sets.append(sorted(values, key=repr))
-        else:
-            for combo in product(*value_sets):
-                groups.setdefault(tuple(combo), set()).add(fact)
+    if use_index and at is None:
+        groups = _form_groups_interned(mo, full_grouping, dim_order)
+    else:
+        groups = _form_groups(mo, full_grouping, dim_order, at, use_index)
 
     # -- summarizability and the aggregation-type propagation rule ----------
     nontrivial = {
         name: cat for name, cat in full_grouping.items()
         if cat != mo.dimension(name).dtype.top_name
     }
-    summarizability = check_summarizability(
-        mo, nontrivial, function.distributive, at=at)
+    if use_index:
+        # version-keyed verdict cache: the check re-scans hierarchies and
+        # base mappings, which dominates repeated aggregate formations
+        summarizability = mo.rollup_index().summarizability(
+            nontrivial, function.distributive, at=at)
+    else:
+        summarizability = check_summarizability(
+            mo, nontrivial, function.distributive, at=at)
     if summarizability.summarizable:
         bottom_aggtype = min_aggtype(
             mo.dimension(d).dtype.bottom.aggtype for d in function.args

@@ -100,16 +100,16 @@ def sql_aggregation(
     """
     if strict_types:
         function.check_applicable(mo, strict=True)
+    index = mo.rollup_index()
     per_dim: List[Dict] = []
     names = sorted(grouping)
     for name in names:
-        dimension = mo.dimension(name)
-        relation = mo.relation(name)
-        value_map: Dict[object, set] = {}
-        for value in dimension.category(grouping[name]).members():
-            facts = relation.facts_characterized_by(value, dimension)
-            if facts:
-                value_map[value] = facts
+        value_map = {
+            value: facts
+            for value, facts in index.characterization_map(
+                name, grouping[name]).items()
+            if facts
+        }
         per_dim.append(value_map)
     rows: List[Dict[str, object]] = []
 

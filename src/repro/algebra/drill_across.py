@@ -20,7 +20,6 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro._errors import AlgebraError, SchemaError
 from repro.algebra.functions import AggregationFunction, SetCount
 from repro.core.mo import MOFamily, MultidimensionalObject
-from repro.core.values import DimensionValue
 
 __all__ = ["drill_across", "drill_across_family"]
 
@@ -37,10 +36,12 @@ def _grouped_results(
             f"dimension {dimension_name!r} has no category "
             f"{category_name!r}"
         )
-    relation = mo.relation(dimension_name)
+    # one closure-table lookup per value via the MO's rollup index,
+    # instead of one hierarchy walk per value
+    char_map = mo.rollup_index().characterization_map(
+        dimension_name, category_name)
     out: Dict[Hashable, object] = {}
-    for value in dimension.category(category_name).members():
-        facts = relation.facts_characterized_by(value, dimension)
+    for value, facts in char_map.items():
         if facts:
             out[value.sid] = function.apply(facts, mo)
     return out

@@ -19,6 +19,7 @@ from repro.core.errors import (
     UncertaintyError,
 )
 from repro.core.factdim import FactDimensionRelation
+from repro.core.interning import InternTable
 from repro.core.helpers import (
     Band,
     ResultSpec,
@@ -62,6 +63,7 @@ __all__ = [
     "TemporalError",
     "UncertaintyError",
     "FactDimensionRelation",
+    "InternTable",
     "Band",
     "ResultSpec",
     "make_linear_dimension",

@@ -40,11 +40,26 @@ class FactDimensionRelation:
         self._entries: Dict[Pair, List[Annotation]] = {}
         self._by_fact: Dict[Fact, Set[DimensionValue]] = {}
         self._by_value: Dict[DimensionValue, Set[Fact]] = {}
+        self._version = 0
 
     @property
     def dimension_name(self) -> str:
         """Name of the dimension this relation characterizes facts in."""
         return self._dimension_name
+
+    @property
+    def version(self) -> int:
+        """A mutation counter: bumped on every effective :meth:`add` /
+        :meth:`remove_fact`.  The rollup index compares it to the version
+        captured at build time to invalidate stale closures lazily.
+
+        Derived relations (:meth:`union`, :meth:`restricted_to_facts`,
+        :meth:`copy`) are fresh objects whose counters start over — they
+        never inherit this relation's counter, so an index keyed on
+        ``(relation identity, version)`` can never confuse a copy with
+        its source and observe a stale closure through it.
+        """
+        return self._version
 
     # -- population -------------------------------------------------------
 
@@ -74,16 +89,20 @@ class FactDimensionRelation:
             annotations.append((time, prob))
         self._by_fact.setdefault(fact, set()).add(value)
         self._by_value.setdefault(value, set()).add(fact)
+        self._version += 1
 
     def remove_fact(self, fact: Fact) -> None:
         """Drop every pair involving ``fact``."""
-        for value in self._by_fact.pop(fact, set()):
+        removed = self._by_fact.pop(fact, set())
+        for value in removed:
             self._entries.pop((fact, value), None)
             facts = self._by_value.get(value)
             if facts is not None:
                 facts.discard(fact)
                 if not facts:
                     del self._by_value[value]
+        if removed:
+            self._version += 1
 
     # -- base-pair queries --------------------------------------------------
 
@@ -217,7 +236,13 @@ class FactDimensionRelation:
     ) -> Set[Fact]:
         """All facts ``f`` with ``f ⇝ value`` — the workhorse of
         grouping.  Computed from the value's descendants so it does not
-        scan unrelated facts."""
+        scan unrelated facts.
+
+        This is the *naive* evaluation: one descendant walk per call.
+        Hot paths go through :class:`repro.engine.rollup_index.RollupIndex`
+        instead, which precomputes the closure once per dimension; this
+        method is kept as the fallback and as the oracle the index's
+        equivalence tests compare against."""
         candidates: Set[Fact] = set()
         for desc in dimension.descendants(value, reflexive=True):
             candidates |= self._by_value.get(desc, set())

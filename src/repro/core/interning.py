@@ -1,0 +1,75 @@
+"""Interning of facts and dimension values to dense integer ids.
+
+The model identifies facts and dimension values by opaque surrogates
+(paper §3.1) — hashable Python objects whose hashing and comparison cost
+shows up in every grouping walk.  The rollup-index layer
+(:mod:`repro.engine.rollup_index`) interns both kinds of objects into
+dense integers so closure tables become plain ``int``-set operations and
+deterministic orderings come from ids instead of ``repr`` sorting.
+
+Ids are assigned densely in first-seen order, which is deterministic for
+a deterministic construction sequence; an :class:`InternTable` never
+reuses or reorders ids, so an id handed out once stays valid for the
+table's lifetime (append-only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set
+
+__all__ = ["InternTable"]
+
+
+class InternTable:
+    """A bijection between hashable objects and dense integer ids.
+
+    Append-only: objects can be added but never removed, so ids are
+    stable and the reverse lookup is a plain list indexed by id.
+    """
+
+    __slots__ = ("_ids", "_objects")
+
+    def __init__(self, objects: Iterable[Hashable] = ()) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._objects: List[Hashable] = []
+        for obj in objects:
+            self.intern(obj)
+
+    def intern(self, obj: Hashable) -> int:
+        """The id of ``obj``, assigning the next dense id if unseen."""
+        existing = self._ids.get(obj)
+        if existing is not None:
+            return existing
+        new_id = len(self._objects)
+        self._ids[obj] = new_id
+        self._objects.append(obj)
+        return new_id
+
+    def intern_all(self, objects: Iterable[Hashable]) -> List[int]:
+        """Intern every object, returning the ids in input order."""
+        return [self.intern(obj) for obj in objects]
+
+    def id_of(self, obj: Hashable) -> Optional[int]:
+        """The id of ``obj`` if already interned, else ``None``."""
+        return self._ids.get(obj)
+
+    def object_of(self, obj_id: int) -> Hashable:
+        """The object an id stands for (ids come from :meth:`intern`)."""
+        return self._objects[obj_id]
+
+    def objects_of(self, ids: Iterable[int]) -> Set[Hashable]:
+        """The set of objects behind a collection of ids."""
+        objects = self._objects
+        return {objects[i] for i in ids}
+
+    def __contains__(self, obj: object) -> bool:
+        return obj in self._ids
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._objects)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InternTable({len(self._objects)} objects)"

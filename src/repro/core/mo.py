@@ -24,7 +24,10 @@ subdimension check.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine layer)
+    from repro.engine.rollup_index import RollupIndex
 
 from repro.core.dimension import Dimension
 from repro.core.errors import InstanceError, SchemaError
@@ -67,6 +70,7 @@ class MultidimensionalObject:
     ) -> None:
         self._schema = schema
         self._facts: Set[Fact] = set(facts or ())
+        self._facts_version = 0
         self._dimensions: Dict[str, Dimension] = {}
         self._relations: Dict[str, FactDimensionRelation] = {}
         self._kind = kind
@@ -85,6 +89,7 @@ class MultidimensionalObject:
             raise SchemaError(
                 f"dimensions/relations {extra_dims | extra_rels} not in schema"
             )
+        self._rollup_index = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -97,6 +102,14 @@ class MultidimensionalObject:
     def facts(self) -> Set[Fact]:
         """The fact set ``F`` (a *set*: no duplicate facts)."""
         return set(self._facts)
+
+    @property
+    def facts_version(self) -> int:
+        """Mutation counter of the fact set ``F`` — bumped whenever a
+        fact is actually added, so the rollup index can cache views of
+        ``F`` (the fact set only grows; removal happens by constructing
+        a new, restricted MO)."""
+        return self._facts_version
 
     @property
     def kind(self) -> TimeKind:
@@ -148,7 +161,9 @@ class MultidimensionalObject:
                 f"fact {fact!r} has type {fact.ftype!r}, schema expects "
                 f"{self._schema.fact_type!r}"
             )
-        self._facts.add(fact)
+        if fact not in self._facts:
+            self._facts.add(fact)
+            self._facts_version += 1
         return fact
 
     def relate(
@@ -179,6 +194,21 @@ class MultidimensionalObject:
 
     # -- characterization shortcuts ---------------------------------------------------
 
+    def rollup_index(self) -> "RollupIndex":
+        """The MO's :class:`~repro.engine.rollup_index.RollupIndex`.
+
+        Created lazily on first use and shared by every hot path that
+        groups this MO's facts.  The index is *versioned*: it snapshots
+        each dimension's order/relation mutation counters and rebuilds
+        only the dimensions that changed, so holding on to it across
+        mutations is safe (queries after a mutation see fresh closures).
+        """
+        if self._rollup_index is None:
+            from repro.engine.rollup_index import RollupIndex
+
+            self._rollup_index = RollupIndex(self)
+        return self._rollup_index
+
     def characterizes(self, fact: Fact, dimension_name: str,
                       value: DimensionValue,
                       at: Optional[Chronon] = None) -> bool:
@@ -191,10 +221,10 @@ class MultidimensionalObject:
         """The paper's ``Group(e_1, .., e_n)``: the facts characterized
         by every given value.  Dimensions omitted from ``values`` are
         unconstrained (equivalently, constrained by their ⊤ value)."""
+        index = self.rollup_index()
         result: Optional[Set[Fact]] = None
         for name, value in values.items():
-            matched = self._relations[name].facts_characterized_by(
-                value, self._dimensions[name], at=at)
+            matched = index.facts_characterized_by(name, value, at=at)
             result = matched if result is None else (result & matched)
             if not result:
                 return set()

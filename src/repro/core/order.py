@@ -97,6 +97,15 @@ class AnnotatedOrder:
         self._children: Dict[Node, Dict[Node, List[Annotation]]] = {}
         self._nodes: Set[Node] = set()
         self._ancestor_cache: Dict[Node, Set[Node]] = {}
+        self._descendant_cache: Dict[Node, Set[Node]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """A mutation counter: bumped whenever a node or an effective
+        edge is added.  Derived structures (reachability caches, the
+        rollup index) compare versions to detect staleness lazily."""
+        return self._version
 
     # -- construction ------------------------------------------------------
 
@@ -106,6 +115,7 @@ class AnnotatedOrder:
             self._nodes.add(node)
             self._parents.setdefault(node, {})
             self._children.setdefault(node, {})
+            self._version += 1
 
     def add_edge(
         self,
@@ -145,6 +155,8 @@ class AnnotatedOrder:
             annotations.append((time, prob))
         self._children[parent][child] = annotations
         self._ancestor_cache.clear()
+        self._descendant_cache.clear()
+        self._version += 1
 
     # -- structural queries --------------------------------------------------
 
@@ -216,8 +228,10 @@ class AnnotatedOrder:
             result.add(node)
         return result
 
-    def descendants(self, node: Node, reflexive: bool = False) -> Set[Node]:
-        """All nodes ``d`` with ``d ≤ node``."""
+    def _descendants_of(self, node: Node) -> Set[Node]:
+        cached = self._descendant_cache.get(node)
+        if cached is not None:
+            return cached
         result: Set[Node] = set()
         stack = [node]
         while stack:
@@ -226,6 +240,13 @@ class AnnotatedOrder:
                 if child not in result:
                     result.add(child)
                     stack.append(child)
+        self._descendant_cache[node] = result
+        return result
+
+    def descendants(self, node: Node, reflexive: bool = False) -> Set[Node]:
+        """All nodes ``d`` with ``d ≤ node``.  Cached symmetrically to
+        :meth:`ancestors`; :meth:`add_edge` invalidates both caches."""
+        result = set(self._descendants_of(node))
         if reflexive:
             result.add(node)
         return result

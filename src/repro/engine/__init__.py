@@ -27,7 +27,7 @@ from repro.engine.recommend import (
 )
 from repro.engine.timeseries import change_points, group_count_series, series_table
 from repro.engine.query import Query
-from repro.engine.storage import RollupIndex
+from repro.engine.rollup_index import RollupIndex
 
 __all__ = [
     "CubeBuilder",

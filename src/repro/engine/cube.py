@@ -68,25 +68,70 @@ class CubeBuilder:
         ]
         return [tuple(combo) for combo in product(*per_dim)]
 
-    def materialize(self, key: CuboidKey) -> Cuboid:
-        """Materialize one cuboid and record its size and verdict."""
+    def _nontrivial(self, key: CuboidKey) -> Dict[str, str]:
+        return {
+            name: cat for name, cat in zip(self._dims, key)
+            if cat != self._mo.dimension(name).dtype.top_name
+        }
+
+    def size_of(self, key: CuboidKey) -> int:
+        """The cuboid's size — its number of non-empty groups — counted
+        straight from the rollup index's characterization maps, without
+        evaluating the aggregation function or storing results.
+
+        This is the sizing fast path :func:`greedy_view_selection`
+        scans the lattice with; :meth:`materialize` pays the full cost
+        only for cuboids actually selected or queried.
+        """
+        cached = self._cuboids.get(key)
+        if cached is not None:
+            return cached.size
+        nontrivial = self._nontrivial(key)
+        if not nontrivial:
+            return 1  # the apex: one group holding every fact
+        index = self._mo.rollup_index()
+        maps = [
+            [facts for facts in
+             index.characterization_map(name, cat).values() if facts]
+            for name, cat in sorted(nontrivial.items())
+        ]
+
+        def count(i: int, facts) -> int:
+            if i == len(maps):
+                return 1
+            total = 0
+            for value_facts in maps[i]:
+                joined = value_facts if facts is None else facts & value_facts
+                if joined:
+                    total += count(i + 1, joined)
+            return total
+
+        return count(0, None)
+
+    def cuboid(self, key: CuboidKey) -> Cuboid:
+        """The cuboid's size and summarizability verdict, computed via
+        the sizing fast path (no full materialization) and cached."""
         cached = self._cuboids.get(key)
         if cached is not None:
             return cached
-        grouping = dict(zip(self._dims, key))
-        nontrivial = {
-            name: cat for name, cat in grouping.items()
-            if cat != self._mo.dimension(name).dtype.top_name
-        }
-        materialized = self._store.materialize(self._function, nontrivial)
+        verdict = self._store.summarizability(
+            self._nontrivial(key), self._function.distributive)
         cuboid = Cuboid(
             key=key,
             dimension_names=self._dims,
-            size=len(materialized.results),
-            summarizable=materialized.summarizability.summarizable,
+            size=self.size_of(key),
+            summarizable=verdict.summarizable,
         )
         self._cuboids[key] = cuboid
         return cuboid
+
+    def materialize(self, key: CuboidKey) -> Cuboid:
+        """Materialize one cuboid — results stored in the pre-aggregate
+        store — and record its size and verdict."""
+        nontrivial = self._nontrivial(key)
+        if self._store.get(self._function, nontrivial) is None:
+            self._store.materialize(self._function, nontrivial)
+        return self.cuboid(key)
 
     def materialize_all(self) -> List[Cuboid]:
         """Materialize the full lattice (exponential in dimensions with
@@ -105,7 +150,7 @@ class CubeBuilder:
         """The cuboids answerable from ``fine`` by safe combination:
         coarser-or-equal cuboids, provided the fine cuboid's grouping is
         summarizable (otherwise only the cuboid itself)."""
-        fine_cuboid = self.materialize(fine)
+        fine_cuboid = self.cuboid(fine)
         if not (fine_cuboid.summarizable and self._function.distributive):
             return {fine}
         return {
@@ -123,7 +168,9 @@ def greedy_view_selection(
     ancestor (query cost = size of the cuboid it is answered from; the
     base cuboid — the finest key — is always available).
 
-    Returns the selected cuboids in selection order.
+    Returns the selected cuboids in selection order.  The scan sizes
+    candidate cuboids through :meth:`CubeBuilder.cuboid` (rollup-index
+    counting); only the selected cuboids are fully materialized.
     """
     keys = builder.cuboid_keys()
     base_key = min(
@@ -132,7 +179,7 @@ def greedy_view_selection(
             1 for other in keys if builder.is_coarser_or_equal(k, other)
         ) * -1,
     )
-    base = builder.materialize(base_key)
+    base = builder.cuboid(base_key)
     cost: Dict[CuboidKey, int] = {key: base.size for key in keys}
     selected: List[Cuboid] = []
     candidates = [k for k in keys if k != base_key]
@@ -140,7 +187,7 @@ def greedy_view_selection(
         best_key = None
         best_benefit = 0
         for key in candidates:
-            cuboid = builder.materialize(key)
+            cuboid = builder.cuboid(key)
             benefit = 0
             for target in builder.answerable_from(key):
                 saved = cost[target] - cuboid.size

@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Set
 
-from repro.core.dimension import Dimension
 from repro.core.errors import SchemaError
 from repro.core.mo import MultidimensionalObject
 from repro.core.values import DimensionValue, Fact
@@ -70,7 +69,10 @@ def classify_by_granularity(
             f"{category_name!r}"
         )
     relation = mo.relation(dimension_name)
-    category = dimension.category(category_name)
+    # a fact is answerable iff some category value characterizes it —
+    # exactly the rollup index's inverted closure map for the category
+    answerable = mo.rollup_index().grouping_values_per_fact(
+        dimension_name, category_name)
     out = GranularityClassification(category=category_name)
     for fact in mo.facts:
         bases = relation.values_of(fact)
@@ -78,12 +80,7 @@ def classify_by_granularity(
         if not non_top:
             out.unknown.add(fact)
             continue
-        members = set(category.members())
-        answerable = any(
-            dimension.ancestors(base, reflexive=True) & members
-            for base in non_top
-        )
-        if answerable:
+        if fact in answerable:
             out.answerable.add(fact)
             continue
         # strictly coarser: record the base values themselves
@@ -125,13 +122,12 @@ def group_with_imprecision(
 ) -> ImpreciseGroups:
     """Group at ``category_name`` without silently dropping coarser
     facts: they land in explicit per-coarse-value buckets."""
-    dimension = mo.dimension(dimension_name)
-    relation = mo.relation(dimension_name)
     classification = classify_by_granularity(mo, dimension_name,
                                              category_name)
     groups = {
-        value: relation.facts_characterized_by(value, dimension)
-        for value in dimension.category(category_name).members()
+        value: set(facts)
+        for value, facts in mo.rollup_index().characterization_map(
+            dimension_name, category_name).items()
     }
     return ImpreciseGroups(
         category=category_name,

@@ -22,9 +22,8 @@ from typing import Dict, Optional, Set, Tuple
 from repro.algebra.functions import AggregationFunction
 from repro.core.errors import AlgebraError
 from repro.core.mo import MultidimensionalObject
-from repro.core.properties import SummarizabilityCheck, check_summarizability
+from repro.core.properties import SummarizabilityCheck
 from repro.core.values import DimensionValue, Fact
-from repro.engine.storage import RollupIndex
 
 __all__ = ["MaterializedAggregate", "PreAggregateStore"]
 
@@ -48,11 +47,11 @@ class PreAggregateStore:
 
     def __init__(self, mo: MultidimensionalObject) -> None:
         self._mo = mo
-        self._index = RollupIndex(mo)
+        # share the MO-attached index so closures built here also serve
+        # the algebra and query layers (and vice versa)
+        self._index = mo.rollup_index()
         self._store: Dict[Tuple[Tuple[Tuple[str, str], ...], str],
                           MaterializedAggregate] = {}
-        self._verdicts: Dict[Tuple[Tuple[Tuple[str, str], ...], bool],
-                             SummarizabilityCheck] = {}
 
     @property
     def mo(self) -> MultidimensionalObject:
@@ -66,16 +65,16 @@ class PreAggregateStore:
 
     def _verdict(self, grouping: Dict[str, str],
                  distributive: bool) -> SummarizabilityCheck:
-        """The (cached) Lenz-Shoshani verdict for a grouping.  The check
-        scans the base data, so repeated reuse decisions must not pay
-        for it again; the MO is treated as immutable once indexed."""
-        key = (tuple(sorted(grouping.items())), distributive)
-        verdict = self._verdicts.get(key)
-        if verdict is None:
-            verdict = check_summarizability(self._mo, grouping,
-                                            distributive)
-            self._verdicts[key] = verdict
-        return verdict
+        """The Lenz-Shoshani verdict for a grouping, from the rollup
+        index's version-keyed cache: repeated reuse decisions do not
+        re-scan the base data, yet a mutated dimension is re-checked."""
+        return self._index.summarizability(grouping, distributive)
+
+    def summarizability(self, grouping: Dict[str, str],
+                        distributive: bool) -> SummarizabilityCheck:
+        """The cached Lenz-Shoshani verdict for a grouping — exposed so
+        the cube builder can judge cuboids without materializing them."""
+        return self._verdict(grouping, distributive)
 
     def materialize(self, function: AggregationFunction,
                     grouping: Dict[str, str]) -> MaterializedAggregate:

@@ -28,7 +28,7 @@ from repro.algebra import (
 from repro.algebra.functions import AggregationFunction
 from repro.core.errors import SchemaError
 from repro.core.helpers import make_result_spec
-from repro.core.mo import MultidimensionalObject
+from repro.core.mo import MultidimensionalObject, TimeKind
 from repro.core.values import DimensionValue
 from repro.engine.preagg import PreAggregateStore
 
@@ -97,6 +97,9 @@ class Query:
             fast = self._try_store(function)
             if fast is not None:
                 return fast
+        indexed = self._try_index(function, strict_types)
+        if indexed is not None:
+            return indexed
         mo = self._diced_mo()
         result = make_result_spec(name="__query_result")
         aggregated = aggregate(mo, function, self._grouping, result,
@@ -122,6 +125,38 @@ class Query:
                 rows.append((group, raw))
         rows.sort(key=lambda row: tuple(
             repr(row[0][name]) for name in names))
+        return rows
+
+    def _try_index(
+        self, function: AggregationFunction, strict_types: bool
+    ) -> Optional[List[QueryResultRow]]:
+        """Answer simple set-count roll-ups straight from the MO's
+        rollup index: one closure-map lookup per value instead of a full
+        aggregate formation and result-MO construction.
+
+        Only taken when it is provably equivalent to the α path: no
+        dices, an untimed (snapshot) MO, at most one grouped dimension,
+        and the plain set-count function.
+        """
+        if self._dices or self._mo.kind is not TimeKind.SNAPSHOT:
+            return None
+        if len(self._grouping) > 1 or type(function) is not SetCount:
+            return None
+        if not function.check_applicable(self._mo, strict=strict_types):
+            return None  # let α issue its summarizability warning
+        if not self._mo.facts:
+            return []
+        if not self._grouping:
+            return [({}, len(self._mo.facts))]
+        (name, category), = self._grouping.items()
+        char_map = self._mo.rollup_index().characterization_map(
+            name, category)
+        rows: List[QueryResultRow] = [
+            ({name: value}, len(facts))
+            for value, facts in char_map.items()
+            if facts
+        ]
+        rows.sort(key=lambda row: repr(row[0][name]))
         return rows
 
     def _try_store(

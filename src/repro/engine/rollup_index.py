@@ -1,0 +1,436 @@
+"""The rollup-index layer: interned ids + cached closures for grouping
+(paper §5 future work: "how the model can be efficiently implemented
+using special-purpose algorithms and data structures").
+
+Every operation that groups facts — aggregate formation, drill-across,
+imprecision analysis, time-series counts, cube materialization —
+ultimately needs the characterization relation ``f ⇝ e`` for whole
+categories of values.  The naive evaluation
+(:meth:`repro.core.factdim.FactDimensionRelation.facts_characterized_by`)
+re-walks the dimension's partial order once per value per query.  A
+:class:`RollupIndex` instead:
+
+* **interns** facts and dimension values to dense integer ids
+  (:class:`repro.core.interning.InternTable`), so closure tables are
+  plain ``int``-set unions and deterministic orderings come from ids;
+* **precomputes** one ``value → facts-characterized`` closure table per
+  dimension in a single children-first topological sweep of the
+  dimension's :class:`~repro.core.order.AnnotatedOrder`
+  (``closure(e) = facts(e) ∪ ⋃ closure(child)``), instead of one DFS
+  per queried value;
+* is **versioned and lazily invalidated**: it snapshots each
+  dimension's order and relation mutation counters at build time and
+  rebuilds *only the dirty dimensions*, on the next query after a
+  mutation.  Obtain the shared instance for an MO through
+  :meth:`repro.core.mo.MultidimensionalObject.rollup_index`.
+
+Temporal queries (``at=`` a chronon) take the closure table only as the
+candidate set and re-apply the exact per-fact temporal test of the naive
+path, so indexed and naive results agree on every input; the equivalence
+property tests in ``tests/engine/test_rollup_index.py`` assert this
+against the naive oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.dimension import Dimension
+from repro.core.factdim import FactDimensionRelation
+from repro.core.interning import InternTable
+from repro.core.properties import SummarizabilityCheck, check_summarizability
+from repro.core.values import DimensionValue, Fact
+from repro.temporal.chronon import Chronon
+
+__all__ = ["RollupIndex"]
+
+
+class _DimensionIndex:
+    """The closure tables of one dimension, valid for one version pair."""
+
+    __slots__ = (
+        "order_version",
+        "relation_version",
+        "values",
+        "closure",
+        "fact_sets",
+        "category_maps",
+        "per_fact_maps",
+        "per_fact_id_maps",
+    )
+
+    def __init__(
+        self,
+        order_version: int,
+        relation_version: int,
+        values: InternTable,
+        closure: Dict[int, FrozenSet[int]],
+    ) -> None:
+        self.order_version = order_version
+        self.relation_version = relation_version
+        self.values = values
+        #: interned value id → interned ids of the facts it characterizes
+        self.closure = closure
+        #: lazily materialized object-level views of ``closure``
+        self.fact_sets: Dict[int, FrozenSet[Fact]] = {}
+        #: category name → (value → facts) map, built on demand
+        self.category_maps: Dict[str, Dict[DimensionValue, FrozenSet[Fact]]] = {}
+        #: category name → (fact → id-sorted values) map, built on demand
+        self.per_fact_maps: Dict[str, Dict[Fact, List[DimensionValue]]] = {}
+        #: category name → (fact id → id-sorted value-id tuple), the
+        #: all-integer view the aggregate hot loop runs on
+        self.per_fact_id_maps: Dict[str, Dict[int, Tuple[int, ...]]] = {}
+
+    def is_fresh(self, dimension: Dimension,
+                 relation: FactDimensionRelation) -> bool:
+        return (self.order_version == dimension.order.version
+                and self.relation_version == relation.version)
+
+
+def _build_dimension_index(
+    dimension: Dimension,
+    relation: FactDimensionRelation,
+    values: InternTable,
+    facts: InternTable,
+) -> _DimensionIndex:
+    """One topological sweep: closure(e) = facts(e) ∪ ⋃ closure(child).
+
+    The sweep visits children before parents, so each value's closure is
+    one base lookup plus set unions of already-final child closures —
+    O(edges × avg-closure) for the whole dimension, versus one DFS per
+    value on the naive path.
+    """
+    order = dimension.order
+    order_version = order.version
+    relation_version = relation.version
+    by_node: Dict[DimensionValue, FrozenSet[int]] = {}
+    for node in order.topological():
+        acc: Set[int] = {facts.intern(f) for f in relation.facts_of(node)}
+        for child in order.children(node):
+            acc |= by_node[child]
+        by_node[node] = frozenset(acc)
+    # ⊤ contains every value of the dimension, with no materialized
+    # edges; its closure is the whole relation's fact set
+    all_facts = frozenset(facts.intern(f) for f in relation.facts())
+    by_node[dimension.top_value] = all_facts
+    # values mentioned by the relation but absent from the order (possible
+    # on hand-built, not-yet-validated relations) characterize only their
+    # directly related facts — matching the naive empty-descendants walk
+    for value in relation.values():
+        if value not in by_node:
+            by_node[value] = frozenset(
+                facts.intern(f) for f in relation.facts_of(value))
+    closure = {values.intern(node): fact_ids
+               for node, fact_ids in by_node.items()}
+    return _DimensionIndex(order_version, relation_version, values, closure)
+
+
+class RollupIndex:
+    """Interned, versioned closure tables for one MO's grouping paths.
+
+    One instance serves all dimensions of the MO; per-dimension tables
+    are built lazily on first use and rebuilt lazily when the
+    dimension's order or relation mutation counter has moved.  All query
+    methods return freshly usable objects (frozensets / read-only maps)
+    whose contents always reflect the MO's current state.
+    """
+
+    def __init__(self, mo) -> None:
+        self._mo = mo
+        self._facts = InternTable()
+        self._value_tables: Dict[str, InternTable] = {}
+        self._dims: Dict[str, _DimensionIndex] = {}
+        self._verdicts: Dict[tuple, SummarizabilityCheck] = {}
+        self._mo_fact_ids: Optional[FrozenSet[int]] = None
+        self._mo_facts_version = -1
+        self._builds = 0
+
+    @property
+    def mo(self):
+        """The indexed MO."""
+        return self._mo
+
+    @property
+    def build_count(self) -> int:
+        """How many per-dimension builds have run (observability for
+        tests and benchmarks: mutations should rebuild exactly the dirty
+        dimensions, repeated queries none)."""
+        return self._builds
+
+    # -- freshness ---------------------------------------------------------
+
+    def _entry(self, dimension_name: str) -> _DimensionIndex:
+        dimension = self._mo.dimension(dimension_name)
+        relation = self._mo.relation(dimension_name)
+        entry = self._dims.get(dimension_name)
+        if entry is not None and entry.is_fresh(dimension, relation):
+            return entry
+        values = self._value_tables.setdefault(dimension_name, InternTable())
+        entry = _build_dimension_index(dimension, relation, values,
+                                       self._facts)
+        self._dims[dimension_name] = entry
+        self._builds += 1
+        return entry
+
+    def is_fresh(self, dimension_name: str) -> bool:
+        """Whether the dimension's table exists and matches the current
+        order/relation versions (no query has to rebuild)."""
+        entry = self._dims.get(dimension_name)
+        return entry is not None and entry.is_fresh(
+            self._mo.dimension(dimension_name),
+            self._mo.relation(dimension_name))
+
+    def invalidate(self, dimension_name: Optional[str] = None) -> None:
+        """Drop cached tables (one dimension, or all).
+
+        Not needed for correctness — mutation counters invalidate lazily
+        — but lets callers release memory for large MOs.
+        """
+        if dimension_name is None:
+            self._dims.clear()
+        else:
+            self._dims.pop(dimension_name, None)
+
+    # -- summarizability ---------------------------------------------------
+
+    def summarizability(self, grouping: Dict[str, str], distributive: bool,
+                        at: Optional[Chronon] = None) -> SummarizabilityCheck:
+        """The (cached) Lenz-Shoshani verdict for a grouping.
+
+        The check scans the grouped dimensions' hierarchies and base
+        mappings, so it dominates repeated aggregate formations; the
+        verdict depends only on the grouped dimensions' state, so the
+        cache key is the grouping plus those dimensions' order/relation
+        version pairs — a mutation anywhere relevant misses the cache
+        and re-checks.
+        """
+        names = tuple(sorted(grouping))
+        key = (
+            tuple((name, grouping[name]) for name in names),
+            distributive,
+            at,
+            tuple((self._mo.dimension(name).order.version,
+                   self._mo.relation(name).version) for name in names),
+        )
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            verdict = check_summarizability(self._mo, dict(grouping),
+                                            distributive, at=at)
+            self._verdicts[key] = verdict
+        return verdict
+
+    # -- interned orderings ------------------------------------------------
+
+    def value_id(self, dimension_name: str, value: DimensionValue) -> int:
+        """The dense interned id of a value (assigning one if unseen).
+
+        Ids are assigned in build/first-seen order and never reused, so
+        they are a stable, cheap deterministic sort key — the grouping
+        paths order value combinations by id instead of ``repr``.
+        """
+        table = self._value_tables.setdefault(dimension_name, InternTable())
+        return table.intern(value)
+
+    def sort_values(self, dimension_name: str,
+                    values: Iterable[DimensionValue]) -> List[DimensionValue]:
+        """The values sorted by interned id (the deterministic order the
+        grouping paths use)."""
+        table = self._value_tables.setdefault(dimension_name, InternTable())
+        return sorted(values, key=table.intern)
+
+    # -- characterization queries ------------------------------------------
+
+    def _fact_set(self, entry: _DimensionIndex,
+                  value: DimensionValue) -> FrozenSet[Fact]:
+        vid = entry.values.id_of(value)
+        if vid is None:
+            return frozenset()
+        fact_ids = entry.closure.get(vid)
+        if fact_ids is None:
+            return frozenset()
+        cached = entry.fact_sets.get(vid)
+        if cached is None:
+            cached = frozenset(self._facts.objects_of(fact_ids))
+            entry.fact_sets[vid] = cached
+        return cached
+
+    def facts_characterized_by(
+        self,
+        dimension_name: str,
+        value: DimensionValue,
+        at: Optional[Chronon] = None,
+    ) -> FrozenSet[Fact]:
+        """All facts ``f`` with ``f ⇝ value`` — the indexed counterpart
+        of :meth:`FactDimensionRelation.facts_characterized_by`.
+
+        Untimed queries answer straight from the closure table.  Timed
+        queries (``at``) take the closure as the candidate set and apply
+        the naive per-fact temporal test, so results match the naive
+        path exactly.
+        """
+        entry = self._entry(dimension_name)
+        candidates = self._fact_set(entry, value)
+        if at is None:
+            return candidates
+        dimension = self._mo.dimension(dimension_name)
+        relation = self._mo.relation(dimension_name)
+        return frozenset(
+            f for f in candidates
+            if relation.characterizes(f, value, dimension, at=at)
+        )
+
+    def characterization_map(
+        self, dimension_name: str, category_name: str
+    ) -> Dict[DimensionValue, FrozenSet[Fact]]:
+        """``value → facts characterized`` for one whole category.
+
+        Every member of the category appears (empty frozenset when no
+        fact rolls up into it).  Built from the closure table and cached
+        per category until the dimension is dirtied.  Treat the returned
+        map as read-only.
+        """
+        entry = self._entry(dimension_name)
+        cached = entry.category_maps.get(category_name)
+        if cached is not None:
+            return cached
+        dimension = self._mo.dimension(dimension_name)
+        category = dimension.category(category_name)
+        result = {
+            value: self._fact_set(entry, value)
+            for value in category.members()
+        }
+        entry.category_maps[category_name] = result
+        return result
+
+    def facts_for(self, dimension_name: str, category_name: str,
+                  value: DimensionValue) -> FrozenSet[Fact]:
+        """The facts characterized by ``value`` (empty if none)."""
+        return self.characterization_map(
+            dimension_name, category_name).get(value, frozenset())
+
+    def group_counts(self, dimension_name: str,
+                     category_name: str) -> Dict[DimensionValue, int]:
+        """Distinct-fact counts per category value — the indexed version
+        of Example 12's set-count rollup."""
+        return {
+            value: len(facts)
+            for value, facts in self.characterization_map(
+                dimension_name, category_name).items()
+        }
+
+    def grouping_values_per_fact(
+        self,
+        dimension_name: str,
+        category_name: str,
+        at: Optional[Chronon] = None,
+    ) -> Dict[Fact, List[DimensionValue]]:
+        """For each fact, the id-sorted grouping-category values
+        characterizing it — the inner loop of aggregate formation,
+        answered by inverting the closure table once per category.
+
+        Grouping at ⊤ is the trivial grouping: every fact of the MO is
+        characterized by ⊤ (the paper's "cannot characterize within this
+        dimension" marker), mirroring
+        :func:`repro.algebra.aggregate._grouping_values_per_fact`.
+        Treat the returned map as read-only.
+        """
+        dimension = self._mo.dimension(dimension_name)
+        if category_name == dimension.dtype.top_name:
+            top = dimension.top_value
+            return {fact: [top] for fact in self._mo.facts}
+        if at is not None:
+            return self._grouping_values_at(dimension_name, category_name, at)
+        entry = self._entry(dimension_name)
+        cached = entry.per_fact_maps.get(category_name)
+        if cached is not None:
+            return cached
+        facts_table = self._facts
+        values_table = entry.values
+        result: Dict[Fact, List[DimensionValue]] = {
+            facts_table.object_of(fid): [
+                values_table.object_of(vid) for vid in vids
+            ]
+            for fid, vids in self._grouping_ids(
+                dimension_name, entry, category_name).items()
+        }
+        entry.per_fact_maps[category_name] = result
+        return result
+
+    def _grouping_ids(self, dimension_name: str, entry: _DimensionIndex,
+                      category_name: str) -> Dict[int, Tuple[int, ...]]:
+        cached = entry.per_fact_id_maps.get(category_name)
+        if cached is not None:
+            return cached
+        dimension = self._mo.dimension(dimension_name)
+        by_fact_ids: Dict[int, List[int]] = {}
+        for value in dimension.category(category_name).members():
+            vid = entry.values.id_of(value)
+            if vid is None:
+                continue
+            for fid in entry.closure.get(vid, ()):
+                by_fact_ids.setdefault(fid, []).append(vid)
+        result = {
+            fid: tuple(sorted(vids)) for fid, vids in by_fact_ids.items()
+        }
+        entry.per_fact_id_maps[category_name] = result
+        return result
+
+    # -- the all-integer view (the aggregate hot loop) ---------------------
+
+    def fact_id(self, fact: Fact) -> int:
+        """The dense interned id of a fact (assigning one if unseen)."""
+        return self._facts.intern(fact)
+
+    def mo_fact_ids(self) -> FrozenSet[int]:
+        """The interned ids of the MO's own fact set ``F``, cached
+        against the MO's fact-set version.  Grouping must only emit
+        facts of ``F`` even when a relation (transiently) mentions
+        others, and this set makes that a per-id integer check."""
+        version = self._mo.facts_version
+        if self._mo_fact_ids is None or self._mo_facts_version != version:
+            intern = self._facts.intern
+            self._mo_fact_ids = frozenset(
+                intern(f) for f in self._mo.facts)
+            self._mo_facts_version = version
+        return self._mo_fact_ids
+
+    def facts_of_ids(self, ids: Iterable[int]) -> Set[Fact]:
+        """The facts behind a collection of interned fact ids."""
+        return self._facts.objects_of(ids)
+
+    def value_of(self, dimension_name: str, value_id: int) -> DimensionValue:
+        """The value behind an interned value id of one dimension."""
+        return self._value_tables[dimension_name].object_of(value_id)
+
+    def grouping_value_ids_per_fact(
+        self, dimension_name: str, category_name: str
+    ) -> Dict[int, Tuple[int, ...]]:
+        """The id-level form of :meth:`grouping_values_per_fact`
+        (untimed, non-⊤): interned fact id → id-sorted tuple of interned
+        grouping-value ids.  Aggregate formation runs its per-fact
+        combination loop entirely on these integers — hashing ints
+        instead of value/fact objects — and converts each distinct
+        combination back to objects once.  Treat as read-only.
+        """
+        entry = self._entry(dimension_name)
+        return self._grouping_ids(dimension_name, entry, category_name)
+
+    def _grouping_values_at(
+        self, dimension_name: str, category_name: str, at: Chronon
+    ) -> Dict[Fact, List[DimensionValue]]:
+        """The temporal variant: closure candidates, naive time filter."""
+        dimension = self._mo.dimension(dimension_name)
+        table = self._value_tables.setdefault(dimension_name, InternTable())
+        out: Dict[Fact, Set[DimensionValue]] = {}
+        for value in dimension.category(category_name).members(at=at):
+            for fact in self.facts_characterized_by(
+                    dimension_name, value, at=at):
+                out.setdefault(fact, set()).add(value)
+        return {
+            fact: sorted(values, key=table.intern)
+            for fact, values in out.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RollupIndex({self._mo!r}, {len(self._dims)} dimensions "
+                f"indexed, {self._builds} builds)")

@@ -1,94 +1,18 @@
-"""Indexed storage for fast grouping (paper §5, future work:
-"how the model can be efficiently implemented using special-purpose
-algorithms and data structures").
+"""Backward-compatible home of the rollup index.
 
-A :class:`RollupIndex` precomputes, per dimension category, the mapping
-from each category value to the set of facts it characterizes (the
-``f ⇝ e`` relation materialized).  Grouping then becomes a dictionary
-lookup instead of a per-query graph walk, which is what the scaling
-benchmarks measure against the naive evaluation.
+The indexed-storage layer grew into a full subsystem —
+:mod:`repro.engine.rollup_index` — with interned ids, one-sweep closure
+builds, and versioned lazy invalidation.  This module re-exports
+:class:`~repro.engine.rollup_index.RollupIndex` under its original
+import path; the historical API (``characterization_map``,
+``facts_for``, ``group_counts``, ``invalidate``) is unchanged.
+
+Prefer :meth:`repro.core.mo.MultidimensionalObject.rollup_index` over
+constructing an index directly, so all hot paths share one instance.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set, Tuple
-
-from repro.core.dimension import Dimension
-from repro.core.mo import MultidimensionalObject
-from repro.core.values import DimensionValue, Fact
+from repro.engine.rollup_index import RollupIndex
 
 __all__ = ["RollupIndex"]
-
-
-class RollupIndex:
-    """Materialized characterization maps for one MO.
-
-    The index is built lazily per ``(dimension, category)`` and cached;
-    it is valid as long as the MO is not mutated (the engine treats MOs
-    as immutable once indexed — algebra operators return fresh MOs).
-    """
-
-    def __init__(self, mo: MultidimensionalObject) -> None:
-        self._mo = mo
-        self._maps: Dict[Tuple[str, str],
-                         Dict[DimensionValue, FrozenSet[Fact]]] = {}
-
-    @property
-    def mo(self) -> MultidimensionalObject:
-        """The indexed MO."""
-        return self._mo
-
-    def characterization_map(
-        self, dimension_name: str, category_name: str
-    ) -> Dict[DimensionValue, FrozenSet[Fact]]:
-        """value → facts characterized, for one category.
-
-        Built bottom-up: each base pair contributes its fact to every
-        ancestor of its value that lies in the requested category, so
-        the build is one pass over the fact-dimension relation plus one
-        ancestor walk per distinct base value.
-        """
-        key = (dimension_name, category_name)
-        cached = self._maps.get(key)
-        if cached is not None:
-            return cached
-        dimension = self._mo.dimension(dimension_name)
-        category = dimension.category(category_name)
-        relation = self._mo.relation(dimension_name)
-        accumulator: Dict[DimensionValue, Set[Fact]] = {
-            value: set() for value in category.members()
-        }
-        ancestor_cache: Dict[DimensionValue, Set[DimensionValue]] = {}
-        for fact, base in relation.pairs():
-            ancestors = ancestor_cache.get(base)
-            if ancestors is None:
-                ancestors = {
-                    a for a in dimension.ancestors(base, reflexive=True)
-                    if a in accumulator
-                }
-                ancestor_cache[base] = ancestors
-            for value in ancestors:
-                accumulator[value].add(fact)
-        result = {v: frozenset(facts) for v, facts in accumulator.items()}
-        self._maps[key] = result
-        return result
-
-    def facts_for(self, dimension_name: str, category_name: str,
-                  value: DimensionValue) -> FrozenSet[Fact]:
-        """The facts characterized by ``value`` (empty if none)."""
-        return self.characterization_map(
-            dimension_name, category_name).get(value, frozenset())
-
-    def group_counts(self, dimension_name: str,
-                     category_name: str) -> Dict[DimensionValue, int]:
-        """Distinct-fact counts per category value — the indexed version
-        of Example 12's set-count rollup."""
-        return {
-            value: len(facts)
-            for value, facts in self.characterization_map(
-                dimension_name, category_name).items()
-        }
-
-    def invalidate(self) -> None:
-        """Drop all cached maps (call after mutating the MO)."""
-        self._maps.clear()

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.core.dimension import Dimension
 from repro.core.mo import MultidimensionalObject
 from repro.core.properties import critical_chronons
 from repro.core.values import DimensionValue
@@ -51,7 +50,10 @@ def group_count_series(
     contribute 0.
     """
     dimension = mo.dimension(dimension_name)
-    relation = mo.relation(dimension_name)
+    # the rollup index serves the candidate facts per value from its
+    # closure table (built once for the whole sweep); the per-chronon
+    # temporal filter stays on the naive per-fact test
+    index = mo.rollup_index()
     values: Set[DimensionValue] = set()
     for t in at:
         values |= dimension.category(category_name).members(at=t)
@@ -62,8 +64,8 @@ def group_count_series(
             if value not in current:
                 series[value].append(0)
                 continue
-            count = len(relation.facts_characterized_by(
-                value, dimension, at=t))
+            count = len(index.facts_characterized_by(
+                dimension_name, value, at=t))
             series[value].append(count)
     return series
 

@@ -1,0 +1,56 @@
+"""Tests for the intern table: dense ids, stability, round-trips."""
+
+from repro.core.interning import InternTable
+from repro.core.values import DimensionValue, Fact
+
+
+class TestInternTable:
+    def test_ids_are_dense_and_first_seen(self):
+        table = InternTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("c") == 2
+
+    def test_intern_is_idempotent(self):
+        table = InternTable()
+        first = table.intern("x")
+        assert table.intern("x") == first
+        assert len(table) == 1
+
+    def test_id_of_unknown_is_none(self):
+        table = InternTable()
+        table.intern("a")
+        assert table.id_of("a") == 0
+        assert table.id_of("missing") is None
+
+    def test_object_of_round_trips(self):
+        table = InternTable()
+        value = DimensionValue(sid=7, label="seven")
+        vid = table.intern(value)
+        assert table.object_of(vid) == value
+
+    def test_objects_of_materializes_a_set(self):
+        table = InternTable()
+        facts = [Fact(fid=i, ftype="T") for i in range(4)]
+        ids = table.intern_all(facts)
+        assert table.objects_of(ids) == set(facts)
+        assert table.objects_of([]) == set()
+
+    def test_contains_and_iteration_order(self):
+        table = InternTable()
+        for item in ("b", "a", "c"):
+            table.intern(item)
+        assert "a" in table
+        assert "z" not in table
+        # iteration yields objects in id (first-seen) order
+        assert list(table) == ["b", "a", "c"]
+
+    def test_ids_survive_later_interning(self):
+        """Append-only: earlier ids never move when new objects arrive —
+        the property the rollup index relies on across rebuilds."""
+        table = InternTable()
+        first = table.intern("stable")
+        for i in range(50):
+            table.intern(i)
+        assert table.id_of("stable") == first
+        assert table.intern("stable") == first

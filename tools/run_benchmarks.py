@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Benchmark the rollup-index hot paths against the naive traversals.
+
+Runs the grouping/aggregation benchmarks at three workload scales and
+writes a machine-readable ``BENCH_aggregate.json`` next to the repo
+root (see ``docs/PERFORMANCE.md`` for how to read it):
+
+* ``rollup`` — group counts for one category: per-value descendant
+  walks (naive) versus the index's cached closure map (indexed);
+* ``aggregate`` — the full α operator over two grouped dimensions with
+  ``use_index=False`` versus ``use_index=True`` (warm index);
+* ``cube_build`` — sizing every cuboid of a two-dimensional lattice
+  from naive characterization maps versus the index's.
+
+Each cell reports steady-state ops/sec (the index is built once, then
+reused — the intended usage pattern); ``build`` records the one-time
+per-scale index construction cost.  Run with::
+
+    PYTHONPATH=src python tools/run_benchmarks.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algebra import SetCount, aggregate
+from repro.casestudy.icd import IcdShape
+from repro.core.helpers import make_result_spec
+from repro.workloads import ClinicalConfig, generate_clinical
+
+SCALES = (100, 300, 1000)
+AGG_GROUPING = {"Diagnosis": "Diagnosis Group", "Residence": "Region"}
+ROLLUP_DIMENSION = "Diagnosis"
+ROLLUP_CATEGORY = "Diagnosis Group"
+CUBE_DIMENSIONS = ("Diagnosis", "Residence")
+
+
+def workload(n_patients: int):
+    return generate_clinical(ClinicalConfig(
+        n_patients=n_patients,
+        icd=IcdShape(n_groups=5, families_per_group=(3, 6),
+                     lowlevels_per_family=(3, 6), extra_parent_prob=0.1),
+        seed=42,
+    ))
+
+
+def timed(op, min_seconds: float = 0.2, min_repeats: int = 3) -> float:
+    """Steady-state ops/sec: repeat ``op`` until ``min_seconds`` of
+    wall time has accumulated (at least ``min_repeats`` runs)."""
+    op()  # warm caches exactly as a steady-state caller would
+    repeats = 0
+    elapsed = 0.0
+    while elapsed < min_seconds or repeats < min_repeats:
+        t0 = time.perf_counter()
+        op()
+        elapsed += time.perf_counter() - t0
+        repeats += 1
+    return repeats / elapsed
+
+
+# -- the benchmarked operations ---------------------------------------------
+
+
+def naive_group_counts(mo):
+    dimension = mo.dimension(ROLLUP_DIMENSION)
+    relation = mo.relation(ROLLUP_DIMENSION)
+    return {
+        value: len(relation.facts_characterized_by(value, dimension))
+        for value in dimension.category(ROLLUP_CATEGORY).members()
+    }
+
+
+def indexed_group_counts(mo):
+    return mo.rollup_index().group_counts(ROLLUP_DIMENSION, ROLLUP_CATEGORY)
+
+
+def run_aggregate(mo, use_index: bool):
+    return aggregate(mo, SetCount(), AGG_GROUPING, make_result_spec(),
+                     strict_types=False, use_index=use_index)
+
+
+def _cuboid_keys(mo):
+    from itertools import product
+    per_dim = [
+        [c.name for c in mo.dimension(d).dtype.category_types()]
+        for d in CUBE_DIMENSIONS
+    ]
+    return [tuple(combo) for combo in product(*per_dim)]
+
+
+def _count_groups(maps) -> int:
+    def rec(i, facts):
+        if i == len(maps):
+            return 1
+        total = 0
+        for value_facts in maps[i]:
+            joined = value_facts if facts is None else facts & value_facts
+            if joined:
+                total += rec(i + 1, joined)
+        return total
+
+    return rec(0, None)
+
+
+def _size_lattice(mo, char_map) -> list:
+    """Size every cuboid of the two-dimensional lattice with the given
+    ``char_map(dimension_name, category_name)`` provider."""
+    sizes = []
+    for key in _cuboid_keys(mo):
+        nontrivial = [
+            (name, cat) for name, cat in zip(CUBE_DIMENSIONS, key)
+            if cat != mo.dimension(name).dtype.top_name
+        ]
+        if not nontrivial:
+            sizes.append(1)
+            continue
+        maps = [
+            [facts for facts in char_map(name, cat).values() if facts]
+            for name, cat in nontrivial
+        ]
+        sizes.append(_count_groups(maps))
+    return sizes
+
+
+def naive_cube_sizes(mo):
+    def char_map(name, cat):
+        dimension = mo.dimension(name)
+        relation = mo.relation(name)
+        return {
+            value: relation.facts_characterized_by(value, dimension)
+            for value in dimension.category(cat).members()
+        }
+
+    return _size_lattice(mo, char_map)
+
+
+def indexed_cube_sizes(mo):
+    return _size_lattice(mo, mo.rollup_index().characterization_map)
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def _canonical_rows(agg, names):
+    rows = []
+    for fact in agg.facts:
+        rows.append((
+            tuple(frozenset(agg.relation(n).values_of(fact)) for n in names),
+            len(getattr(fact, "members", ())),
+        ))
+    return sorted(rows, key=repr)
+
+
+def check_agreement(mo) -> None:
+    """The benchmark refuses to report numbers for paths that disagree."""
+    assert naive_group_counts(mo) == dict(indexed_group_counts(mo))
+    assert naive_cube_sizes(mo) == indexed_cube_sizes(mo)
+    names = sorted(AGG_GROUPING)
+    indexed = _canonical_rows(run_aggregate(mo, use_index=True), names)
+    naive = _canonical_rows(run_aggregate(mo, use_index=False), names)
+    assert indexed == naive
+
+
+def bench_scale(n_patients: int, min_seconds: float) -> dict:
+    mo = workload(n_patients).mo
+    t0 = time.perf_counter()
+    for name in mo.dimension_names:
+        mo.rollup_index().group_counts(
+            name, mo.dimension(name).dtype.top_name)
+    build_seconds = time.perf_counter() - t0
+    check_agreement(mo)
+    cell = {"n_patients": n_patients, "n_facts": len(mo.facts),
+            "index_build_seconds": round(build_seconds, 6)}
+    for bench, naive_op, indexed_op in (
+        ("rollup", naive_group_counts, indexed_group_counts),
+        ("aggregate", lambda m: run_aggregate(m, False),
+         lambda m: run_aggregate(m, True)),
+        ("cube_build", naive_cube_sizes, indexed_cube_sizes),
+    ):
+        naive = timed(lambda: naive_op(mo), min_seconds)
+        indexed = timed(lambda: indexed_op(mo), min_seconds)
+        cell[bench] = {
+            "naive_ops_per_sec": round(naive, 3),
+            "indexed_ops_per_sec": round(indexed, 3),
+            "speedup": round(indexed / naive, 2),
+        }
+    return cell
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter timing windows (noisier numbers)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_aggregate.json")
+    args = parser.parse_args(argv)
+    min_seconds = 0.05 if args.quick else 0.3
+
+    cells = []
+    for n in SCALES:
+        print(f"benchmarking n_patients={n} ...", flush=True)
+        cells.append(bench_scale(n, min_seconds))
+    largest = cells[-1]
+    payload = {
+        "generated_by": "tools/run_benchmarks.py",
+        "workload": "clinical",
+        "scales": list(SCALES),
+        "aggregate_grouping": AGG_GROUPING,
+        "rollup": {"dimension": ROLLUP_DIMENSION,
+                   "category": ROLLUP_CATEGORY},
+        "cube_dimensions": list(CUBE_DIMENSIONS),
+        "results": cells,
+        "largest_scale_speedups": {
+            bench: largest[bench]["speedup"]
+            for bench in ("rollup", "aggregate", "cube_build")
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["largest_scale_speedups"], indent=2))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
