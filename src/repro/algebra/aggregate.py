@@ -42,10 +42,16 @@ from repro.core.mo import MultidimensionalObject, TimeKind
 from repro.core.properties import SummarizabilityCheck, check_summarizability
 from repro.core.schema import FactSchema
 from repro.core.values import DimensionValue, Fact
+from repro.obs import metrics, trace
 from repro.temporal.chronon import Chronon
 from repro.temporal.timeset import ALWAYS, TimeSet, coalesce_intersection
 
 __all__ = ["aggregate", "rebuild_with_aggtypes"]
+
+_PATH_INDEXED = metrics.counter("aggregate.path.indexed")
+_PATH_NAIVE = metrics.counter("aggregate.path.naive")
+_PATH_TEMPORAL = metrics.counter("aggregate.path.temporal")
+_GROUPS = metrics.histogram("aggregate.groups")
 
 
 def rebuild_with_aggtypes(
@@ -271,10 +277,15 @@ def aggregate(
 
     # -- form the groups ---------------------------------------------------
     dim_order = list(mo.dimension_names)
-    if use_index and at is None:
-        groups = _form_groups_interned(mo, full_grouping, dim_order)
-    else:
-        groups = _form_groups(mo, full_grouping, dim_order, at, use_index)
+    with trace.span("aggregate.alpha", grouping=tuple(sorted(grouping)),
+                    function=function.name, n_facts=len(mo.facts)):
+        if use_index and at is None:
+            _PATH_INDEXED.inc()
+            groups = _form_groups_interned(mo, full_grouping, dim_order)
+        else:
+            (_PATH_TEMPORAL if at is not None else _PATH_NAIVE).inc()
+            groups = _form_groups(mo, full_grouping, dim_order, at, use_index)
+    _GROUPS.observe(len(groups))
 
     # -- summarizability and the aggregation-type propagation rule ----------
     nontrivial = {

@@ -6,17 +6,21 @@ from repro.engine.cube import CubeBuilder, Cuboid, greedy_view_selection
 from repro.engine.imprecision import (
     GranularityClassification,
     ImpreciseGroups,
+    UNATTRIBUTED,
     classify_by_granularity,
     group_with_imprecision,
     weighted_distribution,
 )
 from repro.engine.optimizer import (
+    AnalyzedNode,
+    AnalyzedPlan,
     Base,
     Plan,
     ProjectNode,
     SelectNode,
     evaluate,
     explain,
+    explain_analyze,
     optimize,
 )
 from repro.engine.preagg import MaterializedAggregate, PreAggregateStore
@@ -26,7 +30,7 @@ from repro.engine.recommend import (
     recommend_materializations,
 )
 from repro.engine.timeseries import change_points, group_count_series, series_table
-from repro.engine.query import Query
+from repro.engine.query import ExplainStep, Query, QueryExplain
 from repro.engine.rollup_index import RollupIndex
 
 __all__ = [
@@ -35,15 +39,19 @@ __all__ = [
     "greedy_view_selection",
     "GranularityClassification",
     "ImpreciseGroups",
+    "UNATTRIBUTED",
     "classify_by_granularity",
     "group_with_imprecision",
     "weighted_distribution",
+    "AnalyzedNode",
+    "AnalyzedPlan",
     "Base",
     "Plan",
     "ProjectNode",
     "SelectNode",
     "evaluate",
     "explain",
+    "explain_analyze",
     "optimize",
     "change_points",
     "group_count_series",
@@ -53,6 +61,8 @@ __all__ = [
     "MaterializationRecommendation",
     "apply_recommendations",
     "recommend_materializations",
+    "ExplainStep",
     "Query",
+    "QueryExplain",
     "RollupIndex",
 ]

@@ -20,8 +20,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.algebra.functions import AggregationFunction, SetCount
 from repro.core.mo import MultidimensionalObject
 from repro.engine.preagg import PreAggregateStore
+from repro.obs import metrics, trace
 
 __all__ = ["Cuboid", "CubeBuilder", "greedy_view_selection"]
+
+_SIZED = metrics.counter("cube.cuboids_sized")
+_MATERIALIZED = metrics.counter("cube.cuboids_materialized")
 
 #: A cuboid id: the grouping category per dimension, in schema order.
 CuboidKey = Tuple[str, ...]
@@ -114,14 +118,16 @@ class CubeBuilder:
         cached = self._cuboids.get(key)
         if cached is not None:
             return cached
-        verdict = self._store.summarizability(
-            self._nontrivial(key), self._function.distributive)
-        cuboid = Cuboid(
-            key=key,
-            dimension_names=self._dims,
-            size=self.size_of(key),
-            summarizable=verdict.summarizable,
-        )
+        _SIZED.inc()
+        with trace.span("cube.size", cuboid=key):
+            verdict = self._store.summarizability(
+                self._nontrivial(key), self._function.distributive)
+            cuboid = Cuboid(
+                key=key,
+                dimension_names=self._dims,
+                size=self.size_of(key),
+                summarizable=verdict.summarizable,
+            )
         self._cuboids[key] = cuboid
         return cuboid
 
@@ -130,7 +136,9 @@ class CubeBuilder:
         store — and record its size and verdict."""
         nontrivial = self._nontrivial(key)
         if self._store.get(self._function, nontrivial) is None:
-            self._store.materialize(self._function, nontrivial)
+            with trace.span("cube.materialize", cuboid=key):
+                self._store.materialize(self._function, nontrivial)
+            _MATERIALIZED.inc()
         return self.cuboid(key)
 
     def materialize_all(self) -> List[Cuboid]:
@@ -172,6 +180,14 @@ def greedy_view_selection(
     candidate cuboids through :meth:`CubeBuilder.cuboid` (rollup-index
     counting); only the selected cuboids are fully materialized.
     """
+    with trace.span("cube.greedy_view_selection", budget=budget):
+        return _greedy_view_selection(builder, budget)
+
+
+def _greedy_view_selection(
+    builder: CubeBuilder,
+    budget: int,
+) -> List[Cuboid]:
     keys = builder.cuboid_keys()
     base_key = min(
         keys,

@@ -25,11 +25,12 @@ authors' follow-up work on imprecision):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, List, Set, Tuple
 
 from repro.core.errors import SchemaError
 from repro.core.mo import MultidimensionalObject
 from repro.core.values import DimensionValue, Fact
+from repro.obs import metrics, trace
 
 __all__ = [
     "GranularityClassification",
@@ -37,7 +38,17 @@ __all__ = [
     "ImpreciseGroups",
     "group_with_imprecision",
     "weighted_distribution",
+    "UNATTRIBUTED",
 ]
+
+#: The explicit "could not be distributed" bucket of
+#: :func:`weighted_distribution`: mass of imprecise facts whose coarse
+#: value has no descendant in the target category lands here instead of
+#: silently vanishing.
+UNATTRIBUTED = DimensionValue(sid=("__unattributed__",),
+                              label="unattributed")
+
+_UNATTRIBUTED_MASS = metrics.counter("imprecision.unattributed_mass")
 
 
 @dataclass
@@ -102,16 +113,45 @@ class ImpreciseGroups:
     unknown: Set[Fact]
 
     def counts(self) -> Dict[str, int]:
-        """Human-readable count summary (labels → counts)."""
-        out = {
-            (v.label or str(v.sid)): len(facts)
-            for v, facts in sorted(self.groups.items(), key=lambda i: repr(i))
-            if facts
-        }
-        for v, facts in sorted(self.imprecise.items(), key=lambda i: repr(i)):
-            out[f"imprecise@{v.label or v.sid}"] = len(facts)
+        """Human-readable count summary (labels → counts).
+
+        Keys are ordered by the values' reprs — which depend only on
+        surrogate id and label — so the summary is identical however the
+        underlying sets were built (sorting by the repr of the whole
+        ``(value, fact-set)`` item would order by set iteration order,
+        i.e. nondeterministically across runs).  Distinct values sharing
+        a label get ``label#sid`` keys instead of silently merging into
+        one entry.
+        """
+        out: Dict[str, int] = {}
+        for label, count in self._labeled(self.groups, ""):
+            out[label] = count
+        for label, count in self._labeled(self.imprecise, "imprecise@"):
+            out[label] = count
         if self.unknown:
             out["unknown"] = len(self.unknown)
+        return out
+
+    @staticmethod
+    def _labeled(table: Dict[DimensionValue, Set[Fact]],
+                 prefix: str) -> List[Tuple[str, int]]:
+        """Deterministic ``(label, count)`` pairs for one bucket table,
+        with colliding labels disambiguated by surrogate id."""
+        items = [
+            (value, facts) for value, facts in
+            sorted(table.items(), key=lambda i: repr(i[0]))
+            if facts
+        ]
+        seen: Dict[str, int] = {}
+        for value, _ in items:
+            label = value.label or str(value.sid)
+            seen[label] = seen.get(label, 0) + 1
+        out: List[Tuple[str, int]] = []
+        for value, facts in items:
+            label = value.label or str(value.sid)
+            if seen[label] > 1:
+                label = f"{label}#{value.sid}"
+            out.append((f"{prefix}{label}", len(facts)))
         return out
 
 
@@ -145,26 +185,41 @@ def weighted_distribution(
     """Distribute imprecise facts uniformly over the fine values below
     their coarse value and return fractional counts per fine value.
 
-    The total over all fine values plus the unknown bucket equals the
-    number of facts with any characterization, so nothing is silently
-    lost or double counted.  Facts characterized by several fine values
-    (many-to-many) contribute 1 to *each*, matching the crisp grouping
-    semantics of Example 12.
+    An imprecise fact whose coarse value has *no* descendant in the
+    target category cannot be distributed; its mass is reported under
+    the explicit :data:`UNATTRIBUTED` key (and counted on the
+    ``imprecision.unattributed_mass`` metric) rather than dropped, so
+    the total over all returned entries equals the answerable count
+    plus one contribution per (imprecise fact, coarse bucket) pair —
+    nothing is silently lost.  Facts characterized by several fine
+    values (many-to-many) contribute 1 to *each*, matching the crisp
+    grouping semantics of Example 12; facts related only to ⊤ stay in
+    the ``unknown`` bucket of :func:`group_with_imprecision` and are
+    not part of the distribution.
     """
     dimension = mo.dimension(dimension_name)
-    grouped = group_with_imprecision(mo, dimension_name, category_name)
-    counts: Dict[DimensionValue, float] = {
-        value: float(len(facts)) for value, facts in grouped.groups.items()
-    }
-    members = set(dimension.category(category_name).members())
-    for coarse, facts in grouped.imprecise.items():
-        below = [
-            v for v in dimension.descendants(coarse, reflexive=False)
-            if v in members
-        ]
-        if not below:
-            continue
-        share = 1.0 / len(below)
-        for value in below:
-            counts[value] = counts.get(value, 0.0) + share * len(facts)
+    with trace.span("imprecision.weighted_distribution",
+                    dimension=dimension_name, category=category_name):
+        grouped = group_with_imprecision(mo, dimension_name, category_name)
+        counts: Dict[DimensionValue, float] = {
+            value: float(len(facts))
+            for value, facts in grouped.groups.items()
+        }
+        members = set(dimension.category(category_name).members())
+        unattributed = 0.0
+        for coarse, facts in grouped.imprecise.items():
+            below = [
+                v for v in dimension.descendants(coarse, reflexive=False)
+                if v in members
+            ]
+            if not below:
+                unattributed += float(len(facts))
+                continue
+            share = 1.0 / len(below)
+            for value in below:
+                counts[value] = counts.get(value, 0.0) + share * len(facts)
+        if unattributed:
+            counts[UNATTRIBUTED] = (
+                counts.get(UNATTRIBUTED, 0.0) + unattributed)
+            _UNATTRIBUTED_MASS.inc(unattributed)
     return counts

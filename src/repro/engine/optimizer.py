@@ -34,15 +34,20 @@ Equivalence of optimized and naive plans is property-tested in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Tuple, Union
 
 from repro.algebra import conjunction, project, select
 from repro.algebra.predicates import Predicate
 from repro.core.mo import MultidimensionalObject
+from repro.obs import metrics, trace
 
 __all__ = ["Base", "SelectNode", "ProjectNode", "Plan", "evaluate",
-           "optimize", "explain"]
+           "optimize", "explain", "AnalyzedNode", "AnalyzedPlan",
+           "explain_analyze"]
+
+_REWRITES = metrics.counter("optimizer.rewrite_passes")
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,7 @@ def optimize(plan: Plan) -> Plan:
         rewritten = _rewrite(current)
         if rewritten == current:
             return current
+        _REWRITES.inc()
         current = rewritten
 
 
@@ -143,3 +149,100 @@ def explain(plan: Plan, indent: int = 0) -> str:
         return (f"{pad}π[{', '.join(plan.dimensions)}]\n"
                 + explain(plan.child, indent + 1))
     raise TypeError(f"unknown plan node {plan!r}")
+
+
+@dataclass(frozen=True)
+class AnalyzedNode:
+    """One evaluated plan node with its measurements.
+
+    ``elapsed_seconds`` is *inclusive* wall time (this node plus its
+    subtree, as in PostgreSQL's actual-time column); ``facts_in`` is
+    the child's output fact count (its own output for :class:`Base`),
+    ``facts_out`` this node's.
+    """
+
+    label: str
+    elapsed_seconds: float
+    facts_in: int
+    facts_out: int
+    children: Tuple["AnalyzedNode", ...] = ()
+
+    @property
+    def self_seconds(self) -> float:
+        """This node's own time (inclusive minus children)."""
+        return max(
+            0.0,
+            self.elapsed_seconds
+            - sum(c.elapsed_seconds for c in self.children),
+        )
+
+    def render(self, indent: int = 0) -> str:
+        """This subtree, one annotated line per node."""
+        pad = "  " * indent
+        line = (f"{pad}{self.label}  facts {self.facts_in} -> "
+                f"{self.facts_out}  {self.elapsed_seconds * 1e3:.3f}ms")
+        parts = [line]
+        parts.extend(c.render(indent + 1) for c in self.children)
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class AnalyzedPlan:
+    """An evaluated plan: the result MO plus the annotated node tree
+    (the plan-level EXPLAIN ANALYZE)."""
+
+    root: AnalyzedNode
+    mo: MultidimensionalObject
+
+    @property
+    def total_seconds(self) -> float:
+        """Total evaluation wall time (the root's inclusive time)."""
+        return self.root.elapsed_seconds
+
+    def render(self) -> str:
+        """The annotated tree as text."""
+        return self.root.render()
+
+
+def explain_analyze(plan: Plan) -> AnalyzedPlan:
+    """Evaluate ``plan`` bottom-up, annotating every node with elapsed
+    wall time and in/out fact counts — the plan-level counterpart of
+    :meth:`repro.engine.query.Query.explain`.
+
+    The evaluation is the real one (same operators as
+    :func:`evaluate`); the returned :class:`AnalyzedPlan` carries the
+    result MO, so analyzing costs one evaluation, not two.
+    """
+
+    def rec(node: Plan) -> Tuple[AnalyzedNode, MultidimensionalObject]:
+        t0 = time.perf_counter()
+        if isinstance(node, Base):
+            mo = node.mo
+            analyzed = AnalyzedNode(
+                label=f"Base({mo.schema.fact_type})",
+                elapsed_seconds=time.perf_counter() - t0,
+                facts_in=len(mo.facts), facts_out=len(mo.facts))
+            return analyzed, mo
+        if isinstance(node, SelectNode):
+            child, child_mo = rec(node.child)
+            mo = select(child_mo, node.predicate)
+            analyzed = AnalyzedNode(
+                label=f"σ[{node.predicate.description}]",
+                elapsed_seconds=time.perf_counter() - t0,
+                facts_in=child.facts_out, facts_out=len(mo.facts),
+                children=(child,))
+            return analyzed, mo
+        if isinstance(node, ProjectNode):
+            child, child_mo = rec(node.child)
+            mo = project(child_mo, list(node.dimensions))
+            analyzed = AnalyzedNode(
+                label=f"π[{', '.join(node.dimensions)}]",
+                elapsed_seconds=time.perf_counter() - t0,
+                facts_in=child.facts_out, facts_out=len(mo.facts),
+                children=(child,))
+            return analyzed, mo
+        raise TypeError(f"unknown plan node {node!r}")
+
+    with trace.span("optimizer.explain_analyze"):
+        root, mo = rec(plan)
+    return AnalyzedPlan(root=root, mo=mo)

@@ -16,7 +16,7 @@ shows both the refusal and the cost difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
 from repro.algebra.functions import AggregationFunction
@@ -24,22 +24,39 @@ from repro.core.errors import AlgebraError
 from repro.core.mo import MultidimensionalObject
 from repro.core.properties import SummarizabilityCheck
 from repro.core.values import DimensionValue, Fact
+from repro.obs import metrics, trace
 
 __all__ = ["MaterializedAggregate", "PreAggregateStore"]
 
 GroupKey = Tuple[DimensionValue, ...]
 
+#: the MO state a materialization was computed from: the fact-set
+#: version plus every dimension's (order version, relation version) —
+#: all dimensions, not just the grouped ones, because the aggregation
+#: function may read measures from any relation (e.g. ``Sum("Age")``)
+VersionStamp = Tuple[int, Tuple[Tuple[str, int, int], ...]]
+
+_MATERIALIZE = metrics.counter("preagg.materialize")
+_REUSE = metrics.counter("preagg.reuse")
+_REFUSE = metrics.counter("preagg.refuse")
+_STALE_EVICTED = metrics.counter("preagg.stale_evicted")
+_COVERAGE_REFUSED = metrics.counter("preagg.coverage_refused")
+
 
 @dataclass
 class MaterializedAggregate:
     """One materialized aggregate: results per group plus the
-    summarizability verdict recorded at materialization time."""
+    summarizability verdict and MO version stamp recorded at
+    materialization time."""
 
     grouping: Dict[str, str]
     function_name: str
     results: Dict[GroupKey, object]
     groups: Dict[GroupKey, Set[Fact]]
     summarizability: SummarizabilityCheck
+    #: the (fact-set, per-dimension order/relation) versions this was
+    #: built from; the store serves it only while they still match
+    versions: VersionStamp = field(default=(0, ()))
 
 
 class PreAggregateStore:
@@ -76,35 +93,58 @@ class PreAggregateStore:
         the cube builder can judge cuboids without materializing them."""
         return self._verdict(grouping, distributive)
 
+    def _stamp(self) -> VersionStamp:
+        """The MO's current mutation-counter state, recorded on each
+        materialization and re-checked before any reuse."""
+        mo = self._mo
+        return (
+            mo.facts_version,
+            tuple(
+                (name, mo.dimension(name).order.version,
+                 mo.relation(name).version)
+                for name in mo.dimension_names
+            ),
+        )
+
+    def _is_fresh(self, stored: MaterializedAggregate) -> bool:
+        return stored.versions == self._stamp()
+
     def materialize(self, function: AggregationFunction,
                     grouping: Dict[str, str]) -> MaterializedAggregate:
         """Compute and store the aggregate at the given grouping levels
         (single- or multi-dimension), straight from the base data via
         the rollup index."""
-        maps = {
-            name: self._index.characterization_map(name, cat)
-            for name, cat in grouping.items()
-        }
-        groups: Dict[GroupKey, Set[Fact]] = {}
-        names = sorted(grouping)
-        if names:
-            first = names[0]
-            for combo, facts in self._expand(names, maps):
-                if facts:
-                    groups[combo] = facts
-        else:
-            groups[()] = set(self._mo.facts)
-        results = {
-            combo: function.apply(facts, self._mo)
-            for combo, facts in groups.items()
-        }
-        verdict = self._verdict(grouping, function.distributive)
+        _MATERIALIZE.inc()
+        with trace.span("preagg.materialize",
+                        grouping=tuple(sorted(grouping.items())),
+                        function=function.name):
+            stamp = self._stamp()
+            maps = {
+                name: self._index.characterization_map(name, cat)
+                for name, cat in grouping.items()
+            }
+            groups: Dict[GroupKey, Set[Fact]] = {}
+            names = sorted(grouping)
+            if names:
+                for combo, facts in self._expand(names, maps):
+                    if facts:
+                        groups[combo] = facts
+            elif self._mo.facts:
+                # a fact-less MO has no grand-total group, matching the
+                # α path, which produces no result fact either
+                groups[()] = set(self._mo.facts)
+            results = {
+                combo: function.apply(facts, self._mo)
+                for combo, facts in groups.items()
+            }
+            verdict = self._verdict(grouping, function.distributive)
         materialized = MaterializedAggregate(
             grouping=dict(grouping),
             function_name=function.name,
             results=results,
             groups=groups,
             summarizability=verdict,
+            versions=stamp,
         )
         self._store[self._key(grouping, function)] = materialized
         return materialized
@@ -127,13 +167,31 @@ class PreAggregateStore:
 
     def get(self, function: AggregationFunction,
             grouping: Dict[str, str]) -> Optional[MaterializedAggregate]:
-        """A previously materialized aggregate, if any."""
-        return self._store.get(self._key(grouping, function))
+        """A previously materialized aggregate, if any — only while its
+        version stamp still matches the MO (a mutation since
+        materialization evicts the entry instead of serving stale
+        results)."""
+        key = self._key(grouping, function)
+        stored = self._store.get(key)
+        if stored is None:
+            return None
+        if not self._is_fresh(stored):
+            del self._store[key]
+            _STALE_EVICTED.inc()
+            return None
+        return stored
 
     def entries(self):
         """Iterate ``(grouping dict, function name, materialized)`` for
-        every stored aggregate."""
-        for (grouping_key, function_name), stored in self._store.items():
+        every stored aggregate that is still fresh; stale entries are
+        evicted, not yielded."""
+        stamp = self._stamp()
+        stale = [key for key, stored in self._store.items()
+                 if stored.versions != stamp]
+        for key in stale:
+            del self._store[key]
+            _STALE_EVICTED.inc()
+        for (grouping_key, function_name), stored in list(self._store.items()):
             yield dict(grouping_key), function_name, stored
 
     def can_roll_up(
@@ -143,11 +201,15 @@ class PreAggregateStore:
         target_grouping: Dict[str, str],
     ) -> bool:
         """Whether ``stored`` may be combined into the coarser
-        ``target_grouping``: the stored aggregate must have been
-        summarizable, the function distributive, the target must be
-        coarser in every dimension, and the hierarchy between stored and
-        target levels strict and partitioning (re-checked at the target
-        levels)."""
+        ``target_grouping``: the stored aggregate must still be fresh
+        and have been summarizable, the function distributive, the
+        target must be coarser in every dimension, the hierarchy between
+        stored and target levels strict and partitioning (re-checked at
+        the target levels), and the fact characterizations at the stored
+        level many-to-one onto the target's visible facts (see
+        :meth:`_stored_level_covers`)."""
+        if not self._is_fresh(stored):
+            return False
         if not stored.summarizability.summarizable:
             return False
         if not function.distributive:
@@ -160,7 +222,41 @@ class PreAggregateStore:
                 return False
         target_verdict = self._verdict(target_grouping,
                                        function.distributive)
-        return target_verdict.summarizable
+        if not target_verdict.summarizable:
+            return False
+        if not self._stored_level_covers(stored.grouping, target_grouping):
+            _COVERAGE_REFUSED.inc()
+            return False
+        return True
+
+    def _stored_level_covers(self, stored_grouping: Dict[str, str],
+                             target_grouping: Dict[str, str]) -> bool:
+        """The summarizability condition the paper leaves implicit: the
+        fact characterizations at the *stored* level must be many-to-one
+        onto the facts visible at the target level — every fact
+        characterized at the target category characterized by exactly
+        one stored-category value.
+
+        Without it, combining stored results miscounts under mixed
+        granularity: a fact recorded only at a coarse value (an
+        imprecise fact) appears in the direct target-level grouping but
+        in no stored fine-level group, so the combined result silently
+        loses it; a fact under two stored siblings would conversely be
+        counted twice.  Both per-fact maps come from the rollup index's
+        per-category cache, so repeated checks do not re-scan the data.
+        """
+        index = self._index
+        for name, stored_cat in stored_grouping.items():
+            target_cat = target_grouping[name]
+            if stored_cat == target_cat:
+                continue
+            stored_map = index.grouping_values_per_fact(name, stored_cat)
+            target_map = index.grouping_values_per_fact(name, target_cat)
+            for fact in target_map:
+                stored_values = stored_map.get(fact)
+                if stored_values is None or len(stored_values) != 1:
+                    return False
+        return True
 
     def roll_up(
         self,
@@ -180,29 +276,38 @@ class PreAggregateStore:
                 f"no materialized aggregate at {source_grouping!r}"
             )
         if not self.can_roll_up(stored, function, target_grouping):
+            _REFUSE.inc()
+            reason = stored.summarizability.explain()
+            if stored.summarizability.summarizable:
+                reason = ("stored-level fact characterizations are not "
+                          "many-to-one onto the target level (mixed "
+                          "granularity or many-to-many), or the target "
+                          "level is itself not summarizable")
             raise AlgebraError(
                 f"cannot combine {source_grouping!r} into "
-                f"{target_grouping!r}: "
-                f"{stored.summarizability.explain()}"
+                f"{target_grouping!r}: {reason}"
             )
-        names = sorted(target_grouping)
-        partials: Dict[GroupKey, list] = {}
-        for combo, result in stored.results.items():
-            target_combo = []
-            ok = True
-            for name, value in zip(sorted(stored.grouping), combo):
-                parent = self._parent_in(name, value,
-                                         target_grouping[name])
-                if parent is None:
-                    ok = False
-                    break
-                target_combo.append(parent)
-            if ok:
-                partials.setdefault(tuple(target_combo), []).append(result)
-        return {
-            combo: function.combine(values)
-            for combo, values in partials.items()
-        }
+        _REUSE.inc()
+        with trace.span("preagg.roll_up",
+                        source=tuple(sorted(source_grouping.items())),
+                        target=tuple(sorted(target_grouping.items()))):
+            partials: Dict[GroupKey, list] = {}
+            for combo, result in stored.results.items():
+                target_combo = []
+                ok = True
+                for name, value in zip(sorted(stored.grouping), combo):
+                    parent = self._parent_in(name, value,
+                                             target_grouping[name])
+                    if parent is None:
+                        ok = False
+                        break
+                    target_combo.append(parent)
+                if ok:
+                    partials.setdefault(tuple(target_combo), []).append(result)
+            return {
+                combo: function.combine(values)
+                for combo, values in partials.items()
+            }
 
     def _parent_in(self, dimension_name: str, value: DimensionValue,
                    category_name: str) -> Optional[DimensionValue]:

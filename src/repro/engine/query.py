@@ -16,6 +16,8 @@ Example::
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.algebra import (
@@ -31,10 +33,63 @@ from repro.core.helpers import make_result_spec
 from repro.core.mo import MultidimensionalObject, TimeKind
 from repro.core.values import DimensionValue
 from repro.engine.preagg import PreAggregateStore
+from repro.obs import metrics, trace
 
-__all__ = ["Query", "QueryResultRow"]
+__all__ = ["Query", "QueryResultRow", "ExplainStep", "QueryExplain"]
 
 QueryResultRow = Tuple[Dict[str, DimensionValue], object]
+
+_PATH_STORE = metrics.counter("query.path.store")
+_PATH_INDEX = metrics.counter("query.path.index")
+_PATH_ALPHA = metrics.counter("query.path.alpha")
+
+
+@dataclass
+class ExplainStep:
+    """One evaluated step of a query, annotated with its measurements.
+
+    ``facts_in`` is how many base facts the step had to look at (0 when
+    it answered purely from stored results), ``facts_out`` how many
+    facts/rows it produced.
+    """
+
+    name: str
+    elapsed_seconds: float
+    facts_in: int
+    facts_out: int
+    detail: str = ""
+
+    def render(self) -> str:
+        """One line: name, fact flow, elapsed, detail."""
+        extra = f"  ({self.detail})" if self.detail else ""
+        return (f"{self.name}  facts {self.facts_in} -> {self.facts_out}"
+                f"  {self.elapsed_seconds * 1e3:.3f}ms{extra}")
+
+
+@dataclass
+class QueryExplain:
+    """The EXPLAIN ANALYZE view of one executed query: the answer path
+    taken (``store`` / ``index`` / ``alpha``), per-step timings and
+    fact counts, and the rows themselves (the query *was* executed —
+    this is analysis, not estimation)."""
+
+    path: str
+    rows: List[QueryResultRow]
+    steps: List[ExplainStep] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total measured time across steps."""
+        return sum(step.elapsed_seconds for step in self.steps)
+
+    def render(self) -> str:
+        """A text block: header plus one indented line per step."""
+        lines = [
+            f"Query path={self.path} rows={len(self.rows)} "
+            f"total={self.total_seconds * 1e3:.3f}ms"
+        ]
+        lines.extend("  " + step.render() for step in self.steps)
+        return "\n".join(lines)
 
 
 class Query:
@@ -92,15 +147,82 @@ class Query:
         finer aggregate that is safely combinable answers the query
         without touching base data.
         """
-        function = function or SetCount()
-        if self._store is not None and not self._dices:
-            fast = self._try_store(function)
-            if fast is not None:
-                return fast
-        indexed = self._try_index(function, strict_types)
-        if indexed is not None:
-            return indexed
-        mo = self._diced_mo()
+        rows, _ = self._run(function or SetCount(), strict_types, None)
+        return rows
+
+    def explain(self, function: Optional[AggregationFunction] = None,
+                strict_types: bool = False) -> QueryExplain:
+        """Execute the query and report *how* it was answered: the path
+        taken (``store`` / ``index`` / ``alpha``), and per-step elapsed
+        time and in/out fact counts — the engine's EXPLAIN ANALYZE."""
+        steps: List[ExplainStep] = []
+        rows, path = self._run(function or SetCount(), strict_types, steps)
+        return QueryExplain(path=path, rows=rows, steps=steps)
+
+    def _run(
+        self,
+        function: AggregationFunction,
+        strict_types: bool,
+        steps: Optional[List[ExplainStep]],
+    ) -> Tuple[List[QueryResultRow], str]:
+        """The one evaluation pipeline behind :meth:`execute` and
+        :meth:`explain`: try the store, then the index fast path, then
+        the full α evaluation, recording a step per evaluated node when
+        ``steps`` is given."""
+        with trace.span("query.execute",
+                        grouping=tuple(sorted(self._grouping)),
+                        n_dices=len(self._dices), function=function.name):
+            if self._store is not None and not self._dices:
+                t0 = time.perf_counter()
+                fast = self._try_store(function)
+                if fast is not None:
+                    rows, detail = fast
+                    _PATH_STORE.inc()
+                    if steps is not None:
+                        steps.append(ExplainStep(
+                            name="store", detail=detail,
+                            elapsed_seconds=time.perf_counter() - t0,
+                            facts_in=0, facts_out=len(rows)))
+                    return rows, "store"
+            t0 = time.perf_counter()
+            indexed = self._try_index(function, strict_types)
+            if indexed is not None:
+                _PATH_INDEX.inc()
+                if steps is not None:
+                    steps.append(ExplainStep(
+                        name="index",
+                        detail="rollup-index characterization map",
+                        elapsed_seconds=time.perf_counter() - t0,
+                        facts_in=len(self._mo.facts),
+                        facts_out=len(indexed)))
+                return indexed, "index"
+            _PATH_ALPHA.inc()
+            t0 = time.perf_counter()
+            mo = self._diced_mo()
+            if steps is not None and self._dices:
+                steps.append(ExplainStep(
+                    name="dice",
+                    detail=", ".join(f"{d}={v!r}" for d, v in self._dices),
+                    elapsed_seconds=time.perf_counter() - t0,
+                    facts_in=len(self._mo.facts),
+                    facts_out=len(mo.facts)))
+            t0 = time.perf_counter()
+            rows, n_groups = self._run_alpha(mo, function, strict_types)
+            if steps is not None:
+                steps.append(ExplainStep(
+                    name="alpha",
+                    detail=f"{function.name} over "
+                           f"{dict(sorted(self._grouping.items()))}",
+                    elapsed_seconds=time.perf_counter() - t0,
+                    facts_in=len(mo.facts), facts_out=n_groups))
+            return rows, "alpha"
+
+    def _run_alpha(
+        self, mo: MultidimensionalObject, function: AggregationFunction,
+        strict_types: bool,
+    ) -> Tuple[List[QueryResultRow], int]:
+        """Full aggregate formation; returns the rows and the number of
+        groups (result facts) α produced."""
         result = make_result_spec(name="__query_result")
         aggregated = aggregate(mo, function, self._grouping, result,
                                strict_types=strict_types)
@@ -125,7 +247,7 @@ class Query:
                 rows.append((group, raw))
         rows.sort(key=lambda row: tuple(
             repr(row[0][name]) for name in names))
-        return rows
+        return rows, len(aggregated.facts)
 
     def _try_index(
         self, function: AggregationFunction, strict_types: bool
@@ -161,7 +283,10 @@ class Query:
 
     def _try_store(
         self, function: AggregationFunction
-    ) -> Optional[List[QueryResultRow]]:
+    ) -> Optional[Tuple[List[QueryResultRow], str]]:
+        """Answer from the pre-aggregate store if a fresh stored
+        aggregate matches exactly or combines safely; returns the rows
+        plus a human-readable description of the hit, or None."""
         assert self._store is not None
         for source, fname, materialized in list(self._store.entries()):
             if fname != function.name:
@@ -169,12 +294,15 @@ class Query:
             if set(source) != set(self._grouping):
                 continue
             if source == self._grouping:
-                return self._rows_from(materialized.results, sorted(source))
+                return (self._rows_from(materialized.results, sorted(source)),
+                        f"exact hit: {function.name} @ "
+                        f"{dict(sorted(source.items()))}")
             if self._store.can_roll_up(materialized, function,
                                        self._grouping):
                 combined = self._store.roll_up(function, source,
                                                self._grouping)
-                return self._rows_from(combined, sorted(self._grouping))
+                return (self._rows_from(combined, sorted(self._grouping)),
+                        f"rolled up from {dict(sorted(source.items()))}")
         return None
 
     def _rows_from(self, results, names) -> List[QueryResultRow]:

@@ -40,9 +40,24 @@ from repro.core.factdim import FactDimensionRelation
 from repro.core.interning import InternTable
 from repro.core.properties import SummarizabilityCheck, check_summarizability
 from repro.core.values import DimensionValue, Fact
+from repro.obs import metrics, trace
 from repro.temporal.chronon import Chronon
 
 __all__ = ["RollupIndex"]
+
+# metric objects are cached at import so the hot paths pay one float add
+# (see docs/OBSERVABILITY.md for the catalogue)
+_BUILDS = metrics.counter("rollup_index.builds")
+_BUILD_CAUSES = {
+    cause: metrics.counter(f"rollup_index.build_cause.{cause}")
+    for cause in ("new", "order", "relation", "order+relation")
+}
+_CHAR_MAP_HIT = metrics.counter("rollup_index.char_map.hit")
+_CHAR_MAP_MISS = metrics.counter("rollup_index.char_map.miss")
+_PER_FACT_HIT = metrics.counter("rollup_index.per_fact_map.hit")
+_PER_FACT_MISS = metrics.counter("rollup_index.per_fact_map.miss")
+_SUMM_HIT = metrics.counter("rollup_index.summarizability.hit")
+_SUMM_MISS = metrics.counter("rollup_index.summarizability.miss")
 
 
 class _DimensionIndex:
@@ -165,12 +180,32 @@ class RollupIndex:
         entry = self._dims.get(dimension_name)
         if entry is not None and entry.is_fresh(dimension, relation):
             return entry
+        cause = self._rebuild_cause(entry, dimension, relation)
         values = self._value_tables.setdefault(dimension_name, InternTable())
-        entry = _build_dimension_index(dimension, relation, values,
-                                       self._facts)
+        with trace.span("rollup_index.build", dimension=dimension_name,
+                        cause=cause):
+            entry = _build_dimension_index(dimension, relation, values,
+                                           self._facts)
         self._dims[dimension_name] = entry
         self._builds += 1
+        _BUILDS.inc()
+        _BUILD_CAUSES[cause].inc()
         return entry
+
+    @staticmethod
+    def _rebuild_cause(entry: Optional[_DimensionIndex],
+                       dimension: Dimension,
+                       relation: FactDimensionRelation) -> str:
+        """Why a (re)build is happening: first build, a dirty order, a
+        dirty relation, or both — the per-cause counters turn "the
+        benchmark got slower" into "a rebuild storm on dimension X"."""
+        if entry is None:
+            return "new"
+        order_dirty = entry.order_version != dimension.order.version
+        relation_dirty = entry.relation_version != relation.version
+        if order_dirty and relation_dirty:
+            return "order+relation"
+        return "order" if order_dirty else "relation"
 
     def is_fresh(self, dimension_name: str) -> bool:
         """Whether the dimension's table exists and matches the current
@@ -214,9 +249,13 @@ class RollupIndex:
         )
         verdict = self._verdicts.get(key)
         if verdict is None:
-            verdict = check_summarizability(self._mo, dict(grouping),
-                                            distributive, at=at)
+            _SUMM_MISS.inc()
+            with trace.span("rollup_index.summarizability", grouping=names):
+                verdict = check_summarizability(self._mo, dict(grouping),
+                                                distributive, at=at)
             self._verdicts[key] = verdict
+        else:
+            _SUMM_HIT.inc()
         return verdict
 
     # -- interned orderings ------------------------------------------------
@@ -292,13 +331,17 @@ class RollupIndex:
         entry = self._entry(dimension_name)
         cached = entry.category_maps.get(category_name)
         if cached is not None:
+            _CHAR_MAP_HIT.inc()
             return cached
+        _CHAR_MAP_MISS.inc()
         dimension = self._mo.dimension(dimension_name)
         category = dimension.category(category_name)
-        result = {
-            value: self._fact_set(entry, value)
-            for value in category.members()
-        }
+        with trace.span("rollup_index.char_map", dimension=dimension_name,
+                        category=category_name):
+            result = {
+                value: self._fact_set(entry, value)
+                for value in category.members()
+            }
         entry.category_maps[category_name] = result
         return result
 
@@ -343,6 +386,7 @@ class RollupIndex:
         entry = self._entry(dimension_name)
         cached = entry.per_fact_maps.get(category_name)
         if cached is not None:
+            _PER_FACT_HIT.inc()
             return cached
         facts_table = self._facts
         values_table = entry.values
@@ -360,7 +404,9 @@ class RollupIndex:
                       category_name: str) -> Dict[int, Tuple[int, ...]]:
         cached = entry.per_fact_id_maps.get(category_name)
         if cached is not None:
+            _PER_FACT_HIT.inc()
             return cached
+        _PER_FACT_MISS.inc()
         dimension = self._mo.dimension(dimension_name)
         by_fact_ids: Dict[int, List[int]] = {}
         for value in dimension.category(category_name).members():

@@ -1,0 +1,42 @@
+"""Observability layer: process-local metrics and trace spans.
+
+The engine's hot paths (rollup index, α, pre-aggregation, query,
+cube) report *what they did* — cache hits, rebuild causes, answer
+paths, refusals — through :mod:`repro.obs.metrics`, and *where time
+went* through :mod:`repro.obs.trace`.  Zero dependencies; tracing is
+off by default and free when off.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+    render,
+    reset,
+    snapshot,
+)
+from repro.obs.trace import SpanRecord, span
+
+__all__ = [
+    "metrics",
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "render",
+    "reset",
+    "snapshot",
+    "SpanRecord",
+    "span",
+]

@@ -1,0 +1,264 @@
+"""Process-local metrics: counters, gauges, histograms, one registry.
+
+The engine's hot layers report what they did — closure rebuilds,
+characterization-map hits, pre-aggregate reuse and refusal, which α path
+answered a query — through the metrics in this module, so the question
+"why did this number move?" has an answer recorded next to the number
+(see ``docs/OBSERVABILITY.md`` for the metric catalogue).
+
+Zero dependencies, zero configuration:
+
+* metric objects are created on first use through the registry
+  (``counter(name)`` / ``gauge(name)`` / ``histogram(name)``) and are
+  plain attribute-update objects — an increment is one ``float`` add;
+* :func:`reset` zeroes every registered metric **in place**, so modules
+  may cache metric objects at import time and survive resets;
+* :func:`snapshot` returns plain dicts (JSON-ready), :func:`render`
+  a human-readable text block.
+
+Instrumentation is deliberately placed at *operation* granularity
+(one query, one map build, one materialization) — never inside per-fact
+loops — so the counters stay on permanently without moving benchmark
+numbers; only :mod:`repro.obs.trace` spans have an on/off switch.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset",
+    "render",
+]
+
+
+class Counter:
+    """A monotonically increasing count (until :meth:`reset`)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (defaults to 1; fractional amounts allowed,
+        e.g. unattributed imprecise mass)."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter, keeping it registered."""
+        self.value = 0.0
+
+
+class Gauge:
+    """A value that goes up and down (e.g. entries currently stored)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the level up (or down, with a negative amount)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the level down."""
+        self.value -= amount
+
+    def reset(self) -> None:
+        """Zero the gauge, keeping it registered."""
+        self.value = 0.0
+
+
+class Histogram:
+    """Summary statistics of observed values (count/sum/min/max/mean).
+
+    Bounded state — no sample reservoir — so observing is O(1) and a
+    snapshot is always cheap; good enough to read "how many groups did
+    α form, typically" next to a throughput number.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """The mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget every observation, keeping the histogram registered."""
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-ready summary of this histogram."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": round(self.mean, 6),
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one process, by name.
+
+    Creation is get-or-create and thread-safe; a name is permanently one
+    kind of metric (asking for a ``counter`` under a ``gauge``'s name
+    raises).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _get(self, table: Dict, name: str, factory):
+        found = table.get(name)
+        if found is not None:
+            return found
+        with self._lock:
+            found = table.get(name)
+            if found is None:
+                self._check_unique(name, table)
+                found = table.setdefault(name, factory(name))
+            return found
+
+    def _check_unique(self, name: str, table: Dict) -> None:
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not table and name in other:
+                raise ValueError(
+                    f"metric name {name!r} already registered as a "
+                    f"different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(self._histograms, name, Histogram)
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, Dict]:
+        """Plain-dict view of every metric (optionally only names under
+        ``prefix``), ready for ``json.dumps``."""
+
+        def keep(name: str) -> bool:
+            return prefix is None or name.startswith(prefix)
+
+        return {
+            "counters": {
+                name: c.value
+                for name, c in sorted(self._counters.items()) if keep(name)
+            },
+            "gauges": {
+                name: g.value
+                for name, g in sorted(self._gauges.items()) if keep(name)
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items()) if keep(name)
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric **in place** — cached metric objects stay
+        valid, which is what lets hot modules hold direct references."""
+        with self._lock:
+            for table in (self._counters, self._gauges, self._histograms):
+                for metric in table.values():
+                    metric.reset()
+
+    def render(self, prefix: Optional[str] = None) -> str:
+        """A sorted ``name value`` text block (one metric per line)."""
+        snap = self.snapshot(prefix)
+        lines = []
+        for name, value in snap["counters"].items():
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"{name} {shown}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name} {value}")
+        for name, summary in snap["histograms"].items():
+            lines.append(
+                f"{name} count={summary['count']} mean={summary['mean']} "
+                f"min={summary['min']} max={summary['max']}"
+            )
+        return "\n".join(lines)
+
+
+#: The process-global registry every engine module reports into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """``REGISTRY.counter(name)`` (the usual way to obtain a counter)."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """``REGISTRY.gauge(name)``."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """``REGISTRY.histogram(name)``."""
+    return REGISTRY.histogram(name)
+
+
+def snapshot(prefix: Optional[str] = None) -> Dict[str, Dict]:
+    """``REGISTRY.snapshot(prefix)``."""
+    return REGISTRY.snapshot(prefix)
+
+
+def reset() -> None:
+    """``REGISTRY.reset()``."""
+    REGISTRY.reset()
+
+
+def render(prefix: Optional[str] = None) -> str:
+    """``REGISTRY.render(prefix)``."""
+    return REGISTRY.render(prefix)

@@ -1,0 +1,173 @@
+"""Nestable trace spans with a bounded ring buffer.
+
+``with span("aggregate.alpha", grouping=...):`` brackets one unit of
+engine work; on exit, a :class:`SpanRecord` (name, attributes, wall
+time, nesting depth, parent) lands in a process-local ring buffer that
+:func:`spans` reads back — the raw material for ``explain``-style
+output and for understanding *where* a slow query spent its time.
+
+Tracing is **off by default** and the disabled path is a single module
+flag check returning a shared no-op context manager — cheap enough to
+leave `span(...)` calls permanently in hot layers (the benchmark gate
+in ``BENCH_aggregate.json`` runs with tracing disabled and must stay
+within 5% of the uninstrumented baseline).
+
+Span names follow ``<layer>.<operation>`` (dots, lowercase):
+``rollup_index.build``, ``aggregate.alpha``, ``preagg.materialize``,
+``query.execute`` — the catalogue lives in ``docs/OBSERVABILITY.md``.
+
+Nesting is tracked per thread; the ring buffer is shared (appends are
+GIL-atomic ``deque.append`` calls), so multi-threaded callers get a
+merged, bounded trace without locks on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "spans",
+    "clear",
+    "set_buffer_size",
+]
+
+#: default ring-buffer capacity (finished spans kept)
+DEFAULT_BUFFER_SIZE = 4096
+
+_enabled = False
+_buffer: Deque["SpanRecord"] = deque(maxlen=DEFAULT_BUFFER_SIZE)
+_stack = threading.local()
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as stored in the ring buffer."""
+
+    name: str
+    #: wall-clock duration, seconds (includes child spans)
+    elapsed_seconds: float
+    #: nesting depth at entry (0 = top-level)
+    depth: int
+    #: name of the enclosing span, if any
+    parent: Optional[str]
+    #: keyword attributes passed to :func:`span`
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = f" {self.attributes}" if self.attributes else ""
+        return (f"SpanRecord({self.name}, {self.elapsed_seconds * 1e3:.3f}ms,"
+                f" depth={self.depth}{attrs})")
+
+
+class _NullSpan:
+    """The shared do-nothing context manager handed out when tracing is
+    disabled (no allocation, no timestamps, no buffer writes)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: measures wall time and records itself on exit."""
+
+    __slots__ = ("name", "attributes", "_start", "_depth", "_parent")
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self._start = 0.0
+        self._depth = 0
+        self._parent: Optional[str] = None
+
+    def __enter__(self) -> "_Span":
+        stack: List[str] = getattr(_stack, "names", None)
+        if stack is None:
+            stack = _stack.names = []
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = getattr(_stack, "names", None)
+        if stack:
+            stack.pop()
+        _buffer.append(SpanRecord(
+            name=self.name,
+            elapsed_seconds=elapsed,
+            depth=self._depth,
+            parent=self._parent,
+            attributes=self.attributes,
+        ))
+
+
+def span(name: str, **attributes):
+    """A context manager timing one named unit of work.
+
+    When tracing is disabled (the default) this returns a shared no-op
+    object; when enabled, the finished span is appended to the ring
+    buffer with its nesting depth and parent span name.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name, attributes)
+
+
+def enable(buffer_size: Optional[int] = None) -> None:
+    """Turn tracing on (optionally resizing the ring buffer, which
+    drops previously recorded spans)."""
+    global _enabled, _buffer
+    if buffer_size is not None and buffer_size != _buffer.maxlen:
+        _buffer = deque(maxlen=buffer_size)
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off.  Already-recorded spans stay readable."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _enabled
+
+
+def spans(name: Optional[str] = None) -> List[SpanRecord]:
+    """The recorded spans, oldest first (optionally only those whose
+    name equals ``name``)."""
+    if name is None:
+        return list(_buffer)
+    return [record for record in _buffer if record.name == name]
+
+
+def clear() -> None:
+    """Drop every recorded span (the enabled/disabled state stays)."""
+    _buffer.clear()
+
+
+def set_buffer_size(size: int) -> None:
+    """Resize the ring buffer (drops previously recorded spans)."""
+    global _buffer
+    if size < 1:
+        raise ValueError(f"buffer size must be >= 1, got {size}")
+    _buffer = deque(maxlen=size)

@@ -1,0 +1,138 @@
+"""Tests for the EXPLAIN ANALYZE surfaces: ``Query.explain`` and
+``optimizer.explain_analyze``."""
+
+from repro.algebra import SetCount, Sum, characterized_by
+from repro.casestudy import diagnosis_value
+from repro.engine import (
+    Base,
+    PreAggregateStore,
+    ProjectNode,
+    Query,
+    SelectNode,
+    evaluate,
+    explain_analyze,
+)
+
+
+class TestQueryExplain:
+    def test_index_path(self, snapshot_mo):
+        query = Query(snapshot_mo).rollup("Diagnosis", "Diagnosis Group")
+        result = query.explain()
+        assert result.path == "index"
+        assert result.rows == query.execute()
+        (step,) = result.steps
+        assert step.name == "index"
+        assert step.facts_in == len(snapshot_mo.facts)
+        assert step.facts_out == len(result.rows)
+        assert step.elapsed_seconds >= 0.0
+
+    def test_alpha_path_with_dice(self, snapshot_mo):
+        query = (Query(snapshot_mo)
+                 .dice("Diagnosis", diagnosis_value(12))
+                 .rollup("Diagnosis", "Diagnosis Group"))
+        result = query.explain()
+        assert result.path == "alpha"
+        assert result.rows == query.execute()
+        assert [step.name for step in result.steps] == ["dice", "alpha"]
+        dice, alpha = result.steps
+        assert dice.facts_in == len(snapshot_mo.facts)
+        # the dice output feeds α
+        assert alpha.facts_in == dice.facts_out
+        assert alpha.facts_out >= 1
+
+    def test_alpha_path_non_count_function(self, small_retail):
+        query = Query(small_retail.mo).rollup("Product", "Department")
+        result = query.explain(Sum("Price"))
+        assert result.path == "alpha"
+        assert result.rows == query.execute(Sum("Price"))
+        (alpha,) = result.steps
+        assert alpha.name == "alpha"
+        assert "Sum" in alpha.detail
+
+    def test_store_path_exact_hit(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Group"})
+        query = Query(strict_clinical.mo, store=store).rollup(
+            "Diagnosis", "Diagnosis Group")
+        result = query.explain()
+        assert result.path == "store"
+        assert result.rows == query.execute()
+        (step,) = result.steps
+        assert step.name == "store"
+        assert step.facts_in == 0  # never touched base facts
+        assert "exact hit" in step.detail
+
+    def test_store_path_rolled_up(self, strict_clinical):
+        store = PreAggregateStore(strict_clinical.mo)
+        store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
+        query = Query(strict_clinical.mo, store=store).rollup(
+            "Diagnosis", "Diagnosis Group")
+        result = query.explain()
+        assert result.path == "store"
+        assert result.rows == query.execute()
+        assert "rolled up from" in result.steps[0].detail
+
+    def test_render_mentions_path_and_steps(self, snapshot_mo):
+        result = Query(snapshot_mo).rollup(
+            "Diagnosis", "Diagnosis Group").explain()
+        text = result.render()
+        first, *rest = text.splitlines()
+        assert first.startswith("Query path=index rows=")
+        assert len(rest) == len(result.steps)
+        assert rest[0].lstrip().startswith("index  facts ")
+
+    def test_total_is_sum_of_steps(self, snapshot_mo):
+        result = (Query(snapshot_mo)
+                  .dice("Diagnosis", diagnosis_value(12))
+                  .rollup("Diagnosis", "Diagnosis Group")
+                  .explain())
+        assert result.total_seconds == \
+            sum(step.elapsed_seconds for step in result.steps)
+
+
+class TestExplainAnalyze:
+    def test_matches_evaluate(self, snapshot_mo):
+        predicate = characterized_by("Diagnosis", diagnosis_value(11))
+        plan = ProjectNode(
+            SelectNode(Base(snapshot_mo), predicate),
+            ("Diagnosis", "Age"))
+        analyzed = explain_analyze(plan)
+        plain = evaluate(plan)
+        assert {f.fid for f in analyzed.mo.facts} == \
+            {f.fid for f in plain.facts}
+        assert analyzed.mo.dimension_names == plain.dimension_names
+
+    def test_node_annotations(self, snapshot_mo):
+        predicate = characterized_by("Diagnosis", diagnosis_value(11))
+        plan = SelectNode(Base(snapshot_mo), predicate)
+        analyzed = explain_analyze(plan)
+        root = analyzed.root
+        assert root.label.startswith("σ[")
+        (base,) = root.children
+        assert base.label.startswith("Base(")
+        assert base.facts_out == len(snapshot_mo.facts)
+        assert root.facts_in == base.facts_out
+        assert root.facts_out == len(analyzed.mo.facts)
+        # inclusive time covers the subtree
+        assert root.elapsed_seconds >= base.elapsed_seconds
+        assert analyzed.total_seconds == root.elapsed_seconds
+        assert root.self_seconds >= 0.0
+
+    def test_render_one_line_per_node(self, snapshot_mo):
+        predicate = characterized_by("Diagnosis", diagnosis_value(11))
+        plan = ProjectNode(
+            SelectNode(Base(snapshot_mo), predicate), ("Age",))
+        text = explain_analyze(plan).render()
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("π[")
+        assert lines[1].lstrip().startswith("σ[")
+        assert lines[2].lstrip().startswith("Base(")
+        assert all("facts" in line and "ms" in line for line in lines)
+
+    def test_base_only_plan(self, snapshot_mo):
+        analyzed = explain_analyze(Base(snapshot_mo))
+        assert analyzed.mo is snapshot_mo
+        assert analyzed.root.children == ()
+        assert analyzed.root.facts_in == analyzed.root.facts_out == \
+            len(snapshot_mo.facts)

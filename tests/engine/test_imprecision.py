@@ -94,3 +94,100 @@ class TestWeightedDistribution:
                                          "Low-level Diagnosis")
         assert sum(weighted.values()) == pytest.approx(
             len(strict_clinical.mo.facts))
+
+
+def _mixed_mo(order):
+    """One dimension (Low = {x1, x2, y} under High = {g1, g2}, plus the
+    childless coarse value q), built by relating facts in the given
+    ``order`` — the content is identical regardless of order."""
+    from repro.core.aggtypes import AggregationType
+    from repro.core.category import CategoryType
+    from repro.core.dimension import Dimension, DimensionType
+    from repro.core.mo import MultidimensionalObject, TimeKind
+    from repro.core.schema import FactSchema
+    from repro.core.values import DimensionValue, Fact
+
+    ctypes = [
+        CategoryType("Low", AggregationType.SUM, is_bottom=True),
+        CategoryType("High", AggregationType.CONSTANT),
+    ]
+    dim = Dimension(DimensionType("D", ctypes, [("Low", "High")]))
+    # two distinct Low values that share the label "X" (label collision)
+    x1 = DimensionValue(sid="x1", label="X")
+    x2 = DimensionValue(sid="x2", label="X")
+    y = DimensionValue(sid="y", label="Y")
+    g1 = DimensionValue(sid="g1", label="G1")
+    g2 = DimensionValue(sid="g2", label="G2")
+    q = DimensionValue(sid="q", label="Q")  # coarse value, no children
+    for value in (x1, x2, y):
+        dim.add_value("Low", value)
+    for value in (g1, g2, q):
+        dim.add_value("High", value)
+    dim.add_edge(x1, g1)
+    dim.add_edge(x2, g1)
+    dim.add_edge(y, g2)
+    mo = MultidimensionalObject(
+        schema=FactSchema("T", [dim.dtype]),
+        dimensions={"D": dim},
+        kind=TimeKind.SNAPSHOT,
+    )
+    links = {
+        0: x1, 1: x2, 2: y,
+        3: g1,  # imprecise, distributable over {x1, x2}
+        4: q,   # imprecise, nothing below q: unattributable
+    }
+    for fid in order:
+        mo.relate(Fact(fid=fid, ftype="T"), "D", links[fid])
+    return mo
+
+
+class TestCountsDeterminism:
+    def test_same_summary_for_any_insertion_order(self):
+        """Regression: ``counts()`` used to sort buckets by the repr of
+        the whole (value, fact-set) pair, so key order depended on set
+        iteration order — i.e. on how the MO happened to be built."""
+        forward = _mixed_mo(order=[0, 1, 2, 3, 4])
+        backward = _mixed_mo(order=[4, 3, 2, 1, 0])
+        a = group_with_imprecision(forward, "D", "Low").counts()
+        b = group_with_imprecision(backward, "D", "Low").counts()
+        assert list(a.items()) == list(b.items())
+
+    def test_colliding_labels_not_merged(self):
+        """Regression: two values sharing a label used to collapse into
+        one summary entry, silently summing their counts."""
+        mo = _mixed_mo(order=[0, 1, 2, 3, 4])
+        counts = group_with_imprecision(mo, "D", "Low").counts()
+        assert "X" not in counts
+        assert counts["X#x1"] == 1
+        assert counts["X#x2"] == 1
+        assert counts["Y"] == 1  # unique labels stay unqualified
+
+
+class TestUnattributedDistribution:
+    def test_unattributable_mass_reported(self):
+        """Regression: an imprecise fact whose coarse value has no
+        descendant in the target category used to vanish from the
+        weighted distribution."""
+        from repro.engine import UNATTRIBUTED
+
+        mo = _mixed_mo(order=[0, 1, 2, 3, 4])
+        weighted = weighted_distribution(mo, "D", "Low")
+        assert weighted[UNATTRIBUTED] == 1.0  # fact 4, stuck at q
+        # total preserved: 3 precise + 1 distributed + 1 unattributed
+        assert sum(weighted.values()) == pytest.approx(5.0)
+
+    def test_unattributed_metric_counts_mass(self):
+        from repro.obs import metrics
+
+        mo = _mixed_mo(order=[0, 1, 2, 3, 4])
+        counter = metrics.counter("imprecision.unattributed_mass")
+        before = counter.value
+        weighted_distribution(mo, "D", "Low")
+        assert counter.value == before + 1.0
+
+    def test_no_unattributed_key_when_all_distributable(self, snapshot_mo):
+        from repro.engine import UNATTRIBUTED
+
+        weighted = weighted_distribution(snapshot_mo, "Diagnosis",
+                                         "Low-level Diagnosis")
+        assert UNATTRIBUTED not in weighted

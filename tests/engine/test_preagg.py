@@ -107,3 +107,157 @@ class TestRollUpReuse:
                                    {"Diagnosis": "Diagnosis Group"})
         assert not store.can_roll_up(
             stored, SetCount(), {"Diagnosis": "Diagnosis Family"})
+
+
+def _two_level_mo(coarse_fact: bool = False):
+    """A hand-built one-dimension MO: Low = {a, b} under High = {p},
+    facts 0 -> a and 1 -> b, plus (optionally) fact 2 recorded *only*
+    at the coarse value p — mixed granularity."""
+    from repro.core.aggtypes import AggregationType
+    from repro.core.category import CategoryType
+    from repro.core.dimension import Dimension, DimensionType
+    from repro.core.mo import MultidimensionalObject, TimeKind
+    from repro.core.schema import FactSchema
+    from repro.core.values import DimensionValue, Fact
+
+    ctypes = [
+        CategoryType("Low", AggregationType.SUM, is_bottom=True),
+        CategoryType("High", AggregationType.CONSTANT),
+    ]
+    dim = Dimension(DimensionType("D", ctypes, [("Low", "High")]))
+    a = DimensionValue(sid="a", label="a")
+    b = DimensionValue(sid="b", label="b")
+    p = DimensionValue(sid="p", label="p")
+    for value in (a, b):
+        dim.add_value("Low", value)
+    dim.add_value("High", p)
+    dim.add_edge(a, p)
+    dim.add_edge(b, p)
+    mo = MultidimensionalObject(
+        schema=FactSchema("T", [dim.dtype]),
+        dimensions={"D": dim},
+        kind=TimeKind.SNAPSHOT,
+    )
+    facts = [Fact(fid=i, ftype="T") for i in range(3 if coarse_fact else 2)]
+    mo.relate(facts[0], "D", a)
+    mo.relate(facts[1], "D", b)
+    if coarse_fact:
+        mo.relate(facts[2], "D", p)
+    return mo, {"a": a, "b": b, "p": p}
+
+
+class TestStalenessEviction:
+    """Regression: the store used to keep serving results materialized
+    before an MO mutation."""
+
+    def test_get_evicts_after_new_fact(self):
+        from repro.core.values import Fact
+        from repro.obs import metrics
+
+        mo, values = _two_level_mo()
+        store = PreAggregateStore(mo)
+        store.materialize(SetCount(), {"D": "Low"})
+        assert store.get(SetCount(), {"D": "Low"}) is not None
+        evicted = metrics.counter("preagg.stale_evicted")
+        before = evicted.value
+        mo.relate(Fact(fid=99, ftype="T"), "D", values["a"])
+        assert store.get(SetCount(), {"D": "Low"}) is None
+        assert evicted.value == before + 1
+
+    def test_get_evicts_after_relation_change(self):
+        mo, values = _two_level_mo()
+        store = PreAggregateStore(mo)
+        store.materialize(SetCount(), {"D": "Low"})
+        # relate an existing fact to a second value: no new facts, but
+        # the relation changed, so the stored groups are stale
+        fact = next(f for f in mo.facts if f.fid == 0)
+        mo.relate(fact, "D", values["b"])
+        assert store.get(SetCount(), {"D": "Low"}) is None
+
+    def test_entries_skips_stale(self):
+        from repro.core.values import Fact
+
+        mo, values = _two_level_mo()
+        store = PreAggregateStore(mo)
+        store.materialize(SetCount(), {"D": "Low"})
+        store.materialize(SetCount(), {"D": "High"})
+        mo.relate(Fact(fid=99, ftype="T"), "D", values["b"])
+        assert list(store.entries()) == []
+
+    def test_can_roll_up_refuses_stale(self):
+        from repro.core.values import Fact
+
+        mo, values = _two_level_mo()
+        store = PreAggregateStore(mo)
+        stored = store.materialize(SetCount(), {"D": "Low"})
+        assert store.can_roll_up(stored, SetCount(), {"D": "High"})
+        mo.relate(Fact(fid=99, ftype="T"), "D", values["a"])
+        assert not store.can_roll_up(stored, SetCount(), {"D": "High"})
+
+    def test_mutate_then_query_returns_fresh_counts(self):
+        """The end-to-end regression from the issue: materialize, mutate
+        the MO, query through the store — the answer must reflect the
+        mutation, not the stale materialization."""
+        from repro.core.values import Fact
+        from repro.engine import Query
+
+        mo, values = _two_level_mo()
+        store = PreAggregateStore(mo)
+        store.materialize(SetCount(), {"D": "High"})
+        query = Query(mo, store=store).rollup("D", "High")
+        assert [(g["D"].sid, v) for g, v in query.counts()] == [("p", 2)]
+        mo.relate(Fact(fid=99, ftype="T"), "D", values["a"])
+        assert [(g["D"].sid, v) for g, v in query.counts()] == [("p", 3)]
+
+    def test_rematerialize_after_mutation_serves_again(self):
+        from repro.core.values import Fact
+
+        mo, values = _two_level_mo()
+        store = PreAggregateStore(mo)
+        store.materialize(SetCount(), {"D": "Low"})
+        mo.relate(Fact(fid=99, ftype="T"), "D", values["a"])
+        fresh = store.materialize(SetCount(), {"D": "Low"})
+        assert store.get(SetCount(), {"D": "Low"}) is fresh
+        assert fresh.results[(values["a"],)] == 2
+
+
+class TestMixedGranularityCoverage:
+    """Regression: a fact recorded only at a coarse value passes the
+    Lenz-Shoshani checks yet is invisible to the stored fine level, so
+    combining undercounted the coarse total."""
+
+    def test_direct_counts_see_the_coarse_fact(self):
+        mo, values = _two_level_mo(coarse_fact=True)
+        store = PreAggregateStore(mo)
+        direct = store.compute_from_base(SetCount(), {"D": "High"})
+        assert direct[(values["p"],)] == 3
+
+    def test_roll_up_refused_under_mixed_granularity(self):
+        mo, values = _two_level_mo(coarse_fact=True)
+        store = PreAggregateStore(mo)
+        stored = store.materialize(SetCount(), {"D": "Low"})
+        # the fine-level results genuinely miss fact 2
+        assert sum(stored.results.values()) == 2
+        assert not store.can_roll_up(stored, SetCount(), {"D": "High"})
+        with pytest.raises(AlgebraError, match="many-to-one"):
+            store.roll_up(SetCount(), {"D": "Low"}, {"D": "High"})
+
+    def test_coverage_refusal_counted(self):
+        from repro.obs import metrics
+
+        mo, _ = _two_level_mo(coarse_fact=True)
+        store = PreAggregateStore(mo)
+        stored = store.materialize(SetCount(), {"D": "Low"})
+        counter = metrics.counter("preagg.coverage_refused")
+        before = counter.value
+        store.can_roll_up(stored, SetCount(), {"D": "High"})
+        assert counter.value == before + 1
+
+    def test_roll_up_allowed_without_coarse_fact(self):
+        """The same hierarchy with every fact recorded at the fine level
+        combines fine: the refusal is specific to mixed granularity."""
+        mo, values = _two_level_mo(coarse_fact=False)
+        store = PreAggregateStore(mo)
+        store.materialize(SetCount(), {"D": "Low"})
+        combined = store.roll_up(SetCount(), {"D": "Low"}, {"D": "High"})
+        assert combined == {(values["p"],): 2}

@@ -1,0 +1,88 @@
+"""Property: a query answered through a pre-aggregate store returns
+exactly what the store-less path returns — including after arbitrary MO
+mutations in between (the store must never serve stale or unsafe
+combinations)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import SetCount
+from repro.core.values import Fact
+from repro.engine import PreAggregateStore, Query
+from tests.strategies import small_mos
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _draw_grouping(data, mo):
+    """A random grouping: for each dimension, maybe group at one of its
+    categories (any level, ⊤ included — the trivial grouping)."""
+    grouping = {}
+    for name in mo.dimension_names:
+        categories = [
+            ctype.name
+            for ctype in mo.dimension(name).dtype.category_types()
+        ]
+        choice = data.draw(
+            st.sampled_from([None] + categories),
+            label=f"grouping[{name}]",
+        )
+        if choice is not None:
+            grouping[name] = choice
+    return grouping
+
+
+def _rows(mo, store, grouping):
+    query = Query(mo, store=store)
+    for name, category in grouping.items():
+        query = query.rollup(name, category)
+    return query.execute(SetCount())
+
+
+def _mutate(data, mo, next_fid):
+    """One random mutation: a new fact related to a random value in
+    each dimension (⊤ when the dimension has no other values)."""
+    fact = Fact(fid=next_fid, ftype=mo.schema.fact_type)
+    mo.add_fact(fact)
+    for name in mo.dimension_names:
+        dimension = mo.dimension(name)
+        candidates = [
+            value
+            for ctype in dimension.dtype.category_types()
+            for value in dimension.category(ctype.name).members()
+        ] or [dimension.top_value]
+        value = data.draw(st.sampled_from(candidates),
+                          label=f"mutate[{name}]")
+        mo.relate(fact, name, value)
+
+
+class TestStoreEquivalence:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_store_matches_direct(self, data):
+        mo = data.draw(small_mos())
+        store = PreAggregateStore(mo)
+        # materialize a few random groupings the store may answer from
+        for _ in range(data.draw(st.integers(0, 2), label="n_mat")):
+            store.materialize(SetCount(), _draw_grouping(data, mo))
+        grouping = _draw_grouping(data, mo)
+        assert _rows(mo, store, grouping) == _rows(mo, None, grouping)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_store_matches_direct_across_mutations(self, data):
+        """Materialize, query, mutate, query again — the stored results
+        must never leak into post-mutation answers."""
+        mo = data.draw(small_mos())
+        store = PreAggregateStore(mo)
+        grouping = _draw_grouping(data, mo)
+        store.materialize(SetCount(), grouping)
+        assert _rows(mo, store, grouping) == _rows(mo, None, grouping)
+        n_mutations = data.draw(st.integers(1, 3), label="n_mutations")
+        for i in range(n_mutations):
+            _mutate(data, mo, next_fid=10_000 + i)
+            assert _rows(mo, store, grouping) == _rows(mo, None, grouping)

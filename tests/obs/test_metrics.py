@@ -1,0 +1,112 @@
+"""Tests for the process-local metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("level")
+        g.set(10)
+        g.inc()
+        g.dec(3)
+        assert g.value == 8.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("groups")
+        for v in (1, 5, 3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9.0
+        assert h.min == 1.0
+        assert h.max == 5.0
+        assert h.mean == 3.0
+
+    def test_empty_summary_is_finite(self):
+        registry = MetricsRegistry()
+        summary = registry.histogram("empty").summary()
+        assert summary == {"count": 0, "total": 0.0, "min": 0.0,
+                           "max": 0.0, "mean": 0.0}
+
+
+class TestRegistry:
+    def test_name_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        registry.histogram("c").observe(7)
+        snap = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped["counters"]["a"] == 1
+        assert round_tripped["gauges"]["b"] == 2
+        assert round_tripped["histograms"]["c"]["count"] == 1
+
+    def test_snapshot_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("preagg.materialize").inc()
+        registry.counter("query.path.index").inc()
+        snap = registry.snapshot(prefix="preagg.")
+        assert list(snap["counters"]) == ["preagg.materialize"]
+
+    def test_reset_zeroes_in_place(self):
+        """Modules cache metric objects at import; reset must keep the
+        cached objects live."""
+        registry = MetricsRegistry()
+        c = registry.counter("x")
+        h = registry.histogram("y")
+        c.inc(5)
+        h.observe(2)
+        registry.reset()
+        assert c.value == 0.0
+        assert h.count == 0
+        assert registry.counter("x") is c
+        c.inc()
+        assert registry.snapshot()["counters"]["x"] == 1
+
+    def test_render_one_line_per_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(1.5)
+        registry.histogram("c").observe(4)
+        text = registry.render()
+        lines = text.splitlines()
+        assert "a 2" in lines
+        assert "b 1.5" in lines
+        assert any(line.startswith("c count=1") for line in lines)
+
+
+class TestGlobalRegistry:
+    def test_module_helpers_share_one_registry(self):
+        from repro.obs import metrics
+
+        c = metrics.counter("test.global.helper")
+        before = c.value
+        metrics.counter("test.global.helper").inc()
+        assert c.value == before + 1
+        assert metrics.REGISTRY.counter("test.global.helper") is c

@@ -1,0 +1,111 @@
+"""Tests for trace spans and the ring buffer."""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing():
+    """Every test starts disabled with an empty buffer and the default
+    buffer size, and leaves tracing off for the rest of the suite."""
+    trace.disable()
+    trace.set_buffer_size(trace.DEFAULT_BUFFER_SIZE)
+    trace.clear()
+    yield
+    trace.disable()
+    trace.set_buffer_size(trace.DEFAULT_BUFFER_SIZE)
+    trace.clear()
+
+
+class TestDisabled:
+    def test_disabled_span_records_nothing(self):
+        with trace.span("a", k=1):
+            pass
+        assert trace.spans() == []
+
+    def test_disabled_span_is_shared_noop(self):
+        assert trace.span("a") is trace.span("b")
+
+
+class TestEnabled:
+    def test_span_records_name_attrs_elapsed(self):
+        trace.enable()
+        with trace.span("aggregate.alpha", grouping=("Diagnosis",)):
+            pass
+        (record,) = trace.spans()
+        assert record.name == "aggregate.alpha"
+        assert record.attributes == {"grouping": ("Diagnosis",)}
+        assert record.elapsed_seconds >= 0.0
+        assert record.depth == 0
+        assert record.parent is None
+
+    def test_nesting_depth_and_parent(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        inner, outer = trace.spans()  # children finish first
+        assert inner.name == "inner"
+        assert inner.depth == 1
+        assert inner.parent == "outer"
+        assert outer.depth == 0
+        assert outer.elapsed_seconds >= inner.elapsed_seconds
+
+    def test_exception_still_records_and_unwinds(self):
+        trace.enable()
+        with pytest.raises(RuntimeError):
+            with trace.span("outer"):
+                with trace.span("failing"):
+                    raise RuntimeError("boom")
+        assert [r.name for r in trace.spans()] == ["failing", "outer"]
+        with trace.span("after"):
+            pass
+        assert trace.spans()[-1].depth == 0
+
+    def test_ring_buffer_caps_retention(self):
+        trace.enable(buffer_size=3)
+        for i in range(10):
+            with trace.span(f"s{i}"):
+                pass
+        assert [r.name for r in trace.spans()] == ["s7", "s8", "s9"]
+
+    def test_spans_filter_by_name(self):
+        trace.enable()
+        for name in ("a", "b", "a"):
+            with trace.span(name):
+                pass
+        assert len(trace.spans("a")) == 2
+
+    def test_clear_keeps_enabled_state(self):
+        trace.enable()
+        with trace.span("a"):
+            pass
+        trace.clear()
+        assert trace.spans() == []
+        assert trace.is_enabled()
+
+    def test_disable_keeps_recorded_spans(self):
+        trace.enable()
+        with trace.span("a"):
+            pass
+        trace.disable()
+        assert [r.name for r in trace.spans()] == ["a"]
+
+    def test_bad_buffer_size_rejected(self):
+        with pytest.raises(ValueError):
+            trace.set_buffer_size(0)
+
+
+class TestEngineIntegration:
+    def test_aggregate_emits_alpha_span(self, snapshot_mo):
+        from repro.algebra import SetCount, aggregate
+        from repro.core.helpers import make_result_spec
+
+        trace.enable()
+        aggregate(snapshot_mo, SetCount(),
+                  {"Diagnosis": "Diagnosis Group"}, make_result_spec(),
+                  strict_types=False)
+        trace.disable()
+        names = [r.name for r in trace.spans()]
+        assert "aggregate.alpha" in names

@@ -47,5 +47,5 @@ def test_api_reference_lists_all_packages():
     text = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
     for package in ("core", "algebra", "temporal", "uncertainty",
                     "casestudy", "survey", "relational", "engine",
-                    "workloads", "io", "report"):
+                    "obs", "workloads", "io", "report"):
         assert f"## `repro.{package}`" in text, package

@@ -14,9 +14,12 @@ root (see ``docs/PERFORMANCE.md`` for how to read it):
 
 Each cell reports steady-state ops/sec (the index is built once, then
 reused — the intended usage pattern); ``build`` records the one-time
-per-scale index construction cost.  Run with::
+per-scale index construction cost.  Each cell also carries a
+``metrics`` snapshot from ``repro.obs`` (cache hits/misses, answer-path
+counters — see ``docs/OBSERVABILITY.md``) taken over one instrumented
+pass of the indexed operations.  Run with::
 
-    PYTHONPATH=src python tools/run_benchmarks.py [--quick]
+    PYTHONPATH=src python tools/run_benchmarks.py [--quick] [--scale N]
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.algebra import SetCount, aggregate
 from repro.casestudy.icd import IcdShape
 from repro.core.helpers import make_result_spec
+from repro.obs import metrics
 from repro.workloads import ClinicalConfig, generate_clinical
 
 SCALES = (100, 300, 1000)
@@ -190,28 +194,47 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
             "indexed_ops_per_sec": round(indexed, 3),
             "speedup": round(indexed / naive, 2),
         }
+    cell["metrics"] = _metrics_snapshot(mo)
     return cell
+
+
+def _metrics_snapshot(mo) -> dict:
+    """One instrumented pass of the indexed operations, observed via
+    the obs counters: reset, run, snapshot.  Timing is done above with
+    warm caches; this pass shows *why* the indexed paths are fast
+    (hit/miss ratios, answer paths)."""
+    metrics.reset()
+    indexed_group_counts(mo)
+    run_aggregate(mo, use_index=True)
+    indexed_cube_sizes(mo)
+    return metrics.snapshot()
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="shorter timing windows (noisier numbers)")
+    parser.add_argument("--scale", type=int, action="append",
+                        metavar="N_PATIENTS",
+                        help="benchmark only this workload scale "
+                             "(repeatable; default: all of "
+                             f"{', '.join(map(str, SCALES))})")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_aggregate.json")
     args = parser.parse_args(argv)
     min_seconds = 0.05 if args.quick else 0.3
+    scales = tuple(args.scale) if args.scale else SCALES
 
     cells = []
-    for n in SCALES:
+    for n in scales:
         print(f"benchmarking n_patients={n} ...", flush=True)
         cells.append(bench_scale(n, min_seconds))
     largest = cells[-1]
     payload = {
         "generated_by": "tools/run_benchmarks.py",
         "workload": "clinical",
-        "scales": list(SCALES),
+        "scales": list(scales),
         "aggregate_grouping": AGG_GROUPING,
         "rollup": {"dimension": ROLLUP_DIMENSION,
                    "category": ROLLUP_CATEGORY},
@@ -221,6 +244,9 @@ def main(argv=None) -> int:
             bench: largest[bench]["speedup"]
             for bench in ("rollup", "aggregate", "cube_build")
         },
+        # the largest scale's instrumented pass, surfaced at top level
+        # so dashboards need not dig into cells
+        "metrics": largest["metrics"],
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload["largest_scale_speedups"], indent=2))
