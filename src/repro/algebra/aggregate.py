@@ -403,12 +403,18 @@ def summarizability_of(
 ) -> SummarizabilityCheck:
     """The Lenz-Shoshani verdict α would use for this aggregation —
     exposed so callers (and the pre-aggregation engine) can inspect the
-    rule without running the operator."""
+    rule without running the operator.
+
+    Answered from the rollup index's version-keyed verdict cache, the
+    same cache α's indexed path uses, so inspecting the rule before an
+    aggregation costs nothing extra during the aggregation itself.
+    """
     nontrivial = {
         name: cat for name, cat in grouping.items()
         if cat != mo.dimension(name).dtype.top_name
     }
-    return check_summarizability(mo, nontrivial, function.distributive, at=at)
+    return mo.rollup_index().summarizability(
+        nontrivial, function.distributive, at=at)
 
 
 __all__ += ["summarizability_of"]

@@ -1,0 +1,69 @@
+"""Bounded mutation logs for incremental (delta) index maintenance.
+
+The rollup index (:mod:`repro.engine.rollup_index`) invalidates its
+per-dimension closure tables by comparing mutation counters.  Counters
+alone only say *that* something changed; to apply a mutation as a
+*delta* — patching the existing closures instead of rebuilding them —
+the index also needs to know *what* changed.  A :class:`ChangeLog`
+records one entry per counter bump: the operation payload for
+delta-able mutations (an added fact-dimension pair, an added order
+edge/node), or a *barrier* (``None``) for mutations no delta covers
+(fact removal).  The log is bounded: when more mutations happen between
+two index queries than the log holds, :meth:`since` reports a gap and
+the index falls back to a full rebuild — the log never affects
+correctness, only whether the cheap path is available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+__all__ = ["ChangeLog"]
+
+#: Default bound: enough for bursty interactive mutation between
+#: queries; bulk loads overflow it and take the (amortized-fine) rebuild.
+DEFAULT_CAPACITY = 512
+
+
+class ChangeLog:
+    """One entry per version bump of the structure it shadows.
+
+    Entries are ``(version, op)`` with strictly increasing versions —
+    the structure records exactly one entry per counter increment, so a
+    contiguity check is a plain count.  ``op`` is an opaque payload the
+    consumer interprets; ``None`` marks a barrier (a non-delta-able
+    mutation).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._entries: Deque[Tuple[int, Optional[tuple]]] = deque(
+            maxlen=capacity)
+
+    def record(self, version: int, op: Optional[tuple]) -> None:
+        """Log the operation that produced ``version`` (``None`` = a
+        barrier: consumers must rebuild across it)."""
+        self._entries.append((version, op))
+
+    def since(self, version: int,
+              current: int) -> Optional[List[tuple]]:
+        """The ops for every bump in ``(version, current]``, oldest
+        first — or ``None`` when the log cannot prove it covers the
+        whole span (an entry aged out of the bounded log) or a barrier
+        sits inside it."""
+        if current == version:
+            return []
+        ops = [op for v, op in self._entries if version < v <= current]
+        if len(ops) != current - version:
+            return None  # a bump aged out of the log: coverage unprovable
+        if any(op is None for op in ops):
+            return None  # a barrier: this span includes a non-delta-able op
+        return ops
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChangeLog({len(self._entries)} entries)"

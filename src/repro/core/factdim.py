@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.core.changelog import ChangeLog
 from repro.core.dimension import Dimension
 from repro.core.errors import InstanceError, UncertaintyError
 from repro.core.order import Annotation, piecewise_noisy_or
@@ -41,6 +42,7 @@ class FactDimensionRelation:
         self._by_fact: Dict[Fact, Set[DimensionValue]] = {}
         self._by_value: Dict[DimensionValue, Set[Fact]] = {}
         self._version = 0
+        self._log = ChangeLog()
 
     @property
     def dimension_name(self) -> str:
@@ -60,6 +62,14 @@ class FactDimensionRelation:
         its source and observe a stale closure through it.
         """
         return self._version
+
+    @property
+    def change_log(self) -> ChangeLog:
+        """The bounded per-bump mutation log: ``("add", fact, value)``
+        entries for pair additions, barriers for :meth:`remove_fact` —
+        the rollup index replays additions as closure deltas and falls
+        back to a full rebuild across barriers."""
+        return self._log
 
     # -- population -------------------------------------------------------
 
@@ -90,6 +100,7 @@ class FactDimensionRelation:
         self._by_fact.setdefault(fact, set()).add(value)
         self._by_value.setdefault(value, set()).add(fact)
         self._version += 1
+        self._log.record(self._version, ("add", fact, value))
 
     def remove_fact(self, fact: Fact) -> None:
         """Drop every pair involving ``fact``."""
@@ -103,6 +114,7 @@ class FactDimensionRelation:
                     del self._by_value[value]
         if removed:
             self._version += 1
+            self._log.record(self._version, None)  # not delta-able
 
     # -- base-pair queries --------------------------------------------------
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequ
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine layer)
     from repro.engine.rollup_index import RollupIndex
 
+from repro.core.changelog import ChangeLog
 from repro.core.dimension import Dimension
 from repro.core.errors import InstanceError, SchemaError
 from repro.core.factdim import FactDimensionRelation
@@ -71,6 +72,7 @@ class MultidimensionalObject:
         self._schema = schema
         self._facts: Set[Fact] = set(facts or ())
         self._facts_version = 0
+        self._fact_log = ChangeLog()
         self._dimensions: Dict[str, Dimension] = {}
         self._relations: Dict[str, FactDimensionRelation] = {}
         self._kind = kind
@@ -110,6 +112,13 @@ class MultidimensionalObject:
         ``F`` (the fact set only grows; removal happens by constructing
         a new, restricted MO)."""
         return self._facts_version
+
+    @property
+    def fact_log(self) -> ChangeLog:
+        """The bounded per-bump log of fact insertions (``("add",
+        fact)`` entries) — the rollup index patches its interned view of
+        ``F`` from it instead of re-interning the whole fact set."""
+        return self._fact_log
 
     @property
     def kind(self) -> TimeKind:
@@ -164,6 +173,7 @@ class MultidimensionalObject:
         if fact not in self._facts:
             self._facts.add(fact)
             self._facts_version += 1
+            self._fact_log.record(self._facts_version, ("add", fact))
         return fact
 
     def relate(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.core.changelog import ChangeLog
 from repro.core.errors import SchemaError, UncertaintyError
 from repro.temporal.chronon import Chronon
 from repro.temporal.timeset import ALWAYS, EMPTY, TimeSet
@@ -99,6 +100,7 @@ class AnnotatedOrder:
         self._ancestor_cache: Dict[Node, Set[Node]] = {}
         self._descendant_cache: Dict[Node, Set[Node]] = {}
         self._version = 0
+        self._log = ChangeLog()
 
     @property
     def version(self) -> int:
@@ -106,6 +108,13 @@ class AnnotatedOrder:
         edge is added.  Derived structures (reachability caches, the
         rollup index) compare versions to detect staleness lazily."""
         return self._version
+
+    @property
+    def change_log(self) -> ChangeLog:
+        """The bounded per-bump mutation log: ``("node", node)`` and
+        ``("edge", child, parent)`` entries the rollup index replays to
+        patch closures instead of rebuilding them."""
+        return self._log
 
     # -- construction ------------------------------------------------------
 
@@ -116,6 +125,7 @@ class AnnotatedOrder:
             self._parents.setdefault(node, {})
             self._children.setdefault(node, {})
             self._version += 1
+            self._log.record(self._version, ("node", node))
 
     def add_edge(
         self,
@@ -157,6 +167,7 @@ class AnnotatedOrder:
         self._ancestor_cache.clear()
         self._descendant_cache.clear()
         self._version += 1
+        self._log.record(self._version, ("edge", child, parent))
 
     # -- structural queries --------------------------------------------------
 

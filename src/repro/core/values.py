@@ -38,6 +38,16 @@ class DimensionValue:
     sid: Hashable
     is_top: bool = False
     label: Optional[str] = field(default=None, compare=False)
+    #: the hash of the compare fields, computed once — values are dict
+    #: keys on every hot path (closures, group keys, interning), where
+    #: the generated dataclass hash would rebuild a tuple per lookup
+    _hash: int = field(default=0, compare=False, repr=False, init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.sid, self.is_top)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def top(cls, dimension_name: str) -> "DimensionValue":
@@ -68,6 +78,15 @@ class Fact:
 
     fid: Hashable
     ftype: str = "Fact"
+    #: the hash of the compare fields, computed once (see
+    #: :class:`DimensionValue`; facts key every relation and group set)
+    _hash: int = field(default=0, compare=False, repr=False, init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.fid, self.ftype)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def group(cls, members: Iterable["Fact"], ftype: Optional[str] = None) -> "Fact":

@@ -26,6 +26,9 @@ __all__ = ["Cuboid", "CubeBuilder", "greedy_view_selection"]
 
 _SIZED = metrics.counter("cube.cuboids_sized")
 _MATERIALIZED = metrics.counter("cube.cuboids_materialized")
+_ROLLUP_FROM_PARENT = metrics.counter("cube.rollup_from_parent")
+_BASE_SCAN_FALLBACK = metrics.counter("cube.base_scan_fallback")
+_PARENT_SIZE = metrics.histogram("cube.parent_size")
 
 #: A cuboid id: the grouping category per dimension, in schema order.
 CuboidKey = Tuple[str, ...]
@@ -51,12 +54,37 @@ class CubeBuilder:
 
     def __init__(self, mo: MultidimensionalObject,
                  dimensions: Optional[Sequence[str]] = None,
-                 function: Optional[AggregationFunction] = None) -> None:
+                 function: Optional[AggregationFunction] = None,
+                 shared_scan: bool = True) -> None:
         self._mo = mo
         self._dims = tuple(dimensions or mo.dimension_names)
         self._function = function or SetCount()
         self._store = PreAggregateStore(mo)
+        self._shared_scan = shared_scan
         self._cuboids: Dict[CuboidKey, Cuboid] = {}
+        self._cuboids_stamp = self._versions()
+
+    def _versions(self) -> Tuple[int, Tuple[Tuple[str, int, int], ...]]:
+        """The MO mutation-counter state cuboid sizes and verdicts were
+        computed from — fact-set version plus every dimension's (order,
+        relation) versions."""
+        mo = self._mo
+        return (
+            mo.facts_version,
+            tuple(
+                (name, mo.dimension(name).order.version,
+                 mo.relation(name).version)
+                for name in mo.dimension_names
+            ),
+        )
+
+    def _check_cache(self) -> None:
+        """Drop cached cuboids computed before the last MO mutation —
+        sizes and summarizability verdicts are both version-sensitive."""
+        stamp = self._versions()
+        if stamp != self._cuboids_stamp:
+            self._cuboids.clear()
+            self._cuboids_stamp = stamp
 
     @property
     def store(self) -> PreAggregateStore:
@@ -87,6 +115,7 @@ class CubeBuilder:
         scans the lattice with; :meth:`materialize` pays the full cost
         only for cuboids actually selected or queried.
         """
+        self._check_cache()
         cached = self._cuboids.get(key)
         if cached is not None:
             return cached.size
@@ -95,8 +124,7 @@ class CubeBuilder:
             return 1  # the apex: one group holding every fact
         index = self._mo.rollup_index()
         maps = [
-            [facts for facts in
-             index.characterization_map(name, cat).values() if facts]
+            index.nonempty_fact_sets(name, cat)
             for name, cat in sorted(nontrivial.items())
         ]
 
@@ -114,7 +142,9 @@ class CubeBuilder:
 
     def cuboid(self, key: CuboidKey) -> Cuboid:
         """The cuboid's size and summarizability verdict, computed via
-        the sizing fast path (no full materialization) and cached."""
+        the sizing fast path (no full materialization) and cached until
+        the next MO mutation."""
+        self._check_cache()
         cached = self._cuboids.get(key)
         if cached is not None:
             return cached
@@ -133,18 +163,67 @@ class CubeBuilder:
 
     def materialize(self, key: CuboidKey) -> Cuboid:
         """Materialize one cuboid — results stored in the pre-aggregate
-        store — and record its size and verdict."""
+        store — and record its size and verdict.
+
+        With shared scans enabled (the default) the store first tries
+        to combine the cuboid from the smallest already-materialized
+        strictly finer aggregate (``cube.rollup_from_parent``); only
+        when no safe parent exists does it scan the base
+        characterization maps (``cube.base_scan_fallback``)."""
         nontrivial = self._nontrivial(key)
-        if self._store.get(self._function, nontrivial) is None:
+        materialized = self._store.get(self._function, nontrivial)
+        if materialized is None:
             with trace.span("cube.materialize", cuboid=key):
-                self._store.materialize(self._function, nontrivial)
+                materialized = self._store.materialize(
+                    self._function, nontrivial,
+                    shared_scan=self._shared_scan)
             _MATERIALIZED.inc()
-        return self.cuboid(key)
+            if materialized.via == "rollup":
+                _ROLLUP_FROM_PARENT.inc()
+                _PARENT_SIZE.observe(materialized.source_size)
+            else:
+                _BASE_SCAN_FALLBACK.inc()
+        self._check_cache()
+        cuboid = self._cuboids.get(key)
+        if cuboid is None:
+            # the materialized cells *are* the non-empty groups — record
+            # the size straight from them instead of re-counting the
+            # characterization maps
+            verdict = self._store.summarizability(
+                nontrivial, self._function.distributive)
+            cuboid = Cuboid(
+                key=key,
+                dimension_names=self._dims,
+                size=len(materialized.results) if nontrivial else 1,
+                summarizable=verdict.summarizable,
+            )
+            self._cuboids[key] = cuboid
+        return cuboid
+
+    def _fineness(self, key: CuboidKey) -> int:
+        """A topological rank: strictly finer cuboids rank strictly
+        higher (each component counts the categories above it)."""
+        rank = 0
+        for name, cat in zip(self._dims, key):
+            dtype = self._mo.dimension(name).dtype
+            rank += sum(
+                1 for ctype in dtype.category_types()
+                if dtype.leq(cat, ctype.name)
+            )
+        return rank
 
     def materialize_all(self) -> List[Cuboid]:
         """Materialize the full lattice (exponential in dimensions with
-        deep hierarchies; the benchmarks bound it)."""
-        return [self.materialize(key) for key in self.cuboid_keys()]
+        deep hierarchies; the benchmarks bound it).
+
+        Cuboids are visited finest-first so every coarser cuboid finds
+        its parents already in the store — the whole lattice beyond the
+        base cuboid then materializes by combining stored cells instead
+        of re-scanning facts, wherever the rollup gate allows it.
+        Returns cuboids in lattice (finest-first) order."""
+        keys = sorted(self.cuboid_keys(),
+                      key=self._fineness, reverse=True)
+        return [self.materialize(key) for key in keys]
 
     def is_coarser_or_equal(self, fine: CuboidKey, coarse: CuboidKey) -> bool:
         """Lattice order: ``coarse`` is answerable from ``fine`` when

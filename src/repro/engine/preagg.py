@@ -37,10 +37,16 @@ GroupKey = Tuple[DimensionValue, ...]
 VersionStamp = Tuple[int, Tuple[Tuple[str, int, int], ...]]
 
 _MATERIALIZE = metrics.counter("preagg.materialize")
+_MATERIALIZE_BASE = metrics.counter("preagg.materialize.base")
+_MATERIALIZE_ROLLUP = metrics.counter("preagg.materialize.rollup")
 _REUSE = metrics.counter("preagg.reuse")
 _REFUSE = metrics.counter("preagg.refuse")
 _STALE_EVICTED = metrics.counter("preagg.stale_evicted")
 _COVERAGE_REFUSED = metrics.counter("preagg.coverage_refused")
+
+#: sentinel distinguishing "not yet resolved" from "no target ancestor"
+#: in the rollup translation tables
+_MISSING = object()
 
 
 @dataclass
@@ -57,6 +63,13 @@ class MaterializedAggregate:
     #: the (fact-set, per-dimension order/relation) versions this was
     #: built from; the store serves it only while they still match
     versions: VersionStamp = field(default=(0, ()))
+    #: how this was computed: ``"base"`` (characterization-map scan) or
+    #: ``"rollup"`` (combined from a finer stored aggregate)
+    via: str = "base"
+    #: for ``via="rollup"``: the source grouping and its cell count —
+    #: the cube layer reports the parent-size histogram from this
+    source_grouping: Optional[Dict[str, str]] = None
+    source_size: int = 0
 
 
 class PreAggregateStore:
@@ -110,11 +123,34 @@ class PreAggregateStore:
         return stored.versions == self._stamp()
 
     def materialize(self, function: AggregationFunction,
-                    grouping: Dict[str, str]) -> MaterializedAggregate:
+                    grouping: Dict[str, str],
+                    shared_scan: bool = True) -> MaterializedAggregate:
         """Compute and store the aggregate at the given grouping levels
-        (single- or multi-dimension), straight from the base data via
-        the rollup index."""
+        (single- or multi-dimension).
+
+        The *shared-scan* path (default) first looks for the smallest
+        already-stored, still-fresh aggregate at a strictly finer
+        grouping from which this one can be safely combined
+        (:meth:`can_roll_up`: distributive function, exact
+        per-dimension coverage between the changed levels) and rolls
+        its cell values and groups up instead of re-scanning the
+        characterization maps.  ``shared_scan=False`` forces the base
+        path — the per-cuboid comparator the benchmarks time against.
+        Either way the stored entry is byte-identical: the rollup gate
+        refuses whenever combining could differ from a base scan.
+        """
         _MATERIALIZE.inc()
+        if shared_scan and grouping:
+            source = self._rollup_source(function, grouping)
+            if source is not None:
+                return self._materialize_rollup(source, function, grouping)
+        return self._materialize_base(function, grouping)
+
+    def _materialize_base(self, function: AggregationFunction,
+                          grouping: Dict[str, str]) -> MaterializedAggregate:
+        """The base path: expand the grouping's characterization maps
+        and evaluate ``function`` on every non-empty group."""
+        _MATERIALIZE_BASE.inc()
         with trace.span("preagg.materialize",
                         grouping=tuple(sorted(grouping.items())),
                         function=function.name):
@@ -148,6 +184,146 @@ class PreAggregateStore:
         )
         self._store[self._key(grouping, function)] = materialized
         return materialized
+
+    def _rollup_source(
+        self, function: AggregationFunction, grouping: Dict[str, str],
+    ) -> Optional[MaterializedAggregate]:
+        """The smallest stored, fresh, strictly finer aggregate from
+        which ``grouping`` can be safely combined — or ``None``, in
+        which case the caller scans from base."""
+        target_key = tuple(sorted(grouping.items()))
+        best: Optional[MaterializedAggregate] = None
+        for (grouping_key, function_name), stored in list(self._store.items()):
+            if function_name != function.name:
+                continue
+            if grouping_key == target_key:
+                continue  # recomputation was asked for; do not self-serve
+            if best is not None and len(stored.results) >= len(best.results):
+                continue  # a smaller parent is already in hand
+            if self.can_roll_up(stored, function, grouping):
+                best = stored
+        return best
+
+    def _materialize_rollup(
+        self,
+        stored: MaterializedAggregate,
+        function: AggregationFunction,
+        grouping: Dict[str, str],
+    ) -> MaterializedAggregate:
+        """Combine a finer stored aggregate into ``grouping`` — cell
+        values merge with ``function.combine``, groups by set union —
+        and store the result exactly as the base path would."""
+        _MATERIALIZE_ROLLUP.inc()
+        with trace.span("preagg.materialize_rollup",
+                        source=tuple(sorted(stored.grouping.items())),
+                        target=tuple(sorted(grouping.items())),
+                        function=function.name):
+            stamp = self._stamp()
+            groups: Dict[GroupKey, Set[Fact]] = {}
+            partials: Dict[GroupKey, list] = {}
+            # per-dimension value → target-ancestor tables, built once
+            # from the stored category's members so the per-cell loop
+            # below is nothing but dict lookups
+            translators = self._translators(stored.grouping, grouping)
+            source_groups = stored.groups
+            for combo, result in stored.results.items():
+                target_key = []
+                for pos, table, name, target_cat in translators:
+                    value = combo[pos]
+                    if table is not None:
+                        parent = table.get(value, _MISSING)
+                        if parent is _MISSING:
+                            # a stored value outside the category's
+                            # member list (e.g. carried over from a
+                            # previous rollup): resolve and memoize
+                            parent = table[value] = self._parent_in(
+                                name, value, target_cat)
+                        if parent is None:
+                            target_key = None  # no target ancestor
+                            break
+                        value = parent
+                    target_key.append(value)
+                if target_key is None:
+                    continue
+                target_combo = tuple(target_key)
+                bucket = partials.get(target_combo)
+                if bucket is None:
+                    partials[target_combo] = [result]
+                    groups[target_combo] = set(source_groups[combo])
+                else:
+                    bucket.append(result)
+                    groups[target_combo] |= source_groups[combo]
+            results = {
+                combo: function.combine(values)
+                for combo, values in partials.items()
+            }
+            verdict = self._verdict(grouping, function.distributive)
+        materialized = MaterializedAggregate(
+            grouping=dict(grouping),
+            function_name=function.name,
+            results=results,
+            groups=groups,
+            summarizability=verdict,
+            versions=stamp,
+            via="rollup",
+            source_grouping=dict(stored.grouping),
+            source_size=len(stored.results),
+        )
+        self._store[self._key(grouping, function)] = materialized
+        return materialized
+
+    def _translators(self, stored_grouping: Dict[str, str],
+                     target_grouping: Dict[str, str]):
+        """Per target dimension (sorted order): ``(source position,
+        table, name, target category)`` — the source-combo position of
+        the dimension's value plus a value → target-ancestor table
+        (``None`` table for pass-through dimensions whose category is
+        unchanged).  Dimensions the target drops entirely have no entry
+        — their values collapse into one cell.  Table entries map to
+        ``None`` where a member has no ancestor in the target category
+        (non-covering hierarchies); such cells are dropped, matching
+        the characterization maps the base path expands."""
+        src_names = sorted(stored_grouping)
+        position = {name: i for i, name in enumerate(src_names)}
+        translators = []
+        for name in sorted(target_grouping):
+            target_cat = target_grouping[name]
+            if stored_grouping[name] == target_cat:
+                translators.append((position[name], None, name, target_cat))
+                continue
+            dimension = self._mo.dimension(name)
+            table = {
+                member: self._parent_in(name, member, target_cat)
+                for member in
+                dimension.category(stored_grouping[name]).members()
+            }
+            translators.append((position[name], table, name, target_cat))
+        return translators
+
+    def _combo_map(self, stored: MaterializedAggregate,
+                   target_grouping: Dict[str, str]):
+        """Yield ``(source combo, target combo)`` for every source cell
+        that survives the rollup: each value maps to its unique ancestor
+        in the target category; dimensions the target groups at ⊤ are
+        dropped from the key (their values collapse into one cell)."""
+        translators = self._translators(stored.grouping, target_grouping)
+        for combo in stored.results:
+            target_combo = []
+            ok = True
+            for pos, table, name, target_cat in translators:
+                value = combo[pos]
+                if table is not None:
+                    parent = table.get(value, _MISSING)
+                    if parent is _MISSING:
+                        parent = table[value] = self._parent_in(
+                            name, value, target_cat)
+                    if parent is None:
+                        ok = False
+                        break
+                    value = parent
+                target_combo.append(value)
+            if ok:
+                yield combo, tuple(target_combo)
 
     def _expand(self, names, maps):
         """All value combinations with their intersected fact sets."""
@@ -201,29 +377,33 @@ class PreAggregateStore:
         target_grouping: Dict[str, str],
     ) -> bool:
         """Whether ``stored`` may be combined into the coarser
-        ``target_grouping``: the stored aggregate must still be fresh
-        and have been summarizable, the function distributive, the
-        target must be coarser in every dimension, the hierarchy between
-        stored and target levels strict and partitioning (re-checked at
-        the target levels), and the fact characterizations at the stored
-        level many-to-one onto the target's visible facts (see
-        :meth:`_stored_level_covers`)."""
+        ``target_grouping``: the stored aggregate must still be fresh,
+        the function distributive, the target coarser in every
+        dimension — a dimension absent from the target counts as rolled
+        all the way to ⊤ — and every dimension whose level changes must
+        pass the exact per-dimension summarizability check
+        (:meth:`_stored_level_covers`).
+
+        The check is per *changed* dimension on purpose: a grouping's
+        schema-level verdict can fail because of a dimension that the
+        rollup passes through unchanged (e.g. a many-to-many diagnosis
+        level held fixed while residence coarsens) — pass-through
+        dimensions filter both sides identically, so they cannot break
+        byte-identity."""
         if not self._is_fresh(stored):
-            return False
-        if not stored.summarizability.summarizable:
             return False
         if not function.distributive:
             return False
-        if set(target_grouping) != set(stored.grouping):
+        if not target_grouping:
+            # the apex cell is the whole fact set; the base path builds
+            # it directly without expanding any map — never roll into it
+            return False
+        if set(target_grouping) - set(stored.grouping):
             return False
         for name, target_cat in target_grouping.items():
             dtype = self._mo.dimension(name).dtype
             if not dtype.leq(stored.grouping[name], target_cat):
                 return False
-        target_verdict = self._verdict(target_grouping,
-                                       function.distributive)
-        if not target_verdict.summarizable:
-            return False
         if not self._stored_level_covers(stored.grouping, target_grouping):
             _COVERAGE_REFUSED.inc()
             return False
@@ -242,20 +422,19 @@ class PreAggregateStore:
         imprecise fact) appears in the direct target-level grouping but
         in no stored fine-level group, so the combined result silently
         loses it; a fact under two stored siblings would conversely be
-        counted twice.  Both per-fact maps come from the rollup index's
-        per-category cache, so repeated checks do not re-scan the data.
+        counted twice.  The per-pair verdicts come from the rollup
+        index's version-keyed :meth:`~RollupIndex.covers` cache, so
+        repeated checks (one per lattice edge considered) do not
+        re-scan the data.  A dimension the target drops entirely is
+        checked against ⊤ — the fact must sit in exactly one stored
+        cell of that dimension to collapse into the target cell once.
         """
         index = self._index
         for name, stored_cat in stored_grouping.items():
-            target_cat = target_grouping[name]
-            if stored_cat == target_cat:
-                continue
-            stored_map = index.grouping_values_per_fact(name, stored_cat)
-            target_map = index.grouping_values_per_fact(name, target_cat)
-            for fact in target_map:
-                stored_values = stored_map.get(fact)
-                if stored_values is None or len(stored_values) != 1:
-                    return False
+            dtype = self._mo.dimension(name).dtype
+            target_cat = target_grouping.get(name, dtype.top_name)
+            if not index.covers(name, stored_cat, target_cat):
+                return False
         return True
 
     def roll_up(
@@ -292,18 +471,10 @@ class PreAggregateStore:
                         source=tuple(sorted(source_grouping.items())),
                         target=tuple(sorted(target_grouping.items()))):
             partials: Dict[GroupKey, list] = {}
-            for combo, result in stored.results.items():
-                target_combo = []
-                ok = True
-                for name, value in zip(sorted(stored.grouping), combo):
-                    parent = self._parent_in(name, value,
-                                             target_grouping[name])
-                    if parent is None:
-                        ok = False
-                        break
-                    target_combo.append(parent)
-                if ok:
-                    partials.setdefault(tuple(target_combo), []).append(result)
+            for combo, target_combo in self._combo_map(stored,
+                                                       target_grouping):
+                partials.setdefault(target_combo, []).append(
+                    stored.results[combo])
             return {
                 combo: function.combine(values)
                 for combo, values in partials.items()
@@ -327,5 +498,6 @@ class PreAggregateStore:
     ) -> Dict[GroupKey, object]:
         """The fallback: evaluate directly against the base data (used
         when reuse is refused; the benchmarks compare its cost with
-        :meth:`roll_up`)."""
-        return self.materialize(function, grouping).results
+        :meth:`roll_up`).  Always takes the base path — this method is
+        the oracle the shared-scan equivalence tests compare against."""
+        return self.materialize(function, grouping, shared_scan=False).results

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.dimension import Dimension
+from repro.core.errors import InstanceError
 from repro.core.factdim import FactDimensionRelation
 from repro.core.interning import InternTable
 from repro.core.properties import SummarizabilityCheck, check_summarizability
@@ -58,6 +59,12 @@ _PER_FACT_HIT = metrics.counter("rollup_index.per_fact_map.hit")
 _PER_FACT_MISS = metrics.counter("rollup_index.per_fact_map.miss")
 _SUMM_HIT = metrics.counter("rollup_index.summarizability.hit")
 _SUMM_MISS = metrics.counter("rollup_index.summarizability.miss")
+_DELTA_APPLIED = metrics.counter("rollup_index.delta_applied")
+_DELTA_OPS = metrics.histogram("rollup_index.delta.batch_ops")
+_COVERAGE_HIT = metrics.counter("rollup_index.coverage.hit")
+_COVERAGE_MISS = metrics.counter("rollup_index.coverage.miss")
+
+_EMPTY_IDS: FrozenSet[int] = frozenset()
 
 
 class _DimensionIndex:
@@ -72,6 +79,7 @@ class _DimensionIndex:
         "category_maps",
         "per_fact_maps",
         "per_fact_id_maps",
+        "nonempty_maps",
     )
 
     def __init__(
@@ -95,6 +103,10 @@ class _DimensionIndex:
         #: category name → (fact id → id-sorted value-id tuple), the
         #: all-integer view the aggregate hot loop runs on
         self.per_fact_id_maps: Dict[str, Dict[int, Tuple[int, ...]]] = {}
+        #: category name → the non-empty fact sets of its members (the
+        #: cuboid-sizing fast path; see
+        #: :meth:`RollupIndex.nonempty_fact_sets`)
+        self.nonempty_maps: Dict[str, List[FrozenSet[Fact]]] = {}
 
     def is_fresh(self, dimension: Dimension,
                  relation: FactDimensionRelation) -> bool:
@@ -156,9 +168,15 @@ class RollupIndex:
         self._value_tables: Dict[str, InternTable] = {}
         self._dims: Dict[str, _DimensionIndex] = {}
         self._verdicts: Dict[tuple, SummarizabilityCheck] = {}
+        self._coverage: Dict[tuple, bool] = {}
         self._mo_fact_ids: Optional[FrozenSet[int]] = None
         self._mo_facts_version = -1
         self._builds = 0
+        self._deltas = 0
+        #: apply small mutations as closure deltas instead of per-
+        #: dimension rebuilds; disable to force the full-rebuild path
+        #: (the benchmarks and the delta-equivalence tests do).
+        self.delta_enabled = True
 
     @property
     def mo(self):
@@ -172,6 +190,12 @@ class RollupIndex:
         dimensions, repeated queries none)."""
         return self._builds
 
+    @property
+    def delta_count(self) -> int:
+        """How many mutation batches were applied as deltas (closure
+        patches) instead of per-dimension rebuilds."""
+        return self._deltas
+
     # -- freshness ---------------------------------------------------------
 
     def _entry(self, dimension_name: str) -> _DimensionIndex:
@@ -179,6 +203,10 @@ class RollupIndex:
         relation = self._mo.relation(dimension_name)
         entry = self._dims.get(dimension_name)
         if entry is not None and entry.is_fresh(dimension, relation):
+            return entry
+        if (entry is not None and self.delta_enabled
+                and self._apply_delta(dimension_name, entry,
+                                      dimension, relation)):
             return entry
         cause = self._rebuild_cause(entry, dimension, relation)
         values = self._value_tables.setdefault(dimension_name, InternTable())
@@ -206,6 +234,101 @@ class RollupIndex:
         if order_dirty and relation_dirty:
             return "order+relation"
         return "order" if order_dirty else "relation"
+
+    # -- incremental (delta) maintenance -----------------------------------
+
+    def _apply_delta(self, dimension_name: str, entry: _DimensionIndex,
+                     dimension: Dimension,
+                     relation: FactDimensionRelation) -> bool:
+        """Patch a stale entry's closures from the mutation logs instead
+        of rebuilding — true on success.
+
+        Delta-able mutations are pure additions: a relation pair add
+        puts one fact id into the closures of the value and its (final-
+        order) ancestors plus ⊤; an order edge add flows the child's
+        closure into the parent and the parent's (final-order)
+        ancestors.  Relation adds are applied first, then edges in
+        insertion order, every step against the *final* order — each
+        newly reachable ``value → fact`` path is then covered by the
+        latest-inserted edge on it (or directly, for new facts).
+        Removals log barriers and fall back to the full rebuild, as do
+        spans the bounded logs no longer cover and batches so large the
+        one-sweep rebuild is the cheaper computation.
+        """
+        order = dimension.order
+        order_ops = order.change_log.since(entry.order_version,
+                                           order.version)
+        relation_ops = relation.change_log.since(entry.relation_version,
+                                                 relation.version)
+        if order_ops is None or relation_ops is None:
+            return False
+        n_ops = len(order_ops) + len(relation_ops)
+        if n_ops > max(16, len(entry.closure) // 2):
+            return False  # bulk mutation: the one-sweep rebuild wins
+        facts = self._facts
+        values = entry.values
+        closure = entry.closure
+        top = dimension.top_value
+        affected: Set[DimensionValue] = set()
+        with trace.span("rollup_index.delta", dimension=dimension_name,
+                        ops=n_ops):
+            for op in relation_ops:  # ("add", fact, value)
+                _, fact, value = op
+                fid = facts.intern(fact)
+                targets = {value, top}
+                if value in order:
+                    targets |= order.ancestors(value)
+                for target in targets:
+                    vid = values.intern(target)
+                    closure[vid] = closure.get(vid, _EMPTY_IDS) | {fid}
+                affected |= targets
+            for op in order_ops:  # ("node", n) | ("edge", child, parent)
+                if op[0] == "node":
+                    # no closure flow, but the node's category map must
+                    # be rebuilt to show the new (empty) member
+                    affected.add(op[1])
+                    continue
+                _, child, parent = op
+                child_vid = values.id_of(child)
+                flowing = (closure.get(child_vid, _EMPTY_IDS)
+                           if child_vid is not None else _EMPTY_IDS)
+                targets = order.ancestors(parent, reflexive=True)
+                if flowing:
+                    for target in targets:
+                        vid = values.intern(target)
+                        existing = closure.get(vid, _EMPTY_IDS)
+                        closure[vid] = existing | flowing
+                affected |= targets
+            self._evict_affected(entry, dimension, affected)
+        entry.order_version = order.version
+        entry.relation_version = relation.version
+        self._deltas += 1
+        _DELTA_APPLIED.inc()
+        _DELTA_OPS.observe(n_ops)
+        return True
+
+    @staticmethod
+    def _evict_affected(entry: _DimensionIndex, dimension: Dimension,
+                        affected: Set[DimensionValue]) -> None:
+        """Surgically drop the lazily built views a delta invalidated:
+        the per-value fact-set views of the touched values, and the
+        category-level maps of every category containing one.  Values a
+        relation mentions outside the dimension (hand-built relations)
+        belong to no category, so only their fact-set view drops."""
+        categories: Set[str] = set()
+        for value in affected:
+            vid = entry.values.id_of(value)
+            if vid is not None:
+                entry.fact_sets.pop(vid, None)
+            try:
+                categories.add(dimension.category_name_of(value))
+            except InstanceError:
+                continue
+        for category_name in categories:
+            entry.category_maps.pop(category_name, None)
+            entry.per_fact_maps.pop(category_name, None)
+            entry.per_fact_id_maps.pop(category_name, None)
+            entry.nonempty_maps.pop(category_name, None)
 
     def is_fresh(self, dimension_name: str) -> bool:
         """Whether the dimension's table exists and matches the current
@@ -351,6 +474,97 @@ class RollupIndex:
         return self.characterization_map(
             dimension_name, category_name).get(value, frozenset())
 
+    def nonempty_fact_sets(self, dimension_name: str,
+                           category_name: str) -> List[FrozenSet[Fact]]:
+        """The category's characterization map filtered down to its
+        non-empty fact sets — the inner structure of cuboid sizing,
+        memoized per category so a lattice scan filters each category
+        once instead of once per candidate cuboid.  Treat as read-only.
+        """
+        entry = self._entry(dimension_name)
+        cached = entry.nonempty_maps.get(category_name)
+        if cached is not None:
+            return cached
+        result = [
+            facts for facts in self.characterization_map(
+                dimension_name, category_name).values() if facts
+        ]
+        entry.nonempty_maps[category_name] = result
+        return result
+
+    def covers(self, dimension_name: str, stored_category: str,
+               target_category: str) -> bool:
+        """Whether rolling this dimension up from ``stored_category``
+        cells is *byte-identical* to grouping at ``target_category``
+        directly — the per-dimension summarizability condition, checked
+        extensionally on the instance:
+
+        * every fact visible at either level is characterized by
+          *exactly one* stored-category value (no imprecise fact
+          recorded above the stored level and so lost, no fact under
+          two stored siblings and so double counted); and
+        * that stored value's ancestors in the target category are
+          exactly the fact's own target-level characterization, at most
+          one value (no non-strict edge fanning one stored cell into
+          two target cells, no shortcut path bypassing the stored
+          level).
+
+        Schema-level Lenz-Shoshani verdicts imply this but are coarser:
+        a grouping can fail the verdict because of *another* dimension
+        (or another branch of this one) while this particular pair of
+        levels combines exactly.  Cached keyed by the dimension's
+        version pair plus the fact-set version (the target map at ⊤ is
+        the MO's whole fact set).
+        """
+        if stored_category == target_category:
+            return True
+        dimension = self._mo.dimension(dimension_name)
+        key = (
+            dimension_name, stored_category, target_category,
+            dimension.order.version,
+            self._mo.relation(dimension_name).version,
+            self._mo.facts_version,
+        )
+        cached = self._coverage.get(key)
+        if cached is not None:
+            _COVERAGE_HIT.inc()
+            return cached
+        _COVERAGE_MISS.inc()
+        stored_map = self.grouping_values_per_fact(dimension_name,
+                                                   stored_category)
+        target_map = self.grouping_values_per_fact(dimension_name,
+                                                   target_category)
+        # at ⊤ the target map is exactly F; also require uniqueness for
+        # facts only the relation mentions, so a stray can never be
+        # combined twice
+        candidates: Iterable[Fact] = set(target_map) | set(stored_map)
+        at_top = (target_category == dimension.dtype.top_name)
+        category = None if at_top else dimension.category(target_category)
+        mapped_cache: Dict[DimensionValue, FrozenSet[DimensionValue]] = {}
+        result = True
+        for fact in candidates:
+            stored_values = stored_map.get(fact)
+            if stored_values is None or len(stored_values) != 1:
+                result = False
+                break
+            if at_top:
+                continue  # every fact maps to the single ⊤ cell
+            value = stored_values[0]
+            mapped = mapped_cache.get(value)
+            if mapped is None:
+                mapped = frozenset(
+                    ancestor for ancestor in dimension.ancestors(
+                        value, reflexive=True)
+                    if ancestor in category
+                )
+                mapped_cache[value] = mapped
+            if len(mapped) > 1 or mapped != frozenset(
+                    target_map.get(fact, ())):
+                result = False
+                break
+        self._coverage[key] = result
+        return result
+
     def group_counts(self, dimension_name: str,
                      category_name: str) -> Dict[DimensionValue, int]:
         """Distinct-fact counts per category value — the indexed version
@@ -435,8 +649,16 @@ class RollupIndex:
         version = self._mo.facts_version
         if self._mo_fact_ids is None or self._mo_facts_version != version:
             intern = self._facts.intern
-            self._mo_fact_ids = frozenset(
-                intern(f) for f in self._mo.facts)
+            ops = (None if self._mo_fact_ids is None else
+                   self._mo.fact_log.since(self._mo_facts_version, version))
+            if ops is not None:
+                # the fact set only grows: patch the interned view with
+                # the logged insertions instead of re-interning F
+                self._mo_fact_ids = self._mo_fact_ids | frozenset(
+                    intern(fact) for _, fact in ops)
+            else:
+                self._mo_fact_ids = frozenset(
+                    intern(f) for f in self._mo.facts)
             self._mo_facts_version = version
         return self._mo_fact_ids
 

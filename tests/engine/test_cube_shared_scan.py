@@ -1,0 +1,193 @@
+"""Shared-scan cube materialization: equivalence properties and
+observability.
+
+The load-bearing property: materializing the cuboid lattice with shared
+scans — coarser cuboids combined from their smallest stored parent —
+produces cells *byte-identical* to materializing every cuboid
+independently from the base characterization maps, and group-identical
+to running the α operator once per cuboid.  This must hold for
+distributive and non-distributive functions, and on MOs with
+non-summarizable groupings (many-to-many, non-strict, or
+mixed-granularity hierarchies), where the engine's per-dimension
+coverage gate must refuse the rollup and base-scan instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.algebra import SetCount, aggregate
+from repro.algebra.functions import SQLFunction
+from repro.core.helpers import make_result_spec
+from repro.core.values import Fact
+from repro.engine.cube import CubeBuilder
+from repro.obs import metrics
+
+from tests.strategies import small_mos
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class NonDistributiveCount(SetCount):
+    """Set-count with distributivity switched off: same answers as
+    :class:`SetCount` on every group, but the engine may never combine
+    it from parent cells — the property below proves the base-scan
+    fallback computes the same lattice."""
+
+    distributive = False
+    required_function = SQLFunction.COUNT
+
+
+def _assert_lattices_identical(mo, function):
+    """Materialize the full lattice with and without shared scans and
+    assert every stored cuboid's cells and groups are byte-identical."""
+    shared = CubeBuilder(mo, function=function, shared_scan=True)
+    base = CubeBuilder(mo, function=function, shared_scan=False)
+    shared.materialize_all()
+    base.materialize_all()
+    compared = 0
+    for grouping, _name, stored in shared.store.entries():
+        other = base.store.get(function, grouping)
+        assert other is not None, f"base path lacks {grouping}"
+        assert stored.results == other.results, f"cells differ at {grouping}"
+        assert stored.groups == other.groups, f"groups differ at {grouping}"
+        compared += 1
+    # both paths materialized the same set of cuboids
+    assert compared == sum(1 for _ in base.store.entries())
+    return shared
+
+
+@given(mo=small_mos())
+@_PROPERTY_SETTINGS
+def test_shared_scan_byte_identical_distributive(mo):
+    _assert_lattices_identical(mo, SetCount())
+
+
+@given(mo=small_mos())
+@_PROPERTY_SETTINGS
+def test_shared_scan_byte_identical_non_distributive(mo):
+    """A non-distributive function forbids every rollup; the lattice
+    must still come out identical (and entirely via base scans)."""
+    shared = _assert_lattices_identical(mo, NonDistributiveCount())
+    for _grouping, _name, stored in shared.store.entries():
+        assert stored.via == "base"
+
+
+def _store_rows(stored):
+    """Canonical rows of a stored cuboid, merged the way α merges:
+    groups with identical member sets collapse into one set-fact whose
+    relation carries every combination's values."""
+    merged = {}
+    for combo, facts in stored.groups.items():
+        merged.setdefault(frozenset(facts), []).append(combo)
+    width = len(next(iter(stored.groups), ()))
+    rows = [
+        (tuple(frozenset(c[i] for c in combos) for i in range(width)),
+         len(members))
+        for members, combos in merged.items()
+    ]
+    return sorted(rows, key=repr)
+
+
+def _alpha_rows(mo, grouping_names, agg):
+    rows = [
+        (tuple(frozenset(agg.relation(n).values_of(fact))
+               for n in grouping_names),
+         len(fact.members))
+        for fact in agg.facts
+    ]
+    return sorted(rows, key=repr)
+
+
+@given(mo=small_mos())
+@_PROPERTY_SETTINGS
+def test_shared_scan_matches_per_cuboid_aggregate(mo):
+    """Satellite: shared-scan ``materialize_all`` ≡ per-cuboid α.  Every
+    stored cuboid's groups and set-count cells match the groups the α
+    operator forms for that cuboid's grouping (naive path, no index)."""
+    shared = CubeBuilder(mo, function=SetCount(), shared_scan=True)
+    shared.materialize_all()
+    spec = make_result_spec()
+    for grouping, _name, stored in shared.store.entries():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            agg = aggregate(mo, SetCount(), dict(grouping), spec,
+                            strict_types=False, use_index=False)
+        names = sorted(grouping)
+        assert _store_rows(stored) == _alpha_rows(mo, names, agg), (
+            f"α disagrees with the shared-scan store at {grouping}"
+        )
+
+
+class TestCounters:
+    def test_rollups_and_fallbacks_are_counted(self, small_clinical):
+        mo = small_clinical.mo
+        rollups = metrics.counter("cube.rollup_from_parent")
+        fallbacks = metrics.counter("cube.base_scan_fallback")
+        r0, f0 = rollups.value, fallbacks.value
+        builder = CubeBuilder(mo, dimensions=("Diagnosis", "Residence"),
+                              shared_scan=True)
+        builder.materialize_all()
+        # Residence is strict and single-valued per patient, so its
+        # coarsenings roll up; Diagnosis is many-to-many with mixed
+        # granularity, so its coarsenings must base-scan
+        assert rollups.value > r0
+        assert fallbacks.value > f0
+        rolled = [stored for _g, _n, stored in builder.store.entries()
+                  if stored.via == "rollup"]
+        assert rolled, "no cuboid was combined from a parent"
+        for stored in rolled:
+            assert stored.source_grouping is not None
+            assert stored.source_size >= len(stored.results)
+
+    def test_parent_size_histogram_observes_rollups(self, small_clinical):
+        mo = small_clinical.mo
+        histogram = metrics.histogram("cube.parent_size")
+        before = histogram.count
+        CubeBuilder(mo, dimensions=("Diagnosis", "Residence"),
+                    shared_scan=True).materialize_all()
+        assert histogram.count > before
+
+    def test_shared_scan_off_never_rolls_up(self, small_clinical):
+        mo = small_clinical.mo
+        rollups = metrics.counter("cube.rollup_from_parent")
+        before = rollups.value
+        CubeBuilder(mo, dimensions=("Diagnosis", "Residence"),
+                    shared_scan=False).materialize_all()
+        assert rollups.value == before
+
+
+class TestCuboidCacheStaleness:
+    """Satellite regression: ``CubeBuilder._cuboids`` used to cache
+    sizes and verdicts forever, surviving MO mutations."""
+
+    def test_cuboid_size_refreshes_after_relate(self, strict_clinical):
+        generated = strict_clinical
+        mo = generated.mo.copy()
+        builder = CubeBuilder(mo, dimensions=("Diagnosis",))
+        key = ("Diagnosis Family",)
+        before = builder.cuboid(key).size
+        # relate a fresh patient to a low-level under a family with no
+        # other patients?  Simpler: a brand-new fact under any value
+        # grows every cuboid of the Diagnosis lattice by at most one
+        # group and the base size by exactly the new characterizations
+        fact = Fact(fid=("stale-probe", 1), ftype=generated.mo.schema.fact_type)
+        mo.relate(fact, "Diagnosis", generated.icd.low_levels[0])
+        after = builder.cuboid(key).size
+        index_size = builder.size_of(key)
+        assert after == index_size
+        assert builder.cuboid(key) is builder.cuboid(key)  # re-cached
+        assert before <= after
+
+    def test_materialized_sizes_match_sizing_fast_path(self, small_clinical):
+        mo = small_clinical.mo
+        builder = CubeBuilder(mo, dimensions=("Diagnosis", "Residence"))
+        for cuboid in builder.materialize_all():
+            assert cuboid.size == builder.size_of(cuboid.key)

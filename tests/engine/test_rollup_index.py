@@ -210,9 +210,24 @@ class TestInvalidation:
         assert index.is_fresh("B")
         after = index.facts_characterized_by("A", value)
         assert facts[0] in after
-        assert index.build_count == 3  # only A rebuilt
+        # the single pair addition is applied as a delta: no dimension
+        # pays a full closure rebuild
+        assert index.build_count == 2
+        assert index.delta_count == 1
         index.group_counts("B", "B")
-        assert index.build_count == 3
+        assert index.build_count == 2
+
+    def test_relate_rebuilds_when_delta_disabled(self):
+        mo, facts = _tiny_mo()
+        index = mo.rollup_index()
+        index.delta_enabled = False
+        index.group_counts("A", "A")
+        index.group_counts("B", "B")
+        value = _value_of(mo.dimension("A"), 2)
+        mo.relate(facts[0], "A", value)
+        assert facts[0] in index.facts_characterized_by("A", value)
+        assert index.build_count == 3  # only A rebuilt, the old way
+        assert index.delta_count == 0
 
     def test_add_edge_dirties_the_dimension(self):
         mo, facts = _tiny_mo()

@@ -10,7 +10,19 @@ root (see ``docs/PERFORMANCE.md`` for how to read it):
 * ``aggregate`` — the full α operator over two grouped dimensions with
   ``use_index=False`` versus ``use_index=True`` (warm index);
 * ``cube_build`` — sizing every cuboid of a two-dimensional lattice
-  from naive characterization maps versus the index's.
+  from naive characterization maps versus the index's;
+* ``cube_materialize_all`` — computing every cuboid of the lattice
+  per-cuboid with the α operator and no index (the paper's direct
+  aggregate formation, repeated once per cuboid) versus the shared-scan
+  engine (base cells scanned once from the index's cached maps, coarser
+  cuboids combined from their smallest stored parent wherever the
+  per-dimension coverage gate allows); the extra
+  ``unshared_indexed_ops_per_sec`` column records the middle rung —
+  indexed maps, but every cuboid scanned independently;
+* ``mutation_maintenance`` — a fixed interleaved sequence of fact
+  relinks and group-count queries with delta maintenance disabled
+  (every query after a mutation pays a full closure rebuild) versus
+  enabled (the mutation applies as a closure delta).
 
 Each cell reports steady-state ops/sec (the index is built once, then
 reused — the intended usage pattern); ``build`` records the one-time
@@ -35,6 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.algebra import SetCount, aggregate
 from repro.casestudy.icd import IcdShape
 from repro.core.helpers import make_result_spec
+from repro.engine.cube import CubeBuilder
 from repro.obs import metrics
 from repro.workloads import ClinicalConfig, generate_clinical
 
@@ -43,6 +56,14 @@ AGG_GROUPING = {"Diagnosis": "Diagnosis Group", "Residence": "Region"}
 ROLLUP_DIMENSION = "Diagnosis"
 ROLLUP_CATEGORY = "Diagnosis Group"
 CUBE_DIMENSIONS = ("Diagnosis", "Residence")
+#: the materialization lattice — same as ``cube_build``'s.  Cuboids
+#: coarsening Residence (one value per fact, strict hierarchy) roll up
+#: from their stored parent; cuboids coarsening Diagnosis (many-to-many
+#: and mixed-granularity) fail the per-dimension coverage check and
+#: base-scan the index's cached maps instead
+MATERIALIZE_DIMENSIONS = CUBE_DIMENSIONS
+#: mutations interleaved with queries per mutation-maintenance op
+MUTATION_BATCH = 24
 
 
 def workload(n_patients: int):
@@ -145,7 +166,125 @@ def naive_cube_sizes(mo):
 
 
 def indexed_cube_sizes(mo):
-    return _size_lattice(mo, mo.rollup_index().characterization_map)
+    """Size the lattice the way :meth:`CubeBuilder.size_of` does — from
+    the index's memoized non-empty fact-set lists, filtered once per
+    category instead of once per candidate cuboid."""
+    index = mo.rollup_index()
+    sizes = []
+    for key in _cuboid_keys(mo):
+        maps = [
+            index.nonempty_fact_sets(name, cat)
+            for name, cat in zip(CUBE_DIMENSIONS, key)
+            if cat != mo.dimension(name).dtype.top_name
+        ]
+        sizes.append(_count_groups(maps) if maps else 1)
+    return sizes
+
+
+def _materialize_lattice_keys(mo):
+    from itertools import product
+    per_dim = [
+        [c.name for c in mo.dimension(d).dtype.category_types()]
+        for d in MATERIALIZE_DIMENSIONS
+    ]
+    return [tuple(combo) for combo in product(*per_dim)]
+
+
+def naive_materialize_all(mo):
+    """The agreement oracle: every cuboid's groups and cell values
+    computed from per-value descendant walks (no index, no parent
+    reuse).  ``check_agreement`` asserts the shared-scan engine's
+    stored cells are byte-identical to these."""
+    function = SetCount()
+    out = {}
+    for key in _materialize_lattice_keys(mo):
+        nontrivial = sorted(
+            (name, cat) for name, cat in zip(MATERIALIZE_DIMENSIONS, key)
+            if cat != mo.dimension(name).dtype.top_name
+        )
+        maps = []
+        for name, cat in nontrivial:
+            dimension = mo.dimension(name)
+            relation = mo.relation(name)
+            maps.append({
+                value: relation.facts_characterized_by(value, dimension)
+                for value in dimension.category(cat).members()
+            })
+        groups = {}
+
+        def rec(i, prefix, facts):
+            if i == len(maps):
+                groups[prefix] = facts
+                return
+            for value, value_facts in maps[i].items():
+                joined = (set(value_facts) if facts is None
+                          else facts & value_facts)
+                if joined:
+                    rec(i + 1, prefix + (value,), joined)
+
+        if maps:
+            rec(0, (), None)
+        elif mo.facts:
+            groups[()] = set(mo.facts)
+        out[tuple(nontrivial)] = (
+            groups,
+            {combo: function.apply(facts, mo)
+             for combo, facts in groups.items()},
+        )
+    return out
+
+
+def naive_cube_aggregate(mo):
+    """Compute every cuboid of the lattice the pre-engine way: one full
+    α aggregate formation per cuboid, naive per-value traversals
+    (``use_index=False``), nothing shared between cuboids.  This is the
+    paper's direct evaluation strategy and the baseline the shared-scan
+    engine replaces."""
+    spec = make_result_spec()
+    out = []
+    for key in _materialize_lattice_keys(mo):
+        grouping = dict(zip(MATERIALIZE_DIMENSIONS, key))
+        out.append(aggregate(mo, SetCount(), grouping, spec,
+                             strict_types=False, use_index=False))
+    return out
+
+
+def materialize_all_op(mo, shared_scan: bool):
+    """A zero-arg op materializing the full cuboid lattice in a fresh
+    builder (fresh pre-aggregate store) — per-cuboid base scans over
+    the index's maps when ``shared_scan`` is off, parent rollups when
+    on."""
+
+    def op():
+        return CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
+                           shared_scan=shared_scan).materialize_all()
+
+    return op
+
+
+def mutation_maintenance_op(mo, workload, delta_enabled: bool):
+    """A zero-arg op running ``MUTATION_BATCH`` interleaved
+    relate-then-query steps against a private clone of the MO.  The
+    step sequence is a fixed function of how many steps ran before, so
+    both variants apply the same mutations in the same order."""
+    clone = mo.copy()
+    index = clone.rollup_index()
+    index.delta_enabled = delta_enabled
+    index.group_counts(ROLLUP_DIMENSION, ROLLUP_CATEGORY)  # warm
+    patients = workload.patients
+    low_levels = workload.icd.low_levels
+    state = {"step": 0}
+
+    def op():
+        step = state["step"]
+        for k in range(MUTATION_BATCH):
+            patient = patients[(step + k) % len(patients)]
+            value = low_levels[(step * 7 + k * 3) % len(low_levels)]
+            clone.relate(patient, ROLLUP_DIMENSION, value)
+            index.group_counts(ROLLUP_DIMENSION, ROLLUP_CATEGORY)
+        state["step"] = step + MUTATION_BATCH
+
+    return op
 
 
 # -- the sweep ---------------------------------------------------------------
@@ -169,10 +308,31 @@ def check_agreement(mo) -> None:
     indexed = _canonical_rows(run_aggregate(mo, use_index=True), names)
     naive = _canonical_rows(run_aggregate(mo, use_index=False), names)
     assert indexed == naive
+    function = SetCount()
+    shared = CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
+                         function=function, shared_scan=True)
+    base = CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
+                       function=function, shared_scan=False)
+    shared.materialize_all()
+    base.materialize_all()
+    naive_cube = naive_materialize_all(mo)
+    compared = 0
+    for grouping, _function_name, stored in shared.store.entries():
+        other = base.store.get(function, grouping)
+        assert other is not None
+        assert stored.results == other.results
+        assert stored.groups == other.groups
+        naive_groups, naive_results = naive_cube[
+            tuple(sorted(grouping.items()))]
+        assert stored.results == naive_results
+        assert stored.groups == naive_groups
+        compared += 1
+    assert compared > 0
 
 
 def bench_scale(n_patients: int, min_seconds: float) -> dict:
-    mo = workload(n_patients).mo
+    generated = workload(n_patients)
+    mo = generated.mo
     t0 = time.perf_counter()
     for name in mo.dimension_names:
         mo.rollup_index().group_counts(
@@ -182,31 +342,54 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
     cell = {"n_patients": n_patients, "n_facts": len(mo.facts),
             "index_build_seconds": round(build_seconds, 6)}
     for bench, naive_op, indexed_op in (
-        ("rollup", naive_group_counts, indexed_group_counts),
-        ("aggregate", lambda m: run_aggregate(m, False),
-         lambda m: run_aggregate(m, True)),
-        ("cube_build", naive_cube_sizes, indexed_cube_sizes),
+        ("rollup", lambda: naive_group_counts(mo),
+         lambda: indexed_group_counts(mo)),
+        ("aggregate", lambda: run_aggregate(mo, False),
+         lambda: run_aggregate(mo, True)),
+        ("cube_build", lambda: naive_cube_sizes(mo),
+         lambda: indexed_cube_sizes(mo)),
+        ("cube_materialize_all", lambda: naive_cube_aggregate(mo),
+         materialize_all_op(mo, True)),
+        ("mutation_maintenance",
+         mutation_maintenance_op(mo, generated, False),
+         mutation_maintenance_op(mo, generated, True)),
     ):
-        naive = timed(lambda: naive_op(mo), min_seconds)
-        indexed = timed(lambda: indexed_op(mo), min_seconds)
+        naive = timed(naive_op, min_seconds)
+        indexed = timed(indexed_op, min_seconds)
         cell[bench] = {
             "naive_ops_per_sec": round(naive, 3),
             "indexed_ops_per_sec": round(indexed, 3),
             "speedup": round(indexed / naive, 2),
         }
-    cell["metrics"] = _metrics_snapshot(mo)
+    # the middle ground between the two cube_materialize_all variants:
+    # indexed characterization maps, but every cuboid base-scanned
+    cell["cube_materialize_all"]["unshared_indexed_ops_per_sec"] = round(
+        timed(materialize_all_op(mo, False), min_seconds), 3)
+    cell["metrics"] = _metrics_snapshot(mo, generated)
     return cell
 
 
-def _metrics_snapshot(mo) -> dict:
+BENCH_NAMES = ("rollup", "aggregate", "cube_build",
+               "cube_materialize_all", "mutation_maintenance")
+
+
+def _metrics_snapshot(mo, generated) -> dict:
     """One instrumented pass of the indexed operations, observed via
     the obs counters: reset, run, snapshot.  Timing is done above with
     warm caches; this pass shows *why* the indexed paths are fast
-    (hit/miss ratios, answer paths)."""
+    (hit/miss ratios, answer paths, parent rollups, closure deltas)."""
     metrics.reset()
     indexed_group_counts(mo)
     run_aggregate(mo, use_index=True)
     indexed_cube_sizes(mo)
+    CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
+                shared_scan=True).materialize_all()
+    clone = mo.copy()
+    index = clone.rollup_index()
+    index.group_counts(ROLLUP_DIMENSION, ROLLUP_CATEGORY)
+    clone.relate(generated.patients[0], ROLLUP_DIMENSION,
+                 generated.icd.low_levels[0])
+    index.group_counts(ROLLUP_DIMENSION, ROLLUP_CATEGORY)
     return metrics.snapshot()
 
 
@@ -240,9 +423,10 @@ def main(argv=None) -> int:
                    "category": ROLLUP_CATEGORY},
         "cube_dimensions": list(CUBE_DIMENSIONS),
         "results": cells,
+        "materialize_dimensions": list(MATERIALIZE_DIMENSIONS),
         "largest_scale_speedups": {
             bench: largest[bench]["speedup"]
-            for bench in ("rollup", "aggregate", "cube_build")
+            for bench in BENCH_NAMES
         },
         # the largest scale's instrumented pass, surfaced at top level
         # so dashboards need not dig into cells
