@@ -7,6 +7,7 @@ Usage::
     python -m repro figure1|figure2|figure3
     python -m repro probes           # the nine requirement probes
     python -m repro timeslice --date 01/06/85
+    python -m repro analyze [--subject all|casestudy|retail|wide]
     python -m repro export [--temporal] [--out FILE]
     python -m repro demo             # a synthetic workload walkthrough
 
@@ -57,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="synthetic clinical workload demo")
     demo.add_argument("--patients", type=int, default=200)
     demo.add_argument("--seed", type=int, default=0)
+    analyze = sub.add_parser(
+        "analyze", help="static schema analysis (exit 1 on errors)")
+    analyze.add_argument("--subject", default="all",
+                         choices=["all", "casestudy", "retail", "wide"],
+                         help="which schema(s) to lint (default all)")
     return parser
 
 
@@ -170,6 +176,36 @@ def _cmd_demo(patients: int, seed: int) -> int:
     return 0
 
 
+def _cmd_analyze(subject: str) -> int:
+    from repro.analyze import analyze_schema
+
+    def subjects():
+        if subject in ("all", "casestudy"):
+            from repro.casestudy import case_study_mo
+            yield "case study", case_study_mo(temporal=True)
+        if subject in ("all", "retail"):
+            from repro.workloads import generate_retail
+            yield "retail workload", generate_retail().mo
+        if subject in ("all", "wide"):
+            from repro.workloads.wide import WideConfig, generate_wide
+            yield "wide workload", generate_wide(
+                WideConfig(n_facts=50, n_flat_dimensions=20)).mo
+
+    failed = False
+    for title, mo in subjects():
+        report = analyze_schema(mo)
+        print(f"== {title} ==")
+        if report.diagnostics:
+            print(report.render())
+        else:
+            print("clean: no diagnostics")
+        print(f"{len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s)")
+        print()
+        failed = failed or report.has_errors
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the exit code."""
     args = build_parser().parse_args(argv)
@@ -191,6 +227,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_export(args.temporal, args.out)
     if args.command == "demo":
         return _cmd_demo(args.patients, args.seed)
+    if args.command == "analyze":
+        return _cmd_analyze(args.subject)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "AlgebraError",
     "AggregationTypeError",
     "SummarizabilityWarning",
+    "StaticAnalysisError",
     "TemporalError",
     "UncertaintyError",
 ]
@@ -72,6 +73,19 @@ class SummarizabilityWarning(UserWarning):
     """Warns that an aggregate result may be incorrect (double counting,
     adding non-additive data) because a summarizability precondition
     fails.  Used in permissive aggregation mode."""
+
+
+class StaticAnalysisError(ReproError):
+    """The static analyzer found error-severity diagnostics.
+
+    Raised by :meth:`repro.engine.query.Query.execute` (unless checking
+    is opted out) when :mod:`repro.analyze` rejects the pipeline before
+    any data is touched.  Carries the offending diagnostics in the
+    ``diagnostics`` attribute."""
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class TemporalError(ReproError):

@@ -10,6 +10,8 @@ operators of §4.1's closing paragraph live in
 
 from repro.algebra.aggregate import (
     aggregate,
+    aggregate_schema,
+    dtype_with_aggtypes,
     rebuild_with_aggtypes,
     summarizability_of,
 )
@@ -35,7 +37,7 @@ from repro.algebra.functions import (
     SumProduct,
     measures_of,
 )
-from repro.algebra.join import JoinPredicate, identity_join
+from repro.algebra.join import JoinPredicate, identity_join, join_schema
 from repro.algebra.predicates import (
     Predicate,
     SelectionContext,
@@ -49,13 +51,25 @@ from repro.algebra.predicates import (
     sid_satisfies,
     value_in_category,
 )
-from repro.algebra.projection import project
-from repro.algebra.rename import rename, rename_dimension
-from repro.algebra.selection import select
-from repro.algebra.setops import difference, union
+from repro.algebra.projection import project, project_schema
+from repro.algebra.rename import (
+    rename,
+    rename_dimension,
+    rename_dimension_type,
+    rename_schema,
+)
+from repro.algebra.selection import select, select_schema
+from repro.algebra.setops import (
+    difference,
+    difference_schema,
+    union,
+    union_schema,
+)
 
 __all__ = [
     "aggregate",
+    "aggregate_schema",
+    "dtype_with_aggtypes",
     "rebuild_with_aggtypes",
     "summarizability_of",
     "ClosureReport",
@@ -80,6 +94,7 @@ __all__ = [
     "measures_of",
     "JoinPredicate",
     "identity_join",
+    "join_schema",
     "Predicate",
     "SelectionContext",
     "characterized_by",
@@ -92,9 +107,15 @@ __all__ = [
     "sid_satisfies",
     "value_in_category",
     "project",
+    "project_schema",
     "rename",
     "rename_dimension",
+    "rename_dimension_type",
+    "rename_schema",
     "select",
+    "select_schema",
     "difference",
+    "difference_schema",
     "union",
+    "union_schema",
 ]

@@ -46,12 +46,110 @@ from repro.obs import metrics, trace
 from repro.temporal.chronon import Chronon
 from repro.temporal.timeset import ALWAYS, TimeSet, coalesce_intersection
 
-__all__ = ["aggregate", "rebuild_with_aggtypes"]
+__all__ = ["aggregate", "rebuild_with_aggtypes", "aggregate_schema",
+           "dtype_with_aggtypes"]
 
 _PATH_INDEXED = metrics.counter("aggregate.path.indexed")
 _PATH_NAIVE = metrics.counter("aggregate.path.naive")
 _PATH_TEMPORAL = metrics.counter("aggregate.path.temporal")
 _GROUPS = metrics.histogram("aggregate.groups")
+
+
+def dtype_with_aggtypes(
+    dtype: DimensionType,
+    aggtype_map: Dict[str, AggregationType],
+) -> DimensionType:
+    """The intension-level half of :func:`rebuild_with_aggtypes`: the
+    same lattice with new aggregation types per category type
+    (declarations preserved — changing ``Aggtype_T`` does not touch the
+    order)."""
+    ctypes: List[CategoryType] = []
+    for ctype in dtype.category_types():
+        new_aggtype = aggtype_map.get(ctype.name, ctype.aggtype)
+        ctypes.append(CategoryType(
+            name=ctype.name, aggtype=new_aggtype,
+            is_top=ctype.is_top, is_bottom=ctype.is_bottom))
+    edges = []
+    for ctype in dtype.category_types():
+        for parent in dtype.pred(ctype.name):
+            if parent == dtype.top_name:
+                continue
+            edges.append((ctype.name, parent))
+    return DimensionType(
+        dtype.name, ctypes, edges,
+        declared_strict=dtype.declared_strict,
+        declared_partitioning=dtype.declared_partitioning,
+    )
+
+
+def _propagated_aggtype_map(
+    result_dtype: DimensionType,
+    bottom_aggtype: AggregationType,
+) -> Dict[str, AggregationType]:
+    """The propagation rule's per-category map for the result dimension:
+    the new ⊥ type at the bottom, and no category above may exceed it."""
+    aggtype_map = {result_dtype.bottom_name: bottom_aggtype}
+    for ctype in result_dtype.category_types():
+        if ctype.is_top or ctype.name == result_dtype.bottom_name:
+            continue
+        aggtype_map[ctype.name] = min((ctype.aggtype, bottom_aggtype))
+    return aggtype_map
+
+
+def aggregate_schema(
+    schema: FactSchema,
+    function: AggregationFunction,
+    grouping: Dict[str, str],
+    result: ResultSpec,
+    summarizable: bool = True,
+) -> FactSchema:
+    """α's schema-inference hook: the output fact schema of
+    ``α[result, function, grouping]`` over an input with ``schema`` —
+    Theorem 1's closure argument made executable, no fact data involved.
+
+    Raises the same :class:`SchemaError` the runtime operator would for
+    groupings naming unknown dimensions or categories, a colliding
+    result-dimension name, or function arguments outside the schema.
+    ``summarizable`` supplies the Lenz-Shoshani verdict the propagation
+    rule depends on (the one ingredient the schema alone cannot always
+    decide): ``True`` yields the optimistic result type (⊥ = min of the
+    argument ⊥ types), ``False`` the pessimistic ``c``.  The static
+    analyzer calls this twice to bracket the truth when the verdict is
+    unknown."""
+    for name, cat in grouping.items():
+        if name not in schema:
+            raise SchemaError(f"grouping names unknown dimension {name!r}")
+        dtype = schema.dimension_type(name)
+        if cat not in dtype:
+            raise SchemaError(
+                f"dimension {name!r} has no category {cat!r}"
+            )
+    if result.name in schema:
+        raise SchemaError(
+            f"result dimension {result.name!r} collides with an existing "
+            f"dimension; rename first"
+        )
+    for arg in function.args:
+        if arg not in schema:
+            raise SchemaError(
+                f"schema has no dimension type {arg!r}"
+            )
+    if summarizable:
+        bottom_aggtype = min_aggtype(
+            schema.dimension_type(d).bottom.aggtype for d in function.args
+        )
+    else:
+        bottom_aggtype = AggregationType.CONSTANT
+    result_dtype = dtype_with_aggtypes(
+        result.dimension.dtype,
+        _propagated_aggtype_map(result.dimension.dtype, bottom_aggtype),
+    )
+    dtypes = [
+        schema.dimension_type(name).restricted_upward(
+            grouping.get(name, schema.dimension_type(name).top_name))
+        for name in schema.dimension_names
+    ]
+    return FactSchema(f"Set-of-{schema.fact_type}", dtypes + [result_dtype])
 
 
 def rebuild_with_aggtypes(
@@ -64,20 +162,7 @@ def rebuild_with_aggtypes(
     result dimension's type with the computed aggregation types; values,
     order, and representations are copied unchanged.
     """
-    old_dtype = dimension.dtype
-    ctypes: List[CategoryType] = []
-    for ctype in old_dtype.category_types():
-        new_aggtype = aggtype_map.get(ctype.name, ctype.aggtype)
-        ctypes.append(CategoryType(
-            name=ctype.name, aggtype=new_aggtype,
-            is_top=ctype.is_top, is_bottom=ctype.is_bottom))
-    edges = []
-    for ctype in old_dtype.category_types():
-        for parent in old_dtype.pred(ctype.name):
-            if parent == old_dtype.top_name:
-                continue
-            edges.append((ctype.name, parent))
-    dtype = DimensionType(old_dtype.name, ctypes, edges)
+    dtype = dtype_with_aggtypes(dimension.dtype, aggtype_map)
     result = Dimension(dtype)
     for category in dimension.categories():
         if category.ctype.is_top:
@@ -306,11 +391,8 @@ def aggregate(
         )
     else:
         bottom_aggtype = AggregationType.CONSTANT
-    aggtype_map = {result.dimension.dtype.bottom_name: bottom_aggtype}
-    for ctype in result.dimension.dtype.category_types():
-        if ctype.is_top or ctype.name == result.dimension.dtype.bottom_name:
-            continue
-        aggtype_map[ctype.name] = min((ctype.aggtype, bottom_aggtype))
+    aggtype_map = _propagated_aggtype_map(result.dimension.dtype,
+                                          bottom_aggtype)
 
     # -- evaluate g and build the result relations ---------------------------
     set_fact_type = f"Set-of-{mo.schema.fact_type}"

@@ -26,7 +26,25 @@ from repro.core.mo import MultidimensionalObject
 from repro.core.schema import FactSchema
 from repro.core.values import Fact
 
-__all__ = ["JoinPredicate", "identity_join"]
+__all__ = ["JoinPredicate", "identity_join", "join_schema"]
+
+
+def join_schema(s1: FactSchema, s2: FactSchema) -> FactSchema:
+    """⋈'s schema-inference hook: the output schema of ``M1 ⋈ M2`` —
+    the pair fact type over the concatenated dimension types — raising
+    the same :class:`AlgebraError` the runtime operator would for
+    overlapping dimension names.  Used by the static plan typechecker
+    (:mod:`repro.analyze`)."""
+    overlap = set(s1.dimension_names) & set(s2.dimension_names)
+    if overlap:
+        raise AlgebraError(
+            f"join operands share dimension names {sorted(overlap)}; "
+            f"apply rename (ρ) first"
+        )
+    return FactSchema(
+        f"({s1.fact_type},{s2.fact_type})",
+        s1.dimension_types() + s2.dimension_types(),
+    )
 
 
 class JoinPredicate(enum.Enum):
@@ -60,12 +78,7 @@ def identity_join(
             f"join requires operands of the same temporal kind; got "
             f"{m1.kind.value} vs {m2.kind.value}"
         )
-    overlap = set(m1.dimension_names) & set(m2.dimension_names)
-    if overlap:
-        raise AlgebraError(
-            f"join operands share dimension names {sorted(overlap)}; "
-            f"apply rename (ρ) first"
-        )
+    join_schema(m1.schema, m2.schema)
     pair_type = f"({m1.schema.fact_type},{m2.schema.fact_type})"
     pairs: Dict[Fact, tuple] = {}
     for f1 in m1.facts:

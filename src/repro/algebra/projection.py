@@ -17,7 +17,27 @@ from repro.core.errors import SchemaError
 from repro.core.mo import MultidimensionalObject
 from repro.core.schema import FactSchema
 
-__all__ = ["project"]
+__all__ = ["project", "project_schema"]
+
+
+def project_schema(schema: FactSchema,
+                   dimension_names: Sequence[str]) -> FactSchema:
+    """π's schema-inference hook: the output schema of
+    ``π[dimension_names]``, raising the same :class:`SchemaError` the
+    runtime operator would (empty or duplicated dimension lists, unknown
+    names).  Used by the static plan typechecker
+    (:mod:`repro.analyze`)."""
+    if not dimension_names:
+        raise SchemaError("projection must retain at least one dimension")
+    if len(set(dimension_names)) != len(dimension_names):
+        raise SchemaError(f"duplicate dimension names in {dimension_names!r}")
+    for name in dimension_names:
+        if name not in schema:
+            raise SchemaError(f"cannot project on unknown dimension {name!r}")
+    return FactSchema(
+        schema.fact_type,
+        [schema.dimension_type(name) for name in dimension_names],
+    )
 
 
 def project(mo: MultidimensionalObject,
@@ -27,17 +47,7 @@ def project(mo: MultidimensionalObject,
     At least one dimension must be kept (an MO has ``n ≥ 1``); names
     must be distinct and present in the schema.
     """
-    if not dimension_names:
-        raise SchemaError("projection must retain at least one dimension")
-    if len(set(dimension_names)) != len(dimension_names):
-        raise SchemaError(f"duplicate dimension names in {dimension_names!r}")
-    for name in dimension_names:
-        if name not in mo.schema:
-            raise SchemaError(f"cannot project on unknown dimension {name!r}")
-    schema = FactSchema(
-        mo.schema.fact_type,
-        [mo.schema.dimension_type(name) for name in dimension_names],
-    )
+    schema = project_schema(mo.schema, dimension_names)
     return MultidimensionalObject(
         schema=schema,
         facts=mo.facts,

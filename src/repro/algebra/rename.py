@@ -23,33 +23,63 @@ from repro.core.mo import MultidimensionalObject
 from repro.core.schema import FactSchema
 from repro.core.values import Fact
 
-__all__ = ["rename", "rename_dimension"]
+__all__ = ["rename", "rename_dimension", "rename_dimension_type",
+           "rename_schema"]
+
+
+def rename_dimension_type(dtype: DimensionType,
+                          new_name: str) -> DimensionType:
+    """The intension-level rename: the same lattice under a new
+    dimension name (fresh ⊤ category type, declarations preserved)."""
+    ctypes = []
+    for ctype in dtype.category_types():
+        if ctype.is_top:
+            ctypes.append(CategoryType.top(new_name))
+        else:
+            ctypes.append(ctype)
+    # reconstruct direct category-type edges, excluding implicit ⊤ links
+    edges = []
+    for ctype in dtype.category_types():
+        for parent in dtype.pred(ctype.name):
+            if parent == dtype.top_name:
+                continue
+            edges.append((ctype.name, parent))
+    return DimensionType(
+        new_name, ctypes, edges,
+        declared_strict=dtype.declared_strict,
+        declared_partitioning=dtype.declared_partitioning,
+    )
+
+
+def rename_schema(
+    schema: FactSchema,
+    new_fact_type: Optional[str] = None,
+    dimension_map: Optional[Dict[str, str]] = None,
+) -> FactSchema:
+    """ρ's schema-inference hook: the output schema of ``ρ``, raising
+    the same :class:`SchemaError` the runtime operator would (unknown
+    old names, colliding new names).  Used by the static plan
+    typechecker (:mod:`repro.analyze`)."""
+    dimension_map = dict(dimension_map or {})
+    for old in dimension_map:
+        if old not in schema:
+            raise SchemaError(f"cannot rename unknown dimension {old!r}")
+    new_names = [dimension_map.get(n, n) for n in schema.dimension_names]
+    if len(set(new_names)) != len(new_names):
+        raise SchemaError(f"renaming produces duplicate names {new_names!r}")
+    dtypes = []
+    for old_name in schema.dimension_names:
+        new_name = dimension_map.get(old_name, old_name)
+        dtype = schema.dimension_type(old_name)
+        dtypes.append(dtype if new_name == old_name
+                      else rename_dimension_type(dtype, new_name))
+    return FactSchema(new_fact_type or schema.fact_type, dtypes)
 
 
 def rename_dimension(dimension: Dimension, new_name: str) -> Dimension:
     """Rebuild a dimension under a new name (same categories, order,
     representations; fresh ⊤)."""
-    old_dtype = dimension.dtype
-    ctypes = []
-    for ctype in old_dtype.category_types():
-        if ctype.is_top:
-            ctypes.append(CategoryType.top(new_name))
-        else:
-            ctypes.append(ctype)
-    old_top_name = old_dtype.top_name
-    new_top_name = f"⊤{new_name}"
-
-    def map_name(name: str) -> str:
-        return new_top_name if name == old_top_name else name
-
-    # reconstruct direct category-type edges, excluding implicit ⊤ links
-    edges = []
-    for ctype in old_dtype.category_types():
-        for parent in old_dtype.pred(ctype.name):
-            if parent == old_top_name:
-                continue
-            edges.append((ctype.name, parent))
-    dtype = DimensionType(new_name, ctypes, edges)
+    dtype = rename_dimension_type(dimension.dtype, new_name)
     result = Dimension(dtype)
     for category in dimension.categories():
         if category.ctype.is_top:
@@ -81,12 +111,7 @@ def rename(
     isomorphic to the input's, as the operator requires.
     """
     dimension_map = dict(dimension_map or {})
-    for old in dimension_map:
-        if old not in mo.schema:
-            raise SchemaError(f"cannot rename unknown dimension {old!r}")
-    new_names = [dimension_map.get(n, n) for n in mo.dimension_names]
-    if len(set(new_names)) != len(new_names):
-        raise SchemaError(f"renaming produces duplicate names {new_names!r}")
+    rename_schema(mo.schema, new_fact_type, dimension_map)
 
     fact_type = new_fact_type or mo.schema.fact_type
     fact_map: Dict[Fact, Fact] = {}

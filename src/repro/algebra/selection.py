@@ -16,9 +16,24 @@ from typing import Dict, List, Set
 from repro.algebra.predicates import Predicate, SelectionContext
 from repro.core.errors import SchemaError
 from repro.core.mo import MultidimensionalObject
+from repro.core.schema import FactSchema
 from repro.core.values import DimensionValue, Fact
 
-__all__ = ["select"]
+__all__ = ["select", "select_schema"]
+
+
+def select_schema(schema: FactSchema, predicate: Predicate) -> FactSchema:
+    """σ's schema-inference hook: the output schema of
+    ``σ[predicate]`` over an input with ``schema`` (``S' = S``), raising
+    the same :class:`SchemaError` the runtime operator would for a
+    predicate constraining an unknown dimension.  Used by the static
+    plan typechecker (:mod:`repro.analyze`) — no fact data involved."""
+    for name in predicate.dims:
+        if name not in schema:
+            raise SchemaError(
+                f"predicate constrains unknown dimension {name!r}"
+            )
+    return schema
 
 
 def _candidate_values(mo: MultidimensionalObject, fact: Fact,
@@ -42,11 +57,7 @@ def select(mo: MultidimensionalObject,
     predicate constrains; unconstrained dimensions are witnessed by ⊤
     (every fact is characterized by ⊤, so they never exclude a fact).
     """
-    for name in predicate.dims:
-        if name not in mo.schema:
-            raise SchemaError(
-                f"predicate constrains unknown dimension {name!r}"
-            )
+    select_schema(mo.schema, predicate)
     surviving: Set[Fact] = set()
     for fact in mo.facts:
         ctx = SelectionContext(mo=mo, fact=fact)

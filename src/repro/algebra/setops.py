@@ -23,18 +23,38 @@ from typing import Dict, Set
 from repro.core.errors import AlgebraError
 from repro.core.factdim import FactDimensionRelation
 from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
 from repro.core.values import Fact
 
-__all__ = ["union", "difference"]
+__all__ = ["union", "difference", "union_schema", "difference_schema"]
+
+
+def _common_schema(s1: FactSchema, s2: FactSchema, op: str) -> FactSchema:
+    if s1 != s2:
+        raise AlgebraError(
+            f"{op} requires common schemas; got {s1!r} vs {s2!r}"
+        )
+    return s1
+
+
+def union_schema(s1: FactSchema, s2: FactSchema) -> FactSchema:
+    """∪'s schema-inference hook: the output schema of ``M1 ∪ M2``,
+    raising the same :class:`AlgebraError` the runtime operator would
+    for unequal operand schemas.  (The operand temporal-kind check needs
+    instances and stays with the runtime operator; the static plan
+    typechecker tracks kinds separately.)"""
+    return _common_schema(s1, s2, "union")
+
+
+def difference_schema(s1: FactSchema, s2: FactSchema) -> FactSchema:
+    """\\'s schema-inference hook, symmetric to :func:`union_schema`."""
+    return _common_schema(s1, s2, "difference")
 
 
 def _require_common_schema(m1: MultidimensionalObject,
                            m2: MultidimensionalObject,
                            op: str) -> None:
-    if m1.schema != m2.schema:
-        raise AlgebraError(
-            f"{op} requires common schemas; got {m1.schema!r} vs {m2.schema!r}"
-        )
+    _common_schema(m1.schema, m2.schema, op)
     if m1.kind != m2.kind:
         raise AlgebraError(
             f"{op} requires operands of the same temporal kind; got "

@@ -1,0 +1,58 @@
+"""Static schema/plan analysis — diagnostics without fact data.
+
+Given only fact schemas, dimension-type lattices, declared hierarchy
+properties, and an algebra plan, the analyzer emits structured
+:class:`~repro.analyze.diagnostics.Diagnostic` findings with stable
+``MDnnn`` codes:
+
+* **aggregation-type safety** (``MD00x``) — §3.1's ``Aggtype_T``
+  propagated through every operator; SUM-over-⊘ and silent type
+  downgrades are caught before evaluation;
+* **plan typechecking** (``MD01x``) — Theorem 1's closure made
+  executable: input/output fact schemas inferred through
+  σ/π/ρ/∪/\\/⋈/α, malformed plans rejected with the offending node
+  named;
+* **summarizability** (``MD02x``) — the intensional Lenz–Shoshani
+  verdict from declared strictness/partitioning, with drift checks
+  against the extension so "static ``SAFE``" soundly implies the
+  extensional check passes;
+* **temporal/uncertainty lints** (``MD03x``) — timeslices outside the
+  recorded valid-time span, probability mass above 1.
+
+Three surfaces: the :func:`analyze_schema` / :func:`analyze_plan` /
+:func:`analyze_timeslice` APIs here, ``Query.check()`` on the fluent
+engine API (run by ``execute`` unless opted out), and the
+``python -m repro analyze`` CLI over the case study and workloads.
+``docs/ANALYSIS.md`` is the full diagnostic catalogue."""
+
+from repro.analyze.diagnostics import (
+    CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analyze.plan import PlanTypes, analyze_plan, typecheck_plan
+from repro.analyze.schema import (
+    StaticVerdict,
+    analyze_schema,
+    analyze_timeslice,
+    intensional_summarizability,
+    recorded_valid_time,
+    static_summarizability,
+)
+
+__all__ = [
+    "CATALOG",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "PlanTypes",
+    "analyze_plan",
+    "typecheck_plan",
+    "StaticVerdict",
+    "analyze_schema",
+    "analyze_timeslice",
+    "intensional_summarizability",
+    "recorded_valid_time",
+    "static_summarizability",
+]

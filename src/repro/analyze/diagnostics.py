@@ -1,0 +1,239 @@
+"""Diagnostic objects for the static analyzer.
+
+Every finding the analyzer emits is a :class:`Diagnostic`: a stable
+``MDnnn`` code, a severity, a human-readable message, a source location
+(a schema element or a plan-node path — there is no fact data and no
+file/line to point at), and a fix hint.  :class:`AnalysisReport` is the
+ordered collection the ``analyze_*`` entry points return; adding a
+diagnostic bumps the ``analyze.diagnostics.<code>`` counter so runs are
+visible in :mod:`repro.obs` like every other engine activity.
+
+The code space is partitioned by concern:
+
+* ``MD00x`` — aggregation-type safety (§3.1's ``Aggtype_T``);
+* ``MD01x`` — plan typechecking (Theorem 1's closure, made executable);
+* ``MD02x`` — summarizability and hierarchy-property drift (§3.4,
+  Lenz–Shoshani);
+* ``MD03x`` — temporal and uncertainty lints (§3.2–§3.3).
+
+``docs/ANALYSIS.md`` is the narrative catalogue; :data:`CATALOG` below
+is the machine-readable one and the AST lint cross-checks the two.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs import metrics
+
+__all__ = ["Severity", "Diagnostic", "AnalysisReport", "CATALOG"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are guaranteed failures: evaluating the analyzed
+    plan (or using the analyzed schema) raises.  ``WARNING`` findings
+    are possible or semantic problems evaluation survives — the paper's
+    "warn the user" mode.  ``INFO`` findings are observations."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort rank; errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: code → (default severity, one-line meaning).  The single source of
+#: truth for which codes exist; ``docs/ANALYSIS.md`` documents each in
+#: full and ``tools/lint_invariants.py`` checks the two stay in sync.
+CATALOG: Dict[str, Tuple[Severity, str]] = {
+    "MD001": (Severity.ERROR,
+              "aggregation-type violation: the function is not "
+              "applicable to the argument dimensions' bottom types "
+              "(strict mode raises AggregationTypeError)"),
+    "MD002": (Severity.WARNING,
+              "possible aggregation-type violation: applicability "
+              "depends on a summarizability verdict the analyzer "
+              "cannot decide statically, or strict mode is off"),
+    "MD010": (Severity.ERROR,
+              "selection predicate constrains a dimension missing from "
+              "the input schema"),
+    "MD011": (Severity.ERROR,
+              "projection list is empty, has duplicates, or names a "
+              "dimension missing from the input schema"),
+    "MD012": (Severity.ERROR,
+              "rename maps an unknown dimension or collides two "
+              "dimension names"),
+    "MD013": (Severity.ERROR,
+              "union/difference operand schemas are not common"),
+    "MD014": (Severity.ERROR,
+              "join operands share dimension names (apply ρ first)"),
+    "MD015": (Severity.ERROR,
+              "operand temporal kinds differ (or an operator needs a "
+              "temporal kind the input lacks)"),
+    "MD016": (Severity.ERROR,
+              "aggregate formation is malformed: unknown grouping "
+              "dimension or category, argument dimension missing, or "
+              "result dimension name collides with the schema"),
+    "MD020": (Severity.WARNING,
+              "drift: hierarchy declared strict but the extension "
+              "violates Definition 2"),
+    "MD021": (Severity.WARNING,
+              "drift: hierarchy declared partitioning but the "
+              "extension violates Definition 3"),
+    "MD022": (Severity.INFO,
+              "over-conservative declaration: hierarchy declared "
+              "non-strict/non-partitioning but the extension satisfies "
+              "the property"),
+    "MD023": (Severity.WARNING,
+              "hierarchy is extensionally non-strict: pre-computed "
+              "aggregates above the offending levels are unsafe for "
+              "distributive reuse"),
+    "MD024": (Severity.WARNING,
+              "hierarchy is extensionally non-partitioning: grouping "
+              "by an intermediate category can drop or double-place "
+              "values"),
+    "MD025": (Severity.INFO,
+              "hierarchy properties undeclared; the analyzer falls "
+              "back to extensional checks and cannot vouch for future "
+              "data"),
+    "MD026": (Severity.INFO,
+              "aggregation-type inversion: a category's type exceeds "
+              "its parent category's, so coarser data supports more "
+              "functions than finer data"),
+    "MD028": (Severity.WARNING,
+              "non-strict fact paths: some fact maps to several values "
+              "of a category, so aggregates there double-count"),
+    "MD030": (Severity.WARNING,
+              "grouping is not statically summarizable: the result's "
+              "bottom aggregation type degrades to c (count-only)"),
+    "MD031": (Severity.WARNING,
+              "timeslice chronon lies outside the recorded valid-time "
+              "span: every relation restricts to ⊤ ('cannot "
+              "characterize')"),
+    "MD032": (Severity.WARNING,
+              "probability mass of a fact's alternative "
+              "characterizations exceeds 1 in some dimension"),
+    "MD033": (Severity.INFO,
+              "summarizability could not be determined statically "
+              "(schema-only analysis with no declarations)"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``location`` names the schema element (``"dimension Diagnosis"``)
+    or plan node (``"plan[0].child: α[...]"``) the finding anchors to;
+    ``hint`` says what would make it go away."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """``severity MDnnn at <location>: message (hint)``."""
+        text = (f"{self.severity.value} {self.code} at {self.location}: "
+                f"{self.message}")
+        return f"{text}  [fix: {self.hint}]" if self.hint else text
+
+
+class AnalysisReport:
+    """The ordered, counted collection of diagnostics one analysis run
+    produced.  Iterable; renders one line per finding."""
+
+    def __init__(self, subject: str,
+                 diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self._subject = subject
+        self._diagnostics: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            self.add(diagnostic)
+
+    @property
+    def subject(self) -> str:
+        """What was analyzed (a schema name or a plan label)."""
+        return self._subject
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        """Record a finding (and count it in the observability layer).
+
+        Unknown codes are programming errors in the analyzer itself,
+        caught here so the catalogue can never silently drift."""
+        if diagnostic.code not in CATALOG:
+            raise ValueError(f"diagnostic code {diagnostic.code!r} is not "
+                             f"in the catalogue")
+        self._diagnostics.append(diagnostic)
+        metrics.counter(f"analyze.diagnostics.{diagnostic.code}").inc()
+        return diagnostic
+
+    def emit(self, code: str, message: str, location: str,
+             hint: str = "",
+             severity: Optional[Severity] = None) -> Diagnostic:
+        """Shorthand: build a finding with the catalogue's default
+        severity (overridable) and :meth:`add` it."""
+        default_severity, _meaning = CATALOG[code]
+        return self.add(Diagnostic(
+            code=code,
+            severity=severity or default_severity,
+            message=message,
+            location=location,
+            hint=hint,
+        ))
+
+    def extend(self, other: "AnalysisReport") -> None:
+        """Fold another report's findings into this one (already
+        counted when first added — no double count)."""
+        self._diagnostics.extend(other._diagnostics)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics
+                     if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics
+                     if d.severity is Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._diagnostics)
+
+    def codes(self) -> List[str]:
+        """The codes present, in emission order (with repeats)."""
+        return [d.code for d in self._diagnostics]
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def render(self) -> str:
+        """The report as text: a header plus one line per finding,
+        errors first (stable within a severity)."""
+        ordered = sorted(self._diagnostics, key=lambda d: d.severity.rank)
+        n_info = (len(self._diagnostics) - len(self.errors)
+                  - len(self.warnings))
+        lines = [f"analysis of {self._subject}: "
+                 f"{len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s), {n_info} info"]
+        lines.extend(f"  {d.render()}" for d in ordered)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AnalysisReport({self._subject!r}, "
+                f"{len(self._diagnostics)} finding(s))")

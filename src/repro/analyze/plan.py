@@ -1,0 +1,307 @@
+"""Static plan typechecking: Theorem 1's closure, made executable.
+
+Theorem 1 says the algebra is closed — every operator applied to MOs
+yields an MO, with a fact schema derivable from the operands' schemas.
+The runtime operators each expose that derivation as a pure
+``*_schema`` hook (:func:`repro.algebra.select_schema` and friends);
+this module folds the hooks over a :mod:`repro.engine.optimizer` plan
+tree *before* any evaluation, so malformed plans are rejected with a
+diagnostic naming the offending node instead of failing mid-query.
+
+Aggregation-type safety needs more care than the schema fold, because
+α's output types depend on a summarizability verdict the analyzer may
+not be able to decide statically.  Each node therefore carries a
+*pair* of schemas:
+
+* the **optimistic** schema assumes every undecided verdict came out
+  summarizable (output bottom types as high as they could be);
+* the **pessimistic** schema assumes the opposite (every undecided α
+  degrades its result bottom to ``c``).
+
+A function whose type floor fails even optimistically is a *definite*
+violation (``MD001`` when the node would raise, i.e. strict mode);
+one that fails only pessimistically is a *possible* violation
+(``MD002``).  Decided verdicts collapse the pair.  Verdicts are
+decided soundly by :func:`repro.analyze.schema.static_summarizability`
+when the α sits on a chain of fact-narrowing operators (σ, π, \\)
+above a :class:`~repro.engine.optimizer.Base` — those operators never
+add facts, values, or hierarchy edges, so the base MO's extensional
+SAFE carries up the chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analyze.diagnostics import AnalysisReport
+from repro.analyze.schema import StaticVerdict, static_summarizability
+from repro.core.aggtypes import min_aggtype
+from repro.core.errors import AlgebraError, SchemaError
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
+from repro.engine.optimizer import (
+    AggregateNode,
+    Base,
+    DifferenceNode,
+    JoinNode,
+    Plan,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    node_label,
+)
+from repro.algebra.aggregate import aggregate_schema
+from repro.algebra.join import join_schema
+from repro.algebra.projection import project_schema
+from repro.algebra.rename import rename_schema
+from repro.algebra.selection import select_schema
+from repro.algebra.setops import difference_schema, union_schema
+
+__all__ = ["PlanTypes", "typecheck_plan", "analyze_plan"]
+
+
+@dataclass(frozen=True)
+class PlanTypes:
+    """The inferred type of one plan node.
+
+    ``None`` schemas mean inference was poisoned by an error below this
+    node (the diagnostic for the root cause is already in the report —
+    ancestors stay silent rather than cascading).  ``base`` is the MO a
+    fact-narrowing chain bottoms out at, when there is one — the handle
+    the summarizability verdict is verified against."""
+
+    optimistic: Optional[FactSchema]
+    pessimistic: Optional[FactSchema]
+    kind: Optional[TimeKind] = None
+    base: Optional[MultidimensionalObject] = None
+
+    @property
+    def poisoned(self) -> bool:
+        return self.optimistic is None or self.pessimistic is None
+
+
+_POISONED = PlanTypes(optimistic=None, pessimistic=None)
+
+
+def _floor_fails(schema: FactSchema, function) -> bool:
+    """True when ``function`` is not applicable to its argument
+    dimensions' bottom aggregation types under ``schema`` — the static
+    mirror of :meth:`AggregationFunction.check_applicable`."""
+    missing = [d for d in function.args if d not in schema]
+    if missing:
+        return False  # reported separately as MD016 by aggregate_schema
+    floor = min_aggtype(
+        schema.dimension_type(d).bottom.aggtype for d in function.args
+    )
+    return not floor.permits(function.required_function)
+
+
+def _aggregate_types(node: AggregateNode, child: PlanTypes,
+                     location: str,
+                     report: AnalysisReport) -> PlanTypes:
+    grouping = dict(node.grouping)
+    assert child.optimistic is not None and child.pessimistic is not None
+
+    if child.base is not None:
+        verdict = static_summarizability(child.base, grouping,
+                                         node.function)
+        if verdict is StaticVerdict.UNKNOWN:
+            report.emit("MD033",
+                        "summarizability of this grouping cannot be "
+                        "decided statically (hierarchy properties "
+                        "undeclared, or declarations drifted)",
+                        location,
+                        hint="declare strictness/partitioning on the "
+                             "grouped dimension types")
+    else:
+        verdict = StaticVerdict.UNKNOWN
+        report.emit("MD033",
+                    "summarizability of this grouping cannot be decided "
+                    "statically (no fact-narrowing chain to a base MO)",
+                    location,
+                    hint="the engine will run the extensional check at "
+                         "evaluation time")
+    if verdict is StaticVerdict.UNSAFE:
+        report.emit("MD030",
+                    f"grouping {sorted(grouping)} with "
+                    f"{node.function.name} is not summarizable; the "
+                    f"result's bottom type degrades to c (count-only)",
+                    location,
+                    hint="group by strict+partitioning levels or use a "
+                         "distributive, count-class function")
+
+    # the schema pair: optimistic assumes summarizable unless the
+    # verdict says UNSAFE; pessimistic assumes not, unless SAFE
+    optimistic = aggregate_schema(
+        child.optimistic, node.function, grouping, node.result,
+        summarizable=verdict is not StaticVerdict.UNSAFE)
+    pessimistic = aggregate_schema(
+        child.pessimistic, node.function, grouping, node.result,
+        summarizable=verdict is StaticVerdict.SAFE)
+
+    # aggregation-type safety of *this* node's function against the
+    # child's bottom types
+    definite = _floor_fails(child.optimistic, node.function)
+    possible = _floor_fails(child.pessimistic, node.function)
+    if definite:
+        if node.strict_types:
+            report.emit("MD001",
+                        f"{node.function.name} is not applicable to its "
+                        f"argument dimensions' bottom aggregation types; "
+                        f"evaluation will raise AggregationTypeError",
+                        location,
+                        hint="use a function the bottom types permit "
+                             "(e.g. a COUNT-class one), or aggregate "
+                             "before the types degrade")
+        else:
+            report.emit("MD002",
+                        f"{node.function.name} is not applicable to its "
+                        f"argument dimensions' bottom aggregation types; "
+                        f"evaluation will warn and proceed "
+                        f"(strict_types=False)",
+                        location,
+                        hint="treat the result as count-only data")
+    elif possible:
+        report.emit("MD002",
+                    f"{node.function.name} may not be applicable: an "
+                    f"inner aggregate's summarizability is undecided, "
+                    f"and if it fails, these bottom types degrade to c",
+                    location,
+                    hint="group the inner aggregate by declared "
+                         "strict+partitioning levels so the verdict "
+                         "is decidable")
+
+    # an α result is a new MO over set-facts; further narrowing chains
+    # would need the *aggregated* MO, which does not exist yet
+    return PlanTypes(optimistic=optimistic, pessimistic=pessimistic,
+                     kind=child.kind, base=None)
+
+
+def _typecheck(plan: Plan, path: str,
+               report: AnalysisReport) -> PlanTypes:
+    location = f"{path}: {node_label(plan)}"
+
+    if isinstance(plan, Base):
+        schema = plan.mo.schema
+        return PlanTypes(optimistic=schema, pessimistic=schema,
+                         kind=plan.mo.kind, base=plan.mo)
+
+    if isinstance(plan, (UnionNode, DifferenceNode, JoinNode)):
+        left = _typecheck(plan.left, f"{path}.left", report)
+        right = _typecheck(plan.right, f"{path}.right", report)
+        if left.optimistic is None or left.pessimistic is None or \
+                right.optimistic is None or right.pessimistic is None:
+            return _POISONED
+        if left.kind is not None and right.kind is not None and \
+                left.kind is not right.kind:
+            report.emit("MD015",
+                        f"operand temporal kinds differ: "
+                        f"{left.kind.value} vs {right.kind.value}",
+                        location,
+                        hint="convert one operand (e.g. via timeslice) "
+                             "so the kinds match")
+            return _POISONED
+        code, hook = {
+            UnionNode: ("MD013", union_schema),
+            DifferenceNode: ("MD013", difference_schema),
+            JoinNode: ("MD014", join_schema),
+        }[type(plan)]
+        try:
+            optimistic = hook(left.optimistic, right.optimistic)
+            pessimistic = hook(left.pessimistic, right.pessimistic)
+        except (SchemaError, AlgebraError) as exc:
+            report.emit(code, str(exc), location,
+                        hint="apply ρ to align the operand schemas"
+                        if isinstance(plan, JoinNode)
+                        else "union/difference need structurally equal "
+                             "schemas; reshape with ρ/π first")
+            return _POISONED
+        # difference narrows the left operand's facts; union may add
+        # facts/values, so it breaks the verification chain
+        base = left.base if isinstance(plan, DifferenceNode) else None
+        return PlanTypes(optimistic=optimistic, pessimistic=pessimistic,
+                         kind=left.kind, base=base)
+
+    child = _typecheck(plan.child, f"{path}.child", report)
+    if child.optimistic is None or child.pessimistic is None:
+        return _POISONED
+
+    if isinstance(plan, SelectNode):
+        try:
+            optimistic = select_schema(child.optimistic, plan.predicate)
+            pessimistic = select_schema(child.pessimistic, plan.predicate)
+        except SchemaError as exc:
+            report.emit("MD010", str(exc), location,
+                        hint="constrain only dimensions present in the "
+                             "input schema")
+            return _POISONED
+        return PlanTypes(optimistic=optimistic, pessimistic=pessimistic,
+                         kind=child.kind, base=child.base)
+
+    if isinstance(plan, ProjectNode):
+        try:
+            optimistic = project_schema(child.optimistic,
+                                        list(plan.dimensions))
+            pessimistic = project_schema(child.pessimistic,
+                                         list(plan.dimensions))
+        except SchemaError as exc:
+            report.emit("MD011", str(exc), location,
+                        hint="project onto a non-empty, duplicate-free "
+                             "subset of the input dimensions")
+            return _POISONED
+        return PlanTypes(optimistic=optimistic, pessimistic=pessimistic,
+                         kind=child.kind, base=child.base)
+
+    if isinstance(plan, RenameNode):
+        try:
+            optimistic = rename_schema(child.optimistic,
+                                       plan.new_fact_type,
+                                       dict(plan.dimension_map))
+            pessimistic = rename_schema(child.pessimistic,
+                                        plan.new_fact_type,
+                                        dict(plan.dimension_map))
+        except SchemaError as exc:
+            report.emit("MD012", str(exc), location,
+                        hint="rename existing dimensions to fresh, "
+                             "distinct names")
+            return _POISONED
+        # ρ preserves facts and hierarchies, but the grouping names of
+        # any α above no longer match the base MO's — keep it simple
+        # and end the verification chain here
+        return PlanTypes(optimistic=optimistic, pessimistic=pessimistic,
+                         kind=child.kind, base=None)
+
+    if isinstance(plan, AggregateNode):
+        grouping = dict(plan.grouping)
+        try:
+            aggregate_schema(child.optimistic, plan.function, grouping,
+                             plan.result, summarizable=True)
+        except SchemaError as exc:
+            report.emit("MD016", str(exc), location,
+                        hint="group by existing dimensions at existing "
+                             "categories, with argument dimensions in "
+                             "the input and a fresh result name")
+            return _POISONED
+        return _aggregate_types(plan, child, location, report)
+
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+def typecheck_plan(plan: Plan) -> Tuple[AnalysisReport, PlanTypes]:
+    """Fold the schema hooks over ``plan``.  Returns the report and the
+    root's inferred :class:`PlanTypes` (poisoned when an error below
+    made the output schema underivable)."""
+    report = AnalysisReport(f"plan {node_label(plan)}")
+    types = _typecheck(plan, "plan", report)
+    return report, types
+
+
+def analyze_plan(plan: Plan) -> AnalysisReport:
+    """Statically analyze an algebra plan: schema inference through
+    every operator (Theorem 1's closure), aggregation-type safety with
+    optimistic/pessimistic propagation, summarizability verdicts, and
+    temporal-kind checks.  No fact data is touched except the sound
+    extensional confirmation of declared-SAFE groupings."""
+    report, _types = typecheck_plan(plan)
+    return report

@@ -91,7 +91,13 @@ def diagnosis_dimension(temporal: bool = True,
         ("Low-level Diagnosis", "Diagnosis Family"),
         ("Diagnosis Family", "Diagnosis Group"),
     ]
-    dimension = Dimension(DimensionType("Diagnosis", ctypes, edges))
+    # Example 6's data makes this hierarchy non-strict (diagnosis 4
+    # belongs to two families) and non-partitioning (patients are
+    # diagnosed at mixed granularities) — declared so, which is what
+    # the static analyzer's known-real warning on the case study checks
+    dimension = Dimension(DimensionType(
+        "Diagnosis", ctypes, edges,
+        declared_strict=False, declared_partitioning=False))
     for row in tables.DIAGNOSIS_ROWS:
         category = tables.CATEGORY_OF_DIAGNOSIS[row.id]
         time = _interval(row.valid_from, row.valid_to, temporal)
@@ -122,7 +128,11 @@ def residence_dimension(temporal: bool = True) -> Dimension:
         CategoryType("Region", AggregationType.CONSTANT),
     ]
     edges = [("Area", "County"), ("County", "Region")]
-    dimension = Dimension(DimensionType("Residence", ctypes, edges))
+    # Example 11 presents Residence as the well-behaved counterpart:
+    # every area in exactly one county, every county in one region
+    dimension = Dimension(DimensionType(
+        "Residence", ctypes, edges,
+        declared_strict=True, declared_partitioning=True))
     name_reps: Dict[str, object] = {}
     for level in ("Area", "County", "Region"):
         name_reps[level] = dimension.add_representation(level, "Name")
@@ -188,7 +198,10 @@ def dob_dimension(dates_of_birth: Iterable[Chronon]) -> Dimension:
         ("Quarter", "Year"),
         ("Year", "Decade"),
     ]
-    dimension = Dimension(DimensionType("DOB", ctypes, edges))
+    # calendar rollups are strict and total by construction
+    dimension = Dimension(DimensionType(
+        "DOB", ctypes, edges,
+        declared_strict=True, declared_partitioning=True))
     chain = [("Month", "Quarter"), ("Quarter", "Year"), ("Year", "Decade")]
     for chronon in dates_of_birth:
         values = _dob_values(chronon)
@@ -224,6 +237,8 @@ def age_dimension(ages: Iterable[int]) -> Dimension:
         "Age", sorted(set(ages)),
         bands={"Five-year group": five_year, "Ten-year group": ten_year},
         aggtype=AggregationType.SUM,
+        # the bands cover [0, 120) and ages are clamped into it
+        declared_strict=True, declared_partitioning=True,
     )
 
 

@@ -47,8 +47,12 @@ class DimensionType:
         category_types: Iterable[CategoryType],
         edges: Iterable[Tuple[str, str]],
         add_top: bool = True,
+        declared_strict: Optional[bool] = None,
+        declared_partitioning: Optional[bool] = None,
     ) -> None:
         self._name = name
+        self._declared_strict = declared_strict
+        self._declared_partitioning = declared_partitioning
         self._ctypes: Dict[str, CategoryType] = {}
         for ctype in category_types:
             if ctype.name in self._ctypes:
@@ -105,6 +109,20 @@ class DimensionType:
     def name(self) -> str:
         """The dimension type's name."""
         return self._name
+
+    @property
+    def declared_strict(self) -> Optional[bool]:
+        """Schema author's declaration of Definition 2 strictness for
+        every dimension of this type; ``None`` means undeclared.  The
+        static analyzer (:mod:`repro.analyze`) consumes this and checks
+        it for drift against the extension when data is present."""
+        return self._declared_strict
+
+    @property
+    def declared_partitioning(self) -> Optional[bool]:
+        """Schema author's declaration of Definition 3 (partitioning
+        hierarchies); ``None`` means undeclared."""
+        return self._declared_partitioning
 
     @property
     def top_name(self) -> str:
@@ -203,7 +221,16 @@ class DimensionType:
                 ctypes.append(original)
         restricted = self._order.restricted_to(keep)
         edges = [(child, parent) for child, parent, _, _ in restricted.edges()]
-        return DimensionType(new_name or self._name, ctypes, edges)
+        # An upward restriction keeps every mapping between retained
+        # categories and leaves their Pred sets unchanged, so a declared
+        # strict/partitioning hierarchy stays so; a declared violation
+        # may lie below the new bottom, so False degrades to undeclared.
+        return DimensionType(
+            new_name or self._name, ctypes, edges,
+            declared_strict=True if self._declared_strict else None,
+            declared_partitioning=(
+                True if self._declared_partitioning else None),
+        )
 
     def is_isomorphic_to(self, other: "DimensionType") -> bool:
         """Structural equality up to the dimension type's own name: same

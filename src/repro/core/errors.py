@@ -12,6 +12,7 @@ from repro._errors import (
     InstanceError,
     ReproError,
     SchemaError,
+    StaticAnalysisError,
     SummarizabilityWarning,
     TemporalError,
     UncertaintyError,
@@ -24,6 +25,7 @@ __all__ = [
     "AlgebraError",
     "AggregationTypeError",
     "SummarizabilityWarning",
+    "StaticAnalysisError",
     "TemporalError",
     "UncertaintyError",
 ]

@@ -41,11 +41,17 @@ def make_simple_dimension(
     """A dimension with only a ⊥ category (named like the dimension) and
     the implicit ⊤ — the shape of the case study's Name and SSN
     dimensions.  ``values`` become the ⊥ category's members, with each
-    item used as both surrogate and label."""
+    item used as both surrogate and label.
+
+    A one-category hierarchy cannot violate strictness or partitioning
+    (⊥'s only predecessor category is ⊤), so the dimension type is
+    declared strict + partitioning for the static analyzer."""
     dtype = DimensionType(
         name,
         [CategoryType(name, aggtype=aggtype, is_bottom=True)],
         edges=[],
+        declared_strict=True,
+        declared_partitioning=True,
     )
     dimension = Dimension(dtype)
     for item in values:
@@ -104,6 +110,8 @@ def make_numeric_dimension(
     values: Iterable[float],
     bands: Optional[Dict[str, Sequence[Band]]] = None,
     aggtype: AggregationType = AggregationType.SUM,
+    declared_strict: Optional[bool] = None,
+    declared_partitioning: Optional[bool] = None,
 ) -> Dimension:
     """A measure-like dimension over numbers — the case study's Age.
 
@@ -124,7 +132,11 @@ def make_numeric_dimension(
     for band_cat in bands:
         ctypes.append(CategoryType(band_cat, aggtype=AggregationType.CONSTANT))
         edges.append((name, band_cat))
-    dimension = Dimension(DimensionType(name, ctypes, edges))
+    dimension = Dimension(DimensionType(
+        name, ctypes, edges,
+        declared_strict=declared_strict,
+        declared_partitioning=declared_partitioning,
+    ))
     numeric_values = list(values)
     for x in numeric_values:
         dimension.add_value(name, DimensionValue(sid=x, label=str(x)))

@@ -36,14 +36,37 @@ __all__ = [
 ]
 
 
+def _index_answers_for(index, dimension: Dimension) -> bool:
+    """Whether a rollup index can answer hierarchy-property queries for
+    this exact dimension object: it must index the same ``Dimension``
+    (not merely one of the same name — callers pass subdimensions and
+    copies too)."""
+    if index is None:
+        return False
+    try:
+        return index.mo.dimension(dimension.name) is dimension
+    except Exception:
+        return False
+
+
 def mapping_is_strict(dimension: Dimension, lower_category: str,
                       upper_category: str,
-                      at: Optional[Chronon] = None) -> bool:
+                      at: Optional[Chronon] = None,
+                      index=None) -> bool:
     """Definition 2 for one pair of categories: the mapping from
     ``lower_category`` to ``upper_category`` is strict iff no value of
     the lower category is contained in two distinct values of the upper
     one (i.e. each lower value has at most one ancestor per upper
-    category)."""
+    category).
+
+    ``index`` may be the MO's :class:`repro.engine.rollup_index.RollupIndex`;
+    untimed queries about a dimension it indexes are answered from its
+    cached ancestor sets (one intersection per lower value) instead of
+    this naive O(|lower|·|upper|) containment scan, which the
+    equivalence tests keep as the oracle."""
+    if at is None and _index_answers_for(index, dimension):
+        return index.mapping_strict(dimension.name, lower_category,
+                                    upper_category)
     upper_members = dimension.category(upper_category).members(at=at)
     for value in dimension.category(lower_category).members(at=at):
         parents = {
@@ -65,9 +88,13 @@ def _category_pairs(dimension: Dimension) -> Iterable[Tuple[str, str]]:
 
 
 def hierarchy_is_strict(dimension: Dimension,
-                        at: Optional[Chronon] = None) -> bool:
+                        at: Optional[Chronon] = None,
+                        index=None) -> bool:
     """Definition 2: the dimension's hierarchy is strict iff every
-    category-to-category mapping in it is strict."""
+    category-to-category mapping in it is strict.  ``index`` as in
+    :func:`mapping_is_strict`."""
+    if at is None and _index_answers_for(index, dimension):
+        return index.hierarchy_strict(dimension.name)
     return all(
         mapping_is_strict(dimension, lower, upper, at=at)
         for lower, upper in _category_pairs(dimension)
@@ -75,9 +102,13 @@ def hierarchy_is_strict(dimension: Dimension,
 
 
 def hierarchy_is_partitioning(dimension: Dimension,
-                              at: Optional[Chronon] = None) -> bool:
+                              at: Optional[Chronon] = None,
+                              index=None) -> bool:
     """Definition 3: every value of a non-⊤ category has a direct parent
-    in some immediate-predecessor category."""
+    in some immediate-predecessor category.  ``index`` as in
+    :func:`mapping_is_strict`."""
+    if at is None and _index_answers_for(index, dimension):
+        return index.hierarchy_partitioning(dimension.name)
     dtype = dimension.dtype
     for category in dimension.categories():
         if category.ctype.is_top:

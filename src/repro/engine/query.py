@@ -137,8 +137,39 @@ class Query:
         predicates = [characterized_by(d, v) for d, v in self._dices]
         return select(self._mo, conjunction(*predicates))
 
+    def to_plan(self, function: Optional[AggregationFunction] = None,
+                strict_types: bool = False):
+        """The query compiled to an algebra plan
+        (:mod:`repro.engine.optimizer` nodes): the dices as σ nodes
+        over :class:`Base`, topped by the α node — the tree the static
+        analyzer checks and :func:`~repro.engine.optimizer.evaluate`
+        could run."""
+        from repro.engine.optimizer import AggregateNode, Base, SelectNode
+        plan = Base(self._mo)
+        for name, value in self._dices:
+            plan = SelectNode(child=plan,
+                              predicate=characterized_by(name, value))
+        return AggregateNode(
+            child=plan,
+            function=function or SetCount(),
+            grouping=tuple(sorted(self._grouping.items())),
+            result=make_result_spec(name="__query_result"),
+            strict_types=strict_types,
+        )
+
+    def check(self, function: Optional[AggregationFunction] = None,
+              strict_types: bool = False):
+        """Statically analyze the query before running it: compile to a
+        plan and hand it to :func:`repro.analyze.analyze_plan`.  Returns
+        the :class:`~repro.analyze.AnalysisReport`; raises nothing — the
+        caller (or :meth:`execute`'s default ``check=True``) decides
+        what to do with error findings."""
+        from repro.analyze import analyze_plan
+        return analyze_plan(self.to_plan(function, strict_types))
+
     def execute(self, function: Optional[AggregationFunction] = None,
-                strict_types: bool = False) -> List[QueryResultRow]:
+                strict_types: bool = False,
+                check: bool = True) -> List[QueryResultRow]:
         """Run the query: dice, then aggregate with ``function``
         (default set-count), returning ``(group values, result)`` rows
         sorted by group.
@@ -146,7 +177,20 @@ class Query:
         When no dice is applied, the store is consulted first: a stored
         finer aggregate that is safely combinable answers the query
         without touching base data.
+
+        ``check=True`` (the default) runs :meth:`check` first and
+        raises :class:`~repro.core.errors.StaticAnalysisError` if the
+        analyzer finds error-severity diagnostics — i.e. evaluations
+        guaranteed to fail; pass ``check=False`` to opt out and let the
+        runtime operators raise instead.
         """
+        if check:
+            report = self.check(function, strict_types)
+            if report.has_errors:
+                from repro.core.errors import StaticAnalysisError
+                raise StaticAnalysisError(
+                    "query rejected by static analysis:\n" + report.render(),
+                    diagnostics=report.errors)
         rows, _ = self._run(function or SetCount(), strict_types, None)
         return rows
 

@@ -63,6 +63,9 @@ _DELTA_APPLIED = metrics.counter("rollup_index.delta_applied")
 _DELTA_OPS = metrics.histogram("rollup_index.delta.batch_ops")
 _COVERAGE_HIT = metrics.counter("rollup_index.coverage.hit")
 _COVERAGE_MISS = metrics.counter("rollup_index.coverage.miss")
+_STRICT_HIT = metrics.counter("rollup_index.strictness.hit")
+_STRICT_MISS = metrics.counter("rollup_index.strictness.miss")
+_SUMM_STATIC = metrics.counter("rollup_index.summarizability.static_fast_path")
 
 _EMPTY_IDS: FrozenSet[int] = frozenset()
 
@@ -169,6 +172,7 @@ class RollupIndex:
         self._dims: Dict[str, _DimensionIndex] = {}
         self._verdicts: Dict[tuple, SummarizabilityCheck] = {}
         self._coverage: Dict[tuple, bool] = {}
+        self._strictness: Dict[tuple, bool] = {}
         self._mo_fact_ids: Optional[FrozenSet[int]] = None
         self._mo_facts_version = -1
         self._builds = 0
@@ -373,13 +377,171 @@ class RollupIndex:
         verdict = self._verdicts.get(key)
         if verdict is None:
             _SUMM_MISS.inc()
-            with trace.span("rollup_index.summarizability", grouping=names):
-                verdict = check_summarizability(self._mo, dict(grouping),
-                                                distributive, at=at)
+            if at is None and distributive and self._static_safe(grouping):
+                # the declared verdict, verified from per-dimension
+                # caches, provably matches the full check's outcome
+                _SUMM_STATIC.inc()
+                verdict = SummarizabilityCheck(
+                    function_distributive=True, paths_strict=True,
+                    hierarchies_partitioning=True)
+            else:
+                with trace.span("rollup_index.summarizability",
+                                grouping=names):
+                    verdict = check_summarizability(self._mo, dict(grouping),
+                                                    distributive, at=at)
             self._verdicts[key] = verdict
         else:
             _SUMM_HIT.inc()
         return verdict
+
+    def _static_safe(self, grouping: Dict[str, str]) -> bool:
+        """The static (schema-declared) fast path behind
+        :meth:`summarizability` — True only when the full extensional
+        check is *guaranteed* to return the all-clear verdict, so the
+        subdimension construction it performs per grouping can be
+        skipped.  Per grouped dimension this requires:
+
+        * the dimension type *declares* strict + partitioning (the
+          analyzer's intensional verdict — the gate; undeclared or
+          declared-unsafe dimensions always take the full check);
+        * the declared partitioning holds extensionally
+          (:meth:`hierarchy_partitioning`, cached per order version —
+          a drifted declaration falls back rather than being trusted);
+        * every category below the grouping category has all its
+          immediate predecessors below it too — then the subdimension
+          the full check builds preserves Pred sets, so full-hierarchy
+          partitioning implies the subhierarchy's;
+        * the fact paths up to the grouping category are strict
+          (cached one-pass scan of the per-fact grouping map).
+
+        All four pieces are per-dimension (or per dimension+category)
+        and version-cached, shared across groupings — unlike the full
+        check, which rebuilds a subdimension for every new grouping key.
+        """
+        for name, cat in grouping.items():
+            dimension = self._mo.dimension(name)
+            dtype = dimension.dtype
+            if not (dtype.declared_strict and dtype.declared_partitioning):
+                return False
+            if not self.hierarchy_partitioning(name):
+                return False
+            below = [c.name for c in dimension.categories()
+                     if dtype.leq(c.name, cat)]
+            for c_name in below:
+                if c_name == cat:
+                    continue
+                if any(not dtype.leq(p, cat) for p in dtype.pred(c_name)):
+                    return False
+            if not self._fact_paths_strict(name, cat):
+                return False
+        return True
+
+    def _fact_paths_strict(self, dimension_name: str,
+                           category_name: str) -> bool:
+        """Definition 2's strict-path condition (no fact characterized
+        by two values of the category), answered from the cached
+        per-fact grouping map and memoized per version pair."""
+        dimension = self._mo.dimension(dimension_name)
+        if category_name == dimension.dtype.top_name:
+            return True
+        key = (dimension_name, "*paths*", category_name,
+               dimension.order.version,
+               self._mo.relation(dimension_name).version)
+        cached = self._strictness.get(key)
+        if cached is None:
+            per_fact = self.grouping_values_per_fact(dimension_name,
+                                                     category_name)
+            cached = all(len(values) <= 1 for values in per_fact.values())
+            self._strictness[key] = cached
+        return cached
+
+    # -- hierarchy properties ----------------------------------------------
+
+    def mapping_strict(self, dimension_name: str, lower_category: str,
+                       upper_category: str) -> bool:
+        """Definition 2 for one category pair, answered from the cached
+        ancestor sets: one ``ancestors(value) ∩ upper-members``
+        intersection per lower value, instead of the naive
+        O(|lower|·|upper|) per-pair containment scan of
+        :func:`repro.core.properties.mapping_is_strict`.  Cached keyed
+        by the dimension's order version (category membership bumps the
+        order counter too, via ``add_node``)."""
+        dimension = self._mo.dimension(dimension_name)
+        key = (dimension_name, lower_category, upper_category,
+               dimension.order.version)
+        cached = self._strictness.get(key)
+        if cached is not None:
+            _STRICT_HIT.inc()
+            return cached
+        _STRICT_MISS.inc()
+        upper_members = dimension.category(upper_category).members()
+        result = True
+        for value in dimension.category(lower_category).members():
+            parents = dimension.ancestors(value, reflexive=False)
+            parents &= upper_members
+            parents.discard(value)
+            if len(parents) > 1:
+                result = False
+                break
+        self._strictness[key] = result
+        return result
+
+    def hierarchy_strict(self, dimension_name: str) -> bool:
+        """Definition 2 for the whole dimension: every related category
+        pair's mapping is strict.  Built on :meth:`mapping_strict`, so
+        repeated queries (the analyzer, the pre-aggregate store) answer
+        from the per-pair cache."""
+        dimension = self._mo.dimension(dimension_name)
+        key = (dimension_name, "*hierarchy*", dimension.order.version)
+        cached = self._strictness.get(key)
+        if cached is not None:
+            _STRICT_HIT.inc()
+            return cached
+        _STRICT_MISS.inc()
+        dtype = dimension.dtype
+        names = [c.name for c in dimension.categories()]
+        result = all(
+            self.mapping_strict(dimension_name, lower, upper)
+            for lower in names for upper in names
+            if lower != upper and dtype.leq(lower, upper)
+        )
+        self._strictness[key] = result
+        return result
+
+    def hierarchy_partitioning(self, dimension_name: str) -> bool:
+        """Definition 3 for the whole dimension, from cached ancestor
+        sets (a value is covered iff its ancestors meet some
+        immediate-predecessor category, or ⊤ is a predecessor).  Cached
+        keyed by the dimension's order version."""
+        dimension = self._mo.dimension(dimension_name)
+        key = (dimension_name, "*partitioning*", dimension.order.version)
+        cached = self._strictness.get(key)
+        if cached is not None:
+            _STRICT_HIT.inc()
+            return cached
+        _STRICT_MISS.inc()
+        dtype = dimension.dtype
+        result = True
+        for category in dimension.categories():
+            if category.ctype.is_top:
+                continue
+            pred_names = dtype.pred(category.name)
+            if dtype.top_name in pred_names:
+                continue  # every value is below ⊤
+            pred_members: Set[DimensionValue] = set()
+            for pred_name in pred_names:
+                pred_members |= dimension.category(pred_name).members()
+            for value in category.members():
+                parents = dimension.ancestors(value, reflexive=False)
+                parents &= pred_members
+                parents.discard(value)
+                if not parents:
+                    result = False
+                    break
+            if not result:
+                break
+        self._strictness[key] = result
+        return result
 
     # -- interned orderings ------------------------------------------------
 

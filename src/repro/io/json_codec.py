@@ -141,13 +141,20 @@ def _encode_dimension(dimension: Dimension) -> Dict[str, Any]:
         }
         for child, parent, time, prob in dimension.order.edges()
     ]
-    return {
+    encoded = {
         "name": dtype.name,
         "category_types": ctypes,
         "type_edges": edges,
         "categories": categories,
         "order": order,
     }
+    # only emit declarations that were made, so documents from older
+    # versions and documents for undeclared schemas stay byte-identical
+    if dtype.declared_strict is not None:
+        encoded["declared_strict"] = dtype.declared_strict
+    if dtype.declared_partitioning is not None:
+        encoded["declared_partitioning"] = dtype.declared_partitioning
+    return encoded
 
 
 def _decode_dimension(data: Dict[str, Any]) -> Dimension:
@@ -163,7 +170,9 @@ def _decode_dimension(data: Dict[str, Any]) -> Dimension:
     ]
     dtype = DimensionType(
         data["name"], ctypes,
-        [(child, parent) for child, parent in data["type_edges"]])
+        [(child, parent) for child, parent in data["type_edges"]],
+        declared_strict=data.get("declared_strict"),
+        declared_partitioning=data.get("declared_partitioning"))
     dimension = Dimension(dtype)
     for category in data["categories"]:
         for member in category["members"]:

@@ -67,7 +67,12 @@ def _linear(name: str, levels: List[str]) -> Dimension:
         for i, level in enumerate(levels)
     ]
     edges = [(levels[i], levels[i + 1]) for i in range(len(levels) - 1)]
-    return Dimension(DimensionType(name, ctypes, edges))
+    # generation links every child to exactly one parent, so the chain
+    # hierarchies are strict and partitioning — declared for the
+    # analyzer and the engine's static fast path
+    return Dimension(DimensionType(
+        name, ctypes, edges,
+        declared_strict=True, declared_partitioning=True))
 
 
 def generate_retail(config: RetailConfig = RetailConfig()) -> RetailWorkload:
@@ -130,10 +135,12 @@ def generate_retail(config: RetailConfig = RetailConfig()) -> RetailWorkload:
 
     amount = make_numeric_dimension(
         "Amount", range(1, config.max_amount + 1),
-        aggtype=AggregationType.SUM)
+        aggtype=AggregationType.SUM,
+        declared_strict=True, declared_partitioning=True)
     price = make_numeric_dimension(
         "Price", range(1, config.max_price + 1),
-        aggtype=AggregationType.SUM)
+        aggtype=AggregationType.SUM,
+        declared_strict=True, declared_partitioning=True)
 
     dimensions = {
         "Product": product,

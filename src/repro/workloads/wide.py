@@ -62,7 +62,8 @@ def generate_wide(config: WideConfig = WideConfig()) -> WideWorkload:
         name = f"F{i:03d}"
         dtype = DimensionType(
             name, [CategoryType(name, AggregationType.CONSTANT,
-                                is_bottom=True)], [])
+                                is_bottom=True)], [],
+            declared_strict=True, declared_partitioning=True)
         dimension = Dimension(dtype)
         values = [
             surrogates.fresh_value(label=f"{name}.{j}")
@@ -80,7 +81,10 @@ def generate_wide(config: WideConfig = WideConfig()) -> WideWorkload:
                                is_bottom=(k == 0))
                   for k, level in enumerate(levels)]
         edges = [(levels[0], levels[1]), (levels[1], levels[2])]
-        dimension = Dimension(DimensionType(name, ctypes, edges))
+        # every child is linked to exactly one parent below
+        dimension = Dimension(DimensionType(
+            name, ctypes, edges,
+            declared_strict=True, declared_partitioning=True))
         level_values: List[List[DimensionValue]] = []
         for level in levels:
             values = [

@@ -1,0 +1,89 @@
+"""Tests for the diagnostic catalogue and report container."""
+
+import re
+
+import pytest
+
+from repro.analyze import CATALOG, AnalysisReport, Diagnostic, Severity
+from repro.obs import metrics
+
+
+class TestCatalog:
+    def test_codes_are_stable_format(self):
+        for code in CATALOG:
+            assert re.fullmatch(r"MD\d{3}", code), code
+
+    def test_code_space_partitioned_by_concern(self):
+        """MD00x aggregation types, MD01x plan typing, MD02x
+        summarizability/drift, MD03x temporal/uncertainty."""
+        for code, (severity, meaning) in CATALOG.items():
+            assert isinstance(severity, Severity)
+            assert meaning
+        assert CATALOG["MD001"][0] is Severity.ERROR
+        assert CATALOG["MD002"][0] is Severity.WARNING
+        # every plan-typing code is a guaranteed evaluation failure
+        for code in ["MD010", "MD011", "MD012", "MD013", "MD014",
+                     "MD015", "MD016"]:
+            assert CATALOG[code][0] is Severity.ERROR, code
+
+    def test_severity_rank_orders_errors_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < \
+            Severity.INFO.rank
+
+
+class TestReport:
+    def test_emit_uses_catalogue_severity(self):
+        report = AnalysisReport("test")
+        d = report.emit("MD023", "msg", "dimension X")
+        assert d.severity is Severity.WARNING
+        assert report.codes() == ["MD023"]
+        assert not report.has_errors
+
+    def test_emit_severity_override(self):
+        report = AnalysisReport("test")
+        d = report.emit("MD023", "msg", "dimension X",
+                        severity=Severity.ERROR)
+        assert d.severity is Severity.ERROR
+        assert report.has_errors
+
+    def test_unknown_code_rejected(self):
+        report = AnalysisReport("test")
+        with pytest.raises(ValueError):
+            report.add(Diagnostic(code="MD999", severity=Severity.INFO,
+                                  message="m", location="l"))
+
+    def test_add_bumps_obs_counter(self):
+        report = AnalysisReport("test")
+        before = metrics.counter("analyze.diagnostics.MD025").value
+        report.emit("MD025", "msg", "dimension X")
+        after = metrics.counter("analyze.diagnostics.MD025").value
+        assert after == before + 1
+
+    def test_render_sorts_errors_first(self):
+        report = AnalysisReport("test")
+        report.emit("MD025", "an info", "a")
+        report.emit("MD010", "an error", "b")
+        report.emit("MD023", "a warning", "c")
+        lines = report.render().splitlines()
+        assert "1 error(s), 1 warning(s), 1 info" in lines[0]
+        assert "MD010" in lines[1]
+        assert "MD023" in lines[2]
+        assert "MD025" in lines[3]
+
+    def test_extend_folds_other_report(self):
+        first = AnalysisReport("a")
+        first.emit("MD025", "m", "l")
+        second = AnalysisReport("b")
+        second.emit("MD010", "m", "l")
+        first.extend(second)
+        assert first.codes() == ["MD025", "MD010"]
+        assert first.has_errors
+
+    def test_diagnostic_render_includes_hint(self):
+        d = Diagnostic(code="MD023", severity=Severity.WARNING,
+                       message="non-strict", location="dimension D",
+                       hint="fix it")
+        assert "[fix: fix it]" in d.render()
+        bare = Diagnostic(code="MD023", severity=Severity.WARNING,
+                          message="non-strict", location="dimension D")
+        assert "[fix:" not in bare.render()

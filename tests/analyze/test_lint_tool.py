@@ -1,0 +1,105 @@
+"""Tests for tools/lint_invariants.py — the engine-invariant AST lint."""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+TOOLS = REPO / "tools"
+
+sys.path.insert(0, str(TOOLS))
+
+import lint_invariants  # noqa: E402
+
+
+def _check_pairing(source: str):
+    return lint_invariants.check_version_log_pairing(
+        TOOLS / "fake.py", ast.parse(source))
+
+
+class TestVersionLogPairing:
+    def test_paired_mutator_is_clean(self):
+        problems = _check_pairing("""
+class AnnotatedOrder:
+    def add_node(self, node):
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._version += 1
+            self._log.record(self._version, ("node", node))
+""")
+        assert problems == []
+
+    def test_bump_without_record_flagged(self):
+        problems = _check_pairing("""
+class FactDimensionRelation:
+    def add(self, fact, value):
+        self._entries[fact] = value
+        self._version += 1
+""")
+        assert len(problems) == 1
+        assert "never records a change-log entry" in problems[0]
+
+    def test_record_without_bump_flagged(self):
+        problems = _check_pairing("""
+class MultidimensionalObject:
+    def add_fact(self, fact):
+        self._fact_log.record(self._facts_version, ("add", fact))
+""")
+        assert len(problems) == 1
+        assert "never bumps a version counter" in problems[0]
+
+    def test_unbalanced_counts_flagged(self):
+        problems = _check_pairing("""
+class AnnotatedOrder:
+    def add_edge(self, child, parent):
+        self._version += 1
+        self._version += 1
+        self._log.record(self._version, ("edge", child, parent))
+""")
+        assert any("exactly one log entry" in p for p in problems)
+
+    def test_other_classes_ignored(self):
+        problems = _check_pairing("""
+class SomethingElse:
+    def mutate(self):
+        self._version += 1
+""")
+        assert problems == []
+
+
+class TestObsNamesDocumented:
+    def _check(self, source, doc_text):
+        return lint_invariants.check_obs_names_documented(
+            TOOLS / "fake.py", ast.parse(source), doc_text)
+
+    def test_documented_literal_is_clean(self):
+        source = '_C = metrics.counter("layer.thing")'
+        assert self._check(source, "the `layer.thing` counter") == []
+
+    def test_undocumented_literal_flagged(self):
+        source = '_C = metrics.counter("layer.thing")'
+        problems = self._check(source, "nothing here")
+        assert len(problems) == 1
+        assert "layer.thing" in problems[0]
+
+    def test_dynamic_names_skipped(self):
+        source = 'metrics.counter(f"analyze.diagnostics.{code}")'
+        assert self._check(source, "nothing here") == []
+
+    def test_span_names_checked(self):
+        source = 'with trace.span("layer.op"):\n    pass'
+        assert len(self._check(source, "")) == 1
+
+
+class TestCatalogDocumented:
+    def test_catalog_codes_in_analysis_doc(self):
+        problems = lint_invariants.check_catalog_documented()
+        assert problems == [], problems
+
+
+def test_lint_passes_on_this_repo():
+    result = subprocess.run(
+        [sys.executable, str(TOOLS / "lint_invariants.py")],
+        capture_output=True, text=True, cwd=REPO)
+    assert result.returncode == 0, result.stdout + result.stderr

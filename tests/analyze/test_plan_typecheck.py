@@ -1,0 +1,198 @@
+"""Tests for static plan typechecking (Theorem 1's closure made
+executable) and aggregation-type propagation through plans."""
+
+import pytest
+
+from repro.algebra import SetCount, Sum, characterized_by
+from repro.algebra.functions import Avg
+from repro.analyze import analyze_plan, typecheck_plan
+from repro.core.helpers import make_result_spec
+from repro.core.mo import TimeKind
+from repro.engine.optimizer import (
+    AggregateNode,
+    Base,
+    DifferenceNode,
+    JoinNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+)
+
+
+def _value_of(mo, dimension_name, category_name):
+    return next(iter(mo.dimension(dimension_name).category(category_name)))
+
+
+def _alpha(child, function=None, grouping=(("DOB", "Year"),),
+           strict_types=False):
+    return AggregateNode(
+        child=child,
+        function=function or SetCount(),
+        grouping=tuple(grouping),
+        result=make_result_spec(name="Result"),
+        strict_types=strict_types,
+    )
+
+
+class TestWellTypedPlans:
+    def test_base_only(self, snapshot_mo):
+        report, types = typecheck_plan(Base(snapshot_mo))
+        assert len(report) == 0
+        assert types.optimistic is snapshot_mo.schema
+        assert types.kind is snapshot_mo.kind
+        assert types.base is snapshot_mo
+
+    def test_narrowing_chain_keeps_base(self, snapshot_mo):
+        value = _value_of(snapshot_mo, "Residence", "Area")
+        plan = ProjectNode(
+            child=SelectNode(child=Base(snapshot_mo),
+                             predicate=characterized_by("Residence",
+                                                        value)),
+            dimensions=("Diagnosis", "DOB", "Age"))
+        report, types = typecheck_plan(plan)
+        assert not report.has_errors
+        assert types.base is snapshot_mo
+        assert sorted(d.name for d in types.optimistic) == \
+            ["Age", "DOB", "Diagnosis"]
+
+    def test_safe_aggregate_no_findings(self, snapshot_mo):
+        report, types = typecheck_plan(_alpha(Base(snapshot_mo)))
+        assert len(report) == 0, report.render()
+        assert "Result" in types.optimistic
+        # grouped dimensions survive at the grouping category
+        assert "DOB" in types.optimistic
+
+    def test_rename_breaks_verification_chain(self, snapshot_mo):
+        plan = RenameNode(child=Base(snapshot_mo), new_fact_type="P2")
+        report, types = typecheck_plan(plan)
+        assert not report.has_errors
+        assert types.base is None
+        assert types.optimistic.fact_type == "P2"
+
+
+class TestBrokenPlans:
+    def test_select_unknown_dimension(self, snapshot_mo):
+        value = _value_of(snapshot_mo, "Residence", "Area")
+        plan = SelectNode(child=Base(snapshot_mo),
+                          predicate=characterized_by("Nope", value))
+        report, types = typecheck_plan(plan)
+        assert report.codes() == ["MD010"]
+        assert types.poisoned
+
+    def test_project_unknown_dimension(self, snapshot_mo):
+        plan = ProjectNode(child=Base(snapshot_mo),
+                           dimensions=("Nope",))
+        report, _ = typecheck_plan(plan)
+        assert report.codes() == ["MD011"]
+
+    def test_rename_collision(self, snapshot_mo):
+        plan = RenameNode(child=Base(snapshot_mo),
+                          dimension_map=(("DOB", "Age"),))
+        report, _ = typecheck_plan(plan)
+        assert report.codes() == ["MD012"]
+
+    def test_union_schema_mismatch(self, snapshot_mo, valid_time_mo):
+        narrowed = ProjectNode(child=Base(snapshot_mo),
+                               dimensions=("DOB",))
+        plan = UnionNode(left=Base(snapshot_mo), right=narrowed)
+        report, _ = typecheck_plan(plan)
+        assert report.codes() == ["MD013"]
+
+    def test_join_shared_names(self, snapshot_mo):
+        plan = JoinNode(left=Base(snapshot_mo), right=Base(snapshot_mo))
+        report, _ = typecheck_plan(plan)
+        assert report.codes() == ["MD014"]
+
+    def test_temporal_kind_mismatch(self, snapshot_mo, valid_time_mo):
+        plan = UnionNode(left=Base(snapshot_mo),
+                         right=Base(valid_time_mo))
+        report, _ = typecheck_plan(plan)
+        assert report.codes() == ["MD015"]
+        assert snapshot_mo.kind is TimeKind.SNAPSHOT
+        assert valid_time_mo.kind is TimeKind.VALID
+
+    def test_malformed_aggregate(self, snapshot_mo):
+        plan = _alpha(Base(snapshot_mo), grouping=(("Nope", "Year"),))
+        report, types = typecheck_plan(plan)
+        assert report.codes() == ["MD016"]
+        assert types.poisoned
+
+    def test_poison_does_not_cascade(self, snapshot_mo):
+        """One broken leaf yields one diagnostic, not one per
+        ancestor."""
+        value = _value_of(snapshot_mo, "Residence", "Area")
+        plan = _alpha(ProjectNode(
+            child=SelectNode(child=Base(snapshot_mo),
+                             predicate=characterized_by("Nope", value)),
+            dimensions=("DOB",)))
+        report, types = typecheck_plan(plan)
+        assert report.codes() == ["MD010"]
+        assert types.poisoned
+
+
+class TestAggregationTypeSafety:
+    def test_definite_violation_strict_mode(self, snapshot_mo):
+        """SUM over the constant-typed Name dimension: strict mode is a
+        guaranteed AggregationTypeError, hence an error finding."""
+        plan = _alpha(Base(snapshot_mo), function=Sum("Name"),
+                      strict_types=True)
+        report, _ = typecheck_plan(plan)
+        assert "MD001" in report.codes()
+        assert report.has_errors
+
+    def test_definite_violation_permissive_mode(self, snapshot_mo):
+        plan = _alpha(Base(snapshot_mo), function=Sum("Name"),
+                      strict_types=False)
+        report, _ = typecheck_plan(plan)
+        assert "MD002" in report.codes()
+        assert not report.has_errors
+
+    def test_sum_age_is_type_safe(self, snapshot_mo):
+        plan = _alpha(Base(snapshot_mo), function=Sum("Age"))
+        report, _ = typecheck_plan(plan)
+        assert "MD001" not in report.codes()
+        assert "MD002" not in report.codes()
+
+    def test_unsafe_grouping_warns(self, snapshot_mo):
+        """Diagnosis is declared non-strict/non-partitioning, so any
+        grouping through it is statically non-summarizable."""
+        plan = _alpha(Base(snapshot_mo),
+                      grouping=(("Diagnosis", "Diagnosis Group"),))
+        report, _ = typecheck_plan(plan)
+        assert "MD030" in report.codes()
+        assert not report.has_errors
+
+    def test_nondistributive_function_warns(self, snapshot_mo):
+        plan = _alpha(Base(snapshot_mo), function=Avg("Age"))
+        report, _ = typecheck_plan(plan)
+        assert "MD030" in report.codes()
+
+    def test_undecidable_verdict_info(self, snapshot_mo):
+        """An α above a ρ has no verification chain, so the verdict is
+        undecidable and reported as info."""
+        plan = _alpha(RenameNode(child=Base(snapshot_mo)))
+        report, _ = typecheck_plan(plan)
+        assert "MD033" in report.codes()
+        assert not report.has_errors
+
+    def test_possible_violation_from_stacked_alphas(self, snapshot_mo):
+        """An inner α with an undecided verdict may degrade its result
+        bottom to c; an outer SUM over that result is a *possible*
+        violation (MD002), not a definite one."""
+        inner = _alpha(RenameNode(child=Base(snapshot_mo)),
+                       function=Sum("Age"))
+        outer = AggregateNode(
+            child=inner,
+            function=Sum("Result"),
+            grouping=(("DOB", "Year"),),
+            result=make_result_spec(name="Result2"),
+            strict_types=False,
+        )
+        report, _ = typecheck_plan(outer)
+        assert "MD002" in report.codes()
+        assert "MD001" not in report.codes()
+
+    def test_analyze_plan_returns_report_only(self, snapshot_mo):
+        report = analyze_plan(_alpha(Base(snapshot_mo)))
+        assert len(report) == 0

@@ -1,0 +1,252 @@
+"""Tests for schema-level static analysis: intensional summarizability,
+declaration drift, and the temporal/uncertainty lints."""
+
+import pytest
+
+from repro.algebra import SetCount, Sum
+from repro.algebra.functions import Avg
+from repro.analyze import (
+    StaticVerdict,
+    analyze_schema,
+    analyze_timeslice,
+    intensional_summarizability,
+    recorded_valid_time,
+    static_summarizability,
+)
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.mo import MultidimensionalObject
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+from repro.temporal.chronon import day
+from repro.workloads import generate_retail
+from repro.workloads.wide import WideConfig, generate_wide
+
+
+def _two_level(name="D", declared_strict=None, declared_partitioning=None,
+               bottom_aggtype=AggregationType.SUM,
+               top_aggtype=AggregationType.CONSTANT):
+    dtype = DimensionType(
+        name,
+        [CategoryType("Low", bottom_aggtype, is_bottom=True),
+         CategoryType("High", top_aggtype)],
+        [("Low", "High")],
+        declared_strict=declared_strict,
+        declared_partitioning=declared_partitioning)
+    return Dimension(dtype)
+
+
+def _mo_with(dimension, n_facts=2, link=True):
+    """An MO over one two-level dimension, facts at v0, one parent p."""
+    low = [DimensionValue(sid=("low", i)) for i in range(2)]
+    high = DimensionValue(sid=("high", 0))
+    for value in low:
+        dimension.add_value("Low", value)
+    dimension.add_value("High", high)
+    if link:
+        for value in low:
+            dimension.add_edge(value, high)
+    name = dimension.dtype.name
+    schema = FactSchema("T", [dimension.dtype])
+    mo = MultidimensionalObject(schema=schema, dimensions={name: dimension})
+    for i in range(n_facts):
+        fact = Fact(fid=i, ftype="T")
+        mo.add_fact(fact)
+        mo.relate(fact, name, low[i % len(low)])
+    return mo
+
+
+class TestIntensional:
+    def test_non_distributive_is_unsafe(self, snapshot_mo):
+        verdict = intensional_summarizability(
+            snapshot_mo.schema, {"Residence": "County"}, Avg("Age"))
+        assert verdict is StaticVerdict.UNSAFE
+
+    def test_declared_false_is_unsafe(self, snapshot_mo):
+        verdict = intensional_summarizability(
+            snapshot_mo.schema, {"Diagnosis": "Diagnosis Group"},
+            SetCount())
+        assert verdict is StaticVerdict.UNSAFE
+
+    def test_declared_true_is_safe(self, snapshot_mo):
+        verdict = intensional_summarizability(
+            snapshot_mo.schema, {"Name": "Name"}, SetCount())
+        assert verdict is StaticVerdict.SAFE
+
+    def test_undeclared_is_unknown(self):
+        mo = _mo_with(_two_level())
+        verdict = intensional_summarizability(
+            mo.schema, {"D": "High"}, SetCount())
+        assert verdict is StaticVerdict.UNKNOWN
+
+
+class TestStaticSummarizability:
+    def test_safe_confirmed_against_extension(self):
+        mo = _mo_with(_two_level(declared_strict=True,
+                                 declared_partitioning=True))
+        verdict = static_summarizability(mo, {"D": "High"}, SetCount())
+        assert verdict is StaticVerdict.SAFE
+
+    def test_drifted_declaration_demoted_to_unknown(self):
+        # declared strict/partitioning, but the High value is orphaned:
+        # the extensional confirmation must catch the lie
+        mo = _mo_with(_two_level(declared_strict=True,
+                                 declared_partitioning=True), link=False)
+        verdict = static_summarizability(mo, {"D": "High"}, SetCount())
+        assert verdict is StaticVerdict.UNKNOWN
+
+    def test_dob_sum_age_is_safe(self, snapshot_mo):
+        verdict = static_summarizability(
+            snapshot_mo, {"DOB": "Year"}, Sum("Age"))
+        assert verdict is StaticVerdict.SAFE
+
+    def test_residence_demoted_by_fact_paths(self, snapshot_mo):
+        """Example 11: Residence is declared strict+partitioning (the
+        hierarchy is), but patients moved between areas, so the untimed
+        fact paths are non-strict — the extensional confirmation must
+        demote SAFE to UNKNOWN rather than vouch for double counting."""
+        verdict = static_summarizability(
+            snapshot_mo, {"Residence": "County"}, Sum("Age"))
+        assert verdict is StaticVerdict.UNKNOWN
+
+
+class TestCaseStudyAnalysis:
+    """Acceptance: known-real warnings on the case study, zero errors."""
+
+    def test_no_false_errors(self, valid_time_mo):
+        report = analyze_schema(valid_time_mo)
+        assert not report.has_errors, report.render()
+
+    def test_diagnosis_non_strict_and_non_partitioning(self, valid_time_mo):
+        report = analyze_schema(valid_time_mo)
+        diag = [d for d in report
+                if d.location == "dimension Diagnosis"]
+        codes = [d.code for d in diag]
+        assert "MD023" in codes  # Example 6: value 5 in families 4 and 9
+        assert "MD024" in codes  # families 7/8 have no group parent
+
+    def test_residence_untimed_fact_paths(self, valid_time_mo):
+        """Example 11: patients move between areas over valid time, so
+        the untimed fact paths are non-strict — a real warning."""
+        report = analyze_schema(valid_time_mo)
+        residence = [d for d in report
+                     if d.location == "dimension Residence"]
+        assert "MD028" in [d.code for d in residence]
+
+    def test_no_drift_diagnostics(self, valid_time_mo):
+        """The case study's declarations match its extension."""
+        report = analyze_schema(valid_time_mo)
+        assert "MD020" not in report.codes()
+        assert "MD021" not in report.codes()
+
+    def test_workloads_are_clean(self):
+        assert len(analyze_schema(generate_retail().mo)) == 0
+        wide = generate_wide(WideConfig(n_facts=30, n_flat_dimensions=10))
+        assert len(analyze_schema(wide.mo)) == 0
+
+
+class TestDriftDiagnostics:
+    def test_declared_strict_but_not(self):
+        dimension = _two_level(declared_strict=True,
+                               declared_partitioning=True)
+        mo = _mo_with(dimension)
+        extra = DimensionValue(sid=("high", 1))
+        dimension.add_value("High", extra)
+        low0 = next(iter(dimension.category("Low")))
+        dimension.add_edge(low0, extra)  # second parent: non-strict
+        report = analyze_schema(mo)
+        assert "MD020" in report.codes()
+
+    def test_declared_partitioning_but_orphan(self):
+        mo = _mo_with(_two_level(declared_strict=True,
+                                 declared_partitioning=True), link=False)
+        report = analyze_schema(mo)
+        assert "MD021" in report.codes()
+
+    def test_over_conservative_declaration(self):
+        mo = _mo_with(_two_level(declared_strict=False,
+                                 declared_partitioning=False))
+        report = analyze_schema(mo)
+        assert report.codes().count("MD022") == 2
+
+    def test_undeclared_gets_info(self):
+        mo = _mo_with(_two_level())
+        report = analyze_schema(mo)
+        assert "MD025" in report.codes()
+
+    def test_aggtype_inversion(self):
+        # bottom CONSTANT but parent SUM: coarser data claims more
+        dimension = _two_level(bottom_aggtype=AggregationType.CONSTANT,
+                               top_aggtype=AggregationType.SUM,
+                               declared_strict=True,
+                               declared_partitioning=True)
+        mo = _mo_with(dimension)
+        report = analyze_schema(mo)
+        assert "MD026" in report.codes()
+
+    def test_schema_only_analysis(self):
+        """A bare FactSchema (no data) still gets the intensional
+        lints."""
+        dimension = _two_level(bottom_aggtype=AggregationType.CONSTANT,
+                               top_aggtype=AggregationType.SUM)
+        schema = FactSchema("T", [dimension.dtype])
+        report = analyze_schema(schema)
+        assert "MD025" in report.codes()
+        assert "MD026" in report.codes()
+        assert not report.has_errors
+
+
+class TestUncertaintyLint:
+    def test_mass_above_one_flagged(self):
+        dimension = _two_level(declared_strict=True,
+                               declared_partitioning=True)
+        mo = _mo_with(dimension, n_facts=1)
+        fact = next(iter(mo.facts))
+        low1 = DimensionValue(sid=("low", 1))
+        mo.relate(fact, "D", low1, prob=0.8)  # fact already at p=1.0
+        report = analyze_schema(mo)
+        assert "MD032" in report.codes()
+
+    def test_certain_facts_not_flagged(self, valid_time_mo):
+        assert "MD032" not in analyze_schema(valid_time_mo).codes()
+
+
+class TestTimesliceLint:
+    def _bounded_mo(self):
+        from repro.core.mo import TimeKind
+        from repro.temporal.timeset import TimeSet
+
+        dimension = _two_level(declared_strict=True,
+                               declared_partitioning=True)
+        low = DimensionValue(sid=("low", 0))
+        high = DimensionValue(sid=("high", 0))
+        span = TimeSet.interval(day(1980, 1, 1), day(1990, 12, 31))
+        dimension.add_value("Low", low, time=span)
+        dimension.add_value("High", high, time=span)
+        dimension.add_edge(low, high, time=span)
+        schema = FactSchema("T", [dimension.dtype])
+        mo = MultidimensionalObject(schema=schema,
+                                    dimensions={"D": dimension},
+                                    kind=TimeKind.VALID)
+        fact = Fact(fid=0, ftype="T")
+        mo.add_fact(fact)
+        mo.relate(fact, "D", low, time=span)
+        return mo
+
+    def test_slice_outside_recorded_span(self):
+        report = analyze_timeslice(self._bounded_mo(), day(2050, 1, 1))
+        assert report.codes() == ["MD031"]
+
+    def test_slice_inside_recorded_span(self):
+        mo = self._bounded_mo()
+        span = recorded_valid_time(mo)
+        assert not span.is_empty() and not span.is_always()
+        report = analyze_timeslice(mo, span.min())
+        assert len(report) == 0
+
+    def test_always_span_never_flagged(self, valid_time_mo):
+        """The case study has open-ended annotations, so its recorded
+        span is ALWAYS and the lint stays quiet at any chronon."""
+        report = analyze_timeslice(valid_time_mo, day(2050, 1, 1))
+        assert len(report) == 0

@@ -1,0 +1,74 @@
+"""Tests for Query.check(): static analysis wired into the query API."""
+
+import pytest
+
+from repro.algebra import SetCount, Sum
+from repro.core.errors import AggregationTypeError, StaticAnalysisError
+from repro.engine.optimizer import AggregateNode, Base, SelectNode, evaluate
+from repro.engine.query import Query
+
+
+def _area(mo):
+    return next(iter(mo.dimension("Residence").category("Area")))
+
+
+class TestCheck:
+    def test_clean_query_empty_report(self, snapshot_mo):
+        report = Query(snapshot_mo).rollup("DOB", "Year").check()
+        assert len(report) == 0
+
+    def test_unsafe_grouping_reports_warning(self, snapshot_mo):
+        report = (Query(snapshot_mo)
+                  .rollup("Diagnosis", "Diagnosis Group").check())
+        assert "MD030" in report.codes()
+        assert not report.has_errors
+
+    def test_strict_type_violation_is_error(self, snapshot_mo):
+        report = Query(snapshot_mo).rollup("DOB", "Year").check(
+            Sum("Name"), strict_types=True)
+        assert report.codes() == ["MD001"]
+        assert report.has_errors
+
+    def test_to_plan_shape(self, snapshot_mo):
+        query = (Query(snapshot_mo)
+                 .dice("Residence", _area(snapshot_mo))
+                 .rollup("DOB", "Year"))
+        plan = query.to_plan()
+        assert isinstance(plan, AggregateNode)
+        assert isinstance(plan.child, SelectNode)
+        assert isinstance(plan.child.child, Base)
+        assert plan.grouping == (("DOB", "Year"),)
+
+    def test_to_plan_evaluates_like_execute(self, snapshot_mo):
+        query = (Query(snapshot_mo)
+                 .dice("Residence", _area(snapshot_mo))
+                 .rollup("DOB", "Year"))
+        rows = query.execute()
+        result_mo = evaluate(query.to_plan())
+        groups = result_mo.facts
+        assert len(groups) == len(rows)
+
+
+class TestExecuteChecked:
+    def test_execute_raises_on_error_findings(self, snapshot_mo):
+        query = Query(snapshot_mo).rollup("DOB", "Year")
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            query.execute(Sum("Name"), strict_types=True)
+        assert [d.code for d in excinfo.value.diagnostics] == ["MD001"]
+
+    def test_check_false_defers_to_runtime(self, snapshot_mo):
+        query = Query(snapshot_mo).rollup("DOB", "Year")
+        with pytest.raises(AggregationTypeError):
+            query.execute(Sum("Name"), strict_types=True, check=False)
+
+    def test_warnings_do_not_block_execution(self, snapshot_mo):
+        rows = (Query(snapshot_mo)
+                .rollup("Diagnosis", "Diagnosis Group")
+                .execute(SetCount()))
+        assert rows  # MD030 is a warning; evaluation proceeds
+
+    def test_default_execute_unchanged(self, snapshot_mo):
+        checked = Query(snapshot_mo).rollup("DOB", "Year").execute()
+        unchecked = Query(snapshot_mo).rollup("DOB", "Year").execute(
+            check=False)
+        assert checked == unchecked

@@ -74,3 +74,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Generated 30 patients" in out
         assert "\\" in out  # the pivot header
+
+    def test_analyze_all(self, capsys):
+        assert main(["analyze"]) == 0  # warnings don't fail the run
+        out = capsys.readouterr().out
+        assert "case study" in out
+        # the known-real findings (Examples 6 and 11)
+        assert "MD023" in out and "MD028" in out
+        assert "0 error(s)" in out
+
+    def test_analyze_clean_subject(self, capsys):
+        assert main(["analyze", "--subject", "retail"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no diagnostics" in out
+        assert "case study" not in out

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""AST lint for engine invariants that plain style checkers can't see.
+
+Two rules, both load-bearing for the caching layers:
+
+1. **version/changelog pairing** — the rollup index and pre-aggregate
+   store detect staleness by comparing version counters and replay
+   mutations from bounded change logs.  A mutating method that bumps a
+   version counter without recording a log entry (or vice versa) breaks
+   delta maintenance silently: the index either misses a mutation or
+   replays one that never happened.  Rule: inside any method of
+   ``AnnotatedOrder``, ``FactDimensionRelation``, or
+   ``MultidimensionalObject``, every ``self._*version* += 1`` must be
+   paired with a ``self._*log*.record(...)`` call in the same method,
+   and vice versa.
+
+2. **observability names documented** — every *literal* metric/span
+   name passed to ``metrics.counter``, ``metrics.gauge``,
+   ``metrics.histogram``, or ``trace.span`` in ``src/`` must appear in
+   ``docs/OBSERVABILITY.md``, so the catalogue stays the single source
+   of truth.  Names built at runtime (f-strings such as
+   ``analyze.diagnostics.{code}``) are skipped — the doc records those
+   as patterns.
+
+3. **diagnostic catalogue in sync** — every ``MDnnn`` code in the
+   analyzer's ``CATALOG`` must be documented in ``docs/ANALYSIS.md``,
+   and every ``MDnnn`` the doc mentions must exist in ``CATALOG``, so
+   neither can drift from the other.
+
+Zero dependencies; exits 1 on any violation.  Run from the repo root::
+
+    python tools/lint_invariants.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+OBS_DOC = REPO / "docs" / "OBSERVABILITY.md"
+ANALYSIS_DOC = REPO / "docs" / "ANALYSIS.md"
+DIAGNOSTICS = SRC / "analyze" / "diagnostics.py"
+
+#: classes whose mutators must keep version counters and change logs in
+#: lock step (the staleness/delta protocol of the rollup index).
+VERSIONED_CLASSES = {
+    "AnnotatedOrder",
+    "FactDimensionRelation",
+    "MultidimensionalObject",
+}
+
+#: obs factory calls whose first positional argument is the name.
+OBS_CALLS = {
+    ("metrics", "counter"),
+    ("metrics", "gauge"),
+    ("metrics", "histogram"),
+    ("trace", "span"),
+}
+
+
+def _iter_sources() -> Iterator[Path]:
+    return sorted(SRC.rglob("*.py"))
+
+
+def _is_self_attr(node: ast.expr, fragment: str) -> bool:
+    """``node`` is ``self.<name>`` with ``fragment`` in ``<name>``."""
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and fragment in node.attr)
+
+
+def _bumps_version(node: ast.AST) -> bool:
+    return (isinstance(node, ast.AugAssign)
+            and isinstance(node.op, ast.Add)
+            and _is_self_attr(node.target, "version"))
+
+
+def _records_log(node: ast.AST) -> bool:
+    """``self.<something log>.record(...)``"""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "record"
+            and _is_self_attr(node.func.value, "log"))
+
+
+def check_version_log_pairing(path: Path, tree: ast.AST) -> List[str]:
+    problems = []
+    for cls in ast.walk(tree):
+        if not (isinstance(cls, ast.ClassDef)
+                and cls.name in VERSIONED_CLASSES):
+            continue
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            bumps = [n for n in ast.walk(method) if _bumps_version(n)]
+            records = [n for n in ast.walk(method) if _records_log(n)]
+            where = f"{path.relative_to(REPO)}:{method.lineno}"
+            name = f"{cls.name}.{method.name}"
+            if bumps and not records:
+                problems.append(
+                    f"{where}: {name} bumps a version counter but never "
+                    f"records a change-log entry (delta maintenance "
+                    f"would replay a hole)")
+            if records and not bumps:
+                problems.append(
+                    f"{where}: {name} records a change-log entry but "
+                    f"never bumps a version counter (the entry would "
+                    f"shadow an existing version)")
+            if bumps and records and len(bumps) != len(records):
+                problems.append(
+                    f"{where}: {name} has {len(bumps)} version bump(s) "
+                    f"but {len(records)} change-log record(s) — each "
+                    f"bump needs exactly one log entry")
+    return problems
+
+
+def _obs_names(tree: ast.AST) -> Iterator[Tuple[int, str, bool]]:
+    """``(lineno, name or '<dynamic>', is_literal)`` per obs call."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and (node.func.value.id, node.func.attr) in OBS_CALLS):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield node.lineno, first.value, True
+        else:
+            yield node.lineno, "<dynamic>", False
+
+
+def check_obs_names_documented(path: Path, tree: ast.AST,
+                               doc_text: str) -> List[str]:
+    problems = []
+    for lineno, name, literal in _obs_names(tree):
+        if literal and name not in doc_text:
+            problems.append(
+                f"{path.relative_to(REPO)}:{lineno}: observability name "
+                f"{name!r} is not documented in docs/OBSERVABILITY.md")
+    return problems
+
+
+def _catalog_codes() -> List[str]:
+    """The ``MDnnn`` keys of ``CATALOG`` in the diagnostics module,
+    read via AST so the lint stays importable without the package."""
+    tree = ast.parse(DIAGNOSTICS.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "CATALOG"
+                   for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict):
+            return [k.value for k in value.keys
+                    if isinstance(k, ast.Constant)
+                    and isinstance(k.value, str)]
+    raise RuntimeError("CATALOG dict not found in diagnostics.py")
+
+
+def check_catalog_documented() -> List[str]:
+    problems = []
+    doc_text = ANALYSIS_DOC.read_text(encoding="utf-8")
+    codes = _catalog_codes()
+    for code in codes:
+        if code not in doc_text:
+            problems.append(
+                f"{DIAGNOSTICS.relative_to(REPO)}: catalogue code "
+                f"{code} is not documented in docs/ANALYSIS.md")
+    for code in sorted(set(re.findall(r"MD\d{3}", doc_text))):
+        if code not in codes:
+            problems.append(
+                f"docs/ANALYSIS.md mentions {code}, which is not in "
+                f"the analyzer's CATALOG")
+    return problems
+
+
+def main() -> int:
+    doc_text = OBS_DOC.read_text(encoding="utf-8")
+    problems: List[str] = []
+    for path in _iter_sources():
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        problems += check_version_log_pairing(path, tree)
+        problems += check_obs_names_documented(path, tree, doc_text)
+    problems += check_catalog_documented()
+    if problems:
+        print(f"lint_invariants: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("lint_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
