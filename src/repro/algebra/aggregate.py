@@ -49,9 +49,12 @@ from repro.temporal.timeset import ALWAYS, TimeSet, coalesce_intersection
 __all__ = ["aggregate", "rebuild_with_aggtypes", "aggregate_schema",
            "dtype_with_aggtypes"]
 
+_PATH_KERNEL = metrics.counter("aggregate.path.kernel")
 _PATH_INDEXED = metrics.counter("aggregate.path.indexed")
 _PATH_NAIVE = metrics.counter("aggregate.path.naive")
 _PATH_TEMPORAL = metrics.counter("aggregate.path.temporal")
+_KERNEL_FALLBACK = metrics.counter("aggregate.kernel.fallback")
+_KERNEL_ROWS = metrics.histogram("aggregate.kernel.batch_rows")
 _GROUPS = metrics.histogram("aggregate.groups")
 
 
@@ -322,6 +325,7 @@ def aggregate(
     strict_types: bool = True,
     at: Optional[Chronon] = None,
     use_index: bool = True,
+    use_kernel: bool = True,
 ) -> MultidimensionalObject:
     """Apply ``α[result, function, grouping]`` to ``mo``.
 
@@ -336,7 +340,12 @@ def aggregate(
     extends summarizability to snapshot-strict/partitioning hierarchies).
     ``use_index=False`` forces the naive per-value traversal for group
     formation instead of the MO's rollup index — the reference path the
-    equivalence tests and benchmarks compare against.
+    equivalence tests and benchmarks compare against.  ``use_kernel=
+    False`` keeps the index but disables the columnar batch kernels
+    (the interned object path), the middle rung of the 3-way
+    equivalence ladder; the kernels themselves fall back to it when the
+    function has no :meth:`~AggregationFunction.batch_apply` kernel, a
+    measure column is poisoned, or the grouping's key space overflows.
     """
     for name in grouping:
         if name not in mo.schema:
@@ -362,11 +371,26 @@ def aggregate(
 
     # -- form the groups ---------------------------------------------------
     dim_order = list(mo.dimension_names)
+    kernel_results: Optional[Dict[Tuple[DimensionValue, ...], object]] = None
     with trace.span("aggregate.alpha", grouping=tuple(sorted(grouping)),
                     function=function.name, n_facts=len(mo.facts)):
         if use_index and at is None:
-            _PATH_INDEXED.inc()
-            groups = _form_groups_interned(mo, full_grouping, dim_order)
+            # full_grouping iterates mo.dimension_names, so the columnar
+            # combos come back already in dim_order
+            columnar = (mo.rollup_index().columnar().grouping(full_grouping)
+                        if use_kernel else None)
+            if columnar is not None:
+                groups = columnar.groups()
+                _KERNEL_ROWS.observe(columnar.n_rows)
+                kernel_results = columnar.evaluate(function)
+                if kernel_results is None:
+                    _KERNEL_FALLBACK.inc()
+                    _PATH_INDEXED.inc()
+                else:
+                    _PATH_KERNEL.inc()
+            else:
+                _PATH_INDEXED.inc()
+                groups = _form_groups_interned(mo, full_grouping, dim_order)
         else:
             (_PATH_TEMPORAL if at is not None else _PATH_NAIVE).inc()
             groups = _form_groups(mo, full_grouping, dim_order, at, use_index)
@@ -396,11 +420,17 @@ def aggregate(
 
     # -- evaluate g and build the result relations ---------------------------
     set_fact_type = f"Set-of-{mo.schema.fact_type}"
-    new_facts: Dict[Tuple[DimensionValue, ...], Fact] = {}
-    raw_results: Dict[Tuple[DimensionValue, ...], object] = {}
-    for combo, members in groups.items():
-        new_facts[combo] = Fact.group(members, ftype=set_fact_type)
-        raw_results[combo] = function.apply(members, mo)
+    new_facts: Dict[Tuple[DimensionValue, ...], Fact] = {
+        combo: Fact.group(members, ftype=set_fact_type)
+        for combo, members in groups.items()
+    }
+    if kernel_results is not None:
+        raw_results: Dict[Tuple[DimensionValue, ...], object] = kernel_results
+    else:
+        raw_results = {
+            combo: function.apply(members, mo)
+            for combo, members in groups.items()
+        }
 
     # materialize result values first (the spec's dimension grows on demand)
     result_values = {

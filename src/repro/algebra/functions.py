@@ -27,7 +27,8 @@ its symmetric treatment of dimensions and measures).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.aggtypes import AggregationType, SQLFunction, min_aggtype
 from repro.core.errors import AggregationTypeError, AlgebraError
@@ -45,6 +46,7 @@ __all__ = [
     "Median",
     "SumProduct",
     "measures_of",
+    "has_batch_kernel",
 ]
 
 
@@ -96,6 +98,28 @@ class AggregationFunction:
         """Evaluate the function on a group of facts of ``mo``."""
         raise NotImplementedError
 
+    def batch_apply(self, keys: Sequence[int],
+                    measures: Mapping[str, object]
+                    ) -> Optional[Dict[int, object]]:
+        """Batch kernel: evaluate the function for *every* group at once.
+
+        ``keys`` is a row-aligned sequence of composed group keys (one
+        row per fact × characterization, in fact-id order) and
+        ``measures`` maps each dimension in :attr:`args` to a
+        row-aligned measure summary with ``counts``, ``sums``, ``mins``
+        and ``maxs`` sequences (one entry per row — the fact's measure
+        count and its measure sum/min/max in that dimension; see
+        :class:`repro.engine.columnar.MeasureRows`).
+
+        Returns a dict with exactly one entry per distinct key.  The
+        base implementation returns ``None``, meaning "no kernel": the
+        caller must fall back to per-group :meth:`apply`.  Subclasses
+        that override this MUST also override :meth:`apply` with
+        matching semantics (the object path is the byte-identity
+        oracle); ``tools/lint_invariants.py`` enforces the pairing.
+        """
+        return None
+
     def combine(self, partials: Sequence[object]) -> object:
         """Merge partial results of disjoint sub-groups (distributive
         functions only)."""
@@ -132,6 +156,14 @@ class AggregationFunction:
         return self.name
 
 
+def has_batch_kernel(function: AggregationFunction) -> bool:
+    """Whether ``function`` carries a real batch kernel (overrides
+    :meth:`AggregationFunction.batch_apply`).  The columnar layer and
+    the plan analyzer use this to predict kernel vs object-path
+    evaluation without running anything."""
+    return type(function).batch_apply is not AggregationFunction.batch_apply
+
+
 class SetCount(AggregationFunction):
     """The paper's *set-count*: the number of members in a set of facts
     (Example 12).  Takes no argument dimension, so it is applicable to
@@ -144,6 +176,12 @@ class SetCount(AggregationFunction):
     def apply(self, group: Iterable[Fact],
               mo: MultidimensionalObject) -> int:
         return sum(1 for _ in group)
+
+    def batch_apply(self, keys: Sequence[int],
+                    measures: Mapping[str, object]) -> Dict[int, object]:
+        """Group sizes in one C-speed pass (``Counter`` over the key
+        column).  Exact: counting is order-insensitive."""
+        return dict(Counter(keys))
 
     def combine(self, partials: Sequence[object]) -> int:
         """Counts of *disjoint* groups combine by summation."""
@@ -165,6 +203,17 @@ class CountDim(AggregationFunction):
               mo: MultidimensionalObject) -> int:
         return sum(len(measures_of(mo, self.args[0], f)) for f in group)
 
+    def batch_apply(self, keys: Sequence[int],
+                    measures: Mapping[str, object]) -> Dict[int, object]:
+        """Sums per-fact measure counts per key.  Exact: integer sums
+        are order-insensitive."""
+        rows = measures[self.args[0]]
+        out: Dict[int, object] = {}
+        get = out.get
+        for key, count in zip(keys, rows.counts):
+            out[key] = get(key, 0) + count
+        return out
+
     def combine(self, partials: Sequence[object]) -> int:
         return sum(int(p) for p in partials)  # type: ignore[arg-type]
 
@@ -183,6 +232,19 @@ class Sum(AggregationFunction):
         return sum(
             m for f in group for m in measures_of(mo, self.args[0], f)
         )
+
+    def batch_apply(self, keys: Sequence[int],
+                    measures: Mapping[str, object]) -> Dict[int, object]:
+        """Sums per-fact measure subtotals per key.  The kernel adds in
+        fact-id order while :meth:`apply` adds in set-iteration order —
+        identical for integral measures, potentially an ULP apart for
+        arbitrary floats (see docs/PERFORMANCE.md)."""
+        rows = measures[self.args[0]]
+        out: Dict[int, object] = {}
+        get = out.get
+        for key, subtotal in zip(keys, rows.sums):
+            out[key] = get(key, 0.0) + subtotal
+        return out
 
     def combine(self, partials: Sequence[object]) -> float:
         return sum(float(p) for p in partials)  # type: ignore[arg-type]
@@ -211,6 +273,24 @@ class Avg(AggregationFunction):
             return math.nan
         return sum(measures) / len(measures)
 
+    def batch_apply(self, keys: Sequence[int],
+                    measures: Mapping[str, object]) -> Dict[int, object]:
+        """Mean via per-key (sum, count) accumulators; ``nan`` for keys
+        whose facts carry no measures, matching :meth:`apply`.  AVG
+        stays non-distributive *across* materializations — the kernel
+        only fuses the single full scan it is given."""
+        rows = measures[self.args[0]]
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        sget, cget = sums.get, counts.get
+        for key, count, subtotal in zip(keys, rows.counts, rows.sums):
+            counts[key] = cget(key, 0) + count
+            sums[key] = sget(key, 0.0) + subtotal
+        return {
+            key: (sums[key] / count if count else math.nan)
+            for key, count in counts.items()
+        }
+
 
 class Min(AggregationFunction):
     """``MIN_i``: the minimum of the i'th dimension's measures."""
@@ -229,6 +309,24 @@ class Min(AggregationFunction):
         if not measures:
             return math.nan
         return min(measures)
+
+    def batch_apply(self, keys: Sequence[int],
+                    measures: Mapping[str, object]) -> Dict[int, object]:
+        """Per-key minimum of per-fact minima; ``nan`` for keys with no
+        measures (a ``None`` placeholder until a measure shows up).
+        Exact: min is order-insensitive."""
+        rows = measures[self.args[0]]
+        mins: Dict[int, Optional[float]] = {}
+        get = mins.get
+        for key, count, low in zip(keys, rows.counts, rows.mins):
+            if count:
+                current = get(key)
+                if current is None or low < current:
+                    mins[key] = low
+            else:
+                mins.setdefault(key, None)
+        return {key: (math.nan if value is None else value)
+                for key, value in mins.items()}
 
     def combine(self, partials: Sequence[object]) -> float:
         return min(float(p) for p in partials)  # type: ignore[arg-type]
@@ -311,6 +409,23 @@ class Max(AggregationFunction):
         if not measures:
             return math.nan
         return max(measures)
+
+    def batch_apply(self, keys: Sequence[int],
+                    measures: Mapping[str, object]) -> Dict[int, object]:
+        """Per-key maximum of per-fact maxima; ``nan`` for keys with no
+        measures.  Exact: max is order-insensitive."""
+        rows = measures[self.args[0]]
+        maxs: Dict[int, Optional[float]] = {}
+        get = maxs.get
+        for key, count, high in zip(keys, rows.counts, rows.maxs):
+            if count:
+                current = get(key)
+                if current is None or high > current:
+                    maxs[key] = high
+            else:
+                maxs.setdefault(key, None)
+        return {key: (math.nan if value is None else value)
+                for key, value in maxs.items()}
 
     def combine(self, partials: Sequence[object]) -> float:
         return max(float(p) for p in partials)  # type: ignore[arg-type]

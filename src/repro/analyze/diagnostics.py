@@ -14,7 +14,9 @@ The code space is partitioned by concern:
 * ``MD01x`` — plan typechecking (Theorem 1's closure, made executable);
 * ``MD02x`` — summarizability and hierarchy-property drift (§3.4,
   Lenz–Shoshani);
-* ``MD03x`` — temporal and uncertainty lints (§3.2–§3.3).
+* ``MD03x`` — temporal and uncertainty lints (§3.2–§3.3);
+* ``MD04x`` — execution-path and cost observations (which physical
+  path the engine will take for a node, never a correctness issue).
 
 ``docs/ANALYSIS.md`` is the narrative catalogue; :data:`CATALOG` below
 is the machine-readable one and the AST lint cross-checks the two.
@@ -123,6 +125,10 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
     "MD033": (Severity.INFO,
               "summarizability could not be determined statically "
               "(schema-only analysis with no declarations)"),
+    "MD040": (Severity.INFO,
+              "aggregation function has no columnar batch kernel: α "
+              "will form groups but evaluate per group on the object "
+              "path (aggregate.kernel.fallback will count it)"),
 }
 
 

@@ -52,6 +52,7 @@ from repro.engine.optimizer import (
     node_label,
 )
 from repro.algebra.aggregate import aggregate_schema
+from repro.algebra.functions import has_batch_kernel
 from repro.algebra.join import join_schema
 from repro.algebra.projection import project_schema
 from repro.algebra.rename import rename_schema
@@ -171,6 +172,17 @@ def _aggregate_types(node: AggregateNode, child: PlanTypes,
                     hint="group the inner aggregate by declared "
                          "strict+partitioning levels so the verdict "
                          "is decidable")
+
+    # execution-path costing: a kernel-less function forces the per-
+    # group object path even when the columnar layout is available
+    if not has_batch_kernel(node.function):
+        report.emit("MD040",
+                    f"{node.function.name} has no columnar batch "
+                    f"kernel; this α will evaluate per group on the "
+                    f"object path",
+                    location,
+                    hint="override batch_apply (paired with apply) on "
+                         "the function to use the columnar fast path")
 
     # an α result is a new MO over set-facts; further narrowing chains
     # would need the *aggregated* MO, which does not exist yet

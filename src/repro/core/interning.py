@@ -53,6 +53,14 @@ class InternTable:
         """The id of ``obj`` if already interned, else ``None``."""
         return self._ids.get(obj)
 
+    def ids_of(self, objects: Iterable[Hashable]) -> List[Optional[int]]:
+        """Bulk :meth:`id_of`: the ids in input order, ``None`` where an
+        object is not interned.  One bound-method dispatch for the whole
+        batch instead of one per object — the columnar kernel setup path
+        uses this so building id arrays does no per-object attribute
+        lookup."""
+        return list(map(self._ids.get, objects))
+
     def object_of(self, obj_id: int) -> Hashable:
         """The object an id stands for (ids come from :meth:`intern`)."""
         return self._objects[obj_id]

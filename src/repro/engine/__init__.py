@@ -2,6 +2,12 @@
 indexes, summarizability-gated pre-aggregation, cube materialization
 with greedy view selection, and a fluent OLAP query API."""
 
+from repro.engine.columnar import (
+    ColumnarGrouping,
+    ColumnarStore,
+    MeasureColumn,
+    MeasureRows,
+)
 from repro.engine.cube import CubeBuilder, Cuboid, greedy_view_selection
 from repro.engine.imprecision import (
     GranularityClassification,
@@ -34,6 +40,10 @@ from repro.engine.query import ExplainStep, Query, QueryExplain
 from repro.engine.rollup_index import RollupIndex
 
 __all__ = [
+    "ColumnarGrouping",
+    "ColumnarStore",
+    "MeasureColumn",
+    "MeasureRows",
     "CubeBuilder",
     "Cuboid",
     "greedy_view_selection",

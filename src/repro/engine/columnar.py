@@ -1,0 +1,404 @@
+"""Columnar group-key encoding for batch aggregation kernels.
+
+The object-path aggregate formation (:mod:`repro.algebra.aggregate`)
+materializes a ``Dict[combo, Set[Fact]]`` and walks Python objects per
+group.  This module instead lays a grouping out flat, the way a column
+store would:
+
+* one fact-ordered ``array('q')`` of **composed group keys** — per
+  grouped dimension the rollup index supplies a dense ``fact_id →
+  value_id`` array (:meth:`RollupIndex.grouping_value_id_array`), the
+  per-dimension value ids are mapped to local codes, and the codes are
+  packed into a single integer by **mixed-radix** positional encoding
+  (first grouped dimension most significant).  Facts with multi-valued
+  (imprecise) characterizations product-expand into one row per value
+  combination, exactly like the object path; facts uncharacterized in
+  any grouped dimension drop out, exactly like the object path;
+* one parallel ``array('q')`` of fact ids, so groups can be converted
+  back to object-level ``FrozenSet[Fact]`` views on demand;
+* per-dimension **measure columns** — each fact's measure count, sum,
+  min and max in a result dimension, extracted once per relation
+  version and gathered row-aligned per grouping.
+
+Batch kernels (:meth:`AggregationFunction.batch_apply`) then evaluate
+*every* group in one pass over the key column, instead of one Python
+call per group.  Everything is version-stamped and rebuilt lazily, the
+same staleness protocol as the rollup index; ``use_index=False`` stays
+the byte-identity oracle (see docs/PERFORMANCE.md for the float-
+ordering caveat on SUM/AVG).
+
+Fallback rules (any of these routes the caller to the object path):
+
+* a grouped dimension's radix product would exceed
+  :data:`MAX_COMPOSED_KEY` (composed keys must stay machine ints) —
+  :meth:`ColumnarStore.grouping` returns ``None``;
+* the function has no batch kernel (``has_batch_kernel`` is False) —
+  :meth:`ColumnarGrouping.evaluate` returns ``None``;
+* a measure column is poisoned (some fact has a non-numeric surrogate
+  in the argument dimension) — ``evaluate`` returns ``None`` and the
+  per-group object path re-raises on exactly the groups the naive path
+  would.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.algebra.functions import (AggregationFunction, has_batch_kernel,
+                                     measures_of)
+from repro.core.errors import AlgebraError
+from repro.core.values import DimensionValue, Fact
+from repro.engine.rollup_index import (MULTI_VALUED, UNCHARACTERIZED,
+                                       RollupIndex)
+from repro.obs import metrics, trace
+
+__all__ = [
+    "MAX_COMPOSED_KEY",
+    "MeasureColumn",
+    "MeasureRows",
+    "ColumnarGrouping",
+    "ColumnarStore",
+]
+
+#: composed keys must stay within a signed 64-bit ``array('q')`` cell
+#: (and cheap small-int arithmetic); a grouping whose radix product
+#: exceeds this falls back to the object path.
+MAX_COMPOSED_KEY = 2 ** 62
+
+_BUILDS = metrics.counter("columnar.build")
+_HITS = metrics.counter("columnar.hit")
+_RADIX_FALLBACK = metrics.counter("columnar.fallback.radix")
+_MEASURE_BUILDS = metrics.counter("columnar.measure_column.build")
+_MEASURE_POISONED = metrics.counter("columnar.measure.poisoned")
+
+#: one grouping-key combo decoded back to objects: the grouped value per
+#: dimension, in the grouping's item order.
+Combo = Tuple[DimensionValue, ...]
+
+
+class MeasureColumn:
+    """Per-fact measure summaries of one dimension, dense by fact id.
+
+    ``counts[fid]`` is how many measures the fact has in the dimension
+    (0 for none); ``sums``/``mins``/``maxs`` are its measure sum,
+    minimum and maximum (0.0 placeholders when it has none).  When any
+    fact of the MO carries a non-numeric surrogate, the column is
+    *poisoned*: :attr:`error` holds the :class:`AlgebraError` and the
+    kernels refuse to use it, so the object path keeps the exact
+    raise-only-if-grouped semantics.
+    """
+
+    __slots__ = ("counts", "sums", "mins", "maxs", "error", "stamp")
+
+    def __init__(self, size: int, stamp: Tuple[int, int]) -> None:
+        self.counts = array("q", [0]) * size
+        self.sums = array("d", [0.0]) * size
+        self.mins = array("d", [0.0]) * size
+        self.maxs = array("d", [0.0]) * size
+        self.error: Optional[AlgebraError] = None
+        self.stamp = stamp
+
+
+class MeasureRows:
+    """A :class:`MeasureColumn` gathered row-aligned with one grouping's
+    key column — what :meth:`AggregationFunction.batch_apply` consumes."""
+
+    __slots__ = ("counts", "sums", "mins", "maxs")
+
+    def __init__(self, column: MeasureColumn, row_facts: array) -> None:
+        self.counts = array("q", map(column.counts.__getitem__, row_facts))
+        self.sums = array("d", map(column.sums.__getitem__, row_facts))
+        self.mins = array("d", map(column.mins.__getitem__, row_facts))
+        self.maxs = array("d", map(column.maxs.__getitem__, row_facts))
+
+
+class ColumnarGrouping:
+    """One grouping laid out flat: row-aligned key and fact-id columns
+    plus the decode tables to map keys back to value combos.
+
+    Rows are in fact-id order, one row per fact × characterization
+    combination; a fact appears at most once per distinct key (its
+    value combinations are all distinct), so per-key row counts are
+    exact group sizes.  All views are lazy and cached; treat everything
+    as read-only.
+    """
+
+    __slots__ = ("_index", "_store", "items", "keys", "row_facts", "_specs",
+                 "_rows_by_key", "_groups", "_combos", "_measure_cache",
+                 "stamp")
+
+    def __init__(self, index: RollupIndex, store: "ColumnarStore",
+                 items: Tuple[Tuple[str, str], ...],
+                 keys: array, row_facts: array,
+                 specs: List[Tuple[str, int, List[DimensionValue]]],
+                 stamp: tuple) -> None:
+        self._index = index
+        self._store = store
+        #: the grouping as ``(dimension, category)`` pairs, in order
+        self.items = items
+        #: composed mixed-radix group key per row
+        self.keys = keys
+        #: interned fact id per row, aligned with :attr:`keys`
+        self.row_facts = row_facts
+        #: per grouped dimension: (name, radix, code → value decode)
+        self._specs = specs
+        self._rows_by_key: Optional[Dict[int, List[int]]] = None
+        self._groups: Optional[Dict[Combo, frozenset]] = None
+        self._combos: Optional[Dict[int, Combo]] = None
+        self._measure_cache: Dict[str, Tuple[MeasureColumn, MeasureRows]] = {}
+        self.stamp = stamp
+
+    @property
+    def n_rows(self) -> int:
+        """How many (fact × characterization) rows the grouping has."""
+        return len(self.keys)
+
+    def rows_by_key(self) -> Dict[int, List[int]]:
+        """``composed key → row fact ids`` (the integer-level groups)."""
+        rows = self._rows_by_key
+        if rows is None:
+            rows = {}
+            get = rows.get
+            for key, fid in zip(self.keys, self.row_facts):
+                bucket = get(key)
+                if bucket is None:
+                    rows[key] = [fid]
+                else:
+                    bucket.append(fid)
+            self._rows_by_key = rows
+        return rows
+
+    def combo_of(self, key: int) -> Combo:
+        """Decode a composed key to its value combo (grouping order)."""
+        values: List[DimensionValue] = []
+        for _, radix, decode in reversed(self._specs):
+            key, digit = divmod(key, radix)
+            values.append(decode[digit])
+        values.reverse()
+        return tuple(values)
+
+    def combos(self) -> Dict[int, Combo]:
+        """Every distinct key decoded, cached."""
+        if self._combos is None:
+            self._combos = {key: self.combo_of(key)
+                            for key in self.rows_by_key()}
+        return self._combos
+
+    def groups(self) -> Dict[Combo, frozenset]:
+        """The object-level view: value combo → the facts of the group
+        (byte-identical to the object path's formation)."""
+        if self._groups is None:
+            facts_of = self._index.facts_of_ids
+            combos = self.combos()
+            self._groups = {
+                combos[key]: frozenset(facts_of(fids))
+                for key, fids in self.rows_by_key().items()
+            }
+        return self._groups
+
+    def measure_rows(self, dimension_name: str,
+                     column: MeasureColumn) -> MeasureRows:
+        """The column gathered row-aligned, cached per column identity
+        (a rebuilt measure column invalidates the gather even when the
+        grouping itself is still fresh)."""
+        cached = self._measure_cache.get(dimension_name)
+        if cached is not None and cached[0] is column:
+            return cached[1]
+        rows = MeasureRows(column, self.row_facts)
+        self._measure_cache[dimension_name] = (column, rows)
+        return rows
+
+    def evaluate(self, function: AggregationFunction
+                 ) -> Optional[Dict[Combo, object]]:
+        """Run the function's batch kernel over every group at once.
+
+        Returns ``combo → result`` with exactly the keys of
+        :meth:`groups`, or ``None`` when the function has no kernel or
+        an argument measure column is poisoned — the caller must then
+        fall back to per-group :meth:`AggregationFunction.apply`.
+        """
+        if not has_batch_kernel(function):
+            return None
+        measures: Dict[str, MeasureRows] = {}
+        for name in function.args:
+            column = self._store.measure_column(name)
+            if column.error is not None:
+                return None
+            measures[name] = self.measure_rows(name, column)
+        by_key = function.batch_apply(self.keys, measures)
+        if by_key is None:  # pragma: no cover - kernels never decline
+            return None
+        combos = self.combos()
+        return {combos[key]: value for key, value in by_key.items()}
+
+
+class ColumnarStore:
+    """The per-MO cache of columnar groupings and measure columns.
+
+    Obtained via :meth:`RollupIndex.columnar`.  Groupings are cached by
+    their ``(dimension, category)`` item sequence (order-sensitive: the
+    combo tuples follow it) and stamped with the MO's fact-set version
+    plus the grouped dimensions' order/relation version pairs; measure
+    columns are stamped with the relation version and fact-set version.
+    Stale entries are rebuilt on access, never served.
+    """
+
+    def __init__(self, index: RollupIndex) -> None:
+        self._index = index
+        self._groupings: Dict[Tuple[Tuple[str, str], ...],
+                              ColumnarGrouping] = {}
+        self._measures: Dict[str, MeasureColumn] = {}
+
+    def _grouping_stamp(self, items: Tuple[Tuple[str, str], ...]) -> tuple:
+        mo = self._index.mo
+        return (
+            mo.facts_version,
+            tuple((mo.dimension(name).order.version,
+                   mo.relation(name).version) for name, _ in items),
+        )
+
+    def peek(self, grouping: Mapping[str, str]) -> Optional[ColumnarGrouping]:
+        """A cached *fresh* grouping, or ``None`` — never builds (the
+        cuboid-sizing fast path wants a free answer or nothing)."""
+        items = tuple(grouping.items())
+        entry = self._groupings.get(items)
+        if entry is not None and entry.stamp == self._grouping_stamp(items):
+            return entry
+        return None
+
+    def grouping(self, grouping: Mapping[str, str]
+                 ) -> Optional[ColumnarGrouping]:
+        """The columnar layout of a grouping (category per dimension;
+        ⊤ categories are radix-1 components).  Served from cache while
+        fresh, rebuilt otherwise; ``None`` when the radix product
+        overflows :data:`MAX_COMPOSED_KEY` (fall back to the object
+        path)."""
+        items = tuple(grouping.items())
+        stamp = self._grouping_stamp(items)
+        entry = self._groupings.get(items)
+        if entry is not None and entry.stamp == stamp:
+            _HITS.inc()
+            return entry
+        entry = self._build_grouping(items, stamp)
+        if entry is None:
+            return None
+        self._groupings[items] = entry
+        return entry
+
+    def _build_grouping(self, items: Tuple[Tuple[str, str], ...],
+                        stamp: tuple) -> Optional[ColumnarGrouping]:
+        index = self._index
+        mo = index.mo
+        with trace.span("columnar.build", grouping=items):
+            specs: List[Tuple[str, int, List[DimensionValue]]] = []
+            nontrivial = []  # (value-id column, multi map, code map, radix)
+            empty = False
+            max_key = 1
+            for name, category in items:
+                dimension = mo.dimension(name)
+                if category == dimension.dtype.top_name:
+                    # ⊤ groups every fact into one cell: radix 1
+                    specs.append((name, 1, [dimension.top_value]))
+                    continue
+                column, multi = index.grouping_value_id_array(name, category)
+                vids = {vid for vid in column if vid >= 0}
+                for vid_tuple in multi.values():
+                    vids.update(vid_tuple)
+                if not vids:
+                    # no fact characterized in this dimension: no groups
+                    specs.append((name, 1, [dimension.top_value]))
+                    empty = True
+                    continue
+                ordered = sorted(vids)
+                code = {vid: i for i, vid in enumerate(ordered)}
+                decode = [index.value_of(name, vid) for vid in ordered]
+                radix = len(ordered)
+                max_key *= radix
+                if max_key > MAX_COMPOSED_KEY:
+                    _RADIX_FALLBACK.inc()
+                    return None
+                specs.append((name, radix, decode))
+                nontrivial.append((column, multi, code, radix))
+            keys = array("q")
+            row_facts = array("q")
+            if not empty:
+                self._fill_rows(nontrivial, keys, row_facts)
+            _BUILDS.inc()
+            return ColumnarGrouping(index, self, items, keys, row_facts,
+                                    specs, stamp)
+
+    def _fill_rows(self, nontrivial, keys: array, row_facts: array) -> None:
+        """One pass over the MO's facts in id order, composing each
+        fact's key digit by digit; imprecise facts product-expand."""
+        index = self._index
+        append_key = keys.append
+        append_fact = row_facts.append
+        fact_ids = sorted(index.mo_fact_ids())
+        if not nontrivial:
+            # every dimension grouped at ⊤: the single apex cell
+            for fid in fact_ids:
+                append_key(0)
+                append_fact(fid)
+            return
+        for fid in fact_ids:
+            composed = 0
+            expansions = None
+            for column, multi, code, radix in nontrivial:
+                vid = column[fid] if fid < len(column) else UNCHARACTERIZED
+                if vid >= 0:
+                    digit = code[vid]
+                    if expansions is None:
+                        composed = composed * radix + digit
+                    else:
+                        expansions = [k * radix + digit for k in expansions]
+                elif vid == MULTI_VALUED:
+                    digits = [code[v] for v in multi[fid]]
+                    if expansions is None:
+                        expansions = [composed * radix + d for d in digits]
+                    else:
+                        expansions = [k * radix + d
+                                      for k in expansions for d in digits]
+                else:  # UNCHARACTERIZED: the fact drops out entirely
+                    expansions = ()
+                    break
+            if expansions is None:
+                append_key(composed)
+                append_fact(fid)
+            else:
+                for key in expansions:
+                    append_key(key)
+                    append_fact(fid)
+
+    def measure_column(self, dimension_name: str) -> MeasureColumn:
+        """The per-fact measure summaries of one dimension, rebuilt when
+        the dimension's relation or the MO's fact set moved."""
+        index = self._index
+        mo = index.mo
+        stamp = (mo.relation(dimension_name).version, mo.facts_version)
+        cached = self._measures.get(dimension_name)
+        if cached is not None and cached.stamp == stamp:
+            return cached
+        _MEASURE_BUILDS.inc()
+        fact_ids = index.mo_fact_ids()
+        size = (max(fact_ids) + 1) if fact_ids else 0
+        column = MeasureColumn(size, stamp)
+        counts, sums = column.counts, column.sums
+        mins, maxs = column.mins, column.maxs
+        try:
+            for fact in mo.facts:
+                ms = measures_of(mo, dimension_name, fact)
+                if ms:
+                    fid = index.fact_id(fact)
+                    counts[fid] = len(ms)
+                    sums[fid] = sum(ms)
+                    mins[fid] = min(ms)
+                    maxs[fid] = max(ms)
+        except AlgebraError as exc:
+            # poisoned: some fact's surrogate is non-numeric; kernels
+            # refuse the column so the object path raises exactly when
+            # a bad fact is actually grouped
+            column.error = exc
+            _MEASURE_POISONED.inc()
+        self._measures[dimension_name] = column
+        return column

@@ -123,6 +123,13 @@ class CubeBuilder:
         if not nontrivial:
             return 1  # the apex: one group holding every fact
         index = self._mo.rollup_index()
+        # a fresh columnar layout (built by a materialization or an α
+        # at this grouping) already knows the distinct-key count; peek
+        # — never build — so sizing stays cheaper than materializing
+        columnar = index.columnar().peek(
+            {name: nontrivial[name] for name in sorted(nontrivial)})
+        if columnar is not None:
+            return len(columnar.rows_by_key())
         maps = [
             index.nonempty_fact_sets(name, cat)
             for name, cat in sorted(nontrivial.items())

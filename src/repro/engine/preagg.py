@@ -17,7 +17,7 @@ shows both the refusal and the cost difference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import AbstractSet, Dict, List, Optional, Set, Tuple
 
 from repro.algebra.functions import AggregationFunction
 from repro.core.errors import AlgebraError
@@ -58,7 +58,9 @@ class MaterializedAggregate:
     grouping: Dict[str, str]
     function_name: str
     results: Dict[GroupKey, object]
-    groups: Dict[GroupKey, Set[Fact]]
+    #: group members per combo; frozensets on the columnar/rollup paths,
+    #: plain sets on the map-expansion fallback — equal either way
+    groups: Dict[GroupKey, AbstractSet[Fact]]
     summarizability: SummarizabilityCheck
     #: the (fact-set, per-dimension order/relation) versions this was
     #: built from; the store serves it only while they still match
@@ -148,20 +150,28 @@ class PreAggregateStore:
 
     def _materialize_base(self, function: AggregationFunction,
                           grouping: Dict[str, str]) -> MaterializedAggregate:
-        """The base path: expand the grouping's characterization maps
-        and evaluate ``function`` on every non-empty group."""
+        """The base path: lay the grouping out columnar and evaluate
+        ``function`` with its batch kernel — falling back to expanding
+        the characterization maps (key-space overflow) and/or per-group
+        ``apply`` (no kernel, poisoned measures) on the same groups."""
         _MATERIALIZE_BASE.inc()
         with trace.span("preagg.materialize",
                         grouping=tuple(sorted(grouping.items())),
                         function=function.name):
             stamp = self._stamp()
-            maps = {
-                name: self._index.characterization_map(name, cat)
-                for name, cat in grouping.items()
-            }
-            groups: Dict[GroupKey, Set[Fact]] = {}
+            groups: Dict[GroupKey, AbstractSet[Fact]] = {}
+            results: Optional[Dict[GroupKey, object]] = None
             names = sorted(grouping)
-            if names:
+            columnar = (self._index.columnar().grouping(
+                {name: grouping[name] for name in names}) if names else None)
+            if columnar is not None:
+                groups = dict(columnar.groups())
+                results = columnar.evaluate(function)
+            elif names:
+                maps = {
+                    name: self._index.characterization_map(name, cat)
+                    for name, cat in grouping.items()
+                }
                 for combo, facts in self._expand(names, maps):
                     if facts:
                         groups[combo] = facts
@@ -169,10 +179,11 @@ class PreAggregateStore:
                 # a fact-less MO has no grand-total group, matching the
                 # α path, which produces no result fact either
                 groups[()] = set(self._mo.facts)
-            results = {
-                combo: function.apply(facts, self._mo)
-                for combo, facts in groups.items()
-            }
+            if results is None:
+                results = {
+                    combo: function.apply(facts, self._mo)
+                    for combo, facts in groups.items()
+                }
             verdict = self._verdict(grouping, function.distributive)
         materialized = MaterializedAggregate(
             grouping=dict(grouping),
@@ -219,8 +230,8 @@ class PreAggregateStore:
                         target=tuple(sorted(grouping.items())),
                         function=function.name):
             stamp = self._stamp()
-            groups: Dict[GroupKey, Set[Fact]] = {}
             partials: Dict[GroupKey, list] = {}
+            member_sets: Dict[GroupKey, List[AbstractSet[Fact]]] = {}
             # per-dimension value → target-ancestor tables, built once
             # from the stored category's members so the per-cell loop
             # below is nothing but dict lookups
@@ -249,10 +260,16 @@ class PreAggregateStore:
                 bucket = partials.get(target_combo)
                 if bucket is None:
                     partials[target_combo] = [result]
-                    groups[target_combo] = set(source_groups[combo])
+                    member_sets[target_combo] = [source_groups[combo]]
                 else:
                     bucket.append(result)
-                    groups[target_combo] |= source_groups[combo]
+                    member_sets[target_combo].append(source_groups[combo])
+            # one n-ary union per target cell instead of building up
+            # intermediate sets pairwise — the former cube hotspot
+            groups: Dict[GroupKey, AbstractSet[Fact]] = {
+                combo: frozenset().union(*sets)
+                for combo, sets in member_sets.items()
+            }
             results = {
                 combo: function.combine(values)
                 for combo, values in partials.items()

@@ -33,6 +33,7 @@ against the naive oracle.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.dimension import Dimension
@@ -44,7 +45,15 @@ from repro.core.values import DimensionValue, Fact
 from repro.obs import metrics, trace
 from repro.temporal.chronon import Chronon
 
-__all__ = ["RollupIndex"]
+__all__ = ["RollupIndex", "UNCHARACTERIZED", "MULTI_VALUED"]
+
+#: sentinel in a per-fact value-id array: the fact has no grouping-
+#: category value in this dimension (it drops out of the grouping).
+UNCHARACTERIZED = -1
+#: sentinel in a per-fact value-id array: the fact has *several*
+#: grouping-category values (imprecise characterization) — look the
+#: id-sorted tuple up in the side map and product-expand.
+MULTI_VALUED = -2
 
 # metric objects are cached at import so the hot paths pay one float add
 # (see docs/OBSERVABILITY.md for the catalogue)
@@ -82,6 +91,7 @@ class _DimensionIndex:
         "category_maps",
         "per_fact_maps",
         "per_fact_id_maps",
+        "id_array_maps",
         "nonempty_maps",
     )
 
@@ -106,6 +116,11 @@ class _DimensionIndex:
         #: category name → (fact id → id-sorted value-id tuple), the
         #: all-integer view the aggregate hot loop runs on
         self.per_fact_id_maps: Dict[str, Dict[int, Tuple[int, ...]]] = {}
+        #: category name → (dense fact_id→value_id ``array('q')``,
+        #: multi-valued side map) — the columnar kernel's input; see
+        #: :meth:`RollupIndex.grouping_value_id_array`
+        self.id_array_maps: Dict[
+            str, Tuple[array, Dict[int, Tuple[int, ...]]]] = {}
         #: category name → the non-empty fact sets of its members (the
         #: cuboid-sizing fast path; see
         #: :meth:`RollupIndex.nonempty_fact_sets`)
@@ -175,6 +190,7 @@ class RollupIndex:
         self._strictness: Dict[tuple, bool] = {}
         self._mo_fact_ids: Optional[FrozenSet[int]] = None
         self._mo_facts_version = -1
+        self._columnar = None
         self._builds = 0
         self._deltas = 0
         #: apply small mutations as closure deltas instead of per-
@@ -332,6 +348,7 @@ class RollupIndex:
             entry.category_maps.pop(category_name, None)
             entry.per_fact_maps.pop(category_name, None)
             entry.per_fact_id_maps.pop(category_name, None)
+            entry.id_array_maps.pop(category_name, None)
             entry.nonempty_maps.pop(category_name, None)
 
     def is_fresh(self, dimension_name: str) -> bool:
@@ -844,6 +861,49 @@ class RollupIndex:
         """
         entry = self._entry(dimension_name)
         return self._grouping_ids(dimension_name, entry, category_name)
+
+    def grouping_value_id_array(
+        self, dimension_name: str, category_name: str
+    ) -> Tuple[array, Dict[int, Tuple[int, ...]]]:
+        """The dense-array form of :meth:`grouping_value_ids_per_fact`
+        (untimed, non-⊤): an ``array('q')`` indexed by interned fact id
+        holding the fact's single grouping-value id, plus a side map for
+        the imprecise facts.  Cells are :data:`UNCHARACTERIZED` for
+        facts with no value in the category and :data:`MULTI_VALUED`
+        for facts whose id-sorted value tuple lives in the side map.
+
+        Fact ids at or beyond ``len(array)`` were interned after the
+        array was built and are necessarily uncharacterized here (a new
+        characterization in this dimension would have bumped the
+        relation version and evicted the cache).  Kernel setup reads
+        this with zero per-object hashing.  Treat both parts as
+        read-only.
+        """
+        entry = self._entry(dimension_name)
+        cached = entry.id_array_maps.get(category_name)
+        if cached is not None:
+            return cached
+        id_map = self._grouping_ids(dimension_name, entry, category_name)
+        column = array("q", [UNCHARACTERIZED]) * len(self._facts)
+        multi: Dict[int, Tuple[int, ...]] = {}
+        for fid, vids in id_map.items():
+            if len(vids) == 1:
+                column[fid] = vids[0]
+            else:
+                column[fid] = MULTI_VALUED
+                multi[fid] = vids
+        cached = (column, multi)
+        entry.id_array_maps[category_name] = cached
+        return cached
+
+    def columnar(self):
+        """The MO's shared :class:`~repro.engine.columnar.ColumnarStore`
+        — version-stamped flat group-key columns and measure columns for
+        the batch aggregation kernels — created lazily on first use."""
+        if self._columnar is None:
+            from repro.engine.columnar import ColumnarStore
+            self._columnar = ColumnarStore(self)
+        return self._columnar
 
     def _grouping_values_at(
         self, dimension_name: str, category_name: str, at: Chronon

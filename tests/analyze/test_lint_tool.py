@@ -92,6 +92,63 @@ class TestObsNamesDocumented:
         assert len(self._check(source, "")) == 1
 
 
+class TestKernelPairing:
+    def _check(self, source):
+        classes = lint_invariants._collect_classes(
+            [(TOOLS / "fake.py", ast.parse(source))])
+        return lint_invariants.check_kernel_pairing(classes)
+
+    BASE = """
+class AggregationFunction:
+    def apply(self, facts, mo): ...
+    def batch_apply(self, keys, measures): ...
+"""
+
+    def test_paired_overrides_are_clean(self):
+        problems = self._check(self.BASE + """
+class Sum(AggregationFunction):
+    def apply(self, facts, mo): ...
+    def batch_apply(self, keys, measures): ...
+""")
+        assert problems == []
+
+    def test_apply_only_override_is_clean(self):
+        # no kernel anywhere below the base: the object path is the
+        # only path, nothing can disagree
+        problems = self._check(self.BASE + """
+class Median(AggregationFunction):
+    def apply(self, facts, mo): ...
+""")
+        assert problems == []
+
+    def test_kernel_without_apply_flagged(self):
+        problems = self._check(self.BASE + """
+class Fast(AggregationFunction):
+    def batch_apply(self, keys, measures): ...
+""")
+        assert len(problems) == 1
+        assert "Fast" in problems[0]
+
+    def test_apply_override_under_inherited_kernel_flagged(self):
+        problems = self._check(self.BASE + """
+class Sum(AggregationFunction):
+    def apply(self, facts, mo): ...
+    def batch_apply(self, keys, measures): ...
+
+class TweakedSum(Sum):
+    def apply(self, facts, mo): ...
+""")
+        assert len(problems) == 1
+        assert "TweakedSum" in problems[0]
+
+    def test_unrelated_classes_ignored(self):
+        problems = self._check("""
+class Other:
+    def batch_apply(self, keys, measures): ...
+""")
+        assert problems == []
+
+
 class TestCatalogDocumented:
     def test_catalog_codes_in_analysis_doc(self):
         problems = lint_invariants.check_catalog_documented()

@@ -27,6 +27,14 @@ Two rules, both load-bearing for the caching layers:
    and every ``MDnnn`` the doc mentions must exist in ``CATALOG``, so
    neither can drift from the other.
 
+4. **kernel/object-path pairing** — an ``AggregationFunction`` subclass
+   that overrides ``batch_apply`` (a columnar kernel) must override
+   ``apply`` in the same class, and vice versa for any class that has a
+   kernel anywhere below ``AggregationFunction`` in its bases.  A class
+   inheriting a kernel but redefining only ``apply`` would silently
+   compute different results on the columnar and object paths; the two
+   are byte-identity oracles for each other and must evolve together.
+
 Zero dependencies; exits 1 on any violation.  Run from the repo root::
 
     python tools/lint_invariants.py
@@ -170,6 +178,77 @@ def _catalog_codes() -> List[str]:
     raise RuntimeError("CATALOG dict not found in diagnostics.py")
 
 
+#: ``class name -> (path, lineno, defined method names, base names)``
+ClassInfo = Tuple[Path, int, set, List[str]]
+
+
+def _collect_classes(
+        forest: List[Tuple[Path, ast.AST]]) -> "dict[str, ClassInfo]":
+    classes: dict = {}
+    for path, tree in forest:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            bases = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    bases.append(base.attr)
+            classes[node.name] = (path, node.lineno, methods, bases)
+    return classes
+
+
+def _ancestry(classes: "dict[str, ClassInfo]", name: str) -> List[str]:
+    """The class and its ancestors, nearest first (breadth-first over
+    base lists — close enough to the MRO for this codebase's simple
+    hierarchies)."""
+    order, queue = [], [name]
+    while queue:
+        cls = queue.pop(0)
+        if cls in order or cls not in classes:
+            continue
+        order.append(cls)
+        queue.extend(classes[cls][3])
+    return order
+
+
+def _provider(classes: "dict[str, ClassInfo]", name: str,
+              method: str) -> "str | None":
+    """The nearest class in ``name``'s ancestry defining ``method``."""
+    for cls in _ancestry(classes, name):
+        if method in classes[cls][2]:
+            return cls
+    return None
+
+
+def check_kernel_pairing(
+        classes: "dict[str, ClassInfo]") -> List[str]:
+    problems = []
+    for name in sorted(classes):
+        if name == "AggregationFunction":
+            continue
+        if "AggregationFunction" not in _ancestry(classes, name):
+            continue
+        path, lineno, _methods, _bases = classes[name]
+        provider_apply = _provider(classes, name, "apply")
+        provider_batch = _provider(classes, name, "batch_apply")
+        if (provider_batch is not None
+                and provider_batch != "AggregationFunction"
+                and provider_apply != provider_batch):
+            problems.append(
+                f"{path.relative_to(REPO)}:{lineno}: {name} resolves "
+                f"apply from {provider_apply} but its batch_apply "
+                f"kernel from {provider_batch} — the object path and "
+                f"the columnar kernel must be overridden together or "
+                f"not at all")
+    return problems
+
+
 def check_catalog_documented() -> List[str]:
     problems = []
     doc_text = ANALYSIS_DOC.read_text(encoding="utf-8")
@@ -190,10 +269,13 @@ def check_catalog_documented() -> List[str]:
 def main() -> int:
     doc_text = OBS_DOC.read_text(encoding="utf-8")
     problems: List[str] = []
+    forest: List[Tuple[Path, ast.AST]] = []
     for path in _iter_sources():
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        forest.append((path, tree))
         problems += check_version_log_pairing(path, tree)
         problems += check_obs_names_documented(path, tree, doc_text)
+    problems += check_kernel_pairing(_collect_classes(forest))
     problems += check_catalog_documented()
     if problems:
         print(f"lint_invariants: {len(problems)} problem(s)")

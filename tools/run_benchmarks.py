@@ -9,6 +9,12 @@ root (see ``docs/PERFORMANCE.md`` for how to read it):
   walks (naive) versus the index's cached closure map (indexed);
 * ``aggregate`` — the full α operator over two grouped dimensions with
   ``use_index=False`` versus ``use_index=True`` (warm index);
+* ``aggregate_grouping`` — the grouping + aggregation *core* of α
+  (group formation plus function evaluation, no output-MO
+  construction), at three rungs: naive per-value traversals, the
+  interned object path, and the columnar batch kernel
+  (``object_ops_per_sec`` vs ``kernel_ops_per_sec``;
+  ``indexed_ops_per_sec`` aliases the kernel rung);
 * ``cube_build`` — sizing every cuboid of a two-dimensional lattice
   from naive characterization maps versus the index's;
 * ``cube_materialize_all`` — computing every cuboid of the lattice
@@ -38,13 +44,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algebra import SetCount, aggregate
+from repro.algebra import SetCount, Sum, aggregate
+from repro.algebra.aggregate import _form_groups, _form_groups_interned
 from repro.casestudy.icd import IcdShape
 from repro.core.helpers import make_result_spec
 from repro.engine.cube import CubeBuilder
@@ -108,6 +117,41 @@ def indexed_group_counts(mo):
 def run_aggregate(mo, use_index: bool):
     return aggregate(mo, SetCount(), AGG_GROUPING, make_result_spec(),
                      strict_types=False, use_index=use_index)
+
+
+def _full_grouping(mo):
+    return {
+        name: AGG_GROUPING.get(name, mo.dimension(name).dtype.top_name)
+        for name in mo.dimension_names
+    }
+
+
+def grouping_core_op(mo, rung: str, function=None):
+    """The grouping + aggregation core of α — group formation plus
+    function evaluation, without the output-MO construction that
+    dominates small full-α runs.  ``rung`` picks the path: ``kernel``
+    (columnar layout + batch kernel), ``object`` (interned object
+    groups + per-group apply) or ``naive`` (per-value traversals +
+    per-group apply)."""
+    function = function or SetCount()
+    full = _full_grouping(mo)
+    dim_order = list(mo.dimension_names)
+
+    def kernel():
+        layout = mo.rollup_index().columnar().grouping(full)
+        return layout.groups(), layout.evaluate(function)
+
+    def object_path():
+        groups = _form_groups_interned(mo, full, dim_order)
+        return groups, {combo: function.apply(members, mo)
+                        for combo, members in groups.items()}
+
+    def naive():
+        groups = _form_groups(mo, full, dim_order, None, False)
+        return groups, {combo: function.apply(members, mo)
+                        for combo, members in groups.items()}
+
+    return {"kernel": kernel, "object": object_path, "naive": naive}[rung]
 
 
 def _cuboid_keys(mo):
@@ -300,6 +344,19 @@ def _canonical_rows(agg, names):
     return sorted(rows, key=repr)
 
 
+def _canonical_core(groups, results):
+    """Groups+results of one grouping-core rung in a path-independent
+    form: combos keyed by their values' reprs (same dim_order on every
+    rung), members by fact id."""
+    return {
+        tuple(repr(v) for v in combo): (
+            sorted(f.fid for f in members),
+            results[combo],
+        )
+        for combo, members in groups.items()
+    }
+
+
 def check_agreement(mo) -> None:
     """The benchmark refuses to report numbers for paths that disagree."""
     assert naive_group_counts(mo) == dict(indexed_group_counts(mo))
@@ -308,6 +365,16 @@ def check_agreement(mo) -> None:
     indexed = _canonical_rows(run_aggregate(mo, use_index=True), names)
     naive = _canonical_rows(run_aggregate(mo, use_index=False), names)
     assert indexed == naive
+    # the 3-way grouping-core ladder: kernel ≡ object ≡ naive, for the
+    # count kernel and an integer-measure SUM (exact float sums)
+    for function in (SetCount(), Sum("Age")):
+        kernel, object_path, naive_core = (
+            _canonical_core(*grouping_core_op(mo, rung, function)())
+            for rung in ("kernel", "object", "naive")
+        )
+        assert kernel == naive_core, f"kernel != naive for {function.name}"
+        assert object_path == naive_core, (
+            f"object path != naive for {function.name}")
     function = SetCount()
     shared = CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
                          function=function, shared_scan=True)
@@ -346,6 +413,8 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
          lambda: indexed_group_counts(mo)),
         ("aggregate", lambda: run_aggregate(mo, False),
          lambda: run_aggregate(mo, True)),
+        ("aggregate_grouping", grouping_core_op(mo, "naive"),
+         grouping_core_op(mo, "kernel")),
         ("cube_build", lambda: naive_cube_sizes(mo),
          lambda: indexed_cube_sizes(mo)),
         ("cube_materialize_all", lambda: naive_cube_aggregate(mo),
@@ -365,11 +434,19 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
     # indexed characterization maps, but every cuboid base-scanned
     cell["cube_materialize_all"]["unshared_indexed_ops_per_sec"] = round(
         timed(materialize_all_op(mo, False), min_seconds), 3)
+    # the kernel vs object-path split of the grouping core (the kernel
+    # rung is what indexed_ops_per_sec timed above)
+    core = cell["aggregate_grouping"]
+    core["kernel_ops_per_sec"] = core["indexed_ops_per_sec"]
+    core["object_ops_per_sec"] = round(
+        timed(grouping_core_op(mo, "object"), min_seconds), 3)
+    core["kernel_vs_object_speedup"] = round(
+        core["kernel_ops_per_sec"] / core["object_ops_per_sec"], 2)
     cell["metrics"] = _metrics_snapshot(mo, generated)
     return cell
 
 
-BENCH_NAMES = ("rollup", "aggregate", "cube_build",
+BENCH_NAMES = ("rollup", "aggregate", "aggregate_grouping", "cube_build",
                "cube_materialize_all", "mutation_maintenance")
 
 
@@ -416,6 +493,14 @@ def main(argv=None) -> int:
     largest = cells[-1]
     payload = {
         "generated_by": "tools/run_benchmarks.py",
+        # environment provenance, so trajectories across runs compare
+        # like with like
+        "environment": {
+            "python_version": sys.version.split()[0],
+            "python_implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
         "workload": "clinical",
         "scales": list(scales),
         "aggregate_grouping": AGG_GROUPING,
