@@ -52,11 +52,20 @@ class Predicate:
     ``dims`` lists the constrained dimension names; ``test`` receives a
     mapping from each constrained dimension to one candidate value the
     fact is characterized by, plus the context.
+
+    ``kind``/``payload`` describe the predicate *structurally* for
+    consumers that compile rather than call it (the SQL pushdown
+    backend): ``"characterized_by"`` carries ``(dimension_name,
+    value)``, ``"conjunction"`` the operand predicates.  Every other
+    constructor leaves the default ``"opaque"`` — callable but not
+    translatable.
     """
 
     dims: Tuple[str, ...]
     test: Callable[[Dict[str, DimensionValue], SelectionContext], bool]
     description: str = "p"
+    kind: str = "opaque"
+    payload: object = None
 
     def __call__(self, values: Dict[str, DimensionValue],
                  ctx: SelectionContext) -> bool:
@@ -77,7 +86,9 @@ def characterized_by(dimension_name: str,
             or candidate == value
 
     return Predicate(dims=(dimension_name,), test=test,
-                     description=f"{dimension_name} ⇝ {value!r}")
+                     description=f"{dimension_name} ⇝ {value!r}",
+                     kind="characterized_by",
+                     payload=(dimension_name, value))
 
 
 def value_in_category(dimension_name: str, category_name: str,
@@ -181,7 +192,8 @@ def conjunction(*predicates: Predicate) -> Predicate:
         return all(p(values, ctx) for p in predicates)
 
     return Predicate(dims=dims, test=test,
-                     description=" ∧ ".join(p.description for p in predicates))
+                     description=" ∧ ".join(p.description for p in predicates),
+                     kind="conjunction", payload=tuple(predicates))
 
 
 def disjunction(*predicates: Predicate) -> Predicate:

@@ -17,7 +17,10 @@ properties, and an algebra plan, the analyzer emits structured
   against the extension so "static ``SAFE``" soundly implies the
   extensional check passes;
 * **temporal/uncertainty lints** (``MD03x``) — timeslices outside the
-  recorded valid-time span, probability mass above 1.
+  recorded valid-time span, probability mass above 1;
+* **SQL pushdown coverage** (``MD05x``) — :func:`analyze_pushdown`
+  dry-runs the relational backend's compiler and reports exactly why a
+  plan would fall back to the in-memory path.
 
 Three surfaces: the :func:`analyze_schema` / :func:`analyze_plan` /
 :func:`analyze_timeslice` APIs here, ``Query.check()`` on the fluent
@@ -32,6 +35,7 @@ from repro.analyze.diagnostics import (
     Severity,
 )
 from repro.analyze.plan import PlanTypes, analyze_plan, typecheck_plan
+from repro.analyze.pushdown import analyze_pushdown
 from repro.analyze.schema import (
     StaticVerdict,
     analyze_schema,
@@ -48,6 +52,7 @@ __all__ = [
     "Severity",
     "PlanTypes",
     "analyze_plan",
+    "analyze_pushdown",
     "typecheck_plan",
     "StaticVerdict",
     "analyze_schema",

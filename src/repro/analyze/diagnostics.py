@@ -16,7 +16,10 @@ The code space is partitioned by concern:
   Lenz–Shoshani);
 * ``MD03x`` — temporal and uncertainty lints (§3.2–§3.3);
 * ``MD04x`` — execution-path and cost observations (which physical
-  path the engine will take for a node, never a correctness issue).
+  path the engine will take for a node, never a correctness issue);
+* ``MD05x`` — SQL pushdown coverage (whether the relational backend
+  can compile a node, and if not, why it will fall back — never a
+  correctness issue: the fallback answers in memory).
 
 ``docs/ANALYSIS.md`` is the narrative catalogue; :data:`CATALOG` below
 is the machine-readable one and the AST lint cross-checks the two.
@@ -129,6 +132,20 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
               "aggregation function has no columnar batch kernel: α "
               "will form groups but evaluate per group on the object "
               "path (aggregate.kernel.fallback will count it)"),
+    "MD050": (Severity.INFO,
+              "plan shape is outside the SQL-pushdown subset (join, "
+              "nested α, temporal MO, fact-type rename on a fact-set "
+              "result, non-common set operands, or an unknown node): "
+              "the sql backend falls back to the in-memory path"),
+    "MD051": (Severity.INFO,
+              "selection predicate is not translatable to SQL (opaque "
+              "predicate kind, or a constrained dimension missing from "
+              "the schema): the sql backend falls back"),
+    "MD052": (Severity.INFO,
+              "aggregation is not pushed down (function has no SQL "
+              "scalar, strict-type mode, non-numeric measure "
+              "surrogates, inapplicable argument types, or ⊤-category "
+              "grouping): the sql backend falls back"),
 }
 
 

@@ -1,0 +1,61 @@
+"""Static SQL-pushdown analysis: will the relational backend take a
+plan, and if not, why not?
+
+:func:`analyze_pushdown` dry-runs the *actual* backend compiler
+(:func:`repro.relational.backend.compiler.compile_plan`) against the
+plan — no database is touched — and reports any
+:class:`~repro.relational.backend.compiler.PushdownUnsupported` as an
+``MD05x`` diagnostic.  Because the analyzer and the runtime share one
+compiler, the prediction cannot drift from the behavior: a clean
+report means ``Query.execute(backend="sql")`` pushes down; a finding
+names the node and reason the backend will count as
+``sql.pushdown.fallback``.
+
+All ``MD05x`` findings are :attr:`~repro.analyze.Severity.INFO` —
+pushdown coverage is a performance observation, never a correctness
+issue (the fallback answers in memory, byte-identically).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analyze.diagnostics import AnalysisReport
+from repro.engine.optimizer import Base, Plan, children_of, node_label
+
+__all__ = ["analyze_pushdown"]
+
+
+def _find_base(plan: Plan) -> Optional[Base]:
+    if isinstance(plan, Base):
+        return plan
+    for child in children_of(plan):
+        found = _find_base(child)
+        if found is not None:
+            return found
+    return None
+
+
+def analyze_pushdown(plan: Plan) -> AnalysisReport:
+    """Report whether the SQL backend can compile ``plan`` (empty
+    report = full pushdown; one ``MD05x`` INFO finding otherwise)."""
+    from repro.relational.backend.compiler import (
+        PushdownUnsupported,
+        StarCatalog,
+        compile_plan,
+    )
+
+    report = AnalysisReport(subject=node_label(plan))
+    base = _find_base(plan)
+    if base is None:
+        report.emit("MD050", "plan has no Base node to read facts from",
+                    location=node_label(plan),
+                    hint="build plans over Base(mo)")
+        return report
+    try:
+        compile_plan(plan, StarCatalog.of(base.mo))
+    except PushdownUnsupported as exc:
+        report.emit(exc.code, exc.reason, location=exc.location,
+                    hint="the sql backend will answer this in memory "
+                         "(sql.pushdown.fallback)")
+    return report

@@ -466,6 +466,19 @@ class PreAggregateStore:
         "we have to pre-compute the total results ... while other
         aggregates must be computed from the base data").
         """
+        return self.rolled_up(function, source_grouping,
+                              target_grouping)[0]
+
+    def rolled_up(
+        self,
+        function: AggregationFunction,
+        source_grouping: Dict[str, str],
+        target_grouping: Dict[str, str],
+    ) -> Tuple[Dict[GroupKey, object], Dict[GroupKey, AbstractSet[Fact]]]:
+        """:meth:`roll_up`, but also returning each target cell's member
+        set (the union of its source cells') — callers that present the
+        combined aggregate the way α would need the member sets to merge
+        value combinations selecting the same facts."""
         stored = self.get(function, source_grouping)
         if stored is None:
             raise AlgebraError(
@@ -488,14 +501,23 @@ class PreAggregateStore:
                         source=tuple(sorted(source_grouping.items())),
                         target=tuple(sorted(target_grouping.items()))):
             partials: Dict[GroupKey, list] = {}
+            member_sets: Dict[GroupKey, List[AbstractSet[Fact]]] = {}
             for combo, target_combo in self._combo_map(stored,
                                                        target_grouping):
                 partials.setdefault(target_combo, []).append(
                     stored.results[combo])
-            return {
-                combo: function.combine(values)
-                for combo, values in partials.items()
-            }
+                member_sets.setdefault(target_combo, []).append(
+                    stored.groups[combo])
+            return (
+                {
+                    combo: function.combine(values)
+                    for combo, values in partials.items()
+                },
+                {
+                    combo: frozenset().union(*sets)
+                    for combo, sets in member_sets.items()
+                },
+            )
 
     def _parent_in(self, dimension_name: str, value: DimensionValue,
                    category_name: str) -> Optional[DimensionValue]:

@@ -39,9 +39,24 @@ __all__ = ["Query", "QueryResultRow", "ExplainStep", "QueryExplain"]
 
 QueryResultRow = Tuple[Dict[str, DimensionValue], object]
 
+def _row_sort_key(names):
+    """Deterministic row order shared by every answer path: the value
+    combination's reprs, then the aggregate value's repr — distinct
+    merged groups can present the same combination (an imprecise
+    multi-valued fact re-expanded next to a precise neighbour), and
+    without the value tiebreak their relative order would be the
+    producing path's iteration order."""
+    def key(row):
+        group, value = row
+        return (tuple(repr(group[name]) for name in names), repr(value))
+    return key
+
+
 _PATH_STORE = metrics.counter("query.path.store")
 _PATH_INDEX = metrics.counter("query.path.index")
 _PATH_ALPHA = metrics.counter("query.path.alpha")
+_PATH_SQL = metrics.counter("query.path.sql")
+_SQL_FALLBACK = metrics.counter("sql.pushdown.fallback")
 
 
 @dataclass
@@ -157,6 +172,27 @@ class Query:
             strict_types=strict_types,
         )
 
+    def _sql_plan(self, function: AggregationFunction,
+                  strict_types: bool):
+        """The plan the SQL backend compiles.  Unlike :meth:`to_plan`'s
+        one-σ-per-dice chain, all dices form a *single* σ carrying their
+        conjunction — the same shape :meth:`_diced_mo` evaluates, where
+        several dices on one dimension must be satisfied by one shared
+        witness value.  (Chained σs re-quantify the witness per node.)"""
+        from repro.engine.optimizer import AggregateNode, Base, SelectNode
+        plan = Base(self._mo)
+        if self._dices:
+            predicates = [characterized_by(d, v) for d, v in self._dices]
+            plan = SelectNode(child=plan,
+                              predicate=conjunction(*predicates))
+        return AggregateNode(
+            child=plan,
+            function=function,
+            grouping=tuple(sorted(self._grouping.items())),
+            result=make_result_spec(name="__query_result"),
+            strict_types=strict_types,
+        )
+
     def check(self, function: Optional[AggregationFunction] = None,
               strict_types: bool = False):
         """Statically analyze the query before running it: compile to a
@@ -169,7 +205,8 @@ class Query:
 
     def execute(self, function: Optional[AggregationFunction] = None,
                 strict_types: bool = False,
-                check: bool = True) -> List[QueryResultRow]:
+                check: bool = True,
+                backend: str = "memory") -> List[QueryResultRow]:
         """Run the query: dice, then aggregate with ``function``
         (default set-count), returning ``(group values, result)`` rows
         sorted by group.
@@ -178,12 +215,21 @@ class Query:
         finer aggregate that is safely combinable answers the query
         without touching base data.
 
+        ``backend="sql"`` pushes the compiled plan down to the
+        relational backend (:mod:`repro.relational.backend`); plans
+        outside the pushable subset transparently fall back to the
+        in-memory path (counted as ``sql.pushdown.fallback``).  Either
+        way the rows are byte-identical.
+
         ``check=True`` (the default) runs :meth:`check` first and
         raises :class:`~repro.core.errors.StaticAnalysisError` if the
         analyzer finds error-severity diagnostics — i.e. evaluations
         guaranteed to fail; pass ``check=False`` to opt out and let the
         runtime operators raise instead.
         """
+        if backend not in ("memory", "sql"):
+            raise ValueError(f"unknown backend {backend!r} "
+                             f"(expected 'memory' or 'sql')")
         if check:
             report = self.check(function, strict_types)
             if report.has_errors:
@@ -191,17 +237,79 @@ class Query:
                 raise StaticAnalysisError(
                     "query rejected by static analysis:\n" + report.render(),
                     diagnostics=report.errors)
-        rows, _ = self._run(function or SetCount(), strict_types, None)
+        if backend == "sql":
+            rows, _ = self._run_sql(function or SetCount(),
+                                    strict_types, None)
+        else:
+            rows, _ = self._run(function or SetCount(), strict_types, None)
         return rows
 
     def explain(self, function: Optional[AggregationFunction] = None,
-                strict_types: bool = False) -> QueryExplain:
+                strict_types: bool = False,
+                backend: str = "memory") -> QueryExplain:
         """Execute the query and report *how* it was answered: the path
-        taken (``store`` / ``index`` / ``alpha``), and per-step elapsed
-        time and in/out fact counts — the engine's EXPLAIN ANALYZE."""
+        taken (``store`` / ``index`` / ``alpha`` / ``sql``), and
+        per-step elapsed time and in/out fact counts — the engine's
+        EXPLAIN ANALYZE.  With ``backend="sql"`` the steps include the
+        emitted SQL per compiled plan node (or the fallback reason)."""
+        if backend not in ("memory", "sql"):
+            raise ValueError(f"unknown backend {backend!r} "
+                             f"(expected 'memory' or 'sql')")
         steps: List[ExplainStep] = []
-        rows, path = self._run(function or SetCount(), strict_types, steps)
+        runner = self._run_sql if backend == "sql" else self._run
+        rows, path = runner(function or SetCount(), strict_types, steps)
         return QueryExplain(path=path, rows=rows, steps=steps)
+
+    def _run_sql(
+        self,
+        function: AggregationFunction,
+        strict_types: bool,
+        steps: Optional[List[ExplainStep]],
+    ) -> Tuple[List[QueryResultRow], str]:
+        """Push the compiled plan down to the SQL backend; on
+        :class:`~repro.relational.backend.PushdownUnsupported` fall
+        back to :meth:`_run` (which owns the ``query.execute`` span —
+        no nesting)."""
+        from repro.relational.backend import (
+            PushdownUnsupported,
+            sql_backend_for,
+        )
+        plan = self._sql_plan(function, strict_types)
+        backend = sql_backend_for(self._mo)
+        t0 = time.perf_counter()
+        try:
+            compiled = backend.compile(plan)
+        except PushdownUnsupported as exc:
+            _SQL_FALLBACK.inc()
+            if steps is not None:
+                steps.append(ExplainStep(
+                    name="sql-fallback",
+                    detail=f"{exc.code} at {exc.location}: {exc.reason}",
+                    elapsed_seconds=time.perf_counter() - t0,
+                    facts_in=0, facts_out=0))
+            return self._run(function, strict_types, steps)
+        with trace.span("query.execute",
+                        grouping=tuple(sorted(self._grouping)),
+                        n_dices=len(self._dices), function=function.name,
+                        backend="sql"):
+            if steps is not None:
+                compile_elapsed = time.perf_counter() - t0
+                for node in compiled.nodes:
+                    steps.append(ExplainStep(
+                        name=f"sql[{node.label}]", detail=node.sql,
+                        elapsed_seconds=0.0, facts_in=0, facts_out=0))
+                steps[-len(compiled.nodes)].elapsed_seconds = \
+                    compile_elapsed
+            t1 = time.perf_counter()
+            rows = backend.run_rows(compiled)
+            _PATH_SQL.inc()
+            if steps is not None:
+                steps.append(ExplainStep(
+                    name="sql-execute",
+                    detail=f"engine={backend.engine}",
+                    elapsed_seconds=time.perf_counter() - t1,
+                    facts_in=len(self._mo.facts), facts_out=len(rows)))
+            return rows, "sql"
 
     def _run(
         self,
@@ -289,8 +397,7 @@ class Query:
                 ]
             for group in combos:
                 rows.append((group, raw))
-        rows.sort(key=lambda row: tuple(
-            repr(row[0][name]) for name in names))
+        rows.sort(key=_row_sort_key(names))
         return rows, len(aggregated.facts)
 
     def _try_index(
@@ -338,24 +445,47 @@ class Query:
             if set(source) != set(self._grouping):
                 continue
             if source == self._grouping:
-                return (self._rows_from(materialized.results, sorted(source)),
+                return (self._rows_from(materialized.results,
+                                        materialized.groups,
+                                        sorted(source)),
                         f"exact hit: {function.name} @ "
                         f"{dict(sorted(source.items()))}")
             if self._store.can_roll_up(materialized, function,
                                        self._grouping):
-                combined = self._store.roll_up(function, source,
-                                               self._grouping)
-                return (self._rows_from(combined, sorted(self._grouping)),
+                combined, groups = self._store.rolled_up(
+                    function, source, self._grouping)
+                return (self._rows_from(combined, groups,
+                                        sorted(self._grouping)),
                         f"rolled up from {dict(sorted(source.items()))}")
         return None
 
-    def _rows_from(self, results, names) -> List[QueryResultRow]:
-        rows: List[QueryResultRow] = []
+    def _rows_from(self, results, groups, names) -> List[QueryResultRow]:
+        """Stored cells as rows, in α's presentation: value combinations
+        selecting the same facts merge into one group (α identifies a
+        set-fact by its members), and the tabular view re-expands the
+        cross product of the merged per-dimension value sets — without
+        the merge, an imprecise multi-valued fact yields rows the α
+        path would have folded into (and re-expanded differently from)
+        its neighbours."""
+        merged: Dict[frozenset, Tuple[List[set], object]] = {}
         for combo, value in results.items():
-            group = dict(zip(names, combo))
-            rows.append((group, value))
-        rows.sort(key=lambda row: tuple(
-            repr(row[0][name]) for name in sorted(self._grouping)))
+            key = frozenset(groups[combo])
+            entry = merged.get(key)
+            if entry is None:
+                entry = merged[key] = ([set() for _ in names], value)
+            for value_set, combo_value in zip(entry[0], combo):
+                value_set.add(combo_value)
+        rows: List[QueryResultRow] = []
+        for value_sets, value in merged.values():
+            combos: List[Dict[str, DimensionValue]] = [{}]
+            for name, value_set in zip(names, value_sets):
+                combos = [
+                    {**combo, name: each}
+                    for combo in combos
+                    for each in sorted(value_set, key=repr)
+                ]
+            rows.extend((combo, value) for combo in combos)
+        rows.sort(key=_row_sort_key(names))
         return rows
 
     def counts(self) -> List[QueryResultRow]:

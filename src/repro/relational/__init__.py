@@ -1,6 +1,8 @@
 """Relational substrate for Theorem 2: a minimal set-semantics
-relational engine, Klug's relational algebra with aggregation, and the
-relation ↔ MO compiler plus per-operator equivalence checker."""
+relational engine, Klug's relational algebra with aggregation, the
+relation ↔ MO compiler plus per-operator equivalence checker, and the
+SQL pushdown backend that runs optimizer plans on an embedded engine
+(sqlite by default) over the star export."""
 
 from repro.relational.algebra import (
     AGGREGATE_FUNCTIONS,
@@ -13,8 +15,20 @@ from repro.relational.algebra import (
     r_theta_join,
     r_union,
 )
+from repro.relational.backend import (
+    PushdownUnsupported,
+    SqlBackend,
+    SqlBackendUnavailable,
+    sql_backend_for,
+)
 from repro.relational.relation import Relation
-from repro.relational.star import StarSchema, export_star, import_star
+from repro.relational.star import (
+    StarSchema,
+    decode_sid,
+    encode_sid,
+    export_star,
+    import_star,
+)
 from repro.relational.translate import (
     TheoremTwoChecker,
     mo_to_relation,
@@ -40,8 +54,14 @@ __all__ = [
     "r_union",
     "Relation",
     "StarSchema",
+    "encode_sid",
+    "decode_sid",
     "export_star",
     "import_star",
+    "SqlBackend",
+    "sql_backend_for",
+    "PushdownUnsupported",
+    "SqlBackendUnavailable",
     "TheoremTwoChecker",
     "mo_to_relation",
     "relation_to_mo",

@@ -16,30 +16,48 @@ classical layout:
   star schemas cannot express without a bridge (requirements 6 and 9);
 * one **fact table** listing the facts.
 
-The export is lossless for the model's structure (times become
-from/to day ordinals, open ends become NOW-resolved bounds), and
-:func:`import_star` reads it back; round-tripping is property-tested.
+The export is lossless for the model's structure: times become from/to
+day ordinals, open ends are resolved against an explicit ``now``
+(recorded on the schema, defaulting once at export start) and marked
+with an ``is_open`` flag so :func:`import_star` restores them exactly;
+round-tripping is property-tested.
+
+Surrogates are encoded with :func:`encode_sid`, a collision-free tagged
+textual encoding (``i:5``, ``s:E10``, ``t:i:1,i:2`` …).  The earlier
+``repr``-based encoding collided — the string ``"(1, 2)"`` and the
+tuple ``(1, 2)`` produced the same key, silently merging distinct
+facts/values — and :func:`import_star` keeps a legacy decoder so old
+exports still read back.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from datetime import date
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.dimension import Dimension
 from repro.core.mo import MultidimensionalObject
 from repro.core.schema import FactSchema
 from repro.core.values import DimensionValue, Fact
 from repro.relational.relation import Relation
+from repro.temporal.chronon import TIME_MAX
 from repro.temporal.timeset import TimeSet
 
-__all__ = ["export_star", "import_star", "StarSchema"]
+__all__ = ["export_star", "import_star", "StarSchema",
+           "encode_sid", "decode_sid"]
 
 
 class StarSchema:
-    """The exported relational tables, by name."""
+    """The exported relational tables, by name.
 
-    def __init__(self, fact_type: str) -> None:
+    ``now`` is the day ordinal open-ended (``NOW``) bounds were
+    resolved against at export time — recorded here so a re-export of
+    the re-import is byte-identical regardless of the wall clock.
+    """
+
+    def __init__(self, fact_type: str, now: Optional[int] = None) -> None:
         self.fact_type = fact_type
+        self.now = now
         self.fact_table: Relation = Relation(("fact_id",), [])
         #: per dimension: the value table
         self.dimension_tables: Dict[str, Relation] = {}
@@ -49,27 +67,142 @@ class StarSchema:
         self.bridge_tables: Dict[str, Relation] = {}
 
     def table_names(self) -> List[str]:
-        """All table names in a deterministic order."""
+        """The names of the *actual* tables, in a deterministic order.
+
+        A dimension with no containment edges has no ``hier_<dim>``
+        table and one with no fact links no ``bridge_<dim>`` table —
+        phantom empty relations are not listed (so a SQL loader
+        neither creates nor queries them)."""
         names = ["fact"]
         for dim in sorted(self.dimension_tables):
-            names.extend([f"dim_{dim}", f"hier_{dim}", f"bridge_{dim}"])
+            if len(self.dimension_tables[dim]):
+                names.append(f"dim_{dim}")
+            if len(self.hierarchy_tables.get(dim, ())):
+                names.append(f"hier_{dim}")
+            if len(self.bridge_tables.get(dim, ())):
+                names.append(f"bridge_{dim}")
         return names
 
+    def tables(self) -> Dict[str, Relation]:
+        """``table name → relation`` for every listed table."""
+        out: Dict[str, Relation] = {}
+        for name in self.table_names():
+            if name == "fact":
+                out[name] = self.fact_table
+            else:
+                kind, _, dim = name.partition("_")
+                group = {"dim": self.dimension_tables,
+                         "hier": self.hierarchy_tables,
+                         "bridge": self.bridge_tables}[kind]
+                out[name] = group[dim]
+        return out
 
-def _encode_sid(sid: Hashable) -> str:
-    """Stable textual encoding of a surrogate (tuples flatten)."""
-    return repr(sid)
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace(",", "\\,")
 
 
-def _time_rows(time: TimeSet) -> List[Tuple[int, int]]:
-    return list(time.intervals)
+def _split_encoded(text: str) -> List[str]:
+    """Split a composite payload on unescaped commas and unescape."""
+    parts: List[str] = []
+    current: List[str] = []
+    it = iter(text)
+    for ch in it:
+        if ch == "\\":
+            current.append(next(it, ""))
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
 
 
-def export_star(mo: MultidimensionalObject) -> StarSchema:
-    """Export an MO to a star/snowflake schema with bridge tables."""
-    star = StarSchema(mo.schema.fact_type)
+def encode_sid(sid: Hashable) -> str:
+    """Collision-free tagged textual encoding of a surrogate.
+
+    ``repr`` was not injective across types (``"(1, 2)"`` vs
+    ``(1, 2)``); here every encoding starts with a one-letter type tag
+    and composites escape their recursively-encoded elements, so
+    distinct surrogates never share a key.  The ``r:`` catch-all for
+    exotic hashables is best-effort (not decodable)."""
+    if sid is None:
+        return "n:"
+    if isinstance(sid, bool):  # bool before int: True is an int
+        return f"b:{int(sid)}"
+    if isinstance(sid, int):
+        return f"i:{sid}"
+    if isinstance(sid, float):
+        return f"f:{sid!r}"
+    if isinstance(sid, str):
+        return f"s:{sid}"
+    if isinstance(sid, tuple):
+        return "t:" + ",".join(_escape(encode_sid(x)) for x in sid)
+    if isinstance(sid, frozenset):
+        return "F:" + ",".join(sorted(_escape(encode_sid(x)) for x in sid))
+    return f"r:{sid!r}"
+
+
+def decode_sid(text: str) -> Hashable:
+    """Invert :func:`encode_sid`; raises ``ValueError`` for the ``r:``
+    catch-all and for strings that are not tagged encodings (e.g. keys
+    from a legacy ``repr``-encoded export)."""
+    tag, sep, payload = text.partition(":")
+    if not sep or len(tag) != 1:
+        raise ValueError(f"not a tagged surrogate encoding: {text!r}")
+    if tag == "n":
+        return None
+    if tag == "b":
+        return payload == "1"
+    if tag == "i":
+        return int(payload)
+    if tag == "f":
+        return float(payload)
+    if tag == "s":
+        return payload
+    if tag in ("t", "F"):
+        if not payload:
+            items: Tuple[Hashable, ...] = ()
+        else:
+            items = tuple(decode_sid(part)
+                          for part in _split_encoded(payload))
+        return items if tag == "t" else frozenset(items)
+    raise ValueError(f"undecodable surrogate encoding: {text!r}")
+
+
+def _decode_or_raw(encoded: str) -> Hashable:
+    try:
+        return decode_sid(encoded)
+    except ValueError:
+        return encoded
+
+
+def _time_rows(time: TimeSet, now: int) -> List[Tuple[int, int, int]]:
+    """``(valid_from, valid_to, is_open)`` rows: open ends (``NOW``,
+    stored as the domain maximum) resolve to ``now`` and are flagged."""
+    rows = []
+    for start, end in time.intervals:
+        if end == TIME_MAX:
+            rows.append((start, max(start, now), 1))
+        else:
+            rows.append((start, end, 0))
+    return rows
+
+
+def export_star(mo: MultidimensionalObject,
+                now: Optional[int] = None) -> StarSchema:
+    """Export an MO to a star/snowflake schema with bridge tables.
+
+    ``now`` (a day ordinal) pins the resolution of open-ended time
+    bounds; it defaults **once**, at export start, to today — and is
+    recorded on the returned schema, so export → import → export with
+    the recorded ``now`` is byte-identical across day boundaries."""
+    if now is None:
+        now = date.today().toordinal()
+    star = StarSchema(mo.schema.fact_type, now=now)
     star.fact_table = Relation(
-        ("fact_id",), [( _encode_sid(f.fid),) for f in mo.facts])
+        ("fact_id",), [(encode_sid(f.fid),) for f in mo.facts])
     for name in mo.dimension_names:
         dimension = mo.dimension(name)
         rep_names = sorted({
@@ -81,41 +214,72 @@ def export_star(mo: MultidimensionalObject) -> StarSchema:
         for category in dimension.categories():
             reps = dimension.representations_of(category.name)
             for value, time in category.items():
-                row = [_encode_sid(value.sid), category.name,
+                row = [encode_sid(value.sid), category.name,
                        value.label or ""]
                 for rep_name in rep_names:
                     rep = reps.get(rep_name)
                     row.append(rep.of(value) if rep else None)
-                for start, end in _time_rows(time):
-                    dim_rows.append(tuple(row) + (start, end))
+                for start, end, is_open in _time_rows(time, now):
+                    dim_rows.append(tuple(row) + (start, end, is_open))
         star.dimension_tables[name] = Relation(
             ("value_id", "category", "label", *rep_names,
-             "valid_from", "valid_to"),
+             "valid_from", "valid_to", "is_open"),
             dim_rows)
 
         hier_rows = []
         for child, parent, time, prob in dimension.order.edges():
-            for start, end in _time_rows(time):
+            for start, end, is_open in _time_rows(time, now):
                 hier_rows.append((
-                    _encode_sid(child.sid), _encode_sid(parent.sid),
-                    start, end, prob))
+                    encode_sid(child.sid), encode_sid(parent.sid),
+                    start, end, prob, is_open))
         star.hierarchy_tables[name] = Relation(
             ("child_id", "parent_id", "valid_from", "valid_to",
-             "probability"),
+             "probability", "is_open"),
             hier_rows)
 
         bridge_rows = []
         for fact, value, time, prob in mo.relation(name).annotated_pairs():
-            for start, end in _time_rows(time):
+            for start, end, is_open in _time_rows(time, now):
                 bridge_rows.append((
-                    _encode_sid(fact.fid),
-                    None if value.is_top else _encode_sid(value.sid),
-                    start, end, prob))
+                    encode_sid(fact.fid),
+                    None if value.is_top else encode_sid(value.sid),
+                    start, end, prob, is_open))
         star.bridge_tables[name] = Relation(
             ("fact_id", "value_id", "valid_from", "valid_to",
-             "probability"),
+             "probability", "is_open"),
             bridge_rows)
     return star
+
+
+def _interval(row: Dict[str, object],
+              valid_from: str = "valid_from",
+              valid_to: str = "valid_to") -> Tuple[int, int]:
+    """The stored interval, with flagged open ends restored to the
+    domain maximum (legacy exports lack the ``is_open`` column and
+    pass through unchanged)."""
+    end = TIME_MAX if row.get("is_open") else row[valid_to]
+    return (row[valid_from], end)  # type: ignore[return-value]
+
+
+def _value_decoder(source: Dimension) -> Dict[str, DimensionValue]:
+    """``encoded surrogate → value`` for a template dimension; legacy
+    ``repr`` keys are seeded first so current tagged encodings win on
+    (historically possible) collisions."""
+    mapping: Dict[str, DimensionValue] = {}
+    for value in source.values():
+        mapping[repr(value.sid)] = value
+    for value in source.values():
+        mapping[encode_sid(value.sid)] = value
+    return mapping
+
+
+def _fact_decoder(mo: MultidimensionalObject) -> Dict[str, Fact]:
+    mapping: Dict[str, Fact] = {}
+    for fact in mo.facts:
+        mapping[repr(fact.fid)] = fact
+    for fact in mo.facts:
+        mapping[encode_sid(fact.fid)] = fact
+    return mapping
 
 
 def import_star(star: StarSchema,
@@ -126,6 +290,10 @@ def import_star(star: StarSchema,
     export does not carry the category-type lattice); values, order,
     relations, and annotations come from the tables.  Representations
     are re-attached untimed from the dimension tables' current names.
+    Rows flagged ``is_open`` restore their open (``NOW``) upper bound,
+    so importing is independent of the ``now`` the export resolved
+    against.  Both the current tagged surrogate encoding and the legacy
+    ``repr`` encoding of older exports are recognized.
     """
     dimensions: Dict[str, Dimension] = {}
     decode: Dict[str, Dict[str, DimensionValue]] = {}
@@ -134,29 +302,22 @@ def import_star(star: StarSchema,
         dimension = Dimension(source.dtype)
         dimensions[name] = dimension
         table = star.dimension_tables[name]
-        label_index = table.index_of("label")
-        id_index = table.index_of("value_id")
-        cat_index = table.index_of("category")
-        from_index = table.index_of("valid_from")
-        to_index = table.index_of("valid_to")
-        mapping: Dict[str, DimensionValue] = {}
-        for row in table:
-            encoded = row[id_index]
+        mapping = _value_decoder(source)
+        for row in table.as_dicts():
+            encoded = row["value_id"]
             value = mapping.get(encoded)
             if value is None:
-                original = _find_value(source, encoded)
-                value = original if original is not None else \
-                    DimensionValue(sid=encoded, label=row[label_index])
+                value = DimensionValue(sid=_decode_or_raw(encoded),
+                                       label=row["label"])
                 mapping[encoded] = value
             dimension.add_value(
-                row[cat_index], value,
-                TimeSet.of([(row[from_index], row[to_index])]))
+                row["category"], value, TimeSet.of([_interval(row)]))
         decode[name] = mapping
         hier = star.hierarchy_tables[name]
         for row in hier.as_dicts():
             dimension.add_edge(
                 mapping[row["child_id"]], mapping[row["parent_id"]],
-                time=TimeSet.of([(row["valid_from"], row["valid_to"])]),
+                time=TimeSet.of([_interval(row)]),
                 prob=row["probability"])
 
     schema = FactSchema(star.fact_type,
@@ -164,12 +325,12 @@ def import_star(star: StarSchema,
                          for n in template.dimension_names])
     mo = MultidimensionalObject(schema=schema, dimensions=dimensions,
                                 kind=template.kind)
-    fact_map: Dict[str, Fact] = {}
+    fact_map = _fact_decoder(template)
     for (encoded,) in star.fact_table:
-        original = _find_fact(template, encoded)
-        fact = original if original is not None else \
-            Fact(fid=encoded, ftype=star.fact_type)
-        fact_map[encoded] = fact
+        fact = fact_map.get(encoded)
+        if fact is None:
+            fact = Fact(fid=_decode_or_raw(encoded), ftype=star.fact_type)
+            fact_map[encoded] = fact
         mo.add_fact(fact)
     for name in template.dimension_names:
         bridge = star.bridge_tables[name]
@@ -180,21 +341,6 @@ def import_star(star: StarSchema,
             else:
                 value = decode[name][row["value_id"]]
             mo.relate(fact, name, value,
-                      time=TimeSet.of([(row["valid_from"],
-                                        row["valid_to"])]),
+                      time=TimeSet.of([_interval(row)]),
                       prob=row["probability"])
     return mo
-
-
-def _find_value(dimension: Dimension, encoded: str):
-    for value in dimension.values():
-        if _encode_sid(value.sid) == encoded:
-            return value
-    return None
-
-
-def _find_fact(mo: MultidimensionalObject, encoded: str):
-    for fact in mo.facts:
-        if _encode_sid(fact.fid) == encoded:
-            return fact
-    return None

@@ -1,0 +1,272 @@
+"""Tests for the SQL pushdown backend: plan compilation, execution
+equivalence with the in-memory engine, fallback behavior, staleness,
+and the analyzer/observability integration."""
+
+import pytest
+
+from repro.algebra import characterized_by, value_in_category
+from repro.algebra.functions import (
+    Avg,
+    CountDim,
+    Max,
+    Median,
+    Min,
+    SetCount,
+    Sum,
+)
+from repro.analyze import analyze_pushdown
+from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.values import DimensionValue
+from repro.engine.optimizer import (
+    Base,
+    DifferenceNode,
+    JoinNode,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    evaluate,
+)
+from repro.engine.query import Query
+from repro.obs import metrics
+from repro.relational.backend import (
+    PushdownUnsupported,
+    SqlBackend,
+    SqlBackendUnavailable,
+    connect,
+    sql_backend_for,
+)
+
+
+@pytest.fixture()
+def mo():
+    return case_study_mo(temporal=False)
+
+
+@pytest.fixture()
+def backend(mo):
+    b = SqlBackend(mo)
+    yield b
+    b.close()
+
+
+def _diag_select(mo, sid=4):
+    return SelectNode(child=Base(mo),
+                      predicate=characterized_by(
+                          "Diagnosis", diagnosis_value(sid)))
+
+
+class TestFactSetPushdown:
+    def test_select(self, mo, backend):
+        plan = _diag_select(mo)
+        assert backend.execute_facts(plan) == evaluate(plan).facts
+
+    def test_select_top_target(self, mo, backend):
+        top = mo.dimension("Diagnosis").top_value
+        plan = SelectNode(child=Base(mo),
+                          predicate=characterized_by("Diagnosis", top))
+        assert backend.execute_facts(plan) == evaluate(plan).facts
+
+    def test_union_and_difference(self, mo, backend):
+        left = _diag_select(mo, 4)
+        right = _diag_select(mo, 5)
+        for node in (UnionNode(left=left, right=right),
+                     DifferenceNode(left=left, right=right)):
+            assert backend.execute_facts(node) == evaluate(node).facts
+
+    def test_project_keeps_fact_set(self, mo, backend):
+        plan = ProjectNode(child=_diag_select(mo),
+                           dimensions=("Diagnosis", "Age"))
+        assert backend.execute_facts(plan) == evaluate(plan).facts
+
+    def test_select_after_rename(self, mo, backend):
+        renamed = RenameNode(child=Base(mo),
+                             dimension_map=(("Diagnosis", "Dx"),),
+                             new_fact_type=None)
+        plan = SelectNode(child=renamed,
+                          predicate=characterized_by(
+                              "Dx", diagnosis_value(4)))
+        assert backend.execute_facts(plan) == evaluate(plan).facts
+
+    def test_base_only(self, mo, backend):
+        assert backend.execute_facts(Base(mo)) == mo.facts
+
+
+class TestQueryEquivalence:
+    FUNCTIONS = [SetCount(), CountDim("Age"), Sum("Age"), Avg("Age"),
+                 Min("Age"), Max("Age")]
+
+    @pytest.mark.parametrize("function", FUNCTIONS,
+                             ids=lambda f: f.name)
+    def test_case_study_rollup(self, mo, function):
+        q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
+        assert q.execute(function, check=False) == \
+            q.execute(function, check=False, backend="sql")
+
+    def test_diced_rollup(self, mo):
+        q = (Query(mo).rollup("Diagnosis", "Diagnosis Group")
+             .dice("Diagnosis", diagnosis_value(4)))
+        assert q.execute() == q.execute(backend="sql")
+
+    def test_two_dimensional_grouping(self, mo):
+        q = (Query(mo).rollup("Diagnosis", "Diagnosis Group")
+             .rollup("Age", "Ten-year group"))
+        assert q.execute() == q.execute(backend="sql")
+
+    def test_no_grouping(self, mo):
+        q = Query(mo)
+        assert q.execute() == q.execute(backend="sql")
+
+    def test_clinical_workload(self, small_clinical):
+        mo = small_clinical.mo
+        for dim, category in [("Diagnosis", "Diagnosis Family"),
+                              ("Diagnosis", "Diagnosis Group"),
+                              ("Residence", "Region")]:
+            q = Query(mo).rollup(dim, category)
+            assert q.execute(check=False) == \
+                q.execute(check=False, backend="sql"), (dim, category)
+
+    def test_unknown_backend_rejected(self, mo):
+        with pytest.raises(ValueError):
+            Query(mo).execute(backend="oracle")
+        with pytest.raises(ValueError):
+            Query(mo).explain(backend="oracle")
+
+
+class TestFallback:
+    def _fallback_code(self, plan):
+        report = analyze_pushdown(plan)
+        assert len(report) == 1
+        return report.codes()[0]
+
+    def test_median_falls_back_with_md052(self, mo):
+        q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
+        plan = q.to_plan(Median("Age"))
+        assert self._fallback_code(plan) == "MD052"
+        assert q.execute(Median("Age"), check=False) == \
+            q.execute(Median("Age"), check=False, backend="sql")
+
+    def test_strict_types_fall_back_with_md052(self, mo):
+        plan = Query(mo).rollup("Diagnosis", "Diagnosis Family") \
+            .to_plan(Sum("Age"), strict_types=True)
+        assert self._fallback_code(plan) == "MD052"
+
+    def test_top_grouping_falls_back_with_md052(self, mo):
+        plan = Query(mo).rollup("Diagnosis", "⊤Diagnosis").to_plan()
+        assert self._fallback_code(plan) == "MD052"
+
+    def test_temporal_mo_falls_back_with_md050(self):
+        tm = case_study_mo(temporal=True)
+        q = Query(tm).rollup("Diagnosis", "Diagnosis Family")
+        assert self._fallback_code(q.to_plan()) == "MD050"
+        assert q.execute(check=False) == \
+            q.execute(check=False, backend="sql")
+
+    def test_join_falls_back_with_md050(self, mo, backend):
+        renamed = RenameNode(
+            child=Base(mo),
+            dimension_map=tuple((d, f"{d}_r") for d in mo.dimension_names),
+            new_fact_type=None)
+        join = JoinNode(left=Base(mo), right=renamed)
+        with pytest.raises(PushdownUnsupported) as exc:
+            backend.compile(join)
+        assert exc.value.code == "MD050"
+
+    def test_opaque_predicate_falls_back_with_md051(self, mo, backend):
+        plan = SelectNode(
+            child=Base(mo),
+            predicate=value_in_category("Age", "Age", lambda v: True))
+        with pytest.raises(PushdownUnsupported) as exc:
+            backend.compile(plan)
+        assert exc.value.code == "MD051"
+
+    def test_fallback_increments_counter(self, mo):
+        counter = metrics.counter("sql.pushdown.fallback")
+        before = counter.value
+        q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
+        q.execute(Median("Age"), check=False, backend="sql")
+        assert counter.value == before + 1
+
+
+class TestExplain:
+    def test_sql_path_shows_emitted_sql(self, mo):
+        report = (Query(mo).rollup("Diagnosis", "Diagnosis Family")
+                  .dice("Diagnosis", diagnosis_value(4))
+                  .explain(backend="sql"))
+        assert report.path == "sql"
+        assert report.rows == (Query(mo)
+                               .rollup("Diagnosis", "Diagnosis Family")
+                               .dice("Diagnosis", diagnosis_value(4))
+                               .execute())
+        details = "\n".join(step.detail for step in report.steps)
+        assert "SELECT fact_id FROM fact" in details
+        assert "closure_" in details
+        assert report.steps[-1].name == "sql-execute"
+
+    def test_fallback_path_names_the_reason(self, mo):
+        report = (Query(mo).rollup("Diagnosis", "Diagnosis Family")
+                  .explain(Median("Age"), backend="sql"))
+        assert report.path == "alpha"
+        assert report.steps[0].name == "sql-fallback"
+        assert "MD052" in report.steps[0].detail
+
+    def test_explain_sql_renders_per_node(self, mo, backend):
+        text = backend.explain_sql(
+            Query(mo).rollup("Diagnosis", "Diagnosis Family").to_plan())
+        assert "-- Base(Patient)" in text
+        assert "-- α[" in text
+
+
+class TestStaleness:
+    def test_mutation_triggers_reload(self, mo):
+        backend = sql_backend_for(mo)
+        q = Query(mo).rollup("Diagnosis", "Low-level Diagnosis")
+        before = q.execute(check=False, backend="sql")
+        assert not backend.stale
+
+        loads = metrics.counter("sql.backend.loads")
+        loaded_count = loads.value
+        new = DimensionValue(sid=12345)
+        mo.dimension("Diagnosis").add_value("Low-level Diagnosis", new)
+        mo.relate(patient_fact(1), "Diagnosis", new)
+        assert backend.stale
+
+        after_sql = q.execute(check=False, backend="sql")
+        after_mem = q.execute(check=False)
+        assert after_sql == after_mem
+        assert after_sql != before
+        assert loads.value == loaded_count + 1
+
+    def test_backend_cache_is_per_mo(self, mo):
+        other = case_study_mo(temporal=False)
+        assert sql_backend_for(mo) is sql_backend_for(mo)
+        assert sql_backend_for(mo) is not sql_backend_for(other)
+
+
+class TestEngines:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            connect("oracle")
+
+    def test_duckdb_gated_behind_same_interface(self, mo):
+        try:
+            import duckdb  # noqa: F401
+        except ImportError:
+            with pytest.raises(SqlBackendUnavailable):
+                connect("duckdb")
+            return
+        backend = SqlBackend(mo, engine="duckdb")
+        q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
+        assert backend.execute_rows(q.to_plan()) == q.execute()
+        backend.close()
+
+
+class TestObservability:
+    def test_compile_counters_move(self, mo):
+        compiled = metrics.counter("sql.pushdown.compiled")
+        nodes = metrics.counter("sql.pushdown.node_compiled")
+        c0, n0 = compiled.value, nodes.value
+        Query(mo).rollup("Diagnosis", "Diagnosis Family") \
+            .execute(backend="sql")
+        assert compiled.value == c0 + 1
+        assert nodes.value >= n0 + 2  # Base + α at least

@@ -3,8 +3,17 @@
 import pytest
 
 from repro.casestudy import case_study_mo, diagnosis_value, patient_fact
+from repro.core.aggtypes import AggregationType
+from repro.core.category import CategoryType
+from repro.core.dimension import Dimension, DimensionType
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
 from repro.relational import export_star, import_star
-from repro.temporal.chronon import day
+from repro.relational.relation import Relation
+from repro.relational.star import decode_sid, encode_sid
+from repro.temporal.chronon import TIME_MAX, day
+from repro.temporal.timeset import TimeSet
 
 
 @pytest.fixture(scope="module")
@@ -18,25 +27,42 @@ class TestExport:
         assert "fact" in names
         for dim in valid_time_mo.dimension_names:
             assert f"dim_{dim}" in names
-            assert f"hier_{dim}" in names
-            assert f"bridge_{dim}" in names
+            assert (f"hier_{dim}" in names) == \
+                (len(star.hierarchy_tables[dim]) > 0)
+            assert (f"bridge_{dim}" in names) == \
+                (len(star.bridge_tables[dim]) > 0)
+
+    def test_unpopulated_tables_not_listed(self, star):
+        # Name and SSN are flat dimensions: no containment edges, so
+        # no phantom empty hier_ tables for a loader to create.
+        names = star.table_names()
+        assert len(star.hierarchy_tables["Name"]) == 0
+        assert "hier_Name" not in names
+        assert "hier_SSN" not in names
+
+    def test_tables_accessor_matches_names(self, star):
+        tables = star.tables()
+        assert sorted(tables) == sorted(star.table_names())
+        assert tables["fact"] is star.fact_table
+        assert tables["dim_Diagnosis"] is star.dimension_tables["Diagnosis"]
 
     def test_fact_table(self, star):
-        assert {row[0] for row in star.fact_table} == {"1", "2"}
+        assert {row[0] for row in star.fact_table} == {"i:1", "i:2"}
 
     def test_bridge_is_many_to_many(self, star):
         bridge = star.bridge_tables["Diagnosis"]
         fact_index = bridge.index_of("fact_id")
-        patient2_rows = [r for r in bridge if r[fact_index] == "2"]
+        patient2_rows = [r for r in bridge if r[fact_index] == "i:2"]
         assert len(patient2_rows) == 4  # diagnoses 3, 5, 8, 9
 
     def test_bridge_carries_validity(self, star):
         bridge = star.bridge_tables["Diagnosis"]
         rows = bridge.as_dicts()
         row = next(r for r in rows
-                   if r["fact_id"] == "2" and r["value_id"] == "3")
+                   if r["fact_id"] == "i:2" and r["value_id"] == "i:3")
         assert row["valid_from"] == day(1975, 3, 23)
         assert row["valid_to"] == day(1975, 12, 24)
+        assert row["is_open"] == 0
 
     def test_dimension_table_has_representations(self, star):
         table = star.dimension_tables["Diagnosis"]
@@ -48,8 +74,8 @@ class TestExport:
     def test_hierarchy_table_rows(self, star):
         hier = star.hierarchy_tables["Diagnosis"]
         pairs = {(r[0], r[1]) for r in hier}
-        assert ("'5'", "'4'") not in pairs  # sids encode via repr of int
-        assert ("5", "4") in pairs
+        assert ("s:5", "s:4") not in pairs  # int sids carry the i: tag
+        assert ("i:5", "i:4") in pairs
 
     def test_probability_column_present(self, star):
         assert "probability" in star.bridge_tables["Diagnosis"].attributes
@@ -101,3 +127,160 @@ class TestRoundTrip:
         back = import_star(export_star(mo), mo)
         values = back.relation("Diagnosis").values_of(patient_fact(1))
         assert back.dimension("Diagnosis").top_value in values
+
+
+def _tiny_mo(fids):
+    """One flat dimension, one value, and a fact per given fid."""
+    ctype = CategoryType("Leaf", AggregationType.SUM, is_bottom=True)
+    dimension = Dimension(DimensionType("D", [ctype], []))
+    value = DimensionValue(sid=1)
+    dimension.add_value("Leaf", value)
+    schema = FactSchema("T", [dimension.dtype])
+    mo = MultidimensionalObject(schema=schema,
+                                dimensions={"D": dimension},
+                                kind=TimeKind.SNAPSHOT)
+    for fid in fids:
+        fact = Fact(fid=fid, ftype="T")
+        mo.add_fact(fact)
+        mo.relate(fact, "D", value)
+    return mo
+
+
+class TestEncoding:
+    """Regression for the repr-based surrogate collision: the string
+    ``"(1, 2)"`` and the tuple ``(1, 2)`` used to share a key."""
+
+    def test_adversarial_fids_stay_distinct(self):
+        mo = _tiny_mo(["(1, 2)", (1, 2)])
+        star = export_star(mo)
+        fact_ids = {row[0] for row in star.fact_table}
+        assert len(fact_ids) == 2  # repr() collapsed these to one key
+        back = import_star(star, mo)
+        assert back.facts == mo.facts
+        assert {f.fid for f in back.facts} == {"(1, 2)", (1, 2)}
+
+    @pytest.mark.parametrize("sid", [
+        None, True, False, 0, 1, -7, 2.5, "", "E10", "(1, 2)", "i:1",
+        "a,b", "a\\,b", (), (1, 2), ("a,b", ("nested", 3)),
+        frozenset({1, 2}), (frozenset({"x"}), None),
+    ])
+    def test_encode_decode_roundtrip(self, sid):
+        assert decode_sid(encode_sid(sid)) == sid
+
+    def test_adversarial_pairs_encode_apart(self):
+        adversaries = [
+            ("(1, 2)", (1, 2)),
+            ("1", 1),
+            (1, True),
+            (1, 1.0),
+            ("None", None),
+            (("a,b",), ("a", "b")),
+            ((1, 2), frozenset({1, 2})),
+        ]
+        for a, b in adversaries:
+            assert encode_sid(a) != encode_sid(b), (a, b)
+
+    def test_undecodable_encodings_raise(self):
+        with pytest.raises(ValueError):
+            decode_sid("(1, 2)")  # legacy repr key, not a tagged encoding
+        with pytest.raises(ValueError):
+            decode_sid(encode_sid(day))  # r: catch-all is one-way
+
+    def test_legacy_repr_export_still_imports(self, snapshot_mo):
+        star = export_star(snapshot_mo)
+        legacy = _legacy_star(star)
+        back = import_star(legacy, snapshot_mo)
+        assert back.facts == snapshot_mo.facts
+        for name in snapshot_mo.dimension_names:
+            original = {(f.fid, v.sid)
+                        for f, v in snapshot_mo.relation(name).pairs()}
+            restored = {(f.fid, v.sid)
+                        for f, v in back.relation(name).pairs()}
+            assert original == restored, name
+
+
+def _legacy_star(star):
+    """Rewrite a current export the way the old exporter produced it:
+    ``repr``-encoded surrogates and no ``is_open`` column."""
+    def legacy_key(encoded):
+        return None if encoded is None else repr(decode_sid(encoded))
+
+    def strip(relation, key_columns):
+        attributes = tuple(a for a in relation.attributes if a != "is_open")
+        keep = [i for i, a in enumerate(relation.attributes)
+                if a != "is_open"]
+        keyed = [relation.index_of(c) for c in key_columns]
+        rows = []
+        for row in relation:
+            row = tuple(legacy_key(cell) if i in keyed else cell
+                        for i, cell in enumerate(row))
+            rows.append(tuple(row[i] for i in keep))
+        return Relation(attributes, rows)
+
+    from repro.relational.star import StarSchema
+    legacy = StarSchema(star.fact_type)
+    legacy.fact_table = strip(star.fact_table, ["fact_id"])
+    for name, table in star.dimension_tables.items():
+        legacy.dimension_tables[name] = strip(table, ["value_id"])
+    for name, table in star.hierarchy_tables.items():
+        legacy.hierarchy_tables[name] = strip(
+            table, ["child_id", "parent_id"])
+    for name, table in star.bridge_tables.items():
+        legacy.bridge_tables[name] = strip(
+            table, ["fact_id", "value_id"])
+    return legacy
+
+
+class TestNowRoundTrip:
+    """Regression for NOW-bound drift: exports resolve open ends
+    against an explicit ``now`` recorded on the schema, and imports
+    restore the open bound — so round-trips no longer depend on the
+    day they ran."""
+
+    def _open_ended_mo(self):
+        mo = _tiny_mo([1])
+        (fact,) = mo.facts
+        value = DimensionValue(sid=2)
+        mo.dimension("D").add_value("Leaf", value)
+        mo.relate(fact, "D", value,
+                  time=TimeSet.of([(day(1980, 1, 1), TIME_MAX)]))
+        return mo
+
+    def test_open_end_resolves_to_now_and_is_flagged(self):
+        mo = self._open_ended_mo()
+        star = export_star(mo, now=day(1999, 6, 1))
+        assert star.now == day(1999, 6, 1)
+        row = next(r for r in star.bridge_tables["D"].as_dicts()
+                   if r["value_id"] == "i:2")
+        assert row["valid_to"] == day(1999, 6, 1)
+        assert row["is_open"] == 1
+
+    def test_import_restores_open_end(self):
+        mo = self._open_ended_mo()
+        star = export_star(mo, now=day(1999, 6, 1))
+        back = import_star(star, mo)
+        (fact,) = back.facts
+        value = DimensionValue(sid=2)
+        restored = back.relation("D").pair_time(fact, value)
+        assert restored == TimeSet.of([(day(1980, 1, 1), TIME_MAX)])
+
+    def test_reexport_is_byte_identical_across_days(self):
+        # The old exporter resolved NOW to the wall-clock day, so the
+        # same MO exported "tomorrow" produced different rows.  Now the
+        # recorded ``now`` pins the export.
+        mo = self._open_ended_mo()
+        today = export_star(mo, now=day(1999, 6, 1))
+        tomorrow = export_star(import_star(today, mo), now=today.now)
+        assert today.table_names() == tomorrow.table_names()
+        for name, table in today.tables().items():
+            again = tomorrow.tables()[name]
+            assert table.attributes == again.attributes, name
+            assert set(table) == set(again), name
+
+    def test_default_now_is_recorded_once(self):
+        mo = self._open_ended_mo()
+        star = export_star(mo)
+        assert isinstance(star.now, int)
+        again = export_star(import_star(star, mo), now=star.now)
+        assert set(again.bridge_tables["D"]) == \
+            set(star.bridge_tables["D"])

@@ -28,7 +28,14 @@ root (see ``docs/PERFORMANCE.md`` for how to read it):
 * ``mutation_maintenance`` — a fixed interleaved sequence of fact
   relinks and group-count queries with delta maintenance disabled
   (every query after a mutation pays a full closure rebuild) versus
-  enabled (the mutation applies as a closure delta).
+  enabled (the mutation applies as a closure delta);
+* ``sql_pushdown`` — the two-dimensional roll-up query answered by the
+  SQL backend (star export loaded into sqlite once, then queried warm)
+  versus the in-memory engine; ``load_seconds`` records the one-time
+  export+load cost, ``relative`` is sql/memory ops (no ``speedup``
+  key — the SQL backend trades steady-state throughput for pushdown,
+  it is not expected to win in-process).  The cell refuses to report
+  if the two paths' rows differ or if any query fell back.
 
 Each cell reports steady-state ops/sec (the index is built once, then
 reused — the intended usage pattern); ``build`` records the one-time
@@ -57,7 +64,9 @@ from repro.algebra.aggregate import _form_groups, _form_groups_interned
 from repro.casestudy.icd import IcdShape
 from repro.core.helpers import make_result_spec
 from repro.engine.cube import CubeBuilder
+from repro.engine.query import Query
 from repro.obs import metrics
+from repro.relational.backend import sql_backend_for
 from repro.workloads import ClinicalConfig, generate_clinical
 
 SCALES = (100, 300, 1000)
@@ -331,6 +340,38 @@ def mutation_maintenance_op(mo, workload, delta_enabled: bool):
     return op
 
 
+def _pushdown_query(mo):
+    q = Query(mo)
+    for name, category in sorted(AGG_GROUPING.items()):
+        q = q.rollup(name, category)
+    return q
+
+
+def sql_pushdown_cell(mo, min_seconds: float) -> dict:
+    """The ``sql_pushdown`` cell: the standard two-dimensional roll-up
+    answered via the sqlite star (warm, loaded once) versus the
+    in-memory engine, with the load cost and an agreement gate."""
+    q = _pushdown_query(mo)
+    backend = sql_backend_for(mo)
+    t0 = time.perf_counter()
+    backend.ensure_loaded()
+    load_seconds = time.perf_counter() - t0
+    fallback = metrics.counter("sql.pushdown.fallback")
+    before = fallback.value
+    sql_rows = q.execute(check=False, backend="sql")
+    memory_rows = q.execute(check=False)
+    assert sql_rows == memory_rows, "sql backend disagrees with engine"
+    assert fallback.value == before, "sql backend fell back on clinical"
+    sql = timed(lambda: q.execute(check=False, backend="sql"), min_seconds)
+    memory = timed(lambda: q.execute(check=False), min_seconds)
+    return {
+        "load_seconds": round(load_seconds, 6),
+        "sql_ops_per_sec": round(sql, 3),
+        "memory_ops_per_sec": round(memory, 3),
+        "relative": round(sql / memory, 2),
+    }
+
+
 # -- the sweep ---------------------------------------------------------------
 
 
@@ -442,6 +483,7 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
         timed(grouping_core_op(mo, "object"), min_seconds), 3)
     core["kernel_vs_object_speedup"] = round(
         core["kernel_ops_per_sec"] / core["object_ops_per_sec"], 2)
+    cell["sql_pushdown"] = sql_pushdown_cell(mo, min_seconds)
     cell["metrics"] = _metrics_snapshot(mo, generated)
     return cell
 
@@ -458,6 +500,9 @@ def _metrics_snapshot(mo, generated) -> dict:
     metrics.reset()
     indexed_group_counts(mo)
     run_aggregate(mo, use_index=True)
+    # one pushed-down query (backend already warm from the timing pass),
+    # so the snapshot shows sql.pushdown.compiled > 0 with zero fallbacks
+    _pushdown_query(mo).execute(check=False, backend="sql")
     indexed_cube_sizes(mo)
     CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
                 shared_scan=True).materialize_all()
