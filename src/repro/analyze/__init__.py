@@ -20,7 +20,10 @@ properties, and an algebra plan, the analyzer emits structured
   recorded valid-time span, probability mass above 1;
 * **SQL pushdown coverage** (``MD05x``) — :func:`analyze_pushdown`
   dry-runs the relational backend's compiler and reports exactly why a
-  plan would fall back to the in-memory path.
+  plan would fall back to the in-memory path;
+* **result-cache coverage** (``MD06x``) — :func:`analyze_cacheability`
+  dry-runs the canonical plan fingerprint and reports exactly why a
+  plan would bypass the versioned result cache.
 
 Three surfaces: the :func:`analyze_schema` / :func:`analyze_plan` /
 :func:`analyze_timeslice` APIs here, ``Query.check()`` on the fluent
@@ -34,6 +37,7 @@ from repro.analyze.diagnostics import (
     Diagnostic,
     Severity,
 )
+from repro.analyze.cacheability import analyze_cacheability
 from repro.analyze.plan import PlanTypes, analyze_plan, typecheck_plan
 from repro.analyze.pushdown import analyze_pushdown
 from repro.analyze.schema import (
@@ -51,6 +55,7 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "PlanTypes",
+    "analyze_cacheability",
     "analyze_plan",
     "analyze_pushdown",
     "typecheck_plan",

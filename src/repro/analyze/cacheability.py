@@ -1,0 +1,40 @@
+"""Static result-cache analysis: will the versioned result cache key a
+plan, and if not, why not?
+
+:func:`analyze_cacheability` dry-runs the *actual* canonicalizer
+(:func:`repro.engine.plan_fingerprint.fingerprint`) against the plan —
+nothing is cached — and reports any
+:class:`~repro.engine.plan_fingerprint.Unfingerprintable` as an
+``MD060`` diagnostic.  Because the analyzer and the query layer share
+one canonicalizer, the prediction cannot drift from the behaviour: a
+clean report means ``Query.execute()`` will consult the cache; a
+finding names the construct the query layer will count as
+``query.cache.bypass``.
+
+``MD060`` is :attr:`~repro.analyze.Severity.INFO` — cache coverage is
+a performance observation, never a correctness issue (the bypass
+recomputes, byte-identically).
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import AnalysisReport
+from repro.engine.optimizer import Plan, node_label
+from repro.engine.plan_fingerprint import Unfingerprintable, fingerprint
+
+__all__ = ["analyze_cacheability"]
+
+
+def analyze_cacheability(plan: Plan) -> AnalysisReport:
+    """Report whether the result cache can fingerprint ``plan`` (empty
+    report = cacheable; one ``MD060`` INFO finding otherwise)."""
+    report = AnalysisReport(subject=node_label(plan))
+    try:
+        fingerprint(plan)
+    except Unfingerprintable as exc:
+        report.emit("MD060", exc.reason, location=exc.location,
+                    hint="executions will recompute "
+                         "(query.cache.bypass); use characterized_by/"
+                         "conjunction predicates and builtin "
+                         "aggregation functions to cache")
+    return report

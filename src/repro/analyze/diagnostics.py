@@ -19,7 +19,10 @@ The code space is partitioned by concern:
   path the engine will take for a node, never a correctness issue);
 * ``MD05x`` — SQL pushdown coverage (whether the relational backend
   can compile a node, and if not, why it will fall back — never a
-  correctness issue: the fallback answers in memory).
+  correctness issue: the fallback answers in memory);
+* ``MD06x`` — result-cache coverage (whether the canonical plan
+  fingerprint can key a plan, and if not, why every execution will
+  recompute — never a correctness issue: the bypass answers directly).
 
 ``docs/ANALYSIS.md`` is the narrative catalogue; :data:`CATALOG` below
 is the machine-readable one and the AST lint cross-checks the two.
@@ -146,6 +149,11 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
               "scalar, strict-type mode, non-numeric measure "
               "surrogates, inapplicable argument types, or ⊤-category "
               "grouping): the sql backend falls back"),
+    "MD060": (Severity.INFO,
+              "plan bypasses the result cache: a predicate or "
+              "aggregation function is opaque to the canonical "
+              "fingerprint (query.cache.bypass will count it); every "
+              "execution recomputes"),
 }
 
 

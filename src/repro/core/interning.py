@@ -61,6 +61,15 @@ class InternTable:
         lookup."""
         return list(map(self._ids.get, objects))
 
+    def values_of(self, ids: Iterable[int]) -> List[Hashable]:
+        """Bulk :meth:`object_of`: the objects behind ``ids``, in input
+        order (symmetric to :meth:`ids_of`).  One bound-method dispatch
+        for the whole batch; the result-cache decode path uses this so
+        rebuilding a row template does no per-id attribute lookup.
+        Unlike :meth:`objects_of` the result is a list, preserving
+        order and multiplicity."""
+        return list(map(self._objects.__getitem__, ids))
+
     def object_of(self, obj_id: int) -> Hashable:
         """The object an id stands for (ids come from :meth:`intern`)."""
         return self._objects[obj_id]

@@ -29,7 +29,18 @@ from repro.engine.optimizer import (
     explain_analyze,
     optimize,
 )
+from repro.engine.plan_fingerprint import (
+    PlanFingerprint,
+    Unfingerprintable,
+    fingerprint,
+    mo_token,
+)
 from repro.engine.preagg import MaterializedAggregate, PreAggregateStore
+from repro.engine.result_cache import (
+    DEFAULT_CACHE,
+    ResultCache,
+    version_vector,
+)
 from repro.engine.recommend import (
     MaterializationRecommendation,
     apply_recommendations,
@@ -68,6 +79,13 @@ __all__ = [
     "series_table",
     "MaterializedAggregate",
     "PreAggregateStore",
+    "PlanFingerprint",
+    "Unfingerprintable",
+    "fingerprint",
+    "mo_token",
+    "DEFAULT_CACHE",
+    "ResultCache",
+    "version_vector",
     "MaterializationRecommendation",
     "apply_recommendations",
     "recommend_materializations",

@@ -1,0 +1,284 @@
+"""Canonical fingerprints of optimizer plans (the result-cache key).
+
+Two plans that denote the same result should hit the same cache entry
+(the algebraic-equivalence treatment of Romero et al. and the OLAP
+rewrites of Ravat/Teste/Zurfluh argue exactly this for σ/π/ρ-commuted
+plans), so the fingerprint is computed over a *canonical form* of the
+plan, not its surface syntax:
+
+* **σ conjuncts are flattened, deduplicated, and sorted** — the
+  evaluator tests a conjunction with ``all()`` over one shared witness
+  tuple, so operand order and repeats cannot change the result;
+* **chains of σ nodes are sorted** — selection restricts every
+  fact-dimension relation to the surviving facts *with their full
+  value sets*, so adjacent σs commute (they are **not** fused into one
+  conjunction: a single conjunction re-uses one witness across its
+  conjuncts, which chained σs re-quantify per node — a real semantic
+  difference for several dices on one dimension);
+* **ρ chains are composed** into a single rename map with identity
+  entries dropped (and the node elided entirely when nothing remains);
+* **∪ operands are flattened and sorted** — union is associative and
+  commutative; ``\\`` and ``⋈`` keep operand order;
+* **values are serialized via** :func:`~repro.relational.star.encode_sid`
+  — the collision-free tagged encoding (``repr`` was not injective
+  across surrogate types: ``"(1, 2)"`` vs ``(1, 2)``).
+
+Every atom of the canonical text is escaped, so structurally different
+plans cannot collide by concatenation; the digest is SHA-256 over the
+canonical text.  Base leaves embed a per-MO token from a monotonic
+counter held weakly — tokens are never reused, so a fingerprint can
+never outlive its MO into a colliding successor.
+
+Plans whose predicates or functions are *opaque* (an arbitrary Python
+callable the canonicalizer cannot inspect) raise
+:class:`Unfingerprintable`; the query layer counts these as
+``query.cache.bypass`` and :func:`repro.analyze.analyze_cacheability`
+reports them as ``MD060``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.algebra.functions import AggregationFunction
+from repro.algebra.predicates import Predicate
+from repro.core.mo import MultidimensionalObject
+from repro.engine.optimizer import (
+    AggregateNode,
+    Base,
+    DifferenceNode,
+    JoinNode,
+    Plan,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+)
+__all__ = ["PlanFingerprint", "Unfingerprintable", "fingerprint",
+           "mo_token"]
+
+
+class Unfingerprintable(Exception):
+    """The plan contains a construct the canonicalizer cannot serialize
+    faithfully (an opaque predicate, a user-defined aggregation
+    function): caching it would risk keying distinct computations
+    identically, so the query layer bypasses the cache instead."""
+
+    def __init__(self, reason: str, location: str) -> None:
+        super().__init__(f"{reason} at {location}")
+        self.reason = reason
+        self.location = location
+
+
+_TOKENS: "weakref.WeakKeyDictionary[MultidimensionalObject, int]" = \
+    weakref.WeakKeyDictionary()
+_NEXT_TOKEN = itertools.count()
+_TOKEN_LOCK = threading.Lock()
+
+
+def mo_token(mo: MultidimensionalObject) -> int:
+    """A process-unique integer identifying ``mo`` for fingerprinting.
+
+    Unlike ``id(mo)``, tokens come from a monotonic counter and are
+    never reused: a fingerprint computed against a garbage-collected MO
+    can never collide with a later MO that happens to occupy the same
+    address."""
+    token = _TOKENS.get(mo)
+    if token is None:
+        with _TOKEN_LOCK:
+            token = _TOKENS.get(mo)
+            if token is None:
+                token = next(_NEXT_TOKEN)
+                _TOKENS[mo] = token
+    return token
+
+
+def _atom(text: str) -> str:
+    """Escape an atom so list structure cannot be forged by content."""
+    return (text.replace("\\", "\\\\").replace("(", "\\(")
+            .replace(")", "\\)").replace(" ", "\\_"))
+
+
+def _sexp(*parts: str) -> str:
+    return "(" + " ".join(parts) + ")"
+
+
+def _value_atom(value) -> str:
+    """A DimensionValue by its equality fields (sid, is_top) — label is
+    a debugging aid excluded from equality, so it is excluded here."""
+    # imported lazily: repro.relational's package init imports the SQL
+    # backend, which imports repro.engine.query, which imports this
+    # module — a top-level import here would close that cycle
+    from repro.relational.star import encode_sid
+    return _atom(f"{int(value.is_top)}|{encode_sid(value.sid)}")
+
+
+def _canonical_predicate(predicate: Predicate, location: str) -> List[str]:
+    """The predicate as a sorted, deduplicated list of canonical
+    conjunct strings (a conjunction is its flattened operand list; a
+    simple predicate is a one-element list)."""
+    if predicate.kind == "characterized_by":
+        name, value = predicate.payload
+        return [_sexp("cb", _atom(name), _value_atom(value))]
+    if predicate.kind == "conjunction":
+        conjuncts: List[str] = []
+        for operand in predicate.payload:
+            conjuncts.extend(_canonical_predicate(operand, location))
+        return sorted(set(conjuncts))
+    raise Unfingerprintable(
+        f"predicate {predicate.description!r} is opaque "
+        f"(kind={predicate.kind!r})", location)
+
+
+def _canonical_function(function: AggregationFunction,
+                        location: str) -> str:
+    """Builtin functions serialize by type and argument dimensions;
+    anything user-defined is opaque (its behaviour is a Python callable
+    the canonicalizer cannot compare)."""
+    if type(function).__module__ != "repro.algebra.functions":
+        raise Unfingerprintable(
+            f"user-defined aggregation function {function.name!r}",
+            location)
+    args = tuple(getattr(function, "args", ()))
+    return _sexp("fn", _atom(type(function).__name__),
+                 *[_atom(a) for a in args])
+
+
+def _compose_renames(nodes: List[RenameNode]) -> Tuple[str, ...]:
+    """Compose a ρ chain (innermost first) into one sorted rename list
+    plus the winning fact type; identity entries are dropped."""
+    composed: Dict[str, str] = {}
+    fact_type = None
+    for node in nodes:  # innermost first
+        mapping = dict(node.dimension_map)
+        renamed = {}
+        for old, mid in composed.items():
+            renamed[old] = mapping.get(mid, mid)
+        for old, new in mapping.items():
+            if old not in composed.values():
+                renamed.setdefault(old, new)
+        composed = renamed
+        if node.new_fact_type is not None:
+            fact_type = node.new_fact_type
+    entries = tuple(sorted(
+        f"{old}>{new}" for old, new in composed.items() if old != new))
+    parts = []
+    if fact_type is not None:
+        parts.append(_sexp("ftype", _atom(fact_type)))
+    parts.extend(_atom(e) for e in entries)
+    return tuple(parts)
+
+
+class _Canonicalizer:
+    """One fingerprint computation: serializes the plan bottom-up and
+    collects the Base MOs (the version-vector subjects)."""
+
+    def __init__(self) -> None:
+        self.mos: Dict[int, MultidimensionalObject] = {}
+
+    def serialize(self, plan: Plan, location: str = "plan") -> str:
+        if isinstance(plan, Base):
+            token = mo_token(plan.mo)
+            self.mos[token] = plan.mo
+            return _sexp("base", str(token))
+        if isinstance(plan, SelectNode):
+            # collect the σ chain; adjacent σs commute, so sort their
+            # canonical predicate strings (each node keeps its own
+            # conjunct list — no cross-node fusion)
+            chain: List[str] = []
+            node: Plan = plan
+            while isinstance(node, SelectNode):
+                conjuncts = _canonical_predicate(
+                    node.predicate, f"{location}: σ")
+                chain.append(_sexp("pred", *conjuncts))
+                node = node.child
+            child = self.serialize(node, location + ".child")
+            return _sexp("select", *sorted(set(chain)), child)
+        if isinstance(plan, ProjectNode):
+            child = self.serialize(plan.child, location + ".child")
+            return _sexp("project",
+                         *[_atom(d) for d in plan.dimensions], child)
+        if isinstance(plan, RenameNode):
+            nodes: List[RenameNode] = []
+            node = plan
+            while isinstance(node, RenameNode):
+                nodes.append(node)
+                node = node.child
+            nodes.reverse()  # innermost first
+            child = self.serialize(node, location + ".child")
+            parts = _compose_renames(nodes)
+            if not parts:
+                return child  # the whole chain is an identity
+            return _sexp("rename", *parts, child)
+        if isinstance(plan, UnionNode):
+            operands: List[str] = []
+            stack: List[Plan] = [plan]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, UnionNode):
+                    stack.append(node.left)
+                    stack.append(node.right)
+                else:
+                    operands.append(
+                        self.serialize(node, location + ".operand"))
+            return _sexp("union", *sorted(operands))
+        if isinstance(plan, DifferenceNode):
+            return _sexp(
+                "difference",
+                self.serialize(plan.left, location + ".left"),
+                self.serialize(plan.right, location + ".right"))
+        if isinstance(plan, JoinNode):
+            return _sexp(
+                "join", _atom(plan.predicate.value),
+                self.serialize(plan.left, location + ".left"),
+                self.serialize(plan.right, location + ".right"))
+        if isinstance(plan, AggregateNode):
+            grouping = [_atom(f"{dim}@{cat}")
+                        for dim, cat in sorted(plan.grouping)]
+            return _sexp(
+                "aggregate",
+                _canonical_function(plan.function, f"{location}: α"),
+                _sexp("by", *grouping),
+                _atom(f"strict={int(plan.strict_types)}"),
+                _atom(f"result={plan.result.name}"),
+                self.serialize(plan.child, location + ".child"))
+        raise Unfingerprintable(f"unknown plan node {type(plan).__name__}",
+                                location)
+
+
+@dataclass(frozen=True)
+class PlanFingerprint:
+    """A canonical plan identity: the SHA-256 digest of the canonical
+    text, the text itself (for explain output and debugging), and the
+    Base MOs in token order (the subjects whose version vectors key the
+    result cache alongside the digest)."""
+
+    digest: str
+    text: str
+    mos: Tuple[MultidimensionalObject, ...]
+
+    @property
+    def short(self) -> str:
+        """The first 12 digest hex chars (explain-step display)."""
+        return self.digest[:12]
+
+
+def fingerprint(plan: Plan) -> PlanFingerprint:
+    """The canonical fingerprint of ``plan``.
+
+    Algebraically-equal plans (commuted σ chains, shuffled conjuncts,
+    composed ρ chains, reordered ∪ operands) produce equal digests;
+    distinct plans — including plans over surrogates whose ``repr``
+    collides — produce distinct ones.  Raises
+    :class:`Unfingerprintable` for opaque predicates or user-defined
+    aggregation functions."""
+    canonicalizer = _Canonicalizer()
+    text = canonicalizer.serialize(plan)
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    mos = tuple(mo for _token, mo in sorted(canonicalizer.mos.items()))
+    return PlanFingerprint(digest=digest, text=text, mos=mos)

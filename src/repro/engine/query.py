@@ -32,7 +32,14 @@ from repro.core.errors import SchemaError
 from repro.core.helpers import make_result_spec
 from repro.core.mo import MultidimensionalObject, TimeKind
 from repro.core.values import DimensionValue
+from repro.engine import result_cache as result_cache_module
+from repro.engine.plan_fingerprint import (
+    PlanFingerprint,
+    Unfingerprintable,
+    fingerprint,
+)
 from repro.engine.preagg import PreAggregateStore
+from repro.engine.result_cache import ResultCache, version_vector
 from repro.obs import metrics, trace
 
 __all__ = ["Query", "QueryResultRow", "ExplainStep", "QueryExplain"]
@@ -57,6 +64,7 @@ _PATH_INDEX = metrics.counter("query.path.index")
 _PATH_ALPHA = metrics.counter("query.path.alpha")
 _PATH_SQL = metrics.counter("query.path.sql")
 _SQL_FALLBACK = metrics.counter("sql.pushdown.fallback")
+_CACHE_BYPASS = metrics.counter("query.cache.bypass")
 
 
 @dataclass
@@ -114,14 +122,21 @@ class Query:
     """
 
     def __init__(self, mo: MultidimensionalObject,
-                 store: Optional[PreAggregateStore] = None) -> None:
+                 store: Optional[PreAggregateStore] = None,
+                 result_cache: Optional[ResultCache] = None) -> None:
         self._mo = mo
         self._store = store
+        self._result_cache = result_cache
         self._dices: List[Tuple[str, DimensionValue]] = []
         self._grouping: Dict[str, str] = {}
+        # fingerprint memo: the query is immutable, so the canonical
+        # plan only varies with (function, strict_types) — computing it
+        # once keeps the cache-hit path microseconds, not milliseconds
+        self._fingerprints: Dict[Tuple[str, bool],
+                                 Tuple[Optional[PlanFingerprint], str]] = {}
 
     def _clone(self) -> "Query":
-        q = Query(self._mo, self._store)
+        q = Query(self._mo, self._store, self._result_cache)
         q._dices = list(self._dices)
         q._grouping = dict(self._grouping)
         return q
@@ -206,7 +221,8 @@ class Query:
     def execute(self, function: Optional[AggregationFunction] = None,
                 strict_types: bool = False,
                 check: bool = True,
-                backend: str = "memory") -> List[QueryResultRow]:
+                backend: str = "memory",
+                cache: bool = True) -> List[QueryResultRow]:
         """Run the query: dice, then aggregate with ``function``
         (default set-count), returning ``(group values, result)`` rows
         sorted by group.
@@ -220,6 +236,12 @@ class Query:
         outside the pushable subset transparently fall back to the
         in-memory path (counted as ``sql.pushdown.fallback``).  Either
         way the rows are byte-identical.
+
+        ``cache=True`` (the default) consults the versioned result
+        cache (:mod:`repro.engine.result_cache`) before running any
+        answer path, keyed by the canonical plan fingerprint and the
+        MO's mutation-counter vector — a mutation simply misses.  Pass
+        ``cache=False`` to bypass (counted as ``query.cache.bypass``).
 
         ``check=True`` (the default) runs :meth:`check` first and
         raises :class:`~repro.core.errors.StaticAnalysisError` if the
@@ -237,28 +259,100 @@ class Query:
                 raise StaticAnalysisError(
                     "query rejected by static analysis:\n" + report.render(),
                     diagnostics=report.errors)
-        if backend == "sql":
-            rows, _ = self._run_sql(function or SetCount(),
-                                    strict_types, None)
-        else:
-            rows, _ = self._run(function or SetCount(), strict_types, None)
+        rows, _ = self._answer(function or SetCount(), strict_types,
+                               None, backend, cache)
         return rows
 
     def explain(self, function: Optional[AggregationFunction] = None,
                 strict_types: bool = False,
-                backend: str = "memory") -> QueryExplain:
+                backend: str = "memory",
+                cache: bool = True) -> QueryExplain:
         """Execute the query and report *how* it was answered: the path
-        taken (``store`` / ``index`` / ``alpha`` / ``sql``), and
-        per-step elapsed time and in/out fact counts — the engine's
-        EXPLAIN ANALYZE.  With ``backend="sql"`` the steps include the
-        emitted SQL per compiled plan node (or the fallback reason)."""
+        taken (``cache`` / ``store`` / ``index`` / ``alpha`` / ``sql``),
+        and per-step elapsed time and in/out fact counts — the engine's
+        EXPLAIN ANALYZE.  A ``cache`` step names the fingerprint and
+        whether it hit, missed, or was bypassed by an unfingerprintable
+        construct (explicit ``cache=False`` keeps the steps to the
+        execution pipeline alone).  With
+        ``backend="sql"`` the steps include the emitted SQL per
+        compiled plan node (or the fallback reason)."""
         if backend not in ("memory", "sql"):
             raise ValueError(f"unknown backend {backend!r} "
                              f"(expected 'memory' or 'sql')")
         steps: List[ExplainStep] = []
-        runner = self._run_sql if backend == "sql" else self._run
-        rows, path = runner(function or SetCount(), strict_types, steps)
+        rows, path = self._answer(function or SetCount(), strict_types,
+                                  steps, backend, cache)
         return QueryExplain(path=path, rows=rows, steps=steps)
+
+    def _fingerprint(self, function: AggregationFunction,
+                     strict_types: bool
+                     ) -> Tuple[Optional[PlanFingerprint], str]:
+        """The memoized canonical fingerprint of this query's plan (the
+        single-conjunction σ shape :meth:`_diced_mo` actually
+        evaluates), or ``(None, reason)`` when unfingerprintable."""
+        key = (function.name, strict_types)
+        found = self._fingerprints.get(key)
+        if found is None:
+            try:
+                found = (fingerprint(self._sql_plan(function,
+                                                    strict_types)), "")
+            except Unfingerprintable as exc:
+                found = (None, f"{exc.reason} ({exc.location})")
+            self._fingerprints[key] = found
+        return found
+
+    def _answer(
+        self,
+        function: AggregationFunction,
+        strict_types: bool,
+        steps: Optional[List[ExplainStep]],
+        backend: str,
+        cache: bool,
+    ) -> Tuple[List[QueryResultRow], str]:
+        """The cache wrapper around every answer path: fingerprint the
+        plan, consult the versioned cache, and on a miss run the
+        backend's pipeline and admit the result."""
+        runner = self._run_sql if backend == "sql" else self._run
+        if not cache:
+            # explicit opt-out: count it, but keep the explain output
+            # free of a cache step so ``explain(cache=False)`` shows
+            # exactly the execution pipeline
+            _CACHE_BYPASS.inc()
+            return runner(function, strict_types, steps)
+        t0 = time.perf_counter()
+        fp, reason = self._fingerprint(function, strict_types)
+        if fp is None:
+            _CACHE_BYPASS.inc()
+            if steps is not None:
+                steps.append(ExplainStep(
+                    name="cache", detail=f"bypass: {reason}",
+                    elapsed_seconds=time.perf_counter() - t0,
+                    facts_in=0, facts_out=0))
+            return runner(function, strict_types, steps)
+        store = self._result_cache if self._result_cache is not None \
+            else result_cache_module.DEFAULT_CACHE
+        versions = tuple(version_vector(mo) for mo in fp.mos)
+        hit = store.get(fp.digest, versions)
+        if hit is not None:
+            if steps is not None:
+                steps.append(ExplainStep(
+                    name="cache",
+                    detail=f"hit: fingerprint={fp.short}",
+                    elapsed_seconds=time.perf_counter() - t0,
+                    facts_in=0, facts_out=len(hit)))
+            return hit, "cache"
+        t1 = time.perf_counter()
+        rows, path = runner(function, strict_types, steps)
+        compute_seconds = time.perf_counter() - t1
+        store.put(fp.digest, versions, tuple(sorted(self._grouping)),
+                  rows, compute_seconds)
+        if steps is not None:
+            steps.append(ExplainStep(
+                name="cache",
+                detail=f"miss: fingerprint={fp.short}, stored",
+                elapsed_seconds=t1 - t0,
+                facts_in=0, facts_out=0))
+        return rows, path
 
     def _run_sql(
         self,

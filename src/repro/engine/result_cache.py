@@ -1,0 +1,213 @@
+"""The versioned query-result cache (ROADMAP: the serving layer's
+substrate).
+
+Entries are keyed by a :class:`~repro.engine.plan_fingerprint.PlanFingerprint`
+digest and guarded by a **version vector** — the mutation counters the
+delta-maintenance work already tracks: the MO's fact-set version plus,
+per dimension, the :class:`FactDimensionRelation` version and the
+:class:`AnnotatedOrder` version.  Invalidation is therefore exact and
+free: any mutation bumps a counter, the vector no longer matches, and
+the lookup misses (the stale entry is evicted lazily, counted as
+``query.cache.stale_evicted``).  No subscription, no flush protocol —
+the same trick ``SqlBackend`` uses to reload its star.
+
+Rows are stored *encoded*: grouping values intern into one cache-wide
+:class:`~repro.core.interning.InternTable` (so a value appearing in a
+thousand entries is stored once) and decode back through the bulk
+:meth:`~repro.core.interning.InternTable.values_of`.  A hit never
+returns the stored objects' mutable containers — each hit copies the
+decoded row template, so a caller mutating its result cannot poison
+later hits.
+
+Admission is cost-aware: a result cheaper to recompute than to decode
+is not worth an entry, so :meth:`ResultCache.put` refuses (counted as
+``query.cache.admit_refused``) when the measured compute time is below
+``admit_factor`` times the estimated hit cost.  Byte-size accounting
+(``sys.getsizeof`` over the encoded rows) bounds the cache by
+``max_bytes`` as well as ``max_entries``, evicting least-recently-used
+entries (``query.cache.evicted``).
+
+All operations take the cache's re-entrant lock — the cache is shared
+state for the upcoming concurrent serving layer; the metric objects it
+reports through are themselves thread-safe (:mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interning import InternTable
+from repro.core.mo import MultidimensionalObject
+from repro.obs import metrics
+
+__all__ = ["CacheEntry", "ResultCache", "DEFAULT_CACHE", "version_vector"]
+
+_HIT = metrics.counter("query.cache.hit")
+_MISS = metrics.counter("query.cache.miss")
+_EVICTED = metrics.counter("query.cache.evicted")
+_STALE_EVICTED = metrics.counter("query.cache.stale_evicted")
+_ADMIT_REFUSED = metrics.counter("query.cache.admit_refused")
+_BYTES = metrics.gauge("query.cache.bytes")
+_ENTRIES = metrics.gauge("query.cache.entries")
+_LOOKUP_SECONDS = metrics.histogram("query.cache.lookup_seconds")
+
+
+def version_vector(mo: MultidimensionalObject) -> Tuple[object, ...]:
+    """The MO's mutation-counter vector: the fact-set version plus, per
+    dimension, the fact-dimension relation version and the containment
+    order version — exactly the counters delta maintenance bumps, so
+    equality of vectors is equality of observable state for any query
+    over ``mo``."""
+    return (mo.facts_version, tuple(
+        (name, mo.relation(name).version,
+         mo.dimension(name).order.version)
+        for name in mo.dimension_names))
+
+
+#: estimated fixed cost of serving one hit (lock, lookup, list build)
+_HIT_BASE_SECONDS = 3e-6
+#: estimated per-cell cost of copying a decoded row template
+_HIT_CELL_SECONDS = 0.15e-6
+
+
+class CacheEntry:
+    """One cached result: the guarding version vector, the encoded
+    rows, and the lazily-decoded row template hits copy from."""
+
+    __slots__ = ("versions", "names", "encoded", "nbytes", "template")
+
+    def __init__(self, versions: Tuple[object, ...],
+                 names: Tuple[str, ...],
+                 encoded: List[Tuple[Tuple[int, ...], object]],
+                 nbytes: int) -> None:
+        self.versions = versions
+        self.names = names
+        self.encoded = encoded
+        self.nbytes = nbytes
+        self.template: Optional[List[Tuple[Dict, object]]] = None
+
+
+class ResultCache:
+    """An LRU of query results keyed by ``(fingerprint digest, version
+    vector)`` — see the module docstring for the invalidation and
+    admission story."""
+
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: int = 64 * 1024 * 1024,
+                 admit_factor: float = 2.0) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._lock = threading.RLock()
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._admit_factor = admit_factor
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._values = InternTable()
+        self._nbytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Current accounted size of the encoded entries."""
+        return self._nbytes
+
+    def get(self, digest: str, versions: Tuple[object, ...]
+            ) -> Optional[List[Tuple[Dict, object]]]:
+        """The cached rows for ``digest`` at ``versions``, or ``None``.
+
+        A version mismatch evicts the stale entry and misses; a hit
+        refreshes recency and returns fresh row dicts (the template is
+        copied, never shared)."""
+        t0 = time.perf_counter()
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                _MISS.inc()
+                _LOOKUP_SECONDS.observe(time.perf_counter() - t0)
+                return None
+            if entry.versions != versions:
+                self._drop(digest, entry)
+                _STALE_EVICTED.inc()
+                _MISS.inc()
+                _LOOKUP_SECONDS.observe(time.perf_counter() - t0)
+                return None
+            self._entries.move_to_end(digest)
+            template = entry.template
+            if template is None:
+                values_of = self._values.values_of
+                names = entry.names
+                template = entry.template = [
+                    (dict(zip(names, values_of(ids))), raw)
+                    for ids, raw in entry.encoded
+                ]
+            rows = [(group.copy(), raw) for group, raw in template]
+            _HIT.inc()
+            _LOOKUP_SECONDS.observe(time.perf_counter() - t0)
+            return rows
+
+    def put(self, digest: str, versions: Tuple[object, ...],
+            names: Tuple[str, ...],
+            rows: List[Tuple[Dict, object]],
+            compute_seconds: float) -> bool:
+        """Admit ``rows`` (computed in ``compute_seconds``) under
+        ``digest``/``versions``; returns whether the entry was stored.
+
+        Results cheaper to recompute than to serve from cache are
+        refused: the estimated hit cost scales with the number of row
+        cells to copy."""
+        estimated_hit = _HIT_BASE_SECONDS + \
+            _HIT_CELL_SECONDS * len(rows) * (len(names) + 1)
+        if compute_seconds < self._admit_factor * estimated_hit:
+            _ADMIT_REFUSED.inc()
+            return False
+        with self._lock:
+            intern = self._values.intern
+            encoded = [
+                (tuple(intern(group[name]) for name in names), raw)
+                for group, raw in rows
+            ]
+            nbytes = 128  # entry and key overhead estimate
+            for ids, raw in encoded:
+                nbytes += sys.getsizeof(ids) + sys.getsizeof(raw)
+            old = self._entries.pop(digest, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[digest] = CacheEntry(
+                versions=versions, names=names, encoded=encoded,
+                nbytes=nbytes)
+            self._nbytes += nbytes
+            while len(self._entries) > self._max_entries or \
+                    (self._nbytes > self._max_bytes
+                     and len(self._entries) > 1):
+                victim_digest, victim = next(iter(self._entries.items()))
+                self._drop(victim_digest, victim)
+                _EVICTED.inc()
+            self._publish_gauges()
+            return True
+
+    def _drop(self, digest: str, entry: CacheEntry) -> None:
+        del self._entries[digest]
+        self._nbytes -= entry.nbytes
+        self._publish_gauges()
+
+    def _publish_gauges(self) -> None:
+        _BYTES.set(self._nbytes)
+        _ENTRIES.set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (the intern table is kept — ids are
+        append-only and stay valid)."""
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+            self._publish_gauges()
+
+
+#: The process-global cache ``Query.execute`` answers from by default.
+DEFAULT_CACHE = ResultCache()

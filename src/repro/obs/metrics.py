@@ -20,6 +20,13 @@ Instrumentation is deliberately placed at *operation* granularity
 (one query, one map build, one materialization) — never inside per-fact
 loops — so the counters stay on permanently without moving benchmark
 numbers; only :mod:`repro.obs.trace` spans have an on/off switch.
+
+Mutation and snapshot are **thread-safe**: every ``inc``/``set``/
+``observe``/``reset`` and every :func:`snapshot` takes one shared
+module lock, so concurrent reporters (the result cache is shared
+state; the serving layer will be multi-threaded) never lose updates
+and a snapshot never sees a histogram mid-update.  One uncontended
+lock acquisition is ~100ns — noise at operation granularity.
 """
 
 from __future__ import annotations
@@ -43,6 +50,12 @@ __all__ = [
 ]
 
 
+#: One lock for every metric mutation and snapshot in the process —
+#: mutations are rare (operation granularity) and tiny, so a single
+#: uncontended lock beats per-metric locks in both memory and code.
+_MUTATION_LOCK = threading.Lock()
+
+
 class Counter:
     """A monotonically increasing count (until :meth:`reset`)."""
 
@@ -55,11 +68,13 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (defaults to 1; fractional amounts allowed,
         e.g. unattributed imprecise mass)."""
-        self.value += amount
+        with _MUTATION_LOCK:
+            self.value += amount
 
     def reset(self) -> None:
         """Zero the counter, keeping it registered."""
-        self.value = 0.0
+        with _MUTATION_LOCK:
+            self.value = 0.0
 
 
 class Gauge:
@@ -73,19 +88,23 @@ class Gauge:
 
     def set(self, value: float) -> None:
         """Record the current level."""
-        self.value = float(value)
+        with _MUTATION_LOCK:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Move the level up (or down, with a negative amount)."""
-        self.value += amount
+        with _MUTATION_LOCK:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Move the level down."""
-        self.value -= amount
+        with _MUTATION_LOCK:
+            self.value -= amount
 
     def reset(self) -> None:
         """Zero the gauge, keeping it registered."""
-        self.value = 0.0
+        with _MUTATION_LOCK:
+            self.value = 0.0
 
 
 class Histogram:
@@ -108,12 +127,13 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with _MUTATION_LOCK:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -122,19 +142,28 @@ class Histogram:
 
     def reset(self) -> None:
         """Forget every observation, keeping the histogram registered."""
+        with _MUTATION_LOCK:
+            self._reset_locked()
+
+    def _reset_locked(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
 
     def summary(self) -> Dict[str, float]:
-        """The JSON-ready summary of this histogram."""
+        """The JSON-ready summary of this histogram (one consistent
+        view — never a count from one observation and a total from the
+        next)."""
+        with _MUTATION_LOCK:
+            count, total = self.count, self.total
+            low, high = self.min, self.max
         return {
-            "count": self.count,
-            "total": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "mean": round(self.mean, 6),
+            "count": count,
+            "total": total,
+            "min": low if count else 0.0,
+            "max": high if count else 0.0,
+            "mean": round(total / count, 6) if count else 0.0,
         }
 
 

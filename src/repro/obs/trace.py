@@ -18,7 +18,12 @@ Span names follow ``<layer>.<operation>`` (dots, lowercase):
 
 Nesting is tracked per thread; the ring buffer is shared (appends are
 GIL-atomic ``deque.append`` calls), so multi-threaded callers get a
-merged, bounded trace without locks on the hot path.
+merged, bounded trace without locks on the hot path.  Buffer
+*management* — enabling with a resize, :func:`set_buffer_size`,
+:func:`spans`, :func:`clear` — takes a module lock so a reader never
+iterates a deque mid-swap; a span finishing concurrently with a resize
+may land in the dropped buffer, which is the documented resize
+behaviour (resizing drops recorded spans) either way.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ DEFAULT_BUFFER_SIZE = 4096
 _enabled = False
 _buffer: Deque["SpanRecord"] = deque(maxlen=DEFAULT_BUFFER_SIZE)
 _stack = threading.local()
+_BUFFER_LOCK = threading.Lock()
 
 
 @dataclass
@@ -136,9 +142,10 @@ def enable(buffer_size: Optional[int] = None) -> None:
     """Turn tracing on (optionally resizing the ring buffer, which
     drops previously recorded spans)."""
     global _enabled, _buffer
-    if buffer_size is not None and buffer_size != _buffer.maxlen:
-        _buffer = deque(maxlen=buffer_size)
-    _enabled = True
+    with _BUFFER_LOCK:
+        if buffer_size is not None and buffer_size != _buffer.maxlen:
+            _buffer = deque(maxlen=buffer_size)
+        _enabled = True
 
 
 def disable() -> None:
@@ -155,14 +162,16 @@ def is_enabled() -> bool:
 def spans(name: Optional[str] = None) -> List[SpanRecord]:
     """The recorded spans, oldest first (optionally only those whose
     name equals ``name``)."""
-    if name is None:
-        return list(_buffer)
-    return [record for record in _buffer if record.name == name]
+    with _BUFFER_LOCK:
+        if name is None:
+            return list(_buffer)
+        return [record for record in _buffer if record.name == name]
 
 
 def clear() -> None:
     """Drop every recorded span (the enabled/disabled state stays)."""
-    _buffer.clear()
+    with _BUFFER_LOCK:
+        _buffer.clear()
 
 
 def set_buffer_size(size: int) -> None:
@@ -170,4 +179,5 @@ def set_buffer_size(size: int) -> None:
     global _buffer
     if size < 1:
         raise ValueError(f"buffer size must be >= 1, got {size}")
-    _buffer = deque(maxlen=size)
+    with _BUFFER_LOCK:
+        _buffer = deque(maxlen=size)

@@ -15,7 +15,11 @@ plan.  Results are byte-identical by construction and property-tested
 Version stamps on the MO's fact set, relations, and orders make the
 backend self-invalidating: a mutation reloads the star on the next
 use.  ``sql_backend_for`` caches one backend per MO (weakly — an MO
-going away drops its connection).
+going away drops its connection) and is **bounded**: at most
+``MAX_CACHED_BACKENDS`` backends stay cached, least-recently-used ones
+are closed and dropped (``sql.backend.evicted``) — each backend holds
+a live database connection, so unbounded growth was an fd leak waiting
+for the first many-MO workload.
 
 Plans outside the pushable subset raise
 :class:`~repro.relational.backend.compiler.PushdownUnsupported`; the
@@ -26,6 +30,7 @@ query layer (``Query.execute(backend="sql")``) catches it, counts
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.mo import MultidimensionalObject
@@ -206,14 +211,42 @@ class SqlBackend:
 _BACKENDS: "weakref.WeakKeyDictionary[MultidimensionalObject, Dict[str, SqlBackend]]" = \
     weakref.WeakKeyDictionary()
 
+#: how many (MO, engine) backends stay cached before LRU eviction
+MAX_CACHED_BACKENDS = 8
+
+#: recency order of live backends; values are weakrefs so this side
+#: table never keeps an MO alive (a dead ref is skipped at eviction)
+_RECENT: "OrderedDict[Tuple[int, str], weakref.ref]" = OrderedDict()
+
+_EVICTED = metrics.counter("sql.backend.evicted")
+
 
 def sql_backend_for(mo: MultidimensionalObject,
                     engine: str = "sqlite") -> SqlBackend:
     """The cached backend for ``mo`` (one per engine; created lazily,
-    dropped with the MO)."""
+    dropped with the MO or evicted least-recently-used beyond
+    :data:`MAX_CACHED_BACKENDS` — each backend owns a connection, so
+    the cache is bounded like the result cache is)."""
     per_engine = _BACKENDS.setdefault(mo, {})
     backend = per_engine.get(engine)
     if backend is None:
         backend = SqlBackend(mo, engine=engine)
         per_engine[engine] = backend
+    key = (id(mo), engine)
+    _RECENT.pop(key, None)
+    _RECENT[key] = weakref.ref(mo)
+    while len(_RECENT) > MAX_CACHED_BACKENDS:
+        (_old_id, old_engine), ref = _RECENT.popitem(last=False)
+        old_mo = ref()
+        if old_mo is None:
+            continue  # the MO died; WeakKeyDictionary already cleaned up
+        old_per_engine = _BACKENDS.get(old_mo)
+        if not old_per_engine:
+            continue
+        old_backend = old_per_engine.pop(old_engine, None)
+        if old_backend is not None:
+            old_backend.close()
+            _EVICTED.inc()
+        if not old_per_engine:
+            del _BACKENDS[old_mo]
     return backend

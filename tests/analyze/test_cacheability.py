@@ -1,0 +1,59 @@
+"""Tests for the static result-cache analyzer (``MD060``)."""
+
+from repro.algebra import characterized_by
+from repro.algebra.functions import AggregationFunction
+from repro.algebra.predicates import value_in_category
+from repro.analyze import analyze_cacheability
+from repro.casestudy import diagnosis_value
+from repro.engine import Base, Query, SelectNode, fingerprint
+
+
+class TestAnalyzeCacheability:
+    def test_cacheable_plan_reports_clean(self, snapshot_mo):
+        plan = Query(snapshot_mo).rollup(
+            "Diagnosis", "Diagnosis Group").to_plan()
+        assert len(analyze_cacheability(plan)) == 0
+
+    def test_opaque_predicate_reports_md060(self, snapshot_mo):
+        plan = SelectNode(
+            Base(snapshot_mo),
+            value_in_category("Age", "Age", lambda v: True))
+        report = analyze_cacheability(plan)
+        assert report.codes() == ["MD060"]
+        (finding,) = report
+        assert "opaque" in finding.message
+        assert "query.cache.bypass" in (finding.hint or "")
+
+    def test_user_defined_function_reports_md060(self, snapshot_mo):
+        class Custom(AggregationFunction):
+            name = "custom"
+
+            def apply(self, facts, mo):
+                return 0
+
+        plan = Query(snapshot_mo).rollup(
+            "Diagnosis", "Diagnosis Group").to_plan(Custom())
+        report = analyze_cacheability(plan)
+        assert report.codes() == ["MD060"]
+
+    def test_analyzer_agrees_with_the_canonicalizer(self, snapshot_mo):
+        """Shared-canonicalizer guarantee: a clean report means
+        :func:`fingerprint` succeeds; a finding means it raises."""
+        from repro.engine import Unfingerprintable
+
+        plans = [
+            Query(snapshot_mo).rollup(
+                "Diagnosis", "Diagnosis Group").to_plan(),
+            SelectNode(Base(snapshot_mo),
+                       characterized_by("Diagnosis", diagnosis_value(4))),
+            SelectNode(Base(snapshot_mo),
+                       value_in_category("Age", "Age", lambda v: True)),
+        ]
+        for plan in plans:
+            report = analyze_cacheability(plan)
+            try:
+                fingerprint(plan)
+            except Unfingerprintable:
+                assert len(report) == 1
+            else:
+                assert len(report) == 0

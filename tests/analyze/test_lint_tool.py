@@ -155,6 +155,43 @@ class TestCatalogDocumented:
         assert problems == [], problems
 
 
+class TestVersionVectorCompleteness:
+    def _check(self, source):
+        return lint_invariants.check_version_vector_completeness(
+            [(TOOLS / "fake.py", ast.parse(source))])
+
+    def test_complete_stamp_is_clean(self):
+        problems = self._check("""
+def version_vector(mo):
+    return (mo.facts_version, tuple(
+        (name, mo.relation(name).version,
+         mo.dimension(name).order.version)
+        for name in mo.dimension_names))
+""")
+        assert problems == []
+
+    def test_missing_counter_flagged(self):
+        problems = self._check("""
+def _version_stamp(self):
+    return (self._mo.facts_version, tuple(
+        (name, self._mo.relation(name).version)
+        for name in self._mo.dimension_names))
+""")
+        assert len(problems) == 1
+        assert "order" in problems[0]
+
+    def test_no_stamp_function_flagged(self):
+        problems = self._check("def unrelated(): pass")
+        assert len(problems) == 1
+        assert "staleness stamp" in problems[0]
+
+    def test_repo_stamps_are_complete(self):
+        forest = [(path, ast.parse(path.read_text(encoding="utf-8")))
+                  for path in sorted((REPO / "src").rglob("*.py"))]
+        assert lint_invariants.check_version_vector_completeness(
+            forest) == []
+
+
 def test_lint_passes_on_this_repo():
     result = subprocess.run(
         [sys.executable, str(TOOLS / "lint_invariants.py")],

@@ -36,6 +36,18 @@ class TestInternTable:
         assert table.objects_of(ids) == set(facts)
         assert table.objects_of([]) == set()
 
+    def test_values_of_preserves_order_and_multiplicity(self):
+        table = InternTable()
+        ids = table.intern_all(["a", "b", "a"])
+        assert table.values_of(ids) == ["a", "b", "a"]
+        assert table.values_of(reversed(ids)) == ["a", "b", "a"]
+        assert table.values_of([]) == []
+
+    def test_values_of_round_trips_intern_all(self):
+        table = InternTable()
+        values = [DimensionValue(sid=(i % 3)) for i in range(6)]
+        assert table.values_of(table.intern_all(values)) == values
+
     def test_contains_and_iteration_order(self):
         table = InternTable()
         for item in ("b", "a", "c"):

@@ -17,9 +17,9 @@ from repro.engine import (
 class TestQueryExplain:
     def test_index_path(self, snapshot_mo):
         query = Query(snapshot_mo).rollup("Diagnosis", "Diagnosis Group")
-        result = query.explain()
+        result = query.explain(cache=False)
         assert result.path == "index"
-        assert result.rows == query.execute()
+        assert result.rows == query.execute(cache=False)
         (step,) = result.steps
         assert step.name == "index"
         assert step.facts_in == len(snapshot_mo.facts)
@@ -30,9 +30,9 @@ class TestQueryExplain:
         query = (Query(snapshot_mo)
                  .dice("Diagnosis", diagnosis_value(12))
                  .rollup("Diagnosis", "Diagnosis Group"))
-        result = query.explain()
+        result = query.explain(cache=False)
         assert result.path == "alpha"
-        assert result.rows == query.execute()
+        assert result.rows == query.execute(cache=False)
         assert [step.name for step in result.steps] == ["dice", "alpha"]
         dice, alpha = result.steps
         assert dice.facts_in == len(snapshot_mo.facts)
@@ -42,9 +42,9 @@ class TestQueryExplain:
 
     def test_alpha_path_non_count_function(self, small_retail):
         query = Query(small_retail.mo).rollup("Product", "Department")
-        result = query.explain(Sum("Price"))
+        result = query.explain(Sum("Price"), cache=False)
         assert result.path == "alpha"
-        assert result.rows == query.execute(Sum("Price"))
+        assert result.rows == query.execute(Sum("Price"), cache=False)
         (alpha,) = result.steps
         assert alpha.name == "alpha"
         assert "Sum" in alpha.detail
@@ -54,9 +54,9 @@ class TestQueryExplain:
         store.materialize(SetCount(), {"Diagnosis": "Diagnosis Group"})
         query = Query(strict_clinical.mo, store=store).rollup(
             "Diagnosis", "Diagnosis Group")
-        result = query.explain()
+        result = query.explain(cache=False)
         assert result.path == "store"
-        assert result.rows == query.execute()
+        assert result.rows == query.execute(cache=False)
         (step,) = result.steps
         assert step.name == "store"
         assert step.facts_in == 0  # never touched base facts
@@ -67,14 +67,14 @@ class TestQueryExplain:
         store.materialize(SetCount(), {"Diagnosis": "Diagnosis Family"})
         query = Query(strict_clinical.mo, store=store).rollup(
             "Diagnosis", "Diagnosis Group")
-        result = query.explain()
+        result = query.explain(cache=False)
         assert result.path == "store"
-        assert result.rows == query.execute()
+        assert result.rows == query.execute(cache=False)
         assert "rolled up from" in result.steps[0].detail
 
     def test_render_mentions_path_and_steps(self, snapshot_mo):
         result = Query(snapshot_mo).rollup(
-            "Diagnosis", "Diagnosis Group").explain()
+            "Diagnosis", "Diagnosis Group").explain(cache=False)
         text = result.render()
         first, *rest = text.splitlines()
         assert first.startswith("Query path=index rows=")
@@ -85,7 +85,7 @@ class TestQueryExplain:
         result = (Query(snapshot_mo)
                   .dice("Diagnosis", diagnosis_value(12))
                   .rollup("Diagnosis", "Diagnosis Group")
-                  .explain())
+                  .explain(cache=False))
         assert result.total_seconds == \
             sum(step.elapsed_seconds for step in result.steps)
 

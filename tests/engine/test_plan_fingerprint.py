@@ -1,0 +1,218 @@
+"""Tests for the canonical plan fingerprint (the result-cache key).
+
+The load-bearing property pair: algebraically-equal plans fingerprint
+equal (so rewrites share cache entries), and distinct plans — even ones
+whose ``repr`` collides — fingerprint distinct (so the cache can never
+conflate two different computations)."""
+
+import pytest
+
+from repro.algebra import SetCount, characterized_by, conjunction
+from repro.algebra.functions import AggregationFunction, Sum
+from repro.algebra.predicates import value_in_category
+from repro.casestudy import diagnosis_value
+from repro.core.helpers import make_result_spec
+from repro.core.values import DimensionValue
+from repro.engine import (
+    Base,
+    ProjectNode,
+    SelectNode,
+    Unfingerprintable,
+    evaluate,
+    fingerprint,
+    mo_token,
+)
+from repro.engine.optimizer import (
+    AggregateNode,
+    DifferenceNode,
+    RenameNode,
+    UnionNode,
+)
+
+
+def _digest(plan):
+    return fingerprint(plan).digest
+
+
+def _facts(plan):
+    return {f.fid for f in evaluate(plan).facts}
+
+
+@pytest.fixture
+def p11(snapshot_mo):
+    return characterized_by("Diagnosis", diagnosis_value(11))
+
+
+@pytest.fixture
+def p12(snapshot_mo):
+    return characterized_by("Diagnosis", diagnosis_value(12))
+
+
+class TestEquivalentPlansCollide:
+    """Each rewrite is justified by the evaluation oracle: the commuted
+    plans answer identically, so sharing a cache entry is sound."""
+
+    def test_conjunct_order_is_irrelevant(self, snapshot_mo, p11, p12):
+        a = SelectNode(Base(snapshot_mo), conjunction(p11, p12))
+        b = SelectNode(Base(snapshot_mo), conjunction(p12, p11))
+        assert _facts(a) == _facts(b)
+        assert _digest(a) == _digest(b)
+
+    def test_duplicate_conjuncts_collapse(self, snapshot_mo, p11):
+        once = SelectNode(Base(snapshot_mo), p11)
+        twice = SelectNode(Base(snapshot_mo), conjunction(p11, p11))
+        assert _facts(once) == _facts(twice)
+        assert _digest(once) == _digest(twice)
+
+    def test_sigma_chain_commutes(self, snapshot_mo, p11, p12):
+        ab = SelectNode(SelectNode(Base(snapshot_mo), p11), p12)
+        ba = SelectNode(SelectNode(Base(snapshot_mo), p12), p11)
+        assert _facts(ab) == _facts(ba)
+        assert _digest(ab) == _digest(ba)
+
+    def test_duplicate_sigma_nodes_collapse(self, snapshot_mo, p11):
+        once = SelectNode(Base(snapshot_mo), p11)
+        twice = SelectNode(once, p11)
+        assert _facts(once) == _facts(twice)
+        assert _digest(once) == _digest(twice)
+
+    def test_identity_rename_elided(self, snapshot_mo):
+        base = Base(snapshot_mo)
+        identity = RenameNode(base, dimension_map=(("Age", "Age"),))
+        assert _digest(identity) == _digest(base)
+
+    def test_rename_chain_composes(self, snapshot_mo):
+        base = Base(snapshot_mo)
+        chained = RenameNode(RenameNode(base,
+                                        dimension_map=(("Age", "Years"),)),
+                             dimension_map=(("Years", "AgeYears"),))
+        flat = RenameNode(base, dimension_map=(("Age", "AgeYears"),))
+        assert evaluate(chained).dimension_names == \
+            evaluate(flat).dimension_names
+        assert _digest(chained) == _digest(flat)
+
+    def test_rename_roundtrip_elided(self, snapshot_mo):
+        base = Base(snapshot_mo)
+        roundtrip = RenameNode(RenameNode(base,
+                                          dimension_map=(("Age", "X"),)),
+                               dimension_map=(("X", "Age"),))
+        assert _digest(roundtrip) == _digest(base)
+
+    def test_union_commutes_and_flattens(self, snapshot_mo, p11, p12):
+        a = SelectNode(Base(snapshot_mo), p11)
+        b = SelectNode(Base(snapshot_mo), p12)
+        c = Base(snapshot_mo)
+        left = UnionNode(UnionNode(a, b), c)
+        right = UnionNode(c, UnionNode(b, a))
+        assert _facts(left) == _facts(right)
+        assert _digest(left) == _digest(right)
+
+    def test_aggregate_grouping_order_is_irrelevant(self, snapshot_mo):
+        spec = make_result_spec(name="__query_result")
+        base = Base(snapshot_mo)
+        g1 = (("Diagnosis", "Diagnosis Group"), ("Age", "Ten-year group"))
+        g2 = (g1[1], g1[0])
+        assert _digest(AggregateNode(base, SetCount(), g1, spec,
+                                     strict_types=False)) == \
+            _digest(AggregateNode(base, SetCount(), g2, spec,
+                                  strict_types=False))
+
+
+class TestDistinctPlansDoNot:
+    def test_sigma_chain_is_not_fused_into_conjunction(
+            self, snapshot_mo, p11, p12):
+        """Chained σs re-quantify the characterization witness per node;
+        a single conjunction shares one witness across conjuncts — a
+        real semantic difference, so the forms must not share a key."""
+        chained = SelectNode(SelectNode(Base(snapshot_mo), p11), p12)
+        fused = SelectNode(Base(snapshot_mo), conjunction(p11, p12))
+        assert _digest(chained) != _digest(fused)
+
+    def test_repr_colliding_surrogates_do_not_collide(self, snapshot_mo):
+        """``repr("(1, 2)") != repr((1, 2))`` is false enough to have
+        bitten the star export once — the fingerprint must rely on the
+        tagged ``encode_sid`` encoding, never on ``repr``."""
+        as_str = DimensionValue(sid="(1, 2)")
+        as_tuple = DimensionValue(sid=(1, 2))
+        a = SelectNode(Base(snapshot_mo),
+                       characterized_by("Diagnosis", as_str))
+        b = SelectNode(Base(snapshot_mo),
+                       characterized_by("Diagnosis", as_tuple))
+        assert _digest(a) != _digest(b)
+
+    def test_atom_escaping_prevents_forged_structure(self, snapshot_mo):
+        """Names containing spaces must not let two different plans
+        serialize to one canonical text."""
+        a = SelectNode(Base(snapshot_mo),
+                       characterized_by("Age Group",
+                                        DimensionValue(sid="x")))
+        b = SelectNode(Base(snapshot_mo),
+                       characterized_by("Age",
+                                        DimensionValue(sid="Group x")))
+        assert _digest(a) != _digest(b)
+
+    def test_difference_keeps_operand_order(self, snapshot_mo, p11):
+        a = SelectNode(Base(snapshot_mo), p11)
+        b = Base(snapshot_mo)
+        assert _digest(DifferenceNode(a, b)) != \
+            _digest(DifferenceNode(b, a))
+
+    def test_projection_dimension_lists_differ(self, snapshot_mo):
+        assert _digest(ProjectNode(Base(snapshot_mo), ("Age",))) != \
+            _digest(ProjectNode(Base(snapshot_mo), ("Diagnosis",)))
+
+    def test_distinct_mos_never_collide(self, snapshot_mo, small_retail):
+        assert _digest(Base(snapshot_mo)) != \
+            _digest(Base(small_retail.mo))
+
+    def test_strictness_and_function_distinguish_aggregates(
+            self, snapshot_mo):
+        spec = make_result_spec(name="__query_result")
+        base = Base(snapshot_mo)
+        grouping = (("Diagnosis", "Diagnosis Group"),)
+        lax = AggregateNode(base, SetCount(), grouping, spec,
+                            strict_types=False)
+        strict = AggregateNode(base, SetCount(), grouping, spec,
+                               strict_types=True)
+        summed = AggregateNode(base, Sum("Age"), grouping, spec,
+                               strict_types=False)
+        assert len({_digest(lax), _digest(strict), _digest(summed)}) == 3
+
+
+class TestMoTokens:
+    def test_token_is_stable_per_mo(self, snapshot_mo):
+        assert mo_token(snapshot_mo) == mo_token(snapshot_mo)
+
+    def test_tokens_differ_across_mos(self, snapshot_mo, small_retail):
+        assert mo_token(snapshot_mo) != mo_token(small_retail.mo)
+
+    def test_fingerprint_exposes_base_mos(self, snapshot_mo, p11):
+        fp = fingerprint(SelectNode(Base(snapshot_mo), p11))
+        assert fp.mos == (snapshot_mo,)
+        assert fp.short == fp.digest[:12]
+
+
+class TestUnfingerprintable:
+    def test_opaque_predicate_raises(self, snapshot_mo):
+        plan = SelectNode(
+            Base(snapshot_mo),
+            value_in_category("Age", "Age", lambda v: True))
+        with pytest.raises(Unfingerprintable) as exc:
+            fingerprint(plan)
+        assert "opaque" in exc.value.reason
+
+    def test_user_defined_function_raises(self, snapshot_mo):
+        class Custom(AggregationFunction):
+            name = "custom"
+
+            def apply(self, facts, mo):
+                return 0
+
+        plan = AggregateNode(
+            Base(snapshot_mo), Custom(),
+            (("Diagnosis", "Diagnosis Group"),),
+            make_result_spec(name="__query_result"),
+            strict_types=False)
+        with pytest.raises(Unfingerprintable) as exc:
+            fingerprint(plan)
+        assert "custom" in exc.value.reason

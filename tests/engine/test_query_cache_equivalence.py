@@ -1,0 +1,162 @@
+"""Property: the versioned result cache is invisible to correctness.
+
+Across random queries and arbitrary mutation interleavings, an answer
+served through the cache is byte-identical to the uncached engine path
+and to the naive per-value oracle — hits, misses, and stale evictions
+may differ in speed, never in rows."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    SetCount,
+    aggregate,
+    characterized_by,
+    conjunction,
+    select,
+)
+from repro.core.helpers import make_result_spec
+from repro.core.values import Fact
+from repro.engine import Query, ResultCache
+from tests.strategies import small_mos
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _canon(rows):
+    """Byte-identity images: repr is injective on the value set and
+    distinguishes int from float."""
+    return [
+        (tuple(sorted((k, repr(v)) for k, v in group.items())),
+         repr(raw), type(raw).__name__)
+        for group, raw in rows
+    ]
+
+
+def _draw_grouping(data, mo):
+    grouping = {}
+    for name in mo.dimension_names:
+        categories = [
+            ctype.name
+            for ctype in mo.dimension(name).dtype.category_types()
+        ]
+        choice = data.draw(st.sampled_from([None] + categories),
+                           label=f"grouping[{name}]")
+        if choice is not None:
+            grouping[name] = choice
+    return grouping
+
+
+def _draw_dices(data, mo):
+    dices = []
+    for _ in range(data.draw(st.integers(0, 2), label="n_dices")):
+        name = data.draw(st.sampled_from(sorted(mo.dimension_names)),
+                         label="dice_dim")
+        dimension = mo.dimension(name)
+        values = [
+            value
+            for ctype in dimension.dtype.category_types()
+            for value in dimension.category(ctype.name).members()
+        ]
+        if not values:
+            continue
+        dices.append((name, data.draw(st.sampled_from(values),
+                                      label="dice_value")))
+    return dices
+
+
+def _mutate(data, mo, next_fid):
+    """A new fact related to a random value in each dimension (⊤ when
+    the dimension has no other values) — bumps the fact-set version and
+    every touched relation version."""
+    fact = Fact(fid=next_fid, ftype=mo.schema.fact_type)
+    mo.add_fact(fact)
+    for name in mo.dimension_names:
+        dimension = mo.dimension(name)
+        candidates = [
+            value
+            for ctype in dimension.dtype.category_types()
+            for value in dimension.category(ctype.name).members()
+        ] or [dimension.top_value]
+        value = data.draw(st.sampled_from(candidates),
+                          label=f"mutate[{name}]")
+        mo.relate(fact, name, value)
+
+
+def _query(mo, cache, grouping, dices):
+    q = Query(mo, result_cache=cache)
+    for name, category in sorted(grouping.items()):
+        q = q.rollup(name, category)
+    for name, value in dices:
+        q = q.dice(name, value)
+    return q
+
+
+def _naive_rows(mo, grouping, dices):
+    """The oracle: dice via one σ, aggregate with ``use_index=False``,
+    then the same merge-and-re-expand row extraction ``Query`` uses."""
+    if dices:
+        mo = select(mo, conjunction(*[characterized_by(d, v)
+                                      for d, v in dices]))
+    aggregated = aggregate(mo, SetCount(), grouping,
+                           make_result_spec(name="__query_result"),
+                           use_index=False)
+    names = sorted(grouping)
+    rows = []
+    for fact in aggregated.facts:
+        raw = next(iter(
+            aggregated.relation("__query_result").values_of(fact))).sid
+        combos = [{}]
+        for name in names:
+            values = sorted(aggregated.relation(name).values_of(fact),
+                            key=repr)
+            combos = [{**combo, name: value}
+                      for combo in combos for value in values]
+        rows.extend((group, raw) for group in combos)
+    rows.sort(key=lambda row: (
+        tuple(repr(row[0][name]) for name in names), repr(row[1])))
+    return rows
+
+
+@_SETTINGS
+@given(data=st.data())
+def test_cached_equals_uncached_equals_naive(data):
+    mo = data.draw(small_mos())
+    cache = ResultCache(admit_factor=0.0)  # admit everything
+    grouping = _draw_grouping(data, mo)
+    dices = _draw_dices(data, mo)
+    q = _query(mo, cache, grouping, dices)
+    n_rounds = data.draw(st.integers(1, 3), label="n_rounds")
+    for i in range(n_rounds):
+        first = q.execute(check=False)            # miss (or stale miss)
+        second = q.execute(check=False)           # hit
+        uncached = q.execute(check=False, cache=False)
+        naive = _naive_rows(mo, grouping, dices)
+        assert _canon(first) == _canon(second)
+        assert _canon(second) == _canon(uncached)
+        assert _canon(uncached) == _canon(naive)
+        if i + 1 < n_rounds:
+            _mutate(data, mo, next_fid=10_000 + i)
+
+
+@_SETTINGS
+@given(data=st.data())
+def test_builder_order_shares_one_fingerprint(data):
+    """Canonicalization property at the query surface: dices applied in
+    any order produce the same fingerprint, so a random permutation of
+    an already-cached query always hits."""
+    mo = data.draw(small_mos())
+    dices = _draw_dices(data, mo)
+    cache = ResultCache(admit_factor=0.0)
+    grouping = _draw_grouping(data, mo)
+    q = _query(mo, cache, grouping, dices)
+    baseline = q.execute(check=False)
+    permuted = _query(mo, cache, grouping,
+                      data.draw(st.permutations(dices), label="order"))
+    report = permuted.explain()
+    assert report.path == "cache"
+    assert _canon(report.rows) == _canon(baseline)

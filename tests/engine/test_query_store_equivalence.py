@@ -45,7 +45,7 @@ def _rows(mo, store, grouping):
     query = Query(mo, store=store)
     for name, category in grouping.items():
         query = query.rollup(name, category)
-    return query.execute(SetCount())
+    return query.execute(SetCount(), cache=False)
 
 
 def _mutate(data, mo, next_fid):

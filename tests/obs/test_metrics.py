@@ -110,3 +110,66 @@ class TestGlobalRegistry:
         metrics.counter("test.global.helper").inc()
         assert c.value == before + 1
         assert metrics.REGISTRY.counter("test.global.helper") is c
+
+
+class TestThreadSafety:
+    """Concurrent mutators must never lose updates: ``x += amount`` is
+    two interpreter steps, so without the registry's mutation lock
+    racing threads drop increments."""
+
+    N_THREADS = 8
+    N_OPS = 2000
+
+    def _hammer(self, work):
+        import threading
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x")
+        self._hammer(lambda: [c.inc() for _ in range(self.N_OPS)])
+        assert c.value == self.N_THREADS * self.N_OPS
+
+    def test_gauge_inc_dec_balance(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("level")
+        self._hammer(lambda: [(g.inc(2), g.dec())
+                              for _ in range(self.N_OPS)])
+        assert g.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("y")
+        self._hammer(lambda: [h.observe(1.0)
+                              for _ in range(self.N_OPS)])
+        assert h.count == self.N_THREADS * self.N_OPS
+        assert h.total == float(self.N_THREADS * self.N_OPS)
+
+    def test_summary_is_consistent_under_writes(self):
+        """A reader never sees a summary whose fields disagree with
+        each other (count moved but total did not)."""
+        registry = MetricsRegistry()
+        h = registry.histogram("z")
+        stop = []
+
+        def write():
+            while not stop:
+                h.observe(1.0)
+
+        import threading
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            for _ in range(500):
+                summary = h.summary()
+                assert summary["total"] == float(summary["count"])
+        finally:
+            stop.append(True)
+            writer.join()

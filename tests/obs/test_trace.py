@@ -97,6 +97,54 @@ class TestEnabled:
             trace.set_buffer_size(0)
 
 
+class TestThreadSafety:
+    def test_concurrent_spans_all_recorded(self):
+        import threading
+
+        trace.enable(buffer_size=100_000)
+        n_threads, n_spans = 8, 500
+
+        def work():
+            for _ in range(n_spans):
+                with trace.span("concurrent"):
+                    pass
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.spans("concurrent")) == n_threads * n_spans
+
+    def test_resize_under_concurrent_appends_never_corrupts(self):
+        """Buffer management (enable/clear/resize) must stay coherent
+        while spans finish on other threads; a span finishing during a
+        resize may land in the dropped buffer — documented, not a
+        crash."""
+        import threading
+
+        trace.enable(buffer_size=64)
+        stop = []
+
+        def churn():
+            while not stop:
+                with trace.span("churn"):
+                    pass
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            for size in (32, 128, 64, 16) * 25:
+                trace.set_buffer_size(size)
+                records = trace.spans()
+                assert len(records) <= size
+                assert all(r.name == "churn" for r in records)
+        finally:
+            stop.append(True)
+            writer.join()
+
+
 class TestEngineIntegration:
     def test_aggregate_emits_alpha_span(self, snapshot_mo):
         from repro.algebra import SetCount, aggregate

@@ -100,22 +100,25 @@ class TestQueryEquivalence:
                              ids=lambda f: f.name)
     def test_case_study_rollup(self, mo, function):
         q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
-        assert q.execute(function, check=False) == \
-            q.execute(function, check=False, backend="sql")
+        assert q.execute(function, check=False, cache=False) == \
+            q.execute(function, check=False, backend="sql", cache=False)
 
     def test_diced_rollup(self, mo):
         q = (Query(mo).rollup("Diagnosis", "Diagnosis Group")
              .dice("Diagnosis", diagnosis_value(4)))
-        assert q.execute() == q.execute(backend="sql")
+        assert q.execute(cache=False) == \
+            q.execute(backend="sql", cache=False)
 
     def test_two_dimensional_grouping(self, mo):
         q = (Query(mo).rollup("Diagnosis", "Diagnosis Group")
              .rollup("Age", "Ten-year group"))
-        assert q.execute() == q.execute(backend="sql")
+        assert q.execute(cache=False) == \
+            q.execute(backend="sql", cache=False)
 
     def test_no_grouping(self, mo):
         q = Query(mo)
-        assert q.execute() == q.execute(backend="sql")
+        assert q.execute(cache=False) == \
+            q.execute(backend="sql", cache=False)
 
     def test_clinical_workload(self, small_clinical):
         mo = small_clinical.mo
@@ -123,8 +126,9 @@ class TestQueryEquivalence:
                               ("Diagnosis", "Diagnosis Group"),
                               ("Residence", "Region")]:
             q = Query(mo).rollup(dim, category)
-            assert q.execute(check=False) == \
-                q.execute(check=False, backend="sql"), (dim, category)
+            assert q.execute(check=False, cache=False) == \
+                q.execute(check=False, backend="sql",
+                          cache=False), (dim, category)
 
     def test_unknown_backend_rejected(self, mo):
         with pytest.raises(ValueError):
@@ -143,8 +147,9 @@ class TestFallback:
         q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
         plan = q.to_plan(Median("Age"))
         assert self._fallback_code(plan) == "MD052"
-        assert q.execute(Median("Age"), check=False) == \
-            q.execute(Median("Age"), check=False, backend="sql")
+        assert q.execute(Median("Age"), check=False, cache=False) == \
+            q.execute(Median("Age"), check=False, backend="sql",
+                      cache=False)
 
     def test_strict_types_fall_back_with_md052(self, mo):
         plan = Query(mo).rollup("Diagnosis", "Diagnosis Family") \
@@ -159,8 +164,8 @@ class TestFallback:
         tm = case_study_mo(temporal=True)
         q = Query(tm).rollup("Diagnosis", "Diagnosis Family")
         assert self._fallback_code(q.to_plan()) == "MD050"
-        assert q.execute(check=False) == \
-            q.execute(check=False, backend="sql")
+        assert q.execute(check=False, cache=False) == \
+            q.execute(check=False, backend="sql", cache=False)
 
     def test_join_falls_back_with_md050(self, mo, backend):
         renamed = RenameNode(
@@ -184,7 +189,7 @@ class TestFallback:
         counter = metrics.counter("sql.pushdown.fallback")
         before = counter.value
         q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
-        q.execute(Median("Age"), check=False, backend="sql")
+        q.execute(Median("Age"), check=False, backend="sql", cache=False)
         assert counter.value == before + 1
 
 
@@ -192,12 +197,12 @@ class TestExplain:
     def test_sql_path_shows_emitted_sql(self, mo):
         report = (Query(mo).rollup("Diagnosis", "Diagnosis Family")
                   .dice("Diagnosis", diagnosis_value(4))
-                  .explain(backend="sql"))
+                  .explain(backend="sql", cache=False))
         assert report.path == "sql"
         assert report.rows == (Query(mo)
                                .rollup("Diagnosis", "Diagnosis Family")
                                .dice("Diagnosis", diagnosis_value(4))
-                               .execute())
+                               .execute(cache=False))
         details = "\n".join(step.detail for step in report.steps)
         assert "SELECT fact_id FROM fact" in details
         assert "closure_" in details
@@ -205,7 +210,7 @@ class TestExplain:
 
     def test_fallback_path_names_the_reason(self, mo):
         report = (Query(mo).rollup("Diagnosis", "Diagnosis Family")
-                  .explain(Median("Age"), backend="sql"))
+                  .explain(Median("Age"), backend="sql", cache=False))
         assert report.path == "alpha"
         assert report.steps[0].name == "sql-fallback"
         assert "MD052" in report.steps[0].detail
@@ -221,7 +226,7 @@ class TestStaleness:
     def test_mutation_triggers_reload(self, mo):
         backend = sql_backend_for(mo)
         q = Query(mo).rollup("Diagnosis", "Low-level Diagnosis")
-        before = q.execute(check=False, backend="sql")
+        before = q.execute(check=False, backend="sql", cache=False)
         assert not backend.stale
 
         loads = metrics.counter("sql.backend.loads")
@@ -231,8 +236,8 @@ class TestStaleness:
         mo.relate(patient_fact(1), "Diagnosis", new)
         assert backend.stale
 
-        after_sql = q.execute(check=False, backend="sql")
-        after_mem = q.execute(check=False)
+        after_sql = q.execute(check=False, backend="sql", cache=False)
+        after_mem = q.execute(check=False, cache=False)
         assert after_sql == after_mem
         assert after_sql != before
         assert loads.value == loaded_count + 1
@@ -241,6 +246,37 @@ class TestStaleness:
         other = case_study_mo(temporal=False)
         assert sql_backend_for(mo) is sql_backend_for(mo)
         assert sql_backend_for(mo) is not sql_backend_for(other)
+
+    def test_backend_cache_is_bounded(self):
+        """Each backend owns a connection, so the per-MO registry must
+        evict least-recently-used backends beyond its bound."""
+        from repro.relational.backend import MAX_CACHED_BACKENDS, _RECENT
+
+        evicted = metrics.counter("sql.backend.evicted")
+        before = evicted.value
+        mos = [case_study_mo(temporal=False)
+               for _ in range(MAX_CACHED_BACKENDS + 2)]
+        backends = [sql_backend_for(m) for m in mos]
+        assert len(_RECENT) <= MAX_CACHED_BACKENDS
+        assert evicted.value >= before + 2
+        # the most recent backend survived; the oldest was closed and
+        # dropped, so asking again builds a fresh one
+        assert sql_backend_for(mos[-1]) is backends[-1]
+        assert sql_backend_for(mos[0]) is not backends[0]
+
+    def test_evicted_backend_still_answers_when_reasked(self):
+        from repro.relational.backend import MAX_CACHED_BACKENDS
+
+        keep = case_study_mo(temporal=False)
+        expected = (Query(keep).rollup("Diagnosis", "Diagnosis Family")
+                    .execute(cache=False))
+        others = [case_study_mo(temporal=False)
+                  for _ in range(MAX_CACHED_BACKENDS + 1)]
+        for m in others:
+            sql_backend_for(m)
+        rows = (Query(keep).rollup("Diagnosis", "Diagnosis Family")
+                .execute(backend="sql", cache=False))
+        assert rows == expected
 
 
 class TestEngines:
@@ -257,7 +293,7 @@ class TestEngines:
             return
         backend = SqlBackend(mo, engine="duckdb")
         q = Query(mo).rollup("Diagnosis", "Diagnosis Family")
-        assert backend.execute_rows(q.to_plan()) == q.execute()
+        assert backend.execute_rows(q.to_plan()) == q.execute(cache=False)
         backend.close()
 
 
@@ -267,6 +303,6 @@ class TestObservability:
         nodes = metrics.counter("sql.pushdown.node_compiled")
         c0, n0 = compiled.value, nodes.value
         Query(mo).rollup("Diagnosis", "Diagnosis Family") \
-            .execute(backend="sql")
+            .execute(backend="sql", cache=False)
         assert compiled.value == c0 + 1
         assert nodes.value >= n0 + 2  # Base + α at least

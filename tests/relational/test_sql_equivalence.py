@@ -176,8 +176,8 @@ def _query(mo, grouping, dices):
 def test_three_way_equivalence(drawn):
     mo, grouping, dices, function = drawn
     q = _query(mo, grouping, dices)
-    kernel = q.execute(function, check=False)
-    sql = q.execute(function, check=False, backend="sql")
+    kernel = q.execute(function, check=False, cache=False)
+    sql = q.execute(function, check=False, backend="sql", cache=False)
     naive = _naive_rows(mo, grouping, dices, function)
     assert _canon(sql) == _canon(kernel)
     assert _canon_value(sql) == _canon_value(naive)
@@ -191,7 +191,7 @@ def test_analyzer_agrees_with_backend(drawn):
     report = analyze_pushdown(q.to_plan(function))
     fallback = metrics.counter("sql.pushdown.fallback")
     before = fallback.value
-    q.execute(function, check=False, backend="sql")
+    q.execute(function, check=False, backend="sql", cache=False)
     fell_back = fallback.value > before
     assert fell_back == (len(report) > 0), report.render()
 
@@ -206,8 +206,9 @@ def test_mutation_script_keeps_equivalence(drawn, script):
     mo, grouping, dices, function = drawn
     q = _query(mo, grouping, dices)
     backend = sql_backend_for(mo)
-    assert _canon(q.execute(function, check=False, backend="sql")) == \
-        _canon(q.execute(function, check=False))
+    assert _canon(q.execute(function, check=False, backend="sql",
+                            cache=False)) == \
+        _canon(q.execute(function, check=False, cache=False))
 
     dim_names = sorted(mo.dimension_names)
     for op, seed in script:
@@ -233,5 +234,6 @@ def test_mutation_script_keeps_equivalence(drawn, script):
             dimension.add_value(bottom, fresh)
 
     assert backend.stale or not script
-    assert _canon(q.execute(function, check=False, backend="sql")) == \
-        _canon(q.execute(function, check=False))
+    assert _canon(q.execute(function, check=False, backend="sql",
+                            cache=False)) == \
+        _canon(q.execute(function, check=False, cache=False))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """AST lint for engine invariants that plain style checkers can't see.
 
-Two rules, both load-bearing for the caching layers:
+Five rules, all load-bearing for the caching layers:
 
 1. **version/changelog pairing** — the rollup index and pre-aggregate
    store detect staleness by comparing version counters and replay
@@ -34,6 +34,18 @@ Two rules, both load-bearing for the caching layers:
    inheriting a kernel but redefining only ``apply`` would silently
    compute different results on the columnar and object paths; the two
    are byte-identity oracles for each other and must evolve together.
+
+5. **version-vector completeness** — every version-stamped cache
+   (the SQL backend's star reload, the result cache) detects staleness
+   by comparing the *documented* version vector: the MO's fact-set
+   version plus, per dimension, the fact-dimension relation version
+   and the containment-order version.  A stamp function that forgets
+   one counter family serves stale results after exactly the mutations
+   that bump only the forgotten counter.  Rule: every function named
+   ``version_vector`` or ``_version_stamp`` under ``src/`` must read
+   ``facts_version``, call ``.relation(...)`` and ``.dimension(...)``,
+   and reach both ``.order`` and ``.version`` — and at least one such
+   function must exist.
 
 Zero dependencies; exits 1 on any violation.  Run from the repo root::
 
@@ -249,6 +261,44 @@ def check_kernel_pairing(
     return problems
 
 
+#: functions that produce a staleness stamp for a versioned cache.
+VERSION_STAMP_FUNCS = {"version_vector", "_version_stamp"}
+
+#: every attribute a complete stamp must reach: the fact-set counter,
+#: the relation and order lookups, and the ``version`` field on each.
+VERSION_STAMP_ATTRS = ("facts_version", "relation", "dimension",
+                       "order", "version")
+
+
+def check_version_vector_completeness(
+        forest: List[Tuple[Path, ast.AST]]) -> List[str]:
+    problems: List[str] = []
+    found = 0
+    for path, tree in forest:
+        for node in ast.walk(tree):
+            if not (isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                    and node.name in VERSION_STAMP_FUNCS):
+                continue
+            found += 1
+            attrs = {n.attr for n in ast.walk(node)
+                     if isinstance(n, ast.Attribute)}
+            missing = [a for a in VERSION_STAMP_ATTRS if a not in attrs]
+            if missing:
+                problems.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: "
+                    f"{node.name} never reads {', '.join(missing)} — a "
+                    f"version stamp must cover the fact-set, relation, "
+                    f"and order counters or its cache serves stale "
+                    f"results")
+    if not found:
+        problems.append(
+            "no version_vector/_version_stamp function found under "
+            "src/ — the versioned caches have lost their staleness "
+            "stamp")
+    return problems
+
+
 def check_catalog_documented() -> List[str]:
     problems = []
     doc_text = ANALYSIS_DOC.read_text(encoding="utf-8")
@@ -277,6 +327,7 @@ def main() -> int:
         problems += check_obs_names_documented(path, tree, doc_text)
     problems += check_kernel_pairing(_collect_classes(forest))
     problems += check_catalog_documented()
+    problems += check_version_vector_completeness(forest)
     if problems:
         print(f"lint_invariants: {len(problems)} problem(s)")
         for problem in problems:

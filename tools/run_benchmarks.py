@@ -36,6 +36,13 @@ root (see ``docs/PERFORMANCE.md`` for how to read it):
   key — the SQL backend trades steady-state throughput for pushdown,
   it is not expected to win in-process).  The cell refuses to report
   if the two paths' rows differ or if any query fell back.
+* ``query_result_cache`` — the same roll-up answered hot from the
+  versioned result cache (canonical plan fingerprint + mutation-counter
+  version vector) versus cold with ``cache=False`` (the uncached
+  kernel path); ``speedup`` is hot/cold ops.  The cell refuses to
+  report unless cached ≡ uncached byte-identically, including after
+  mutations on a private clone (zero stale serves), and at least one
+  hit was observed during the hot timing pass.
 
 Each cell reports steady-state ops/sec (the index is built once, then
 reused — the intended usage pattern); ``build`` records the one-time
@@ -358,17 +365,52 @@ def sql_pushdown_cell(mo, min_seconds: float) -> dict:
     load_seconds = time.perf_counter() - t0
     fallback = metrics.counter("sql.pushdown.fallback")
     before = fallback.value
-    sql_rows = q.execute(check=False, backend="sql")
-    memory_rows = q.execute(check=False)
+    # cache=False throughout: this cell measures the SQL and in-memory
+    # execution paths themselves, not result-cache hits
+    sql_rows = q.execute(check=False, backend="sql", cache=False)
+    memory_rows = q.execute(check=False, cache=False)
     assert sql_rows == memory_rows, "sql backend disagrees with engine"
     assert fallback.value == before, "sql backend fell back on clinical"
-    sql = timed(lambda: q.execute(check=False, backend="sql"), min_seconds)
-    memory = timed(lambda: q.execute(check=False), min_seconds)
+    sql = timed(lambda: q.execute(check=False, backend="sql", cache=False),
+                min_seconds)
+    memory = timed(lambda: q.execute(check=False, cache=False), min_seconds)
     return {
         "load_seconds": round(load_seconds, 6),
         "sql_ops_per_sec": round(sql, 3),
         "memory_ops_per_sec": round(memory, 3),
         "relative": round(sql / memory, 2),
+    }
+
+
+def query_result_cache_cell(mo, generated, min_seconds: float) -> dict:
+    """The ``query_result_cache`` cell: the standard two-dimensional
+    roll-up answered hot (versioned result cache, fingerprint hit)
+    versus cold (``cache=False``, the uncached kernel path), with a
+    three-part agreement gate the cell refuses to report without:
+    cached ≡ uncached before mutations, after mutations on a private
+    clone (zero stale serves), and a hit actually observed during the
+    hot timing pass."""
+    q = _pushdown_query(mo)
+    cold_rows = q.execute(check=False, cache=False)
+    assert q.execute(check=False) == cold_rows   # miss: computes, stores
+    assert q.execute(check=False) == cold_rows   # hit: served from cache
+    clone = mo.copy()
+    cq = _pushdown_query(clone)
+    assert cq.execute(check=False) == cq.execute(check=False, cache=False)
+    clone.relate(generated.patients[0], ROLLUP_DIMENSION,
+                 generated.icd.low_levels[0])
+    cached = cq.execute(check=False)
+    uncached = cq.execute(check=False, cache=False)
+    assert cached == uncached, "cache served stale rows after a mutation"
+    hits = metrics.counter("query.cache.hit")
+    before = hits.value
+    hot = timed(lambda: q.execute(check=False), min_seconds)
+    assert hits.value > before, "hot timing pass never hit the cache"
+    cold = timed(lambda: q.execute(check=False, cache=False), min_seconds)
+    return {
+        "cold_ops_per_sec": round(cold, 3),
+        "hot_ops_per_sec": round(hot, 3),
+        "speedup": round(hot / cold, 2),
     }
 
 
@@ -484,12 +526,15 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
     core["kernel_vs_object_speedup"] = round(
         core["kernel_ops_per_sec"] / core["object_ops_per_sec"], 2)
     cell["sql_pushdown"] = sql_pushdown_cell(mo, min_seconds)
+    cell["query_result_cache"] = query_result_cache_cell(
+        mo, generated, min_seconds)
     cell["metrics"] = _metrics_snapshot(mo, generated)
     return cell
 
 
 BENCH_NAMES = ("rollup", "aggregate", "aggregate_grouping", "cube_build",
-               "cube_materialize_all", "mutation_maintenance")
+               "cube_materialize_all", "mutation_maintenance",
+               "query_result_cache")
 
 
 def _metrics_snapshot(mo, generated) -> dict:
@@ -501,8 +546,13 @@ def _metrics_snapshot(mo, generated) -> dict:
     indexed_group_counts(mo)
     run_aggregate(mo, use_index=True)
     # one pushed-down query (backend already warm from the timing pass),
-    # so the snapshot shows sql.pushdown.compiled > 0 with zero fallbacks
-    _pushdown_query(mo).execute(check=False, backend="sql")
+    # so the snapshot shows sql.pushdown.compiled > 0 with zero
+    # fallbacks; cache=False so it exercises the SQL path, not a hit
+    _pushdown_query(mo).execute(check=False, backend="sql", cache=False)
+    # two cached executions so the snapshot shows query.cache.hit > 0
+    # (the first may hit too — the timing pass warmed the cache)
+    _pushdown_query(mo).execute(check=False)
+    _pushdown_query(mo).execute(check=False)
     indexed_cube_sizes(mo)
     CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
                 shared_scan=True).materialize_all()
