@@ -7,7 +7,8 @@ Usage::
     python -m repro figure1|figure2|figure3
     python -m repro probes           # the nine requirement probes
     python -m repro timeslice --date 01/06/85
-    python -m repro analyze [--subject all|casestudy|retail|wide]
+    python -m repro analyze [--subject all|casestudy|clinical|retail|wide]
+                            [--shardability] [--json]
     python -m repro export [--temporal] [--out FILE]
     python -m repro demo             # a synthetic workload walkthrough
 
@@ -61,8 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze", help="static schema analysis (exit 1 on errors)")
     analyze.add_argument("--subject", default="all",
-                         choices=["all", "casestudy", "retail", "wide"],
+                         choices=["all", "casestudy", "clinical",
+                                  "retail", "wide"],
                          help="which schema(s) to lint (default all)")
+    analyze.add_argument("--shardability", action="store_true",
+                         help="analyze partition-and-merge safety of "
+                              "representative rollup plans (MD07x) "
+                              "instead of the schema lints")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit a machine-readable JSON report")
     return parser
 
 
@@ -176,24 +184,95 @@ def _cmd_demo(patients: int, seed: int) -> int:
     return 0
 
 
-def _cmd_analyze(subject: str) -> int:
-    from repro.analyze import analyze_schema
+def _analyze_subjects(subject: str):
+    if subject in ("all", "casestudy"):
+        from repro.casestudy import case_study_mo
+        yield "case study", case_study_mo(temporal=True)
+    if subject in ("all", "clinical"):
+        from repro.workloads import ClinicalConfig, generate_clinical
+        yield "clinical workload", generate_clinical(
+            ClinicalConfig(n_patients=50, seed=0)).mo
+    if subject in ("all", "retail"):
+        from repro.workloads import generate_retail
+        yield "retail workload", generate_retail().mo
+    if subject in ("all", "wide"):
+        from repro.workloads.wide import WideConfig, generate_wide
+        yield "wide workload", generate_wide(
+            WideConfig(n_facts=50, n_flat_dimensions=20)).mo
 
-    def subjects():
-        if subject in ("all", "casestudy"):
-            from repro.casestudy import case_study_mo
-            yield "case study", case_study_mo(temporal=True)
-        if subject in ("all", "retail"):
-            from repro.workloads import generate_retail
-            yield "retail workload", generate_retail().mo
-        if subject in ("all", "wide"):
-            from repro.workloads.wide import WideConfig, generate_wide
-            yield "wide workload", generate_wide(
-                WideConfig(n_facts=50, n_flat_dimensions=20)).mo
+
+def _representative_plans(mo):
+    """Rollup plans standing in for the subject's query mix: a
+    distributive rollup at the coarsest categories below ⊤, plus a
+    holistic (Median) rollup so the MD07x path is visibly exercised."""
+    from repro.algebra.functions import Median, SetCount
+    from repro.engine.query import Query
+
+    grouping = []
+    for dtype in mo.schema.dimension_types():
+        below_top = sorted(dtype.succ(dtype.top_name))
+        if below_top:
+            grouping.append((dtype.name, below_top[0]))
+        if len(grouping) == 2:
+            break
+    query = Query(mo)
+    for name, category in grouping:
+        query = query.rollup(name, category)
+    described = ", ".join(f"{n}→{c}" for n, c in grouping) or "⊤"
+    yield f"SetCount rollup [{described}]", query.to_plan(SetCount())
+    if grouping:
+        yield (f"Median({grouping[0][0]}) rollup [{described}]",
+               query.to_plan(Median(grouping[0][0])))
+
+
+def _diagnostic_dict(diagnostic) -> dict:
+    return {
+        "code": diagnostic.code,
+        "severity": diagnostic.severity.value,
+        "message": diagnostic.message,
+        "location": diagnostic.location,
+        "hint": diagnostic.hint,
+    }
+
+
+def _cmd_analyze(subject: str, shardability: bool, as_json: bool) -> int:
+    import json
+
+    from repro.analyze import analyze_schema, shardability_of
 
     failed = False
-    for title, mo in subjects():
+    payload: dict = {"command": "analyze", "subject": subject,
+                     "shardability": shardability, "subjects": []}
+    for title, mo in _analyze_subjects(subject):
+        entry: dict = {"subject": title}
+        if shardability:
+            entry["plans"] = []
+            if not as_json:
+                print(f"== {title} ==")
+            for plan_title, plan in _representative_plans(mo):
+                verdict, report = shardability_of(plan)
+                entry["plans"].append({
+                    "plan": plan_title,
+                    "verdict": verdict.value,
+                    "diagnostics": [_diagnostic_dict(d) for d in report],
+                })
+                failed = failed or report.has_errors
+                if not as_json:
+                    print(f"{plan_title}: {verdict.value}")
+                    if report.diagnostics:
+                        print(report.render())
+            if not as_json:
+                print()
+            payload["subjects"].append(entry)
+            continue
         report = analyze_schema(mo)
+        entry["diagnostics"] = [_diagnostic_dict(d) for d in report]
+        entry["errors"] = len(report.errors)
+        entry["warnings"] = len(report.warnings)
+        payload["subjects"].append(entry)
+        failed = failed or report.has_errors
+        if as_json:
+            continue
         print(f"== {title} ==")
         if report.diagnostics:
             print(report.render())
@@ -202,7 +281,9 @@ def _cmd_analyze(subject: str) -> int:
         print(f"{len(report.errors)} error(s), "
               f"{len(report.warnings)} warning(s)")
         print()
-        failed = failed or report.has_errors
+    payload["ok"] = not failed
+    if as_json:
+        print(json.dumps(payload, indent=2, ensure_ascii=False))
     return 1 if failed else 0
 
 
@@ -228,7 +309,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "demo":
         return _cmd_demo(args.patients, args.seed)
     if args.command == "analyze":
-        return _cmd_analyze(args.subject)
+        return _cmd_analyze(args.subject, args.shardability, args.as_json)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

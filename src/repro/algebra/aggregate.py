@@ -530,3 +530,112 @@ def summarizability_of(
 
 
 __all__ += ["summarizability_of"]
+
+
+def partition_facts(mo: MultidimensionalObject,
+                    n_shards: int) -> List[Set[Fact]]:
+    """Deterministically split ``mo``'s fact set into ``n_shards``
+    contiguous ranges of the repr-sorted fact list (the reference
+    stand-in for the interned-id range partitioning the sharded
+    executor will use).  Shards may be empty when facts are scarce;
+    their union is exactly ``mo.facts`` and they are pairwise
+    disjoint."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    ordered = sorted(mo.facts, key=repr)
+    size, extra = divmod(len(ordered), n_shards)
+    shards: List[Set[Fact]] = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + size + (1 if i < extra else 0)
+        shards.append(set(ordered[start:stop]))
+        start = stop
+    return shards
+
+
+def restricted_to_facts(mo: MultidimensionalObject,
+                        facts: Set[Fact]) -> MultidimensionalObject:
+    """The sub-MO over a subset of ``mo``'s facts: same schema and
+    dimensions, every fact-dimension relation restricted to the subset
+    (σ's construction without the predicate evaluation) — the shard
+    an executor hands to a worker."""
+    surviving = set(facts) & set(mo.facts)
+    relations = {
+        name: mo.relation(name).restricted_to_facts(surviving)
+        for name in mo.dimension_names
+    }
+    return MultidimensionalObject(
+        schema=mo.schema,
+        facts=surviving,
+        dimensions={name: mo.dimension(name)
+                    for name in mo.dimension_names},
+        relations=relations,
+        kind=mo.kind,
+    )
+
+
+def aggregate_sharded(
+    mo: MultidimensionalObject,
+    function: AggregationFunction,
+    grouping: Dict[str, str],
+    n_shards: int = 2,
+    partial=None,
+    merge=None,
+) -> Dict[Tuple[DimensionValue, ...], object]:
+    """Reference partition-and-merge execution of one α: partition the
+    fact set into ``n_shards`` sub-MOs, form groups and evaluate
+    ``function`` per shard, and merge per-combination partials with
+    ``function.combine`` — the semantics the MD07x shardability
+    analyzer vouches for, kept executable so its verdicts can be
+    checked against ``aggregate_sharded(…, n_shards=1)`` (plain
+    evaluation) in the property tests.
+
+    Returns ``{grouped-value combination → merged result}`` with
+    combinations as tuples over ``sorted(grouping)``.  ``partial`` /
+    ``merge`` override the per-shard evaluator and the merge step for
+    ALGEBRAIC functions, which shard via accumulator *states* (e.g.
+    AVG's (sum, count) pairs) rather than finished results; the
+    defaults are ``function.apply`` / ``function.combine``.  A
+    combination seen in a single shard keeps its partial unmerged, the
+    way a real sharded executor would skip the combine for singleton
+    cells.
+
+    Exact only when the analyzer's preconditions hold (DISTRIBUTIVE or
+    decomposed-ALGEBRAIC function, grouping summarizability SAFE):
+    non-strict fact paths make shards overlap per combination and the
+    merge double-counts — exactly what ``MD072`` warns about.
+    """
+    for name in grouping:
+        if name not in mo.schema:
+            raise SchemaError(
+                f"grouping names unknown dimension {name!r}")
+    if partial is None:
+        partial = function.apply
+    if merge is None:
+        merge = function.combine
+    full_grouping = {
+        name: grouping.get(name, mo.dimension(name).dtype.top_name)
+        for name in mo.dimension_names
+    }
+    dim_order = list(mo.dimension_names)
+    names = sorted(grouping)
+    positions = [dim_order.index(name) for name in names]
+
+    merged: Dict[Tuple[DimensionValue, ...], List[object]] = {}
+    for shard in partition_facts(mo, n_shards):
+        sub = restricted_to_facts(mo, shard)
+        groups = _form_groups(sub, full_grouping, dim_order, None,
+                              use_index=True)
+        for combo, members in groups.items():
+            if not members:
+                continue
+            key = tuple(combo[i] for i in positions)
+            merged.setdefault(key, []).append(partial(members, sub))
+    return {
+        key: (partials[0] if len(partials) == 1 else merge(partials))
+        for key, partials in merged.items()
+    }
+
+
+__all__ += ["partition_facts", "restricted_to_facts",
+            "aggregate_sharded"]

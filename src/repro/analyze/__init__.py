@@ -23,7 +23,13 @@ properties, and an algebra plan, the analyzer emits structured
   plan would fall back to the in-memory path;
 * **result-cache coverage** (``MD06x``) — :func:`analyze_cacheability`
   dry-runs the canonical plan fingerprint and reports exactly why a
-  plan would bypass the versioned result cache.
+  plan would bypass the versioned result cache;
+* **shard safety** (``MD07x``) — :func:`analyze_shardability`
+  classifies aggregation functions as distributive / algebraic /
+  holistic from their AST (every static DISTRIBUTIVE verdict backed by
+  an extensional merge-equivalence check), runs a purity/determinism
+  analysis over user callables, and folds partition safety through the
+  plan so partition-and-merge execution is provably exact.
 
 Three surfaces: the :func:`analyze_schema` / :func:`analyze_plan` /
 :func:`analyze_timeslice` APIs here, ``Query.check()`` on the fluent
@@ -39,14 +45,32 @@ from repro.analyze.diagnostics import (
 )
 from repro.analyze.cacheability import analyze_cacheability
 from repro.analyze.plan import PlanTypes, analyze_plan, typecheck_plan
+from repro.analyze.purity import (
+    PurityFinding,
+    PurityReport,
+    PurityVerdict,
+    analyze_callable,
+    analyze_function_purity,
+    analyze_predicate_purity,
+)
 from repro.analyze.pushdown import analyze_pushdown
 from repro.analyze.schema import (
     StaticVerdict,
     analyze_schema,
     analyze_timeslice,
+    grouping_summarizability,
     intensional_summarizability,
     recorded_valid_time,
     static_summarizability,
+)
+from repro.analyze.shardability import (
+    FunctionClass,
+    FunctionClassification,
+    ShardVerdict,
+    analyze_shardability,
+    classify_function,
+    merge_equivalence_check,
+    shardability_of,
 )
 
 __all__ = [
@@ -62,7 +86,21 @@ __all__ = [
     "StaticVerdict",
     "analyze_schema",
     "analyze_timeslice",
+    "grouping_summarizability",
     "intensional_summarizability",
     "recorded_valid_time",
     "static_summarizability",
+    "PurityFinding",
+    "PurityReport",
+    "PurityVerdict",
+    "analyze_callable",
+    "analyze_function_purity",
+    "analyze_predicate_purity",
+    "FunctionClass",
+    "FunctionClassification",
+    "ShardVerdict",
+    "analyze_shardability",
+    "classify_function",
+    "merge_equivalence_check",
+    "shardability_of",
 ]

@@ -11,6 +11,12 @@ clean report means ``Query.execute()`` will consult the cache; a
 finding names the construct the query layer will count as
 ``query.cache.bypass``.
 
+When the canonicalizer attaches the offending construct as the
+exception ``payload``, the finding runs the ``MD07x`` purity analyzer
+over its callable and says whether the opacity is *conservative* (the
+callable is pure, only unserializable) or *essential* (the callable is
+impure — caching it would be wrong even with a serialization).
+
 ``MD060`` is :attr:`~repro.analyze.Severity.INFO` — cache coverage is
 a performance observation, never a correctness issue (the bypass
 recomputes, byte-identically).
@@ -18,11 +24,44 @@ recomputes, byte-identically).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analyze.diagnostics import AnalysisReport
+from repro.analyze.purity import (
+    PurityVerdict,
+    analyze_function_purity,
+    analyze_predicate_purity,
+)
 from repro.engine.optimizer import Plan, node_label
 from repro.engine.plan_fingerprint import Unfingerprintable, fingerprint
 
 __all__ = ["analyze_cacheability"]
+
+
+def _purity_note(payload: object) -> Optional[str]:
+    """One clause describing the payload's purity, or None when the
+    payload is absent / not a construct the purity analyzer covers."""
+    reports = []
+    if payload is None:
+        return None
+    if hasattr(payload, "kind") and hasattr(payload, "test"):
+        report = analyze_predicate_purity(payload)
+        if report is not None:
+            reports.append(report)
+    elif hasattr(payload, "apply") and hasattr(payload, "combine"):
+        reports.extend(analyze_function_purity(payload).values())
+    if not reports:
+        return None
+    impure = [r for r in reports if r.verdict is PurityVerdict.IMPURE]
+    if impure:
+        findings = "; ".join(
+            f.detail for r in impure for f in r.findings[:2])
+        return (f"its callable is impure ({findings}) — caching would "
+                f"be unsound even with a serialization")
+    if any(r.verdict is PurityVerdict.OPAQUE for r in reports):
+        return "its callable's source is unavailable to the analyzer"
+    return ("its callable is pure — the bypass is conservative "
+            "(unserializable, not incorrect)")
 
 
 def analyze_cacheability(plan: Plan) -> AnalysisReport:
@@ -32,9 +71,13 @@ def analyze_cacheability(plan: Plan) -> AnalysisReport:
     try:
         fingerprint(plan)
     except Unfingerprintable as exc:
-        report.emit("MD060", exc.reason, location=exc.location,
+        message = exc.reason
+        note = _purity_note(exc.payload)
+        if note is not None:
+            message = f"{message}; {note}"
+        report.emit("MD060", message, location=exc.location,
                     hint="executions will recompute "
                          "(query.cache.bypass); use characterized_by/"
                          "conjunction predicates and builtin "
                          "aggregation functions to cache")
-    return report
+    return report.sort()

@@ -22,7 +22,10 @@ The code space is partitioned by concern:
   correctness issue: the fallback answers in memory);
 * ``MD06x`` — result-cache coverage (whether the canonical plan
   fingerprint can key a plan, and if not, why every execution will
-  recompute — never a correctness issue: the bypass answers directly).
+  recompute — never a correctness issue: the bypass answers directly);
+* ``MD07x`` — shard-safety (whether partition-and-merge execution of a
+  plan is provably exact: function distributivity class, purity of
+  user callables, partition-safety through the operators).
 
 ``docs/ANALYSIS.md`` is the narrative catalogue; :data:`CATALOG` below
 is the machine-readable one and the AST lint cross-checks the two.
@@ -154,6 +157,37 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
               "aggregation function is opaque to the canonical "
               "fingerprint (query.cache.bypass will count it); every "
               "execution recomputes"),
+    "MD070": (Severity.INFO,
+              "aggregation function is HOLISTIC (no decomposition into "
+              "mergeable partials exists): this α cannot be sharded "
+              "and must evaluate on a single partition"),
+    "MD071": (Severity.INFO,
+              "aggregation function is ALGEBRAIC: shardable only via "
+              "paired-accumulator decomposition (merge partial "
+              "accumulator states, never the finished results)"),
+    "MD072": (Severity.INFO,
+              "grouping summarizability is not statically SAFE: "
+              "partition-and-merge could double-count or drop facts, "
+              "so the α is not provably shard-safe"),
+    "MD073": (Severity.INFO,
+              "set-difference/join below an α poisons partition-"
+              "safety: operands would need cross-shard alignment "
+              "before the per-shard results are meaningful"),
+    "MD074": (Severity.WARNING,
+              "user-defined callable is impure or nondeterministic "
+              "(global-state mutation, I/O, randomness, clock reads, "
+              "or order-dependent accumulation): unsafe to shard, "
+              "replay, or cache"),
+    "MD075": (Severity.INFO,
+              "user-defined callable is unanalyzable (source "
+              "unavailable, or a shape the classifier does not "
+              "recognize): purity and shard-safety are undecidable, "
+              "so the analyzer stays conservative"),
+    "MD076": (Severity.WARNING,
+              "combine disagrees with apply on synthesized partitions "
+              "(the extensional merge-equivalence check failed): the "
+              "statically distributive-shaped function is demoted to "
+              "UNKNOWN and will not be sharded"),
 }
 
 
@@ -228,6 +262,17 @@ class AnalysisReport:
         """Fold another report's findings into this one (already
         counted when first added — no double count)."""
         self._diagnostics.extend(other._diagnostics)
+
+    def sort(self) -> "AnalysisReport":
+        """Order findings deterministically by (code, location,
+        message), in place — the ``analyze_*`` entry points call this
+        before returning, so two runs over the same subject render
+        byte-identical reports regardless of traversal order.  Sorts
+        the existing list rather than re-adding (re-adding would
+        double-count ``analyze.diagnostics.*``).  Returns self."""
+        self._diagnostics.sort(
+            key=lambda d: (d.code, d.location, d.message))
+        return self
 
     @property
     def errors(self) -> Tuple[Diagnostic, ...]:

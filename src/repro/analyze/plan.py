@@ -316,4 +316,4 @@ def analyze_plan(plan: Plan) -> AnalysisReport:
     temporal-kind checks.  No fact data is touched except the sound
     extensional confirmation of declared-SAFE groupings."""
     report, _types = typecheck_plan(plan)
-    return report
+    return report.sort()

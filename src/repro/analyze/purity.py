@@ -1,0 +1,450 @@
+"""Purity/determinism analysis of user-supplied callables.
+
+Sharding a plan runs its σ predicates and aggregation-function methods
+many times, concurrently, over partitions of the fact set — and the
+result cache replays old answers instead of running them at all.  Both
+are only sound for callables that are *pure* (no observable effects)
+and *deterministic* (same inputs ⇒ same output).  This module answers
+that question statically, from the callable's AST, without running it:
+
+* **global-state mutation** — ``global``/``nonlocal`` rebinding,
+  assignment through a free variable (``CACHE[k] = v``), mutator-method
+  calls on free variables (``SEEN.append(f)``), and accumulation on
+  ``self`` inside apply-style methods (state that leaks across calls);
+* **I/O** — ``open``/``print``/``input`` and calls into ``os``/``sys``/
+  ``subprocess``/``socket``/``shutil``/``pathlib`` reached as free
+  variables;
+* **randomness and time** — ``random``/``secrets``/``uuid``/
+  ``os.urandom`` and clock reads (``time.*``, ``datetime.now`` and
+  friends, ``perf_counter``), which make re-execution nondeterministic;
+* **iteration-order-dependent accumulation** — a heuristic: a
+  non-commutative augmented assignment (``-=``, ``/=``, ``**=``, …)
+  inside a loop folds its operand order into the result, so partition
+  order changes the answer even though each step is pure.
+
+Verdicts are deliberately three-valued.  ``PURE`` is the analyzer
+vouching for the callable; ``IMPURE`` carries the findings; ``OPAQUE``
+means the source is unavailable (a C builtin, a lambda the inspector
+cannot recover, a REPL definition) and the caller must stay
+conservative.  Like every static pass here, the discipline is "never
+guess on the safe side": anything unanalyzable is OPAQUE, not PURE.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.obs import metrics
+
+__all__ = [
+    "PurityVerdict",
+    "PurityFinding",
+    "PurityReport",
+    "analyze_callable",
+    "analyze_function_purity",
+    "analyze_predicate_purity",
+]
+
+
+class PurityVerdict(enum.Enum):
+    """What the analyzer can say about a callable without running it."""
+
+    PURE = "pure"
+    IMPURE = "impure"
+    OPAQUE = "opaque"
+
+
+@dataclass(frozen=True)
+class PurityFinding:
+    """One reason a callable is not (provably) pure.
+
+    ``category`` is one of ``global-mutation``, ``io``, ``randomness``,
+    ``time``, ``order-dependence``, ``opaque``; ``detail`` names the
+    offending construct; ``line`` is 1-based within the callable's
+    source (0 when there is no source to point at)."""
+
+    category: str
+    detail: str
+    line: int = 0
+
+    def render(self) -> str:
+        return f"{self.category}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class PurityReport:
+    """The verdict for one callable plus every finding behind it."""
+
+    subject: str
+    verdict: PurityVerdict
+    findings: Tuple[PurityFinding, ...] = ()
+
+    @property
+    def is_pure(self) -> bool:
+        return self.verdict is PurityVerdict.PURE
+
+    def summary(self) -> str:
+        """A one-line rendering for diagnostic messages."""
+        if self.verdict is PurityVerdict.PURE:
+            return f"{self.subject} is pure"
+        reasons = "; ".join(f.render() for f in self.findings) or \
+            self.verdict.value
+        return f"{self.subject} is {self.verdict.value} ({reasons})"
+
+
+#: free-variable roots whose attribute calls are I/O.
+_IO_MODULES = {"os", "sys", "subprocess", "socket", "shutil", "pathlib",
+               "io", "requests", "urllib", "http"}
+#: free-variable call roots that are I/O outright.
+_IO_CALLS = {"open", "print", "input"}
+#: free-variable roots whose attribute calls are nondeterministic.
+_RANDOM_MODULES = {"random", "secrets", "uuid"}
+#: attribute names that read a clock, whatever the root.
+_CLOCK_ATTRS = {"now", "utcnow", "today", "time", "monotonic",
+                "perf_counter", "process_time", "time_ns",
+                "monotonic_ns", "perf_counter_ns"}
+#: method names that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "move_to_end",
+    "appendleft", "popleft", "sort", "reverse", "write", "writelines",
+    "intern", "record", "inc", "dec", "set", "observe",
+}
+#: augmented-assignment operators whose fold is order-sensitive.
+_NON_COMMUTATIVE = (ast.Sub, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+                    ast.LShift, ast.RShift, ast.MatMult)
+
+
+def _bound_names(fn: ast.AST) -> Set[str]:
+    """Every name the function binds locally: parameters, assignment
+    targets, loop/with/except targets, comprehension variables, inner
+    defs.  A name *not* in this set is free — reads are fine, but
+    mutation through it is global-state mutation."""
+    bound: Set[str] = set()
+
+    class _Collector(ast.NodeVisitor):
+        def visit_arguments(self, node: ast.arguments) -> None:
+            for arg in (list(node.posonlyargs) + list(node.args)
+                        + list(node.kwonlyargs)):
+                bound.add(arg.arg)
+            if node.vararg:
+                bound.add(node.vararg.arg)
+            if node.kwarg:
+                bound.add(node.kwarg.arg)
+
+        def visit_Name(self, node: ast.Name) -> None:
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                bound.add(node.id)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            bound.add(node.name)
+            self.generic_visit(node)
+
+        def visit_AsyncFunctionDef(self, node) -> None:
+            bound.add(node.name)
+            self.generic_visit(node)
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            bound.add(node.name)
+            self.generic_visit(node)
+
+    collector = _Collector()
+    for child in ast.walk(fn):
+        collector.visit(child)
+    return bound
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost ``Name`` of an attribute/subscript chain, or None
+    when the chain roots in a call/literal."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a call target for messages."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)) or "<expr>"
+
+
+class _PurityVisitor(ast.NodeVisitor):
+    """Collects findings over one function body."""
+
+    def __init__(self, bound: Set[str], is_method: bool) -> None:
+        self.bound = bound
+        self.is_method = is_method
+        self.findings: List[PurityFinding] = []
+        self._loop_depth = 0
+
+    def _flag(self, category: str, detail: str, node: ast.AST) -> None:
+        self.findings.append(PurityFinding(
+            category=category, detail=detail,
+            line=getattr(node, "lineno", 0)))
+
+    # --- bindings that escape the call -------------------------------
+    def visit_Global(self, node: ast.Global) -> None:
+        self._flag("global-mutation",
+                   f"rebinds global name(s) {', '.join(node.names)}",
+                   node)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._flag("global-mutation",
+                   f"rebinds enclosing name(s) {', '.join(node.names)}",
+                   node)
+
+    # --- mutation through free variables and self --------------------
+    def _check_target(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element, node)
+            return
+        if isinstance(target, ast.Name):
+            return  # local rebinding is fine
+        root = _root_name(target)
+        if root == "self":
+            if self.is_method:
+                self._flag("global-mutation",
+                           f"mutates instance state "
+                           f"{_dotted(target) or 'self attribute'} "
+                           f"(leaks across calls)", node)
+            return
+        if root is not None and root not in self.bound:
+            self._flag("global-mutation",
+                       f"assigns through free variable {root!r}", node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+        if self._loop_depth and isinstance(node.op, _NON_COMMUTATIVE):
+            symbol = type(node.op).__name__
+            self._flag("order-dependence",
+                       f"non-commutative accumulation ({symbol}) inside "
+                       f"a loop folds iteration order into the result",
+                       node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    # --- calls: mutators on free state, I/O, clocks, randomness ------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _IO_CALLS and func.id not in self.bound:
+                self._flag("io", f"calls {func.id}()", node)
+            elif func.id in _CLOCK_ATTRS and func.id not in self.bound:
+                # `from time import time; time()` style bare clock read
+                self._flag("time", f"calls {func.id}() (reads a clock)",
+                           node)
+        elif isinstance(func, ast.Attribute):
+            root = _root_name(func)
+            free = root is not None and root not in self.bound \
+                and root != "self"
+            if func.attr in MUTATOR_METHODS:
+                if root == "self" and self.is_method:
+                    self._flag("global-mutation",
+                               f"mutates instance state via "
+                               f"{_dotted(func)}() (leaks across calls)",
+                               node)
+                elif free:
+                    self._flag("global-mutation",
+                               f"mutates free variable via "
+                               f"{_dotted(func)}()", node)
+            if free and root in _IO_MODULES:
+                if root == "os" and func.attr == "urandom":
+                    self._flag("randomness",
+                               f"calls {_dotted(func)}()", node)
+                else:
+                    self._flag("io", f"calls {_dotted(func)}()", node)
+            elif free and root in _RANDOM_MODULES:
+                self._flag("randomness", f"calls {_dotted(func)}()",
+                           node)
+            elif func.attr in _CLOCK_ATTRS and (
+                    free or not isinstance(func.value, ast.Name)):
+                self._flag("time", f"calls {_dotted(func)}() (reads a "
+                           f"clock)", node)
+        self.generic_visit(node)
+
+
+def _file_tree_at(fn: object) -> Optional[ast.Module]:
+    """A module wrapping the single lambda/def in ``fn``'s source file
+    that starts on its code object's first line, or None."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None
+    try:
+        path = inspect.getsourcefile(fn)  # type: ignore[arg-type]
+        if path is None:
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+    except (TypeError, OSError, SyntaxError):
+        return None
+    matches = [
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef))
+        and node.lineno == code.co_firstlineno
+    ]
+    if len(matches) != 1:
+        return None  # none found, or ambiguous (two lambdas, one line)
+    return ast.Module(body=[ast.Expr(value=matches[0])]  # type: ignore
+                      if isinstance(matches[0], ast.Lambda)
+                      else [matches[0]], type_ignores=[])
+
+
+def _source_tree(fn: object) -> Tuple[Optional[ast.FunctionDef],
+                                      Optional[str]]:
+    """The (FunctionDef, None) of ``fn``'s source, or (None, reason)
+    when the source cannot be recovered or parsed."""
+    try:
+        source = inspect.getsource(fn)  # type: ignore[arg-type]
+    except (TypeError, OSError):
+        return None, "source unavailable"
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError:
+        # a lambda mid-expression: getsource returns the surrounding
+        # line(s), which need not parse standalone.  Re-parse the whole
+        # file and find the lambda by its code object's line number.
+        tree = _file_tree_at(fn)
+        if tree is None:
+            return None, "source fragment does not parse standalone"
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node, None  # type: ignore[return-value]
+        if isinstance(node, ast.Lambda):
+            # wrap the lambda body as a function-shaped node
+            wrapper = ast.FunctionDef(
+                name="<lambda>", args=node.args,
+                body=[ast.Return(value=node.body)],
+                decorator_list=[], returns=None, type_comment=None)
+            ast.copy_location(wrapper, node)
+            ast.fix_missing_locations(wrapper)
+            return wrapper, None
+    return None, "no function definition in source"
+
+
+def analyze_callable(fn: object, subject: str = "",
+                     is_method: bool = False) -> PurityReport:
+    """Statically analyze one callable for purity and determinism.
+
+    ``subject`` names it in findings (defaults to its ``__qualname__``);
+    ``is_method`` marks apply-style methods whose ``self`` mutation is
+    cross-call state (and whose first parameter is not free state).
+    """
+    name = subject or getattr(fn, "__qualname__",
+                              getattr(fn, "__name__", repr(fn)))
+    metrics.counter("analyze.purity.analyzed").inc()
+    node, reason = _source_tree(fn)
+    if node is None:
+        return PurityReport(
+            subject=name, verdict=PurityVerdict.OPAQUE,
+            findings=(PurityFinding("opaque", reason or "unanalyzable"),))
+    bound = _bound_names(node)
+    visitor = _PurityVisitor(bound, is_method=is_method)
+    for statement in node.body:
+        visitor.visit(statement)
+    if visitor.findings:
+        return PurityReport(subject=name, verdict=PurityVerdict.IMPURE,
+                            findings=tuple(visitor.findings))
+    return PurityReport(subject=name, verdict=PurityVerdict.PURE)
+
+
+def analyze_function_purity(function: object) -> Dict[str, PurityReport]:
+    """Purity reports for every aggregation-function method a subclass
+    overrides (``apply``/``combine``/``batch_apply``), keyed by method
+    name.  Inherited base implementations are skipped: the base
+    ``batch_apply`` returns None and the base ``combine`` raises —
+    neither runs user code."""
+    from repro.algebra.functions import AggregationFunction
+    out: Dict[str, PurityReport] = {}
+    cls = type(function)
+    for method_name in ("apply", "combine", "batch_apply"):
+        override = getattr(cls, method_name, None)
+        inherited = getattr(AggregationFunction, method_name, None)
+        if override is None or override is inherited:
+            continue
+        out[method_name] = analyze_callable(
+            override, subject=f"{cls.__name__}.{method_name}",
+            is_method=True)
+    return out
+
+
+_VERDICT_RANK = {PurityVerdict.PURE: 0, PurityVerdict.OPAQUE: 1,
+                 PurityVerdict.IMPURE: 2}
+
+
+def analyze_predicate_purity(predicate: object) -> Optional[PurityReport]:
+    """The purity report for an *opaque* σ predicate's test callable
+    (``characterized_by``/``conjunction`` predicates run no user code
+    and return None).
+
+    The constructors in :mod:`repro.algebra.predicates` wrap the user's
+    callable in a pure ``test`` closure, so the user code sits one
+    level down in the closure cells — captured plain functions and
+    lambdas are analyzed too and the worst verdict wins."""
+    kind = getattr(predicate, "kind", "opaque")
+    if kind in ("characterized_by", "conjunction"):
+        return None
+    test = getattr(predicate, "test", None)
+    if test is None:
+        return None
+    description = getattr(predicate, "description", "predicate")
+    subject = f"predicate {description!r}"
+    report = analyze_callable(test, subject=subject)
+    verdict, findings = report.verdict, list(report.findings)
+    for cell in getattr(test, "__closure__", None) or ():
+        try:
+            captured = cell.cell_contents
+        except ValueError:  # pragma: no cover - unfilled cell
+            continue
+        if not isinstance(captured, types.FunctionType):
+            continue
+        inner = analyze_callable(captured, subject=subject)
+        findings.extend(inner.findings)
+        if _VERDICT_RANK[inner.verdict] > _VERDICT_RANK[verdict]:
+            verdict = inner.verdict
+    return PurityReport(subject=subject, verdict=verdict,
+                        findings=tuple(findings))

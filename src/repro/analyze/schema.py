@@ -33,8 +33,8 @@ from repro.temporal.chronon import Chronon
 from repro.temporal.timeset import EMPTY
 
 __all__ = ["StaticVerdict", "intensional_summarizability",
-           "static_summarizability", "analyze_schema",
-           "analyze_timeslice", "recorded_valid_time"]
+           "grouping_summarizability", "static_summarizability",
+           "analyze_schema", "analyze_timeslice", "recorded_valid_time"]
 
 
 class StaticVerdict(enum.Enum):
@@ -80,6 +80,38 @@ def intensional_summarizability(
     return verdict
 
 
+def grouping_summarizability(
+    mo: MultidimensionalObject,
+    grouping: Dict[str, str],
+) -> StaticVerdict:
+    """The hierarchy-only half of the summarizability verdict: strict
+    fact paths and partitioning hierarchies for the grouped dimensions,
+    independent of which function merges the partials.
+
+    This is what the shardability analysis needs for ALGEBRAIC
+    functions (e.g. AVG): ``function.distributive`` is False — so
+    :func:`static_summarizability` would answer ``UNSAFE`` outright —
+    yet the *grouping* can still be safe to partition-and-merge once
+    the function is decomposed into distributive accumulators.  Same
+    soundness discipline: ``SAFE`` only after the declarations are
+    confirmed against the extension through the rollup index."""
+    verdict = StaticVerdict.SAFE
+    for name in grouping:
+        dtype = mo.schema.dimension_type(name)
+        if dtype.declared_strict is False or \
+                dtype.declared_partitioning is False:
+            return StaticVerdict.UNSAFE
+        if dtype.declared_strict is None or \
+                dtype.declared_partitioning is None:
+            verdict = StaticVerdict.UNKNOWN
+    if verdict is not StaticVerdict.SAFE:
+        return verdict
+    index = mo.rollup_index()
+    if index.summarizability(grouping, True).summarizable:
+        return StaticVerdict.SAFE
+    return StaticVerdict.UNKNOWN
+
+
 def static_summarizability(
     mo: MultidimensionalObject,
     grouping: Dict[str, str],
@@ -92,13 +124,9 @@ def static_summarizability(
     :func:`~repro.core.properties.check_summarizability` passes"
     holds even for drifted declarations — drift demotes the
     answer to ``UNKNOWN`` and is reported by :func:`analyze_schema`)."""
-    verdict = intensional_summarizability(mo.schema, grouping, function)
-    if verdict is not StaticVerdict.SAFE:
-        return verdict
-    index = mo.rollup_index()
-    if index.summarizability(grouping, function.distributive).summarizable:
-        return StaticVerdict.SAFE
-    return StaticVerdict.UNKNOWN
+    if not function.distributive:
+        return StaticVerdict.UNSAFE
+    return grouping_summarizability(mo, grouping)
 
 
 def _aggtype_inversions(dtype: DimensionType):
@@ -258,14 +286,14 @@ def analyze_schema(
                             f"type than its parent category {upper!r}",
                             location,
                             hint="check the Aggtype declarations")
-        return report
+        return report.sort()
 
     mo = mo_or_schema
     report = AnalysisReport(f"schema {mo.schema.fact_type}")
     for name in mo.dimension_names:
         _analyze_dimension(report, mo, mo.dimension(name))
     _analyze_uncertainty(report, mo)
-    return report
+    return report.sort()
 
 
 def recorded_valid_time(mo: MultidimensionalObject):

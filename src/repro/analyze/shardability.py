@@ -1,0 +1,597 @@
+"""Static shard-safety analysis: which plans survive partition-and-merge?
+
+The ROADMAP's sharded-execution item partitions the fact set into
+per-shard sub-MOs, evaluates per shard, and merges per-group partials
+with ``function.combine``.  That is only exact when three independent
+things hold, and each one is decided statically here:
+
+1. **The function decomposes.**  :func:`classify_function` labels every
+   :class:`~repro.algebra.functions.AggregationFunction` subclass from
+   its AST (never from its ``distributive`` *claim*):
+
+   * a ``combine`` override that is associative-shaped (a single
+     reduction — ``sum``/``min``/``max``/``prod``/set-union — over the
+     partials) and side-effect-free is a **DISTRIBUTIVE** candidate,
+     confirmed by an *extensional merge-equivalence check*
+     ``combine([apply(P₁), apply(P₂)]) ≡ apply(P₁ ∪ P₂)`` over
+     synthesized partitions of a synthetic MO — the same
+     "static SAFE ⇒ extensional check passes" soundness discipline the
+     summarizability analyzer established.  A lying ``combine`` fails
+     the check and is demoted to **UNKNOWN**, never trusted;
+   * an AVG-style paired-accumulator shape (a pure ``sum/len``-class
+     ratio in ``apply``/``batch_apply``, no combine) is **ALGEBRAIC**:
+     shardable by merging accumulator *states*, not finished results;
+   * everything else — medians, impure or source-less callables,
+     unrecognized shapes — is **HOLISTIC**/**UNKNOWN**: no shard plan.
+
+2. **The grouping is summarizable.**  Partition-and-merge merges
+   per-shard cells per group combination; non-strict fact paths or
+   non-partitioning hierarchies make shard cells overlap, so the merge
+   double-counts exactly when the Lenz–Shoshani conditions fail.  The
+   analyzer requires
+   :func:`~repro.analyze.schema.grouping_summarizability` = ``SAFE``
+   (the hierarchy half alone, so ALGEBRAIC functions qualify too).
+
+3. **The operators commute with partitioning.**
+   :func:`analyze_shardability` folds partition-safety through the
+   plan: σ/π are per-fact and preserve it; ρ and ∪ preserve it but end
+   the base chain the grouping verdict is verified against; ``\\`` and
+   ``⋈`` poison it (operands would need cross-shard alignment); α is
+   shardable iff (1) and (2) hold.  σ predicates of the opaque kind are
+   additionally run through :mod:`repro.analyze.purity` — an impure
+   predicate evaluates differently across shards and re-runs.
+
+Verdicts surface as ``MD070``–``MD076`` diagnostics (stable codes,
+``analyze.diagnostics.*`` counters), via :meth:`Query.check`, and via
+``python -m repro analyze --shardability``.  The reference executor
+the verdicts are tested against is
+:func:`repro.algebra.aggregate.aggregate_sharded`.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.functions import AggregationFunction
+from repro.analyze.diagnostics import AnalysisReport
+from repro.analyze.purity import (
+    PurityReport,
+    PurityVerdict,
+    analyze_function_purity,
+    analyze_predicate_purity,
+    _source_tree,
+)
+from repro.analyze.schema import StaticVerdict, grouping_summarizability
+from repro.core.factdim import FactDimensionRelation
+from repro.core.helpers import make_numeric_dimension
+from repro.core.mo import MultidimensionalObject, TimeKind
+from repro.core.schema import FactSchema
+from repro.core.values import DimensionValue, Fact
+from repro.engine.optimizer import (
+    AggregateNode,
+    Base,
+    DifferenceNode,
+    JoinNode,
+    Plan,
+    ProjectNode,
+    RenameNode,
+    SelectNode,
+    UnionNode,
+    node_label,
+)
+from repro.obs import metrics
+
+__all__ = [
+    "FunctionClass",
+    "FunctionClassification",
+    "ShardVerdict",
+    "classify_function",
+    "merge_equivalence_check",
+    "shardability_of",
+    "analyze_shardability",
+]
+
+_CLASSIFIED = metrics.counter("analyze.shardability.classified")
+_MERGE_FAILED = metrics.counter("analyze.shardability.merge_check_failed")
+
+
+class FunctionClass(enum.Enum):
+    """The Gray et al. taxonomy, assigned structurally."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+    #: statically distributive-shaped but extensionally refuted, or
+    #: otherwise unanalyzable — never sharded, never trusted.
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class FunctionClassification:
+    """The classifier's full answer for one function.
+
+    ``merge_check`` is the extensional merge-equivalence outcome: True
+    (passed — required for every DISTRIBUTIVE verdict), False (refuted:
+    a lying combine, whatever its shape), or None (not attempted — no
+    combine override, or the combine is impure/opaque so running it
+    would prove nothing).  ``purity`` maps each
+    overridden method to its :class:`PurityReport`; ``notes`` carries
+    human-readable reasons for non-DISTRIBUTIVE outcomes."""
+
+    function_class: FunctionClass
+    merge_check: Optional[bool] = None
+    purity: Mapping[str, PurityReport] = None  # type: ignore[assignment]
+    notes: Tuple[str, ...] = ()
+
+
+class ShardVerdict(enum.Enum):
+    """Whether partition-and-merge execution of a plan is provably
+    exact (``SHARDABLE`` is sound: it agrees with single-partition
+    evaluation), provably not, or undecided."""
+
+    SHARDABLE = "shardable"
+    NOT_SHARDABLE = "not-shardable"
+    UNKNOWN = "unknown"
+
+    @property
+    def rank(self) -> int:
+        return {"not-shardable": 0, "unknown": 1, "shardable": 2}[
+            self.value]
+
+
+def _meet(a: ShardVerdict, b: ShardVerdict) -> ShardVerdict:
+    """The conservative combination: the worse of the two."""
+    return a if a.rank <= b.rank else b
+
+
+# --------------------------------------------------------------------
+# function classification
+# --------------------------------------------------------------------
+
+#: reduction callables an associative-shaped combine may apply.
+_REDUCERS = {"sum", "min", "max", "prod"}
+#: attribute reducers (``math.prod``, ``frozenset.union``).
+_REDUCER_ATTRS = {"prod", "union"}
+
+_CLASSIFICATIONS: Dict[Tuple[type, Tuple[str, ...]],
+                       FunctionClassification] = {}
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    return any(isinstance(child, ast.Name) and child.id == name
+               for child in ast.walk(node))
+
+
+def _first_param(fn: ast.FunctionDef) -> Optional[str]:
+    """The first non-self parameter name."""
+    params = [a.arg for a in fn.args.args if a.arg != "self"]
+    return params[0] if params else None
+
+
+def _associative_shaped(fn: ast.FunctionDef) -> bool:
+    """True when every return of ``fn`` is a single recognized
+    reduction over the partials parameter — the static shape of an
+    associative, identity-respecting merge.  Purely syntactic; the
+    extensional check below is what *verifies* the semantics."""
+    partials = _first_param(fn)
+    if partials is None:
+        return False
+    returns = [node for node in ast.walk(fn)
+               if isinstance(node, ast.Return)]
+    if not returns:
+        return False
+    for ret in returns:
+        value = ret.value
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        named = (isinstance(func, ast.Name) and func.id in _REDUCERS)
+        attred = (isinstance(func, ast.Attribute)
+                  and func.attr in _REDUCER_ATTRS)
+        if not (named or attred):
+            return False
+        if not _mentions(value, partials):
+            return False
+    return True
+
+
+def _ratio_of_aggregates(node: ast.expr) -> bool:
+    """An AVG-shaped expression: a division whose numerator and
+    denominator are both aggregate reads (a ``sum``/``len`` call, a
+    subscripted accumulator, or a plain accumulator name)."""
+    def aggregate_read(side: ast.expr) -> bool:
+        if isinstance(side, ast.Call):
+            return (isinstance(side.func, ast.Name)
+                    and side.func.id in {"sum", "len"})
+        return isinstance(side, (ast.Subscript, ast.Name))
+
+    return (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)
+            and aggregate_read(node.left) and aggregate_read(node.right))
+
+
+def _algebraic_shaped(cls: type) -> bool:
+    """The paired-accumulator test: some override computes its result
+    as a ratio of aggregates (AVG's ``sum(xs) / len(xs)`` or its
+    batched ``sums[key] / count``) — decomposable into distributive
+    accumulator states merged per shard."""
+    for method_name in ("apply", "batch_apply"):
+        override = getattr(cls, method_name, None)
+        if override is None or override is getattr(
+                AggregationFunction, method_name, None):
+            continue
+        node, _reason = _source_tree(override)
+        if node is None:
+            continue
+        for child in ast.walk(node):
+            if isinstance(child, ast.expr) and _ratio_of_aggregates(child):
+                return True
+    return False
+
+
+#: fixed integer measure columns for the synthetic check MO — integral
+#: so float addition is exact and the equivalence is byte-level, with
+#: negatives, zero, and a duplicate to exercise non-trivial merges.
+_MEASURE_COLUMNS = (
+    (3, -2, 7, 0, 11, 5, 2),
+    (2, 4, -1, 3, 6, 1, 2),
+    (5, 1, -3, 8, 2, 0, 4),
+)
+
+
+def _synthesize_mo(args: Tuple[str, ...]) -> MultidimensionalObject:
+    """A small precise MO purpose-built for the merge-equivalence
+    check: one numeric dimension per argument of the function (so
+    ``measures_of`` works), seven facts with integer measures, and one
+    deliberately multi-valued characterization (fact 0 carries two
+    measures in the first argument dimension — the bridge-table case
+    ``combine`` must also survive)."""
+    facts = [Fact(fid=i, ftype="ShardCheck") for i in range(7)]
+    dimensions = {}
+    relations = {}
+    dtypes = []
+    # one dimension per UNIQUE argument: SumProduct("Age", "Age") is a
+    # legal function over a single dimension, not a two-dimension schema
+    unique_args = tuple(dict.fromkeys(args))
+    for i, name in enumerate(unique_args):
+        column = _MEASURE_COLUMNS[i % len(_MEASURE_COLUMNS)]
+        extra = 13 + i  # the second measure of fact 0
+        members = sorted(set(column) | {extra})
+        dimension = make_numeric_dimension(name, members)
+        relation = FactDimensionRelation(name)
+        for fact, measure in zip(facts, column):
+            relation.add(fact,
+                         DimensionValue(sid=measure, label=str(measure)))
+        if i == 0:
+            relation.add(facts[0],
+                         DimensionValue(sid=extra, label=str(extra)))
+        dimensions[name] = dimension
+        relations[name] = relation
+        dtypes.append(dimension.dtype)
+    return MultidimensionalObject(
+        schema=FactSchema("ShardCheck", dtypes),
+        facts=set(facts),
+        dimensions=dimensions,
+        relations=relations,
+        kind=TimeKind.SNAPSHOT,
+    )
+
+
+def _splits(facts: Sequence[Fact]) -> List[List[List[Fact]]]:
+    """The synthesized partition shapes: binary, uneven, three-way,
+    and fully singleton — each a list of non-empty disjoint parts
+    covering ``facts``.  Parts are never empty: a sharded executor
+    only combines cells of groups that exist in a shard."""
+    facts = list(facts)
+    return [
+        [facts[:1], facts[1:]],
+        [facts[:3], facts[3:]],
+        [facts[:5], facts[5:]],
+        [facts[:2], facts[2:4], facts[4:]],
+        [facts[0::2], facts[1::2]],
+        [[fact] for fact in facts],
+    ]
+
+
+def _agree(a: object, b: object) -> bool:
+    """Exact agreement, with the one float caveat that nan ≠ nan."""
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    return type(a) is type(b) and a == b
+
+
+def merge_equivalence_check(function: AggregationFunction) -> bool:
+    """The extensional half of every DISTRIBUTIVE verdict:
+    ``combine([apply(P₁), …, apply(Pₖ)]) ≡ apply(P₁ ∪ … ∪ Pₖ)`` over
+    the synthesized partitions of :func:`_synthesize_mo`.  Any
+    disagreement — or any exception out of the user's code — refutes
+    the candidate (the analyzer then answers UNKNOWN, never SAFE)."""
+    try:
+        mo = _synthesize_mo(tuple(function.args))
+        facts = sorted(mo.facts, key=lambda fact: repr(fact.fid))
+        whole = function.apply(set(facts), mo)
+        for split in _splits(facts):
+            partials = [function.apply(set(part), mo) for part in split]
+            if not _agree(function.combine(partials), whole):
+                return False
+        return True
+    except Exception:
+        return False
+
+
+def classify_function(
+        function: AggregationFunction) -> FunctionClassification:
+    """Classify one aggregation function structurally (cached per
+    ``(type, args)``, so repeated plan analyses re-use the AST walk
+    and the merge-equivalence execution)."""
+    key = (type(function), tuple(function.args))
+    cached = _CLASSIFICATIONS.get(key)
+    if cached is not None:
+        return cached
+    result = _classify(function)
+    _CLASSIFIED.inc()
+    return _CLASSIFICATIONS.setdefault(key, result)
+
+
+def _classify(function: AggregationFunction) -> FunctionClassification:
+    cls = type(function)
+    purity = analyze_function_purity(function)
+    impure = sorted(name for name, report in purity.items()
+                    if report.verdict is PurityVerdict.IMPURE)
+    opaque = sorted(name for name, report in purity.items()
+                    if report.verdict is PurityVerdict.OPAQUE)
+    notes: List[str] = []
+    notes.extend(purity[name].summary() for name in impure)
+    notes.extend(f"{cls.__name__}.{name}: source unavailable"
+                 for name in opaque)
+
+    has_combine = cls.combine is not AggregationFunction.combine
+    if has_combine:
+        if impure or opaque:
+            # a side-effecting merge can't be vouched for, whatever
+            # its shape
+            return FunctionClassification(
+                FunctionClass.UNKNOWN, merge_check=None, purity=purity,
+                notes=tuple(notes))
+        node, reason = _source_tree(cls.combine)
+        shaped = node is not None and _associative_shaped(node)
+        if not merge_equivalence_check(function):
+            # Extensionally refuted: whatever the combine's shape, it
+            # disagrees with apply on at least one synthesized split.
+            _MERGE_FAILED.inc()
+            notes.append(
+                f"{cls.__name__}.combine disagrees with apply on "
+                f"synthesized partitions")
+            return FunctionClassification(
+                FunctionClass.UNKNOWN, merge_check=False, purity=purity,
+                notes=tuple(notes))
+        if not shaped:
+            # Passing the finite extensional check is necessary but not
+            # sufficient; without a recognized associative shape there
+            # is no structural argument, so the verdict stays UNKNOWN.
+            why = reason or \
+                "shape is not a recognized reduction over the partials"
+            notes.append(f"{cls.__name__}.combine: {why}")
+            return FunctionClassification(
+                FunctionClass.UNKNOWN, merge_check=True, purity=purity,
+                notes=tuple(notes))
+        return FunctionClassification(
+            FunctionClass.DISTRIBUTIVE, merge_check=True,
+            purity=purity, notes=tuple(notes))
+
+    if not impure and not opaque and _algebraic_shaped(cls):
+        return FunctionClassification(
+            FunctionClass.ALGEBRAIC, merge_check=None, purity=purity,
+            notes=tuple(notes))
+    notes.append(f"{cls.__name__}: no combine override and no "
+                 f"paired-accumulator shape")
+    return FunctionClassification(
+        FunctionClass.HOLISTIC, merge_check=None, purity=purity,
+        notes=tuple(notes))
+
+
+# --------------------------------------------------------------------
+# the plan fold
+# --------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ShardState:
+    """The fold state at one node: the verdict so far, and the base MO
+    a fact-narrowing chain bottoms out at (the summarizability
+    subject), mirroring the typechecker's base tracking."""
+
+    verdict: ShardVerdict
+    base: Optional[MultidimensionalObject] = None
+
+
+def _fold(plan: Plan, path: str, report: AnalysisReport) -> _ShardState:
+    location = f"{path}: {node_label(plan)}"
+
+    if isinstance(plan, Base):
+        return _ShardState(ShardVerdict.SHARDABLE, base=plan.mo)
+
+    if isinstance(plan, (UnionNode, DifferenceNode, JoinNode)):
+        left = _fold(plan.left, f"{path}.left", report)
+        right = _fold(plan.right, f"{path}.right", report)
+        if isinstance(plan, UnionNode):
+            # ∪ is per-fact under a consistent partitioning, but may
+            # merge two bases: the verification chain ends here
+            return _ShardState(_meet(left.verdict, right.verdict),
+                               base=None)
+        kind = "set-difference" if isinstance(plan, DifferenceNode) \
+            else "join"
+        report.emit(
+            "MD073",
+            f"{kind} below an α poisons partition-safety: its operands "
+            f"would need cross-shard alignment before per-shard "
+            f"results are meaningful",
+            location,
+            hint="evaluate the set operation once, then shard the "
+                 "aggregation over its materialized result")
+        return _ShardState(ShardVerdict.NOT_SHARDABLE, base=None)
+
+    child = _fold(plan.child, f"{path}.child", report)
+
+    if isinstance(plan, SelectNode):
+        verdict = child.verdict
+        purity = analyze_predicate_purity(plan.predicate)
+        if purity is not None:
+            if purity.verdict is PurityVerdict.IMPURE:
+                report.emit("MD074", purity.summary(), location,
+                            hint="make the predicate a pure function "
+                                 "of its characterizing values")
+                verdict = _meet(verdict, ShardVerdict.UNKNOWN)
+            elif purity.verdict is PurityVerdict.OPAQUE:
+                report.emit("MD075", purity.summary(), location,
+                            hint="define the predicate as a plain "
+                                 "inspectable function (not a builtin "
+                                 "or C callable)")
+                verdict = _meet(verdict, ShardVerdict.UNKNOWN)
+        # a *pure* opaque-kind predicate is still per-fact: σ commutes
+        # with any partitioning of the facts it filters
+        return _ShardState(verdict, base=child.base)
+
+    if isinstance(plan, ProjectNode):
+        return child
+
+    if isinstance(plan, RenameNode):
+        # ρ preserves facts but detaches grouping names from the base
+        # MO's — same chain cut as the typechecker
+        return _ShardState(child.verdict, base=None)
+
+    if isinstance(plan, AggregateNode):
+        return _aggregate_state(plan, child, location, report)
+
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+def _aggregate_state(node: AggregateNode, child: _ShardState,
+                     location: str,
+                     report: AnalysisReport) -> _ShardState:
+    function = node.function
+    classification = classify_function(function)
+    builtin = type(function).__module__ == "repro.algebra.functions"
+
+    for method_name, purity in sorted(classification.purity.items()):
+        if purity.verdict is PurityVerdict.IMPURE:
+            report.emit("MD074", purity.summary(), location,
+                        hint="aggregation methods must be pure "
+                             "functions of the group and MO")
+        elif purity.verdict is PurityVerdict.OPAQUE and not builtin:
+            report.emit("MD075",
+                        f"{purity.subject}: source unavailable, "
+                        f"purity undecidable", location,
+                        hint="define the function as a plain "
+                             "inspectable method")
+    if classification.merge_check is False:
+        report.emit(
+            "MD076",
+            f"{function.name} has a distributive-shaped combine that "
+            f"disagrees with apply on synthesized partitions; demoted "
+            f"to UNKNOWN",
+            location,
+            hint="fix combine so merged partials equal the whole-"
+                 "group result")
+
+    if classification.function_class is FunctionClass.HOLISTIC:
+        report.emit(
+            "MD070",
+            f"{function.name} is holistic "
+            f"({'; '.join(classification.notes) or 'no decomposition'}): "
+            f"this α cannot be partitioned and merged",
+            location,
+            hint="evaluate this α unsharded, or switch to a "
+                 "distributive/algebraic function")
+        return _ShardState(ShardVerdict.NOT_SHARDABLE, base=None)
+
+    if classification.function_class is FunctionClass.UNKNOWN:
+        if classification.merge_check is not False and \
+                not any(p.verdict is not PurityVerdict.PURE
+                        for p in classification.purity.values()):
+            report.emit(
+                "MD075",
+                f"{function.name} is unanalyzable: "
+                f"{'; '.join(classification.notes) or 'unrecognized'}",
+                location,
+                hint="shape combine as a plain reduction over the "
+                     "partials so the analyzer can classify it")
+        return _ShardState(ShardVerdict.UNKNOWN, base=None)
+
+    if classification.function_class is FunctionClass.ALGEBRAIC:
+        report.emit(
+            "MD071",
+            f"{function.name} is algebraic: shard by merging partial "
+            f"accumulator states (e.g. (sum, count) pairs), never the "
+            f"finished per-shard results",
+            location,
+            hint="the sharded executor must use the decomposed "
+                 "accumulator form of this function")
+
+    verdict = ShardVerdict.SHARDABLE
+    grouping = dict(node.grouping)
+    if child.base is None or any(
+            name not in child.base.schema for name in grouping):
+        # the second disjunct: a malformed grouping (MD016 territory)
+        # that the base MO cannot even be asked about
+        report.emit(
+            "MD072",
+            f"grouping summarizability of {sorted(grouping)} cannot "
+            f"be verified (no fact-narrowing chain to a base MO)",
+            location,
+            hint="shard only αs that sit on σ/π chains over a base MO")
+        verdict = ShardVerdict.UNKNOWN
+    else:
+        nontrivial = {
+            name: cat for name, cat in grouping.items()
+            if cat != child.base.dimension(name).dtype.top_name
+        }
+        grouping_verdict = grouping_summarizability(child.base,
+                                                    nontrivial)
+        if grouping_verdict is StaticVerdict.UNSAFE:
+            report.emit(
+                "MD072",
+                f"grouping {sorted(grouping)} is not summarizable: "
+                f"per-shard cells overlap and partition-and-merge "
+                f"double-counts",
+                location,
+                hint="group by declared strict+partitioning levels")
+            verdict = ShardVerdict.NOT_SHARDABLE
+        elif grouping_verdict is StaticVerdict.UNKNOWN:
+            report.emit(
+                "MD072",
+                f"grouping summarizability of {sorted(grouping)} is "
+                f"not statically SAFE (undeclared or drifted "
+                f"hierarchy properties)",
+                location,
+                hint="declare strictness/partitioning on the grouped "
+                     "dimension types")
+            verdict = ShardVerdict.UNKNOWN
+
+    return _ShardState(_meet(child.verdict, verdict), base=None)
+
+
+def shardability_of(
+        plan: Plan) -> Tuple[ShardVerdict, AnalysisReport]:
+    """The plan's shard-safety verdict plus the diagnostics behind it.
+
+    ``SHARDABLE`` is the sound answer: partition the base fact set any
+    way, evaluate the plan per partition, merge α cells per group
+    combination with ``combine`` (or the algebraic accumulator form),
+    and the result equals single-partition evaluation —
+    :func:`repro.algebra.aggregate.aggregate_sharded` is the
+    executable statement of that claim."""
+    report = AnalysisReport(f"shardability of {node_label(plan)}")
+    state = _fold(plan, "plan", report)
+    report.sort()
+    return state.verdict, report
+
+
+def analyze_shardability(plan: Plan) -> AnalysisReport:
+    """The MD07x diagnostics for ``plan`` (the report half of
+    :func:`shardability_of`)."""
+    _verdict, report = shardability_of(plan)
+    return report

@@ -46,7 +46,9 @@ from repro.engine.recommend import (
     apply_recommendations,
     recommend_materializations,
 )
-from repro.engine.timeseries import change_points, group_count_series, series_table
+from repro.engine.timeseries import (change_points,
+                                     group_count_series,
+                                     series_table)
 from repro.engine.query import ExplainStep, Query, QueryExplain
 from repro.engine.rollup_index import RollupIndex
 

@@ -48,7 +48,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.algebra.functions import (AggregationFunction, has_batch_kernel,
                                      measures_of)
 from repro.core.errors import AlgebraError
-from repro.core.values import DimensionValue, Fact
+from repro.core.values import DimensionValue
 from repro.engine.rollup_index import (MULTI_VALUED, UNCHARACTERIZED,
                                        RollupIndex)
 from repro.obs import metrics, trace

@@ -95,7 +95,8 @@ class CubeBuilder:
         """All cuboid keys: the product of the category names of each
         dimension's lattice."""
         per_dim = [
-            [ctype.name for ctype in self._mo.dimension(d).dtype.category_types()]
+            [ctype.name for ctype
+             in self._mo.dimension(d).dtype.category_types()]
             for d in self._dims
         ]
         return [tuple(combo) for combo in product(*per_dim)]

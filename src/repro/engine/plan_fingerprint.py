@@ -67,12 +67,20 @@ class Unfingerprintable(Exception):
     """The plan contains a construct the canonicalizer cannot serialize
     faithfully (an opaque predicate, a user-defined aggregation
     function): caching it would risk keying distinct computations
-    identically, so the query layer bypasses the cache instead."""
+    identically, so the query layer bypasses the cache instead.
 
-    def __init__(self, reason: str, location: str) -> None:
+    ``payload`` carries the offending construct itself (the predicate
+    or function object) when one exists, so diagnostics — the ``MD060``
+    cacheability pass in particular — can name it and run the purity
+    analysis over its callable instead of reporting a bare
+    "unfingerprintable"."""
+
+    def __init__(self, reason: str, location: str,
+                 payload: object = None) -> None:
         super().__init__(f"{reason} at {location}")
         self.reason = reason
         self.location = location
+        self.payload = payload
 
 
 _TOKENS: "weakref.WeakKeyDictionary[MultidimensionalObject, int]" = \
@@ -132,7 +140,7 @@ def _canonical_predicate(predicate: Predicate, location: str) -> List[str]:
         return sorted(set(conjuncts))
     raise Unfingerprintable(
         f"predicate {predicate.description!r} is opaque "
-        f"(kind={predicate.kind!r})", location)
+        f"(kind={predicate.kind!r})", location, payload=predicate)
 
 
 def _canonical_function(function: AggregationFunction,
@@ -143,7 +151,7 @@ def _canonical_function(function: AggregationFunction,
     if type(function).__module__ != "repro.algebra.functions":
         raise Unfingerprintable(
             f"user-defined aggregation function {function.name!r}",
-            location)
+            location, payload=function)
     args = tuple(getattr(function, "args", ()))
     return _sexp("fn", _atom(type(function).__name__),
                  *[_atom(a) for a in args])

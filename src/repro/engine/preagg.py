@@ -92,7 +92,8 @@ class PreAggregateStore:
 
     @staticmethod
     def _key(grouping: Dict[str, str],
-             function: AggregationFunction) -> Tuple[Tuple[Tuple[str, str], ...], str]:
+             function: AggregationFunction
+             ) -> Tuple[Tuple[Tuple[str, str], ...], str]:
         return tuple(sorted(grouping.items())), function.name
 
     def _verdict(self, grouping: Dict[str, str],

@@ -211,12 +211,18 @@ class Query:
     def check(self, function: Optional[AggregationFunction] = None,
               strict_types: bool = False):
         """Statically analyze the query before running it: compile to a
-        plan and hand it to :func:`repro.analyze.analyze_plan`.  Returns
-        the :class:`~repro.analyze.AnalysisReport`; raises nothing — the
-        caller (or :meth:`execute`'s default ``check=True``) decides
-        what to do with error findings."""
-        from repro.analyze import analyze_plan
-        return analyze_plan(self.to_plan(function, strict_types))
+        plan and hand it to :func:`repro.analyze.analyze_plan` plus the
+        MD07x shard-safety pass
+        (:func:`repro.analyze.analyze_shardability`).  Returns the
+        merged :class:`~repro.analyze.AnalysisReport`, deterministically
+        ordered; raises nothing — the caller (or :meth:`execute`'s
+        default ``check=True``) decides what to do with error
+        findings."""
+        from repro.analyze import analyze_plan, analyze_shardability
+        plan = self.to_plan(function, strict_types)
+        report = analyze_plan(plan)
+        report.extend(analyze_shardability(plan))
+        return report.sort()
 
     def execute(self, function: Optional[AggregationFunction] = None,
                 strict_types: bool = False,

@@ -132,7 +132,7 @@ class ResultCache:
                 _LOOKUP_SECONDS.observe(time.perf_counter() - t0)
                 return None
             if entry.versions != versions:
-                self._drop(digest, entry)
+                self._drop_locked(digest, entry)
                 _STALE_EVICTED.inc()
                 _MISS.inc()
                 _LOOKUP_SECONDS.observe(time.perf_counter() - t0)
@@ -186,17 +186,17 @@ class ResultCache:
                     (self._nbytes > self._max_bytes
                      and len(self._entries) > 1):
                 victim_digest, victim = next(iter(self._entries.items()))
-                self._drop(victim_digest, victim)
+                self._drop_locked(victim_digest, victim)
                 _EVICTED.inc()
-            self._publish_gauges()
+            self._publish_gauges_locked()
             return True
 
-    def _drop(self, digest: str, entry: CacheEntry) -> None:
+    def _drop_locked(self, digest: str, entry: CacheEntry) -> None:
         del self._entries[digest]
         self._nbytes -= entry.nbytes
-        self._publish_gauges()
+        self._publish_gauges_locked()
 
-    def _publish_gauges(self) -> None:
+    def _publish_gauges_locked(self) -> None:
         _BYTES.set(self._nbytes)
         _ENTRIES.set(len(self._entries))
 
@@ -206,7 +206,7 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
             self._nbytes = 0
-            self._publish_gauges()
+            self._publish_gauges_locked()
 
 
 #: The process-global cache ``Query.execute`` answers from by default.

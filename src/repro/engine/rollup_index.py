@@ -110,7 +110,8 @@ class _DimensionIndex:
         #: lazily materialized object-level views of ``closure``
         self.fact_sets: Dict[int, FrozenSet[Fact]] = {}
         #: category name → (value → facts) map, built on demand
-        self.category_maps: Dict[str, Dict[DimensionValue, FrozenSet[Fact]]] = {}
+        self.category_maps: \
+            Dict[str, Dict[DimensionValue, FrozenSet[Fact]]] = {}
         #: category name → (fact → id-sorted values) map, built on demand
         self.per_fact_maps: Dict[str, Dict[Fact, List[DimensionValue]]] = {}
         #: category name → (fact id → id-sorted value-id tuple), the

@@ -29,6 +29,7 @@ query layer (``Query.execute(backend="sql")``) catches it, counts
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
@@ -218,6 +219,12 @@ MAX_CACHED_BACKENDS = 8
 #: table never keeps an MO alive (a dead ref is skipped at eviction)
 _RECENT: "OrderedDict[Tuple[int, str], weakref.ref]" = OrderedDict()
 
+#: owns ``_BACKENDS``/``_RECENT``: lookup, insertion, recency update,
+#: and LRU eviction are one read-modify-write — two threads interleaved
+#: mid-sequence could both evict the same backend (double close) or
+#: resurrect a key the other just evicted
+_REGISTRY_LOCK = threading.Lock()
+
 _EVICTED = metrics.counter("sql.backend.evicted")
 
 
@@ -227,26 +234,27 @@ def sql_backend_for(mo: MultidimensionalObject,
     dropped with the MO or evicted least-recently-used beyond
     :data:`MAX_CACHED_BACKENDS` — each backend owns a connection, so
     the cache is bounded like the result cache is)."""
-    per_engine = _BACKENDS.setdefault(mo, {})
-    backend = per_engine.get(engine)
-    if backend is None:
-        backend = SqlBackend(mo, engine=engine)
-        per_engine[engine] = backend
-    key = (id(mo), engine)
-    _RECENT.pop(key, None)
-    _RECENT[key] = weakref.ref(mo)
-    while len(_RECENT) > MAX_CACHED_BACKENDS:
-        (_old_id, old_engine), ref = _RECENT.popitem(last=False)
-        old_mo = ref()
-        if old_mo is None:
-            continue  # the MO died; WeakKeyDictionary already cleaned up
-        old_per_engine = _BACKENDS.get(old_mo)
-        if not old_per_engine:
-            continue
-        old_backend = old_per_engine.pop(old_engine, None)
-        if old_backend is not None:
-            old_backend.close()
-            _EVICTED.inc()
-        if not old_per_engine:
-            del _BACKENDS[old_mo]
-    return backend
+    with _REGISTRY_LOCK:
+        per_engine = _BACKENDS.setdefault(mo, {})
+        backend = per_engine.get(engine)
+        if backend is None:
+            backend = SqlBackend(mo, engine=engine)
+            per_engine[engine] = backend
+        key = (id(mo), engine)
+        _RECENT.pop(key, None)
+        _RECENT[key] = weakref.ref(mo)
+        while len(_RECENT) > MAX_CACHED_BACKENDS:
+            (_old_id, old_engine), ref = _RECENT.popitem(last=False)
+            old_mo = ref()
+            if old_mo is None:
+                continue  # the MO died; WeakKeyDictionary cleaned up
+            old_per_engine = _BACKENDS.get(old_mo)
+            if not old_per_engine:
+                continue
+            old_backend = old_per_engine.pop(old_engine, None)
+            if old_backend is not None:
+                old_backend.close()
+                _EVICTED.inc()
+            if not old_per_engine:
+                del _BACKENDS[old_mo]
+        return backend

@@ -24,6 +24,28 @@ class TestAnalyzeCacheability:
         assert "opaque" in finding.message
         assert "query.cache.bypass" in (finding.hint or "")
 
+    def test_pure_opaque_predicate_notes_conservative(self, snapshot_mo):
+        """MD060's sharper story: a pure-but-unserializable predicate
+        is a *conservative* bypass, and the message says so."""
+        plan = SelectNode(
+            Base(snapshot_mo),
+            value_in_category("Age", "Age", lambda v: True))
+        (finding,) = analyze_cacheability(plan)
+        assert "its callable is pure" in finding.message
+        assert "conservative" in finding.message
+
+    def test_impure_opaque_predicate_notes_unsound(self, snapshot_mo):
+        import random
+
+        plan = SelectNode(
+            Base(snapshot_mo),
+            value_in_category("Age", "Age",
+                              lambda v: random.random() < 0.5))
+        (finding,) = analyze_cacheability(plan)
+        assert "impure" in finding.message
+        assert "random" in finding.message
+        assert "unsound" in finding.message
+
     def test_user_defined_function_reports_md060(self, snapshot_mo):
         class Custom(AggregationFunction):
             name = "custom"

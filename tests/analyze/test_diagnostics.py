@@ -79,6 +79,29 @@ class TestReport:
         assert first.codes() == ["MD025", "MD010"]
         assert first.has_errors
 
+    def test_sort_orders_by_code_location_message(self):
+        report = AnalysisReport("test")
+        report.emit("MD025", "zz", "loc-b")
+        report.emit("MD010", "m", "loc-z")
+        report.emit("MD025", "aa", "loc-b")
+        report.emit("MD023", "m", "loc-a")
+        assert report.sort() is report
+        keys = [(d.code, d.location, d.message) for d in report]
+        assert keys == sorted(keys)
+        assert keys[0][0] == "MD010"
+
+    def test_analyzers_return_sorted_reports(self, small_clinical,
+                                             snapshot_mo):
+        """Regression: analyzer entry points order diagnostics by
+        (code, location, message), so repeated runs — and CI logs —
+        are byte-stable."""
+        from repro.analyze import analyze_schema
+
+        for mo in (small_clinical.mo, snapshot_mo):
+            report = analyze_schema(mo)
+            keys = [(d.code, d.location, d.message) for d in report]
+            assert keys == sorted(keys)
+
     def test_diagnostic_render_includes_hint(self):
         d = Diagnostic(code="MD023", severity=Severity.WARNING,
                        message="non-strict", location="dimension D",

@@ -197,3 +197,141 @@ def test_lint_passes_on_this_repo():
         [sys.executable, str(TOOLS / "lint_invariants.py")],
         capture_output=True, text=True, cwd=REPO)
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestLockDiscipline:
+    RULE = lint_invariants.LockRule(
+        "fake.py",
+        locks=frozenset({"_TOKEN_LOCK", "self._lock"}),
+        guarded=frozenset({"_TOKENS", "self._entries"}),
+        atomic=frozenset({"_TOKENS.append"}))
+
+    def _check(self, source, rule=None):
+        return lint_invariants.check_lock_discipline(
+            Path("fake.py"), ast.parse(source), rule or self.RULE)
+
+    def test_locked_mutation_is_clean(self):
+        assert self._check("""
+def store(key, value):
+    with _TOKEN_LOCK:
+        _TOKENS[key] = value
+        _TOKENS.pop(None, None)
+""") == []
+
+    def test_unlocked_assignment_flagged(self):
+        problems = self._check("""
+def store(key, value):
+    _TOKENS[key] = value
+""")
+        assert len(problems) == 1
+        assert "_TOKENS" in problems[0]
+        assert "outside" in problems[0]
+
+    def test_unlocked_mutator_call_flagged(self):
+        problems = self._check("""
+def evict(key):
+    _TOKENS.pop(key, None)
+""")
+        assert len(problems) == 1
+        assert "_TOKENS.pop" in problems[0]
+
+    def test_unlocked_rmw_in_loop_flagged(self):
+        # the seeded-violation shape the rule exists for: check-then-set
+        # without the lock, inside control flow
+        problems = self._check("""
+def register(key, value):
+    if key not in _TOKENS:
+        _TOKENS[key] = value
+    return _TOKENS[key]
+""")
+        assert len(problems) == 1
+
+    def test_self_attr_lock_and_guard(self):
+        assert self._check("""
+class Cache:
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+""") == []
+        problems = self._check("""
+class Cache:
+    def put(self, key, value):
+        self._entries[key] = value
+""")
+        assert len(problems) == 1
+        assert "self._entries" in problems[0]
+
+    def test_init_is_exempt(self):
+        assert self._check("""
+class Cache:
+    def __init__(self):
+        self._entries = {}
+""") == []
+
+    def test_locked_suffix_helper_is_exempt(self):
+        assert self._check("""
+class Cache:
+    def _drop_locked(self, key):
+        self._entries.pop(key, None)
+""") == []
+
+    def test_atomic_exemption(self):
+        assert self._check("""
+def record(item):
+    _TOKENS.append(item)
+""") == []
+        # the exemption is per-method, not per-name
+        problems = self._check("""
+def record(item):
+    _TOKENS.extend([item])
+""")
+        assert len(problems) == 1
+
+    def test_nested_function_does_not_inherit_lock(self):
+        # the closure may run after the with-block exits
+        problems = self._check("""
+def outer():
+    with _TOKEN_LOCK:
+        def later():
+            _TOKENS.clear()
+        return later
+""")
+        assert len(problems) == 1
+        assert "later" in problems[0]
+
+    def test_module_level_init_is_exempt(self):
+        # import-time assignment: no other thread holds a reference yet
+        assert self._check("_TOKENS = {}") == []
+
+    def test_rule_targets_exist_in_repo(self):
+        """Every LOCK_RULES file (and its lock/guard names) exists —
+        a rename must update the config, not silently skip it."""
+        for rule in lint_invariants.LOCK_RULES:
+            path = REPO / "src" / "repro" / rule.file
+            assert path.is_file(), rule.file
+            text = path.read_text(encoding="utf-8")
+            for name in sorted(rule.locks | rule.guarded):
+                assert name.replace("self.", "") in text, (rule.file, name)
+
+    def test_seeded_violation_fails_on_real_rule(self):
+        """The plan_fingerprint rule catches an unlocked token-table
+        write of exactly the shape the real module guards."""
+        rule = next(r for r in lint_invariants.LOCK_RULES
+                    if r.file == "engine/plan_fingerprint.py")
+        problems = self._check("""
+def mo_token(mo):
+    token = _TOKENS.get(mo)
+    if token is None:
+        _TOKENS[mo] = token = 7
+    return token
+""", rule)
+        assert len(problems) == 1
+        assert "_TOKEN_LOCK" in problems[0]
+
+    def test_repo_satisfies_lock_discipline(self):
+        src = REPO / "src" / "repro"
+        for rule in lint_invariants.LOCK_RULES:
+            path = src / rule.file
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            assert lint_invariants.check_lock_discipline(
+                path, tree, rule) == []

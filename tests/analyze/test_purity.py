@@ -1,0 +1,200 @@
+"""Tests for the AST purity/determinism analyzer.
+
+Every adversarial callable is defined at module level in this file so
+``inspect.getsource`` can retrieve it — classes defined via ``exec`` or
+a REPL have no source and are (correctly) OPAQUE, which is a different
+test below.
+"""
+
+import random
+
+from repro.algebra.functions import (
+    AggregationFunction,
+    Avg,
+    Max,
+    Median,
+    Min,
+    SetCount,
+    Sum,
+)
+from repro.algebra.predicates import (
+    characterized_by,
+    conjunction,
+    value_in_category,
+)
+from repro.analyze import (
+    PurityVerdict,
+    analyze_callable,
+    analyze_function_purity,
+    analyze_predicate_purity,
+)
+from repro.casestudy import diagnosis_value
+from repro.obs import metrics
+
+_SHARED_STATE = []
+
+
+def pure_fn(values):
+    total = 0
+    for v in values:
+        total += v
+    return total
+
+
+def io_fn(values):
+    print(values)
+    return len(values)
+
+
+def random_fn(values):
+    return random.random() * len(values)
+
+
+def clock_fn(values):
+    import time
+    return time.time()
+
+
+def global_mutation_fn(values):
+    _SHARED_STATE.append(values)
+    return len(_SHARED_STATE)
+
+
+def global_stmt_fn(values):
+    global _SHARED_STATE
+    _SHARED_STATE = list(values)
+    return 0
+
+
+def order_dependent_fn(values):
+    acc = 1.0
+    for v in values:
+        acc -= v
+    return acc
+
+
+class ImpureCount(AggregationFunction):
+    name = "impure-count"
+    distributive = True
+
+    def apply(self, facts, mo):
+        return random.randint(0, len(facts))
+
+
+class PureUserSum(AggregationFunction):
+    name = "pure-user-sum"
+    distributive = True
+
+    def apply(self, facts, mo):
+        return float(len(facts))
+
+    def combine(self, partials):
+        return sum(partials)
+
+
+class TestAnalyzeCallable:
+    def test_pure_function(self):
+        report = analyze_callable(pure_fn)
+        assert report.verdict is PurityVerdict.PURE
+        assert report.findings == ()
+        assert report.is_pure
+
+    def test_io_flagged(self):
+        report = analyze_callable(io_fn)
+        assert report.verdict is PurityVerdict.IMPURE
+        assert any(f.category == "io" for f in report.findings)
+
+    def test_randomness_flagged(self):
+        report = analyze_callable(random_fn)
+        assert any(f.category == "randomness" for f in report.findings)
+
+    def test_clock_read_flagged(self):
+        report = analyze_callable(clock_fn)
+        assert any(f.category == "time" for f in report.findings)
+
+    def test_free_variable_mutation_flagged(self):
+        report = analyze_callable(global_mutation_fn)
+        assert any(f.category == "global-mutation"
+                   for f in report.findings)
+
+    def test_global_statement_flagged(self):
+        report = analyze_callable(global_stmt_fn)
+        assert any(f.category == "global-mutation"
+                   for f in report.findings)
+
+    def test_order_dependent_fold_flagged(self):
+        report = analyze_callable(order_dependent_fn)
+        assert any(f.category == "order-dependence"
+                   for f in report.findings)
+
+    def test_lambda_is_analyzable(self):
+        report = analyze_callable(lambda values: len(values) + 1)
+        assert report.verdict is PurityVerdict.PURE
+
+    def test_sourceless_callable_is_opaque(self):
+        namespace: dict = {}
+        exec("def ghost(values):\n    return 0\n", namespace)
+        report = analyze_callable(namespace["ghost"])
+        assert report.verdict is PurityVerdict.OPAQUE
+        assert any(f.category == "opaque" for f in report.findings)
+
+    def test_builtin_callable_is_opaque(self):
+        report = analyze_callable(len)
+        assert report.verdict is PurityVerdict.OPAQUE
+
+    def test_summary_mentions_findings(self):
+        assert "pure" in analyze_callable(pure_fn).summary()
+        assert "randomness" in analyze_callable(random_fn).summary()
+
+    def test_counter_bumps(self):
+        counter = metrics.counter("analyze.purity.analyzed")
+        before = counter.value
+        analyze_callable(pure_fn)
+        assert counter.value == before + 1
+
+
+class TestFunctionPurity:
+    def test_builtin_functions_are_pure(self):
+        for function in (SetCount(), Sum("Age"), Min("Age"), Max("Age"),
+                         Avg("Age"), Median("Age")):
+            reports = analyze_function_purity(function)
+            assert reports, type(function).__name__
+            for method, report in reports.items():
+                assert report.verdict is PurityVerdict.PURE, \
+                    (type(function).__name__, method, report.summary())
+
+    def test_only_overridden_methods_analyzed(self):
+        reports = analyze_function_purity(ImpureCount())
+        assert set(reports) == {"apply"}
+
+    def test_impure_apply_flagged(self):
+        report = analyze_function_purity(ImpureCount())["apply"]
+        assert report.verdict is PurityVerdict.IMPURE
+        assert any(f.category == "randomness" for f in report.findings)
+
+    def test_pure_user_function_passes(self):
+        reports = analyze_function_purity(PureUserSum())
+        assert set(reports) == {"apply", "combine"}
+        assert all(r.is_pure for r in reports.values())
+
+
+class TestPredicatePurity:
+    def test_structural_predicates_skipped(self, snapshot_mo):
+        simple = characterized_by("Diagnosis", diagnosis_value(4))
+        assert analyze_predicate_purity(simple) is None
+        both = conjunction(simple, simple)
+        assert analyze_predicate_purity(both) is None
+
+    def test_pure_opaque_predicate(self):
+        predicate = value_in_category("Age", "Age", lambda v: True)
+        report = analyze_predicate_purity(predicate)
+        assert report is not None
+        assert report.verdict is PurityVerdict.PURE
+
+    def test_impure_opaque_predicate(self):
+        predicate = value_in_category(
+            "Age", "Age", lambda v: random.random() < 0.5)
+        report = analyze_predicate_purity(predicate)
+        assert report is not None
+        assert report.verdict is PurityVerdict.IMPURE
+        assert any(f.category == "randomness" for f in report.findings)

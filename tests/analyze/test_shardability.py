@@ -1,0 +1,254 @@
+"""Tests for the static shard-safety analyzer (``MD07x``).
+
+Adversarial ``AggregationFunction`` subclasses live at module level in
+this file so the AST classifier can read their source.  The soundness
+discipline under test: **no lying subclass is ever classified
+DISTRIBUTIVE** — a combine that fails the extensional
+merge-equivalence check is demoted to UNKNOWN, never trusted.
+"""
+
+import random
+
+from repro.algebra.functions import (
+    AggregationFunction,
+    Avg,
+    CountDim,
+    Max,
+    Median,
+    Min,
+    SetCount,
+    Sum,
+    SumProduct,
+)
+from repro.algebra.predicates import value_in_category
+from repro.analyze import (
+    FunctionClass,
+    ShardVerdict,
+    analyze_shardability,
+    classify_function,
+    merge_equivalence_check,
+    shardability_of,
+)
+from repro.engine import Base, ProjectNode, Query, SelectNode
+from repro.engine.optimizer import (
+    DifferenceNode,
+    JoinNode,
+    RenameNode,
+    UnionNode,
+)
+from repro.obs import metrics
+
+
+class LyingSum(AggregationFunction):
+    """Claims distributivity, and its combine LOOKS associative —
+    but subtracts one per merge, so partition-and-merge drifts."""
+
+    name = "lying-sum"
+    distributive = True
+
+    def apply(self, facts, mo):
+        return float(len(facts))
+
+    def combine(self, partials):
+        return sum(partials) - 1.0
+
+
+class GoodUserSum(AggregationFunction):
+    """A well-behaved user subclass: genuinely distributive."""
+
+    name = "good-user-sum"
+    distributive = True
+
+    def apply(self, facts, mo):
+        return float(len(facts))
+
+    def combine(self, partials):
+        return sum(partials)
+
+
+class ImpureSum(AggregationFunction):
+    """Distributive-shaped, but the combine is nondeterministic."""
+
+    name = "impure-sum"
+    distributive = True
+
+    def apply(self, facts, mo):
+        return float(len(facts))
+
+    def combine(self, partials):
+        return sum(partials) + random.random() * 0.0
+
+
+class QuietHolistic(AggregationFunction):
+    """No combine, no accumulator shape: holistic."""
+
+    name = "quiet-holistic"
+    distributive = False
+
+    def apply(self, facts, mo):
+        ordered = sorted(len(repr(f)) for f in facts)
+        return float(ordered[len(ordered) // 2]) if ordered else 0.0
+
+
+def _rollup_plan(mo, function=None):
+    return Query(mo).rollup("DOB", "Year").to_plan(function)
+
+
+class TestClassifyFunction:
+    def test_builtin_distributive_functions(self):
+        for function in (SetCount(), CountDim("Diagnosis"), Sum("Age"),
+                         Min("Age"), Max("Age"),
+                         SumProduct("Age", "Age")):
+            c = classify_function(function)
+            assert c.function_class is FunctionClass.DISTRIBUTIVE, \
+                (type(function).__name__, c.notes)
+            assert c.merge_check is True, type(function).__name__
+
+    def test_avg_is_algebraic(self):
+        c = classify_function(Avg("Age"))
+        assert c.function_class is FunctionClass.ALGEBRAIC
+
+    def test_median_is_holistic(self):
+        c = classify_function(Median("Age"))
+        assert c.function_class is FunctionClass.HOLISTIC
+
+    def test_lying_combine_demoted_to_unknown(self):
+        c = classify_function(LyingSum())
+        assert c.function_class is FunctionClass.UNKNOWN
+        assert c.merge_check is False
+        assert merge_equivalence_check(LyingSum()) is False
+
+    def test_lying_combine_bumps_refutation_counter(self):
+        counter = metrics.counter(
+            "analyze.shardability.merge_check_failed")
+        before = counter.value
+
+        class FreshLiar(LyingSum):
+            name = "fresh-liar"
+
+            def combine(self, partials):
+                return sum(partials) - 2.0
+
+        classify_function(FreshLiar())
+        assert counter.value == before + 1
+
+    def test_good_user_subclass_is_distributive(self):
+        c = classify_function(GoodUserSum())
+        assert c.function_class is FunctionClass.DISTRIBUTIVE
+        assert c.merge_check is True
+        assert merge_equivalence_check(GoodUserSum()) is True
+
+    def test_impure_combine_never_distributive(self):
+        c = classify_function(ImpureSum())
+        assert c.function_class is FunctionClass.UNKNOWN
+
+    def test_user_holistic_stays_holistic(self):
+        c = classify_function(QuietHolistic())
+        assert c.function_class is FunctionClass.HOLISTIC
+
+    def test_declared_attribute_is_never_trusted(self):
+        """``distributive = True`` on the class is a *claim*; the
+        classifier works from structure + extension only."""
+        assert LyingSum.distributive is True
+        assert classify_function(LyingSum()).function_class \
+            is not FunctionClass.DISTRIBUTIVE
+
+    def test_classification_is_cached(self):
+        counter = metrics.counter("analyze.shardability.classified")
+        classify_function(SetCount())          # warm
+        before = counter.value
+        classify_function(SetCount())
+        assert counter.value == before
+
+
+class TestShardabilityOf:
+    def test_distributive_safe_rollup_is_shardable(self, snapshot_mo):
+        verdict, report = shardability_of(_rollup_plan(snapshot_mo))
+        assert verdict is ShardVerdict.SHARDABLE
+        assert len(report) == 0
+
+    def test_algebraic_function_shardable_with_md071(self, snapshot_mo):
+        verdict, report = shardability_of(
+            _rollup_plan(snapshot_mo, Avg("Age")))
+        assert verdict is ShardVerdict.SHARDABLE
+        assert report.codes() == ["MD071"]
+
+    def test_holistic_function_md070(self, snapshot_mo):
+        verdict, report = shardability_of(
+            _rollup_plan(snapshot_mo, Median("Age")))
+        assert verdict is ShardVerdict.NOT_SHARDABLE
+        assert "MD070" in report.codes()
+
+    def test_unsafe_grouping_md072(self, snapshot_mo):
+        plan = Query(snapshot_mo).rollup(
+            "Diagnosis", "Diagnosis Family").to_plan()
+        verdict, report = shardability_of(plan)
+        assert verdict is ShardVerdict.NOT_SHARDABLE
+        assert "MD072" in report.codes()
+
+    def test_lying_combine_md076(self, snapshot_mo):
+        verdict, report = shardability_of(
+            _rollup_plan(snapshot_mo, LyingSum()))
+        assert verdict is ShardVerdict.UNKNOWN
+        assert "MD076" in report.codes()
+
+    def test_difference_poisons_md073(self, snapshot_mo):
+        plan = DifferenceNode(Base(snapshot_mo), Base(snapshot_mo))
+        verdict, report = shardability_of(plan)
+        assert verdict is ShardVerdict.NOT_SHARDABLE
+        assert "MD073" in report.codes()
+
+    def test_join_poisons_md073(self, snapshot_mo, small_retail):
+        plan = JoinNode(Base(snapshot_mo), Base(small_retail.mo))
+        verdict, report = shardability_of(plan)
+        assert verdict is ShardVerdict.NOT_SHARDABLE
+        assert "MD073" in report.codes()
+
+    def test_union_preserves_shardability(self, snapshot_mo):
+        plan = UnionNode(Base(snapshot_mo), Base(snapshot_mo))
+        verdict, _report = shardability_of(plan)
+        assert verdict is ShardVerdict.SHARDABLE
+
+    def test_select_project_preserve_shardability(self, snapshot_mo):
+        plan = ProjectNode(
+            SelectNode(Base(snapshot_mo),
+                       value_in_category("Age", "Age", lambda v: True)),
+            ("Diagnosis", "Age"))
+        verdict, report = shardability_of(plan)
+        assert verdict is ShardVerdict.SHARDABLE
+        assert report.codes() == []
+
+    def test_impure_predicate_md074(self, snapshot_mo):
+        plan = SelectNode(
+            Base(snapshot_mo),
+            value_in_category("Age", "Age",
+                              lambda v: random.random() < 0.5))
+        verdict, report = shardability_of(plan)
+        assert verdict is ShardVerdict.UNKNOWN
+        assert "MD074" in report.codes()
+
+    def test_rename_keeps_verdict(self, snapshot_mo):
+        plan = RenameNode(Base(snapshot_mo), new_fact_type="Renamed")
+        verdict, _report = shardability_of(plan)
+        assert verdict is ShardVerdict.SHARDABLE
+
+    def test_grouping_after_rename_is_unverifiable(self, snapshot_mo):
+        inner = _rollup_plan(snapshot_mo)
+        plan = type(inner)(
+            child=RenameNode(inner.child, new_fact_type="Renamed"),
+            function=inner.function, grouping=inner.grouping,
+            result=inner.result, strict_types=inner.strict_types)
+        verdict, report = shardability_of(plan)
+        assert verdict is ShardVerdict.UNKNOWN
+        assert "MD072" in report.codes()
+
+    def test_report_is_sorted(self, snapshot_mo):
+        plan = Query(snapshot_mo).rollup(
+            "Diagnosis", "Diagnosis Family").to_plan(Median("Age"))
+        _verdict, report = shardability_of(plan)
+        keys = [(d.code, d.location, d.message) for d in report]
+        assert keys == sorted(keys)
+
+    def test_analyze_shardability_returns_report(self, snapshot_mo):
+        report = analyze_shardability(_rollup_plan(snapshot_mo))
+        assert len(report) == 0

@@ -1,0 +1,185 @@
+"""Property tests for shard-safety soundness.
+
+Two contracts (docs/ANALYSIS.md, ROADMAP sharding item):
+
+1. **Every static DISTRIBUTIVE is merge-check backed.**  For the six
+   standard functions and for an adversarial hypothesis-driven family
+   of subclasses whose ``combine`` *looks* associative but is correct
+   only for one parameter value, ``classify_function`` answers
+   DISTRIBUTIVE exactly when the extensional merge-equivalence check
+   passes — a lying combine is demoted to UNKNOWN, never SAFE.
+
+2. **SHARDABLE verdicts agree with the reference executor.**  When
+   :func:`repro.analyze.shardability_of` answers SHARDABLE for an α
+   over a random MO, :func:`repro.algebra.aggregate.aggregate_sharded`
+   returns identical results for every shard count — partitioning the
+   fact set is invisible exactly where the analyzer says it is.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra.aggregate import aggregate_sharded
+from repro.algebra.functions import (
+    AggregationFunction,
+    Avg,
+    CountDim,
+    Max,
+    Min,
+    SetCount,
+    Sum,
+    SumProduct,
+    measures_of,
+)
+from repro.analyze import (
+    FunctionClass,
+    ShardVerdict,
+    classify_function,
+    merge_equivalence_check,
+    shardability_of,
+)
+from repro.core.helpers import make_result_spec
+from repro.engine.optimizer import AggregateNode, Base
+from tests.strategies import small_mos
+
+STANDARD_DISTRIBUTIVE = (SetCount(), CountDim("Diagnosis"), Sum("Age"),
+                         Min("Age"), Max("Age"), SumProduct("Age", "Age"))
+
+
+class ScaledSum(AggregationFunction):
+    """The liar family: ``combine`` is associative-*shaped* (a single
+    ``sum`` reduction over the partials) but multiplies each partial by
+    ``scale``, so partition-and-merge is exact only at ``scale == 1``.
+    ``args`` carries the scale so each family member gets its own
+    classification cache entry."""
+
+    distributive = True          # the claim; never trusted
+
+    def __init__(self, scale):
+        self.scale = scale
+        self.args = (f"scale={scale!r}",)
+
+    def apply(self, facts, mo):
+        return float(len(facts))
+
+    def combine(self, partials):
+        return sum(p * self.scale for p in partials)
+
+
+scales = st.one_of(st.integers(min_value=-3, max_value=4),
+                   st.sampled_from([0.5, 2.5, -1.0]))
+
+
+@given(scale=scales)
+@settings(max_examples=40, deadline=None)
+def test_distributive_iff_merge_equivalence(scale):
+    fn = ScaledSum(scale)
+    c = classify_function(fn)
+    passed = merge_equivalence_check(ScaledSum(scale))
+    assert (c.function_class is FunctionClass.DISTRIBUTIVE) == passed
+    if scale == 1:
+        assert c.function_class is FunctionClass.DISTRIBUTIVE
+        assert c.merge_check is True
+    else:
+        assert c.function_class is FunctionClass.UNKNOWN
+        assert c.merge_check is False
+
+
+@given(scale=scales)
+@settings(max_examples=20, deadline=None)
+def test_lying_combine_is_never_shardable(scale, snapshot_mo):
+    plan = AggregateNode(
+        child=Base(snapshot_mo), function=ScaledSum(scale),
+        grouping=(("DOB", "Year"),),
+        result=make_result_spec(name="Result"), strict_types=False)
+    verdict, report = shardability_of(plan)
+    if scale == 1:
+        # correct but structurally unvouched members stay conservative
+        assert verdict in (ShardVerdict.SHARDABLE, ShardVerdict.UNKNOWN)
+    else:
+        assert verdict is not ShardVerdict.SHARDABLE
+        assert "MD076" in report.codes()
+
+
+def test_standard_distributive_functions_pass_merge_check():
+    for fn in STANDARD_DISTRIBUTIVE:
+        c = classify_function(fn)
+        assert c.function_class is FunctionClass.DISTRIBUTIVE, fn.name
+        assert merge_equivalence_check(fn) is True, fn.name
+
+
+@st.composite
+def groupings(draw, mo):
+    grouping = {}
+    for name in mo.dimension_names:
+        if draw(st.booleans()):
+            categories = [c.name for c in
+                          mo.dimension(name).dtype.category_types()
+                          if not c.is_top]
+            if categories:
+                grouping[name] = draw(st.sampled_from(categories))
+    return grouping
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_shardable_verdict_agrees_with_reference_executor(data):
+    """SHARDABLE ⇒ per-shard evaluation + combine is exact for every
+    shard count (vs ``n_shards=1``, plain evaluation)."""
+    mo = data.draw(small_mos())
+    grouping = data.draw(groupings(mo))
+    # SetCount is the one standard function that needs no numeric
+    # surrogates; random MOs carry tuple sids, so the measure-reading
+    # functions are anchored on the case-study MO below instead.
+    fn = SetCount()
+    plan = AggregateNode(
+        child=Base(mo), function=fn,
+        grouping=tuple(sorted(grouping.items())),
+        result=make_result_spec(name="Result"), strict_types=False)
+    verdict, _report = shardability_of(plan)
+    if verdict is ShardVerdict.SHARDABLE:
+        reference = aggregate_sharded(mo, fn, grouping, n_shards=1)
+        for n_shards in (2, 3):
+            assert aggregate_sharded(mo, fn, grouping,
+                                     n_shards=n_shards) == reference, \
+                (n_shards, grouping, fn.name)
+
+
+def test_multi_shard_agreement_on_case_study(snapshot_mo):
+    """The deterministic anchor: every standard distributive function
+    is shard-count-invariant on the case-study MO for a grouping the
+    analyzer marks SHARDABLE."""
+    grouping = {"DOB": "Year"}
+    for fn in (SetCount(), CountDim("Diagnosis"), Sum("Age"),
+               Min("Age"), Max("Age")):
+        reference = aggregate_sharded(snapshot_mo, fn, grouping,
+                                      n_shards=1)
+        for n_shards in (2, 3, 5):
+            assert aggregate_sharded(snapshot_mo, fn, grouping,
+                                     n_shards=n_shards) == reference, \
+                (fn.name, n_shards)
+
+
+def test_algebraic_avg_shards_via_accumulator_states(snapshot_mo):
+    """MD071's story made executable: AVG is not distributive over
+    finished results, but sharding its (sum, count) accumulator states
+    and finalizing after the merge reproduces plain evaluation."""
+    grouping = {"DOB": "Year"}
+
+    def partial(facts, sub):
+        vals = [m for f in facts for m in measures_of(sub, "Age", f)]
+        return (float(sum(vals)), len(vals))
+
+    def merge(partials):
+        return (sum(s for s, _count in partials),
+                sum(count for _s, count in partials))
+
+    plain = aggregate_sharded(snapshot_mo, Avg("Age"), grouping,
+                              n_shards=1)
+    for n_shards in (2, 3):
+        states = aggregate_sharded(snapshot_mo, Avg("Age"), grouping,
+                                   n_shards=n_shards,
+                                   partial=partial, merge=merge)
+        finalized = {key: (s / count if count else None)
+                     for key, (s, count) in states.items()}
+        assert finalized == plain

@@ -29,6 +29,21 @@ class TestCheck:
         assert report.codes() == ["MD001"]
         assert report.has_errors
 
+    def test_holistic_function_surfaces_md070(self, snapshot_mo):
+        from repro.algebra.functions import Median
+
+        report = Query(snapshot_mo).rollup("DOB", "Year").check(
+            Median("Age"))
+        assert "MD070" in report.codes()
+        assert not report.has_errors  # advisory, never blocks
+
+    def test_check_report_is_sorted(self, snapshot_mo):
+        report = (Query(snapshot_mo)
+                  .rollup("Diagnosis", "Diagnosis Group").check())
+        keys = [(d.code, d.location, d.message) for d in report]
+        assert len(keys) >= 2  # MD030 plus the MD072 shard finding
+        assert keys == sorted(keys)
+
     def test_to_plan_shape(self, snapshot_mo):
         query = (Query(snapshot_mo)
                  .dice("Residence", _area(snapshot_mo))

@@ -88,3 +88,63 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "clean: no diagnostics" in out
         assert "case study" not in out
+
+    def test_analyze_shardability_text(self, capsys):
+        assert main(["analyze", "--shardability",
+                     "--subject", "retail"]) == 0
+        out = capsys.readouterr().out
+        assert "SetCount rollup" in out
+        assert "shardable" in out
+        assert "Median" in out  # the holistic plan is exercised too
+
+    def test_analyze_json_schema(self, capsys):
+        assert main(["analyze", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "analyze"
+        assert payload["subject"] == "all"
+        assert payload["shardability"] is False
+        assert payload["ok"] is True
+        assert len(payload["subjects"]) == 4
+        for entry in payload["subjects"]:
+            assert set(entry) == {"subject", "diagnostics",
+                                  "errors", "warnings"}
+            assert entry["errors"] == 0
+            for d in entry["diagnostics"]:
+                assert set(d) == {"code", "severity", "message",
+                                  "location", "hint"}
+                assert d["severity"] in ("error", "warning", "info")
+
+    def test_analyze_shardability_json(self, capsys):
+        assert main(["analyze", "--shardability",
+                     "--subject", "clinical", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["subjects"]
+        assert entry["plans"]
+        for plan in entry["plans"]:
+            assert set(plan) == {"plan", "verdict", "diagnostics"}
+            assert plan["verdict"] in ("shardable", "not-shardable",
+                                       "unknown")
+        verdicts = {plan["verdict"] for plan in entry["plans"]}
+        assert "not-shardable" in verdicts  # the Median plan
+
+    def test_analyze_exit_nonzero_on_errors(self, monkeypatch, capsys):
+        import repro.analyze as analyze
+
+        def forced(mo):
+            report = analyze.AnalysisReport("forced")
+            report.emit("MD010", "forced failure", "somewhere")
+            return report
+
+        monkeypatch.setattr(analyze, "analyze_schema", forced)
+        assert main(["analyze", "--subject", "retail"]) == 1
+        assert "forced failure" in capsys.readouterr().out
+
+    def test_unknown_flag_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--no-such-flag"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_subject_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--subject", "nope"])
+        assert excinfo.value.code == 2

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """AST lint for engine invariants that plain style checkers can't see.
 
-Five rules, all load-bearing for the caching layers:
+Six rules, all load-bearing for the caching layers:
 
 1. **version/changelog pairing** — the rollup index and pre-aggregate
    store detect staleness by comparing version counters and replay
@@ -47,6 +47,18 @@ Five rules, all load-bearing for the caching layers:
    and reach both ``.order`` and ``.version`` — and at least one such
    function must exist.
 
+6. **lock discipline on shared registries** — the process-global
+   mutable state (obs metric values, the trace ring buffer, the
+   fingerprint token table, the SQL-backend LRU, the result cache's
+   entry table) is mutated from arbitrary threads; every
+   read-modify-write must happen inside ``with <owning lock>:`` in the
+   same function.  Declarative per-file config (:data:`LOCK_RULES`)
+   names the lock(s), the guarded names, and the deliberate
+   exemptions: ``__init__`` (no concurrent aliases exist yet),
+   ``*_locked`` helpers (the caller holds the lock — the suffix is the
+   contract), and listed GIL-atomic single-op mutations (the trace
+   buffer's lock-free ``_buffer.append`` hot path).
+
 Zero dependencies; exits 1 on any violation.  Run from the repo root::
 
     python tools/lint_invariants.py
@@ -58,7 +70,7 @@ import ast
 import re
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import FrozenSet, Iterator, List, NamedTuple, Tuple
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
@@ -316,6 +328,145 @@ def check_catalog_documented() -> List[str]:
     return problems
 
 
+class LockRule(NamedTuple):
+    """Lock discipline for one file: mutations of ``guarded`` names
+    must sit inside ``with <lock>:`` for one of ``locks``.
+
+    Names are either module globals (``"_RECENT"``) or instance
+    attributes spelled ``"self._entries"``; the same spelling works
+    for locks.  ``atomic`` lists ``"name.method"`` calls exempted as
+    single-bytecode GIL-atomic mutations."""
+
+    file: str
+    locks: FrozenSet[str]
+    guarded: FrozenSet[str]
+    atomic: FrozenSet[str] = frozenset()
+
+
+#: rule 6's config — the owning lock per shared registry.
+LOCK_RULES: Tuple[LockRule, ...] = (
+    LockRule("obs/metrics.py",
+             locks=frozenset({"_MUTATION_LOCK", "self._lock"}),
+             guarded=frozenset({"self.value", "self.count", "self.total",
+                                "self.min", "self.max", "self._counters",
+                                "self._gauges", "self._histograms"})),
+    LockRule("obs/trace.py",
+             locks=frozenset({"_BUFFER_LOCK"}),
+             guarded=frozenset({"_buffer"}),
+             # the span hot path appends lock-free: one deque.append
+             # is GIL-atomic, and the buffer-management docstring
+             # documents the best-effort view readers get
+             atomic=frozenset({"_buffer.append"})),
+    LockRule("engine/plan_fingerprint.py",
+             locks=frozenset({"_TOKEN_LOCK"}),
+             guarded=frozenset({"_TOKENS"})),
+    LockRule("engine/result_cache.py",
+             locks=frozenset({"self._lock"}),
+             guarded=frozenset({"self._entries", "self._nbytes"})),
+    LockRule("relational/backend/__init__.py",
+             locks=frozenset({"_REGISTRY_LOCK"}),
+             guarded=frozenset({"_BACKENDS", "_RECENT"})),
+)
+
+#: method calls that mutate their receiver in place.
+LOCK_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "pop",
+    "popleft", "popitem", "clear", "update", "setdefault", "add",
+    "discard", "move_to_end", "sort", "reverse",
+})
+
+
+def _name_of(node: ast.expr) -> "str | None":
+    """``"NAME"`` / ``"self.attr"`` for the expressions the lock rules
+    spell, unwrapping subscripts (``_TOKENS[mo]`` mutates ``_TOKENS``)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return f"self.{node.attr}"
+    return None
+
+
+#: statements with no statement children: safe to deep-scan for calls
+#: without re-walking block bodies the visitor recurses into itself.
+_SIMPLE_STMTS = (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign,
+                 ast.Return, ast.Delete, ast.Assert, ast.Raise)
+
+
+def _lock_mutations(node: ast.stmt,
+                    rule: LockRule) -> Iterator[Tuple[int, str]]:
+    """``(lineno, description)`` per guarded-name mutation in ``node``
+    itself (not its block children — the walker handles recursion)."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    for target in targets:
+        name = _name_of(target)
+        if name in rule.guarded:
+            yield node.lineno, f"assignment to {name}"
+    if not isinstance(node, _SIMPLE_STMTS):
+        return
+    for call in ast.walk(node):
+        if not (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in LOCK_MUTATOR_METHODS):
+            continue
+        name = _name_of(call.func.value)
+        if name not in rule.guarded:
+            continue
+        if f"{name}.{call.func.attr}" in rule.atomic:
+            continue
+        yield call.lineno, f"{name}.{call.func.attr}(...)"
+
+
+def _is_lock_with(stmt: ast.stmt, rule: LockRule) -> bool:
+    return (isinstance(stmt, ast.With)
+            and any(_name_of(item.context_expr) in rule.locks
+                    for item in stmt.items))
+
+
+def check_lock_discipline(path: Path, tree: ast.AST,
+                          rule: LockRule) -> List[str]:
+    problems: List[str] = []
+
+    def visit(stmt: ast.stmt, func: str, locked: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a new runtime scope: the enclosing with-block does not
+            # guard calls made later through this closure
+            if stmt.name == "__init__" or stmt.name.endswith("_locked"):
+                return
+            for child in stmt.body:
+                visit(child, stmt.name, False)
+            return
+        if _is_lock_with(stmt, rule):
+            for child in stmt.body:
+                visit(child, func, True)
+            return
+        if not locked and func is not None:
+            for lineno, what in _lock_mutations(stmt, rule):
+                problems.append(
+                    f"{path.relative_to(REPO) if path.is_absolute() else path}"
+                    f":{lineno}: {what} in {func} runs outside "
+                    f"`with {sorted(rule.locks)[0]}:` — a concurrent "
+                    f"read-modify-write can interleave and corrupt the "
+                    f"shared registry")
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                visit(child, func, locked)
+
+    assert isinstance(tree, ast.Module)
+    for stmt in tree.body:
+        visit(stmt, None, False)
+    return problems
+
+
 def main() -> int:
     doc_text = OBS_DOC.read_text(encoding="utf-8")
     problems: List[str] = []
@@ -325,6 +476,10 @@ def main() -> int:
         forest.append((path, tree))
         problems += check_version_log_pairing(path, tree)
         problems += check_obs_names_documented(path, tree, doc_text)
+        rel = path.relative_to(SRC).as_posix()
+        for rule in LOCK_RULES:
+            if rule.file == rel:
+                problems += check_lock_discipline(path, tree, rule)
     problems += check_kernel_pairing(_collect_classes(forest))
     problems += check_catalog_documented()
     problems += check_version_vector_completeness(forest)

@@ -43,6 +43,9 @@ root (see ``docs/PERFORMANCE.md`` for how to read it):
   report unless cached ≡ uncached byte-identically, including after
   mutations on a private clone (zero stale serves), and at least one
   hit was observed during the hot timing pass.
+* ``shardability_analysis`` — plans analyzed per second by the MD07x
+  static shard-safety fold (``plans_per_sec``; classification memoized,
+  so this is the steady-state per-plan analysis cost).
 
 Each cell reports steady-state ops/sec (the index is built once, then
 reused — the intended usage pattern); ``build`` records the one-time
@@ -68,6 +71,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.algebra import SetCount, Sum, aggregate
 from repro.algebra.aggregate import _form_groups, _form_groups_interned
+from repro.algebra.functions import Avg, Median
+from repro.analyze import analyze_shardability
 from repro.casestudy.icd import IcdShape
 from repro.core.helpers import make_result_spec
 from repro.engine.cube import CubeBuilder
@@ -382,6 +387,27 @@ def sql_pushdown_cell(mo, min_seconds: float) -> dict:
     }
 
 
+def shardability_analysis_cell(mo, min_seconds: float) -> dict:
+    """The ``shardability_analysis`` cell: plans analyzed per second by
+    the MD07x static shard-safety fold.  Function classification is
+    memoized process-wide, so after the first pass this measures the
+    steady-state per-plan cost — the purity walk over σ predicates plus
+    the verdict fold — which is what ``Query.check()`` pays."""
+    q = _pushdown_query(mo)
+    plans = [
+        q.to_plan(SetCount()),
+        q.to_plan(Avg(ROLLUP_DIMENSION)),
+        q.to_plan(Median(ROLLUP_DIMENSION)),
+        Query(mo).rollup(ROLLUP_DIMENSION, ROLLUP_CATEGORY).to_plan(),
+    ]
+    for plan in plans:                   # warm the classification cache
+        analyze_shardability(plan)
+    batches = timed(
+        lambda: [analyze_shardability(plan) for plan in plans],
+        min_seconds)
+    return {"plans_per_sec": round(batches * len(plans), 3)}
+
+
 def query_result_cache_cell(mo, generated, min_seconds: float) -> dict:
     """The ``query_result_cache`` cell: the standard two-dimensional
     roll-up answered hot (versioned result cache, fingerprint hit)
@@ -528,6 +554,8 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
     cell["sql_pushdown"] = sql_pushdown_cell(mo, min_seconds)
     cell["query_result_cache"] = query_result_cache_cell(
         mo, generated, min_seconds)
+    cell["shardability_analysis"] = shardability_analysis_cell(
+        mo, min_seconds)
     cell["metrics"] = _metrics_snapshot(mo, generated)
     return cell
 
