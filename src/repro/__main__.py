@@ -59,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="synthetic clinical workload demo")
     demo.add_argument("--patients", type=int, default=200)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--backend", default="memory",
+                      help="execution backend for the region-count "
+                           "query (memory, sql, or sharded; see "
+                           "repro.engine.backends)")
     analyze = sub.add_parser(
         "analyze", help="static schema analysis (exit 1 on errors)")
     analyze.add_argument("--subject", default="all",
@@ -164,8 +168,9 @@ def _cmd_export(temporal: bool, out: str) -> int:
     return 0
 
 
-def _cmd_demo(patients: int, seed: int) -> int:
+def _cmd_demo(patients: int, seed: int, backend: str = "memory") -> int:
     from repro.algebra import SetCount, sql_aggregation
+    from repro.engine import Query
     from repro.report import render_pivot
     from repro.workloads import ClinicalConfig, generate_clinical
 
@@ -181,6 +186,13 @@ def _cmd_demo(patients: int, seed: int) -> int:
     print()
     print(render_pivot(rows, "Diagnosis", "Residence", "SetCount",
                        title="Patients per (diagnosis group, region)"))
+    report = (Query(mo).rollup("Residence", "Region")
+              .explain(backend=backend))
+    print()
+    print(f"Patients per region via backend={backend!r}:")
+    for group, value in report.rows:
+        print(f"  {group['Residence']}: {value}")
+    print(report.render())
     return 0
 
 
@@ -307,7 +319,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "export":
         return _cmd_export(args.temporal, args.out)
     if args.command == "demo":
-        return _cmd_demo(args.patients, args.seed)
+        return _cmd_demo(args.patients, args.seed, args.backend)
     if args.command == "analyze":
         return _cmd_analyze(args.subject, args.shardability, args.as_json)
     raise AssertionError(f"unhandled command {args.command!r}")

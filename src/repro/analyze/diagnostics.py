@@ -188,6 +188,12 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
               "(the extensional merge-equivalence check failed): the "
               "statically distributive-shaped function is demoted to "
               "UNKNOWN and will not be sharded"),
+    "MD077": (Severity.INFO,
+              "plan is statically shard-safe but the sharded executor "
+              "cannot evaluate it from columnar worker payloads "
+              "(temporal MO, kernel-less distributive function, "
+              "multi-argument algebraic function, poisoned measure "
+              "column, or composed-key radix overflow)"),
 }
 
 

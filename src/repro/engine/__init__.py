@@ -49,8 +49,23 @@ from repro.engine.recommend import (
 from repro.engine.timeseries import (change_points,
                                      group_count_series,
                                      series_table)
+from repro.engine.backends import (
+    BackendRefused,
+    ExecutionBackend,
+    MemoryBackend,
+    SqlExecutionBackend,
+    backend_named,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
 from repro.engine.query import ExplainStep, Query, QueryExplain
 from repro.engine.rollup_index import RollupIndex
+
+# NOTE: repro.engine.sharded (ShardedBackend) is deliberately not
+# imported here — it pulls in the analyzer package, which imports this
+# package back through the SQL pushdown; the registry loads it lazily
+# on first ``backend="sharded"`` use.
 
 __all__ = [
     "ColumnarGrouping",
@@ -91,6 +106,14 @@ __all__ = [
     "MaterializationRecommendation",
     "apply_recommendations",
     "recommend_materializations",
+    "BackendRefused",
+    "ExecutionBackend",
+    "MemoryBackend",
+    "SqlExecutionBackend",
+    "backend_named",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
     "ExplainStep",
     "Query",
     "QueryExplain",

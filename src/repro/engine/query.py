@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.algebra import (
     SetCount,
@@ -33,6 +33,7 @@ from repro.core.helpers import make_result_spec
 from repro.core.mo import MultidimensionalObject, TimeKind
 from repro.core.values import DimensionValue
 from repro.engine import result_cache as result_cache_module
+from repro.engine.backends import ExecutionBackend, dispatch, resolve_backend
 from repro.engine.plan_fingerprint import (
     PlanFingerprint,
     Unfingerprintable,
@@ -62,8 +63,6 @@ def _row_sort_key(names):
 _PATH_STORE = metrics.counter("query.path.store")
 _PATH_INDEX = metrics.counter("query.path.index")
 _PATH_ALPHA = metrics.counter("query.path.alpha")
-_PATH_SQL = metrics.counter("query.path.sql")
-_SQL_FALLBACK = metrics.counter("sql.pushdown.fallback")
 _CACHE_BYPASS = metrics.counter("query.cache.bypass")
 
 
@@ -227,7 +226,7 @@ class Query:
     def execute(self, function: Optional[AggregationFunction] = None,
                 strict_types: bool = False,
                 check: bool = True,
-                backend: str = "memory",
+                backend: Union[str, ExecutionBackend] = "memory",
                 cache: bool = True) -> List[QueryResultRow]:
         """Run the query: dice, then aggregate with ``function``
         (default set-count), returning ``(group values, result)`` rows
@@ -237,11 +236,16 @@ class Query:
         finer aggregate that is safely combinable answers the query
         without touching base data.
 
-        ``backend="sql"`` pushes the compiled plan down to the
-        relational backend (:mod:`repro.relational.backend`); plans
+        ``backend`` names an :class:`~repro.engine.backends
+        .ExecutionBackend` from the registry (or passes a configured
+        instance directly).  ``"sql"`` pushes the compiled plan down to
+        the relational backend (:mod:`repro.relational.backend`); plans
         outside the pushable subset transparently fall back to the
-        in-memory path (counted as ``sql.pushdown.fallback``).  Either
-        way the rows are byte-identical.
+        in-memory path (counted as ``sql.pushdown.fallback``).
+        ``"sharded"`` evaluates the α on a process pool — admitted only
+        for plans the shard-safety analyzer proves SHARDABLE, raising
+        :class:`~repro.engine.backends.BackendRefused` with the MD07x
+        diagnostic otherwise.  Every backend's rows are byte-identical.
 
         ``cache=True`` (the default) consults the versioned result
         cache (:mod:`repro.engine.result_cache`) before running any
@@ -255,9 +259,7 @@ class Query:
         guaranteed to fail; pass ``check=False`` to opt out and let the
         runtime operators raise instead.
         """
-        if backend not in ("memory", "sql"):
-            raise ValueError(f"unknown backend {backend!r} "
-                             f"(expected 'memory' or 'sql')")
+        resolved = resolve_backend(backend)
         if check:
             report = self.check(function, strict_types)
             if report.has_errors:
@@ -266,28 +268,28 @@ class Query:
                     "query rejected by static analysis:\n" + report.render(),
                     diagnostics=report.errors)
         rows, _ = self._answer(function or SetCount(), strict_types,
-                               None, backend, cache)
+                               None, resolved, cache)
         return rows
 
     def explain(self, function: Optional[AggregationFunction] = None,
                 strict_types: bool = False,
-                backend: str = "memory",
+                backend: Union[str, ExecutionBackend] = "memory",
                 cache: bool = True) -> QueryExplain:
         """Execute the query and report *how* it was answered: the path
-        taken (``cache`` / ``store`` / ``index`` / ``alpha`` / ``sql``),
-        and per-step elapsed time and in/out fact counts — the engine's
-        EXPLAIN ANALYZE.  A ``cache`` step names the fingerprint and
-        whether it hit, missed, or was bypassed by an unfingerprintable
-        construct (explicit ``cache=False`` keeps the steps to the
-        execution pipeline alone).  With
+        taken (``cache`` / ``store`` / ``index`` / ``alpha`` / ``sql``
+        / ``sharded``), and per-step elapsed time and in/out fact
+        counts — the engine's EXPLAIN ANALYZE.  A ``cache`` step names
+        the fingerprint and whether it hit, missed, or was bypassed by
+        an unfingerprintable construct (explicit ``cache=False`` keeps
+        the steps to the execution pipeline alone).  With
         ``backend="sql"`` the steps include the emitted SQL per
-        compiled plan node (or the fallback reason)."""
-        if backend not in ("memory", "sql"):
-            raise ValueError(f"unknown backend {backend!r} "
-                             f"(expected 'memory' or 'sql')")
+        compiled plan node (or the fallback reason); with
+        ``backend="sharded"`` they show the shard plan, the pool map,
+        and the merge."""
+        resolved = resolve_backend(backend)
         steps: List[ExplainStep] = []
         rows, path = self._answer(function or SetCount(), strict_types,
-                                  steps, backend, cache)
+                                  steps, resolved, cache)
         return QueryExplain(path=path, rows=rows, steps=steps)
 
     def _fingerprint(self, function: AggregationFunction,
@@ -312,13 +314,17 @@ class Query:
         function: AggregationFunction,
         strict_types: bool,
         steps: Optional[List[ExplainStep]],
-        backend: str,
+        backend: ExecutionBackend,
         cache: bool,
     ) -> Tuple[List[QueryResultRow], str]:
         """The cache wrapper around every answer path: fingerprint the
-        plan, consult the versioned cache, and on a miss run the
-        backend's pipeline and admit the result."""
-        runner = self._run_sql if backend == "sql" else self._run
+        plan, consult the versioned cache, and on a miss dispatch to
+        the backend (with its refusal → fallback protocol) and admit
+        the result.  The cache key is backend-independent — every
+        backend's rows are byte-identical, so an entry computed by one
+        serves them all."""
+        def runner(function, strict_types, steps):
+            return dispatch(self, backend, function, strict_types, steps)
         if not cache:
             # explicit opt-out: count it, but keep the explain output
             # free of a cache step so ``explain(cache=False)`` shows
@@ -359,57 +365,6 @@ class Query:
                 elapsed_seconds=t1 - t0,
                 facts_in=0, facts_out=0))
         return rows, path
-
-    def _run_sql(
-        self,
-        function: AggregationFunction,
-        strict_types: bool,
-        steps: Optional[List[ExplainStep]],
-    ) -> Tuple[List[QueryResultRow], str]:
-        """Push the compiled plan down to the SQL backend; on
-        :class:`~repro.relational.backend.PushdownUnsupported` fall
-        back to :meth:`_run` (which owns the ``query.execute`` span —
-        no nesting)."""
-        from repro.relational.backend import (
-            PushdownUnsupported,
-            sql_backend_for,
-        )
-        plan = self._sql_plan(function, strict_types)
-        backend = sql_backend_for(self._mo)
-        t0 = time.perf_counter()
-        try:
-            compiled = backend.compile(plan)
-        except PushdownUnsupported as exc:
-            _SQL_FALLBACK.inc()
-            if steps is not None:
-                steps.append(ExplainStep(
-                    name="sql-fallback",
-                    detail=f"{exc.code} at {exc.location}: {exc.reason}",
-                    elapsed_seconds=time.perf_counter() - t0,
-                    facts_in=0, facts_out=0))
-            return self._run(function, strict_types, steps)
-        with trace.span("query.execute",
-                        grouping=tuple(sorted(self._grouping)),
-                        n_dices=len(self._dices), function=function.name,
-                        backend="sql"):
-            if steps is not None:
-                compile_elapsed = time.perf_counter() - t0
-                for node in compiled.nodes:
-                    steps.append(ExplainStep(
-                        name=f"sql[{node.label}]", detail=node.sql,
-                        elapsed_seconds=0.0, facts_in=0, facts_out=0))
-                steps[-len(compiled.nodes)].elapsed_seconds = \
-                    compile_elapsed
-            t1 = time.perf_counter()
-            rows = backend.run_rows(compiled)
-            _PATH_SQL.inc()
-            if steps is not None:
-                steps.append(ExplainStep(
-                    name="sql-execute",
-                    detail=f"engine={backend.engine}",
-                    elapsed_seconds=time.perf_counter() - t1,
-                    facts_in=len(self._mo.facts), facts_out=len(rows)))
-            return rows, "sql"
 
     def _run(
         self,

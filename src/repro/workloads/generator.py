@@ -76,8 +76,12 @@ def _residence_dimension(
         CategoryType("County", AggregationType.CONSTANT),
         CategoryType("Region", AggregationType.CONSTANT),
     ]
+    # built below as a strict partition tree (every area in exactly one
+    # county, every county in exactly one region) — declaring it lets
+    # the shard-safety analyzer prove Residence rollups SAFE statically
     dimension = Dimension(DimensionType(
-        "Residence", ctypes, [("Area", "County"), ("County", "Region")]))
+        "Residence", ctypes, [("Area", "County"), ("County", "Region")],
+        declared_strict=True, declared_partitioning=True))
     for r in range(config.n_regions):
         region = surrogates.fresh_value(label=f"R{r}")
         dimension.add_value("Region", region)

@@ -1,0 +1,54 @@
+"""Worker-payload picklability under the ``spawn`` start method.
+
+Linux CI forks, where an unpicklable payload (a closure, a live MO, an
+un-importable worker function) would still *work* by accident of
+memory inheritance.  macOS and Windows spawn: the payload must
+round-trip through pickle and the worker must be importable by
+qualified name from a cold interpreter.  These tests pin that contract
+without needing a non-Linux machine."""
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.algebra.functions import Avg, Sum
+from repro.engine.sharded import ShardPayload, _run_shard, build_payloads
+from repro.workloads.generator import ClinicalConfig, generate_clinical
+
+
+def _payloads(function, mode, n_shards=3):
+    workload = generate_clinical(ClinicalConfig(n_patients=40, seed=21))
+    payloads, specs = build_payloads(
+        workload.mo, {"Residence": "County"}, function, mode, n_shards)
+    assert payloads and specs
+    return payloads
+
+
+def test_payload_pickle_round_trip():
+    for payload in _payloads(Sum("Age"), "distributive"):
+        clone = pickle.loads(pickle.dumps(payload))
+        assert isinstance(clone, ShardPayload)
+        assert clone.shard == payload.shard
+        assert clone.base == payload.base
+        assert clone.fact_ids == payload.fact_ids
+        assert clone.mode == payload.mode
+        assert [d.column for d in clone.dims] == \
+            [d.column for d in payload.dims]
+        assert [m.sums for m in clone.measures] == \
+            [m.sums for m in payload.measures]
+        # the clone computes the same partials as the original
+        assert _run_shard(clone) == _run_shard(payload)
+
+
+def test_worker_runs_under_spawn():
+    """A spawn worker gets *nothing* from this process's memory: the
+    payload must carry everything and ``_run_shard`` must resolve by
+    import in a cold interpreter."""
+    ctx = multiprocessing.get_context("spawn")
+    for function, mode in ((Sum("Age"), "distributive"),
+                           (Avg("Age"), "algebraic")):
+        payloads = _payloads(function, mode, n_shards=2)
+        expected = [_run_shard(p) for p in payloads]
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            spawned = list(pool.map(_run_shard, payloads))
+        assert spawned == expected

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """AST lint for engine invariants that plain style checkers can't see.
 
-Six rules, all load-bearing for the caching layers:
+Seven rules, all load-bearing for the caching and execution layers:
 
 1. **version/changelog pairing** — the rollup index and pre-aggregate
    store detect staleness by comparing version counters and replay
@@ -58,6 +58,17 @@ Six rules, all load-bearing for the caching layers:
    ``*_locked`` helpers (the caller holds the lock — the suffix is the
    contract), and listed GIL-atomic single-op mutations (the trace
    buffer's lock-free ``_buffer.append`` hot path).
+
+7. **execution-backend protocol surface** — every class below
+   ``ExecutionBackend`` must carry the full protocol: a class-level
+   ``name`` of its own (the base's empty string is unregistrable) and a
+   ``run`` override somewhere below the base (the base raises).  A
+   backend missing either would only fail at first dispatch, long after
+   registration; ``plan_for``/``supports`` may inherit the base's
+   no-op.  The registry itself is rule-6 state: ``engine/backends.py``
+   is in :data:`LOCK_RULES`, so every ``_REGISTRY`` mutation must hold
+   ``_REGISTRY_LOCK`` (and the sharded executor's pool/payload-cache
+   globals their locks).
 
 Zero dependencies; exits 1 on any violation.  Run from the repo root::
 
@@ -202,8 +213,9 @@ def _catalog_codes() -> List[str]:
     raise RuntimeError("CATALOG dict not found in diagnostics.py")
 
 
-#: ``class name -> (path, lineno, defined method names, base names)``
-ClassInfo = Tuple[Path, int, set, List[str]]
+#: ``class name -> (path, lineno, defined method names, base names,
+#: class-level assignment names)``
+ClassInfo = Tuple[Path, int, set, List[str], set]
 
 
 def _collect_classes(
@@ -217,13 +229,23 @@ def _collect_classes(
                 stmt.name for stmt in node.body
                 if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
             }
+            assigns = set()
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    assigns.update(t.id for t in stmt.targets
+                                   if isinstance(t, ast.Name))
+                elif (isinstance(stmt, ast.AnnAssign)
+                        and stmt.value is not None
+                        and isinstance(stmt.target, ast.Name)):
+                    assigns.add(stmt.target.id)
             bases = []
             for base in node.bases:
                 if isinstance(base, ast.Name):
                     bases.append(base.id)
                 elif isinstance(base, ast.Attribute):
                     bases.append(base.attr)
-            classes[node.name] = (path, node.lineno, methods, bases)
+            classes[node.name] = (path, node.lineno, methods, bases,
+                                  assigns)
     return classes
 
 
@@ -258,7 +280,7 @@ def check_kernel_pairing(
             continue
         if "AggregationFunction" not in _ancestry(classes, name):
             continue
-        path, lineno, _methods, _bases = classes[name]
+        path, lineno, _methods, _bases, _assigns = classes[name]
         provider_apply = _provider(classes, name, "apply")
         provider_batch = _provider(classes, name, "batch_apply")
         if (provider_batch is not None
@@ -270,6 +292,37 @@ def check_kernel_pairing(
                 f"kernel from {provider_batch} — the object path and "
                 f"the columnar kernel must be overridden together or "
                 f"not at all")
+    return problems
+
+
+def check_backend_protocol(
+        classes: "dict[str, ClassInfo]") -> List[str]:
+    """Rule 7: every class below ``ExecutionBackend`` must declare its
+    own ``name`` and resolve ``run`` from below the base class."""
+    problems = []
+    for name in sorted(classes):
+        if name == "ExecutionBackend":
+            continue
+        if "ExecutionBackend" not in _ancestry(classes, name):
+            continue
+        path, lineno, _methods, _bases, _assigns = classes[name]
+        where = f"{path.relative_to(REPO)}:{lineno}"
+        has_name = any(
+            "name" in classes[cls][4]
+            for cls in _ancestry(classes, name)
+            if cls != "ExecutionBackend")
+        if not has_name:
+            problems.append(
+                f"{where}: {name} inherits ExecutionBackend's empty "
+                f"name — an unregistrable backend; declare a "
+                f"class-level name")
+        provider_run = _provider(classes, name, "run")
+        if provider_run in (None, "ExecutionBackend"):
+            problems.append(
+                f"{where}: {name} never overrides "
+                f"ExecutionBackend.run — registration would only fail "
+                f"at first dispatch (the base raises "
+                f"NotImplementedError)")
     return problems
 
 
@@ -366,6 +419,13 @@ LOCK_RULES: Tuple[LockRule, ...] = (
     LockRule("relational/backend/__init__.py",
              locks=frozenset({"_REGISTRY_LOCK"}),
              guarded=frozenset({"_BACKENDS", "_RECENT"})),
+    LockRule("engine/backends.py",
+             locks=frozenset({"_REGISTRY_LOCK"}),
+             guarded=frozenset({"_REGISTRY"})),
+    LockRule("engine/sharded.py",
+             locks=frozenset({"_POOL_LOCK", "self._cache_lock"}),
+             guarded=frozenset({"_POOL", "_POOL_WORKERS",
+                                "self._payload_cache"})),
 )
 
 #: method calls that mutate their receiver in place.
@@ -480,7 +540,9 @@ def main() -> int:
         for rule in LOCK_RULES:
             if rule.file == rel:
                 problems += check_lock_discipline(path, tree, rule)
-    problems += check_kernel_pairing(_collect_classes(forest))
+    classes = _collect_classes(forest)
+    problems += check_kernel_pairing(classes)
+    problems += check_backend_protocol(classes)
     problems += check_catalog_documented()
     problems += check_version_vector_completeness(forest)
     if problems:

@@ -46,6 +46,18 @@ root (see ``docs/PERFORMANCE.md`` for how to read it):
 * ``shardability_analysis`` — plans analyzed per second by the MD07x
   static shard-safety fold (``plans_per_sec``; classification memoized,
   so this is the steady-state per-plan analysis cost).
+* ``sharded_aggregate`` — the single-dimension integer-SUM roll-up
+  (``Sum(Age)`` by Region — statically SHARDABLE) answered by the
+  process-pool sharded backend at shard counts {1, 2, 4, 8} versus the
+  in-memory engine (``shards["8"]`` etc. are ops/sec;
+  ``shard_scaling`` is ops at 8 shards / ops at 1;
+  ``relative_to_memory`` is ops at 8 shards / memory ops).  The cell
+  refuses to report if any shard count's rows differ from the memory
+  backend's (the agreement gate).  Shard scaling only materializes
+  with real cores — ``environment.cpu_count`` records what was
+  available.  Use ``--only sharded_aggregate`` to run this cell alone
+  (skipping the full-lattice agreement oracle, which is what makes
+  ``--scale 10000`` tractable).
 
 Each cell reports steady-state ops/sec (the index is built once, then
 reused — the intended usage pattern); ``build`` records the one-time
@@ -77,6 +89,7 @@ from repro.casestudy.icd import IcdShape
 from repro.core.helpers import make_result_spec
 from repro.engine.cube import CubeBuilder
 from repro.engine.query import Query
+from repro.engine.sharded import ShardedBackend
 from repro.obs import metrics
 from repro.relational.backend import sql_backend_for
 from repro.workloads import ClinicalConfig, generate_clinical
@@ -408,6 +421,46 @@ def shardability_analysis_cell(mo, min_seconds: float) -> dict:
     return {"plans_per_sec": round(batches * len(plans), 3)}
 
 
+#: shard counts the ``sharded_aggregate`` cell sweeps.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _sharded_query(mo):
+    return Query(mo).rollup("Residence", "Region")
+
+
+def sharded_aggregate_cell(mo, min_seconds: float) -> dict:
+    """The ``sharded_aggregate`` cell: a SHARDABLE integer-SUM roll-up
+    on the process-pool backend across shard counts versus the memory
+    engine, gated on byte-identical rows at every count."""
+    from repro.algebra.functions import Sum as SumFn
+
+    function = SumFn("Age")
+    q = _sharded_query(mo)
+    memory_rows = q.execute(function, check=False, cache=False)
+    shards = {}
+    for n_shards in SHARD_COUNTS:
+        backend = ShardedBackend(n_shards=n_shards)
+        rows = q.execute(function, check=False, cache=False,
+                         backend=backend)
+        assert rows == memory_rows, (
+            f"sharded backend at {n_shards} shard(s) disagrees with "
+            f"the memory engine")
+        shards[str(n_shards)] = round(timed(
+            lambda: q.execute(function, check=False, cache=False,
+                              backend=backend),
+            min_seconds), 3)
+    memory = timed(
+        lambda: q.execute(function, check=False, cache=False),
+        min_seconds)
+    return {
+        "memory_ops_per_sec": round(memory, 3),
+        "shards": shards,
+        "shard_scaling": round(shards["8"] / shards["1"], 2),
+        "relative_to_memory": round(shards["8"] / memory, 2),
+    }
+
+
 def query_result_cache_cell(mo, generated, min_seconds: float) -> dict:
     """The ``query_result_cache`` cell: the standard two-dimensional
     roll-up answered hot (versioned result cache, fingerprint hit)
@@ -506,7 +559,8 @@ def check_agreement(mo) -> None:
     assert compared > 0
 
 
-def bench_scale(n_patients: int, min_seconds: float) -> dict:
+def bench_scale(n_patients: int, min_seconds: float,
+                only: str = None) -> dict:
     generated = workload(n_patients)
     mo = generated.mo
     t0 = time.perf_counter()
@@ -514,9 +568,15 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
         mo.rollup_index().group_counts(
             name, mo.dimension(name).dtype.top_name)
     build_seconds = time.perf_counter() - t0
-    check_agreement(mo)
     cell = {"n_patients": n_patients, "n_facts": len(mo.facts),
             "index_build_seconds": round(build_seconds, 6)}
+    if only == "sharded_aggregate":
+        # the cell carries its own agreement gate; the full-lattice
+        # oracle in check_agreement is what makes large scales slow
+        cell["sharded_aggregate"] = sharded_aggregate_cell(mo,
+                                                           min_seconds)
+        return cell
+    check_agreement(mo)
     for bench, naive_op, indexed_op in (
         ("rollup", lambda: naive_group_counts(mo),
          lambda: indexed_group_counts(mo)),
@@ -556,6 +616,7 @@ def bench_scale(n_patients: int, min_seconds: float) -> dict:
         mo, generated, min_seconds)
     cell["shardability_analysis"] = shardability_analysis_cell(
         mo, min_seconds)
+    cell["sharded_aggregate"] = sharded_aggregate_cell(mo, min_seconds)
     cell["metrics"] = _metrics_snapshot(mo, generated)
     return cell
 
@@ -581,6 +642,11 @@ def _metrics_snapshot(mo, generated) -> dict:
     # (the first may hit too — the timing pass warmed the cache)
     _pushdown_query(mo).execute(check=False)
     _pushdown_query(mo).execute(check=False)
+    # one sharded execution (pool and payloads warm from the timing
+    # pass) so the snapshot shows sharded.shards_run > 0
+    from repro.algebra.functions import Sum as SumFn
+    _sharded_query(mo).execute(SumFn("Age"), check=False, cache=False,
+                               backend=ShardedBackend(n_shards=2))
     indexed_cube_sizes(mo)
     CubeBuilder(mo, dimensions=MATERIALIZE_DIMENSIONS,
                 shared_scan=True).materialize_all()
@@ -602,6 +668,12 @@ def main(argv=None) -> int:
                         help="benchmark only this workload scale "
                              "(repeatable; default: all of "
                              f"{', '.join(map(str, SCALES))})")
+    parser.add_argument("--only", metavar="CELL",
+                        choices=("sharded_aggregate",),
+                        help="run a single cell per scale (currently: "
+                             "sharded_aggregate), skipping the "
+                             "full-lattice agreement oracle — intended "
+                             "for large --scale runs")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_aggregate.json")
@@ -612,7 +684,7 @@ def main(argv=None) -> int:
     cells = []
     for n in scales:
         print(f"benchmarking n_patients={n} ...", flush=True)
-        cells.append(bench_scale(n, min_seconds))
+        cells.append(bench_scale(n, min_seconds, only=args.only))
     largest = cells[-1]
     payload = {
         "generated_by": "tools/run_benchmarks.py",
@@ -635,13 +707,16 @@ def main(argv=None) -> int:
         "largest_scale_speedups": {
             bench: largest[bench]["speedup"]
             for bench in BENCH_NAMES
+            if bench in largest
         },
         # the largest scale's instrumented pass, surfaced at top level
-        # so dashboards need not dig into cells
-        "metrics": largest["metrics"],
+        # so dashboards need not dig into cells (absent under --only)
+        "metrics": largest.get("metrics", {}),
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload["largest_scale_speedups"], indent=2))
+    summary = payload["largest_scale_speedups"] or \
+        largest.get("sharded_aggregate", {})
+    print(json.dumps(summary, indent=2))
     print(f"wrote {args.output}")
     return 0
 
